@@ -1,0 +1,92 @@
+// E3 — Cumulative time from data availability to the answer of query k
+// ([12]; the "near-instant" claim and the lazy/eager crossover).
+//
+// A workload of k randomly-windowed STA queries is executed against a
+// freshly bootstrapped warehouse; the reported time includes initial
+// loading. Paper-shaped result: lazy answers query 1 orders of magnitude
+// sooner; as k grows and the workload touches more of the repository,
+// eager amortises its upfront investment and the curves converge/cross.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <string>
+
+#include "bench_util.h"
+#include "common/time.h"
+
+namespace lazyetl::bench {
+namespace {
+
+constexpr int kDays = 2;
+constexpr double kSeconds = 60.0;
+
+// Deterministic random STA-window query over a random station/channel.
+std::string RandomWindowQuery(std::mt19937* rng,
+                              const mseed::GeneratedRepository& repo) {
+  std::uniform_int_distribution<size_t> pick_file(0, repo.files.size() - 1);
+  const auto& f = repo.files[pick_file(*rng)];
+  double span_seconds =
+      static_cast<double>(f.num_samples) / (f.sample_rate > 0 ? f.sample_rate : 40.0);
+  std::uniform_real_distribution<double> pick_offset(
+      0.0, std::max(0.0, span_seconds - 2.0));
+  NanoTime w0 = f.start_time +
+                static_cast<NanoTime>(pick_offset(*rng) * 1e9);
+  NanoTime w1 = w0 + 2 * kNanosPerSecond;
+  return "SELECT AVG(D.sample_value) FROM mseed.dataview WHERE F.station = '" +
+         f.station + "' AND F.channel = '" + f.channel +
+         "' AND D.sample_time >= '" + FormatTimestamp(w0) +
+         "' AND D.sample_time < '" + FormatTimestamp(w1) + "'";
+}
+
+void RunCumulative(benchmark::State& state, core::LoadStrategy strategy) {
+  const BenchRepo& repo = GetRepo(kDays, kSeconds);
+  int num_queries = static_cast<int>(state.range(0));
+
+  double first_answer_ms = 0;
+  for (auto _ : state) {
+    std::mt19937 rng(12345);  // same workload every run and strategy
+    core::WarehouseOptions options;
+    options.strategy = strategy;
+    options.enable_result_cache = false;
+    auto wh = *core::Warehouse::Open(options);
+    Stopwatch clock;
+    auto load = wh->AttachRepository(repo.root);
+    if (!load.ok()) {
+      state.SkipWithError(load.status().ToString().c_str());
+      return;
+    }
+    for (int k = 0; k < num_queries; ++k) {
+      auto result = MustQuery(wh.get(), RandomWindowQuery(&rng, repo.info));
+      benchmark::DoNotOptimize(result.table);
+      if (k == 0) first_answer_ms = clock.ElapsedSeconds() * 1e3;
+    }
+  }
+  state.counters["first_answer_ms"] = first_answer_ms;
+  state.counters["queries"] = num_queries;
+}
+
+void BM_Cumulative_Eager(benchmark::State& state) {
+  RunCumulative(state, core::LoadStrategy::kEager);
+}
+void BM_Cumulative_Lazy(benchmark::State& state) {
+  RunCumulative(state, core::LoadStrategy::kLazy);
+}
+
+BENCHMARK(BM_Cumulative_Eager)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Cumulative_Lazy)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lazyetl::bench
+
+BENCHMARK_MAIN();

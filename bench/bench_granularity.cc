@@ -1,0 +1,75 @@
+// E10 — Metadata-granularity ablation (DESIGN.md design choice 1).
+//
+// The same time-windowed query runs with and without metadata-predicate
+// inference (TimeContainmentRule): with it, D.sample_time predicates prune
+// records and files before extraction; without it, every record of the
+// candidate files is extracted and the predicate is applied afterwards —
+// i.e. file-granularity metadata only, as in systems that cannot exploit
+// record headers.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_util.h"
+#include "common/time.h"
+
+namespace lazyetl::bench {
+namespace {
+
+constexpr int kDays = 1;
+constexpr double kSeconds = 120.0;
+
+std::string NarrowWindowQuery(const mseed::GeneratedRepository& repo) {
+  // 5% of each channel-day: a narrow STA-style window.
+  NanoTime t0 = repo.files[0].start_time + 10 * kNanosPerSecond;
+  NanoTime t1 = t0 + 6 * kNanosPerSecond;
+  return "SELECT COUNT(*), AVG(D.sample_value) FROM mseed.dataview "
+         "WHERE F.station = 'ISK' AND F.channel = 'BHE' "
+         "AND D.sample_time >= '" + FormatTimestamp(t0) +
+         "' AND D.sample_time < '" + FormatTimestamp(t1) + "'";
+}
+
+void RunGranularity(benchmark::State& state, bool record_granularity) {
+  const BenchRepo& repo = GetRepo(kDays, kSeconds);
+  core::WarehouseOptions options;
+  options.strategy = core::LoadStrategy::kLazy;
+  options.enable_result_cache = false;
+  options.enable_metadata_pruning = record_granularity;
+  auto wh = *core::Warehouse::Open(options);
+  if (auto st = wh->AttachRepository(repo.root); !st.ok()) {
+    state.SkipWithError(st.status().ToString().c_str());
+    return;
+  }
+  std::string sql = NarrowWindowQuery(repo.info);
+  uint64_t requested = 0;
+  uint64_t extracted = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    wh->ClearCaches();
+    state.ResumeTiming();
+    auto result = MustQuery(wh.get(), sql);
+    requested = result.report.records_requested;
+    extracted = result.report.records_extracted;
+    benchmark::DoNotOptimize(result.table);
+  }
+  state.SetLabel(record_granularity ? "record-granularity"
+                                    : "file-granularity-only");
+  state.counters["records_requested"] = static_cast<double>(requested);
+  state.counters["records_extracted"] = static_cast<double>(extracted);
+}
+
+void BM_Granularity_RecordLevel(benchmark::State& state) {
+  RunGranularity(state, /*record_granularity=*/true);
+}
+void BM_Granularity_FileLevelOnly(benchmark::State& state) {
+  RunGranularity(state, /*record_granularity=*/false);
+}
+
+BENCHMARK(BM_Granularity_RecordLevel)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Granularity_FileLevelOnly)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lazyetl::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// E2 — Per-query latency: cold (first touch after metadata-only loading)
+// vs hot (recycler cache warm), lazy vs eager, for the paper's Fig. 1
+// queries plus a browsing query and the full-scan worst case.
+//
+// Paper-shaped result: lazy pays extraction on the first touch of each
+// record; hot lazy queries match eager ones. Metadata browsing costs the
+// same under both strategies.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace lazyetl::bench {
+namespace {
+
+constexpr int kDays = 2;
+constexpr double kSeconds = 60.0;
+
+const char* QueryByIndex(int i) {
+  switch (i) {
+    case 0:
+      return kQ1;
+    case 1:
+      return kQ2;
+    case 2:
+      return kQBrowse;
+    default:
+      return kQFull;
+  }
+}
+
+const char* QueryName(int i) {
+  switch (i) {
+    case 0:
+      return "Q1";
+    case 1:
+      return "Q2";
+    case 2:
+      return "browse";
+    default:
+      return "full";
+  }
+}
+
+void BM_Lazy_Cold(benchmark::State& state) {
+  const BenchRepo& repo = GetRepo(kDays, kSeconds);
+  auto wh = OpenWarehouse(core::LoadStrategy::kLazy, repo.root);
+  const char* sql = QueryByIndex(static_cast<int>(state.range(0)));
+  uint64_t extracted = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    wh->ClearCaches();  // cold cache each iteration
+    state.ResumeTiming();
+    auto result = MustQuery(wh.get(), sql);
+    extracted = result.report.records_extracted;
+    benchmark::DoNotOptimize(result.table);
+  }
+  state.SetLabel(QueryName(static_cast<int>(state.range(0))));
+  state.counters["records_extracted"] = static_cast<double>(extracted);
+}
+
+void BM_Lazy_Hot(benchmark::State& state) {
+  const BenchRepo& repo = GetRepo(kDays, kSeconds);
+  auto wh = OpenWarehouse(core::LoadStrategy::kLazy, repo.root);
+  const char* sql = QueryByIndex(static_cast<int>(state.range(0)));
+  MustQuery(wh.get(), sql);  // warm the cache
+  uint64_t hits = 0;
+  for (auto _ : state) {
+    auto result = MustQuery(wh.get(), sql);
+    hits = result.report.cache_hits;
+    benchmark::DoNotOptimize(result.table);
+  }
+  state.SetLabel(QueryName(static_cast<int>(state.range(0))));
+  state.counters["cache_hits"] = static_cast<double>(hits);
+}
+
+void BM_Eager(benchmark::State& state) {
+  const BenchRepo& repo = GetRepo(kDays, kSeconds);
+  auto wh = OpenWarehouse(core::LoadStrategy::kEager, repo.root);
+  const char* sql = QueryByIndex(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto result = MustQuery(wh.get(), sql);
+    benchmark::DoNotOptimize(result.table);
+  }
+  state.SetLabel(QueryName(static_cast<int>(state.range(0))));
+}
+
+void BM_Lazy_ResultCache(benchmark::State& state) {
+  const BenchRepo& repo = GetRepo(kDays, kSeconds);
+  auto wh = OpenWarehouse(core::LoadStrategy::kLazy, repo.root,
+                          256ULL << 20, /*result_cache=*/true);
+  const char* sql = QueryByIndex(static_cast<int>(state.range(0)));
+  MustQuery(wh.get(), sql);
+  for (auto _ : state) {
+    auto result = MustQuery(wh.get(), sql);
+    benchmark::DoNotOptimize(result.table);
+  }
+  state.SetLabel(QueryName(static_cast<int>(state.range(0))));
+}
+
+BENCHMARK(BM_Lazy_Cold)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Lazy_Hot)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Eager)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Lazy_ResultCache)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lazyetl::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,128 @@
+// E6 — Repository updates (§3.3 lazy refresh; §1 "updating and extending a
+// warehouse with modified and additional files more efficient").
+//
+// A fraction p of the files is rewritten; then either Refresh() is called
+// (explicit re-scan) or, for lazy, the staleness is discovered at query
+// time. Paper-shaped result: eager refresh re-extracts and re-loads every
+// modified file's samples; lazy refresh re-reads only headers, deferring
+// sample extraction to the queries that actually need the changed data.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "bench_util.h"
+#include "mseed/reader.h"
+#include "mseed/synth.h"
+#include "mseed/writer.h"
+
+namespace lazyetl::bench {
+namespace {
+
+constexpr int kDays = 2;
+constexpr double kSeconds = 60.0;
+
+// Rewrites file `f` with new content and a bumped mtime.
+void ModifyFile(const mseed::GeneratedFile& f, uint64_t salt) {
+  auto md = *mseed::ScanMetadata(f.path);
+  mseed::TimeSeries series;
+  series.network = md.network;
+  series.station = md.station;
+  series.location = md.location;
+  series.channel = md.channel;
+  series.start_time = md.start_time;
+  series.sample_rate = md.sample_rate;
+  mseed::SynthOptions synth;
+  synth.seed = 777 + salt;
+  series.samples = mseed::GenerateSeismogram(
+      static_cast<size_t>(kSeconds * md.sample_rate), synth);
+  (void)mseed::WriteMseedFile(f.path, series, mseed::WriterOptions{});
+  std::filesystem::last_write_time(
+      f.path, std::filesystem::file_time_type::clock::now() +
+                  std::chrono::seconds(2));
+}
+
+void RunRefresh(benchmark::State& state, core::LoadStrategy strategy) {
+  int percent = static_cast<int>(state.range(0));
+  // A private copy of the repository so modifications do not leak into
+  // other benchmarks.
+  static int instance = 0;
+  std::string root =
+      (std::filesystem::temp_directory_path() /
+       ("lazyetl_bench_refresh_" + std::to_string(instance++)))
+          .string();
+  std::filesystem::remove_all(root);
+  auto repo = *mseed::GenerateRepository(root, ScaledConfig(kDays, kSeconds));
+
+  auto wh = OpenWarehouse(strategy, root);
+  uint64_t bytes_read = 0;
+  size_t modified = 0;
+  uint64_t salt = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    size_t count = repo.files.size() * percent / 100;
+    if (count == 0) count = percent > 0 ? 1 : 0;
+    for (size_t i = 0; i < count; ++i) ModifyFile(repo.files[i], ++salt);
+    state.ResumeTiming();
+    auto stats = wh->Refresh();
+    if (!stats.ok()) {
+      state.SkipWithError(stats.status().ToString().c_str());
+      return;
+    }
+    bytes_read = stats->bytes_read;
+    modified = stats->modified_files;
+  }
+  state.counters["modified_files"] = static_cast<double>(modified);
+  state.counters["bytes_read"] = static_cast<double>(bytes_read);
+}
+
+void BM_Refresh_Eager(benchmark::State& state) {
+  RunRefresh(state, core::LoadStrategy::kEager);
+}
+void BM_Refresh_Lazy(benchmark::State& state) {
+  RunRefresh(state, core::LoadStrategy::kLazy);
+}
+
+// Lazy staleness discovered at query time, without calling Refresh().
+void BM_Refresh_LazyAtQueryTime(benchmark::State& state) {
+  static int instance = 0;
+  std::string root =
+      (std::filesystem::temp_directory_path() /
+       ("lazyetl_bench_refreshq_" + std::to_string(instance++)))
+          .string();
+  std::filesystem::remove_all(root);
+  auto repo = *mseed::GenerateRepository(root, ScaledConfig(kDays, kSeconds));
+  auto wh = OpenWarehouse(core::LoadStrategy::kLazy, root);
+  // Warm: extract ISK/BHE once.
+  MustQuery(wh.get(), kQ1);
+  uint64_t salt = 100000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (const auto& f : repo.files) {
+      if (f.station == "ISK" && f.channel == "BHE") ModifyFile(f, ++salt);
+    }
+    state.ResumeTiming();
+    // The query notices stale metadata/cache entries and re-extracts.
+    auto result = MustQuery(wh.get(), kQ1);
+    benchmark::DoNotOptimize(result.table);
+  }
+}
+
+BENCHMARK(BM_Refresh_Eager)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(50)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Refresh_Lazy)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(50)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Refresh_LazyAtQueryTime)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lazyetl::bench
+
+BENCHMARK_MAIN();

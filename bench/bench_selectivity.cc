@@ -1,0 +1,87 @@
+// E7 — Query selectivity sweep (§3.1: "In the worst case, the required
+// subset of actual data ... is the entire repository").
+//
+// A time-window predicate selects a growing fraction of each channel-day;
+// the benchmark reports lazy cold-cache latency and extraction volume per
+// selectivity, against the eager baseline.
+//
+// Paper-shaped result: lazy cost scales with the selected fraction and
+// approaches (slightly exceeds, due to per-query extraction overhead) the
+// eager in-warehouse cost at 100%.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_util.h"
+#include "common/time.h"
+
+namespace lazyetl::bench {
+namespace {
+
+constexpr int kDays = 1;
+constexpr double kSeconds = 120.0;
+
+// Selects `percent` of each file's time span across the whole repository.
+std::string WindowQuery(const mseed::GeneratedRepository& repo, int percent) {
+  NanoTime t0 = repo.files[0].start_time;
+  NanoTime t1 = t0 + static_cast<NanoTime>(kSeconds * 1e9 * percent / 100.0);
+  return "SELECT COUNT(*), AVG(D.sample_value) FROM mseed.dataview "
+         "WHERE D.sample_time >= '" + FormatTimestamp(t0) +
+         "' AND D.sample_time < '" + FormatTimestamp(t1) + "'";
+}
+
+void BM_Selectivity_LazyCold(benchmark::State& state) {
+  const BenchRepo& repo = GetRepo(kDays, kSeconds);
+  int percent = static_cast<int>(state.range(0));
+  auto wh = OpenWarehouse(core::LoadStrategy::kLazy, repo.root);
+  std::string sql = WindowQuery(repo.info, percent);
+  uint64_t extracted = 0;
+  uint64_t requested = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    wh->ClearCaches();
+    state.ResumeTiming();
+    auto result = MustQuery(wh.get(), sql);
+    extracted = result.report.records_extracted;
+    requested = result.report.records_requested;
+    benchmark::DoNotOptimize(result.table);
+  }
+  state.counters["selectivity_pct"] = percent;
+  state.counters["records_requested"] = static_cast<double>(requested);
+  state.counters["records_extracted"] = static_cast<double>(extracted);
+  state.counters["repo_records"] =
+      static_cast<double>(repo.info.total_records);
+}
+
+void BM_Selectivity_Eager(benchmark::State& state) {
+  const BenchRepo& repo = GetRepo(kDays, kSeconds);
+  int percent = static_cast<int>(state.range(0));
+  auto wh = OpenWarehouse(core::LoadStrategy::kEager, repo.root);
+  std::string sql = WindowQuery(repo.info, percent);
+  for (auto _ : state) {
+    auto result = MustQuery(wh.get(), sql);
+    benchmark::DoNotOptimize(result.table);
+  }
+  state.counters["selectivity_pct"] = percent;
+}
+
+BENCHMARK(BM_Selectivity_LazyCold)
+    ->Arg(1)
+    ->Arg(5)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Selectivity_Eager)
+    ->Arg(1)
+    ->Arg(5)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lazyetl::bench
+
+BENCHMARK_MAIN();

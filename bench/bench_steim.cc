@@ -1,0 +1,107 @@
+// E8 — Substrate ablation: Steim-1 vs Steim-2 vs raw INT32 codec
+// throughput and compression ratio on realistic seismic waveforms.
+//
+// This explains the shape of E1 and E4: decoding Steim frames dominates
+// eager loading, while the compression ratio (≈1-2 bytes/sample vs 12-16
+// bytes/sample decoded) drives the storage blow-up factor.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "mseed/steim.h"
+#include "mseed/synth.h"
+
+namespace lazyetl::mseed {
+namespace {
+
+std::vector<int32_t> RealisticSamples(size_t n) {
+  SynthOptions opt;
+  opt.seed = 4242;
+  return GenerateSeismogram(n, opt);
+}
+
+void BM_Steim1_Encode(benchmark::State& state) {
+  auto samples = RealisticSamples(static_cast<size_t>(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto enc = Steim1Encode(samples, 1 << 20, samples[0]);
+    bytes = enc->frames.size();
+    benchmark::DoNotOptimize(enc->frames);
+  }
+  state.SetItemsProcessed(state.iterations() * samples.size());
+  state.counters["bytes_per_sample"] =
+      static_cast<double>(bytes) / static_cast<double>(samples.size());
+}
+
+void BM_Steim2_Encode(benchmark::State& state) {
+  auto samples = RealisticSamples(static_cast<size_t>(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto enc = Steim2Encode(samples, 1 << 20, samples[0]);
+    bytes = enc->frames.size();
+    benchmark::DoNotOptimize(enc->frames);
+  }
+  state.SetItemsProcessed(state.iterations() * samples.size());
+  state.counters["bytes_per_sample"] =
+      static_cast<double>(bytes) / static_cast<double>(samples.size());
+}
+
+void BM_Steim1_Decode(benchmark::State& state) {
+  auto samples = RealisticSamples(static_cast<size_t>(state.range(0)));
+  auto enc = *Steim1Encode(samples, 1 << 20, samples[0]);
+  for (auto _ : state) {
+    auto dec = Steim1Decode(enc.frames.data(), enc.frames.size(),
+                            samples.size());
+    benchmark::DoNotOptimize(*dec);
+  }
+  state.SetItemsProcessed(state.iterations() * samples.size());
+}
+
+void BM_Steim2_Decode(benchmark::State& state) {
+  auto samples = RealisticSamples(static_cast<size_t>(state.range(0)));
+  auto enc = *Steim2Encode(samples, 1 << 20, samples[0]);
+  for (auto _ : state) {
+    auto dec = Steim2Decode(enc.frames.data(), enc.frames.size(),
+                            samples.size());
+    benchmark::DoNotOptimize(*dec);
+  }
+  state.SetItemsProcessed(state.iterations() * samples.size());
+}
+
+// Raw int32 "decode" baseline: byte-swap copy.
+void BM_Int32_Decode(benchmark::State& state) {
+  auto samples = RealisticSamples(static_cast<size_t>(state.range(0)));
+  std::vector<uint8_t> raw(samples.size() * 4);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    uint32_t v = static_cast<uint32_t>(samples[i]);
+    raw[4 * i] = static_cast<uint8_t>(v >> 24);
+    raw[4 * i + 1] = static_cast<uint8_t>(v >> 16);
+    raw[4 * i + 2] = static_cast<uint8_t>(v >> 8);
+    raw[4 * i + 3] = static_cast<uint8_t>(v);
+  }
+  for (auto _ : state) {
+    std::vector<int32_t> out(samples.size());
+    for (size_t i = 0; i < samples.size(); ++i) {
+      out[i] = static_cast<int32_t>(
+          (static_cast<uint32_t>(raw[4 * i]) << 24) |
+          (static_cast<uint32_t>(raw[4 * i + 1]) << 16) |
+          (static_cast<uint32_t>(raw[4 * i + 2]) << 8) |
+          static_cast<uint32_t>(raw[4 * i + 3]));
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * samples.size());
+  state.counters["bytes_per_sample"] = 4.0;
+}
+
+BENCHMARK(BM_Steim1_Encode)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_Steim2_Encode)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_Steim1_Decode)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_Steim2_Decode)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_Int32_Decode)->Arg(4096)->Arg(65536);
+
+}  // namespace
+}  // namespace lazyetl::mseed
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// E4 — Storage footprint (§4: "a SEED repository requires up to 10 times
+// the original storage size when loaded into a database").
+//
+// Measures: repository bytes (Steim-2 compressed mSEED), the eager
+// warehouse's on-disk footprint after a full load, its in-memory catalog
+// footprint, and the lazy warehouse's metadata-only footprint.
+//
+// Paper-shaped result: eager blow-up factor in the 5-15x range; lazy
+// metadata footprint is a tiny fraction of the repository.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "bench_util.h"
+#include "storage/persist.h"
+
+namespace lazyetl::bench {
+namespace {
+
+void BM_Storage_EagerFootprint(benchmark::State& state) {
+  int days = static_cast<int>(state.range(0));
+  const BenchRepo& repo = GetRepo(days, /*seconds=*/60.0);
+  std::string persist_dir =
+      (std::filesystem::temp_directory_path() /
+       ("lazyetl_bench_persist_" + std::to_string(days)))
+          .string();
+
+  uint64_t warehouse_bytes = 0;
+  uint64_t memory_bytes = 0;
+  for (auto _ : state) {
+    std::filesystem::remove_all(persist_dir);
+    core::WarehouseOptions options;
+    options.strategy = core::LoadStrategy::kEager;
+    options.persist_dir = persist_dir;
+    auto wh = *core::Warehouse::Open(options);
+    auto stats = wh->AttachRepository(repo.root);
+    if (!stats.ok()) {
+      state.SkipWithError(stats.status().ToString().c_str());
+      return;
+    }
+    warehouse_bytes = *storage::DirectoryBytes(persist_dir);
+    memory_bytes = wh->Stats().catalog_bytes;
+  }
+  state.counters["repo_bytes"] = static_cast<double>(repo.info.total_bytes);
+  state.counters["warehouse_disk_bytes"] =
+      static_cast<double>(warehouse_bytes);
+  state.counters["warehouse_mem_bytes"] = static_cast<double>(memory_bytes);
+  state.counters["blowup_disk"] =
+      static_cast<double>(warehouse_bytes) /
+      static_cast<double>(repo.info.total_bytes);
+  state.counters["blowup_mem"] =
+      static_cast<double>(memory_bytes) /
+      static_cast<double>(repo.info.total_bytes);
+}
+
+void BM_Storage_LazyMetadataFootprint(benchmark::State& state) {
+  int days = static_cast<int>(state.range(0));
+  const BenchRepo& repo = GetRepo(days, /*seconds=*/60.0);
+  uint64_t memory_bytes = 0;
+  for (auto _ : state) {
+    auto wh = OpenWarehouse(core::LoadStrategy::kLazy, repo.root);
+    memory_bytes = wh->Stats().catalog_bytes;
+    benchmark::DoNotOptimize(wh);
+  }
+  state.counters["repo_bytes"] = static_cast<double>(repo.info.total_bytes);
+  state.counters["metadata_bytes"] = static_cast<double>(memory_bytes);
+  state.counters["metadata_fraction"] =
+      static_cast<double>(memory_bytes) /
+      static_cast<double>(repo.info.total_bytes);
+}
+
+BENCHMARK(BM_Storage_EagerFootprint)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Storage_LazyMetadataFootprint)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lazyetl::bench
+
+BENCHMARK_MAIN();

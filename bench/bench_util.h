@@ -1,0 +1,116 @@
+// Shared benchmark scaffolding: repository generation with caching across
+// benchmark iterations, warehouse construction, and the canonical query
+// workload (Fig. 1 of the paper, adapted to the generated days).
+
+#ifndef LAZYETL_BENCH_BENCH_UTIL_H_
+#define LAZYETL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/warehouse.h"
+#include "mseed/repository.h"
+
+namespace lazyetl::bench {
+
+// A generated repository cached by configuration key so each benchmark
+// binary generates every size exactly once.
+struct BenchRepo {
+  std::string root;
+  mseed::GeneratedRepository info;
+};
+
+inline mseed::RepositoryConfig ScaledConfig(int days, double seconds) {
+  mseed::RepositoryConfig cfg = mseed::DefaultDemoConfig();
+  cfg.num_days = days;
+  cfg.seconds_per_segment = seconds;
+  return cfg;
+}
+
+// Returns (and lazily creates) the repository for (days, seconds).
+inline const BenchRepo& GetRepo(int days, double seconds) {
+  static auto* cache = new std::map<std::pair<int, int>, BenchRepo>();
+  auto key = std::make_pair(days, static_cast<int>(seconds));
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second;
+
+  std::string root =
+      (std::filesystem::temp_directory_path() /
+       ("lazyetl_bench_" + std::to_string(days) + "d_" +
+        std::to_string(static_cast<int>(seconds)) + "s_" +
+        std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(root);
+  auto repo = mseed::GenerateRepository(root, ScaledConfig(days, seconds));
+  if (!repo.ok()) {
+    std::fprintf(stderr, "bench repo generation failed: %s\n",
+                 repo.status().ToString().c_str());
+    std::abort();
+  }
+  BenchRepo entry{root, *repo};
+  return cache->emplace(key, std::move(entry)).first->second;
+}
+
+inline std::unique_ptr<core::Warehouse> OpenWarehouse(
+    core::LoadStrategy strategy, const std::string& root,
+    uint64_t cache_budget = 256ULL << 20, bool result_cache = false) {
+  core::WarehouseOptions options;
+  options.strategy = strategy;
+  options.cache_budget_bytes = cache_budget;
+  options.enable_result_cache = result_cache;
+  auto wh = core::Warehouse::Open(options);
+  if (!wh.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", wh.status().ToString().c_str());
+    std::abort();
+  }
+  auto stats = (*wh)->AttachRepository(root);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "attach failed: %s\n",
+                 stats.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*wh);
+}
+
+// Fig. 1 Q1 (STA window at ISK/BHE) over the generated first day.
+inline const char* kQ1 =
+    "SELECT AVG(D.sample_value) FROM mseed.dataview "
+    "WHERE F.station = 'ISK' AND F.channel = 'BHE' "
+    "AND R.start_time > '2010-01-10T00:00:00.000' "
+    "AND R.start_time < '2010-01-10T23:59:59.999' "
+    "AND D.sample_time > '2010-01-10T00:00:10.000' "
+    "AND D.sample_time < '2010-01-10T00:00:12.000'";
+
+// Fig. 1 Q2 (min/max per NL station on BHZ).
+inline const char* kQ2 =
+    "SELECT F.station, MIN(D.sample_value), MAX(D.sample_value) "
+    "FROM mseed.dataview WHERE F.network = 'NL' AND F.channel = 'BHZ' "
+    "GROUP BY F.station";
+
+// Whole-repository aggregate (the §3.1 worst case).
+inline const char* kQFull =
+    "SELECT COUNT(*), AVG(D.sample_value) FROM mseed.dataview";
+
+// Metadata-only browsing query (never touches waveforms).
+inline const char* kQBrowse =
+    "SELECT network, station, COUNT(*) FROM mseed.files "
+    "GROUP BY network, station ORDER BY network, station";
+
+inline core::QueryResult MustQuery(core::Warehouse* wh,
+                                   const std::string& sql) {
+  auto result = wh->Query(sql);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n  %s\n",
+                 result.status().ToString().c_str(), sql.c_str());
+    std::abort();
+  }
+  return std::move(*result);
+}
+
+}  // namespace lazyetl::bench
+
+#endif  // LAZYETL_BENCH_BENCH_UTIL_H_

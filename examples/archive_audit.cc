@@ -1,0 +1,86 @@
+// Archive audit: data-quality assessment and station inventory browsing —
+// entirely from metadata. Under the lazy strategy not a single waveform
+// sample is extracted, which is exactly the workload profile where lazy
+// ETL beats eager ETL by the width of the initial-loading gap.
+//
+// Usage: archive_audit [repository-dir]
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+
+#include "core/quality.h"
+#include "core/warehouse.h"
+#include "mseed/repository.h"
+
+namespace {
+
+using lazyetl::core::LoadStrategy;
+using lazyetl::core::Warehouse;
+
+int Fail(const lazyetl::Status& st) {
+  std::cerr << "error: " << st.ToString() << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  if (argc > 1) {
+    root = argv[1];
+  } else {
+    root = (std::filesystem::temp_directory_path() / "lazyetl_audit").string();
+    std::filesystem::remove_all(root);
+    auto cfg = lazyetl::mseed::DefaultDemoConfig();
+    cfg.seconds_per_segment = 90.0;
+    auto repo = lazyetl::mseed::GenerateRepository(root, cfg);
+    if (!repo.ok()) return Fail(repo.status());
+    std::cout << "Generated demo repository with "
+              << repo->files.size() << " files under " << root << "\n\n";
+  }
+
+  lazyetl::core::WarehouseOptions options;
+  options.strategy = LoadStrategy::kLazy;
+  auto wh = Warehouse::Open(options);
+  if (!wh.ok()) return Fail(wh.status());
+  auto load = (*wh)->AttachRepository(root);
+  if (!load.ok()) return Fail(load.status());
+  std::printf("Attached in %.3f ms (metadata only: %llu bytes read)\n\n",
+              load->seconds * 1e3,
+              static_cast<unsigned long long>(load->bytes_read));
+
+  // Station inventory from the dataless SEED control headers.
+  auto stations = (*wh)->Query(
+      "SELECT network, station, latitude, longitude, elevation, site_name "
+      "FROM mseed.stations ORDER BY network, station");
+  if (!stations.ok()) return Fail(stations.status());
+  std::cout << "Station inventory (from control headers):\n"
+            << stations->table.ToString(50) << "\n";
+
+  // Holdings summary per network.
+  auto holdings = (*wh)->Query(
+      "SELECT network, COUNT(*) AS files, SUM(file_size) AS bytes, "
+      "MIN(start_time) AS earliest, MAX(end_time) AS latest "
+      "FROM mseed.files GROUP BY network ORDER BY network");
+  if (!holdings.ok()) return Fail(holdings.status());
+  std::cout << "Holdings per network:\n" << holdings->table.ToString(50)
+            << "\n";
+
+  // Continuity assessment per channel.
+  auto report = lazyetl::core::AssessQuality(wh->get(),
+                                             lazyetl::core::QualityOptions{});
+  if (!report.ok()) return Fail(report.status());
+  std::cout << "Channel continuity:\n";
+  for (const auto& q : *report) {
+    std::cout << "  " << lazyetl::core::QualityToString(q) << "\n";
+  }
+
+  auto stats = (*wh)->Stats();
+  std::printf(
+      "\nThe whole audit extracted %llu waveform records (cache entries: "
+      "%llu) — metadata answered everything.\n",
+      static_cast<unsigned long long>(stats.cache.misses),
+      static_cast<unsigned long long>(stats.cache.entries));
+  return 0;
+}

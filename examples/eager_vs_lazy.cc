@@ -1,0 +1,110 @@
+// Side-by-side comparison of eager and lazy ETL (demo point 3): generates
+// a repository, bootstraps one warehouse of each strategy, and reports the
+// time from data availability to each query answer.
+//
+// Usage: eager_vs_lazy [minutes-per-channel] (default 2)
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <vector>
+
+#include "common/time.h"
+#include "core/warehouse.h"
+#include "mseed/repository.h"
+
+namespace {
+
+using lazyetl::Stopwatch;
+using lazyetl::core::LoadStrategy;
+using lazyetl::core::Warehouse;
+
+int Fail(const lazyetl::Status& st) {
+  std::cerr << "error: " << st.ToString() << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double minutes = argc > 1 ? std::atof(argv[1]) : 2.0;
+  std::string root =
+      (std::filesystem::temp_directory_path() / "lazyetl_eager_vs_lazy")
+          .string();
+  std::filesystem::remove_all(root);
+
+  auto cfg = lazyetl::mseed::DefaultDemoConfig();
+  cfg.num_days = 2;
+  cfg.seconds_per_segment = minutes * 60.0;
+  std::cout << "Generating repository (" << minutes
+            << " min per channel-day) ...\n";
+  auto repo = lazyetl::mseed::GenerateRepository(root, cfg);
+  if (!repo.ok()) return Fail(repo.status());
+  std::printf("  %zu files, %llu records, %llu samples, %llu bytes\n\n",
+              repo->files.size(),
+              static_cast<unsigned long long>(repo->total_records),
+              static_cast<unsigned long long>(repo->total_samples),
+              static_cast<unsigned long long>(repo->total_bytes));
+
+  const std::vector<std::string> workload = {
+      // Fig. 1 Q1 adapted to the generated day.
+      "SELECT AVG(D.sample_value) FROM mseed.dataview "
+      "WHERE F.station = 'ISK' AND F.channel = 'BHE' "
+      "AND R.start_time > '2010-01-10T00:00:00.000' "
+      "AND R.start_time < '2010-01-10T23:59:59.999' "
+      "AND D.sample_time > '2010-01-10T00:00:10.000' "
+      "AND D.sample_time < '2010-01-10T00:00:12.000'",
+      // Fig. 1 Q2.
+      "SELECT F.station, MIN(D.sample_value), MAX(D.sample_value) "
+      "FROM mseed.dataview WHERE F.network = 'NL' AND F.channel = 'BHZ' "
+      "GROUP BY F.station",
+      // Metadata browsing.
+      "SELECT network, COUNT(*) FROM mseed.files GROUP BY network "
+      "ORDER BY network",
+  };
+
+  struct Row {
+    const char* label;
+    double load_ms;
+    std::vector<double> query_ms;
+    double total_ms;
+  };
+  std::vector<Row> rows;
+
+  for (LoadStrategy strategy :
+       {LoadStrategy::kEager, LoadStrategy::kLazy,
+        LoadStrategy::kLazyFilenameOnly}) {
+    lazyetl::core::WarehouseOptions options;
+    options.strategy = strategy;
+    auto wh = Warehouse::Open(options);
+    if (!wh.ok()) return Fail(wh.status());
+    Stopwatch total;
+    auto load = (*wh)->AttachRepository(root);
+    if (!load.ok()) return Fail(load.status());
+    Row row;
+    row.label = lazyetl::core::LoadStrategyToString(strategy);
+    row.load_ms = load->seconds * 1e3;
+    for (const auto& sql : workload) {
+      auto result = (*wh)->Query(sql);
+      if (!result.ok()) return Fail(result.status());
+      row.query_ms.push_back(result->report.total_seconds * 1e3);
+    }
+    row.total_ms = total.ElapsedSeconds() * 1e3;
+    rows.push_back(row);
+  }
+
+  std::printf("%-20s %12s %10s %10s %10s %14s\n", "strategy", "initial load",
+              "Q1", "Q2", "browse", "total-to-done");
+  for (const auto& row : rows) {
+    std::printf("%-20s %10.2fms %8.2fms %8.2fms %8.2fms %12.2fms\n",
+                row.label, row.load_ms, row.query_ms[0], row.query_ms[1],
+                row.query_ms[2], row.total_ms);
+  }
+  std::cout <<
+      "\nThe lazy strategies answer the first analytical query orders of\n"
+      "magnitude sooner after data availability; eager pays the full\n"
+      "extract-transform-load cost up front but has the data resident for\n"
+      "subsequent queries.\n";
+  return 0;
+}

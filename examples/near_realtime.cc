@@ -1,0 +1,116 @@
+// Near-real-time lazy ETL: a live archive grows while analysts query it.
+//
+// The paper positions lazy ETL "as a step forward in the 'near real-time
+// ETL' vision put by Dayal et al.": because refreshment is folded into
+// query processing, newly appended records become visible to the very next
+// query without any reload job. This example simulates a station feeding
+// 10-second packets into its day file and interleaves analytical queries.
+//
+// Usage: near_realtime [rounds]   (default 6)
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+
+#include "common/time.h"
+#include "core/warehouse.h"
+#include "mseed/reader.h"
+#include "mseed/repository.h"
+#include "mseed/synth.h"
+#include "mseed/writer.h"
+
+namespace {
+
+using lazyetl::NanoTime;
+using lazyetl::kNanosPerSecond;
+using lazyetl::core::LoadStrategy;
+using lazyetl::core::Warehouse;
+
+int Fail(const lazyetl::Status& st) {
+  std::cerr << "error: " << st.ToString() << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int rounds = argc > 1 ? std::atoi(argv[1]) : 6;
+  std::string root =
+      (std::filesystem::temp_directory_path() / "lazyetl_near_realtime")
+          .string();
+  std::filesystem::remove_all(root);
+
+  // Bootstrap: one station, the first 30 seconds of the day already there.
+  lazyetl::mseed::RepositoryConfig cfg;
+  cfg.stations = {{"NL", "HGN", "02", {"BHZ"}, 40.0, 50.764, 5.9317, 135.0,
+                   "HEIMANSGROEVE, NETHERLANDS"}};
+  cfg.num_days = 1;
+  cfg.seconds_per_segment = 30.0;
+  auto repo = lazyetl::mseed::GenerateRepository(root, cfg);
+  if (!repo.ok()) return Fail(repo.status());
+  const std::string live_file = repo->files[0].path;
+
+  lazyetl::core::WarehouseOptions options;
+  options.strategy = LoadStrategy::kLazy;
+  auto wh = Warehouse::Open(options);
+  if (!wh.ok()) return Fail(wh.status());
+  if (auto load = (*wh)->AttachRepository(root); !load.ok()) {
+    return Fail(load.status());
+  }
+
+  const std::string count_sql =
+      "SELECT COUNT(*), MAX(D.sample_time) FROM mseed.dataview "
+      "WHERE F.station = 'HGN'";
+
+  std::printf("%-7s %12s %26s %10s %9s\n", "round", "samples", "newest sample",
+              "stale?", "query ms");
+  for (int round = 0; round < rounds; ++round) {
+    // The analyst queries the live channel...
+    auto result = (*wh)->Query(count_sql);
+    if (!result.ok()) return Fail(result.status());
+    int64_t samples = result->table.GetValue(0, 0).int64_value();
+    NanoTime newest = result->table.GetValue(0, 1).timestamp_value();
+    bool noticed_update = result->report.cache_stale > 0 ||
+                          result->report.records_extracted > 0;
+    std::printf("%-7d %12lld %26s %10s %9.3f\n", round,
+                static_cast<long long>(samples),
+                lazyetl::FormatTimestamp(newest).c_str(),
+                round == 0 ? "-" : (noticed_update ? "refresh" : "cached"),
+                result->report.total_seconds * 1e3);
+
+    // ... while the digitiser appends another 10-second packet.
+    auto md = lazyetl::mseed::ScanMetadata(live_file);
+    if (!md.ok()) return Fail(md.status());
+    lazyetl::mseed::TimeSeries packet;
+    packet.network = md->network;
+    packet.station = md->station;
+    packet.location = md->location;
+    packet.channel = md->channel;
+    packet.sample_rate = md->sample_rate;
+    packet.start_time =
+        md->end_time + static_cast<NanoTime>(1e9 / md->sample_rate);
+    lazyetl::mseed::SynthOptions synth;
+    synth.seed = 777 + static_cast<uint64_t>(round);
+    packet.samples = lazyetl::mseed::GenerateSeismogram(
+        static_cast<size_t>(10 * md->sample_rate), synth);
+    auto appended = lazyetl::mseed::AppendToMseedFile(
+        live_file, packet, lazyetl::mseed::WriterOptions{},
+        static_cast<int32_t>(md->records.size()) + 1);
+    if (!appended.ok()) return Fail(appended.status());
+    // Nudge the mtime so coarse-grained filesystems still show the change.
+    std::filesystem::last_write_time(
+        live_file, std::filesystem::file_time_type::clock::now() +
+                       std::chrono::seconds(1 + round));
+  }
+
+  auto final_result = (*wh)->Query(count_sql);
+  if (!final_result.ok()) return Fail(final_result.status());
+  std::printf(
+      "\nFinal count %lld — every append became visible to the next query "
+      "with no reload job;\nstale cache entries were re-extracted lazily "
+      "(%llu stale detections total).\n",
+      static_cast<long long>(final_result->table.GetValue(0, 0).int64_value()),
+      static_cast<unsigned long long>((*wh)->Stats().cache.stale));
+  return 0;
+}

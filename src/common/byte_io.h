@@ -1,0 +1,53 @@
+// Big-endian byte packing helpers.
+//
+// mSEED (SEED 2.4) records are big-endian on the wire (blockette 1000 can
+// flag little-endian, but in practice and in this library records are
+// written big-endian). These helpers read/write integers at arbitrary byte
+// offsets without alignment requirements.
+
+#ifndef LAZYETL_COMMON_BYTE_IO_H_
+#define LAZYETL_COMMON_BYTE_IO_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace lazyetl {
+
+inline void WriteBE16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v >> 8);
+  p[1] = static_cast<uint8_t>(v);
+}
+
+inline void WriteBE32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+
+inline uint16_t ReadBE16(const uint8_t* p) {
+  return static_cast<uint16_t>((p[0] << 8) | p[1]);
+}
+
+inline uint32_t ReadBE32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
+}
+
+inline void WriteBE16s(uint8_t* p, int16_t v) {
+  WriteBE16(p, static_cast<uint16_t>(v));
+}
+inline void WriteBE32s(uint8_t* p, int32_t v) {
+  WriteBE32(p, static_cast<uint32_t>(v));
+}
+inline int16_t ReadBE16s(const uint8_t* p) {
+  return static_cast<int16_t>(ReadBE16(p));
+}
+inline int32_t ReadBE32s(const uint8_t* p) {
+  return static_cast<int32_t>(ReadBE32(p));
+}
+
+}  // namespace lazyetl
+
+#endif  // LAZYETL_COMMON_BYTE_IO_H_

@@ -1,0 +1,80 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace lazyetl {
+
+const char* LogCategoryToString(LogCategory c) {
+  switch (c) {
+    case LogCategory::kGeneral:
+      return "general";
+    case LogCategory::kMetadataLoad:
+      return "metadata-load";
+    case LogCategory::kEagerLoad:
+      return "eager-load";
+    case LogCategory::kPlan:
+      return "plan";
+    case LogCategory::kRewrite:
+      return "rewrite";
+    case LogCategory::kExtract:
+      return "extract";
+    case LogCategory::kTransform:
+      return "transform";
+    case LogCategory::kCache:
+      return "cache";
+    case LogCategory::kQuery:
+      return "query";
+    case LogCategory::kRefresh:
+      return "refresh";
+  }
+  return "unknown";
+}
+
+OperationLog& OperationLog::Global() {
+  static OperationLog& instance = *new OperationLog();
+  return instance;
+}
+
+void OperationLog::Append(LogCategory category, std::string message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LogEntry e;
+  e.seq = next_seq_++;
+  e.category = category;
+  e.message = std::move(message);
+  if (echo_) {
+    std::fprintf(stderr, "[%s] %s\n", LogCategoryToString(e.category),
+                 e.message.c_str());
+  }
+  entries_.push_back(std::move(e));
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+std::vector<LogEntry> OperationLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {entries_.begin(), entries_.end()};
+}
+
+std::vector<LogEntry> OperationLog::EntriesSince(int64_t after_seq) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LogEntry> out;
+  for (const auto& e : entries_) {
+    if (e.seq > after_seq) out.push_back(e);
+  }
+  return out;
+}
+
+int64_t OperationLog::LastSeq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+void OperationLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+void LogOp(LogCategory category, std::string message) {
+  OperationLog::Global().Append(category, std::move(message));
+}
+
+}  // namespace lazyetl

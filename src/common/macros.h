@@ -1,0 +1,36 @@
+// Error-propagation macros used throughout lazyetl.
+
+#ifndef LAZYETL_COMMON_MACROS_H_
+#define LAZYETL_COMMON_MACROS_H_
+
+#include "common/result.h"
+#include "common/status.h"
+
+#define LAZYETL_CONCAT_IMPL(x, y) x##y
+#define LAZYETL_CONCAT(x, y) LAZYETL_CONCAT_IMPL(x, y)
+
+// Evaluates `expr` (a Status); returns it from the enclosing function if not OK.
+#define LAZYETL_RETURN_NOT_OK(expr)                    \
+  do {                                                 \
+    ::lazyetl::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                         \
+  } while (false)
+
+// Evaluates `expr` (a Result<T>); on error returns its Status, otherwise
+// assigns the value to `lhs` (which may include a declaration).
+#define LAZYETL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)  \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).MoveValueUnsafe()
+
+#define LAZYETL_ASSIGN_OR_RETURN(lhs, expr) \
+  LAZYETL_ASSIGN_OR_RETURN_IMPL(LAZYETL_CONCAT(_res_, __LINE__), lhs, expr)
+
+// Internal invariant check that produces Status::Internal instead of
+// aborting; used for conditions that indicate a lazyetl bug.
+#define LAZYETL_CHECK_INTERNAL(cond, msg)                          \
+  do {                                                             \
+    if (!(cond)) return ::lazyetl::Status::Internal(msg);          \
+  } while (false)
+
+#endif  // LAZYETL_COMMON_MACROS_H_

@@ -1,0 +1,69 @@
+// Result<T>: value-or-Status, the return type of fallible producers.
+//
+// Mirrors arrow::Result. A Result is either a T (ok) or an error Status,
+// never both and never neither. Use together with the macros in macros.h:
+//
+//   LAZYETL_ASSIGN_OR_RETURN(auto table, catalog.GetTable("files"));
+
+#ifndef LAZYETL_COMMON_RESULT_H_
+#define LAZYETL_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace lazyetl {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error Status keeps call sites
+  // terse (`return 42;` / `return Status::NotFound(...)`).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  // Status of this result; Status::OK() if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  // Precondition: ok(). Accessing the value of an error result is a
+  // programming error; we keep these unchecked for speed in release builds
+  // but the std::variant access will throw in debug scenarios.
+  const T& ValueOrDie() const& { return std::get<T>(repr_); }
+  T& ValueOrDie() & { return std::get<T>(repr_); }
+  T&& ValueOrDie() && { return std::get<T>(std::move(repr_)); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::get<T>(std::move(repr_)); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  // Moves the value out, leaving the Result in a valid but unspecified state.
+  T MoveValueUnsafe() { return std::get<T>(std::move(repr_)); }
+
+  template <typename U>
+  T ValueOr(U&& fallback) const& {
+    return ok() ? ValueOrDie() : static_cast<T>(std::forward<U>(fallback));
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace lazyetl
+
+#endif  // LAZYETL_COMMON_RESULT_H_

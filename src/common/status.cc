@@ -1,0 +1,48 @@
+#include "common/status.h"
+
+namespace lazyetl {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kIOError:
+      return "io-error";
+    case StatusCode::kCorruptData:
+      return "corrupt-data";
+    case StatusCode::kNotImplemented:
+      return "not-implemented";
+    case StatusCode::kParseError:
+      return "parse-error";
+    case StatusCode::kBindError:
+      return "bind-error";
+    case StatusCode::kExecutionError:
+      return "execution-error";
+    case StatusCode::kResourceExhausted:
+      return "resource-exhausted";
+    case StatusCode::kAlreadyExists:
+      return "already-exists";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  return Status(code(), context + ": " + message());
+}
+
+}  // namespace lazyetl

@@ -1,0 +1,131 @@
+// Status: lightweight error propagation for the lazyetl library.
+//
+// Modeled after the Arrow/RocksDB Status idiom: functions that can fail
+// return a Status (or a Result<T>, see result.h) instead of throwing.
+// A Status is cheap to copy when OK (no allocation) and carries an error
+// code plus a human-readable message otherwise.
+
+#ifndef LAZYETL_COMMON_STATUS_H_
+#define LAZYETL_COMMON_STATUS_H_
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace lazyetl {
+
+// Error taxonomy for the whole library. Keep the list short and generic;
+// module-specific context belongs in the message.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   // caller passed something malformed
+  kNotFound = 2,          // file / table / column / cache entry missing
+  kIOError = 3,           // filesystem or read/write failure
+  kCorruptData = 4,       // malformed mSEED record, bad checksum, etc.
+  kNotImplemented = 5,    // feature outside the supported subset
+  kParseError = 6,        // SQL text could not be parsed
+  kBindError = 7,         // SQL referenced unknown tables/columns
+  kExecutionError = 8,    // runtime failure inside the engine
+  kResourceExhausted = 9, // cache/memory budget exceeded hard limit
+  kAlreadyExists = 10,    // duplicate table/view/file registration
+  kInternal = 11,         // invariant violation (a bug in lazyetl)
+};
+
+// Returns a stable lowercase name for the code, e.g. "invalid-argument".
+const char* StatusCodeToString(StatusCode code);
+
+class Status {
+ public:
+  // An OK status: the default.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(message)});
+    }
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status CorruptData(std::string msg) {
+    return Status(StatusCode::kCorruptData, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsCorruptData() const { return code() == StatusCode::kCorruptData; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsBindError() const { return code() == StatusCode::kBindError; }
+  bool IsExecutionError() const { return code() == StatusCode::kExecutionError; }
+  bool IsResourceExhausted() const { return code() == StatusCode::kResourceExhausted; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  // "OK" or "<code-name>: <message>".
+  std::string ToString() const;
+
+  // Returns a copy of this status with `context` prepended to the message.
+  // No-op on OK statuses. Used when re-raising an error up a layer.
+  Status WithContext(const std::string& context) const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // Null when OK; shared so copies are cheap.
+  std::shared_ptr<State> state_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+}  // namespace lazyetl
+
+#endif  // LAZYETL_COMMON_STATUS_H_

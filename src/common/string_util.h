@@ -1,0 +1,42 @@
+// Small string helpers shared across modules.
+
+#ifndef LAZYETL_COMMON_STRING_UTIL_H_
+#define LAZYETL_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace lazyetl {
+
+// Uppercases ASCII in place-copy fashion.
+std::string ToUpperAscii(const std::string& s);
+
+// Lowercases ASCII.
+std::string ToLowerAscii(const std::string& s);
+
+// Strips leading/trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
+// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(const std::string& s, const std::string& prefix);
+bool EndsWith(const std::string& s, const std::string& suffix);
+
+// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+// Pads/truncates `s` to exactly `width` chars with trailing spaces — the
+// convention for fixed-width ASCII fields in SEED headers.
+std::string FixedWidth(const std::string& s, size_t width);
+
+// Human-readable byte count, e.g. "1.5 MiB".
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace lazyetl
+
+#endif  // LAZYETL_COMMON_STRING_UTIL_H_

@@ -1,0 +1,204 @@
+#include "common/time.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lazyetl {
+namespace {
+
+// Days from 1970-01-01 to the first day of `year` (proleptic Gregorian).
+// Uses the classic days-from-civil algorithm (Howard Hinnant).
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned doy = (153u * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1; // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* y_out, int* m_out, int* d_out) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);          // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);          // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                               // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                       // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                            // [1, 12]
+  *y_out = static_cast<int>(y + (m <= 2));
+  *m_out = static_cast<int>(m);
+  *d_out = static_cast<int>(d);
+}
+
+}  // namespace
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+int DayOfYear(int year, int month, int day) {
+  int doy = day;
+  for (int m = 1; m < month; ++m) doy += DaysInMonth(year, m);
+  return doy;
+}
+
+Status MonthDayFromDayOfYear(int year, int doy, int* month, int* day) {
+  if (doy < 1 || doy > (IsLeapYear(year) ? 366 : 365)) {
+    return Status::InvalidArgument("day-of-year out of range: " +
+                                   std::to_string(doy));
+  }
+  int m = 1;
+  while (doy > DaysInMonth(year, m)) {
+    doy -= DaysInMonth(year, m);
+    ++m;
+  }
+  *month = m;
+  *day = doy;
+  return Status::OK();
+}
+
+Result<NanoTime> CivilToNano(const CivilTime& ct) {
+  if (ct.month < 1 || ct.month > 12) {
+    return Status::InvalidArgument("month out of range");
+  }
+  if (ct.day < 1 || ct.day > DaysInMonth(ct.year, ct.month)) {
+    return Status::InvalidArgument("day out of range");
+  }
+  if (ct.hour < 0 || ct.hour > 23 || ct.minute < 0 || ct.minute > 59 ||
+      ct.second < 0 || ct.second > 59) {
+    return Status::InvalidArgument("time-of-day out of range");
+  }
+  if (ct.nanos < 0 || ct.nanos >= kNanosPerSecond) {
+    return Status::InvalidArgument("nanos out of range");
+  }
+  int64_t days = DaysFromCivil(ct.year, ct.month, ct.day);
+  return days * kNanosPerDay + ct.hour * kNanosPerHour +
+         ct.minute * kNanosPerMinute + ct.second * kNanosPerSecond + ct.nanos;
+}
+
+CivilTime NanoToCivil(NanoTime t) {
+  int64_t days = t / kNanosPerDay;
+  int64_t rem = t % kNanosPerDay;
+  if (rem < 0) {
+    rem += kNanosPerDay;
+    --days;
+  }
+  CivilTime ct;
+  CivilFromDays(days, &ct.year, &ct.month, &ct.day);
+  ct.hour = static_cast<int>(rem / kNanosPerHour);
+  rem %= kNanosPerHour;
+  ct.minute = static_cast<int>(rem / kNanosPerMinute);
+  rem %= kNanosPerMinute;
+  ct.second = static_cast<int>(rem / kNanosPerSecond);
+  ct.nanos = rem % kNanosPerSecond;
+  return ct;
+}
+
+Result<NanoTime> ParseTimestamp(const std::string& text) {
+  CivilTime ct;
+  const char* p = text.c_str();
+  char* end = nullptr;
+
+  auto parse_int = [&](int width, int* out) -> bool {
+    int v = 0;
+    for (int i = 0; i < width; ++i) {
+      if (p[i] < '0' || p[i] > '9') return false;
+      v = v * 10 + (p[i] - '0');
+    }
+    *out = v;
+    p += width;
+    return true;
+  };
+  (void)end;
+
+  if (!parse_int(4, &ct.year)) return Status::ParseError("bad year in '" + text + "'");
+  if (*p != '-') return Status::ParseError("expected '-' after year in '" + text + "'");
+  ++p;
+  if (!parse_int(2, &ct.month)) return Status::ParseError("bad month in '" + text + "'");
+  if (*p != '-') return Status::ParseError("expected '-' after month in '" + text + "'");
+  ++p;
+  if (!parse_int(2, &ct.day)) return Status::ParseError("bad day in '" + text + "'");
+
+  if (*p == 'T' || *p == ' ') {
+    ++p;
+    if (!parse_int(2, &ct.hour)) return Status::ParseError("bad hour in '" + text + "'");
+    if (*p != ':') return Status::ParseError("expected ':' in '" + text + "'");
+    ++p;
+    if (!parse_int(2, &ct.minute)) return Status::ParseError("bad minute in '" + text + "'");
+    if (*p != ':') return Status::ParseError("expected ':' in '" + text + "'");
+    ++p;
+    if (!parse_int(2, &ct.second)) return Status::ParseError("bad second in '" + text + "'");
+    if (*p == '.') {
+      ++p;
+      int64_t frac = 0;
+      int digits = 0;
+      while (*p >= '0' && *p <= '9' && digits < 9) {
+        frac = frac * 10 + (*p - '0');
+        ++digits;
+        ++p;
+      }
+      if (digits == 0) return Status::ParseError("empty fraction in '" + text + "'");
+      while (digits < 9) {
+        frac *= 10;
+        ++digits;
+      }
+      ct.nanos = frac;
+    }
+  }
+  if (*p == 'Z') ++p;
+  if (*p != '\0') {
+    return Status::ParseError("trailing characters in timestamp '" + text + "'");
+  }
+  return CivilToNano(ct);
+}
+
+std::string FormatTimestamp(NanoTime t) {
+  CivilTime ct = NanoToCivil(t);
+  char buf[64];
+  if (ct.nanos % kNanosPerMilli == 0) {
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03d",
+                  ct.year, ct.month, ct.day, ct.hour, ct.minute, ct.second,
+                  static_cast<int>(ct.nanos / kNanosPerMilli));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%09d",
+                  ct.year, ct.month, ct.day, ct.hour, ct.minute, ct.second,
+                  static_cast<int>(ct.nanos));
+  }
+  return buf;
+}
+
+NanoTime NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+Stopwatch::Stopwatch() { Restart(); }
+
+void Stopwatch::Restart() {
+  start_nanos_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now().time_since_epoch())
+                     .count();
+}
+
+int64_t Stopwatch::ElapsedNanos() const {
+  int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count();
+  return now - start_nanos_;
+}
+
+double Stopwatch::ElapsedSeconds() const {
+  return static_cast<double>(ElapsedNanos()) / 1e9;
+}
+
+}  // namespace lazyetl

@@ -1,0 +1,85 @@
+// Time utilities: nanosecond-resolution UTC timestamps.
+//
+// All timestamps inside lazyetl are int64 nanoseconds since the Unix epoch
+// (type alias NanoTime). mSEED "BTime" structures (year/day-of-year/...)
+// convert to and from NanoTime in mseed/btime.h; SQL literals like
+// '2010-01-12T22:15:00.000' parse here.
+
+#ifndef LAZYETL_COMMON_TIME_H_
+#define LAZYETL_COMMON_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace lazyetl {
+
+// Nanoseconds since 1970-01-01T00:00:00 UTC.
+using NanoTime = int64_t;
+
+inline constexpr int64_t kNanosPerSecond = 1000000000LL;
+inline constexpr int64_t kNanosPerMilli = 1000000LL;
+inline constexpr int64_t kNanosPerMicro = 1000LL;
+inline constexpr int64_t kNanosPerMinute = 60LL * kNanosPerSecond;
+inline constexpr int64_t kNanosPerHour = 3600LL * kNanosPerSecond;
+inline constexpr int64_t kNanosPerDay = 86400LL * kNanosPerSecond;
+
+// Broken-down civil UTC time.
+struct CivilTime {
+  int year = 1970;      // e.g. 2010
+  int month = 1;        // 1..12
+  int day = 1;          // 1..31
+  int hour = 0;         // 0..23
+  int minute = 0;       // 0..59
+  int second = 0;       // 0..59 (no leap seconds)
+  int64_t nanos = 0;    // 0..999'999'999
+};
+
+// True iff `year` is a Gregorian leap year.
+bool IsLeapYear(int year);
+
+// Number of days in `month` (1..12) of `year`.
+int DaysInMonth(int year, int month);
+
+// Day-of-year (1..366) for a civil date.
+int DayOfYear(int year, int month, int day);
+
+// Inverse of DayOfYear: fills month/day for a given year and doy (1-based).
+Status MonthDayFromDayOfYear(int year, int doy, int* month, int* day);
+
+// Civil <-> NanoTime conversions. CivilToNano validates its input.
+Result<NanoTime> CivilToNano(const CivilTime& ct);
+CivilTime NanoToCivil(NanoTime t);
+
+// Parses an ISO-8601-ish timestamp as used by the paper's queries:
+//   YYYY-MM-DD
+//   YYYY-MM-DDTHH:MM:SS
+//   YYYY-MM-DDTHH:MM:SS.fff      (1..9 fractional digits)
+// A space is accepted in place of 'T'. The timestamp is interpreted as UTC.
+Result<NanoTime> ParseTimestamp(const std::string& text);
+
+// Formats as "YYYY-MM-DDTHH:MM:SS.mmm" (millisecond precision, matching the
+// paper's query literals) unless sub-millisecond detail is present, in which
+// case nanosecond digits are emitted.
+std::string FormatTimestamp(NanoTime t);
+
+// Wall-clock "now" in NanoTime. Used for cache admission timestamps.
+NanoTime NowNanos();
+
+// Monotonic stopwatch for measuring phases (load, extract, ...).
+class Stopwatch {
+ public:
+  Stopwatch();
+  // Seconds since construction or last Restart().
+  double ElapsedSeconds() const;
+  int64_t ElapsedNanos() const;
+  void Restart();
+
+ private:
+  int64_t start_nanos_;
+};
+
+}  // namespace lazyetl
+
+#endif  // LAZYETL_COMMON_TIME_H_

@@ -1,0 +1,190 @@
+#include "core/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace lazyetl::core {
+
+namespace {
+
+// Builds the windowed rectified-average query for one channel.
+std::string WindowQuery(const std::string& station, const std::string& channel,
+                        NanoTime t0, NanoTime t1) {
+  return "SELECT AVG(ABS(D.sample_value)) FROM mseed.dataview "
+         "WHERE F.station = '" + station + "' AND F.channel = '" + channel +
+         "' AND D.sample_time >= '" + FormatTimestamp(t0) +
+         "' AND D.sample_time < '" + FormatTimestamp(t1) + "'";
+}
+
+}  // namespace
+
+Result<double> AverageAbsoluteAmplitude(Warehouse* warehouse,
+                                        const std::string& station,
+                                        const std::string& channel,
+                                        NanoTime t0, NanoTime t1) {
+  LAZYETL_ASSIGN_OR_RETURN(
+      QueryResult result,
+      warehouse->Query(WindowQuery(station, channel, t0, t1)));
+  if (result.table.num_rows() != 1) {
+    return Status::Internal("window aggregate returned " +
+                            std::to_string(result.table.num_rows()) + " rows");
+  }
+  return result.table.GetValue(0, 0).double_value();
+}
+
+Result<StaLtaReport> DetectEvents(Warehouse* warehouse,
+                                  const StaLtaOptions& opt) {
+  if (opt.sta_seconds <= 0 || opt.lta_seconds <= 0 || opt.step_seconds <= 0) {
+    return Status::InvalidArgument("STA/LTA windows must be positive");
+  }
+  if (opt.trigger_ratio <= 0) {
+    return Status::InvalidArgument("trigger ratio must be positive");
+  }
+
+  // Channel inventory from metadata only — no waveform is touched here.
+  std::string inventory_sql =
+      "SELECT network, station, channel, MIN(start_time) AS t0, "
+      "MAX(end_time) AS t1 FROM mseed.files";
+  std::vector<std::string> filters;
+  if (!opt.network.empty()) filters.push_back("network = '" + opt.network + "'");
+  if (!opt.station.empty()) filters.push_back("station = '" + opt.station + "'");
+  if (!opt.channel.empty()) filters.push_back("channel = '" + opt.channel + "'");
+  if (!filters.empty()) inventory_sql += " WHERE " + Join(filters, " AND ");
+  inventory_sql +=
+      " GROUP BY network, station, channel "
+      "ORDER BY network, station, channel";
+
+  LAZYETL_ASSIGN_OR_RETURN(QueryResult inventory,
+                           warehouse->Query(inventory_sql));
+
+  StaLtaReport report;
+  report.queries_issued = 1;
+  const auto sta_ns = static_cast<NanoTime>(opt.sta_seconds * 1e9);
+  const auto lta_ns = static_cast<NanoTime>(opt.lta_seconds * 1e9);
+  const auto step_ns = static_cast<NanoTime>(opt.step_seconds * 1e9);
+
+  for (size_t row = 0; row < inventory.table.num_rows(); ++row) {
+    std::string network = inventory.table.GetValue(row, 0).string_value();
+    std::string station = inventory.table.GetValue(row, 1).string_value();
+    std::string channel = inventory.table.GetValue(row, 2).string_value();
+    NanoTime t0 = inventory.table.GetValue(row, 3).timestamp_value();
+    NanoTime t1 = inventory.table.GetValue(row, 4).timestamp_value();
+    ++report.channels_scanned;
+
+    for (NanoTime w = t0 + lta_ns; w + sta_ns <= t1 + 1; w += step_ns) {
+      LAZYETL_ASSIGN_OR_RETURN(
+          double sta,
+          AverageAbsoluteAmplitude(warehouse, station, channel, w, w + sta_ns));
+      LAZYETL_ASSIGN_OR_RETURN(
+          double lta,
+          AverageAbsoluteAmplitude(warehouse, station, channel, w - lta_ns, w));
+      report.queries_issued += 2;
+      ++report.windows_scanned;
+      if (lta < opt.min_lta) continue;
+      double ratio = sta / lta;
+      if (ratio >= opt.trigger_ratio) {
+        report.triggers.push_back(
+            {network, station, channel, w, sta, lta, ratio});
+      }
+    }
+  }
+
+  std::sort(report.triggers.begin(), report.triggers.end(),
+            [](const EventTrigger& a, const EventTrigger& b) {
+              return a.ratio > b.ratio;
+            });
+  if (report.triggers.size() > opt.max_triggers) {
+    report.triggers.resize(opt.max_triggers);
+  }
+  return report;
+}
+
+Result<StaLtaReport> DetectEventsBucketed(Warehouse* warehouse,
+                                          const StaLtaOptions& opt) {
+  if (opt.sta_seconds <= 0 || opt.lta_seconds <= 0) {
+    return Status::InvalidArgument("STA/LTA windows must be positive");
+  }
+  if (opt.step_seconds != opt.sta_seconds) {
+    return Status::InvalidArgument(
+        "bucketed detection requires step_seconds == sta_seconds");
+  }
+  if (opt.trigger_ratio <= 0) {
+    return Status::InvalidArgument("trigger ratio must be positive");
+  }
+
+  std::string inventory_sql =
+      "SELECT network, station, channel FROM mseed.files";
+  std::vector<std::string> filters;
+  if (!opt.network.empty()) filters.push_back("network = '" + opt.network + "'");
+  if (!opt.station.empty()) filters.push_back("station = '" + opt.station + "'");
+  if (!opt.channel.empty()) filters.push_back("channel = '" + opt.channel + "'");
+  if (!filters.empty()) inventory_sql += " WHERE " + Join(filters, " AND ");
+  inventory_sql += " GROUP BY network, station, channel "
+                   "ORDER BY network, station, channel";
+  LAZYETL_ASSIGN_OR_RETURN(QueryResult inventory,
+                           warehouse->Query(inventory_sql));
+
+  StaLtaReport report;
+  report.queries_issued = 1;
+  const size_t lta_buckets = static_cast<size_t>(
+      std::max(1.0, std::round(opt.lta_seconds / opt.sta_seconds)));
+  char width[32];
+  std::snprintf(width, sizeof(width), "%g", opt.sta_seconds);
+
+  for (size_t row = 0; row < inventory.table.num_rows(); ++row) {
+    std::string network = inventory.table.GetValue(row, 0).string_value();
+    std::string station = inventory.table.GetValue(row, 1).string_value();
+    std::string channel = inventory.table.GetValue(row, 2).string_value();
+    ++report.channels_scanned;
+
+    // The whole STA series in one grouped query. COUNT is carried so the
+    // trailing LTA can weight partial buckets correctly.
+    std::string sql =
+        "SELECT TIME_BUCKET(" + std::string(width) +
+        ", D.sample_time) AS w, AVG(ABS(D.sample_value)) AS a, COUNT(*) AS n "
+        "FROM mseed.dataview WHERE F.station = '" + station +
+        "' AND F.channel = '" + channel +
+        "' GROUP BY TIME_BUCKET(" + std::string(width) +
+        ", D.sample_time) ORDER BY w";
+    LAZYETL_ASSIGN_OR_RETURN(QueryResult series, warehouse->Query(sql));
+    ++report.queries_issued;
+
+    const size_t buckets = series.table.num_rows();
+    for (size_t i = lta_buckets; i < buckets; ++i) {
+      double weighted_sum = 0;
+      double weight = 0;
+      for (size_t k = i - lta_buckets; k < i; ++k) {
+        double avg = series.table.GetValue(k, 1).double_value();
+        double n = static_cast<double>(series.table.GetValue(k, 2).int64_value());
+        weighted_sum += avg * n;
+        weight += n;
+      }
+      ++report.windows_scanned;
+      if (weight <= 0) continue;
+      double lta = weighted_sum / weight;
+      if (lta < opt.min_lta) continue;
+      double sta = series.table.GetValue(i, 1).double_value();
+      double ratio = sta / lta;
+      if (ratio >= opt.trigger_ratio) {
+        report.triggers.push_back(
+            {network, station, channel,
+             series.table.GetValue(i, 0).timestamp_value(), sta, lta, ratio});
+      }
+    }
+  }
+
+  std::sort(report.triggers.begin(), report.triggers.end(),
+            [](const EventTrigger& a, const EventTrigger& b) {
+              return a.ratio > b.ratio;
+            });
+  if (report.triggers.size() > opt.max_triggers) {
+    report.triggers.resize(opt.max_triggers);
+  }
+  return report;
+}
+
+}  // namespace lazyetl::core

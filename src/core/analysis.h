@@ -1,0 +1,77 @@
+// Seismic analysis tasks on top of the warehouse (§4 of the paper): the
+// STA/LTA trigger — comparing a Short Term Average (typically 2 s) of the
+// rectified signal against the trailing Long Term Average (typically 15 s)
+// — is the standard detector for "interesting seismic events".
+//
+// The detector is expressed entirely as SQL over mseed.dataview, so under
+// a lazy warehouse only the scanned channels are ever extracted and the
+// sliding windows are served from the recycler cache after the first touch.
+
+#ifndef LAZYETL_CORE_ANALYSIS_H_
+#define LAZYETL_CORE_ANALYSIS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time.h"
+#include "core/warehouse.h"
+
+namespace lazyetl::core {
+
+struct StaLtaOptions {
+  double sta_seconds = 2.0;    // short-term window (paper: 2 s)
+  double lta_seconds = 15.0;   // long-term window (paper: 15 s)
+  double step_seconds = 2.0;   // stride between evaluated windows
+  double trigger_ratio = 3.0;  // STA/LTA threshold
+  double min_lta = 1.0;        // skip windows with negligible background
+  // Optional channel filters; empty matches everything.
+  std::string network;
+  std::string station;
+  std::string channel;
+  size_t max_triggers = 100;   // strongest triggers kept
+};
+
+struct EventTrigger {
+  std::string network;
+  std::string station;
+  std::string channel;
+  NanoTime window_start = 0;
+  double sta = 0;
+  double lta = 0;
+  double ratio = 0;
+};
+
+struct StaLtaReport {
+  std::vector<EventTrigger> triggers;  // sorted by descending ratio
+  uint64_t channels_scanned = 0;
+  uint64_t windows_scanned = 0;
+  uint64_t queries_issued = 0;
+};
+
+// Scans every matching channel of the warehouse with sliding STA/LTA
+// windows and returns the triggers exceeding the ratio threshold. Issues
+// two aggregate queries per window (first touch extracts; revisits hit the
+// recycler).
+Result<StaLtaReport> DetectEvents(Warehouse* warehouse,
+                                  const StaLtaOptions& options);
+
+// Bucketed variant: one TIME_BUCKET-grouped query per channel computes the
+// whole STA series at once; the LTA is assembled from the trailing buckets
+// client-side. Requires step_seconds == sta_seconds (buckets are the STA
+// windows). Orders of magnitude fewer queries than DetectEvents with the
+// same detection semantics up to bucket alignment.
+Result<StaLtaReport> DetectEventsBucketed(Warehouse* warehouse,
+                                          const StaLtaOptions& options);
+
+// Average rectified amplitude of one channel over [t0, t1) — the building
+// block of the detector, exposed for custom analyses.
+Result<double> AverageAbsoluteAmplitude(Warehouse* warehouse,
+                                        const std::string& station,
+                                        const std::string& channel,
+                                        NanoTime t0, NanoTime t1);
+
+}  // namespace lazyetl::core
+
+#endif  // LAZYETL_CORE_ANALYSIS_H_

@@ -1,0 +1,52 @@
+// Shared ETL building blocks: the transformation step and row builders used
+// by both the eager pipeline and the lazy extraction path.
+//
+// Keeping these in one place guarantees the library's central invariant —
+// lazy and eager warehouses answer every query identically — because both
+// paths derive sample times and table rows with the same code.
+
+#ifndef LAZYETL_CORE_ETL_H_
+#define LAZYETL_CORE_ETL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time.h"
+#include "mseed/reader.h"
+#include "storage/table.h"
+
+namespace lazyetl::core {
+
+// The record-level transformation (§3.2, "transformations performed on a
+// fine granularity are added to the end of the extraction phase"):
+// materialises a timestamp for every sample of a record from its header
+// metadata and passes raw counts through the (identity) value transform.
+struct TransformedRecord {
+  std::vector<int64_t> sample_times;
+  std::vector<int32_t> sample_values;
+};
+
+Result<TransformedRecord> TransformRecord(const mseed::RecordHeader& header,
+                                          const std::vector<int32_t>& samples);
+
+// Appends one F-table row describing `md` (with the given id).
+Status AppendFileRow(storage::Table* files, int64_t file_id,
+                     const mseed::FileMetadata& md);
+
+// Appends one R-table row per record of `md`.
+Status AppendRecordRows(storage::Table* records, int64_t file_id,
+                        const mseed::FileMetadata& md);
+
+// Appends D-table rows for one record's transformed samples.
+Status AppendDataRows(storage::Table* data, int64_t file_id, int64_t seq_no,
+                      const TransformedRecord& rec);
+
+// Drops all rows whose file_id column matches `file_id` (used by refresh to
+// replace a modified file's rows). Returns the number of rows removed.
+Result<size_t> RemoveFileRows(storage::Table* table, int64_t file_id);
+
+}  // namespace lazyetl::core
+
+#endif  // LAZYETL_CORE_ETL_H_

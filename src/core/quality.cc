@@ -1,0 +1,136 @@
+#include "core/quality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace lazyetl::core {
+
+namespace {
+
+struct RecordSpan {
+  NanoTime start = 0;
+  NanoTime end = 0;
+  int64_t samples = 0;
+};
+
+}  // namespace
+
+Result<std::vector<ChannelQuality>> AssessQuality(Warehouse* warehouse,
+                                                  const QualityOptions& opt) {
+  // 1. File inventory: identity per file_id.
+  std::string files_sql =
+      "SELECT file_id, network, station, location, channel, sample_rate "
+      "FROM mseed.files";
+  std::vector<std::string> filters;
+  if (!opt.network.empty()) filters.push_back("network = '" + opt.network + "'");
+  if (!opt.station.empty()) filters.push_back("station = '" + opt.station + "'");
+  if (!opt.channel.empty()) filters.push_back("channel = '" + opt.channel + "'");
+  if (!filters.empty()) files_sql += " WHERE " + Join(filters, " AND ");
+  LAZYETL_ASSIGN_OR_RETURN(QueryResult files, warehouse->Query(files_sql));
+
+  struct FileInfo {
+    std::string key;     // NET.STA.LOC.CHAN
+    double sample_rate;
+  };
+  std::map<int64_t, FileInfo> file_info;
+  std::map<std::string, ChannelQuality> channels;
+  for (size_t row = 0; row < files.table.num_rows(); ++row) {
+    int64_t fid = files.table.GetValue(row, 0).int64_value();
+    ChannelQuality q;
+    q.network = files.table.GetValue(row, 1).string_value();
+    q.station = files.table.GetValue(row, 2).string_value();
+    q.location = files.table.GetValue(row, 3).string_value();
+    q.channel = files.table.GetValue(row, 4).string_value();
+    q.sample_rate = files.table.GetValue(row, 5).double_value();
+    std::string key =
+        q.network + "." + q.station + "." + q.location + "." + q.channel;
+    file_info[fid] = {key, q.sample_rate};
+    auto [it, inserted] = channels.emplace(key, std::move(q));
+    it->second.num_files += 1;
+  }
+
+  // 2. Record extents (metadata only — never touches waveforms).
+  //    A dataview query would force extraction; the records base table is
+  //    exactly the R metadata.
+  LAZYETL_ASSIGN_OR_RETURN(
+      QueryResult records,
+      warehouse->Query(
+          "SELECT file_id, start_time, end_time, num_samples "
+          "FROM mseed.records ORDER BY start_time, file_id"));
+
+  std::map<std::string, std::vector<RecordSpan>> spans;
+  for (size_t row = 0; row < records.table.num_rows(); ++row) {
+    int64_t fid = records.table.GetValue(row, 0).int64_value();
+    auto info = file_info.find(fid);
+    if (info == file_info.end()) continue;  // filtered out
+    RecordSpan span;
+    span.start = records.table.GetValue(row, 1).timestamp_value();
+    span.end = records.table.GetValue(row, 2).timestamp_value();
+    span.samples = records.table.GetValue(row, 3).int64_value();
+    spans[info->second.key].push_back(span);
+  }
+
+  // 3. Continuity per channel.
+  std::vector<ChannelQuality> out;
+  for (auto& [key, q] : channels) {
+    auto& recs = spans[key];  // already time-ordered from the query
+    q.num_records = recs.size();
+    if (recs.empty()) {
+      q.completeness = 0.0;
+      out.push_back(q);
+      continue;
+    }
+    const double rate = q.sample_rate > 0 ? q.sample_rate : 1.0;
+    const auto interval = static_cast<NanoTime>(std::llround(1e9 / rate));
+    q.start_time = recs.front().start;
+    q.end_time = recs.front().end;
+    q.total_samples = static_cast<uint64_t>(recs.front().samples);
+    for (size_t i = 1; i < recs.size(); ++i) {
+      q.total_samples += static_cast<uint64_t>(recs[i].samples);
+      q.end_time = std::max(q.end_time, recs[i].end);
+      // Expected next start: one sample interval after the previous end
+      // (end_time is the time of the last sample).
+      NanoTime expected = recs[i - 1].end + interval;
+      NanoTime delta = recs[i].start - expected;
+      if (delta > interval / 2) {
+        ++q.gap_count;
+        q.gap_total += delta;
+      } else if (recs[i].start <= recs[i - 1].end) {
+        ++q.overlap_count;
+        q.overlap_total += recs[i - 1].end - recs[i].start + interval;
+      }
+    }
+    NanoTime span_ns = q.end_time - q.start_time;
+    double expected_samples =
+        span_ns > 0 ? static_cast<double>(span_ns) / 1e9 * rate + 1.0
+                    : static_cast<double>(q.total_samples);
+    q.completeness =
+        expected_samples > 0
+            ? std::min(1.0, static_cast<double>(q.total_samples) /
+                                expected_samples)
+            : 1.0;
+    out.push_back(q);
+  }
+  return out;
+}
+
+std::string QualityToString(const ChannelQuality& q) {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s.%s.%s.%s: %zu files, %zu records, %llu samples, %zu gaps "
+      "(%.2f s), %zu overlaps (%.2f s), completeness %.1f%%",
+      q.network.c_str(), q.station.c_str(), q.location.c_str(),
+      q.channel.c_str(), q.num_files, q.num_records,
+      static_cast<unsigned long long>(q.total_samples), q.gap_count,
+      static_cast<double>(q.gap_total) / 1e9, q.overlap_count,
+      static_cast<double>(q.overlap_total) / 1e9, q.completeness * 100.0);
+  return buf;
+}
+
+}  // namespace lazyetl::core

@@ -1,0 +1,60 @@
+// Data-quality assessment from metadata alone.
+//
+// Archive operators routinely audit continuity — gaps, overlaps,
+// completeness — per channel. Because every required fact (record time
+// extents, sample counts, rates) lives in the F/R metadata tables, a lazy
+// warehouse answers these questions without extracting a single sample:
+// the strongest form of the paper's "browsing the metadata" demo point.
+
+#ifndef LAZYETL_CORE_QUALITY_H_
+#define LAZYETL_CORE_QUALITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time.h"
+#include "core/warehouse.h"
+
+namespace lazyetl::core {
+
+struct ChannelQuality {
+  std::string network;
+  std::string station;
+  std::string location;
+  std::string channel;
+  size_t num_files = 0;
+  size_t num_records = 0;
+  uint64_t total_samples = 0;
+  NanoTime start_time = 0;
+  NanoTime end_time = 0;
+  double sample_rate = 0;
+  // A gap is a hole longer than 1.5 sample intervals between consecutive
+  // records; an overlap is a record starting before its predecessor ended.
+  size_t gap_count = 0;
+  NanoTime gap_total = 0;       // summed gap duration
+  size_t overlap_count = 0;
+  NanoTime overlap_total = 0;
+  // Samples present / samples expected over [start_time, end_time].
+  double completeness = 1.0;
+};
+
+struct QualityOptions {
+  // Optional filters; empty matches everything.
+  std::string network;
+  std::string station;
+  std::string channel;
+};
+
+// Assesses every matching channel. Works identically under all load
+// strategies; under kLazy it touches only metadata (no extraction). Under
+// kLazyFilenameOnly record metadata is hydrated first (a header scan).
+Result<std::vector<ChannelQuality>> AssessQuality(Warehouse* warehouse,
+                                                  const QualityOptions& options);
+
+// One-line rendering for reports ("NL.HGN.02.BHZ: 2 gaps (3.2 s) ...").
+std::string QualityToString(const ChannelQuality& q);
+
+}  // namespace lazyetl::core
+
+#endif  // LAZYETL_CORE_QUALITY_H_

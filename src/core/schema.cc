@@ -1,0 +1,155 @@
+#include "core/schema.h"
+
+#include "common/macros.h"
+
+namespace lazyetl::core {
+
+using storage::DataType;
+using storage::Table;
+using storage::TablePtr;
+using storage::TableSchema;
+using storage::ViewColumn;
+using storage::ViewDefinition;
+using storage::ViewJoinStep;
+
+TablePtr MakeFilesTable() {
+  TableSchema schema = {
+      {"file_id", DataType::kInt64},
+      {"uri", DataType::kString},
+      {"dataquality", DataType::kString},
+      {"network", DataType::kString},
+      {"station", DataType::kString},
+      {"location", DataType::kString},
+      {"channel", DataType::kString},
+      {"start_time", DataType::kTimestamp},
+      {"end_time", DataType::kTimestamp},
+      {"num_records", DataType::kInt64},
+      {"sample_rate", DataType::kDouble},
+      {"file_size", DataType::kInt64},
+      {"last_modified", DataType::kTimestamp},
+  };
+  return std::make_shared<Table>(std::move(schema));
+}
+
+TablePtr MakeRecordsTable() {
+  TableSchema schema = {
+      {"file_id", DataType::kInt64},
+      {"seq_no", DataType::kInt64},
+      {"start_time", DataType::kTimestamp},
+      {"end_time", DataType::kTimestamp},
+      {"num_samples", DataType::kInt64},
+      {"sample_rate", DataType::kDouble},
+      {"encoding", DataType::kString},
+  };
+  return std::make_shared<Table>(std::move(schema));
+}
+
+TablePtr MakeDataTable() {
+  TableSchema schema = {
+      {"file_id", DataType::kInt64},
+      {"seq_no", DataType::kInt64},
+      {"sample_time", DataType::kTimestamp},
+      {"sample_value", DataType::kInt32},
+  };
+  return std::make_shared<Table>(std::move(schema));
+}
+
+TablePtr MakeStationsTable() {
+  TableSchema schema = {
+      {"network", DataType::kString},
+      {"station", DataType::kString},
+      {"latitude", DataType::kDouble},
+      {"longitude", DataType::kDouble},
+      {"elevation", DataType::kDouble},
+      {"site_name", DataType::kString},
+  };
+  return std::make_shared<Table>(std::move(schema));
+}
+
+TablePtr MakeChannelsTable() {
+  TableSchema schema = {
+      {"network", DataType::kString},
+      {"station", DataType::kString},
+      {"location", DataType::kString},
+      {"channel", DataType::kString},
+      {"latitude", DataType::kDouble},
+      {"longitude", DataType::kDouble},
+      {"elevation", DataType::kDouble},
+      {"depth", DataType::kDouble},
+      {"azimuth", DataType::kDouble},
+      {"dip", DataType::kDouble},
+      {"sample_rate", DataType::kDouble},
+  };
+  return std::make_shared<Table>(std::move(schema));
+}
+
+ViewDefinition MakeDataView(bool lazy) {
+  ViewDefinition view;
+  view.name = kDataView;
+  view.root_table = kFilesTable;
+  view.joins = {
+      {kRecordsTable, {{std::string(kFilesTable) + ".file_id", "file_id"}}},
+      {kDataTable,
+       {{std::string(kRecordsTable) + ".file_id", "file_id"},
+        {std::string(kRecordsTable) + ".seq_no", "seq_no"}}},
+  };
+  auto f = [&](const char* name) {
+    view.columns.push_back(ViewColumn{"F", name, kFilesTable, name});
+  };
+  f("file_id");
+  f("uri");
+  f("dataquality");
+  f("network");
+  f("station");
+  f("location");
+  f("channel");
+  f("start_time");
+  f("end_time");
+  f("num_records");
+  f("sample_rate");
+  f("file_size");
+  f("last_modified");
+  auto r = [&](const char* name) {
+    view.columns.push_back(ViewColumn{"R", name, kRecordsTable, name});
+  };
+  r("file_id");
+  r("seq_no");
+  r("start_time");
+  r("end_time");
+  r("num_samples");
+  r("sample_rate");
+  r("encoding");
+  auto d = [&](const char* name) {
+    view.columns.push_back(ViewColumn{"D", name, kDataTable, name});
+  };
+  d("file_id");
+  d("seq_no");
+  d("sample_time");
+  d("sample_value");
+
+  // Sample times of a record lie within the record's (and the file's)
+  // [start_time, end_time] interval; the planner exploits this to prune
+  // records and files from D.sample_time predicates alone.
+  view.containment_rules = {
+      {kDataTable, "sample_time", kRecordsTable, "start_time", "end_time"},
+      {kDataTable, "sample_time", kFilesTable, "start_time", "end_time"},
+  };
+
+  view.lazy_table = lazy ? kDataTable : "";
+  return view;
+}
+
+Status RegisterSchema(storage::Catalog* catalog, bool lazy) {
+  LAZYETL_RETURN_NOT_OK(catalog->RegisterTable(kFilesTable, MakeFilesTable()));
+  LAZYETL_RETURN_NOT_OK(
+      catalog->RegisterTable(kRecordsTable, MakeRecordsTable()));
+  LAZYETL_RETURN_NOT_OK(catalog->RegisterTable(kDataTable, MakeDataTable()));
+  LAZYETL_RETURN_NOT_OK(
+      catalog->RegisterTable(kStationsTable, MakeStationsTable()));
+  LAZYETL_RETURN_NOT_OK(
+      catalog->RegisterTable(kChannelsTable, MakeChannelsTable()));
+  LAZYETL_RETURN_NOT_OK(catalog->RegisterView(MakeDataView(lazy)));
+  return Status::OK();
+}
+
+}  // namespace lazyetl::core

@@ -1,0 +1,39 @@
+// The warehouse schema for mSEED repositories, as proposed in the BIRTE'12
+// paper and used by the demo: two metadata tables F (per file) and R (per
+// record), one actual-data table D (one row per sample), and the
+// non-materialised view mseed.dataview joining all three.
+
+#ifndef LAZYETL_CORE_SCHEMA_H_
+#define LAZYETL_CORE_SCHEMA_H_
+
+#include <string>
+
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace lazyetl::core {
+
+inline constexpr const char* kFilesTable = "mseed.files";
+inline constexpr const char* kRecordsTable = "mseed.records";
+inline constexpr const char* kDataTable = "mseed.data";
+inline constexpr const char* kDataView = "mseed.dataview";
+// Station inventory from dataless SEED control headers (when present).
+inline constexpr const char* kStationsTable = "mseed.stations";
+inline constexpr const char* kChannelsTable = "mseed.channels";
+
+// Empty tables with the warehouse schema.
+storage::TablePtr MakeFilesTable();
+storage::TablePtr MakeRecordsTable();
+storage::TablePtr MakeDataTable();
+storage::TablePtr MakeStationsTable();
+storage::TablePtr MakeChannelsTable();
+
+// The dataview definition; `lazy` marks mseed.data as lazily extracted.
+storage::ViewDefinition MakeDataView(bool lazy);
+
+// Registers the three tables plus the view into `catalog`.
+Status RegisterSchema(storage::Catalog* catalog, bool lazy);
+
+}  // namespace lazyetl::core
+
+#endif  // LAZYETL_CORE_SCHEMA_H_

@@ -1,0 +1,1066 @@
+#include "core/warehouse.h"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <unordered_set>
+
+#include "common/log.h"
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "core/etl.h"
+#include "core/schema.h"
+#include "engine/expr_eval.h"
+#include "engine/planner.h"
+#include "mseed/dataless.h"
+#include "mseed/repository.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "storage/persist.h"
+
+namespace lazyetl::core {
+
+namespace fs = std::filesystem;
+
+using engine::CachedRecord;
+using engine::ExecutionReport;
+using engine::RecordKey;
+using engine::ScanColumn;
+using storage::Column;
+using storage::Table;
+using storage::TablePtr;
+using storage::Value;
+
+const char* LoadStrategyToString(LoadStrategy s) {
+  switch (s) {
+    case LoadStrategy::kEager:
+      return "eager";
+    case LoadStrategy::kLazy:
+      return "lazy";
+    case LoadStrategy::kLazyFilenameOnly:
+      return "lazy-filename-only";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// WarehouseDataProvider: serves actual data at query time from the recycler
+// cache or by extracting records from the source files (§3.1/§3.3).
+// ---------------------------------------------------------------------------
+
+class WarehouseDataProvider : public engine::LazyDataProvider {
+ public:
+  explicit WarehouseDataProvider(Warehouse* warehouse)
+      : warehouse_(warehouse) {}
+
+  // Called by Warehouse at the start of every query.
+  void BeginQuery() { deps_.clear(); }
+
+  const std::vector<engine::ResultDependency>& deps() const { return deps_; }
+
+  Result<Table> FetchRecords(const std::vector<RecordKey>& keys,
+                             const std::vector<ScanColumn>& columns,
+                             ExecutionReport* report) override;
+
+  Result<Table> FetchAllRecords(const std::vector<ScanColumn>& columns,
+                                ExecutionReport* report) override;
+
+ private:
+  struct OutputBuffers {
+    std::vector<int64_t> file_ids;
+    std::vector<int64_t> seq_nos;
+    std::vector<int64_t> sample_times;
+    std::vector<int32_t> sample_values;
+
+    void Append(int64_t fid, int64_t seq, const std::vector<int64_t>& times,
+                const std::vector<int32_t>& values) {
+      file_ids.insert(file_ids.end(), times.size(), fid);
+      seq_nos.insert(seq_nos.end(), times.size(), seq);
+      sample_times.insert(sample_times.end(), times.begin(), times.end());
+      sample_values.insert(sample_values.end(), values.begin(), values.end());
+    }
+  };
+
+  // One file's worth of pending extraction: which records to decode and,
+  // after RunExtractionJobs, their transformed samples (or the error).
+  struct ExtractJob {
+    Warehouse::FileEntry* entry = nullptr;
+    int64_t file_id = 0;
+    NanoTime mtime = 0;
+    std::vector<size_t> record_indexes;  // sorted by file offset
+    std::vector<int64_t> seq_nos;        // parallel to record_indexes
+    std::vector<TransformedRecord> results;
+    Status status;
+  };
+
+  // Executes the decode+transform of every job, in parallel when
+  // options().extraction_threads > 1. Only job-local state is touched.
+  Status RunExtractionJobs(std::vector<ExtractJob>* jobs);
+
+  Result<Table> BuildOutput(OutputBuffers buffers,
+                            const std::vector<ScanColumn>& columns);
+
+  Warehouse* warehouse_;
+  std::vector<engine::ResultDependency> deps_;
+};
+
+Status WarehouseDataProvider::RunExtractionJobs(std::vector<ExtractJob>* jobs) {
+  auto run_one = [](ExtractJob* job) {
+    auto samples = mseed::ReadSelectedRecords(job->entry->metadata,
+                                              job->record_indexes);
+    if (!samples.ok()) {
+      job->status = samples.status();
+      return;
+    }
+    job->results.reserve(job->record_indexes.size());
+    for (size_t i = 0; i < job->record_indexes.size(); ++i) {
+      const mseed::RecordInfo& info =
+          job->entry->metadata.records[job->record_indexes[i]];
+      auto transformed = TransformRecord(info.header, (*samples)[i]);
+      if (!transformed.ok()) {
+        job->status = transformed.status().WithContext(
+            "record " + std::to_string(job->seq_nos[i]) + " of " +
+            job->entry->path);
+        return;
+      }
+      job->results.push_back(std::move(*transformed));
+    }
+  };
+
+  unsigned threads = warehouse_->options().extraction_threads;
+  if (threads <= 1 || jobs->size() <= 1) {
+    for (auto& job : *jobs) run_one(&job);
+    return Status::OK();
+  }
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(jobs->size()));
+  std::vector<std::thread> workers;
+  std::atomic<size_t> next{0};
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&]() {
+      while (true) {
+        size_t i = next.fetch_add(1);
+        if (i >= jobs->size()) break;
+        run_one(&(*jobs)[i]);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  return Status::OK();
+}
+
+Result<Table> WarehouseDataProvider::BuildOutput(
+    OutputBuffers buffers, const std::vector<ScanColumn>& columns) {
+  // Empty column list means "all columns under their stored names".
+  std::vector<ScanColumn> cols = columns;
+  if (cols.empty()) {
+    cols = {{"file_id", "file_id"},
+            {"seq_no", "seq_no"},
+            {"sample_time", "sample_time"},
+            {"sample_value", "sample_value"}};
+  }
+  Table out;
+  for (const auto& sc : cols) {
+    Column col(storage::DataType::kInt64);
+    if (sc.base_column == "file_id") {
+      col = Column::FromInt64(buffers.file_ids);
+    } else if (sc.base_column == "seq_no") {
+      col = Column::FromInt64(buffers.seq_nos);
+    } else if (sc.base_column == "sample_time") {
+      col = Column::FromTimestamp(buffers.sample_times);
+    } else if (sc.base_column == "sample_value") {
+      col = Column::FromInt32(buffers.sample_values);
+    } else {
+      return Status::ExecutionError("lazy data table has no column '" +
+                                    sc.base_column + "'");
+    }
+    LAZYETL_RETURN_NOT_OK(out.AddColumn(sc.output_name, std::move(col)));
+  }
+  return out;
+}
+
+Result<Table> WarehouseDataProvider::FetchRecords(
+    const std::vector<RecordKey>& keys, const std::vector<ScanColumn>& columns,
+    ExecutionReport* report) {
+  // Group requested records by file so each file is statted and opened at
+  // most once.
+  std::map<int64_t, std::vector<int64_t>> by_file;
+  for (const auto& k : keys) by_file[k.file_id].push_back(k.seq_no);
+
+  OutputBuffers buffers;
+  std::ostringstream rewrite;
+  rewrite << "LazyDataScan(" << kDataTable
+          << ") rewritten at run time into:\n";
+  uint64_t total_hits = 0;
+  std::vector<std::string> extracted_desc;
+  std::vector<ExtractJob> jobs;
+  // Results are staged per record and emitted in (file_id, request) order
+  // below, so the output row order is identical whether a record came from
+  // the cache or from extraction (deterministic results across cache
+  // states).
+  std::map<std::pair<int64_t, int64_t>, TransformedRecord> staged;
+
+  for (auto& [fid, seqs] : by_file) {
+    if (fid < 1 || static_cast<size_t>(fid) > warehouse_->files_.size()) {
+      return Status::ExecutionError("unknown file_id " + std::to_string(fid));
+    }
+    Warehouse::FileEntry& entry = warehouse_->files_[fid - 1];
+    NanoTime mtime = warehouse_->CurrentMtime(entry.path);
+    if (mtime < 0) {
+      return Status::NotFound("source file disappeared during query: " +
+                              entry.path);
+    }
+    deps_.push_back({fid, entry.path, mtime});
+
+    // Lazy refresh (§3.3): the file changed since its metadata was loaded
+    // — re-scan its control headers and invalidate its cache entries before
+    // extracting.
+    if (mtime != entry.mtime || !entry.hydrated) {
+      if (mtime != entry.mtime && entry.hydrated) {
+        LogOp(LogCategory::kRefresh,
+              "lazy refresh: " + entry.path +
+                  " was modified; re-loading its metadata");
+        warehouse_->recycler_->InvalidateFile(fid);
+        LAZYETL_ASSIGN_OR_RETURN(
+            TablePtr records, warehouse_->RecordsTable());
+        LAZYETL_ASSIGN_OR_RETURN(size_t removed,
+                                 RemoveFileRows(records.get(), fid));
+        (void)removed;
+        entry.hydrated = false;
+      }
+      uint64_t bytes = 0;
+      LAZYETL_RETURN_NOT_OK(warehouse_->HydrateFile(&entry, &bytes));
+      report->bytes_read += bytes;
+      warehouse_->result_recycler_->Clear();
+    }
+
+    // Cache lookups first; misses become one extraction job per file.
+    std::vector<int64_t> to_extract;
+    for (int64_t seq : seqs) {
+      bool stale = false;
+      const CachedRecord* hit =
+          warehouse_->recycler_->Lookup({fid, seq}, mtime, &stale);
+      if (hit != nullptr) {
+        ++report->cache_hits;
+        ++total_hits;
+        staged[{fid, seq}] = {hit->sample_times, hit->sample_values};
+      } else {
+        if (stale) {
+          ++report->cache_stale;
+        } else {
+          ++report->cache_misses;
+        }
+        to_extract.push_back(seq);
+      }
+    }
+    if (to_extract.empty()) continue;
+
+    ExtractJob job;
+    job.entry = &entry;
+    job.file_id = fid;
+    job.mtime = mtime;
+    for (int64_t seq : to_extract) {
+      auto it = entry.seq_to_record.find(seq);
+      if (it == entry.seq_to_record.end()) {
+        // The record vanished in a concurrent file modification; treat as
+        // zero rows for this record rather than failing the query.
+        LogOp(LogCategory::kExtract,
+              "record " + std::to_string(seq) + " no longer present in " +
+                  entry.path);
+        continue;
+      }
+      job.record_indexes.push_back(it->second);
+      job.seq_nos.push_back(seq);
+    }
+    if (job.record_indexes.empty()) continue;
+    // Sequential file I/O: visit records in offset order.
+    std::vector<size_t> order(job.record_indexes.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return job.record_indexes[a] < job.record_indexes[b];
+    });
+    ExtractJob sorted;
+    sorted.entry = job.entry;
+    sorted.file_id = job.file_id;
+    sorted.mtime = job.mtime;
+    for (size_t i : order) {
+      sorted.record_indexes.push_back(job.record_indexes[i]);
+      sorted.seq_nos.push_back(job.seq_nos[i]);
+    }
+    jobs.push_back(std::move(sorted));
+  }
+
+  // Run the extraction jobs — decode and transform are pure per-file work,
+  // so with extraction_threads > 1 the files are processed concurrently.
+  // Everything touching shared state (report, cache, buffers) happens
+  // below, single-threaded.
+  LAZYETL_RETURN_NOT_OK(RunExtractionJobs(&jobs));
+
+  for (ExtractJob& job : jobs) {
+    LAZYETL_RETURN_NOT_OK(job.status);
+    ++report->files_opened;
+    report->files_touched.push_back(job.entry->path);
+    LogOp(LogCategory::kExtract,
+          "extracted " + std::to_string(job.record_indexes.size()) +
+              " records from " + job.entry->path);
+    for (size_t i = 0; i < job.record_indexes.size(); ++i) {
+      const mseed::RecordInfo& info =
+          job.entry->metadata.records[job.record_indexes[i]];
+      TransformedRecord& transformed = job.results[i];
+      report->bytes_read += info.header.record_length;
+      ++report->records_extracted;
+      report->samples_extracted += transformed.sample_values.size();
+
+      // Lazy loading (§3.3): admit the extracted+transformed record.
+      CachedRecord cached;
+      cached.sample_times = transformed.sample_times;
+      cached.sample_values = transformed.sample_values;
+      cached.file_mtime = job.mtime;
+      cached.admitted_at = NowNanos();
+      warehouse_->recycler_->Admit({job.file_id, job.seq_nos[i]},
+                                   std::move(cached));
+
+      staged[{job.file_id, job.seq_nos[i]}] = std::move(transformed);
+    }
+    extracted_desc.push_back(job.entry->path + " (" +
+                             std::to_string(job.record_indexes.size()) +
+                             " records)");
+  }
+
+  // Deterministic assembly: by file, then by requested record order.
+  for (const auto& [fid, seqs] : by_file) {
+    for (int64_t seq : seqs) {
+      auto it = staged.find({fid, seq});
+      if (it == staged.end()) continue;  // vanished record
+      buffers.Append(fid, seq, it->second.sample_times,
+                     it->second.sample_values);
+    }
+  }
+
+  rewrite << "  CacheScan[" << total_hits << " records]\n";
+  rewrite << "  FileExtract[" << extracted_desc.size() << " files";
+  for (size_t i = 0; i < extracted_desc.size() && i < 6; ++i) {
+    rewrite << (i == 0 ? ": " : ", ") << extracted_desc[i];
+  }
+  if (extracted_desc.size() > 6) rewrite << ", ...";
+  rewrite << "]\n";
+  report->plan_runtime += rewrite.str();
+  LogOp(LogCategory::kCache,
+        "cache after fetch: " +
+            std::to_string(warehouse_->recycler_->stats().entries) +
+            " entries, " +
+            std::to_string(warehouse_->recycler_->stats().current_bytes) +
+            " bytes");
+
+  return BuildOutput(std::move(buffers), columns);
+}
+
+Result<Table> WarehouseDataProvider::FetchAllRecords(
+    const std::vector<ScanColumn>& columns, ExecutionReport* report) {
+  std::vector<RecordKey> keys;
+  for (auto& entry : warehouse_->files_) {
+    if (entry.file_id == 0) continue;  // tombstone
+    if (!entry.hydrated) {
+      uint64_t bytes = 0;
+      LAZYETL_RETURN_NOT_OK(warehouse_->HydrateFile(&entry, &bytes));
+      report->bytes_read += bytes;
+      ++report->files_hydrated;
+    }
+    for (const auto& rec : entry.metadata.records) {
+      keys.push_back({entry.file_id, rec.header.sequence_number});
+    }
+  }
+  report->records_requested += keys.size();
+  return FetchRecords(keys, columns, report);
+}
+
+// ---------------------------------------------------------------------------
+// Warehouse
+// ---------------------------------------------------------------------------
+
+Warehouse::Warehouse(WarehouseOptions options)
+    : options_(std::move(options)) {}
+
+Warehouse::~Warehouse() = default;
+
+Result<std::unique_ptr<Warehouse>> Warehouse::Open(WarehouseOptions options) {
+  auto wh = std::unique_ptr<Warehouse>(new Warehouse(std::move(options)));
+  wh->catalog_ = std::make_unique<storage::Catalog>();
+  LAZYETL_RETURN_NOT_OK(
+      RegisterSchema(wh->catalog_.get(), wh->IsLazyStrategy()));
+  wh->recycler_ =
+      std::make_unique<engine::Recycler>(wh->options_.cache_budget_bytes);
+  wh->result_recycler_ = std::make_unique<engine::ResultRecycler>();
+  wh->provider_ = std::make_unique<WarehouseDataProvider>(wh.get());
+  OperationLog::Global().set_echo_to_stderr(wh->options_.echo_log);
+  LogOp(LogCategory::kGeneral,
+        std::string("warehouse opened with strategy ") +
+            LoadStrategyToString(wh->options_.strategy));
+  return wh;
+}
+
+Result<TablePtr> Warehouse::FilesTable() const {
+  return catalog_->GetTable(kFilesTable);
+}
+Result<TablePtr> Warehouse::RecordsTable() const {
+  return catalog_->GetTable(kRecordsTable);
+}
+Result<TablePtr> Warehouse::DataTable() const {
+  return catalog_->GetTable(kDataTable);
+}
+
+NanoTime Warehouse::CurrentMtime(const std::string& path) const {
+  auto st = mseed::StatFile(path);
+  if (!st.ok()) return -1;
+  return st->mtime;
+}
+
+Status Warehouse::HydrateFile(FileEntry* entry, uint64_t* bytes_read) {
+  LAZYETL_ASSIGN_OR_RETURN(mseed::FileMetadata md,
+                           mseed::ScanMetadata(entry->path));
+  *bytes_read += md.bytes_read;
+
+  LAZYETL_ASSIGN_OR_RETURN(TablePtr records, RecordsTable());
+  LAZYETL_RETURN_NOT_OK(
+      AppendRecordRows(records.get(), entry->file_id, md));
+
+  entry->mtime = md.mtime;
+  entry->size = md.file_size;
+  entry->seq_to_record.clear();
+  for (size_t i = 0; i < md.records.size(); ++i) {
+    entry->seq_to_record[md.records[i].header.sequence_number] = i;
+  }
+  entry->metadata = std::move(md);
+  entry->hydrated = true;
+
+  // Correct the approximate F-row with header-derived values.
+  LAZYETL_ASSIGN_OR_RETURN(TablePtr files, FilesTable());
+  LAZYETL_ASSIGN_OR_RETURN(size_t fid_idx, files->ColumnIndex("file_id"));
+  const auto& fids = files->column(fid_idx).int64_data();
+  for (size_t row = 0; row < fids.size(); ++row) {
+    if (fids[row] != entry->file_id) continue;
+    LAZYETL_ASSIGN_OR_RETURN(size_t c_start, files->ColumnIndex("start_time"));
+    LAZYETL_ASSIGN_OR_RETURN(size_t c_end, files->ColumnIndex("end_time"));
+    LAZYETL_ASSIGN_OR_RETURN(size_t c_nrec, files->ColumnIndex("num_records"));
+    LAZYETL_ASSIGN_OR_RETURN(size_t c_rate, files->ColumnIndex("sample_rate"));
+    LAZYETL_ASSIGN_OR_RETURN(size_t c_mtime,
+                             files->ColumnIndex("last_modified"));
+    files->column(c_start).int64_data()[row] = entry->metadata.start_time;
+    files->column(c_end).int64_data()[row] = entry->metadata.end_time;
+    files->column(c_nrec).int64_data()[row] =
+        static_cast<int64_t>(entry->metadata.records.size());
+    files->column(c_rate).double_data()[row] = entry->metadata.sample_rate;
+    files->column(c_mtime).int64_data()[row] = entry->metadata.mtime;
+    break;
+  }
+  result_recycler_->Clear();
+  return Status::OK();
+}
+
+Status Warehouse::LoadFileEager(FileEntry* entry, LoadStats* stats) {
+  LAZYETL_ASSIGN_OR_RETURN(mseed::FullFile full,
+                           mseed::ReadFull(entry->path));
+  stats->bytes_read += full.metadata.bytes_read;
+  stats->records += full.metadata.records.size();
+
+  LAZYETL_ASSIGN_OR_RETURN(TablePtr files, FilesTable());
+  LAZYETL_ASSIGN_OR_RETURN(TablePtr records, RecordsTable());
+  LAZYETL_ASSIGN_OR_RETURN(TablePtr data, DataTable());
+  LAZYETL_RETURN_NOT_OK(
+      AppendFileRow(files.get(), entry->file_id, full.metadata));
+  LAZYETL_RETURN_NOT_OK(
+      AppendRecordRows(records.get(), entry->file_id, full.metadata));
+  for (size_t i = 0; i < full.metadata.records.size(); ++i) {
+    const mseed::RecordInfo& info = full.metadata.records[i];
+    LAZYETL_ASSIGN_OR_RETURN(
+        TransformedRecord transformed,
+        TransformRecord(info.header, full.record_samples[i]));
+    stats->samples_loaded += transformed.sample_values.size();
+    LAZYETL_RETURN_NOT_OK(AppendDataRows(data.get(), entry->file_id,
+                                         info.header.sequence_number,
+                                         transformed));
+  }
+
+  entry->mtime = full.metadata.mtime;
+  entry->size = full.metadata.file_size;
+  entry->seq_to_record.clear();
+  for (size_t i = 0; i < full.metadata.records.size(); ++i) {
+    entry->seq_to_record[full.metadata.records[i].header.sequence_number] = i;
+  }
+  entry->metadata = std::move(full.metadata);
+  entry->hydrated = true;
+  return Status::OK();
+}
+
+Status Warehouse::LoadFileMetadata(FileEntry* entry, LoadStats* stats) {
+  LAZYETL_ASSIGN_OR_RETURN(mseed::FileMetadata md,
+                           mseed::ScanMetadata(entry->path));
+  stats->bytes_read += md.bytes_read;
+  stats->records += md.records.size();
+
+  LAZYETL_ASSIGN_OR_RETURN(TablePtr files, FilesTable());
+  LAZYETL_ASSIGN_OR_RETURN(TablePtr records, RecordsTable());
+  LAZYETL_RETURN_NOT_OK(AppendFileRow(files.get(), entry->file_id, md));
+  LAZYETL_RETURN_NOT_OK(AppendRecordRows(records.get(), entry->file_id, md));
+
+  entry->mtime = md.mtime;
+  entry->size = md.file_size;
+  entry->seq_to_record.clear();
+  for (size_t i = 0; i < md.records.size(); ++i) {
+    entry->seq_to_record[md.records[i].header.sequence_number] = i;
+  }
+  entry->metadata = std::move(md);
+  entry->hydrated = true;
+  return Status::OK();
+}
+
+Status Warehouse::LoadFileFromFilename(FileEntry* entry) {
+  std::string basename = fs::path(entry->path).filename().string();
+  LAZYETL_ASSIGN_OR_RETURN(mseed::FilenameMetadata fn,
+                           mseed::ParseSdsFilename(basename));
+  LAZYETL_ASSIGN_OR_RETURN(mseed::FileStatInfo st,
+                           mseed::StatFile(entry->path));
+
+  CivilTime day_start;
+  day_start.year = fn.year;
+  LAZYETL_RETURN_NOT_OK(MonthDayFromDayOfYear(fn.year, fn.day_of_year,
+                                              &day_start.month,
+                                              &day_start.day));
+  LAZYETL_ASSIGN_OR_RETURN(NanoTime start, CivilToNano(day_start));
+
+  // Approximate extent: the file covers (a slice of) its day. Record
+  // metadata is hydrated on demand when a query needs it.
+  mseed::FileMetadata md;
+  md.path = entry->path;
+  md.file_size = st.size;
+  md.mtime = st.mtime;
+  md.network = fn.network;
+  md.station = fn.station;
+  md.location = fn.location;
+  md.channel = fn.channel;
+  md.quality = fn.quality;
+  md.start_time = start;
+  md.end_time = start + kNanosPerDay;
+  md.sample_rate = 0.0;  // unknown until hydration
+
+  LAZYETL_ASSIGN_OR_RETURN(TablePtr files, FilesTable());
+  LAZYETL_RETURN_NOT_OK(AppendFileRow(files.get(), entry->file_id, md));
+
+  entry->mtime = st.mtime;
+  entry->size = st.size;
+  entry->hydrated = false;
+  return Status::OK();
+}
+
+Status Warehouse::LoadDatalessInventory(const std::string& path,
+                                        LoadStats* stats) {
+  if (dataless_paths_.count(path)) return Status::OK();
+  LAZYETL_ASSIGN_OR_RETURN(mseed::StationInventory inventory,
+                           mseed::ReadDataless(path));
+  LAZYETL_ASSIGN_OR_RETURN(mseed::FileStatInfo st, mseed::StatFile(path));
+  stats->bytes_read += st.size;
+
+  LAZYETL_ASSIGN_OR_RETURN(TablePtr stations,
+                           catalog_->GetTable(kStationsTable));
+  LAZYETL_ASSIGN_OR_RETURN(TablePtr channels,
+                           catalog_->GetTable(kChannelsTable));
+  for (const auto& station : inventory.stations) {
+    LAZYETL_RETURN_NOT_OK(stations->AppendRow({
+        Value::String(station.network),
+        Value::String(station.station),
+        Value::Double(station.latitude),
+        Value::Double(station.longitude),
+        Value::Double(station.elevation),
+        Value::String(station.site_name),
+    }));
+    for (const auto& channel : station.channels) {
+      LAZYETL_RETURN_NOT_OK(channels->AppendRow({
+          Value::String(station.network),
+          Value::String(station.station),
+          Value::String(channel.location),
+          Value::String(channel.channel),
+          Value::Double(channel.latitude),
+          Value::Double(channel.longitude),
+          Value::Double(channel.elevation),
+          Value::Double(channel.local_depth),
+          Value::Double(channel.azimuth),
+          Value::Double(channel.dip),
+          Value::Double(channel.sample_rate),
+      }));
+    }
+  }
+  dataless_paths_.insert(path);
+  LogOp(LogCategory::kMetadataLoad,
+        "loaded station inventory from control headers of " + path + " (" +
+            std::to_string(inventory.stations.size()) + " stations)");
+  return Status::OK();
+}
+
+Status Warehouse::AttachFile(const std::string& path, LoadStats* stats) {
+  // Dataless SEED volumes hold inventory control headers, not waveforms.
+  if (mseed::IsDatalessFilename(fs::path(path).filename().string())) {
+    return LoadDatalessInventory(path, stats);
+  }
+  FileEntry entry;
+  entry.file_id = static_cast<int64_t>(files_.size()) + 1;
+  entry.path = path;
+
+  Status load_status;
+  switch (options_.strategy) {
+    case LoadStrategy::kEager:
+      load_status = LoadFileEager(&entry, stats);
+      break;
+    case LoadStrategy::kLazy:
+      load_status = LoadFileMetadata(&entry, stats);
+      break;
+    case LoadStrategy::kLazyFilenameOnly: {
+      LoadStats unused;
+      load_status = LoadFileFromFilename(&entry);
+      (void)unused;
+      break;
+    }
+  }
+  if (!load_status.ok()) {
+    if (load_status.IsCorruptData() || load_status.IsParseError() ||
+        load_status.IsNotImplemented()) {
+      // Not an mSEED/SDS file: skip it, the repository may contain stray
+      // files (checksums, READMEs).
+      LogOp(LogCategory::kMetadataLoad,
+            "skipping non-mSEED file " + path + ": " + load_status.ToString());
+      return Status::OK();
+    }
+    return load_status;
+  }
+  ++stats->files;
+  path_to_file_id_[path] = entry.file_id;
+  files_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+Result<LoadStats> Warehouse::AttachRepository(const std::string& root) {
+  Stopwatch timer;
+  LoadStats stats;
+  LogOp(IsLazyStrategy() ? LogCategory::kMetadataLoad : LogCategory::kEagerLoad,
+        std::string("initial loading (") +
+            LoadStrategyToString(options_.strategy) + ") of " + root);
+
+  LAZYETL_ASSIGN_OR_RETURN(auto scanned, mseed::ScanRepository(root));
+  for (const auto& f : scanned) {
+    if (path_to_file_id_.count(f.path)) continue;  // already attached
+    LAZYETL_RETURN_NOT_OK(AttachFile(f.path, &stats));
+  }
+  if (std::find(roots_.begin(), roots_.end(), root) == roots_.end()) {
+    roots_.push_back(root);
+  }
+  result_recycler_->Clear();
+
+  if (options_.strategy == LoadStrategy::kEager &&
+      !options_.persist_dir.empty()) {
+    LAZYETL_ASSIGN_OR_RETURN(TablePtr files, FilesTable());
+    LAZYETL_ASSIGN_OR_RETURN(TablePtr records, RecordsTable());
+    LAZYETL_ASSIGN_OR_RETURN(TablePtr data, DataTable());
+    LAZYETL_RETURN_NOT_OK(storage::WriteTable(
+        (fs::path(options_.persist_dir) / "files").string(), *files));
+    LAZYETL_RETURN_NOT_OK(storage::WriteTable(
+        (fs::path(options_.persist_dir) / "records").string(), *records));
+    LAZYETL_RETURN_NOT_OK(storage::WriteTable(
+        (fs::path(options_.persist_dir) / "data").string(), *data));
+    // Remember the attached roots so a reopened warehouse can Refresh().
+    std::ofstream roots_file(fs::path(options_.persist_dir) / "roots",
+                             std::ios::trunc);
+    for (const auto& r : roots_) roots_file << r << "\n";
+    if (!roots_file.good()) {
+      return Status::IOError("failed writing roots file in " +
+                             options_.persist_dir);
+    }
+  }
+
+  stats.seconds = timer.ElapsedSeconds();
+  LogOp(LogCategory::kGeneral,
+        "initial loading done: " + std::to_string(stats.files) + " files, " +
+            std::to_string(stats.records) + " records, " +
+            std::to_string(stats.samples_loaded) + " samples, " +
+            HumanBytes(stats.bytes_read) + " read in " +
+            std::to_string(stats.seconds) + "s");
+  return stats;
+}
+
+Result<std::vector<int64_t>> Warehouse::CandidateFileIds(
+    const sql::BoundQuery& query) {
+  LAZYETL_ASSIGN_OR_RETURN(TablePtr files, FilesTable());
+  LAZYETL_ASSIGN_OR_RETURN(size_t fid_idx, files->ColumnIndex("file_id"));
+  const auto& fids = files->column(fid_idx).int64_data();
+
+  // With file-level conjuncts, evaluate them over a qualified view of the
+  // files table ("F.station", ...) to prune the candidate set.
+  if (query.view != nullptr && query.where != nullptr) {
+    std::vector<sql::BoundExprPtr> file_preds;
+    for (auto& conjunct : engine::SplitConjuncts(*query.where)) {
+      std::vector<std::string> tables;
+      conjunct->CollectTables(&tables);
+      if (tables.size() == 1 && tables[0] == kFilesTable) {
+        file_preds.push_back(std::move(conjunct));
+      }
+    }
+    if (!file_preds.empty()) {
+      Table qualified;
+      for (size_t i = 0; i < files->num_columns(); ++i) {
+        LAZYETL_RETURN_NOT_OK(qualified.AddColumn(
+            "F." + files->column_name(i), files->column(i)));
+      }
+      sql::BoundExprPtr combined =
+          engine::CombineConjuncts(std::move(file_preds));
+      LAZYETL_ASSIGN_OR_RETURN(
+          storage::SelectionVector sel,
+          engine::EvaluatePredicate(*combined, qualified));
+      std::vector<int64_t> out;
+      out.reserve(sel.size());
+      for (uint32_t row : sel) out.push_back(fids[row]);
+      return out;
+    }
+  }
+  return std::vector<int64_t>(fids.begin(), fids.end());
+}
+
+Status Warehouse::ReloadModifiedFile(FileEntry* entry, uint64_t* bytes_read) {
+  recycler_->InvalidateFile(entry->file_id);
+  LAZYETL_ASSIGN_OR_RETURN(TablePtr files, FilesTable());
+  LAZYETL_ASSIGN_OR_RETURN(TablePtr records, RecordsTable());
+  LAZYETL_RETURN_NOT_OK(RemoveFileRows(files.get(), entry->file_id).status());
+  LAZYETL_RETURN_NOT_OK(
+      RemoveFileRows(records.get(), entry->file_id).status());
+  entry->hydrated = false;
+  entry->seq_to_record.clear();
+
+  switch (options_.strategy) {
+    case LoadStrategy::kEager: {
+      LAZYETL_ASSIGN_OR_RETURN(TablePtr data, DataTable());
+      LAZYETL_RETURN_NOT_OK(
+          RemoveFileRows(data.get(), entry->file_id).status());
+      LoadStats ls;
+      LAZYETL_RETURN_NOT_OK(LoadFileEager(entry, &ls));
+      *bytes_read += ls.bytes_read;
+      break;
+    }
+    case LoadStrategy::kLazy: {
+      LoadStats ls;
+      LAZYETL_RETURN_NOT_OK(LoadFileMetadata(entry, &ls));
+      *bytes_read += ls.bytes_read;
+      break;
+    }
+    case LoadStrategy::kLazyFilenameOnly:
+      LAZYETL_RETURN_NOT_OK(LoadFileFromFilename(entry));
+      break;
+  }
+  result_recycler_->Clear();
+  return Status::OK();
+}
+
+Status Warehouse::RefreshStaleCandidates(const sql::BoundQuery& query,
+                                         ExecutionReport* report) {
+  LAZYETL_ASSIGN_OR_RETURN(std::vector<int64_t> candidates,
+                           CandidateFileIds(query));
+  for (int64_t fid : candidates) {
+    FileEntry& entry = files_[fid - 1];
+    if (entry.file_id == 0) continue;
+    auto st = mseed::StatFile(entry.path);
+    if (!st.ok()) continue;  // vanished: extraction will report NotFound
+    if (st->mtime == entry.mtime && st->size == entry.size) continue;
+    LogOp(LogCategory::kRefresh,
+          "lazy refresh at query time: " + entry.path +
+              " changed; re-loading its metadata");
+    LAZYETL_RETURN_NOT_OK(ReloadModifiedFile(&entry, &report->bytes_read));
+  }
+  return Status::OK();
+}
+
+Result<LoadStats> Warehouse::AttachPersisted(const std::string& persist_dir) {
+  if (options_.strategy != LoadStrategy::kEager) {
+    return Status::InvalidArgument(
+        "AttachPersisted requires the eager strategy");
+  }
+  if (!files_.empty()) {
+    return Status::InvalidArgument(
+        "AttachPersisted requires a fresh warehouse");
+  }
+  Stopwatch timer;
+  LogOp(LogCategory::kEagerLoad,
+        "re-opening persisted warehouse from " + persist_dir);
+
+  LAZYETL_ASSIGN_OR_RETURN(
+      Table files, storage::ReadTable((fs::path(persist_dir) / "files").string()));
+  LAZYETL_ASSIGN_OR_RETURN(
+      Table records,
+      storage::ReadTable((fs::path(persist_dir) / "records").string()));
+  LAZYETL_ASSIGN_OR_RETURN(
+      Table data, storage::ReadTable((fs::path(persist_dir) / "data").string()));
+
+  // Rebuild the file registry from the files table.
+  LAZYETL_ASSIGN_OR_RETURN(size_t fid_idx, files.ColumnIndex("file_id"));
+  LAZYETL_ASSIGN_OR_RETURN(size_t uri_idx, files.ColumnIndex("uri"));
+  LAZYETL_ASSIGN_OR_RETURN(size_t size_idx, files.ColumnIndex("file_size"));
+  LAZYETL_ASSIGN_OR_RETURN(size_t mtime_idx,
+                           files.ColumnIndex("last_modified"));
+  const auto& fids = files.column(fid_idx).int64_data();
+  int64_t max_id = 0;
+  for (int64_t fid : fids) max_id = std::max(max_id, fid);
+  files_.assign(static_cast<size_t>(max_id), FileEntry{});  // tombstones
+  for (size_t row = 0; row < fids.size(); ++row) {
+    FileEntry& entry = files_[fids[row] - 1];
+    entry.file_id = fids[row];
+    entry.path = files.column(uri_idx).string_data()[row];
+    entry.size =
+        static_cast<uint64_t>(files.column(size_idx).int64_data()[row]);
+    entry.mtime = files.column(mtime_idx).int64_data()[row];
+    entry.hydrated = false;  // record metadata reloads on demand (Refresh)
+    path_to_file_id_[entry.path] = entry.file_id;
+  }
+
+  LoadStats stats;
+  stats.files = fids.size();
+  stats.records = records.num_rows();
+  stats.samples_loaded = data.num_rows();
+  LAZYETL_ASSIGN_OR_RETURN(uint64_t disk_bytes,
+                           storage::DirectoryBytes(persist_dir));
+  stats.bytes_read = disk_bytes;
+
+  catalog_->PutTable(kFilesTable, std::make_shared<Table>(std::move(files)));
+  catalog_->PutTable(kRecordsTable,
+                     std::make_shared<Table>(std::move(records)));
+  catalog_->PutTable(kDataTable, std::make_shared<Table>(std::move(data)));
+
+  // Restore the repository roots for Refresh().
+  std::ifstream roots_file(fs::path(persist_dir) / "roots");
+  std::string line;
+  while (std::getline(roots_file, line)) {
+    line = Trim(line);
+    if (!line.empty()) roots_.push_back(line);
+  }
+
+  result_recycler_->Clear();
+  stats.seconds = timer.ElapsedSeconds();
+  LogOp(LogCategory::kEagerLoad,
+        "persisted warehouse reopened: " + std::to_string(stats.files) +
+            " files, " + std::to_string(stats.samples_loaded) + " samples");
+  return stats;
+}
+
+Status Warehouse::HydrateForQuery(const sql::BoundQuery& query,
+                                  ExecutionReport* report) {
+  // Only dataview queries and direct queries on R/D need record metadata.
+  bool needs_records = false;
+  if (query.view != nullptr) {
+    needs_records = true;
+  } else if (query.base_table == kRecordsTable ||
+             query.base_table == kDataTable) {
+    needs_records = true;
+  }
+  if (!needs_records) return Status::OK();
+
+  LAZYETL_ASSIGN_OR_RETURN(std::vector<int64_t> candidates,
+                           CandidateFileIds(query));
+  for (int64_t fid : candidates) {
+    FileEntry& entry = files_[fid - 1];
+    if (entry.file_id == 0 || entry.hydrated) continue;
+    uint64_t bytes = 0;
+    LAZYETL_RETURN_NOT_OK(HydrateFile(&entry, &bytes));
+    report->bytes_read += bytes;
+    ++report->files_hydrated;
+  }
+  if (report->files_hydrated > 0) {
+    LogOp(LogCategory::kMetadataLoad,
+          "deferred metadata: hydrated " +
+              std::to_string(report->files_hydrated) +
+              " candidate files for this query");
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> Warehouse::Query(const std::string& sql) {
+  Stopwatch total;
+  ExecutionReport report;
+  report.sql = sql;
+  LogOp(LogCategory::kQuery, "query: " + sql);
+
+  Stopwatch phase;
+  LAZYETL_ASSIGN_OR_RETURN(sql::SelectStatement stmt, sql::Parse(sql));
+  report.parse_seconds = phase.ElapsedSeconds();
+
+  phase.Restart();
+  sql::Binder binder(catalog_.get());
+  LAZYETL_ASSIGN_OR_RETURN(sql::BoundQuery bound, binder.Bind(stmt));
+  report.bind_seconds = phase.ElapsedSeconds();
+
+  if (IsLazyStrategy()) {
+    // Lazy refreshment (§3.3): before executing, verify the candidate
+    // files' mtimes and re-load metadata of any that changed, so the
+    // metadata phase of the plan sees the current repository state.
+    LAZYETL_RETURN_NOT_OK(RefreshStaleCandidates(bound, &report));
+  }
+  if (options_.strategy == LoadStrategy::kLazyFilenameOnly) {
+    LAZYETL_RETURN_NOT_OK(HydrateForQuery(bound, &report));
+  }
+
+  phase.Restart();
+  std::set<std::string> lazy_tables;
+  if (IsLazyStrategy()) lazy_tables.insert(kDataTable);
+  engine::Planner planner(catalog_.get(), lazy_tables,
+                          options_.enable_metadata_pruning);
+  LAZYETL_ASSIGN_OR_RETURN(engine::PlannedQuery planned, planner.Plan(bound));
+  report.plan_before = planned.naive_plan;
+  report.plan_after = planned.plan->ToString();
+  report.plan_seconds = phase.ElapsedSeconds();
+  LogOp(LogCategory::kPlan,
+        "compile-time reorganisation done (metadata predicates first)");
+
+  // Whole-result recycling.
+  auto* provider = static_cast<WarehouseDataProvider*>(provider_.get());
+  if (options_.enable_result_cache) {
+    auto mtime_fn = [this](const engine::ResultDependency& dep) {
+      return CurrentMtime(dep.path);
+    };
+    const engine::CachedResult* cached =
+        result_recycler_->ValidateAndGet(sql, mtime_fn);
+    if (cached != nullptr) {
+      ++result_cache_hits_;
+      report.result_cache_hit = true;
+      report.result_rows = cached->table.num_rows();
+      report.total_seconds = total.ElapsedSeconds();
+      LogOp(LogCategory::kCache, "query answered from result cache");
+      QueryResult qr{cached->table, std::move(report)};
+      return qr;
+    }
+  }
+
+  phase.Restart();
+  provider->BeginQuery();
+  engine::Executor executor(catalog_.get(), provider_.get());
+  LAZYETL_ASSIGN_OR_RETURN(Table result,
+                           executor.Execute(*planned.plan, &report));
+  report.execute_seconds = phase.ElapsedSeconds();
+  report.result_rows = result.num_rows();
+  report.total_seconds = total.ElapsedSeconds();
+
+  if (options_.enable_result_cache) {
+    engine::CachedResult cached;
+    cached.table = result;
+    cached.deps = provider->deps();
+    cached.admitted_at = NowNanos();
+    result_recycler_->Admit(sql, std::move(cached));
+  }
+  LogOp(LogCategory::kQuery,
+        "query done: " + std::to_string(report.result_rows) + " rows in " +
+            std::to_string(report.total_seconds) + "s");
+  return QueryResult{std::move(result), std::move(report)};
+}
+
+Result<engine::ExecutionReport> Warehouse::Explain(const std::string& sql) {
+  ExecutionReport report;
+  report.sql = sql;
+  Stopwatch phase;
+  LAZYETL_ASSIGN_OR_RETURN(sql::SelectStatement stmt, sql::Parse(sql));
+  report.parse_seconds = phase.ElapsedSeconds();
+  phase.Restart();
+  sql::Binder binder(catalog_.get());
+  LAZYETL_ASSIGN_OR_RETURN(sql::BoundQuery bound, binder.Bind(stmt));
+  report.bind_seconds = phase.ElapsedSeconds();
+  phase.Restart();
+  std::set<std::string> lazy_tables;
+  if (IsLazyStrategy()) lazy_tables.insert(kDataTable);
+  engine::Planner planner(catalog_.get(), lazy_tables,
+                          options_.enable_metadata_pruning);
+  LAZYETL_ASSIGN_OR_RETURN(engine::PlannedQuery planned, planner.Plan(bound));
+  report.plan_before = planned.naive_plan;
+  report.plan_after = planned.plan->ToString();
+  report.plan_seconds = phase.ElapsedSeconds();
+  report.total_seconds =
+      report.parse_seconds + report.bind_seconds + report.plan_seconds;
+  return report;
+}
+
+Result<RefreshStats> Warehouse::Refresh() {
+  Stopwatch timer;
+  RefreshStats stats;
+  LogOp(LogCategory::kRefresh, "refresh: re-scanning repositories");
+
+  std::unordered_set<std::string> seen;
+  for (const auto& root : roots_) {
+    LAZYETL_ASSIGN_OR_RETURN(auto scanned, mseed::ScanRepository(root));
+    for (const auto& f : scanned) {
+      seen.insert(f.path);
+      auto it = path_to_file_id_.find(f.path);
+      if (it == path_to_file_id_.end()) {
+        // New file.
+        LoadStats ls;
+        LAZYETL_RETURN_NOT_OK(AttachFile(f.path, &ls));
+        stats.bytes_read += ls.bytes_read;
+        if (ls.files > 0) ++stats.new_files;
+        continue;
+      }
+      FileEntry& entry = files_[it->second - 1];
+      if (f.mtime == entry.mtime && f.size == entry.size) continue;
+
+      // Modified file.
+      ++stats.modified_files;
+      LAZYETL_RETURN_NOT_OK(ReloadModifiedFile(&entry, &stats.bytes_read));
+    }
+  }
+
+  // Deleted files.
+  for (auto& entry : files_) {
+    if (entry.file_id == 0) continue;
+    if (seen.count(entry.path)) continue;
+    ++stats.deleted_files;
+    recycler_->InvalidateFile(entry.file_id);
+    LAZYETL_ASSIGN_OR_RETURN(TablePtr files, FilesTable());
+    LAZYETL_ASSIGN_OR_RETURN(TablePtr records, RecordsTable());
+    LAZYETL_RETURN_NOT_OK(RemoveFileRows(files.get(), entry.file_id).status());
+    LAZYETL_RETURN_NOT_OK(
+        RemoveFileRows(records.get(), entry.file_id).status());
+    if (options_.strategy == LoadStrategy::kEager) {
+      LAZYETL_ASSIGN_OR_RETURN(TablePtr data, DataTable());
+      LAZYETL_RETURN_NOT_OK(
+          RemoveFileRows(data.get(), entry.file_id).status());
+    }
+    path_to_file_id_.erase(entry.path);
+    entry.file_id = 0;  // tombstone
+  }
+
+  result_recycler_->Clear();
+  stats.seconds = timer.ElapsedSeconds();
+  LogOp(LogCategory::kRefresh,
+        "refresh done: " + std::to_string(stats.new_files) + " new, " +
+            std::to_string(stats.modified_files) + " modified, " +
+            std::to_string(stats.deleted_files) + " deleted");
+  return stats;
+}
+
+void Warehouse::ClearCaches() {
+  recycler_->Clear();
+  recycler_->ResetCounters();
+  result_recycler_->Clear();
+}
+
+void Warehouse::ResetCacheCounters() { recycler_->ResetCounters(); }
+
+WarehouseStats Warehouse::Stats() const {
+  WarehouseStats stats;
+  stats.strategy = options_.strategy;
+  for (const auto& entry : files_) {
+    if (entry.file_id == 0) continue;
+    ++stats.num_files;
+    if (entry.hydrated) ++stats.num_hydrated_files;
+    stats.repository_bytes += entry.size;
+  }
+  stats.catalog_bytes = catalog_->MemoryBytes();
+  stats.cache = recycler_->stats();
+  stats.result_cache_hits = result_cache_hits_;
+  stats.result_cache_entries = result_recycler_->entries();
+  return stats;
+}
+
+}  // namespace lazyetl::core

@@ -1,0 +1,229 @@
+// Warehouse: the public API of the Lazy ETL system.
+//
+// A Warehouse wraps the column-store catalog, the SQL front-end, the query
+// engine, and the ETL machinery. It can be bootstrapped from an mSEED
+// repository three ways (§3, §4 demo point 1):
+//
+//   kEager            traditional ETL: extract, transform and load every
+//                     sample before the first query.
+//   kLazy             the paper's approach: initial loading reads only the
+//                     file and record control headers; actual data is
+//                     extracted/transformed/loaded on demand per query.
+//   kLazyFilenameOnly even lazier: initial loading parses only the SDS
+//                     filenames ("the file does not even need to be read");
+//                     record metadata is hydrated at query time for
+//                     candidate files.
+//
+// Usage:
+//   WarehouseOptions options;
+//   options.strategy = LoadStrategy::kLazy;
+//   auto wh = *Warehouse::Open(options);
+//   wh->AttachRepository("/data/orfeus-pond");
+//   auto result = wh->Query("SELECT AVG(D.sample_value) FROM mseed.dataview "
+//                           "WHERE F.station = 'ISK' ...");
+//   std::cout << result->table.ToString() << result->report.ToString();
+
+#ifndef LAZYETL_CORE_WAREHOUSE_H_
+#define LAZYETL_CORE_WAREHOUSE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "engine/executor.h"
+#include "engine/recycler.h"
+#include "engine/report.h"
+#include "mseed/reader.h"
+#include "storage/catalog.h"
+
+namespace lazyetl::core {
+
+enum class LoadStrategy {
+  kEager,
+  kLazy,
+  kLazyFilenameOnly,
+};
+
+const char* LoadStrategyToString(LoadStrategy s);
+
+struct WarehouseOptions {
+  LoadStrategy strategy = LoadStrategy::kLazy;
+  // Recycler budget for cached record intermediates (§3.3: "not larger
+  // than the size of system's main memory"; default 256 MiB).
+  uint64_t cache_budget_bytes = 256ULL << 20;
+  // Whole-query result recycling (end results of views, §3.3).
+  bool enable_result_cache = true;
+  // Record/file pruning inferred from D.sample_time predicates. On by
+  // default; off reproduces a system without record-granularity metadata
+  // exploitation (the E10 ablation).
+  bool enable_metadata_pruning = true;
+  // When non-empty and the strategy is eager, the loaded tables are also
+  // persisted here (for the storage-footprint experiment and reopening).
+  std::string persist_dir;
+  // Worker threads for lazy extraction. Files are independent units of
+  // work (open + decode + transform), so multi-file fetches parallelise
+  // cleanly; cache admission and table assembly stay single-threaded.
+  // 1 = fully serial.
+  unsigned extraction_threads = 1;
+  // Mirror the operation log to stderr.
+  bool echo_log = false;
+};
+
+struct LoadStats {
+  size_t files = 0;
+  size_t records = 0;
+  uint64_t samples_loaded = 0;   // 0 for lazy strategies
+  uint64_t bytes_read = 0;       // actual bytes read from the repository
+  double seconds = 0;
+};
+
+struct RefreshStats {
+  size_t new_files = 0;
+  size_t modified_files = 0;
+  size_t deleted_files = 0;
+  uint64_t bytes_read = 0;
+  double seconds = 0;
+};
+
+struct QueryResult {
+  storage::Table table;
+  engine::ExecutionReport report;
+};
+
+struct WarehouseStats {
+  LoadStrategy strategy = LoadStrategy::kLazy;
+  size_t num_files = 0;
+  size_t num_hydrated_files = 0;
+  uint64_t catalog_bytes = 0;         // in-memory table footprint
+  uint64_t repository_bytes = 0;      // summed source file sizes
+  engine::RecyclerStats cache;
+  uint64_t result_cache_hits = 0;
+  uint64_t result_cache_entries = 0;
+};
+
+class Warehouse {
+ public:
+  static Result<std::unique_ptr<Warehouse>> Open(WarehouseOptions options);
+
+  ~Warehouse();
+  Warehouse(const Warehouse&) = delete;
+  Warehouse& operator=(const Warehouse&) = delete;
+
+  // Performs initial loading of the repository rooted at `root` according
+  // to the configured strategy. May be called for multiple roots.
+  Result<LoadStats> AttachRepository(const std::string& root);
+
+  // Re-opens an eagerly-loaded warehouse previously persisted through
+  // `options.persist_dir`, skipping ETL entirely. Only valid on a fresh
+  // kEager warehouse; restores tables, the file registry, and the attached
+  // repository roots (so Refresh() keeps working).
+  Result<LoadStats> AttachPersisted(const std::string& persist_dir);
+
+  // Parses, binds, plans, and executes `sql`. The report documents plan
+  // reorganisation, run-time rewriting, extraction and cache activity.
+  Result<QueryResult> Query(const std::string& sql);
+
+  // Parses, binds, and plans `sql` without executing it: the report holds
+  // the naive plan and the reorganised (metadata-first) plan. No data is
+  // touched and no metadata is hydrated.
+  Result<engine::ExecutionReport> Explain(const std::string& sql);
+
+  // Re-scans attached repositories: registers new files, refreshes the
+  // metadata of modified ones (and drops deleted ones). Actual data held
+  // in the cache is refreshed lazily at query time via mtime checks; with
+  // the eager strategy modified files are re-loaded here.
+  Result<RefreshStats> Refresh();
+
+  // Drops all cached intermediates and results (cold-cache measurements).
+  void ClearCaches();
+
+  // Zeroes the cache hit/miss/eviction counters while keeping the cached
+  // contents (clean hot-cache measurements).
+  void ResetCacheCounters();
+
+  const storage::Catalog& catalog() const { return *catalog_; }
+  WarehouseStats Stats() const;
+  const WarehouseOptions& options() const { return options_; }
+
+  // Paths of the attached repository roots.
+  const std::vector<std::string>& repositories() const { return roots_; }
+
+ private:
+  friend class WarehouseDataProvider;
+
+  // Everything known about one source file.
+  struct FileEntry {
+    int64_t file_id = 0;
+    std::string path;
+    NanoTime mtime = 0;      // as of the last metadata (re)load
+    uint64_t size = 0;
+    bool hydrated = false;   // record metadata present?
+    mseed::FileMetadata metadata;  // valid when hydrated
+    std::map<int64_t, size_t> seq_to_record;  // seq_no -> records index
+  };
+
+  explicit Warehouse(WarehouseOptions options);
+
+  Status AttachFile(const std::string& path, LoadStats* stats);
+  Status LoadFileEager(FileEntry* entry, LoadStats* stats);
+  Status LoadFileMetadata(FileEntry* entry, LoadStats* stats);
+  Status LoadFileFromFilename(FileEntry* entry);
+
+  // Fills entry->metadata by scanning record headers; appends R rows.
+  Status HydrateFile(FileEntry* entry, uint64_t* bytes_read);
+
+  // Loads a dataless SEED volume (ASCII control headers) into the
+  // mseed.stations / mseed.channels inventory tables. Idempotent per path.
+  Status LoadDatalessInventory(const std::string& path, LoadStats* stats);
+
+  // Drops a modified file's table rows and cache entries and re-loads its
+  // metadata per the current strategy (shared by Refresh() and the lazy
+  // query-time staleness pass).
+  Status ReloadModifiedFile(FileEntry* entry, uint64_t* bytes_read);
+
+  // File ids matching the query's file-level predicates (all files when
+  // the query has none). Used to bound hydration and staleness checks.
+  Result<std::vector<int64_t>> CandidateFileIds(const sql::BoundQuery& query);
+
+  // Lazy refresh (§3.3) at query time: stats the candidate files and
+  // re-loads metadata of any whose mtime changed since it was read.
+  Status RefreshStaleCandidates(const sql::BoundQuery& query,
+                                engine::ExecutionReport* report);
+
+  // Filename-only strategy: hydrate record metadata of the files matching
+  // the query's file-level predicates (called before planning when the
+  // query needs R or D columns).
+  Status HydrateForQuery(const sql::BoundQuery& query,
+                         engine::ExecutionReport* report);
+
+  // Current mtime of a file, or -1 when it cannot be statted.
+  NanoTime CurrentMtime(const std::string& path) const;
+
+  Result<storage::TablePtr> FilesTable() const;
+  Result<storage::TablePtr> RecordsTable() const;
+  Result<storage::TablePtr> DataTable() const;
+
+  bool IsLazyStrategy() const {
+    return options_.strategy != LoadStrategy::kEager;
+  }
+
+  WarehouseOptions options_;
+  std::unique_ptr<storage::Catalog> catalog_;
+  std::unique_ptr<engine::Recycler> recycler_;
+  std::unique_ptr<engine::ResultRecycler> result_recycler_;
+  std::unique_ptr<engine::LazyDataProvider> provider_;
+  std::vector<std::string> roots_;
+  std::vector<FileEntry> files_;                  // indexed by file_id - 1
+  std::map<std::string, int64_t> path_to_file_id_;
+  std::set<std::string> dataless_paths_;  // inventories already loaded
+  uint64_t result_cache_hits_ = 0;
+};
+
+}  // namespace lazyetl::core
+
+#endif  // LAZYETL_CORE_WAREHOUSE_H_

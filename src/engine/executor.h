@@ -1,0 +1,83 @@
+// Executor: runs plans bottom-up with materialised intermediates.
+//
+// The LazyDataScan node realises the paper's run-time plan modification
+// (§3.1): after the metadata side of the plan has executed, the executor's
+// rewriting step inspects the qualifying (file_id, seq_no) pairs and asks
+// the LazyDataProvider for exactly those records; the provider serves them
+// from the recycler cache or extracts them from the source files. The
+// "plan after rewrite" — which records came from cache, which files were
+// opened — is recorded in the ExecutionReport.
+
+#ifndef LAZYETL_ENGINE_EXECUTOR_H_
+#define LAZYETL_ENGINE_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "engine/plan.h"
+#include "engine/recycler.h"
+#include "engine/report.h"
+#include "storage/catalog.h"
+
+namespace lazyetl::engine {
+
+// Supplies actual data at query time (implemented by the lazy ETL layer).
+class LazyDataProvider {
+ public:
+  virtual ~LazyDataProvider() = default;
+
+  // Produces a table holding `columns` (named by output_name) for exactly
+  // the requested records. Expected columns are a subset of the data
+  // table's schema (file_id, seq_no, sample_time, sample_value).
+  virtual Result<storage::Table> FetchRecords(
+      const std::vector<RecordKey>& keys,
+      const std::vector<ScanColumn>& columns, ExecutionReport* report) = 0;
+
+  // The §3.1 worst case: every record of the repository.
+  virtual Result<storage::Table> FetchAllRecords(
+      const std::vector<ScanColumn>& columns, ExecutionReport* report) = 0;
+};
+
+class Executor {
+ public:
+  // `provider` may be null (pure eager warehouse); executing a
+  // LazyDataScan without a provider is an execution error.
+  Executor(const storage::Catalog* catalog, LazyDataProvider* provider)
+      : catalog_(catalog), provider_(provider) {}
+
+  Result<storage::Table> Execute(const PlanNode& plan,
+                                 ExecutionReport* report);
+
+ private:
+  Result<storage::Table> ExecuteScan(const PlanNode& node);
+  Result<storage::Table> ExecuteLazyDataScan(const PlanNode& node,
+                                             ExecutionReport* report);
+  Result<storage::Table> ExecuteFilter(const PlanNode& node,
+                                       ExecutionReport* report);
+  Result<storage::Table> ExecuteHashJoin(const PlanNode& node,
+                                         ExecutionReport* report);
+  Result<storage::Table> ExecuteAggregate(const PlanNode& node,
+                                          ExecutionReport* report);
+  Result<storage::Table> ExecuteProject(const PlanNode& node,
+                                        ExecutionReport* report);
+  Result<storage::Table> ExecuteDistinct(const PlanNode& node,
+                                         ExecutionReport* report);
+  Result<storage::Table> ExecuteSort(const PlanNode& node,
+                                     ExecutionReport* report);
+  Result<storage::Table> ExecuteLimit(const PlanNode& node,
+                                      ExecutionReport* report);
+
+  const storage::Catalog* catalog_;
+  LazyDataProvider* provider_;
+};
+
+// Joins two materialised tables on equal key columns (hash join; build on
+// left). Exposed for reuse by the LazyDataScan implementation and tests.
+Result<storage::Table> HashJoinTables(const storage::Table& left,
+                                      const storage::Table& right,
+                                      const std::vector<std::string>& left_keys,
+                                      const std::vector<std::string>& right_keys);
+
+}  // namespace lazyetl::engine
+
+#endif  // LAZYETL_ENGINE_EXECUTOR_H_

@@ -1,0 +1,33 @@
+// Vectorised evaluation of bound expressions over intermediate tables.
+//
+// Lazy transformations (§3.2) become ordinary relational expressions after
+// view expansion; this evaluator executes them column-at-a-time.
+
+#ifndef LAZYETL_ENGINE_EXPR_EVAL_H_
+#define LAZYETL_ENGINE_EXPR_EVAL_H_
+
+#include "common/result.h"
+#include "sql/binder.h"
+#include "storage/table.h"
+
+namespace lazyetl::engine {
+
+// Evaluates `expr` for every row of `input`, producing a column of
+// input.num_rows() values.
+//
+// Resolution rules (in order):
+//   1. If the whole expression's display string names a column of `input`
+//      (e.g. a grouping expression re-evaluated above an Aggregate, or an
+//      aggregate result column "#aggN"), that column is returned directly.
+//   2. Column refs are fetched by display name.
+//   3. Operators and scalar functions are computed recursively.
+Result<storage::Column> EvaluateExpr(const sql::BoundExpr& expr,
+                                     const storage::Table& input);
+
+// Evaluates a boolean predicate and returns the selected row ids.
+Result<storage::SelectionVector> EvaluatePredicate(const sql::BoundExpr& expr,
+                                                   const storage::Table& input);
+
+}  // namespace lazyetl::engine
+
+#endif  // LAZYETL_ENGINE_EXPR_EVAL_H_

@@ -1,0 +1,91 @@
+// Query plan representation.
+//
+// Plans are operator trees executed bottom-up with fully materialised
+// intermediates (column-at-a-time, MonetDB-style). The LazyDataScan node is
+// the lazy-ETL hook: at run time, the executor's rewriting step replaces it
+// with cache accesses and file extractions for exactly the records its
+// metadata-side child selected.
+
+#ifndef LAZYETL_ENGINE_PLAN_H_
+#define LAZYETL_ENGINE_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/binder.h"
+
+namespace lazyetl::engine {
+
+enum class PlanNodeType {
+  kScan,          // read a catalog table (optionally qualified/projected)
+  kLazyDataScan,  // lazy extraction + join against metadata-side child
+  kFilter,
+  kHashJoin,
+  kAggregate,
+  kProject,
+  kDistinct,  // drop duplicate rows, keeping first occurrences
+  kSort,
+  kLimit,
+};
+
+const char* PlanNodeTypeToString(PlanNodeType t);
+
+struct PlanNode;
+using PlanNodePtr = std::unique_ptr<PlanNode>;
+
+// A scan output column: base column renamed to its qualified display name.
+struct ScanColumn {
+  std::string base_column;  // name in the stored table
+  std::string output_name;  // name in the intermediate ("F.station")
+};
+
+struct PlanNode {
+  PlanNodeType type = PlanNodeType::kScan;
+  std::vector<PlanNodePtr> children;
+
+  // kScan / kLazyDataScan
+  std::string table;               // catalog table name
+  std::vector<ScanColumn> scan_columns;
+
+  // kLazyDataScan: display names (in the child's output) of the columns
+  // holding the record keys to fetch. Empty child => fetch everything
+  // (the paper's worst case: the whole repository).
+  std::string probe_file_id_column;  // e.g. "R.file_id"
+  std::string probe_seq_no_column;   // e.g. "R.seq_no"
+
+  // kFilter
+  sql::BoundExprPtr predicate;
+
+  // kHashJoin (children[0] = build/left, children[1] = probe/right)
+  std::vector<std::string> left_keys;
+  std::vector<std::string> right_keys;
+
+  // kAggregate
+  std::vector<sql::BoundExprPtr> group_exprs;  // named by their ToString()
+  std::vector<sql::BoundAggregate> aggregates;
+
+  // kProject
+  std::vector<sql::BoundExprPtr> project_exprs;
+  std::vector<std::string> project_names;
+
+  // kSort
+  std::vector<sql::BoundOrderItem> order_items;
+
+  // kLimit
+  int64_t limit = -1;
+
+  // Pretty-printed plan tree (one node per line, indented).
+  std::string ToString() const;
+};
+
+// Helper constructors.
+PlanNodePtr MakeScan(std::string table, std::vector<ScanColumn> columns);
+PlanNodePtr MakeFilter(PlanNodePtr child, sql::BoundExprPtr predicate);
+PlanNodePtr MakeHashJoin(PlanNodePtr left, PlanNodePtr right,
+                         std::vector<std::string> left_keys,
+                         std::vector<std::string> right_keys);
+
+}  // namespace lazyetl::engine
+
+#endif  // LAZYETL_ENGINE_PLAN_H_

@@ -1,0 +1,483 @@
+#include "engine/planner.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/macros.h"
+
+namespace lazyetl::engine {
+
+using sql::BinaryOp;
+using sql::BoundAggregate;
+using sql::BoundExpr;
+using sql::BoundExprPtr;
+using sql::BoundQuery;
+using sql::ExprKind;
+using storage::ViewDefinition;
+
+std::vector<BoundExprPtr> SplitConjuncts(const BoundExpr& expr) {
+  std::vector<BoundExprPtr> out;
+  if (expr.kind == ExprKind::kBinary && expr.bin_op == BinaryOp::kAnd) {
+    for (const auto& child : expr.children) {
+      auto sub = SplitConjuncts(*child);
+      for (auto& s : sub) out.push_back(std::move(s));
+    }
+    return out;
+  }
+  out.push_back(expr.Clone());
+  return out;
+}
+
+BoundExprPtr CombineConjuncts(std::vector<BoundExprPtr> conjuncts) {
+  BoundExprPtr result;
+  for (auto& c : conjuncts) {
+    if (!result) {
+      result = std::move(c);
+      continue;
+    }
+    auto conj = std::make_unique<BoundExpr>();
+    conj->kind = ExprKind::kBinary;
+    conj->bin_op = BinaryOp::kAnd;
+    conj->type = storage::DataType::kBool;
+    conj->children.push_back(std::move(result));
+    conj->children.push_back(std::move(c));
+    result = std::move(conj);
+  }
+  return result;
+}
+
+namespace {
+
+// Collects (base_table, base_column, display) triples referenced below
+// `expr` into `needed` (display names, deduplicated).
+void CollectColumns(const BoundExpr& expr,
+                    std::map<std::string, std::vector<ScanColumn>>* needed) {
+  if (expr.kind == ExprKind::kColumnRef && !expr.base_table.empty()) {
+    auto& cols = (*needed)[expr.base_table];
+    bool present = false;
+    for (const auto& sc : cols) {
+      if (sc.output_name == expr.display) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) cols.push_back({expr.base_column, expr.display});
+  }
+  for (const auto& c : expr.children) CollectColumns(*c, needed);
+}
+
+// All expressions of a query that reference stored columns.
+void CollectQueryColumns(const BoundQuery& query,
+                         std::map<std::string, std::vector<ScanColumn>>* needed) {
+  for (const auto& item : query.select_list) CollectColumns(*item.expr, needed);
+  if (query.where) CollectColumns(*query.where, needed);
+  for (const auto& g : query.group_by) CollectColumns(*g, needed);
+  if (query.having) CollectColumns(*query.having, needed);
+  for (const auto& o : query.order_by) CollectColumns(*o.expr, needed);
+  for (const auto& a : query.aggregates) {
+    if (a.arg) CollectColumns(*a.arg, needed);
+  }
+}
+
+// Display name a view exports for base_table.base_column.
+Result<std::string> ViewDisplayName(const ViewDefinition& view,
+                                    const std::string& base_table,
+                                    const std::string& base_column) {
+  for (const auto& vc : view.columns) {
+    if (vc.base_table == base_table && vc.base_column == base_column) {
+      return vc.qualifier + "." + vc.name;
+    }
+  }
+  return Status::Internal("view " + view.name + " does not export " +
+                          base_table + "." + base_column +
+                          " (needed as a join key)");
+}
+
+void AddScanColumn(std::vector<ScanColumn>* cols, const std::string& base,
+                   const std::string& display) {
+  for (const auto& sc : *cols) {
+    if (sc.output_name == display) return;
+  }
+  cols->push_back({base, display});
+}
+
+// Clones a BoundAggregate (args deep-copied).
+BoundAggregate CloneAggregate(const BoundAggregate& a) {
+  BoundAggregate out;
+  out.function = a.function;
+  out.arg = a.arg ? a.arg->Clone() : nullptr;
+  out.display = a.display;
+  out.type = a.type;
+  return out;
+}
+
+}  // namespace
+
+Result<PlanNodePtr> Planner::FinishPlan(const BoundQuery& query,
+                                        PlanNodePtr input) {
+  PlanNodePtr node = std::move(input);
+
+  if (query.has_aggregates() || !query.group_by.empty()) {
+    auto agg = std::make_unique<PlanNode>();
+    agg->type = PlanNodeType::kAggregate;
+    for (const auto& g : query.group_by) agg->group_exprs.push_back(g->Clone());
+    for (const auto& a : query.aggregates) {
+      agg->aggregates.push_back(CloneAggregate(a));
+    }
+    agg->children.push_back(std::move(node));
+    node = std::move(agg);
+
+    if (query.having) {
+      node = MakeFilter(std::move(node), query.having->Clone());
+    }
+  }
+
+  if (!query.order_by.empty()) {
+    auto sort = std::make_unique<PlanNode>();
+    sort->type = PlanNodeType::kSort;
+    for (const auto& o : query.order_by) {
+      sql::BoundOrderItem item;
+      item.expr = o.expr->Clone();
+      item.ascending = o.ascending;
+      sort->order_items.push_back(std::move(item));
+    }
+    sort->children.push_back(std::move(node));
+    node = std::move(sort);
+  }
+
+  auto project = std::make_unique<PlanNode>();
+  project->type = PlanNodeType::kProject;
+  for (const auto& item : query.select_list) {
+    project->project_exprs.push_back(item.expr->Clone());
+    project->project_names.push_back(item.name);
+  }
+  project->children.push_back(std::move(node));
+  node = std::move(project);
+
+  if (query.distinct) {
+    auto distinct = std::make_unique<PlanNode>();
+    distinct->type = PlanNodeType::kDistinct;
+    distinct->children.push_back(std::move(node));
+    node = std::move(distinct);
+  }
+
+  if (query.limit >= 0) {
+    auto limit = std::make_unique<PlanNode>();
+    limit->type = PlanNodeType::kLimit;
+    limit->limit = query.limit;
+    limit->children.push_back(std::move(node));
+    node = std::move(limit);
+  }
+  return node;
+}
+
+Result<PlannedQuery> Planner::PlanBaseTableQuery(const BoundQuery& query) {
+  std::map<std::string, std::vector<ScanColumn>> needed;
+  CollectQueryColumns(query, &needed);
+  std::vector<ScanColumn> cols = needed[query.base_table];
+
+  PlanNodePtr scan;
+  if (IsLazy(query.base_table)) {
+    // Direct query on the unmaterialised data table: the worst case of
+    // §3.1 — extraction of the entire repository.
+    scan = std::make_unique<PlanNode>();
+    scan->type = PlanNodeType::kLazyDataScan;
+    scan->table = query.base_table;
+    scan->scan_columns = std::move(cols);
+  } else {
+    scan = MakeScan(query.base_table, std::move(cols));
+  }
+
+  // Naive plan: filter above the scan (identical shape for base tables).
+  PlanNodePtr node = std::move(scan);
+  if (query.where) {
+    node = MakeFilter(std::move(node), query.where->Clone());
+  }
+  LAZYETL_ASSIGN_OR_RETURN(node, FinishPlan(query, std::move(node)));
+
+  PlannedQuery out;
+  out.naive_plan = node->ToString();
+  out.plan = std::move(node);
+  return out;
+}
+
+Result<PlannedQuery> Planner::PlanViewQuery(const BoundQuery& query) {
+  const ViewDefinition& view = *query.view;
+
+  // 1. Which base tables does the query reference?
+  std::map<std::string, std::vector<ScanColumn>> needed;
+  CollectQueryColumns(query, &needed);
+
+  // 2. The view's full join path is always planned: dropping an
+  //    unreferenced table would change result multiplicity (each file row
+  //    fans out per record, each record per sample), so even
+  //    SELECT COUNT(*) FROM mseed.dataview must expand all three tables.
+  //    Metadata browsing that must not touch actual data queries the base
+  //    tables mseed.files / mseed.records directly.
+  const size_t last_needed_step = view.joins.size();
+
+  // 3. Ensure join keys are scanned.
+  auto ensure_key_columns = [&](const std::string& table,
+                                const std::string& base_column) -> Status {
+    LAZYETL_ASSIGN_OR_RETURN(std::string display,
+                             ViewDisplayName(view, table, base_column));
+    AddScanColumn(&needed[table], base_column, display);
+    return Status::OK();
+  };
+  for (size_t i = 0; i < last_needed_step; ++i) {
+    const storage::ViewJoinStep& step = view.joins[i];
+    for (const auto& [left, right] : step.keys) {
+      // Left side: "table.column" of an earlier table.
+      size_t dot = left.rfind('.');
+      if (dot == std::string::npos) {
+        return Status::Internal("malformed view join key '" + left + "'");
+      }
+      LAZYETL_RETURN_NOT_OK(
+          ensure_key_columns(left.substr(0, dot), left.substr(dot + 1)));
+      LAZYETL_RETURN_NOT_OK(ensure_key_columns(step.table, right));
+    }
+  }
+
+  // 4. Split WHERE into per-table and multi-table conjuncts.
+  std::map<std::string, std::vector<BoundExprPtr>> table_preds;
+  std::vector<std::pair<std::vector<std::string>, BoundExprPtr>> multi_preds;
+  if (query.where) {
+    for (auto& conjunct : SplitConjuncts(*query.where)) {
+      std::vector<std::string> tables;
+      conjunct->CollectTables(&tables);
+      if (tables.size() == 1) {
+        table_preds[tables[0]].push_back(std::move(conjunct));
+      } else {
+        // Constant predicates (no column refs) are applied at the root.
+        if (tables.empty()) tables.push_back(view.root_table);
+        multi_preds.emplace_back(std::move(tables), std::move(conjunct));
+      }
+    }
+  }
+
+  // 4b. Metadata-predicate inference (the paper's "metadata is used to
+  //     identify the actual data required by a query"): from each
+  //     comparison of a contained data column against a literal, derive a
+  //     predicate on the containing range columns so whole records/files
+  //     are pruned before extraction. Sound because a record whose
+  //     [start, end] interval cannot satisfy the conjunct for any sample
+  //     cannot contribute any qualifying row.
+  auto make_range_ref = [&](const std::string& table,
+                            const std::string& column)
+      -> Result<BoundExprPtr> {
+    LAZYETL_ASSIGN_OR_RETURN(std::string display,
+                             ViewDisplayName(view, table, column));
+    auto ref = std::make_unique<BoundExpr>();
+    ref->kind = ExprKind::kColumnRef;
+    ref->type = storage::DataType::kTimestamp;
+    ref->display = display;
+    ref->base_table = table;
+    ref->base_column = column;
+    AddScanColumn(&needed[table], column, display);
+    return ref;
+  };
+  auto make_comparison = [](BinaryOp op, BoundExprPtr lhs,
+                            const BoundExpr& literal) {
+    auto cmp = std::make_unique<BoundExpr>();
+    cmp->kind = ExprKind::kBinary;
+    cmp->bin_op = op;
+    cmp->type = storage::DataType::kBool;
+    cmp->children.push_back(std::move(lhs));
+    cmp->children.push_back(literal.Clone());
+    return cmp;
+  };
+  for (const auto& rule : view.containment_rules) {
+    if (!infer_metadata_predicates_) break;
+    auto preds_it = table_preds.find(rule.data_table);
+    if (preds_it == table_preds.end()) continue;
+    size_t existing = preds_it->second.size();  // don't recurse on inferred
+    for (size_t p = 0; p < existing; ++p) {
+      const BoundExpr& conjunct = *preds_it->second[p];
+      if (conjunct.kind != ExprKind::kBinary) continue;
+      BinaryOp op = conjunct.bin_op;
+      if (op != BinaryOp::kLt && op != BinaryOp::kLe && op != BinaryOp::kGt &&
+          op != BinaryOp::kGe && op != BinaryOp::kEq) {
+        continue;
+      }
+      const BoundExpr* col = conjunct.children[0].get();
+      const BoundExpr* lit = conjunct.children[1].get();
+      if (col->kind == ExprKind::kLiteral &&
+          lit->kind == ExprKind::kColumnRef) {
+        std::swap(col, lit);
+        // Flip the comparison when the literal was on the left.
+        switch (op) {
+          case BinaryOp::kLt:
+            op = BinaryOp::kGt;
+            break;
+          case BinaryOp::kLe:
+            op = BinaryOp::kGe;
+            break;
+          case BinaryOp::kGt:
+            op = BinaryOp::kLt;
+            break;
+          case BinaryOp::kGe:
+            op = BinaryOp::kLe;
+            break;
+          default:
+            break;
+        }
+      }
+      if (col->kind != ExprKind::kColumnRef ||
+          lit->kind != ExprKind::kLiteral ||
+          col->base_table != rule.data_table ||
+          col->base_column != rule.data_column) {
+        continue;
+      }
+      // D.t < c  => range.start <  c   (some sample before c exists only
+      // D.t <= c => range.start <= c    if the interval starts before c)
+      // D.t > c  => range.end   >  c
+      // D.t >= c => range.end   >= c
+      // D.t = c  => range.start <= c AND range.end >= c
+      auto& out = table_preds[rule.range_table];
+      if (op == BinaryOp::kLt || op == BinaryOp::kLe) {
+        LAZYETL_ASSIGN_OR_RETURN(
+            BoundExprPtr start_ref,
+            make_range_ref(rule.range_table, rule.start_column));
+        out.push_back(make_comparison(op, std::move(start_ref), *lit));
+      } else if (op == BinaryOp::kGt || op == BinaryOp::kGe) {
+        LAZYETL_ASSIGN_OR_RETURN(
+            BoundExprPtr end_ref,
+            make_range_ref(rule.range_table, rule.end_column));
+        out.push_back(make_comparison(op, std::move(end_ref), *lit));
+      } else {  // kEq
+        LAZYETL_ASSIGN_OR_RETURN(
+            BoundExprPtr start_ref,
+            make_range_ref(rule.range_table, rule.start_column));
+        LAZYETL_ASSIGN_OR_RETURN(
+            BoundExprPtr end_ref,
+            make_range_ref(rule.range_table, rule.end_column));
+        out.push_back(
+            make_comparison(BinaryOp::kLe, std::move(start_ref), *lit));
+        out.push_back(
+            make_comparison(BinaryOp::kGe, std::move(end_ref), *lit));
+      }
+    }
+  }
+
+  // Tables available so far along the join path; used to place multi-table
+  // predicates as early as possible.
+  std::vector<std::string> available = {view.root_table};
+  auto apply_available_multi_preds = [&](PlanNodePtr node) -> PlanNodePtr {
+    std::vector<BoundExprPtr> ready;
+    for (auto& [tables, pred] : multi_preds) {
+      if (!pred) continue;
+      bool all_in = std::all_of(
+          tables.begin(), tables.end(), [&](const std::string& t) {
+            return std::find(available.begin(), available.end(), t) !=
+                   available.end();
+          });
+      if (all_in) ready.push_back(std::move(pred));
+    }
+    if (BoundExprPtr combined = CombineConjuncts(std::move(ready))) {
+      node = MakeFilter(std::move(node), std::move(combined));
+    }
+    return node;
+  };
+
+  // 5. Build the optimized plan bottom-up: every table's own predicates run
+  //    directly above its scan — metadata predicates therefore execute
+  //    before any join and before any data extraction.
+  auto scan_with_filter = [&](const std::string& table) -> PlanNodePtr {
+    PlanNodePtr scan = MakeScan(table, needed[table]);
+    auto preds = std::move(table_preds[table]);
+    if (BoundExprPtr combined = CombineConjuncts(std::move(preds))) {
+      return MakeFilter(std::move(scan), std::move(combined));
+    }
+    return scan;
+  };
+
+  // Also assemble the naive ("before reorganisation") plan for the report:
+  // all scans joined first, the whole WHERE applied on top.
+  PlanNodePtr naive = MakeScan(view.root_table, needed[view.root_table]);
+
+  PlanNodePtr node = scan_with_filter(view.root_table);
+  node = apply_available_multi_preds(std::move(node));
+
+  for (size_t i = 0; i < last_needed_step; ++i) {
+    const storage::ViewJoinStep& step = view.joins[i];
+    std::vector<std::string> left_keys;
+    std::vector<std::string> right_keys;
+    for (const auto& [left, right] : step.keys) {
+      size_t dot = left.rfind('.');
+      LAZYETL_ASSIGN_OR_RETURN(
+          std::string ldisp,
+          ViewDisplayName(view, left.substr(0, dot), left.substr(dot + 1)));
+      LAZYETL_ASSIGN_OR_RETURN(std::string rdisp,
+                               ViewDisplayName(view, step.table, right));
+      left_keys.push_back(ldisp);
+      right_keys.push_back(rdisp);
+    }
+
+    bool lazy_step =
+        IsLazy(step.table) ||
+        (!view.lazy_table.empty() && step.table == view.lazy_table);
+
+    if (lazy_step) {
+      // The data table is not materialised: a LazyDataScan consumes the
+      // metadata side and performs fetch + join at run time.
+      auto lazy = std::make_unique<PlanNode>();
+      lazy->type = PlanNodeType::kLazyDataScan;
+      lazy->table = step.table;
+      lazy->scan_columns = needed[step.table];
+      // Probe keys: (file_id, seq_no) equivalents on the metadata side.
+      if (left_keys.size() != 2) {
+        return Status::NotImplemented(
+            "lazy data table must join on exactly (file_id, seq_no)");
+      }
+      lazy->probe_file_id_column = left_keys[0];
+      lazy->probe_seq_no_column = left_keys[1];
+      lazy->left_keys = left_keys;
+      lazy->right_keys = right_keys;
+      lazy->children.push_back(std::move(node));
+      node = std::move(lazy);
+      // Data-table predicates apply right after extraction.
+      auto preds = std::move(table_preds[step.table]);
+      if (BoundExprPtr combined = CombineConjuncts(std::move(preds))) {
+        node = MakeFilter(std::move(node), std::move(combined));
+      }
+    } else {
+      node = MakeHashJoin(std::move(node), scan_with_filter(step.table),
+                          left_keys, right_keys);
+    }
+
+    // Naive plan mirrors the same join tree without any pushdown.
+    naive = MakeHashJoin(std::move(naive), MakeScan(step.table, needed[step.table]),
+                         left_keys, right_keys);
+
+    available.push_back(step.table);
+    node = apply_available_multi_preds(std::move(node));
+  }
+
+  // Any leftover multi-table predicates reference tables outside the join
+  // prefix — that would be a planner bug.
+  for (auto& [tables, pred] : multi_preds) {
+    if (pred) {
+      return Status::Internal("predicate " + pred->ToString() +
+                              " references tables outside the join path");
+    }
+  }
+
+  if (query.where) {
+    naive = MakeFilter(std::move(naive), query.where->Clone());
+  }
+  LAZYETL_ASSIGN_OR_RETURN(naive, FinishPlan(query, std::move(naive)));
+
+  LAZYETL_ASSIGN_OR_RETURN(node, FinishPlan(query, std::move(node)));
+
+  PlannedQuery out;
+  out.naive_plan = naive->ToString();
+  out.plan = std::move(node);
+  return out;
+}
+
+Result<PlannedQuery> Planner::Plan(const BoundQuery& query) {
+  if (query.view != nullptr) return PlanViewQuery(query);
+  return PlanBaseTableQuery(query);
+}
+
+}  // namespace lazyetl::engine

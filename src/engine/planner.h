@@ -1,0 +1,64 @@
+// Planner: turns a bound query into an executable plan and performs the
+// compile-time plan reorganisation of §3.1 — splitting the WHERE clause
+// into per-table conjuncts and pushing metadata predicates below the joins
+// so they run before any actual data is touched.
+
+#ifndef LAZYETL_ENGINE_PLANNER_H_
+#define LAZYETL_ENGINE_PLANNER_H_
+
+#include <set>
+#include <string>
+
+#include "common/result.h"
+#include "engine/plan.h"
+#include "sql/binder.h"
+#include "storage/catalog.h"
+
+namespace lazyetl::engine {
+
+struct PlannedQuery {
+  PlanNodePtr plan;        // the optimized, executable plan
+  std::string naive_plan;  // printout of the plan before reorganisation
+};
+
+class Planner {
+ public:
+  // `lazy_tables` names base tables whose contents are not materialised
+  // and must be produced by lazy extraction (empty set in eager mode).
+  // `infer_metadata_predicates` enables deriving record/file time-range
+  // predicates from actual-data predicates via the view's containment
+  // rules (disable only for the metadata-granularity ablation).
+  Planner(const storage::Catalog* catalog, std::set<std::string> lazy_tables,
+          bool infer_metadata_predicates = true)
+      : catalog_(catalog),
+        lazy_tables_(std::move(lazy_tables)),
+        infer_metadata_predicates_(infer_metadata_predicates) {}
+
+  Result<PlannedQuery> Plan(const sql::BoundQuery& query);
+
+ private:
+  Result<PlannedQuery> PlanViewQuery(const sql::BoundQuery& query);
+  Result<PlannedQuery> PlanBaseTableQuery(const sql::BoundQuery& query);
+
+  // Wraps `input` with Aggregate/Having/Sort/Project/Limit as required.
+  Result<PlanNodePtr> FinishPlan(const sql::BoundQuery& query,
+                                 PlanNodePtr input);
+
+  bool IsLazy(const std::string& table) const {
+    return lazy_tables_.count(table) > 0;
+  }
+
+  const storage::Catalog* catalog_;
+  std::set<std::string> lazy_tables_;
+  bool infer_metadata_predicates_ = true;
+};
+
+// Splits a boolean expression into its top-level AND conjuncts (clones).
+std::vector<sql::BoundExprPtr> SplitConjuncts(const sql::BoundExpr& expr);
+
+// Re-joins conjuncts with AND (consumes them). Returns null for empty input.
+sql::BoundExprPtr CombineConjuncts(std::vector<sql::BoundExprPtr> conjuncts);
+
+}  // namespace lazyetl::engine
+
+#endif  // LAZYETL_ENGINE_PLANNER_H_

@@ -1,0 +1,120 @@
+#include "engine/recycler.h"
+
+namespace lazyetl::engine {
+
+Recycler::Recycler(uint64_t budget_bytes) : budget_bytes_(budget_bytes) {
+  stats_.budget_bytes = budget_bytes;
+}
+
+const CachedRecord* Recycler::Lookup(const RecordKey& key,
+                                     NanoTime current_file_mtime,
+                                     bool* stale) {
+  if (stale != nullptr) *stale = false;
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (it->second.record.file_mtime != current_file_mtime) {
+    // Outdated: the source file changed after this entry was admitted.
+    ++stats_.stale;
+    if (stale != nullptr) *stale = true;
+    Erase(key);
+    return nullptr;
+  }
+  ++stats_.hits;
+  // Bump to most-recently-used.
+  lru_.erase(it->second.lru_it);
+  lru_.push_back(key);
+  it->second.lru_it = std::prev(lru_.end());
+  return &it->second.record;
+}
+
+void Recycler::Admit(const RecordKey& key, CachedRecord record) {
+  if (record.bytes == 0) {
+    record.bytes = record.sample_times.size() * sizeof(int64_t) +
+                   record.sample_values.size() * sizeof(int32_t) +
+                   sizeof(CachedRecord);
+  }
+  if (record.bytes > budget_bytes_) {
+    return;  // larger than the whole cache; not admissible
+  }
+  auto it = map_.find(key);
+  if (it != map_.end()) Erase(key);
+
+  while (stats_.current_bytes + record.bytes > budget_bytes_ && !lru_.empty()) {
+    EvictOne();
+  }
+
+  lru_.push_back(key);
+  Node node;
+  node.lru_it = std::prev(lru_.end());
+  stats_.current_bytes += record.bytes;
+  node.record = std::move(record);
+  map_.emplace(key, std::move(node));
+  ++stats_.admissions;
+  stats_.entries = map_.size();
+}
+
+void Recycler::EvictOne() {
+  const RecordKey& victim = lru_.front();
+  auto it = map_.find(victim);
+  stats_.current_bytes -= it->second.record.bytes;
+  map_.erase(it);
+  lru_.pop_front();
+  ++stats_.evictions;
+  stats_.entries = map_.size();
+}
+
+void Recycler::Erase(const RecordKey& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  stats_.current_bytes -= it->second.record.bytes;
+  lru_.erase(it->second.lru_it);
+  map_.erase(it);
+  stats_.entries = map_.size();
+}
+
+void Recycler::InvalidateFile(int64_t file_id) {
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->first.file_id == file_id) {
+      stats_.current_bytes -= it->second.record.bytes;
+      lru_.erase(it->second.lru_it);
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  stats_.entries = map_.size();
+}
+
+void Recycler::Clear() {
+  map_.clear();
+  lru_.clear();
+  stats_.current_bytes = 0;
+  stats_.entries = 0;
+}
+
+void Recycler::ResetCounters() {
+  uint64_t bytes = stats_.current_bytes;
+  uint64_t entries = stats_.entries;
+  stats_ = RecyclerStats{};
+  stats_.budget_bytes = budget_bytes_;
+  stats_.current_bytes = bytes;
+  stats_.entries = entries;
+}
+
+std::vector<RecordKey> Recycler::Keys() const {
+  return {lru_.begin(), lru_.end()};
+}
+
+void ResultRecycler::Admit(const std::string& sql, CachedResult result) {
+  if (map_.size() >= max_entries_ && !map_.count(sql)) {
+    // Simple bound: drop an arbitrary entry (result cache is a small,
+    // best-effort layer; record-level recycling does the heavy lifting).
+    map_.erase(map_.begin());
+  }
+  map_[sql] = std::move(result);
+}
+
+}  // namespace lazyetl::engine

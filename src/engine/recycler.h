@@ -1,0 +1,178 @@
+// Recycler: the intermediate-result cache implementing the paper's lazy
+// loading (§3.3).
+//
+// "Materialization of the extracted and transformed data is simply caching
+// the result of a view definition" — here at record granularity: the unit
+// of caching is one decoded, transformed mSEED record (its sample_time and
+// sample_value vectors). An LRU policy bounds the cache to a byte budget.
+// Each entry remembers the source file's modification time at admission;
+// lazy refresh compares it against the file's current mtime and re-extracts
+// when outdated.
+//
+// A second, optional layer (ResultRecycler) caches whole query results —
+// "usually the end result of a view is saved in the cache" — with
+// conservative invalidation: a cached result lists the (file, mtime) pairs
+// it depends on and is only served while all of them are unchanged.
+
+#ifndef LAZYETL_ENGINE_RECYCLER_H_
+#define LAZYETL_ENGINE_RECYCLER_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.h"
+#include "storage/table.h"
+
+namespace lazyetl::engine {
+
+// Identity of one record in the repository.
+struct RecordKey {
+  int64_t file_id = 0;
+  int64_t seq_no = 0;
+
+  bool operator==(const RecordKey& other) const {
+    return file_id == other.file_id && seq_no == other.seq_no;
+  }
+};
+
+struct RecordKeyHash {
+  size_t operator()(const RecordKey& k) const {
+    uint64_t h = static_cast<uint64_t>(k.file_id) * 0x9E3779B97F4A7C15ULL;
+    h ^= static_cast<uint64_t>(k.seq_no) + 0x9E3779B97F4A7C15ULL +
+         (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+// One cached record: already extracted *and* transformed.
+struct CachedRecord {
+  std::vector<int64_t> sample_times;   // nanosecond timestamps
+  std::vector<int32_t> sample_values;  // raw counts
+  NanoTime file_mtime = 0;             // source file mtime at admission
+  NanoTime admitted_at = 0;
+  uint64_t bytes = 0;                  // accounted against the budget
+};
+
+struct RecyclerStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t stale = 0;
+  uint64_t admissions = 0;
+  uint64_t evictions = 0;
+  uint64_t current_bytes = 0;
+  uint64_t budget_bytes = 0;
+  uint64_t entries = 0;
+};
+
+class Recycler {
+ public:
+  // `budget_bytes` caps the summed CachedRecord::bytes; admission evicts
+  // LRU entries until the new entry fits. Entries larger than the whole
+  // budget are not admitted.
+  explicit Recycler(uint64_t budget_bytes);
+
+  Recycler(const Recycler&) = delete;
+  Recycler& operator=(const Recycler&) = delete;
+
+  // Returns the entry and bumps it to most-recently-used, or nullptr.
+  // `current_file_mtime` triggers the staleness check: an entry whose
+  // admission mtime differs is erased and counted as stale. When `stale`
+  // is non-null it is set to whether the miss was due to staleness.
+  const CachedRecord* Lookup(const RecordKey& key, NanoTime current_file_mtime,
+                             bool* stale = nullptr);
+
+  // Inserts or replaces; computes entry.bytes if zero.
+  void Admit(const RecordKey& key, CachedRecord record);
+
+  // Drops all entries of a file (used when a file disappears).
+  void InvalidateFile(int64_t file_id);
+
+  void Clear();
+
+  const RecyclerStats& stats() const { return stats_; }
+  void ResetCounters();
+
+  // Snapshot of cached keys in LRU order (least recent first) — lets the
+  // repo browser show "the contents of the cache" (demo point 7).
+  std::vector<RecordKey> Keys() const;
+
+ private:
+  struct Node {
+    CachedRecord record;
+    std::list<RecordKey>::iterator lru_it;
+  };
+
+  void EvictOne();
+  void Erase(const RecordKey& key);
+
+  uint64_t budget_bytes_;
+  std::unordered_map<RecordKey, Node, RecordKeyHash> map_;
+  std::list<RecordKey> lru_;  // front = least recently used
+  RecyclerStats stats_;
+};
+
+// Dependencies of a cached query result.
+struct ResultDependency {
+  int64_t file_id = 0;
+  std::string path;
+  NanoTime mtime = 0;
+};
+
+struct CachedResult {
+  storage::Table table;
+  std::vector<ResultDependency> deps;
+  NanoTime admitted_at = 0;
+};
+
+// Whole-query result cache keyed by SQL text. Validation is the caller's
+// job (it knows how to stat files); ValidateAndGet takes a callback that
+// returns the current mtime for a dependency or a negative value when the
+// file is gone.
+class ResultRecycler {
+ public:
+  explicit ResultRecycler(size_t max_entries = 64) : max_entries_(max_entries) {}
+
+  ResultRecycler(const ResultRecycler&) = delete;
+  ResultRecycler& operator=(const ResultRecycler&) = delete;
+
+  template <typename MtimeFn>
+  const CachedResult* ValidateAndGet(const std::string& sql, MtimeFn mtime_fn) {
+    auto it = map_.find(sql);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    for (const auto& dep : it->second.deps) {
+      NanoTime current = mtime_fn(dep);
+      if (current != dep.mtime) {
+        map_.erase(it);
+        ++invalidations_;
+        return nullptr;
+      }
+    }
+    ++hits_;
+    return &it->second;
+  }
+
+  void Admit(const std::string& sql, CachedResult result);
+  void Clear() { map_.clear(); }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t invalidations() const { return invalidations_; }
+  size_t entries() const { return map_.size(); }
+
+ private:
+  size_t max_entries_;
+  std::unordered_map<std::string, CachedResult> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t invalidations_ = 0;
+};
+
+}  // namespace lazyetl::engine
+
+#endif  // LAZYETL_ENGINE_RECYCLER_H_

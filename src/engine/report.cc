@@ -1,0 +1,41 @@
+#include "engine/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace lazyetl::engine {
+
+std::string ExecutionReport::ToString() const {
+  std::ostringstream os;
+  os << "query: " << sql << "\n";
+  os << "result rows: " << result_rows << "\n";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "timings: parse %.3fms bind %.3fms plan %.3fms exec %.3fms "
+                "(extract %.3fms) total %.3fms",
+                parse_seconds * 1e3, bind_seconds * 1e3, plan_seconds * 1e3,
+                execute_seconds * 1e3, extract_seconds * 1e3,
+                total_seconds * 1e3);
+  os << buf << "\n";
+  os << "lazy extraction: requested " << records_requested
+     << " records | cache hits " << cache_hits << " misses " << cache_misses
+     << " stale " << cache_stale << " | files opened " << files_opened
+     << " | records extracted " << records_extracted << " ("
+     << samples_extracted << " samples, " << bytes_read << " bytes read)\n";
+  if (files_hydrated > 0) {
+    os << "deferred metadata: hydrated " << files_hydrated << " files\n";
+  }
+  if (result_cache_hit) {
+    os << "result served from recycler cache\n";
+  }
+  if (!plan_before.empty()) {
+    os << "--- plan (naive) ---\n" << plan_before;
+    os << "--- plan (metadata-first) ---\n" << plan_after;
+    if (!plan_runtime.empty()) {
+      os << "--- plan (after run-time rewrite) ---\n" << plan_runtime;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace lazyetl::engine

@@ -1,0 +1,60 @@
+// ExecutionReport: the introspection artifact of a query.
+//
+// The demo lets the audience observe (4) query plans and the changes made
+// to them during lazy extraction, (5) which files were touched, (6) plans
+// generated on the fly for lazy transformation, and (7) cache contents and
+// updates. The engine and the lazy-ETL layer record all of that here.
+
+#ifndef LAZYETL_ENGINE_REPORT_H_
+#define LAZYETL_ENGINE_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lazyetl::engine {
+
+struct ExecutionReport {
+  std::string sql;
+
+  // Compile-time plans: as naively derived from the query, and after the
+  // optimizer reorganised it so metadata predicates apply first (§3.1).
+  std::string plan_before;
+  std::string plan_after;
+  // Run-time plan: after the rewriting operator replaced the LazyDataScan
+  // placeholder with cache-access / file-extraction operators.
+  std::string plan_runtime;
+
+  // Lazy extraction counters.
+  uint64_t records_requested = 0;   // distinct (file, record) pairs needed
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_stale = 0;         // cached but outdated (file modified)
+  uint64_t files_opened = 0;
+  std::vector<std::string> files_touched;  // paths read during extraction
+  uint64_t records_extracted = 0;
+  uint64_t samples_extracted = 0;
+  uint64_t bytes_read = 0;
+
+  // Deferred metadata (filename-only initial loading).
+  uint64_t files_hydrated = 0;
+
+  // Whole-result recycling.
+  bool result_cache_hit = false;
+
+  uint64_t result_rows = 0;
+
+  // Phase timings in seconds.
+  double parse_seconds = 0;
+  double bind_seconds = 0;
+  double plan_seconds = 0;
+  double execute_seconds = 0;
+  double extract_seconds = 0;  // part of execute spent in lazy extraction
+  double total_seconds = 0;
+
+  std::string ToString() const;
+};
+
+}  // namespace lazyetl::engine
+
+#endif  // LAZYETL_ENGINE_REPORT_H_

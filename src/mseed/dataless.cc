@@ -1,0 +1,258 @@
+#include "mseed/dataless.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace lazyetl::mseed {
+
+const StationIdentifier* StationInventory::Find(
+    const std::string& network, const std::string& station) const {
+  for (const auto& st : stations) {
+    if (st.network == network && st.station == station) return &st;
+  }
+  return nullptr;
+}
+
+bool IsDatalessFilename(const std::string& filename) {
+  return filename == kDatalessFilename ||
+         EndsWith(filename, ".dataless") ||
+         StartsWith(filename, "dataless.");
+}
+
+namespace {
+
+// ---- encoding -------------------------------------------------------------
+
+// Appends a fixed-width numeric field (printf-formatted).
+void AppendFixed(std::string* out, const char* fmt, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  *out += buf;
+}
+
+// Appends a '~'-terminated variable field.
+void AppendVar(std::string* out, const std::string& v) {
+  *out += v;
+  *out += '~';
+}
+
+// Wraps blockette `body` with its TTTLLLL prefix.
+std::string MakeBlockette(int type, const std::string& body) {
+  char head[10];
+  // Total length includes the 7-byte prefix itself.
+  std::snprintf(head, sizeof(head), "%03d%4zu", type, body.size() + 7);
+  return std::string(head) + body;
+}
+
+std::string EncodeVolume(const VolumeHeader& v) {
+  std::string body;
+  AppendVar(&body, v.version);
+  AppendVar(&body, FormatTimestamp(v.start_time));
+  AppendVar(&body, FormatTimestamp(v.end_time));
+  AppendVar(&body, v.organization);
+  AppendVar(&body, v.label);
+  return MakeBlockette(10, body);
+}
+
+std::string EncodeStation(const StationIdentifier& st) {
+  std::string body;
+  AppendVar(&body, st.station);
+  AppendFixed(&body, "%010.6f", st.latitude);
+  AppendFixed(&body, "%011.6f", st.longitude);
+  AppendFixed(&body, "%07.1f", st.elevation);
+  AppendVar(&body, st.site_name);
+  AppendVar(&body, st.network);
+  return MakeBlockette(50, body);
+}
+
+std::string EncodeChannel(const ChannelIdentifier& ch) {
+  std::string body;
+  AppendVar(&body, ch.location);
+  AppendVar(&body, ch.channel);
+  AppendFixed(&body, "%010.6f", ch.latitude);
+  AppendFixed(&body, "%011.6f", ch.longitude);
+  AppendFixed(&body, "%07.1f", ch.elevation);
+  AppendFixed(&body, "%05.1f", ch.local_depth);
+  AppendFixed(&body, "%05.1f", ch.azimuth);
+  AppendFixed(&body, "%05.1f", ch.dip);
+  AppendFixed(&body, "%010.4f", ch.sample_rate);
+  return MakeBlockette(52, body);
+}
+
+// ---- decoding -------------------------------------------------------------
+
+// Cursor over the concatenated blockette payload.
+class FieldReader {
+ public:
+  FieldReader(const std::string& data, size_t pos, size_t end)
+      : data_(data), pos_(pos), end_(end) {}
+
+  Result<std::string> ReadVar() {
+    size_t tilde = data_.find('~', pos_);
+    if (tilde == std::string::npos || tilde >= end_) {
+      return Status::CorruptData("unterminated variable field in blockette");
+    }
+    std::string out = data_.substr(pos_, tilde - pos_);
+    pos_ = tilde + 1;
+    return out;
+  }
+
+  Result<double> ReadFixed(size_t width) {
+    if (pos_ + width > end_) {
+      return Status::CorruptData("truncated fixed field in blockette");
+    }
+    std::string text = data_.substr(pos_, width);
+    pos_ += width;
+    char* endp = nullptr;
+    double v = std::strtod(text.c_str(), &endp);
+    if (endp == text.c_str()) {
+      return Status::CorruptData("non-numeric fixed field '" + text + "'");
+    }
+    return v;
+  }
+
+ private:
+  const std::string& data_;
+  size_t pos_;
+  size_t end_;
+};
+
+}  // namespace
+
+Status WriteDataless(const std::string& path,
+                     const StationInventory& inventory) {
+  // Concatenate all blockettes, then split into 4096-byte control records.
+  std::string payload = EncodeVolume(inventory.volume);
+  for (const auto& st : inventory.stations) {
+    if (st.station.size() > 5 || st.network.size() > 2) {
+      return Status::InvalidArgument("station/network code too long: " +
+                                     st.network + "." + st.station);
+    }
+    payload += EncodeStation(st);
+    for (const auto& ch : st.channels) {
+      if (ch.location.size() > 2 || ch.channel.size() > 3) {
+        return Status::InvalidArgument("location/channel code too long");
+      }
+      payload += EncodeChannel(ch);
+    }
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  const size_t body_per_record = kControlRecordBytes - 8;
+  size_t pos = 0;
+  int seq = 1;
+  char head[16];
+  while (pos < payload.size() || seq == 1) {
+    std::snprintf(head, sizeof(head), "%06dV ", seq++ % 1000000);
+    std::string record(head);
+    size_t take = std::min(body_per_record, payload.size() - pos);
+    record += payload.substr(pos, take);
+    pos += take;
+    record.resize(kControlRecordBytes, ' ');  // space padding, per SEED
+    out.write(record.data(), static_cast<std::streamsize>(record.size()));
+    if (pos >= payload.size()) break;
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("failed writing " + path);
+  return Status::OK();
+}
+
+Result<StationInventory> ReadDataless(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open " + path);
+  }
+  // Reassemble the blockette payload from the control records.
+  std::string payload;
+  std::vector<char> record(kControlRecordBytes);
+  while (in.read(record.data(), static_cast<std::streamsize>(record.size())) ||
+         in.gcount() > 0) {
+    size_t got = static_cast<size_t>(in.gcount());
+    if (got < 8) return Status::CorruptData("short control record in " + path);
+    if (record[6] != 'V') {
+      return Status::CorruptData("not a volume control record in " + path);
+    }
+    payload.append(record.data() + 8, got - 8);
+    if (got < kControlRecordBytes) break;
+  }
+
+  StationInventory inventory;
+  bool saw_volume = false;
+  size_t pos = 0;
+  while (pos + 7 <= payload.size()) {
+    // Stop at padding.
+    if (payload[pos] == ' ') break;
+    std::string type_str = payload.substr(pos, 3);
+    std::string len_str = payload.substr(pos + 3, 4);
+    int type = std::atoi(type_str.c_str());
+    int length = std::atoi(Trim(len_str).c_str());
+    if (length < 7 || pos + static_cast<size_t>(length) > payload.size()) {
+      return Status::CorruptData("bad blockette length " + len_str + " in " +
+                                 path);
+    }
+    FieldReader fields(payload, pos + 7, pos + length);
+    switch (type) {
+      case 10: {
+        VolumeHeader v;
+        LAZYETL_ASSIGN_OR_RETURN(v.version, fields.ReadVar());
+        LAZYETL_ASSIGN_OR_RETURN(std::string start, fields.ReadVar());
+        LAZYETL_ASSIGN_OR_RETURN(std::string end, fields.ReadVar());
+        LAZYETL_ASSIGN_OR_RETURN(v.start_time, ParseTimestamp(start));
+        LAZYETL_ASSIGN_OR_RETURN(v.end_time, ParseTimestamp(end));
+        LAZYETL_ASSIGN_OR_RETURN(v.organization, fields.ReadVar());
+        LAZYETL_ASSIGN_OR_RETURN(v.label, fields.ReadVar());
+        inventory.volume = std::move(v);
+        saw_volume = true;
+        break;
+      }
+      case 50: {
+        StationIdentifier st;
+        LAZYETL_ASSIGN_OR_RETURN(st.station, fields.ReadVar());
+        LAZYETL_ASSIGN_OR_RETURN(st.latitude, fields.ReadFixed(10));
+        LAZYETL_ASSIGN_OR_RETURN(st.longitude, fields.ReadFixed(11));
+        LAZYETL_ASSIGN_OR_RETURN(st.elevation, fields.ReadFixed(7));
+        LAZYETL_ASSIGN_OR_RETURN(st.site_name, fields.ReadVar());
+        LAZYETL_ASSIGN_OR_RETURN(st.network, fields.ReadVar());
+        inventory.stations.push_back(std::move(st));
+        break;
+      }
+      case 52: {
+        if (inventory.stations.empty()) {
+          return Status::CorruptData(
+              "channel blockette before any station in " + path);
+        }
+        ChannelIdentifier ch;
+        LAZYETL_ASSIGN_OR_RETURN(ch.location, fields.ReadVar());
+        LAZYETL_ASSIGN_OR_RETURN(ch.channel, fields.ReadVar());
+        LAZYETL_ASSIGN_OR_RETURN(ch.latitude, fields.ReadFixed(10));
+        LAZYETL_ASSIGN_OR_RETURN(ch.longitude, fields.ReadFixed(11));
+        LAZYETL_ASSIGN_OR_RETURN(ch.elevation, fields.ReadFixed(7));
+        LAZYETL_ASSIGN_OR_RETURN(ch.local_depth, fields.ReadFixed(5));
+        LAZYETL_ASSIGN_OR_RETURN(ch.azimuth, fields.ReadFixed(5));
+        LAZYETL_ASSIGN_OR_RETURN(ch.dip, fields.ReadFixed(5));
+        LAZYETL_ASSIGN_OR_RETURN(ch.sample_rate, fields.ReadFixed(10));
+        inventory.stations.back().channels.push_back(std::move(ch));
+        break;
+      }
+      default:
+        // Unknown blockette types are skipped via their declared length.
+        break;
+    }
+    pos += static_cast<size_t>(length);
+  }
+  if (!saw_volume) {
+    return Status::CorruptData("dataless volume missing blockette 010 in " +
+                               path);
+  }
+  return inventory;
+}
+
+}  // namespace lazyetl::mseed

@@ -1,0 +1,89 @@
+// Dataless SEED: ASCII control headers describing a seismic network's
+// stations and channels.
+//
+// §4 of the paper: "a SEED volume has several ASCII control headers. The
+// control headers contain the metadata." Full SEED volumes carry them
+// inline; archives usually distribute them as a separate "dataless SEED"
+// file next to the waveform repository. This module reads and writes the
+// subset needed for a station inventory:
+//
+//   blockette 010  volume identifier (version, record length, label)
+//   blockette 050  station identifier (code, coordinates, site, network)
+//   blockette 052  channel identifier (location/channel codes, coordinates,
+//                  depth, azimuth, dip, sample rate)
+//
+// On-disk format follows the SEED control-header conventions: fixed-size
+// logical records (4096 bytes here) beginning with a 8-byte sequence header
+// ("000001V "), packed with ASCII blockettes of the form TTTLLLL<fields>
+// where TTT is the 3-digit blockette type and LLLL the 4-digit total
+// length; variable-length fields are '~'-terminated.
+
+#ifndef LAZYETL_MSEED_DATALESS_H_
+#define LAZYETL_MSEED_DATALESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/time.h"
+
+namespace lazyetl::mseed {
+
+inline constexpr size_t kControlRecordBytes = 4096;
+inline constexpr const char* kDatalessFilename = "dataless.seed";
+
+struct VolumeHeader {
+  std::string version = "02.4";
+  std::string organization = "lazyetl";
+  std::string label;
+  NanoTime start_time = 0;
+  NanoTime end_time = 0;
+};
+
+struct ChannelIdentifier {
+  std::string location;  // <=2 chars
+  std::string channel;   // <=3 chars
+  double latitude = 0;
+  double longitude = 0;
+  double elevation = 0;      // metres
+  double local_depth = 0;    // metres below surface
+  double azimuth = 0;        // degrees from north
+  double dip = 0;            // degrees from horizontal (-90 = up)
+  double sample_rate = 0;    // Hz
+};
+
+struct StationIdentifier {
+  std::string station;    // <=5 chars
+  std::string network;    // <=2 chars
+  std::string site_name;  // free text
+  double latitude = 0;
+  double longitude = 0;
+  double elevation = 0;
+  std::vector<ChannelIdentifier> channels;
+};
+
+struct StationInventory {
+  VolumeHeader volume;
+  std::vector<StationIdentifier> stations;
+
+  // Finds a station by (network, station); nullptr when absent.
+  const StationIdentifier* Find(const std::string& network,
+                                const std::string& station) const;
+};
+
+// Serialises the inventory into control records at `path`.
+Status WriteDataless(const std::string& path,
+                     const StationInventory& inventory);
+
+// Parses a dataless SEED file written by WriteDataless (or any file using
+// the same blockette subset).
+Result<StationInventory> ReadDataless(const std::string& path);
+
+// True if `filename` (basename) looks like a dataless volume.
+bool IsDatalessFilename(const std::string& filename);
+
+}  // namespace lazyetl::mseed
+
+#endif  // LAZYETL_MSEED_DATALESS_H_

@@ -1,0 +1,333 @@
+#include "mseed/record.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/macros.h"
+#include "common/byte_io.h"
+#include "common/string_util.h"
+#include "mseed/steim.h"
+
+namespace lazyetl::mseed {
+
+BTime BTime::FromNano(NanoTime t) {
+  CivilTime ct = NanoToCivil(t);
+  BTime bt;
+  bt.year = static_cast<uint16_t>(ct.year);
+  bt.day_of_year = static_cast<uint16_t>(DayOfYear(ct.year, ct.month, ct.day));
+  bt.hour = static_cast<uint8_t>(ct.hour);
+  bt.minute = static_cast<uint8_t>(ct.minute);
+  bt.second = static_cast<uint8_t>(ct.second);
+  bt.fract = static_cast<uint16_t>(ct.nanos / 100000);  // 0.0001 s units
+  return bt;
+}
+
+Result<NanoTime> BTime::ToNano() const {
+  CivilTime ct;
+  ct.year = year;
+  LAZYETL_RETURN_NOT_OK(
+      MonthDayFromDayOfYear(year, day_of_year, &ct.month, &ct.day));
+  ct.hour = hour;
+  ct.minute = minute;
+  ct.second = second;
+  ct.nanos = static_cast<int64_t>(fract) * 100000;
+  return CivilToNano(ct);
+}
+
+const char* DataEncodingToString(DataEncoding e) {
+  switch (e) {
+    case DataEncoding::kInt16:
+      return "int16";
+    case DataEncoding::kInt32:
+      return "int32";
+    case DataEncoding::kSteim1:
+      return "steim1";
+    case DataEncoding::kSteim2:
+      return "steim2";
+  }
+  return "unknown";
+}
+
+Result<DataEncoding> DataEncodingFromCode(uint8_t code) {
+  switch (code) {
+    case 1:
+      return DataEncoding::kInt16;
+    case 3:
+      return DataEncoding::kInt32;
+    case 10:
+      return DataEncoding::kSteim1;
+    case 11:
+      return DataEncoding::kSteim2;
+    default:
+      return Status::NotImplemented("unsupported mSEED data encoding code " +
+                                    std::to_string(code));
+  }
+}
+
+double SampleRateFromFactors(int16_t factor, int16_t multiplier) {
+  if (factor == 0) return 0.0;
+  double rate = factor > 0 ? static_cast<double>(factor)
+                           : -1.0 / static_cast<double>(factor);
+  if (multiplier > 0) {
+    rate *= static_cast<double>(multiplier);
+  } else if (multiplier < 0) {
+    rate /= -static_cast<double>(multiplier);
+  }
+  return rate;
+}
+
+void SampleRateToFactors(double rate, int16_t* factor, int16_t* multiplier) {
+  if (rate <= 0.0) {
+    *factor = 0;
+    *multiplier = 1;
+    return;
+  }
+  if (rate >= 1.0 && std::floor(rate) == rate && rate <= 32767.0) {
+    *factor = static_cast<int16_t>(rate);
+    *multiplier = 1;
+    return;
+  }
+  if (rate < 1.0) {
+    double period = 1.0 / rate;
+    if (std::floor(period) == period && period <= 32767.0) {
+      *factor = static_cast<int16_t>(-period);
+      *multiplier = 1;
+      return;
+    }
+  }
+  // Fractional rate: encode numerator/denominator over 10000.
+  *factor = static_cast<int16_t>(std::lround(rate * 100.0));
+  *multiplier = -100;
+}
+
+double RecordHeader::SampleRate() const {
+  if (has_blockette100 && actual_sample_rate > 0.0) return actual_sample_rate;
+  return SampleRateFromFactors(sample_rate_factor, sample_rate_multiplier);
+}
+
+Result<NanoTime> RecordHeader::StartTime() const {
+  LAZYETL_ASSIGN_OR_RETURN(NanoTime t, start_time.ToNano());
+  // Time correction is in 0.0001 s; applied unless the "time correction
+  // applied" activity flag (bit 1) is set.
+  if (!(activity_flags & 0x02)) {
+    t += static_cast<int64_t>(time_correction) * 100000;
+  }
+  return t;
+}
+
+Result<NanoTime> RecordHeader::EndTime() const {
+  LAZYETL_ASSIGN_OR_RETURN(NanoTime start, StartTime());
+  double rate = SampleRate();
+  if (rate <= 0.0 || num_samples == 0) return start;
+  int64_t span = static_cast<int64_t>(
+      std::llround((num_samples - 1) * 1e9 / rate));
+  return start + span;
+}
+
+std::string RecordHeader::SourceId() const {
+  return network + "." + station + "." + location + "." + channel;
+}
+
+Status EncodeRecordHeader(const RecordHeader& h, uint8_t* rec) {
+  if (h.station.size() > 5 || h.location.size() > 2 || h.channel.size() > 3 ||
+      h.network.size() > 2) {
+    return Status::InvalidArgument("mSEED header field too long for " +
+                                   h.SourceId());
+  }
+  if (h.sequence_number < 0 || h.sequence_number > 999999) {
+    return Status::InvalidArgument("sequence number out of range: " +
+                                   std::to_string(h.sequence_number));
+  }
+  uint32_t rl = h.record_length;
+  int power = 0;
+  while ((1u << power) < rl) ++power;
+  if ((1u << power) != rl || power < 8 || power > 20) {
+    return Status::InvalidArgument("record length must be a power of two: " +
+                                   std::to_string(rl));
+  }
+
+  std::memset(rec, ' ', kFixedHeaderBytes);
+  char seq[8];
+  std::snprintf(seq, sizeof(seq), "%06d", h.sequence_number);
+  std::memcpy(rec, seq, 6);
+  rec[6] = static_cast<uint8_t>(h.quality_indicator);
+  rec[7] = ' ';
+  std::string sta = FixedWidth(h.station, 5);
+  std::string loc = FixedWidth(h.location, 2);
+  std::string chan = FixedWidth(h.channel, 3);
+  std::string net = FixedWidth(h.network, 2);
+  std::memcpy(rec + 8, sta.data(), 5);
+  std::memcpy(rec + 13, loc.data(), 2);
+  std::memcpy(rec + 15, chan.data(), 3);
+  std::memcpy(rec + 18, net.data(), 2);
+  WriteBE16(rec + 20, h.start_time.year);
+  WriteBE16(rec + 22, h.start_time.day_of_year);
+  rec[24] = h.start_time.hour;
+  rec[25] = h.start_time.minute;
+  rec[26] = h.start_time.second;
+  rec[27] = 0;  // unused
+  WriteBE16(rec + 28, h.start_time.fract);
+  WriteBE16(rec + 30, h.num_samples);
+  WriteBE16s(rec + 32, h.sample_rate_factor);
+  WriteBE16s(rec + 34, h.sample_rate_multiplier);
+  rec[36] = h.activity_flags;
+  rec[37] = h.io_flags;
+  rec[38] = h.quality_flags;
+  rec[39] = static_cast<uint8_t>(h.has_blockette100 ? 2 : 1);
+  WriteBE32s(rec + 40, h.time_correction);
+  WriteBE16(rec + 44, h.data_offset);
+  WriteBE16(rec + 46, kFixedHeaderBytes);
+
+  // Blockette 1000 at offset 48.
+  uint8_t* b1000 = rec + kFixedHeaderBytes;
+  WriteBE16(b1000, 1000);
+  WriteBE16(b1000 + 2,
+            h.has_blockette100 ? kFixedHeaderBytes + kBlockette1000Bytes : 0);
+  b1000[4] = static_cast<uint8_t>(h.encoding);
+  b1000[5] = h.big_endian ? 1 : 0;
+  b1000[6] = static_cast<uint8_t>(power);
+  b1000[7] = 0;
+
+  if (h.has_blockette100) {
+    uint8_t* b100 = rec + kFixedHeaderBytes + kBlockette1000Bytes;
+    WriteBE16(b100, 100);
+    WriteBE16(b100 + 2, 0);
+    float rate = static_cast<float>(h.actual_sample_rate);
+    uint32_t bits;
+    std::memcpy(&bits, &rate, 4);
+    WriteBE32(b100 + 4, bits);
+    b100[8] = 0;
+    b100[9] = b100[10] = b100[11] = 0;
+  }
+  return Status::OK();
+}
+
+Result<RecordHeader> DecodeRecordHeader(const uint8_t* rec, size_t available) {
+  if (available < kFixedHeaderBytes) {
+    return Status::CorruptData("record shorter than fixed header");
+  }
+  RecordHeader h;
+  // Sequence number: 6 ASCII digits (spaces tolerated).
+  int32_t seq = 0;
+  for (int i = 0; i < 6; ++i) {
+    char c = static_cast<char>(rec[i]);
+    if (c >= '0' && c <= '9') {
+      seq = seq * 10 + (c - '0');
+    } else if (c != ' ') {
+      return Status::CorruptData("invalid sequence number in record header");
+    }
+  }
+  h.sequence_number = seq;
+  h.quality_indicator = static_cast<char>(rec[6]);
+  if (h.quality_indicator != 'D' && h.quality_indicator != 'R' &&
+      h.quality_indicator != 'Q' && h.quality_indicator != 'M') {
+    return Status::CorruptData(std::string("invalid quality indicator '") +
+                               h.quality_indicator + "'");
+  }
+  auto ascii_field = [&](size_t off, size_t len) {
+    return Trim(std::string(reinterpret_cast<const char*>(rec + off), len));
+  };
+  h.station = ascii_field(8, 5);
+  h.location = ascii_field(13, 2);
+  h.channel = ascii_field(15, 3);
+  h.network = ascii_field(18, 2);
+  h.start_time.year = ReadBE16(rec + 20);
+  h.start_time.day_of_year = ReadBE16(rec + 22);
+  h.start_time.hour = rec[24];
+  h.start_time.minute = rec[25];
+  h.start_time.second = rec[26];
+  h.start_time.fract = ReadBE16(rec + 28);
+  h.num_samples = ReadBE16(rec + 30);
+  h.sample_rate_factor = ReadBE16s(rec + 32);
+  h.sample_rate_multiplier = ReadBE16s(rec + 34);
+  h.activity_flags = rec[36];
+  h.io_flags = rec[37];
+  h.quality_flags = rec[38];
+  h.num_blockettes = rec[39];
+  h.time_correction = ReadBE32s(rec + 40);
+  h.data_offset = ReadBE16(rec + 44);
+  h.first_blockette_offset = ReadBE16(rec + 46);
+
+  // Follow the blockette chain; we need blockette 1000 for the encoding and
+  // record length.
+  bool have_1000 = false;
+  uint16_t off = h.first_blockette_offset;
+  int hops = 0;
+  while (off != 0 && hops++ < 8) {
+    if (static_cast<size_t>(off) + 4 > available) break;  // past our prefix
+    uint16_t type = ReadBE16(rec + off);
+    uint16_t next = ReadBE16(rec + off + 2);
+    if (type == 1000 && off + kBlockette1000Bytes <= available) {
+      LAZYETL_ASSIGN_OR_RETURN(h.encoding, DataEncodingFromCode(rec[off + 4]));
+      h.big_endian = rec[off + 5] != 0;
+      uint8_t power = rec[off + 6];
+      if (power < 8 || power > 20) {
+        return Status::CorruptData("blockette 1000 record length power " +
+                                   std::to_string(power) + " out of range");
+      }
+      h.record_length = 1u << power;
+      have_1000 = true;
+    } else if (type == 100 && off + kBlockette100Bytes <= available) {
+      uint32_t bits = ReadBE32(rec + off + 4);
+      float rate;
+      std::memcpy(&rate, &bits, 4);
+      h.actual_sample_rate = rate;
+      h.has_blockette100 = true;
+    }
+    if (next != 0 && next <= off) {
+      return Status::CorruptData("blockette chain does not advance");
+    }
+    off = next;
+  }
+  if (!have_1000) {
+    return Status::CorruptData("record missing blockette 1000 for " +
+                               h.SourceId());
+  }
+  if (!h.big_endian) {
+    return Status::NotImplemented("little-endian mSEED records");
+  }
+  if (h.data_offset < kFixedHeaderBytes || h.data_offset >= h.record_length) {
+    return Status::CorruptData("data offset " + std::to_string(h.data_offset) +
+                               " outside record");
+  }
+  return h;
+}
+
+Result<std::vector<int32_t>> DecodeRecordData(const RecordHeader& h,
+                                              const uint8_t* record,
+                                              size_t record_bytes) {
+  if (record_bytes < h.record_length) {
+    return Status::CorruptData("record buffer truncated: have " +
+                               std::to_string(record_bytes) + ", need " +
+                               std::to_string(h.record_length));
+  }
+  const uint8_t* data = record + h.data_offset;
+  size_t data_bytes = h.record_length - h.data_offset;
+  size_t n = h.num_samples;
+  switch (h.encoding) {
+    case DataEncoding::kSteim1:
+      return Steim1Decode(data, data_bytes, n);
+    case DataEncoding::kSteim2:
+      return Steim2Decode(data, data_bytes, n);
+    case DataEncoding::kInt32: {
+      if (data_bytes < n * 4) {
+        return Status::CorruptData("int32 data area too small");
+      }
+      std::vector<int32_t> out(n);
+      for (size_t i = 0; i < n; ++i) out[i] = ReadBE32s(data + 4 * i);
+      return out;
+    }
+    case DataEncoding::kInt16: {
+      if (data_bytes < n * 2) {
+        return Status::CorruptData("int16 data area too small");
+      }
+      std::vector<int32_t> out(n);
+      for (size_t i = 0; i < n; ++i) out[i] = ReadBE16s(data + 2 * i);
+      return out;
+    }
+  }
+  return Status::NotImplemented("encoding not handled");
+}
+
+}  // namespace lazyetl::mseed

@@ -1,0 +1,129 @@
+// miniSEED 2.4 data record structures: fixed data header, BTime, and the
+// blockettes this library reads and writes (1000, 100).
+//
+// A miniSEED record is a fixed-size block (512 or 4096 bytes here) laid out
+// big-endian:
+//
+//   offset  0  fixed section of data header (48 bytes)
+//   offset 48  blockette 1000 (8 bytes)   -- encoding, word order, length
+//   offset 56  blockette 100 (12 bytes)   -- optional, actual sample rate
+//   offset 64  data area (Steim frames or raw integers)
+//
+// The fixed header's ASCII fields (station, channel, ...) are the record's
+// metadata; the paper's lazy ETL loads only these (plus file stat info)
+// during initial loading.
+
+#ifndef LAZYETL_MSEED_RECORD_H_
+#define LAZYETL_MSEED_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/time.h"
+
+namespace lazyetl::mseed {
+
+inline constexpr size_t kFixedHeaderBytes = 48;
+inline constexpr size_t kBlockette1000Bytes = 8;
+inline constexpr size_t kBlockette100Bytes = 12;
+// Offset where waveform data starts in records written by this library.
+inline constexpr size_t kDataOffset = 64;
+
+// SEED BTIME: the on-disk broken-down UTC time (10 bytes).
+struct BTime {
+  uint16_t year = 1970;     // e.g. 2010
+  uint16_t day_of_year = 1; // 1..366
+  uint8_t hour = 0;
+  uint8_t minute = 0;
+  uint8_t second = 0;
+  uint16_t fract = 0;       // 0.0001 s units, 0..9999
+
+  // Conversions to/from library nanosecond timestamps. BTime resolution is
+  // 100 microseconds; FromNano truncates.
+  static BTime FromNano(NanoTime t);
+  Result<NanoTime> ToNano() const;
+};
+
+// SEED data encoding codes (blockette 1000 field 4) supported here.
+enum class DataEncoding : uint8_t {
+  kInt16 = 1,   // uncompressed big-endian int16
+  kInt32 = 3,   // uncompressed big-endian int32
+  kSteim1 = 10,
+  kSteim2 = 11,
+};
+
+const char* DataEncodingToString(DataEncoding e);
+Result<DataEncoding> DataEncodingFromCode(uint8_t code);
+
+// Converts the SEED (factor, multiplier) pair to samples per second.
+// factor > 0: samples/second; factor < 0: seconds/sample; multiplier > 0:
+// multiplies; < 0: divides. factor == 0 means "no rate" and yields 0.
+double SampleRateFromFactors(int16_t factor, int16_t multiplier);
+
+// Finds a (factor, multiplier) pair representing `rate` exactly for
+// integral rates and common fractional ones; falls back to the nearest
+// integral factor otherwise.
+void SampleRateToFactors(double rate, int16_t* factor, int16_t* multiplier);
+
+// Parsed fixed header + blockette 1000/100 contents; everything lazy ETL
+// treats as *record metadata*.
+struct RecordHeader {
+  int32_t sequence_number = 1;        // 6 ASCII digits on disk
+  char quality_indicator = 'D';       // D, R, Q, or M
+  std::string station;                // <=5 chars
+  std::string location;               // <=2 chars
+  std::string channel;                // <=3 chars
+  std::string network;                // <=2 chars
+  BTime start_time;
+  uint16_t num_samples = 0;
+  int16_t sample_rate_factor = 0;
+  int16_t sample_rate_multiplier = 1;
+  uint8_t activity_flags = 0;
+  uint8_t io_flags = 0;
+  uint8_t quality_flags = 0;
+  uint8_t num_blockettes = 0;
+  int32_t time_correction = 0;        // 0.0001 s units
+  uint16_t data_offset = kDataOffset;
+  uint16_t first_blockette_offset = kFixedHeaderBytes;
+
+  // From blockette 1000:
+  DataEncoding encoding = DataEncoding::kSteim2;
+  bool big_endian = true;
+  uint32_t record_length = 512;       // 2^power bytes
+
+  // From optional blockette 100 (0 when absent):
+  double actual_sample_rate = 0.0;
+  bool has_blockette100 = false;
+
+  // Derived helpers.
+  double SampleRate() const;
+  Result<NanoTime> StartTime() const;   // includes time correction
+  // End time = start + (num_samples - 1) / rate (time of the last sample).
+  Result<NanoTime> EndTime() const;
+
+  // "NET.STA.LOC.CHAN" source identifier.
+  std::string SourceId() const;
+};
+
+// Serialises the header + blockette 1000 (+100 when present) into the first
+// kDataOffset bytes of `record` (which must hold >= kDataOffset bytes).
+Status EncodeRecordHeader(const RecordHeader& header, uint8_t* record);
+
+// Parses a record prefix. `available` must be >= kFixedHeaderBytes; the
+// blockette chain is followed as far as `available` allows. Returns the
+// parsed header; the caller learns the true record length from it.
+Result<RecordHeader> DecodeRecordHeader(const uint8_t* record,
+                                        size_t available);
+
+// Decodes the waveform samples of a full record buffer (header + data area
+// of `header.record_length` bytes) according to `header.encoding`.
+Result<std::vector<int32_t>> DecodeRecordData(const RecordHeader& header,
+                                              const uint8_t* record,
+                                              size_t record_bytes);
+
+}  // namespace lazyetl::mseed
+
+#endif  // LAZYETL_MSEED_RECORD_H_

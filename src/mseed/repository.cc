@@ -1,0 +1,275 @@
+#include "mseed/repository.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "mseed/dataless.h"
+#include "mseed/reader.h"
+
+namespace lazyetl::mseed {
+
+namespace fs = std::filesystem;
+
+std::vector<StationSpec> DefaultDemoStations() {
+  return {
+      // Dutch national network (Fig. 1, Q2: network 'NL', channel 'BHZ').
+      {"NL", "HGN", "02", {"BHZ", "BHN", "BHE"}, 40.0, 50.764, 5.9317, 135.0,
+       "HEIMANSGROEVE, NETHERLANDS"},
+      {"NL", "WIT", "01", {"BHZ", "BHN", "BHE"}, 40.0, 52.8136, 6.6697, 1.0,
+       "WITTEVEEN, NETHERLANDS"},
+      {"NL", "OPLO", "01", {"BHZ", "BHN", "BHE"}, 40.0, 51.5888, 5.8121, 27.0,
+       "OPLOO, NETHERLANDS"},
+      // Kandilli Observatory, Istanbul (Fig. 1, Q1: station 'ISK',
+      // channel 'BHE').
+      {"KO", "ISK", "", {"BHZ", "BHN", "BHE"}, 40.0, 41.0663, 29.0597, 132.0,
+       "ISTANBUL-KANDILLI, TURKEY"},
+      // A German GEOFON station for variety.
+      {"GE", "APE", "", {"BHZ", "BHN"}, 40.0, 37.0689, 25.5306, 620.0,
+       "APEIRANTHOS, NAXOS, GREECE"},
+  };
+}
+
+// Conventional orientation of a channel from its last letter: Z vertical,
+// N north, E east.
+static void ChannelOrientation(const std::string& channel, double* azimuth,
+                               double* dip) {
+  char c = channel.empty() ? 'Z' : channel.back();
+  if (c == 'Z') {
+    *azimuth = 0.0;
+    *dip = -90.0;
+  } else if (c == 'N') {
+    *azimuth = 0.0;
+    *dip = 0.0;
+  } else {
+    *azimuth = 90.0;
+    *dip = 0.0;
+  }
+}
+
+RepositoryConfig DefaultDemoConfig() {
+  RepositoryConfig cfg;
+  cfg.stations = DefaultDemoStations();
+  cfg.start_year = 2010;
+  cfg.start_day_of_year = 10;  // Jan 10; Q1 queries Jan 12 = doy 12
+  cfg.num_days = 3;
+  cfg.segments_per_day = 1;
+  cfg.seconds_per_segment = 120.0;
+  return cfg;
+}
+
+std::string SdsFilename(const std::string& network, const std::string& station,
+                        const std::string& location,
+                        const std::string& channel, char quality, int year,
+                        int day_of_year, int segment, int segments_per_day) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%c.%04d.%03d", quality, year, day_of_year);
+  std::string name =
+      network + "." + station + "." + location + "." + channel + "." + buf;
+  if (segments_per_day > 1) {
+    char seg[8];
+    std::snprintf(seg, sizeof(seg), ".%02d", segment);
+    name += seg;
+  }
+  return name;
+}
+
+Result<FilenameMetadata> ParseSdsFilename(const std::string& filename) {
+  std::vector<std::string> parts = Split(filename, '.');
+  // NET.STA.LOC.CHAN.QUAL.YEAR.DOY or with trailing .SEG
+  if (parts.size() != 7 && parts.size() != 8) {
+    return Status::ParseError("not an SDS filename: " + filename);
+  }
+  FilenameMetadata md;
+  md.network = parts[0];
+  md.station = parts[1];
+  md.location = parts[2];
+  md.channel = parts[3];
+  if (parts[4].size() != 1) {
+    return Status::ParseError("bad quality field in SDS filename: " + filename);
+  }
+  md.quality = parts[4][0];
+  try {
+    md.year = std::stoi(parts[5]);
+    md.day_of_year = std::stoi(parts[6]);
+    md.segment = parts.size() == 8 ? std::stoi(parts[7]) : 0;
+  } catch (...) {
+    return Status::ParseError("bad numeric field in SDS filename: " + filename);
+  }
+  if (md.year < 1900 || md.year > 2200 || md.day_of_year < 1 ||
+      md.day_of_year > 366) {
+    return Status::ParseError("year/doy out of range in SDS filename: " +
+                              filename);
+  }
+  return md;
+}
+
+Result<GeneratedRepository> GenerateRepository(const std::string& root,
+                                               const RepositoryConfig& cfg) {
+  if (cfg.stations.empty()) {
+    return Status::InvalidArgument("repository config has no stations");
+  }
+  if (cfg.num_days < 1 || cfg.segments_per_day < 1 ||
+      cfg.seconds_per_segment <= 0) {
+    return Status::InvalidArgument("repository config has empty extent");
+  }
+
+  GeneratedRepository repo;
+  repo.root = root;
+
+  std::error_code ec;
+  fs::create_directories(root, ec);
+  if (ec) {
+    return Status::IOError("cannot create repository root " + root + ": " +
+                           ec.message());
+  }
+
+  if (cfg.write_dataless) {
+    StationInventory inventory;
+    inventory.volume.label = "lazyetl synthetic repository";
+    CivilTime vol_start;
+    vol_start.year = cfg.start_year;
+    LAZYETL_RETURN_NOT_OK(MonthDayFromDayOfYear(
+        cfg.start_year, cfg.start_day_of_year, &vol_start.month,
+        &vol_start.day));
+    LAZYETL_ASSIGN_OR_RETURN(inventory.volume.start_time,
+                             CivilToNano(vol_start));
+    inventory.volume.end_time =
+        inventory.volume.start_time + cfg.num_days * kNanosPerDay;
+    for (const StationSpec& st : cfg.stations) {
+      StationIdentifier station;
+      station.station = st.station;
+      station.network = st.network;
+      station.site_name = st.site_name;
+      station.latitude = st.latitude;
+      station.longitude = st.longitude;
+      station.elevation = st.elevation;
+      for (const std::string& chan : st.channels) {
+        ChannelIdentifier channel;
+        channel.location = st.location;
+        channel.channel = chan;
+        channel.latitude = st.latitude;
+        channel.longitude = st.longitude;
+        channel.elevation = st.elevation;
+        channel.sample_rate = st.sample_rate;
+        ChannelOrientation(chan, &channel.azimuth, &channel.dip);
+        station.channels.push_back(std::move(channel));
+      }
+      inventory.stations.push_back(std::move(station));
+    }
+    fs::path dataless = fs::path(root) / kDatalessFilename;
+    LAZYETL_RETURN_NOT_OK(WriteDataless(dataless.string(), inventory));
+    repo.dataless_path = dataless.string();
+    LAZYETL_ASSIGN_OR_RETURN(FileStatInfo st, StatFile(repo.dataless_path));
+    repo.dataless_bytes = st.size;
+  }
+
+  for (const StationSpec& st : cfg.stations) {
+    for (const std::string& chan : st.channels) {
+      for (int d = 0; d < cfg.num_days; ++d) {
+        int year = cfg.start_year;
+        int doy = cfg.start_day_of_year + d;
+        // Normalise day-of-year overflow into the next year(s).
+        while (doy > (IsLeapYear(year) ? 366 : 365)) {
+          doy -= IsLeapYear(year) ? 366 : 365;
+          ++year;
+        }
+        CivilTime day_start_ct;
+        day_start_ct.year = year;
+        LAZYETL_RETURN_NOT_OK(MonthDayFromDayOfYear(
+            year, doy, &day_start_ct.month, &day_start_ct.day));
+        LAZYETL_ASSIGN_OR_RETURN(NanoTime day_start,
+                                 CivilToNano(day_start_ct));
+
+        for (int seg = 0; seg < cfg.segments_per_day; ++seg) {
+          TimeSeries series;
+          series.network = st.network;
+          series.station = st.station;
+          series.location = st.location;
+          series.channel = chan;
+          series.sample_rate = st.sample_rate;
+          series.start_time =
+              day_start + static_cast<int64_t>(std::llround(
+                              seg * cfg.seconds_per_segment * 1e9));
+          size_t num_samples = static_cast<size_t>(
+              std::llround(cfg.seconds_per_segment * st.sample_rate));
+
+          SynthOptions synth = cfg.synth;
+          synth.sample_rate = st.sample_rate;
+          synth.seed = ChannelDaySeed(st.network, st.station, st.location,
+                                      chan, year, doy, cfg.synth.seed) +
+                       static_cast<uint64_t>(seg);
+          series.samples = GenerateSeismogram(num_samples, synth);
+
+          char yearbuf[8];
+          std::snprintf(yearbuf, sizeof(yearbuf), "%04d", year);
+          fs::path dir = fs::path(root) / yearbuf / st.network / st.station /
+                         (chan + "." + cfg.writer.quality_indicator);
+          fs::create_directories(dir, ec);
+          if (ec) {
+            return Status::IOError("cannot create " + dir.string() + ": " +
+                                   ec.message());
+          }
+          std::string name = SdsFilename(
+              st.network, st.station, st.location, chan,
+              cfg.writer.quality_indicator, year, doy, seg,
+              cfg.segments_per_day);
+          fs::path path = dir / name;
+
+          LAZYETL_ASSIGN_OR_RETURN(
+              WriteStats stats,
+              WriteMseedFile(path.string(), series, cfg.writer));
+
+          GeneratedFile gf;
+          gf.path = path.string();
+          gf.network = st.network;
+          gf.station = st.station;
+          gf.location = st.location;
+          gf.channel = chan;
+          gf.start_time = series.start_time;
+          gf.sample_rate = st.sample_rate;
+          gf.num_samples = stats.samples_written;
+          gf.num_records = stats.num_records;
+          gf.bytes = stats.bytes_written;
+          repo.total_bytes += stats.bytes_written;
+          repo.total_samples += stats.samples_written;
+          repo.total_records += stats.num_records;
+          repo.files.push_back(std::move(gf));
+        }
+      }
+    }
+  }
+  return repo;
+}
+
+Result<std::vector<ScannedFile>> ScanRepository(const std::string& root) {
+  std::error_code ec;
+  if (!fs::is_directory(root, ec) || ec) {
+    return Status::NotFound("repository root is not a directory: " + root);
+  }
+  std::vector<ScannedFile> files;
+  for (auto it = fs::recursive_directory_iterator(
+           root, fs::directory_options::skip_permission_denied, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec) {
+      return Status::IOError("error scanning " + root + ": " + ec.message());
+    }
+    if (!it->is_regular_file(ec) || ec) continue;
+    ScannedFile f;
+    f.path = it->path().string();
+    LAZYETL_ASSIGN_OR_RETURN(FileStatInfo st, StatFile(f.path));
+    f.size = st.size;
+    f.mtime = st.mtime;
+    files.push_back(std::move(f));
+  }
+  std::sort(files.begin(), files.end(),
+            [](const ScannedFile& a, const ScannedFile& b) {
+              return a.path < b.path;
+            });
+  return files;
+}
+
+}  // namespace lazyetl::mseed

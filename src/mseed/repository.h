@@ -1,0 +1,120 @@
+// Repository generation and scanning.
+//
+// A "repository" is a directory tree of mSEED files laid out in the
+// SeisComP Data Structure (SDS) convention used by ORFEUS-style archives:
+//
+//   <root>/<YEAR>/<NET>/<STA>/<CHAN>.<QUAL>/NET.STA.LOC.CHAN.QUAL.YEAR.DOY
+//
+// The filename itself encodes the channel identity and the day — the
+// "metadata encoded in the filename" fast path of the paper (§3: "the file
+// does not even need to be read"). When a day is split into multiple
+// segment files a numeric segment suffix is appended.
+
+#ifndef LAZYETL_MSEED_REPOSITORY_H_
+#define LAZYETL_MSEED_REPOSITORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "mseed/synth.h"
+#include "mseed/writer.h"
+
+namespace lazyetl::mseed {
+
+// One station contributing channels to a generated repository.
+struct StationSpec {
+  std::string network;
+  std::string station;
+  std::string location = "02";
+  std::vector<std::string> channels = {"BHZ", "BHN", "BHE"};
+  double sample_rate = 40.0;
+  // Inventory metadata (written to the dataless SEED volume).
+  double latitude = 0;
+  double longitude = 0;
+  double elevation = 0;
+  std::string site_name;
+};
+
+struct RepositoryConfig {
+  std::vector<StationSpec> stations;
+  int start_year = 2010;
+  int start_day_of_year = 10;  // Jan 10, 2010 (the paper queries Jan 12)
+  int num_days = 3;
+  // Each (station, channel, day) produces `segments_per_day` files, each
+  // covering `seconds_per_segment` of waveform from the start of the day.
+  int segments_per_day = 1;
+  double seconds_per_segment = 120.0;
+  // Also emit a dataless SEED volume (ASCII control headers) describing
+  // the stations and channels, as real archives do.
+  bool write_dataless = true;
+  WriterOptions writer;
+  SynthOptions synth;
+};
+
+// Returns the station set used by the demo: Dutch NL network stations plus
+// the Kandilli Observatory station ISK queried in Fig. 1.
+std::vector<StationSpec> DefaultDemoStations();
+
+// The whole demo configuration (small enough for tests; benches scale it).
+RepositoryConfig DefaultDemoConfig();
+
+struct GeneratedFile {
+  std::string path;
+  std::string network, station, location, channel;
+  NanoTime start_time = 0;
+  double sample_rate = 0;
+  size_t num_samples = 0;
+  size_t num_records = 0;
+  uint64_t bytes = 0;
+};
+
+struct GeneratedRepository {
+  std::string root;
+  std::vector<GeneratedFile> files;  // waveform files only
+  uint64_t total_bytes = 0;          // waveform bytes only
+  uint64_t total_samples = 0;
+  uint64_t total_records = 0;
+  std::string dataless_path;  // empty when write_dataless was false
+  uint64_t dataless_bytes = 0;
+};
+
+// Generates the repository under `root` (created if missing). Deterministic
+// for a fixed config (including synth.seed).
+Result<GeneratedRepository> GenerateRepository(const std::string& root,
+                                               const RepositoryConfig& config);
+
+// Metadata recoverable from an SDS path alone.
+struct FilenameMetadata {
+  std::string network, station, location, channel;
+  char quality = 'D';
+  int year = 0;
+  int day_of_year = 0;
+  int segment = 0;  // 0 when no segment suffix
+};
+
+// Parses "NET.STA.LOC.CHAN.QUAL.YEAR.DOY[.SEG]" (basename of an SDS path).
+Result<FilenameMetadata> ParseSdsFilename(const std::string& filename);
+
+// Builds the SDS basename for the given identity.
+std::string SdsFilename(const std::string& network, const std::string& station,
+                        const std::string& location,
+                        const std::string& channel, char quality, int year,
+                        int day_of_year, int segment, int segments_per_day);
+
+// A file discovered by scanning a repository directory tree.
+struct ScannedFile {
+  std::string path;
+  uint64_t size = 0;
+  NanoTime mtime = 0;
+};
+
+// Recursively lists regular files under `root`, sorted by path.
+Result<std::vector<ScannedFile>> ScanRepository(const std::string& root);
+
+}  // namespace lazyetl::mseed
+
+#endif  // LAZYETL_MSEED_REPOSITORY_H_

@@ -1,0 +1,76 @@
+// Steim-1 and Steim-2 waveform compression codecs.
+//
+// SEED data records carry waveforms as first-order differences packed into
+// 64-byte "frames" of sixteen 32-bit big-endian words. Word 0 of each frame
+// holds sixteen 2-bit nibble codes describing the remaining words; in the
+// first frame of a record, words 1 and 2 hold the forward (X0) and reverse
+// (Xn) integration constants used to reconstruct and verify the series.
+//
+// Steim-1 word packings (nibble):
+//   00 special (frame header word / X0 / Xn / unused word)
+//   01 four 8-bit differences
+//   10 two 16-bit differences
+//   11 one 32-bit difference
+//
+// Steim-2 keeps nibbles 00/01 and adds sub-encodings selected by the top
+// two bits of the word ("dnib"):
+//   nibble 10: dnib 01 -> one 30-bit, 10 -> two 15-bit, 11 -> three 10-bit
+//   nibble 11: dnib 00 -> five 6-bit, 01 -> six 5-bit, 10 -> seven 4-bit
+//
+// Differences are two's complement. Steim-1 differences use full 32-bit
+// wrap-around arithmetic, so any int32 series is encodable. Steim-2 caps a
+// single difference at 30 bits; series with larger jumps are rejected with
+// CorruptData (matching libmseed behaviour).
+
+#ifndef LAZYETL_MSEED_STEIM_H_
+#define LAZYETL_MSEED_STEIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace lazyetl::mseed {
+
+inline constexpr size_t kSteimFrameBytes = 64;
+inline constexpr size_t kWordsPerFrame = 16;
+
+// Result of an encode: the packed frames plus how many of the input samples
+// were consumed (encoders stop when the frame budget is full).
+struct SteimEncodeResult {
+  std::vector<uint8_t> frames;  // multiple of kSteimFrameBytes
+  size_t samples_encoded = 0;
+};
+
+// Encodes up to `samples.size()` samples into at most `max_frames` frames.
+// `prev_sample` is the last sample of the preceding record (used for the
+// first difference); pass samples[0] (difference 0) for the first record of
+// a series. Always emits at least one frame if any sample is encoded.
+Result<SteimEncodeResult> Steim1Encode(const std::vector<int32_t>& samples,
+                                       size_t max_frames,
+                                       int32_t prev_sample);
+
+Result<SteimEncodeResult> Steim2Encode(const std::vector<int32_t>& samples,
+                                       size_t max_frames,
+                                       int32_t prev_sample);
+
+// Decodes `expected_samples` samples from `frames` (a whole-record data
+// area; must be a multiple of 64 bytes). Verifies the reverse integration
+// constant and returns CorruptData on mismatch or truncation.
+Result<std::vector<int32_t>> Steim1Decode(const uint8_t* frames,
+                                          size_t num_bytes,
+                                          size_t expected_samples);
+
+Result<std::vector<int32_t>> Steim2Decode(const uint8_t* frames,
+                                          size_t num_bytes,
+                                          size_t expected_samples);
+
+// True iff every first-order difference of `samples` (with `prev_sample`
+// before the first) fits in a 30-bit two's-complement value, i.e. the series
+// is Steim-2 encodable.
+bool FitsSteim2(const std::vector<int32_t>& samples, int32_t prev_sample);
+
+}  // namespace lazyetl::mseed
+
+#endif  // LAZYETL_MSEED_STEIM_H_

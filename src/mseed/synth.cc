@@ -1,0 +1,79 @@
+#include "mseed/synth.h"
+
+#include <cmath>
+#include <random>
+
+namespace lazyetl::mseed {
+
+std::vector<int32_t> GenerateSeismogram(size_t num_samples,
+                                        const SynthOptions& opt) {
+  std::mt19937_64 rng(opt.seed);
+  std::normal_distribution<double> noise(0.0, opt.noise_stddev);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+
+  const double event_prob =
+      opt.sample_rate > 0 ? opt.events_per_hour / (3600.0 * opt.sample_rate)
+                          : 0.0;
+  const double two_pi_f = 2.0 * M_PI * opt.event_frequency_hz;
+
+  std::vector<int32_t> out(num_samples);
+  double n = 0.0;  // AR(1) state
+  // Active event bursts: (samples since start, amplitude).
+  struct Burst {
+    double t = 0;       // seconds since burst start
+    double amplitude = 0;
+  };
+  std::vector<Burst> bursts;
+  const double dt = opt.sample_rate > 0 ? 1.0 / opt.sample_rate : 0.0;
+
+  for (size_t i = 0; i < num_samples; ++i) {
+    n = opt.ar_coefficient * n + noise(rng);
+    double v = n + opt.dc_offset;
+
+    if (uni(rng) < event_prob) {
+      bursts.push_back({0.0, opt.event_amplitude * (0.5 + uni(rng))});
+    }
+    for (auto& b : bursts) {
+      v += b.amplitude * std::exp(-b.t / opt.event_decay_seconds) *
+           std::sin(two_pi_f * b.t);
+      b.t += dt;
+    }
+    // Drop bursts that decayed below one count.
+    std::erase_if(bursts, [&](const Burst& b) {
+      return b.amplitude * std::exp(-b.t / opt.event_decay_seconds) < 1.0;
+    });
+
+    // Clamp to a safe band so Steim-2 differences always fit.
+    if (v > 5e8) v = 5e8;
+    if (v < -5e8) v = -5e8;
+    out[i] = static_cast<int32_t>(std::lround(v));
+  }
+  return out;
+}
+
+uint64_t ChannelDaySeed(const std::string& network, const std::string& station,
+                        const std::string& location,
+                        const std::string& channel, int year, int day_of_year,
+                        uint64_t base_seed) {
+  // FNV-1a over the identity fields, mixed with the base seed.
+  uint64_t h = 14695981039346656037ULL ^ base_seed;
+  auto mix = [&h](const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+    h ^= '.';
+    h *= 1099511628211ULL;
+  };
+  mix(network);
+  mix(station);
+  mix(location);
+  mix(channel);
+  h ^= static_cast<uint64_t>(year) * 1000003ULL;
+  h *= 1099511628211ULL;
+  h ^= static_cast<uint64_t>(day_of_year);
+  h *= 1099511628211ULL;
+  return h;
+}
+
+}  // namespace lazyetl::mseed

@@ -1,0 +1,49 @@
+// Synthetic seismogram generation.
+//
+// Substitutes the ORFEUS data pond (remote FTP repository of real
+// seismograms) with deterministic, realistic-looking waveforms: AR(1)
+// coloured microseismic background noise plus occasional seismic "events"
+// modelled as exponentially decaying sinusoid bursts. Amplitudes stay in a
+// range whose first-order differences comfortably fit Steim-2, matching
+// real broadband channel data.
+
+#ifndef LAZYETL_MSEED_SYNTH_H_
+#define LAZYETL_MSEED_SYNTH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lazyetl::mseed {
+
+struct SynthOptions {
+  double sample_rate = 40.0;
+  // Background noise: AR(1) process n[i] = ar * n[i-1] + N(0, stddev).
+  double noise_stddev = 35.0;
+  double ar_coefficient = 0.97;
+  // Events: at each sample an event starts with probability
+  // events_per_hour / (3600 * rate); the burst is
+  // A * exp(-t/decay) * sin(2*pi*f*t).
+  double events_per_hour = 6.0;
+  double event_amplitude = 9000.0;
+  double event_decay_seconds = 6.0;
+  double event_frequency_hz = 1.8;
+  // DC offset typical of real digitisers.
+  int32_t dc_offset = 0;
+  uint64_t seed = 42;
+};
+
+// Generates `num_samples` int32 counts.
+std::vector<int32_t> GenerateSeismogram(size_t num_samples,
+                                        const SynthOptions& options);
+
+// Stable seed derived from a channel identity and a day, so repositories
+// regenerate identically file by file.
+uint64_t ChannelDaySeed(const std::string& network, const std::string& station,
+                        const std::string& location,
+                        const std::string& channel, int year, int day_of_year,
+                        uint64_t base_seed);
+
+}  // namespace lazyetl::mseed
+
+#endif  // LAZYETL_MSEED_SYNTH_H_

@@ -1,0 +1,171 @@
+#include "sql/ast.h"
+
+#include <sstream>
+
+namespace lazyetl::sql {
+
+const char* BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kLike:
+      return "LIKE";
+  }
+  return "?";
+}
+
+const char* UnaryOpToString(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNegate:
+      return "-";
+    case UnaryOp::kNot:
+      return "NOT";
+  }
+  return "?";
+}
+
+ExprPtr Expr::ColumnRef(std::string qualifier, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->qualifier = std::move(qualifier);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr Expr::Literal(storage::Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bin_op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr Expr::Unary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->un_op = op;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr Expr::Call(std::string function, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCall;
+  e->function = std::move(function);
+  e->children = std::move(args);
+  return e;
+}
+
+ExprPtr Expr::Star() {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kStar;
+  return e;
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->qualifier = qualifier;
+  e->column = column;
+  e->literal = literal;
+  e->bin_op = bin_op;
+  e->un_op = un_op;
+  e->function = function;
+  e->children.reserve(children.size());
+  for (const auto& c : children) e->children.push_back(c->Clone());
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kColumnRef:
+      return qualifier.empty() ? column : qualifier + "." + column;
+    case ExprKind::kLiteral:
+      if (literal.type() == storage::DataType::kString ||
+          literal.type() == storage::DataType::kTimestamp) {
+        return "'" + literal.ToString() + "'";
+      }
+      return literal.ToString();
+    case ExprKind::kBinary:
+      return "(" + children[0]->ToString() + " " + BinaryOpToString(bin_op) +
+             " " + children[1]->ToString() + ")";
+    case ExprKind::kUnary:
+      return std::string(UnaryOpToString(un_op)) + "(" +
+             children[0]->ToString() + ")";
+    case ExprKind::kCall: {
+      std::string s = function + "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i) s += ", ";
+        s += children[i]->ToString();
+      }
+      return s + ")";
+    }
+    case ExprKind::kStar:
+      return "*";
+  }
+  return "?";
+}
+
+std::string SelectStatement::ToString() const {
+  std::ostringstream os;
+  os << "SELECT ";
+  if (distinct) os << "DISTINCT ";
+  for (size_t i = 0; i < select_list.size(); ++i) {
+    if (i) os << ", ";
+    os << select_list[i].expr->ToString();
+    if (!select_list[i].alias.empty()) os << " AS " << select_list[i].alias;
+  }
+  os << " FROM " << from_table;
+  if (where) os << " WHERE " << where->ToString();
+  if (!group_by.empty()) {
+    os << " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i) os << ", ";
+      os << group_by[i]->ToString();
+    }
+  }
+  if (having) os << " HAVING " << having->ToString();
+  if (!order_by.empty()) {
+    os << " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i) os << ", ";
+      os << order_by[i].expr->ToString() << (order_by[i].ascending ? "" : " DESC");
+    }
+  }
+  if (limit >= 0) os << " LIMIT " << limit;
+  return os.str();
+}
+
+}  // namespace lazyetl::sql

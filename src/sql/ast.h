@@ -1,0 +1,116 @@
+// Abstract syntax tree for the supported SQL subset.
+//
+// The subset covers everything in the paper's Fig. 1 and demo scenario:
+//
+//   SELECT <exprs | aggregates> FROM <table-or-view>
+//   [WHERE <boolean expr>] [GROUP BY <cols>] [HAVING <expr>]
+//   [ORDER BY <exprs> [ASC|DESC]] [LIMIT n]
+//
+// with arithmetic, comparisons, AND/OR/NOT, BETWEEN, IN-lists on literals,
+// and the aggregates AVG/MIN/MAX/SUM/COUNT.
+
+#ifndef LAZYETL_SQL_AST_H_
+#define LAZYETL_SQL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace lazyetl::sql {
+
+enum class ExprKind {
+  kColumnRef,
+  kLiteral,
+  kBinary,
+  kUnary,
+  kCall,   // function or aggregate
+  kStar,   // COUNT(*)
+};
+
+enum class BinaryOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kLike,  // string wildcard match ('%' any run, '_' one char)
+};
+
+enum class UnaryOp {
+  kNegate,
+  kNot,
+};
+
+const char* BinaryOpToString(BinaryOp op);
+const char* UnaryOpToString(UnaryOp op);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  // kColumnRef
+  std::string qualifier;  // "F" in F.station; empty when unqualified
+  std::string column;
+
+  // kLiteral
+  storage::Value literal;
+
+  // kBinary / kUnary
+  BinaryOp bin_op = BinaryOp::kEq;
+  UnaryOp un_op = UnaryOp::kNegate;
+
+  // kCall
+  std::string function;  // upper-cased: AVG, MIN, MAX, SUM, COUNT, ABS
+
+  std::vector<ExprPtr> children;
+
+  static ExprPtr ColumnRef(std::string qualifier, std::string column);
+  static ExprPtr Literal(storage::Value v);
+  static ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Unary(UnaryOp op, ExprPtr operand);
+  static ExprPtr Call(std::string function, std::vector<ExprPtr> args);
+  static ExprPtr Star();
+
+  ExprPtr Clone() const;
+  std::string ToString() const;
+};
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // empty -> derived from expression
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+struct SelectStatement {
+  bool distinct = false;
+  std::vector<SelectItem> select_list;
+  std::string from_table;  // dotted name, e.g. "mseed.dataview"
+  ExprPtr where;           // null when absent
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;          // null when absent
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;      // -1 = no limit
+
+  std::string ToString() const;
+};
+
+}  // namespace lazyetl::sql
+
+#endif  // LAZYETL_SQL_AST_H_

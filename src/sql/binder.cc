@@ -1,0 +1,512 @@
+#include "sql/binder.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace lazyetl::sql {
+
+using storage::DataType;
+using storage::Value;
+
+BoundExprPtr BoundExpr::Clone() const {
+  auto e = std::make_unique<BoundExpr>();
+  e->kind = kind;
+  e->type = type;
+  e->display = display;
+  e->base_table = base_table;
+  e->base_column = base_column;
+  e->qualifier = qualifier;
+  e->literal = literal;
+  e->bin_op = bin_op;
+  e->un_op = un_op;
+  e->function = function;
+  e->is_aggregate = is_aggregate;
+  e->agg_index = agg_index;
+  e->children.reserve(children.size());
+  for (const auto& c : children) e->children.push_back(c->Clone());
+  return e;
+}
+
+std::string BoundExpr::ToString() const {
+  switch (kind) {
+    case ExprKind::kColumnRef:
+      return display;
+    case ExprKind::kLiteral:
+      if (literal.type() == DataType::kString ||
+          literal.type() == DataType::kTimestamp) {
+        return "'" + literal.ToString() + "'";
+      }
+      return literal.ToString();
+    case ExprKind::kBinary:
+      return "(" + children[0]->ToString() + " " + BinaryOpToString(bin_op) +
+             " " + children[1]->ToString() + ")";
+    case ExprKind::kUnary:
+      return std::string(UnaryOpToString(un_op)) + "(" +
+             children[0]->ToString() + ")";
+    case ExprKind::kCall: {
+      std::string s = function + "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i) s += ", ";
+        s += children[i]->ToString();
+      }
+      return s + ")";
+    }
+    case ExprKind::kStar:
+      return "*";
+  }
+  return "?";
+}
+
+bool BoundExpr::ContainsAggregate() const {
+  if (is_aggregate) return true;
+  for (const auto& c : children) {
+    if (c->ContainsAggregate()) return true;
+  }
+  return false;
+}
+
+void BoundExpr::CollectTables(std::vector<std::string>* tables) const {
+  if (kind == ExprKind::kColumnRef && !base_table.empty()) {
+    if (std::find(tables->begin(), tables->end(), base_table) ==
+        tables->end()) {
+      tables->push_back(base_table);
+    }
+  }
+  for (const auto& c : children) c->CollectTables(tables);
+}
+
+namespace {
+
+bool IsAggregateFunction(const std::string& fn) {
+  return fn == "AVG" || fn == "MIN" || fn == "MAX" || fn == "SUM" ||
+         fn == "COUNT";
+}
+
+// Widens two numeric types for arithmetic.
+DataType CommonNumericType(DataType a, DataType b) {
+  if (a == DataType::kDouble || b == DataType::kDouble) return DataType::kDouble;
+  if (a == DataType::kTimestamp || b == DataType::kTimestamp) {
+    return DataType::kTimestamp;
+  }
+  return DataType::kInt64;
+}
+
+// If `lit` is a string literal compared against a timestamp column, parse
+// it into a timestamp literal ('2010-01-12T00:00:00.000' in Fig. 1).
+Status CoerceLiteral(BoundExpr* lit, DataType target) {
+  if (lit->kind != ExprKind::kLiteral) return Status::OK();
+  if (target == DataType::kTimestamp &&
+      lit->literal.type() == DataType::kString) {
+    LAZYETL_ASSIGN_OR_RETURN(NanoTime t,
+                             ParseTimestamp(lit->literal.string_value()));
+    lit->literal = Value::Timestamp(t);
+    lit->type = DataType::kTimestamp;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<DataType> Binder::ColumnType(const std::string& table,
+                                    const std::string& column) {
+  LAZYETL_ASSIGN_OR_RETURN(storage::TablePtr t, catalog_->GetTable(table));
+  LAZYETL_ASSIGN_OR_RETURN(size_t idx, t->ColumnIndex(column));
+  return t->schema()[idx].type;
+}
+
+Result<BoundExprPtr> Binder::BindColumnRef(const Expr& e,
+                                           const BoundQuery& query) {
+  auto out = std::make_unique<BoundExpr>();
+  out->kind = ExprKind::kColumnRef;
+  if (query.view != nullptr) {
+    LAZYETL_ASSIGN_OR_RETURN(const storage::ViewColumn* vc,
+                             query.view->Resolve(e.qualifier, e.column));
+    out->qualifier = vc->qualifier;
+    out->display = vc->qualifier + "." + vc->name;
+    out->base_table = vc->base_table;
+    out->base_column = vc->base_column;
+    LAZYETL_ASSIGN_OR_RETURN(out->type,
+                             ColumnType(vc->base_table, vc->base_column));
+    return out;
+  }
+  // Base table: qualifier, if present, must match the table name or its
+  // final path component ("files" for "mseed.files").
+  if (!e.qualifier.empty()) {
+    const std::string& t = query.base_table;
+    bool matches = e.qualifier == t || EndsWith(t, "." + e.qualifier);
+    if (!matches) {
+      return Status::BindError("unknown qualifier '" + e.qualifier +
+                               "' for table " + t);
+    }
+  }
+  out->display = e.column;
+  out->base_table = query.base_table;
+  out->base_column = e.column;
+  auto type = ColumnType(query.base_table, e.column);
+  if (!type.ok()) {
+    return Status::BindError("unknown column '" + e.column + "' in table " +
+                             query.base_table);
+  }
+  out->type = *type;
+  return out;
+}
+
+Result<BoundExprPtr> Binder::BindCall(const Expr& e, BoundQuery* query,
+                                      bool allow_aggregates) {
+  const std::string& fn = e.function;
+  if (IsAggregateFunction(fn)) {
+    if (!allow_aggregates) {
+      return Status::BindError("aggregate " + fn +
+                               " not allowed in this clause");
+    }
+    if (e.children.size() != 1) {
+      return Status::BindError(fn + " takes exactly one argument");
+    }
+    BoundAggregate agg;
+    agg.function = fn;
+    if (e.children[0]->kind == ExprKind::kStar) {
+      if (fn != "COUNT") {
+        return Status::BindError(fn + "(*) is not valid");
+      }
+      agg.arg = nullptr;
+    } else {
+      // Aggregate arguments cannot themselves contain aggregates.
+      LAZYETL_ASSIGN_OR_RETURN(
+          agg.arg, BindExpr(*e.children[0], query, /*allow_aggregates=*/false));
+      if (!storage::IsNumeric(agg.arg->type) &&
+          !(fn == "MIN" || fn == "MAX" || fn == "COUNT")) {
+        return Status::BindError(fn + " requires a numeric argument");
+      }
+    }
+    if (fn == "AVG") {
+      agg.type = DataType::kDouble;
+    } else if (fn == "COUNT") {
+      agg.type = DataType::kInt64;
+    } else if (fn == "SUM") {
+      agg.type = agg.arg->type == DataType::kDouble ? DataType::kDouble
+                                                    : DataType::kInt64;
+    } else {  // MIN / MAX keep the argument type
+      agg.type = agg.arg->type;
+    }
+
+    // Deduplicate identical aggregates ("MIN(D.sample_value)" twice costs
+    // one computation).
+    std::string repr = fn + "(" + (agg.arg ? agg.arg->ToString() : "*") + ")";
+    for (size_t i = 0; i < query->aggregates.size(); ++i) {
+      const BoundAggregate& existing = query->aggregates[i];
+      std::string existing_repr =
+          existing.function + "(" +
+          (existing.arg ? existing.arg->ToString() : "*") + ")";
+      if (existing_repr == repr) {
+        auto ref = std::make_unique<BoundExpr>();
+        ref->kind = ExprKind::kCall;
+        ref->function = fn;
+        ref->is_aggregate = true;
+        ref->agg_index = static_cast<int>(i);
+        ref->type = existing.type;
+        if (agg.arg) ref->children.push_back(agg.arg->Clone());
+        return ref;
+      }
+    }
+    agg.display = "#agg" + std::to_string(query->aggregates.size());
+    auto ref = std::make_unique<BoundExpr>();
+    ref->kind = ExprKind::kCall;
+    ref->function = fn;
+    ref->is_aggregate = true;
+    ref->agg_index = static_cast<int>(query->aggregates.size());
+    ref->type = agg.type;
+    if (agg.arg) ref->children.push_back(agg.arg->Clone());
+    query->aggregates.push_back(std::move(agg));
+    return ref;
+  }
+
+  // Scalar functions.
+  auto bind_unary = [&](bool numeric,
+                        DataType out_type_for_double) -> Result<BoundExprPtr> {
+    if (e.children.size() != 1) {
+      return Status::BindError(fn + " takes exactly one argument");
+    }
+    LAZYETL_ASSIGN_OR_RETURN(BoundExprPtr arg,
+                             BindExpr(*e.children[0], query, allow_aggregates));
+    if (numeric && !storage::IsNumeric(arg->type)) {
+      return Status::BindError(fn + " requires a numeric argument");
+    }
+    if (!numeric && arg->type != DataType::kString) {
+      return Status::BindError(fn + " requires a string argument");
+    }
+    auto out = std::make_unique<BoundExpr>();
+    out->kind = ExprKind::kCall;
+    out->function = fn;
+    out->type = out_type_for_double;
+    out->children.push_back(std::move(arg));
+    return out;
+  };
+
+  if (fn == "ABS") {
+    if (e.children.size() != 1) {
+      return Status::BindError("ABS takes exactly one argument");
+    }
+    LAZYETL_ASSIGN_OR_RETURN(BoundExprPtr arg,
+                             BindExpr(*e.children[0], query, allow_aggregates));
+    if (!storage::IsNumeric(arg->type)) {
+      return Status::BindError("ABS requires a numeric argument");
+    }
+    auto out = std::make_unique<BoundExpr>();
+    out->kind = ExprKind::kCall;
+    out->function = fn;
+    out->type = arg->type == DataType::kDouble ? DataType::kDouble
+                                               : DataType::kInt64;
+    out->children.push_back(std::move(arg));
+    return out;
+  }
+  if (fn == "SQRT") {
+    return bind_unary(/*numeric=*/true, DataType::kDouble);
+  }
+  if (fn == "ROUND" || fn == "FLOOR" || fn == "CEIL") {
+    return bind_unary(/*numeric=*/true, DataType::kInt64);
+  }
+  if (fn == "UPPER" || fn == "LOWER") {
+    return bind_unary(/*numeric=*/false, DataType::kString);
+  }
+  if (fn == "LENGTH") {
+    return bind_unary(/*numeric=*/false, DataType::kInt64);
+  }
+  if (fn == "TIME_BUCKET") {
+    // TIME_BUCKET(width_seconds, ts): truncates `ts` down to a multiple of
+    // the bucket width — the workhorse of windowed aggregation (one-query
+    // STA series instead of one query per window).
+    if (e.children.size() != 2) {
+      return Status::BindError("TIME_BUCKET takes (width_seconds, timestamp)");
+    }
+    LAZYETL_ASSIGN_OR_RETURN(
+        BoundExprPtr width,
+        BindExpr(*e.children[0], query, /*allow_aggregates=*/false));
+    if (width->kind != ExprKind::kLiteral ||
+        !storage::IsNumeric(width->type) || width->literal.AsDouble() <= 0) {
+      return Status::BindError(
+          "TIME_BUCKET width must be a positive numeric literal");
+    }
+    LAZYETL_ASSIGN_OR_RETURN(BoundExprPtr ts,
+                             BindExpr(*e.children[1], query, allow_aggregates));
+    if (ts->type != DataType::kTimestamp) {
+      return Status::BindError(
+          "TIME_BUCKET's second argument must be a timestamp");
+    }
+    auto out = std::make_unique<BoundExpr>();
+    out->kind = ExprKind::kCall;
+    out->function = fn;
+    out->type = DataType::kTimestamp;
+    out->children.push_back(std::move(width));
+    out->children.push_back(std::move(ts));
+    return out;
+  }
+  return Status::BindError("unknown function '" + fn + "'");
+}
+
+Result<BoundExprPtr> Binder::BindExpr(const Expr& e, BoundQuery* query,
+                                      bool allow_aggregates) {
+  switch (e.kind) {
+    case ExprKind::kColumnRef:
+      return BindColumnRef(e, *query);
+    case ExprKind::kLiteral: {
+      auto out = std::make_unique<BoundExpr>();
+      out->kind = ExprKind::kLiteral;
+      out->literal = e.literal;
+      out->type = e.literal.type();
+      return out;
+    }
+    case ExprKind::kStar:
+      return Status::BindError("'*' is only valid inside COUNT(*)");
+    case ExprKind::kCall:
+      return BindCall(e, query, allow_aggregates);
+    case ExprKind::kUnary: {
+      LAZYETL_ASSIGN_OR_RETURN(BoundExprPtr operand,
+                               BindExpr(*e.children[0], query, allow_aggregates));
+      auto out = std::make_unique<BoundExpr>();
+      out->kind = ExprKind::kUnary;
+      out->un_op = e.un_op;
+      if (e.un_op == UnaryOp::kNot) {
+        if (operand->type != DataType::kBool) {
+          return Status::BindError("NOT requires a boolean operand");
+        }
+        out->type = DataType::kBool;
+      } else {
+        if (!storage::IsNumeric(operand->type)) {
+          return Status::BindError("unary '-' requires a numeric operand");
+        }
+        out->type = operand->type == DataType::kDouble ? DataType::kDouble
+                                                       : DataType::kInt64;
+      }
+      out->children.push_back(std::move(operand));
+      return out;
+    }
+    case ExprKind::kBinary: {
+      LAZYETL_ASSIGN_OR_RETURN(BoundExprPtr lhs,
+                               BindExpr(*e.children[0], query, allow_aggregates));
+      LAZYETL_ASSIGN_OR_RETURN(BoundExprPtr rhs,
+                               BindExpr(*e.children[1], query, allow_aggregates));
+      auto out = std::make_unique<BoundExpr>();
+      out->kind = ExprKind::kBinary;
+      out->bin_op = e.bin_op;
+      switch (e.bin_op) {
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+          if (lhs->type != DataType::kBool || rhs->type != DataType::kBool) {
+            return Status::BindError(
+                std::string(BinaryOpToString(e.bin_op)) +
+                " requires boolean operands");
+          }
+          out->type = DataType::kBool;
+          break;
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe: {
+          // Coerce string literals against timestamp columns (both ways).
+          LAZYETL_RETURN_NOT_OK(CoerceLiteral(rhs.get(), lhs->type));
+          LAZYETL_RETURN_NOT_OK(CoerceLiteral(lhs.get(), rhs->type));
+          bool lhs_str = lhs->type == DataType::kString;
+          bool rhs_str = rhs->type == DataType::kString;
+          if (lhs_str != rhs_str) {
+            return Status::BindError("cannot compare " +
+                                     std::string(storage::DataTypeToString(lhs->type)) +
+                                     " with " +
+                                     storage::DataTypeToString(rhs->type));
+          }
+          out->type = DataType::kBool;
+          break;
+        }
+        case BinaryOp::kLike:
+          if (lhs->type != DataType::kString ||
+              rhs->type != DataType::kString) {
+            return Status::BindError("LIKE requires string operands");
+          }
+          out->type = DataType::kBool;
+          break;
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod:
+          if (!storage::IsNumeric(lhs->type) || !storage::IsNumeric(rhs->type)) {
+            return Status::BindError("arithmetic requires numeric operands");
+          }
+          if (e.bin_op == BinaryOp::kDiv) {
+            out->type = DataType::kDouble;
+          } else {
+            out->type = CommonNumericType(lhs->type, rhs->type);
+          }
+          break;
+      }
+      out->children.push_back(std::move(lhs));
+      out->children.push_back(std::move(rhs));
+      return out;
+    }
+  }
+  return Status::Internal("unhandled expression kind in binder");
+}
+
+Result<BoundQuery> Binder::Bind(const SelectStatement& stmt) {
+  BoundQuery query;
+
+  // Resolve FROM: view first, then base table.
+  if (catalog_->HasView(stmt.from_table)) {
+    LAZYETL_ASSIGN_OR_RETURN(query.view, catalog_->GetView(stmt.from_table));
+  } else if (catalog_->HasTable(stmt.from_table)) {
+    query.base_table = stmt.from_table;
+  } else {
+    return Status::BindError("unknown table or view '" + stmt.from_table +
+                             "'");
+  }
+
+  if (stmt.select_list.empty()) {
+    return Status::BindError("empty select list");
+  }
+  query.distinct = stmt.distinct;
+
+  // GROUP BY first so aggregate validation can see the grouping columns.
+  for (const auto& g : stmt.group_by) {
+    LAZYETL_ASSIGN_OR_RETURN(BoundExprPtr e,
+                             BindExpr(*g, &query, /*allow_aggregates=*/false));
+    query.group_by.push_back(std::move(e));
+  }
+
+  for (const auto& item : stmt.select_list) {
+    BoundOutputColumn out;
+    LAZYETL_ASSIGN_OR_RETURN(out.expr,
+                             BindExpr(*item.expr, &query, /*allow=*/true));
+    out.name = !item.alias.empty() ? item.alias : item.expr->ToString();
+    query.select_list.push_back(std::move(out));
+  }
+
+  if (stmt.where) {
+    LAZYETL_ASSIGN_OR_RETURN(query.where,
+                             BindExpr(*stmt.where, &query, /*allow=*/false));
+    if (query.where->type != DataType::kBool) {
+      return Status::BindError("WHERE clause must be boolean");
+    }
+    if (query.where->ContainsAggregate()) {
+      return Status::BindError("aggregates are not allowed in WHERE");
+    }
+  }
+
+  if (stmt.having) {
+    LAZYETL_ASSIGN_OR_RETURN(query.having,
+                             BindExpr(*stmt.having, &query, /*allow=*/true));
+    if (query.having->type != DataType::kBool) {
+      return Status::BindError("HAVING clause must be boolean");
+    }
+  }
+
+  for (const auto& o : stmt.order_by) {
+    BoundOrderItem item;
+    item.ascending = o.ascending;
+    // ORDER BY may reference a select alias.
+    bool bound = false;
+    if (o.expr->kind == ExprKind::kColumnRef && o.expr->qualifier.empty()) {
+      for (size_t i = 0; i < stmt.select_list.size(); ++i) {
+        if (stmt.select_list[i].alias == o.expr->column) {
+          item.expr = query.select_list[i].expr->Clone();
+          bound = true;
+          break;
+        }
+      }
+    }
+    if (!bound) {
+      LAZYETL_ASSIGN_OR_RETURN(item.expr,
+                               BindExpr(*o.expr, &query, /*allow=*/true));
+    }
+    query.order_by.push_back(std::move(item));
+  }
+
+  query.limit = stmt.limit;
+
+  // Validation: with aggregates or GROUP BY, every select item must be an
+  // aggregate or a grouping expression.
+  if (query.has_aggregates() || !query.group_by.empty()) {
+    for (const auto& item : query.select_list) {
+      if (item.expr->ContainsAggregate()) continue;
+      std::string repr = item.expr->ToString();
+      bool is_group_col = false;
+      for (const auto& g : query.group_by) {
+        if (g->ToString() == repr) {
+          is_group_col = true;
+          break;
+        }
+      }
+      if (!is_group_col) {
+        return Status::BindError("column " + repr +
+                                 " must appear in GROUP BY or inside an "
+                                 "aggregate");
+      }
+    }
+  }
+
+  return query;
+}
+
+}  // namespace lazyetl::sql

@@ -1,0 +1,117 @@
+// Binder: resolves a parsed SELECT against the catalog, expanding views.
+//
+// This is where the paper's lazy transformation starts: a query over
+// `mseed.dataview` is rewritten in terms of the base tables F/R/D ("view
+// definitions are simply expanded into the query", §3.2), with every column
+// reference annotated with its base table so the optimizer can classify
+// predicates as metadata (F/R) or actual-data (D) predicates.
+
+#ifndef LAZYETL_SQL_BINDER_H_
+#define LAZYETL_SQL_BINDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "storage/catalog.h"
+
+namespace lazyetl::sql {
+
+struct BoundExpr;
+using BoundExprPtr = std::unique_ptr<BoundExpr>;
+
+struct BoundExpr {
+  ExprKind kind = ExprKind::kLiteral;
+  storage::DataType type = storage::DataType::kInt64;
+
+  // kColumnRef: `display` is the column's name in engine intermediates
+  // ("F.station" for view columns, plain "station" for base tables).
+  std::string display;
+  std::string base_table;   // e.g. "mseed.files"
+  std::string base_column;  // e.g. "station"
+  std::string qualifier;    // view qualifier ("F"), empty for base tables
+
+  // kLiteral
+  storage::Value literal;
+
+  // kBinary / kUnary / kCall
+  BinaryOp bin_op = BinaryOp::kEq;
+  UnaryOp un_op = UnaryOp::kNegate;
+  std::string function;
+  bool is_aggregate = false;
+  int agg_index = -1;  // index into BoundQuery::aggregates
+
+  std::vector<BoundExprPtr> children;
+
+  BoundExprPtr Clone() const;
+  std::string ToString() const;
+
+  // True if any node in this subtree is an aggregate call.
+  bool ContainsAggregate() const;
+
+  // Collects the distinct base tables referenced by column refs below (and
+  // including) this node.
+  void CollectTables(std::vector<std::string>* tables) const;
+};
+
+struct BoundOutputColumn {
+  BoundExprPtr expr;
+  std::string name;  // result column name
+};
+
+// One aggregate computed by the Aggregate operator.
+struct BoundAggregate {
+  std::string function;  // AVG, MIN, MAX, SUM, COUNT
+  BoundExprPtr arg;      // null for COUNT(*)
+  std::string display;   // column name in the aggregate output, "#aggN"
+  storage::DataType type = storage::DataType::kDouble;
+};
+
+struct BoundOrderItem {
+  BoundExprPtr expr;
+  bool ascending = true;
+};
+
+struct BoundQuery {
+  // FROM target: exactly one of `view` / `base_table` is set.
+  const storage::ViewDefinition* view = nullptr;
+  std::string base_table;
+
+  bool distinct = false;
+  std::vector<BoundOutputColumn> select_list;
+  BoundExprPtr where;  // null when absent
+  std::vector<BoundExprPtr> group_by;
+  BoundExprPtr having;  // null when absent
+  std::vector<BoundOrderItem> order_by;
+  int64_t limit = -1;
+
+  std::vector<BoundAggregate> aggregates;
+  bool has_aggregates() const { return !aggregates.empty(); }
+};
+
+class Binder {
+ public:
+  // `catalog` must outlive the binder and any BoundQuery it produces.
+  explicit Binder(const storage::Catalog* catalog) : catalog_(catalog) {}
+
+  Result<BoundQuery> Bind(const SelectStatement& stmt);
+
+ private:
+  Result<BoundExprPtr> BindExpr(const Expr& e, BoundQuery* query,
+                                bool allow_aggregates);
+  Result<BoundExprPtr> BindColumnRef(const Expr& e, const BoundQuery& query);
+  Result<BoundExprPtr> BindCall(const Expr& e, BoundQuery* query,
+                                bool allow_aggregates);
+
+  // Type of `table`.`column` looked up in the catalog.
+  Result<storage::DataType> ColumnType(const std::string& table,
+                                       const std::string& column);
+
+  const storage::Catalog* catalog_;
+};
+
+}  // namespace lazyetl::sql
+
+#endif  // LAZYETL_SQL_BINDER_H_

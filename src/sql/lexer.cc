@@ -1,0 +1,148 @@
+#include "sql/lexer.h"
+
+#include <array>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace lazyetl::sql {
+namespace {
+
+constexpr std::array<const char*, 22> kKeywords = {
+    "SELECT", "FROM",  "WHERE", "GROUP", "BY",      "HAVING",
+    "ORDER",  "ASC",   "DESC",  "LIMIT", "AND",     "OR",
+    "NOT",    "AS",    "IN",    "BETWEEN", "TRUE",  "FALSE",
+    "NULL",   "DISTINCT", "LIKE", "IS",
+};
+
+}  // namespace
+
+bool IsKeyword(const std::string& upper) {
+  for (const char* k : kKeywords) {
+    if (upper == k) return true;
+  }
+  return false;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      std::string word = sql.substr(start, i - start);
+      std::string upper = ToUpperAscii(word);
+      if (IsKeyword(upper)) {
+        tok.type = TokenType::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.type = TokenType::kIdentifier;
+        tok.text = word;
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      // A '.' starts a fraction only if followed by a digit; otherwise it is
+      // a qualifier dot (e.g. schema.table -- identifiers, never numbers).
+      if (i + 1 < n && sql[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < n && (sql[j] == '+' || sql[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) {
+          is_float = true;
+          i = j;
+          while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+        }
+      }
+      tok.type = is_float ? TokenType::kFloat : TokenType::kInteger;
+      tok.text = sql.substr(start, i - start);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    if (c == '\'') {
+      ++i;
+      std::string content;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            content += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        content += sql[i++];
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(tok.position));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(content);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    // Multi-char operators first.
+    auto two = i + 1 < n ? sql.substr(i, 2) : "";
+    if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+      tok.type = TokenType::kOperator;
+      tok.text = two == "!=" ? "<>" : two;
+      tokens.push_back(std::move(tok));
+      i += 2;
+      continue;
+    }
+    static const std::string kSingle = "=<>+-*/%(),.;";
+    if (kSingle.find(c) != std::string::npos) {
+      tok.type = TokenType::kOperator;
+      tok.text = std::string(1, c);
+      tokens.push_back(std::move(tok));
+      ++i;
+      continue;
+    }
+
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' at offset " + std::to_string(i));
+  }
+
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace lazyetl::sql

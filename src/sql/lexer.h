@@ -1,0 +1,39 @@
+// SQL tokenizer.
+
+#ifndef LAZYETL_SQL_LEXER_H_
+#define LAZYETL_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace lazyetl::sql {
+
+enum class TokenType {
+  kIdentifier,   // foo (case preserved; keyword detection is separate)
+  kKeyword,      // SELECT, FROM, ... (upper-cased in `text`)
+  kString,       // 'abc' (text holds unquoted content)
+  kInteger,      // 42
+  kFloat,        // 3.14
+  kOperator,     // = <> < <= > >= + - * / % ( ) , .
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  size_t position = 0;  // byte offset in the input, for error messages
+};
+
+// Splits `sql` into tokens (kEnd-terminated). Keywords are recognised
+// case-insensitively and normalised to upper case.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+// True if `word` (upper-cased) is a reserved keyword.
+bool IsKeyword(const std::string& upper);
+
+}  // namespace lazyetl::sql
+
+#endif  // LAZYETL_SQL_LEXER_H_

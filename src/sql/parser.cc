@@ -1,0 +1,388 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace lazyetl::sql {
+namespace {
+
+// Expression grammar (lowest to highest precedence):
+//   or_expr     := and_expr (OR and_expr)*
+//   and_expr    := not_expr (AND not_expr)*
+//   not_expr    := NOT not_expr | predicate
+//   predicate   := additive ((=|<>|<|<=|>|>=) additive
+//                           | BETWEEN additive AND additive
+//                           | [NOT] IN '(' literal (',' literal)* ')')?
+//   additive    := multiplicative ((+|-) multiplicative)*
+//   multiplicative := unary ((*|/|%) unary)*
+//   unary       := '-' unary | primary
+//   primary     := literal | call | column_ref | '(' or_expr ')' | '*'
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> ParseSelect() {
+    SelectStatement stmt;
+    LAZYETL_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    if (PeekKeyword("DISTINCT")) {
+      Advance();
+      stmt.distinct = true;
+    }
+    // Select list.
+    while (true) {
+      SelectItem item;
+      LAZYETL_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (PeekKeyword("AS")) {
+        Advance();
+        LAZYETL_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+      } else if (Peek().type == TokenType::kIdentifier) {
+        item.alias = Advance().text;
+      }
+      stmt.select_list.push_back(std::move(item));
+      if (!PeekOperator(",")) break;
+      Advance();
+    }
+
+    LAZYETL_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    LAZYETL_ASSIGN_OR_RETURN(stmt.from_table, ParseDottedName());
+
+    if (PeekKeyword("WHERE")) {
+      Advance();
+      LAZYETL_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (PeekKeyword("GROUP")) {
+      Advance();
+      LAZYETL_RETURN_NOT_OK(ExpectKeyword("BY"));
+      while (true) {
+        LAZYETL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        stmt.group_by.push_back(std::move(e));
+        if (!PeekOperator(",")) break;
+        Advance();
+      }
+    }
+    if (PeekKeyword("HAVING")) {
+      Advance();
+      LAZYETL_ASSIGN_OR_RETURN(stmt.having, ParseExpr());
+    }
+    if (PeekKeyword("ORDER")) {
+      Advance();
+      LAZYETL_RETURN_NOT_OK(ExpectKeyword("BY"));
+      while (true) {
+        OrderItem item;
+        LAZYETL_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (PeekKeyword("ASC")) {
+          Advance();
+        } else if (PeekKeyword("DESC")) {
+          Advance();
+          item.ascending = false;
+        }
+        stmt.order_by.push_back(std::move(item));
+        if (!PeekOperator(",")) break;
+        Advance();
+      }
+    }
+    if (PeekKeyword("LIMIT")) {
+      Advance();
+      const Token& t = Peek();
+      if (t.type != TokenType::kInteger) {
+        return Err("expected integer after LIMIT");
+      }
+      stmt.limit = std::atoll(t.text.c_str());
+      Advance();
+    }
+    if (PeekOperator(";")) Advance();
+    if (Peek().type != TokenType::kEnd) {
+      return Err("unexpected trailing input '" + Peek().text + "'");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool PeekKeyword(const std::string& kw) const {
+    return Peek().type == TokenType::kKeyword && Peek().text == kw;
+  }
+  bool PeekOperator(const std::string& op) const {
+    return Peek().type == TokenType::kOperator && Peek().text == op;
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " (near offset " +
+                              std::to_string(Peek().position) + ")");
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (!PeekKeyword(kw)) return Err("expected " + kw);
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Err("expected identifier, got '" + Peek().text + "'");
+    }
+    return Advance().text;
+  }
+
+  // schema.table / table
+  Result<std::string> ParseDottedName() {
+    LAZYETL_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+    while (PeekOperator(".")) {
+      Advance();
+      LAZYETL_ASSIGN_OR_RETURN(std::string part, ExpectIdentifier());
+      name += "." + part;
+    }
+    return name;
+  }
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    LAZYETL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (PeekKeyword("OR")) {
+      Advance();
+      LAZYETL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Binary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    LAZYETL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (PeekKeyword("AND")) {
+      Advance();
+      LAZYETL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = Expr::Binary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (PeekKeyword("NOT")) {
+      Advance();
+      LAZYETL_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return Expr::Unary(UnaryOp::kNot, std::move(operand));
+    }
+    return ParsePredicate();
+  }
+
+  Result<ExprPtr> ParsePredicate() {
+    LAZYETL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    if (Peek().type == TokenType::kOperator) {
+      const std::string& op = Peek().text;
+      BinaryOp bop;
+      if (op == "=") {
+        bop = BinaryOp::kEq;
+      } else if (op == "<>") {
+        bop = BinaryOp::kNe;
+      } else if (op == "<") {
+        bop = BinaryOp::kLt;
+      } else if (op == "<=") {
+        bop = BinaryOp::kLe;
+      } else if (op == ">") {
+        bop = BinaryOp::kGt;
+      } else if (op == ">=") {
+        bop = BinaryOp::kGe;
+      } else {
+        return lhs;
+      }
+      Advance();
+      LAZYETL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      return Expr::Binary(bop, std::move(lhs), std::move(rhs));
+    }
+    if (PeekKeyword("BETWEEN")) {
+      // a BETWEEN x AND y  =>  a >= x AND a <= y
+      Advance();
+      LAZYETL_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+      LAZYETL_RETURN_NOT_OK(ExpectKeyword("AND"));
+      LAZYETL_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+      ExprPtr ge =
+          Expr::Binary(BinaryOp::kGe, lhs->Clone(), std::move(lo));
+      ExprPtr le = Expr::Binary(BinaryOp::kLe, std::move(lhs), std::move(hi));
+      return Expr::Binary(BinaryOp::kAnd, std::move(ge), std::move(le));
+    }
+    if (PeekKeyword("LIKE")) {
+      Advance();
+      LAZYETL_ASSIGN_OR_RETURN(ExprPtr pattern, ParseAdditive());
+      return Expr::Binary(BinaryOp::kLike, std::move(lhs), std::move(pattern));
+    }
+    bool negated = false;
+    if (PeekKeyword("NOT") && Peek(1).type == TokenType::kKeyword &&
+        (Peek(1).text == "IN" || Peek(1).text == "LIKE")) {
+      Advance();
+      negated = true;
+    }
+    if (PeekKeyword("LIKE")) {
+      Advance();
+      LAZYETL_ASSIGN_OR_RETURN(ExprPtr pattern, ParseAdditive());
+      ExprPtr like =
+          Expr::Binary(BinaryOp::kLike, std::move(lhs), std::move(pattern));
+      return Expr::Unary(UnaryOp::kNot, std::move(like));
+    }
+    if (PeekKeyword("IN")) {
+      // a IN (v1, v2)  =>  a = v1 OR a = v2 (wrapped in NOT if negated)
+      Advance();
+      if (!PeekOperator("(")) return Err("expected '(' after IN");
+      Advance();
+      ExprPtr disjunction;
+      while (true) {
+        LAZYETL_ASSIGN_OR_RETURN(ExprPtr v, ParseAdditive());
+        ExprPtr eq = Expr::Binary(BinaryOp::kEq, lhs->Clone(), std::move(v));
+        disjunction = disjunction
+                          ? Expr::Binary(BinaryOp::kOr, std::move(disjunction),
+                                         std::move(eq))
+                          : std::move(eq);
+        if (PeekOperator(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (!PeekOperator(")")) return Err("expected ')' closing IN list");
+      Advance();
+      if (negated) {
+        return Expr::Unary(UnaryOp::kNot, std::move(disjunction));
+      }
+      return disjunction;
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    LAZYETL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (PeekOperator("+") || PeekOperator("-")) {
+      BinaryOp op = Peek().text == "+" ? BinaryOp::kAdd : BinaryOp::kSub;
+      Advance();
+      LAZYETL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    LAZYETL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (PeekOperator("*") || PeekOperator("/") || PeekOperator("%")) {
+      BinaryOp op = Peek().text == "*"
+                        ? BinaryOp::kMul
+                        : (Peek().text == "/" ? BinaryOp::kDiv : BinaryOp::kMod);
+      Advance();
+      LAZYETL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (PeekOperator("-")) {
+      Advance();
+      LAZYETL_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      // Fold negation of numeric literals immediately.
+      if (operand->kind == ExprKind::kLiteral) {
+        using storage::DataType;
+        const storage::Value& v = operand->literal;
+        if (v.type() == DataType::kInt64) {
+          return Expr::Literal(storage::Value::Int64(-v.int64_value()));
+        }
+        if (v.type() == DataType::kDouble) {
+          return Expr::Literal(storage::Value::Double(-v.double_value()));
+        }
+      }
+      return Expr::Unary(UnaryOp::kNegate, std::move(operand));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kInteger: {
+        Advance();
+        return Expr::Literal(
+            storage::Value::Int64(std::atoll(t.text.c_str())));
+      }
+      case TokenType::kFloat: {
+        Advance();
+        return Expr::Literal(
+            storage::Value::Double(std::strtod(t.text.c_str(), nullptr)));
+      }
+      case TokenType::kString: {
+        Advance();
+        return Expr::Literal(storage::Value::String(t.text));
+      }
+      case TokenType::kKeyword: {
+        if (t.text == "TRUE" || t.text == "FALSE") {
+          Advance();
+          return Expr::Literal(storage::Value::Bool(t.text == "TRUE"));
+        }
+        return Err("unexpected keyword '" + t.text + "'");
+      }
+      case TokenType::kOperator: {
+        if (t.text == "(") {
+          Advance();
+          LAZYETL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          if (!PeekOperator(")")) return Err("expected ')'");
+          Advance();
+          return e;
+        }
+        if (t.text == "*") {
+          Advance();
+          return Expr::Star();
+        }
+        return Err("unexpected operator '" + t.text + "'");
+      }
+      case TokenType::kIdentifier: {
+        std::string first = Advance().text;
+        // Function call?
+        if (PeekOperator("(")) {
+          Advance();
+          std::vector<ExprPtr> args;
+          if (!PeekOperator(")")) {
+            while (true) {
+              LAZYETL_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+              args.push_back(std::move(arg));
+              if (PeekOperator(",")) {
+                Advance();
+                continue;
+              }
+              break;
+            }
+          }
+          if (!PeekOperator(")")) return Err("expected ')' closing call");
+          Advance();
+          return Expr::Call(ToUpperAscii(first), std::move(args));
+        }
+        // Qualified column: q.col (two levels at most).
+        if (PeekOperator(".")) {
+          Advance();
+          LAZYETL_ASSIGN_OR_RETURN(std::string second, ExpectIdentifier());
+          return Expr::ColumnRef(first, second);
+        }
+        return Expr::ColumnRef("", first);
+      }
+      case TokenType::kEnd:
+        return Err("unexpected end of input");
+    }
+    return Err("unexpected token");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStatement> Parse(const std::string& sql) {
+  LAZYETL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseSelect();
+}
+
+}  // namespace lazyetl::sql

@@ -1,0 +1,18 @@
+// Recursive-descent parser for the SQL subset (see ast.h).
+
+#ifndef LAZYETL_SQL_PARSER_H_
+#define LAZYETL_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace lazyetl::sql {
+
+// Parses one SELECT statement (an optional trailing ';' is allowed).
+Result<SelectStatement> Parse(const std::string& sql);
+
+}  // namespace lazyetl::sql
+
+#endif  // LAZYETL_SQL_PARSER_H_

@@ -1,0 +1,92 @@
+#include "storage/catalog.h"
+
+namespace lazyetl::storage {
+
+Result<const ViewColumn*> ViewDefinition::Resolve(const std::string& qualifier,
+                                                  const std::string& col) const {
+  const ViewColumn* found = nullptr;
+  for (const auto& vc : columns) {
+    if (!qualifier.empty() && vc.qualifier != qualifier) continue;
+    if (vc.name != col) continue;
+    if (found != nullptr) {
+      return Status::BindError("ambiguous column '" + col + "' in view " +
+                               name);
+    }
+    found = &vc;
+  }
+  if (found == nullptr) {
+    return Status::BindError("view " + name + " has no column '" +
+                             (qualifier.empty() ? col : qualifier + "." + col) +
+                             "'");
+  }
+  return found;
+}
+
+Status Catalog::RegisterTable(const std::string& name, TablePtr table) {
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table '" + name + "' already registered");
+  }
+  tables_[name] = std::move(table);
+  return Status::OK();
+}
+
+void Catalog::PutTable(const std::string& name, TablePtr table) {
+  tables_[name] = std::move(table);
+}
+
+Result<TablePtr> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+Status Catalog::RegisterView(ViewDefinition view) {
+  if (views_.count(view.name)) {
+    return Status::AlreadyExists("view '" + view.name + "' already registered");
+  }
+  std::string name = view.name;
+  views_[name] = std::move(view);
+  return Status::OK();
+}
+
+Result<const ViewDefinition*> Catalog::GetView(const std::string& name) const {
+  auto it = views_.find(name);
+  if (it == views_.end()) {
+    return Status::NotFound("no view named '" + name + "'");
+  }
+  return &it->second;
+}
+
+bool Catalog::HasView(const std::string& name) const {
+  return views_.count(name) > 0;
+}
+
+std::vector<std::string> Catalog::ViewNames() const {
+  std::vector<std::string> names;
+  names.reserve(views_.size());
+  for (const auto& [name, _] : views_) names.push_back(name);
+  return names;
+}
+
+uint64_t Catalog::MemoryBytes() const {
+  uint64_t total = 0;
+  for (const auto& [_, table] : tables_) {
+    if (table) total += table->MemoryBytes();
+  }
+  return total;
+}
+
+}  // namespace lazyetl::storage

@@ -1,0 +1,104 @@
+// Catalog: the warehouse's registry of base tables and non-materialised
+// views.
+//
+// The paper's lazy transformation (§3.2) represents transformations as
+// non-materialised views ("view definitions are simply expanded into the
+// query"). The Catalog stores view definitions declaratively — a join tree
+// over base tables plus exported, qualifier-tagged columns — and the SQL
+// binder expands them.
+
+#ifndef LAZYETL_STORAGE_CATALOG_H_
+#define LAZYETL_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace lazyetl::storage {
+
+// A column exported by a view: `qualifier.name` in queries maps to
+// `base_table.base_column`.
+struct ViewColumn {
+  std::string qualifier;    // "F", "R", "D"
+  std::string name;         // "station"
+  std::string base_table;   // "mseed.files"
+  std::string base_column;  // "station"
+};
+
+// One step of the view's left-deep join tree: joins `table` to the result
+// of everything before it, on equal values of the listed key pairs
+// (left side expressed as base_table.column of an earlier table).
+struct ViewJoinStep {
+  std::string table;
+  // Pairs of (earlier table column as "table.column", this table's column).
+  std::vector<std::pair<std::string, std::string>> keys;
+};
+
+// Declares that every value of `data_table.data_column` within a join
+// group lies inside [`range_table.start_column`, `range_table.end_column`]
+// of the joined row (inclusive). The planner uses this to infer metadata
+// predicates from actual-data predicates — the heart of the paper's
+// "metadata is used to identify the actual data required by a query":
+// a predicate D.sample_time < c implies R.start_time < c (and F.start_time
+// < c), so whole records/files are pruned before any extraction.
+struct TimeContainmentRule {
+  std::string data_table;
+  std::string data_column;
+  std::string range_table;
+  std::string start_column;
+  std::string end_column;
+};
+
+struct ViewDefinition {
+  std::string name;        // "mseed.dataview"
+  std::string root_table;  // first table of the join tree
+  std::vector<ViewJoinStep> joins;
+  std::vector<ViewColumn> columns;
+  std::vector<TimeContainmentRule> containment_rules;
+
+  // Name of the base table whose contents are *not* materialised in the
+  // warehouse and must be produced at query time by lazy extraction
+  // ("mseed.data" in lazy mode). Empty in eager mode. The planner replaces
+  // the join against this table with a LazyDataScan operator.
+  std::string lazy_table;
+
+  // Finds the exported column for `qualifier.name` (qualifier may be empty
+  // to search across all, erroring on ambiguity).
+  Result<const ViewColumn*> Resolve(const std::string& qualifier,
+                                    const std::string& name) const;
+};
+
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  Status RegisterTable(const std::string& name, TablePtr table);
+  // Replaces the table if it already exists.
+  void PutTable(const std::string& name, TablePtr table);
+  Result<TablePtr> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  Status RegisterView(ViewDefinition view);
+  Result<const ViewDefinition*> GetView(const std::string& name) const;
+  bool HasView(const std::string& name) const;
+  std::vector<std::string> ViewNames() const;
+
+  // Total in-memory footprint of all base tables.
+  uint64_t MemoryBytes() const;
+
+ private:
+  std::map<std::string, TablePtr> tables_;
+  std::map<std::string, ViewDefinition> views_;
+};
+
+}  // namespace lazyetl::storage
+
+#endif  // LAZYETL_STORAGE_CATALOG_H_

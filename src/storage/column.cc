@@ -1,0 +1,189 @@
+#include "storage/column.h"
+
+namespace lazyetl::storage {
+namespace {
+
+// Physical storage bucket for a logical type.
+template <typename T>
+std::vector<T>& Vec(std::variant<std::vector<uint8_t>, std::vector<int32_t>,
+                                 std::vector<int64_t>, std::vector<double>,
+                                 std::vector<std::string>>& v) {
+  return std::get<std::vector<T>>(v);
+}
+
+}  // namespace
+
+Column::Column(DataType type) : type_(type) {
+  switch (type) {
+    case DataType::kBool:
+      data_ = std::vector<uint8_t>{};
+      break;
+    case DataType::kInt32:
+      data_ = std::vector<int32_t>{};
+      break;
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      data_ = std::vector<int64_t>{};
+      break;
+    case DataType::kDouble:
+      data_ = std::vector<double>{};
+      break;
+    case DataType::kString:
+      data_ = std::vector<std::string>{};
+      break;
+  }
+}
+
+Column Column::FromInt32(std::vector<int32_t> data) {
+  Column c(DataType::kInt32);
+  c.data_ = std::move(data);
+  return c;
+}
+Column Column::FromInt64(std::vector<int64_t> data) {
+  Column c(DataType::kInt64);
+  c.data_ = std::move(data);
+  return c;
+}
+Column Column::FromDouble(std::vector<double> data) {
+  Column c(DataType::kDouble);
+  c.data_ = std::move(data);
+  return c;
+}
+Column Column::FromString(std::vector<std::string> data) {
+  Column c(DataType::kString);
+  c.data_ = std::move(data);
+  return c;
+}
+Column Column::FromTimestamp(std::vector<int64_t> data) {
+  Column c(DataType::kTimestamp);
+  c.data_ = std::move(data);
+  return c;
+}
+Column Column::FromBool(std::vector<uint8_t> data) {
+  Column c(DataType::kBool);
+  c.data_ = std::move(data);
+  return c;
+}
+
+size_t Column::size() const {
+  return std::visit([](const auto& v) { return v.size(); }, data_);
+}
+
+Value Column::GetValue(size_t row) const {
+  switch (type_) {
+    case DataType::kBool:
+      return Value::Bool(bool_data()[row] != 0);
+    case DataType::kInt32:
+      return Value::Int32(int32_data()[row]);
+    case DataType::kInt64:
+      return Value::Int64(int64_data()[row]);
+    case DataType::kDouble:
+      return Value::Double(double_data()[row]);
+    case DataType::kString:
+      return Value::String(string_data()[row]);
+    case DataType::kTimestamp:
+      return Value::Timestamp(int64_data()[row]);
+  }
+  return Value();
+}
+
+Status Column::AppendValue(const Value& v) {
+  switch (type_) {
+    case DataType::kBool:
+      if (v.type() != DataType::kBool) break;
+      bool_data().push_back(v.bool_value() ? 1 : 0);
+      return Status::OK();
+    case DataType::kInt32:
+      if (v.type() != DataType::kInt32) break;
+      int32_data().push_back(v.int32_value());
+      return Status::OK();
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      if (v.type() != DataType::kInt64 && v.type() != DataType::kTimestamp &&
+          v.type() != DataType::kInt32) {
+        break;
+      }
+      int64_data().push_back(v.AsInt64());
+      return Status::OK();
+    case DataType::kDouble:
+      if (!IsNumeric(v.type())) break;
+      double_data().push_back(v.AsDouble());
+      return Status::OK();
+    case DataType::kString:
+      if (v.type() != DataType::kString) break;
+      string_data().push_back(v.string_value());
+      return Status::OK();
+  }
+  return Status::InvalidArgument(
+      std::string("cannot append ") + DataTypeToString(v.type()) +
+      " value to " + DataTypeToString(type_) + " column");
+}
+
+void Column::Reserve(size_t n) {
+  std::visit([n](auto& v) { v.reserve(n); }, data_);
+}
+
+Status Column::AppendColumn(const Column& other) {
+  if (other.type_ != type_ &&
+      !(type_ == DataType::kInt64 && other.type_ == DataType::kTimestamp) &&
+      !(type_ == DataType::kTimestamp && other.type_ == DataType::kInt64)) {
+    return Status::InvalidArgument(
+        std::string("cannot append ") + DataTypeToString(other.type_) +
+        " column to " + DataTypeToString(type_) + " column");
+  }
+  std::visit(
+      [this](const auto& src) {
+        using VecT = std::decay_t<decltype(src)>;
+        auto& dst = std::get<VecT>(data_);
+        dst.insert(dst.end(), src.begin(), src.end());
+      },
+      other.data_);
+  return Status::OK();
+}
+
+Column Column::Gather(const SelectionVector& sel) const {
+  Column out(type_);
+  std::visit(
+      [&](const auto& src) {
+        using VecT = std::decay_t<decltype(src)>;
+        auto& dst = std::get<VecT>(out.data_);
+        dst.reserve(sel.size());
+        for (uint32_t row : sel) dst.push_back(src[row]);
+      },
+      data_);
+  return out;
+}
+
+double Column::NumericAt(size_t row) const {
+  switch (type_) {
+    case DataType::kBool:
+      return bool_data()[row] ? 1.0 : 0.0;
+    case DataType::kInt32:
+      return static_cast<double>(int32_data()[row]);
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      return static_cast<double>(int64_data()[row]);
+    case DataType::kDouble:
+      return double_data()[row];
+    case DataType::kString:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+uint64_t Column::MemoryBytes() const {
+  return std::visit(
+      [](const auto& v) -> uint64_t {
+        using VecT = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<VecT, std::vector<std::string>>) {
+          uint64_t bytes = v.capacity() * sizeof(std::string);
+          for (const auto& s : v) bytes += s.capacity();
+          return bytes;
+        } else {
+          return v.capacity() * sizeof(typename VecT::value_type);
+        }
+      },
+      data_);
+}
+
+}  // namespace lazyetl::storage

@@ -1,0 +1,86 @@
+// Column: a typed, densely-packed vector of values — the BAT-tail analog of
+// the MonetDB substrate. Engine operators work on whole columns plus
+// selection vectors (row-id lists), the column-at-a-time execution model.
+
+#ifndef LAZYETL_STORAGE_COLUMN_H_
+#define LAZYETL_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/types.h"
+
+namespace lazyetl::storage {
+
+// Row-id list produced by selections and joins.
+using SelectionVector = std::vector<uint32_t>;
+
+class Column {
+ public:
+  explicit Column(DataType type);
+
+  Column(const Column&) = default;
+  Column& operator=(const Column&) = default;
+  Column(Column&&) = default;
+  Column& operator=(Column&&) = default;
+
+  // Typed factories taking ownership of existing vectors.
+  static Column FromInt32(std::vector<int32_t> data);
+  static Column FromInt64(std::vector<int64_t> data);
+  static Column FromDouble(std::vector<double> data);
+  static Column FromString(std::vector<std::string> data);
+  static Column FromTimestamp(std::vector<int64_t> data);
+  static Column FromBool(std::vector<uint8_t> data);
+
+  DataType type() const { return type_; }
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  // Direct typed access; precondition: matching physical type.
+  // (kInt64 and kTimestamp share int64 storage; kBool uses uint8.)
+  std::vector<int32_t>& int32_data() { return std::get<std::vector<int32_t>>(data_); }
+  const std::vector<int32_t>& int32_data() const { return std::get<std::vector<int32_t>>(data_); }
+  std::vector<int64_t>& int64_data() { return std::get<std::vector<int64_t>>(data_); }
+  const std::vector<int64_t>& int64_data() const { return std::get<std::vector<int64_t>>(data_); }
+  std::vector<double>& double_data() { return std::get<std::vector<double>>(data_); }
+  const std::vector<double>& double_data() const { return std::get<std::vector<double>>(data_); }
+  std::vector<std::string>& string_data() { return std::get<std::vector<std::string>>(data_); }
+  const std::vector<std::string>& string_data() const { return std::get<std::vector<std::string>>(data_); }
+  std::vector<uint8_t>& bool_data() { return std::get<std::vector<uint8_t>>(data_); }
+  const std::vector<uint8_t>& bool_data() const { return std::get<std::vector<uint8_t>>(data_); }
+
+  // Scalar access (slow path; bulk operators use the typed vectors).
+  Value GetValue(size_t row) const;
+  Status AppendValue(const Value& v);
+  void Reserve(size_t n);
+
+  // Appends all rows of `other` (same type) to this column.
+  Status AppendColumn(const Column& other);
+
+  // New column containing rows picked by `sel`, in order.
+  Column Gather(const SelectionVector& sel) const;
+
+  // Numeric view of row `row` as double (0.0 for strings).
+  double NumericAt(size_t row) const;
+
+  // Approximate heap footprint in bytes (used for cache accounting and the
+  // storage-footprint experiment).
+  uint64_t MemoryBytes() const;
+
+ private:
+  DataType type_;
+  std::variant<std::vector<uint8_t>,      // bool
+               std::vector<int32_t>,      // int32
+               std::vector<int64_t>,      // int64 / timestamp
+               std::vector<double>,       // double
+               std::vector<std::string>>  // string
+      data_;
+};
+
+}  // namespace lazyetl::storage
+
+#endif  // LAZYETL_STORAGE_COLUMN_H_

@@ -1,0 +1,55 @@
+#include "storage/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace lazyetl::storage {
+
+namespace {
+
+// Quotes a field when it contains a separator, quote, or newline.
+void AppendField(std::ostringstream* os, const std::string& field) {
+  bool needs_quoting = field.find_first_of(",\"\r\n") != std::string::npos;
+  if (!needs_quoting) {
+    *os << field;
+    return;
+  }
+  *os << '"';
+  for (char c : field) {
+    if (c == '"') *os << '"';
+    *os << c;
+  }
+  *os << '"';
+}
+
+}  // namespace
+
+std::string ToCsv(const Table& table) {
+  std::ostringstream os;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c) os << ',';
+    AppendField(&os, table.column_name(c));
+  }
+  os << '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c) os << ',';
+      AppendField(&os, table.GetValue(r, c).ToString());
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+Status WriteCsv(const std::string& path, const Table& table) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  out << ToCsv(table);
+  out.flush();
+  if (!out.good()) return Status::IOError("failed writing " + path);
+  return Status::OK();
+}
+
+}  // namespace lazyetl::storage

@@ -1,0 +1,23 @@
+// CSV export of query results (RFC-4180-style quoting).
+
+#ifndef LAZYETL_STORAGE_CSV_H_
+#define LAZYETL_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace lazyetl::storage {
+
+// Renders `table` as CSV: a header row of column names followed by one row
+// per tuple. Fields containing commas, quotes, or newlines are quoted with
+// embedded quotes doubled; timestamps render in ISO-8601.
+std::string ToCsv(const Table& table);
+
+// Writes ToCsv(table) to `path` (truncating).
+Status WriteCsv(const std::string& path, const Table& table);
+
+}  // namespace lazyetl::storage
+
+#endif  // LAZYETL_STORAGE_CSV_H_

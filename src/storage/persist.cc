@@ -1,0 +1,184 @@
+#include "storage/persist.h"
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace lazyetl::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+Status WriteColumnFile(const std::string& path, const Column& col) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  switch (col.type()) {
+    case DataType::kBool: {
+      const auto& v = col.bool_data();
+      out.write(reinterpret_cast<const char*>(v.data()),
+                static_cast<std::streamsize>(v.size()));
+      break;
+    }
+    case DataType::kInt32: {
+      const auto& v = col.int32_data();
+      out.write(reinterpret_cast<const char*>(v.data()),
+                static_cast<std::streamsize>(v.size() * sizeof(int32_t)));
+      break;
+    }
+    case DataType::kInt64:
+    case DataType::kTimestamp: {
+      const auto& v = col.int64_data();
+      out.write(reinterpret_cast<const char*>(v.data()),
+                static_cast<std::streamsize>(v.size() * sizeof(int64_t)));
+      break;
+    }
+    case DataType::kDouble: {
+      const auto& v = col.double_data();
+      out.write(reinterpret_cast<const char*>(v.data()),
+                static_cast<std::streamsize>(v.size() * sizeof(double)));
+      break;
+    }
+    case DataType::kString: {
+      for (const auto& s : col.string_data()) {
+        uint32_t len = static_cast<uint32_t>(s.size());
+        out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+        out.write(s.data(), static_cast<std::streamsize>(s.size()));
+      }
+      break;
+    }
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("failed writing " + path);
+  return Status::OK();
+}
+
+Result<Column> ReadColumnFile(const std::string& path, DataType type,
+                              size_t rows) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open " + path);
+  }
+  auto read_exact = [&](void* dst, size_t bytes) -> Status {
+    in.read(static_cast<char*>(dst), static_cast<std::streamsize>(bytes));
+    if (in.gcount() != static_cast<std::streamsize>(bytes)) {
+      return Status::CorruptData("short read in column file " + path);
+    }
+    return Status::OK();
+  };
+  switch (type) {
+    case DataType::kBool: {
+      std::vector<uint8_t> v(rows);
+      LAZYETL_RETURN_NOT_OK(read_exact(v.data(), rows));
+      return Column::FromBool(std::move(v));
+    }
+    case DataType::kInt32: {
+      std::vector<int32_t> v(rows);
+      LAZYETL_RETURN_NOT_OK(read_exact(v.data(), rows * sizeof(int32_t)));
+      return Column::FromInt32(std::move(v));
+    }
+    case DataType::kInt64:
+    case DataType::kTimestamp: {
+      std::vector<int64_t> v(rows);
+      LAZYETL_RETURN_NOT_OK(read_exact(v.data(), rows * sizeof(int64_t)));
+      return type == DataType::kInt64 ? Column::FromInt64(std::move(v))
+                                      : Column::FromTimestamp(std::move(v));
+    }
+    case DataType::kDouble: {
+      std::vector<double> v(rows);
+      LAZYETL_RETURN_NOT_OK(read_exact(v.data(), rows * sizeof(double)));
+      return Column::FromDouble(std::move(v));
+    }
+    case DataType::kString: {
+      std::vector<std::string> v;
+      v.reserve(rows);
+      for (size_t i = 0; i < rows; ++i) {
+        uint32_t len = 0;
+        LAZYETL_RETURN_NOT_OK(read_exact(&len, sizeof(len)));
+        std::string s(len, '\0');
+        LAZYETL_RETURN_NOT_OK(read_exact(s.data(), len));
+        v.push_back(std::move(s));
+      }
+      return Column::FromString(std::move(v));
+    }
+  }
+  return Status::Internal("unhandled column type");
+}
+
+}  // namespace
+
+Status WriteTable(const std::string& dir, const Table& table) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create " + dir + ": " + ec.message());
+  }
+  std::ofstream schema(fs::path(dir) / "schema", std::ios::trunc);
+  if (!schema.is_open()) {
+    return Status::IOError("cannot write schema in " + dir);
+  }
+  schema << table.num_rows() << "\n";
+  for (size_t i = 0; i < table.num_columns(); ++i) {
+    schema << table.column_name(i) << "\t"
+           << DataTypeToString(table.schema()[i].type) << "\n";
+  }
+  schema.flush();
+  if (!schema.good()) return Status::IOError("failed writing schema in " + dir);
+
+  for (size_t i = 0; i < table.num_columns(); ++i) {
+    std::string path = (fs::path(dir) / (std::to_string(i) + ".col")).string();
+    LAZYETL_RETURN_NOT_OK(WriteColumnFile(path, table.column(i)));
+  }
+  return Status::OK();
+}
+
+Result<Table> ReadTable(const std::string& dir) {
+  std::ifstream schema(fs::path(dir) / "schema");
+  if (!schema.is_open()) {
+    return Status::NotFound("no schema file in " + dir);
+  }
+  size_t rows = 0;
+  schema >> rows;
+  schema.ignore();  // trailing newline
+  std::vector<std::string> names;
+  std::vector<Column> columns;
+  std::string line;
+  while (std::getline(schema, line)) {
+    if (Trim(line).empty()) continue;
+    auto parts = Split(line, '\t');
+    if (parts.size() != 2) {
+      return Status::CorruptData("bad schema line '" + line + "' in " + dir);
+    }
+    LAZYETL_ASSIGN_OR_RETURN(DataType type, DataTypeFromString(parts[1]));
+    std::string path =
+        (fs::path(dir) / (std::to_string(names.size()) + ".col")).string();
+    LAZYETL_ASSIGN_OR_RETURN(Column col, ReadColumnFile(path, type, rows));
+    names.push_back(parts[0]);
+    columns.push_back(std::move(col));
+  }
+  return Table::FromColumns(std::move(names), std::move(columns));
+}
+
+Result<uint64_t> DirectoryBytes(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec) || ec) {
+    return Status::NotFound(dir + " is not a directory");
+  }
+  uint64_t total = 0;
+  for (auto it = fs::recursive_directory_iterator(dir, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec) return Status::IOError("error walking " + dir + ": " + ec.message());
+    if (it->is_regular_file(ec) && !ec) {
+      total += it->file_size(ec);
+    }
+  }
+  return total;
+}
+
+}  // namespace lazyetl::storage

@@ -1,0 +1,39 @@
+// Disk persistence of tables: one directory per table containing a small
+// text schema file plus one binary file per column.
+//
+// This is the "loading" target of eager ETL — it lets the storage-blow-up
+// experiment (paper §4: "a SEED repository requires up to 10 times the
+// original storage size when loaded into a database") measure real on-disk
+// warehouse bytes, and lets an eagerly-built warehouse be reopened without
+// re-running ETL.
+//
+// Layout:
+//   <dir>/schema          "column-name<TAB>type" per line, then row count
+//   <dir>/<i>.col         raw little-endian array (fixed-size types) or
+//                         u32-length-prefixed bytes (strings)
+
+#ifndef LAZYETL_STORAGE_PERSIST_H_
+#define LAZYETL_STORAGE_PERSIST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace lazyetl::storage {
+
+// Writes `table` under directory `dir` (created if missing, truncating any
+// previous contents of the column files).
+Status WriteTable(const std::string& dir, const Table& table);
+
+// Reads a table previously written by WriteTable.
+Result<Table> ReadTable(const std::string& dir);
+
+// Total bytes of all regular files under `dir` (recursive).
+Result<uint64_t> DirectoryBytes(const std::string& dir);
+
+}  // namespace lazyetl::storage
+
+#endif  // LAZYETL_STORAGE_PERSIST_H_

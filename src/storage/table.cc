@@ -1,0 +1,137 @@
+#include "storage/table.h"
+
+#include <sstream>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace lazyetl::storage {
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.size());
+  for (const auto& cs : schema_) columns_.emplace_back(cs.type);
+}
+
+Result<Table> Table::FromColumns(std::vector<std::string> names,
+                                 std::vector<Column> columns) {
+  if (names.size() != columns.size()) {
+    return Status::InvalidArgument("names/columns size mismatch");
+  }
+  Table t;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0 && columns[i].size() != t.columns_[0].size()) {
+      return Status::InvalidArgument("column length mismatch at '" +
+                                     names[i] + "'");
+    }
+    t.schema_.push_back({names[i], columns[i].type()});
+    t.columns_.push_back(std::move(columns[i]));
+  }
+  return t;
+}
+
+Result<size_t> Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (schema_[i].name == name) return i;
+  }
+  // Unqualified suffix match: "station" ~ "F.station".
+  size_t found = schema_.size();
+  int matches = 0;
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (EndsWith(schema_[i].name, "." + name)) {
+      found = i;
+      ++matches;
+    }
+  }
+  if (matches == 1) return found;
+  if (matches > 1) {
+    return Status::BindError("ambiguous column name '" + name + "'");
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+Result<const Column*> Table::ColumnByName(const std::string& name) const {
+  LAZYETL_ASSIGN_OR_RETURN(size_t i, ColumnIndex(name));
+  return &columns_[i];
+}
+
+Status Table::AppendRow(const std::vector<Value>& values) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument("row arity mismatch: expected " +
+                                   std::to_string(columns_.size()) + ", got " +
+                                   std::to_string(values.size()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    LAZYETL_RETURN_NOT_OK(columns_[i].AppendValue(values[i]).WithContext(
+        "column '" + schema_[i].name + "'"));
+  }
+  return Status::OK();
+}
+
+Status Table::AppendTable(const Table& other) {
+  if (other.num_columns() != num_columns()) {
+    return Status::InvalidArgument("appending table with different arity");
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    LAZYETL_RETURN_NOT_OK(columns_[i].AppendColumn(other.columns_[i]));
+  }
+  return Status::OK();
+}
+
+Status Table::AddColumn(std::string name, Column column) {
+  if (!columns_.empty() && column.size() != num_rows()) {
+    return Status::InvalidArgument("column '" + name + "' has " +
+                                   std::to_string(column.size()) +
+                                   " rows, table has " +
+                                   std::to_string(num_rows()));
+  }
+  schema_.push_back({std::move(name), column.type()});
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+Table Table::Gather(const SelectionVector& sel) const {
+  Table out;
+  out.schema_ = schema_;
+  out.columns_.reserve(columns_.size());
+  for (const auto& c : columns_) out.columns_.push_back(c.Gather(sel));
+  return out;
+}
+
+Result<Table> Table::Project(const std::vector<std::string>& names) const {
+  Table out;
+  for (const auto& name : names) {
+    LAZYETL_ASSIGN_OR_RETURN(size_t i, ColumnIndex(name));
+    out.schema_.push_back(schema_[i]);
+    out.columns_.push_back(columns_[i]);
+  }
+  return out;
+}
+
+uint64_t Table::MemoryBytes() const {
+  uint64_t total = 0;
+  for (const auto& c : columns_) total += c.MemoryBytes();
+  return total;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (i) os << " | ";
+    os << schema_[i].name;
+  }
+  os << "\n";
+  size_t n = std::min(num_rows(), max_rows);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c) os << " | ";
+      os << columns_[c].GetValue(r).ToString();
+    }
+    os << "\n";
+  }
+  if (num_rows() > n) {
+    os << "... (" << num_rows() - n << " more rows)\n";
+  }
+  return os.str();
+}
+
+}  // namespace lazyetl::storage

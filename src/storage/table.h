@@ -1,0 +1,82 @@
+// Table: an ordered set of named, equal-length columns. Used both for base
+// tables registered in the Catalog and for intermediate results flowing
+// between engine operators.
+
+#ifndef LAZYETL_STORAGE_TABLE_H_
+#define LAZYETL_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/column.h"
+
+namespace lazyetl::storage {
+
+struct ColumnSchema {
+  std::string name;  // possibly qualified, e.g. "F.station"
+  DataType type = DataType::kInt64;
+};
+
+using TableSchema = std::vector<ColumnSchema>;
+
+class Table {
+ public:
+  Table() = default;
+  explicit Table(TableSchema schema);
+
+  // Builds a table from parallel (name, column) pairs; all columns must
+  // have equal length.
+  static Result<Table> FromColumns(std::vector<std::string> names,
+                                   std::vector<Column> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+
+  const TableSchema& schema() const { return schema_; }
+
+  // Index of column `name`; tries exact match first, then an unqualified
+  // suffix match ("station" matches "F.station" if unambiguous).
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column& column(size_t i) { return columns_[i]; }
+  const std::string& column_name(size_t i) const { return schema_[i].name; }
+
+  Result<const Column*> ColumnByName(const std::string& name) const;
+
+  // Appends one row given values in schema order.
+  Status AppendRow(const std::vector<Value>& values);
+
+  // Appends all rows of `other`, which must have an identical schema.
+  Status AppendTable(const Table& other);
+
+  // Adds a column to the right side; size must match num_rows() (or the
+  // table must be empty of columns).
+  Status AddColumn(std::string name, Column column);
+
+  // New table with only the rows in `sel`.
+  Table Gather(const SelectionVector& sel) const;
+
+  // New table with only the named columns (in the given order).
+  Result<Table> Project(const std::vector<std::string>& names) const;
+
+  Value GetValue(size_t row, size_t col) const { return columns_[col].GetValue(row); }
+
+  uint64_t MemoryBytes() const;
+
+  // Pretty-prints up to `max_rows` rows (for examples and the browser).
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  TableSchema schema_;
+  std::vector<Column> columns_;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+}  // namespace lazyetl::storage
+
+#endif  // LAZYETL_STORAGE_TABLE_H_

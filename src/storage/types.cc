@@ -1,0 +1,114 @@
+#include "storage/types.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace lazyetl::storage {
+
+const char* DataTypeToString(DataType t) {
+  switch (t) {
+    case DataType::kBool:
+      return "bool";
+    case DataType::kInt32:
+      return "int32";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+    case DataType::kTimestamp:
+      return "timestamp";
+  }
+  return "unknown";
+}
+
+Result<DataType> DataTypeFromString(const std::string& s) {
+  if (s == "bool") return DataType::kBool;
+  if (s == "int32") return DataType::kInt32;
+  if (s == "int64") return DataType::kInt64;
+  if (s == "double") return DataType::kDouble;
+  if (s == "string") return DataType::kString;
+  if (s == "timestamp") return DataType::kTimestamp;
+  return Status::InvalidArgument("unknown data type name '" + s + "'");
+}
+
+bool IsNumeric(DataType t) { return t != DataType::kString; }
+
+double Value::AsDouble() const {
+  switch (type_) {
+    case DataType::kBool:
+      return bool_value() ? 1.0 : 0.0;
+    case DataType::kInt32:
+      return static_cast<double>(int32_value());
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      return static_cast<double>(std::get<int64_t>(repr_));
+    case DataType::kDouble:
+      return double_value();
+    case DataType::kString:
+      return 0.0;  // callers type-check first
+  }
+  return 0.0;
+}
+
+int64_t Value::AsInt64() const {
+  switch (type_) {
+    case DataType::kBool:
+      return bool_value() ? 1 : 0;
+    case DataType::kInt32:
+      return int32_value();
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      return std::get<int64_t>(repr_);
+    case DataType::kDouble:
+      return static_cast<int64_t>(double_value());
+    case DataType::kString:
+      return 0;
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case DataType::kBool:
+      return bool_value() ? "true" : "false";
+    case DataType::kInt32:
+      return std::to_string(int32_value());
+    case DataType::kInt64:
+      return std::to_string(int64_value());
+    case DataType::kDouble: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%.6g", double_value());
+      return buf;
+    }
+    case DataType::kString:
+      return string_value();
+    case DataType::kTimestamp:
+      return FormatTimestamp(timestamp_value());
+  }
+  return "?";
+}
+
+bool Value::Equals(const Value& other) const {
+  if (type_ == DataType::kString || other.type_ == DataType::kString) {
+    if (type_ != DataType::kString || other.type_ != DataType::kString) {
+      return false;
+    }
+    return string_value() == other.string_value();
+  }
+  return AsDouble() == other.AsDouble();
+}
+
+bool Value::LessThan(const Value& other) const {
+  if (type_ == DataType::kString && other.type_ == DataType::kString) {
+    return string_value() < other.string_value();
+  }
+  if (type_ == DataType::kString || other.type_ == DataType::kString) {
+    return false;
+  }
+  return AsDouble() < other.AsDouble();
+}
+
+}  // namespace lazyetl::storage

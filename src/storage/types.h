@@ -1,0 +1,87 @@
+// Logical data types and runtime values of the column store.
+
+#ifndef LAZYETL_STORAGE_TYPES_H_
+#define LAZYETL_STORAGE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/time.h"
+
+namespace lazyetl::storage {
+
+// Column data types. kTimestamp is physically an int64 (nanoseconds since
+// epoch, see common/time.h) but kept distinct so literals in SQL queries
+// can be coerced and printed correctly.
+enum class DataType : uint8_t {
+  kBool,
+  kInt32,
+  kInt64,
+  kDouble,
+  kString,
+  kTimestamp,
+};
+
+const char* DataTypeToString(DataType t);
+Result<DataType> DataTypeFromString(const std::string& s);
+
+// True for types whose physical representation is numeric (comparable and
+// usable in arithmetic): everything except kString.
+bool IsNumeric(DataType t);
+
+// A single runtime value (used for literals, row construction, and result
+// inspection; the engine's bulk path works on whole columns).
+class Value {
+ public:
+  Value() : type_(DataType::kInt64), repr_(int64_t{0}) {}
+
+  static Value Bool(bool v) { return Value(DataType::kBool, v); }
+  static Value Int32(int32_t v) { return Value(DataType::kInt32, v); }
+  static Value Int64(int64_t v) { return Value(DataType::kInt64, v); }
+  static Value Double(double v) { return Value(DataType::kDouble, v); }
+  static Value String(std::string v) {
+    return Value(DataType::kString, std::move(v));
+  }
+  static Value Timestamp(NanoTime v) {
+    return Value(DataType::kTimestamp, int64_t{v});
+  }
+
+  DataType type() const { return type_; }
+
+  bool bool_value() const { return std::get<bool>(repr_); }
+  int32_t int32_value() const { return std::get<int32_t>(repr_); }
+  int64_t int64_value() const { return std::get<int64_t>(repr_); }
+  double double_value() const { return std::get<double>(repr_); }
+  const std::string& string_value() const { return std::get<std::string>(repr_); }
+  NanoTime timestamp_value() const { return std::get<int64_t>(repr_); }
+
+  // Numeric widening view: any numeric value as double (bools as 0/1).
+  // Precondition: IsNumeric(type()).
+  double AsDouble() const;
+
+  // Any integral/timestamp value as int64. Precondition: integral type.
+  int64_t AsInt64() const;
+
+  // Human-readable rendering (timestamps in ISO-8601).
+  std::string ToString() const;
+
+  // Total ordering within the same type; numeric types compare after
+  // widening. Comparing a string with a numeric is a caller error and
+  // returns false/equal-ish deterministically (callers type-check first).
+  bool Equals(const Value& other) const;
+  bool LessThan(const Value& other) const;
+
+ private:
+  template <typename T>
+  Value(DataType type, T v) : type_(type), repr_(std::move(v)) {}
+
+  DataType type_;
+  std::variant<bool, int32_t, int64_t, double, std::string> repr_;
+};
+
+}  // namespace lazyetl::storage
+
+#endif  // LAZYETL_STORAGE_TYPES_H_

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "core/schema.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace lazyetl::sql {
+namespace {
+
+using storage::Catalog;
+using storage::DataType;
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_STATUS_OK(core::RegisterSchema(&catalog_, /*lazy=*/true));
+  }
+
+  Result<BoundQuery> Bind(const std::string& sql) {
+    auto stmt = Parse(sql);
+    if (!stmt.ok()) return stmt.status();
+    Binder binder(&catalog_);
+    return binder.Bind(*stmt);
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(BinderTest, BindsPaperQueryQ1) {
+  auto q = Bind(
+      "SELECT AVG(D.sample_value) FROM mseed.dataview "
+      "WHERE F.station = 'ISK' AND F.channel = 'BHE' "
+      "AND R.start_time > '2010-01-12T00:00:00.000' "
+      "AND D.sample_time < '2010-01-12T22:15:02.000'");
+  ASSERT_OK(q);
+  EXPECT_NE(q->view, nullptr);
+  ASSERT_EQ(q->aggregates.size(), 1u);
+  EXPECT_EQ(q->aggregates[0].function, "AVG");
+  EXPECT_EQ(q->aggregates[0].type, DataType::kDouble);
+  EXPECT_EQ(q->aggregates[0].arg->base_table, core::kDataTable);
+}
+
+TEST_F(BinderTest, TimestampLiteralCoercion) {
+  auto q = Bind(
+      "SELECT COUNT(*) FROM mseed.dataview "
+      "WHERE R.start_time > '2010-01-12T00:00:00.000'");
+  ASSERT_OK(q);
+  // The string literal became a timestamp literal.
+  const BoundExpr& cmp = *q->where;
+  ASSERT_EQ(cmp.children.size(), 2u);
+  EXPECT_EQ(cmp.children[1]->literal.type(), DataType::kTimestamp);
+  EXPECT_EQ(cmp.children[1]->type, DataType::kTimestamp);
+}
+
+TEST_F(BinderTest, RejectsBadTimestampLiteral) {
+  auto q = Bind(
+      "SELECT COUNT(*) FROM mseed.dataview WHERE R.start_time > 'not-a-time'");
+  EXPECT_FALSE(q.ok());
+}
+
+TEST_F(BinderTest, QualifierResolution) {
+  auto q = Bind("SELECT F.station FROM mseed.dataview GROUP BY F.station");
+  ASSERT_OK(q);
+  const BoundExpr& e = *q->select_list[0].expr;
+  EXPECT_EQ(e.display, "F.station");
+  EXPECT_EQ(e.base_table, core::kFilesTable);
+  EXPECT_EQ(e.base_column, "station");
+  EXPECT_EQ(e.type, DataType::kString);
+}
+
+TEST_F(BinderTest, UnqualifiedUnambiguousColumn) {
+  auto q = Bind("SELECT station FROM mseed.dataview GROUP BY station");
+  ASSERT_OK(q);
+  EXPECT_EQ(q->select_list[0].expr->display, "F.station");
+}
+
+TEST_F(BinderTest, UnqualifiedAmbiguousColumnFails) {
+  auto q = Bind("SELECT file_id FROM mseed.dataview");
+  EXPECT_FALSE(q.ok());
+  EXPECT_TRUE(q.status().IsBindError());
+}
+
+TEST_F(BinderTest, UnknownColumnAndTableFail) {
+  EXPECT_TRUE(Bind("SELECT nope FROM mseed.dataview").status().IsBindError());
+  EXPECT_TRUE(Bind("SELECT x FROM no.such_table").status().IsBindError());
+  EXPECT_TRUE(
+      Bind("SELECT Q.station FROM mseed.dataview").status().IsBindError());
+}
+
+TEST_F(BinderTest, BaseTableBinding) {
+  auto q = Bind("SELECT station, network FROM mseed.files WHERE channel = 'BHZ'");
+  ASSERT_OK(q);
+  EXPECT_EQ(q->view, nullptr);
+  EXPECT_EQ(q->base_table, core::kFilesTable);
+  EXPECT_EQ(q->select_list[0].expr->display, "station");
+}
+
+TEST_F(BinderTest, BaseTableQualifierMatch) {
+  auto ok = Bind("SELECT files.station FROM mseed.files");
+  ASSERT_OK(ok);
+  auto bad = Bind("SELECT records.station FROM mseed.files");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(BinderTest, AggregateTyping) {
+  auto q = Bind(
+      "SELECT COUNT(*), SUM(D.sample_value), MIN(R.num_samples), "
+      "MAX(F.station), AVG(R.sample_rate) FROM mseed.dataview");
+  ASSERT_OK(q);
+  ASSERT_EQ(q->aggregates.size(), 5u);
+  EXPECT_EQ(q->aggregates[0].type, DataType::kInt64);   // COUNT
+  EXPECT_EQ(q->aggregates[1].type, DataType::kInt64);   // SUM(int32)
+  EXPECT_EQ(q->aggregates[2].type, DataType::kInt64);   // MIN(int64)
+  EXPECT_EQ(q->aggregates[3].type, DataType::kString);  // MAX(string)
+  EXPECT_EQ(q->aggregates[4].type, DataType::kDouble);  // AVG
+}
+
+TEST_F(BinderTest, DuplicateAggregatesDeduplicated) {
+  auto q = Bind(
+      "SELECT MAX(D.sample_value) - MIN(D.sample_value), MIN(D.sample_value) "
+      "FROM mseed.dataview");
+  ASSERT_OK(q);
+  EXPECT_EQ(q->aggregates.size(), 2u);  // MAX and MIN, MIN reused
+}
+
+TEST_F(BinderTest, AggregateInsideExpression) {
+  auto q = Bind("SELECT MAX(D.sample_value) / 2 + 1 FROM mseed.dataview");
+  ASSERT_OK(q);
+  EXPECT_TRUE(q->select_list[0].expr->ContainsAggregate());
+  EXPECT_EQ(q->aggregates.size(), 1u);
+}
+
+TEST_F(BinderTest, NestedAggregateFails) {
+  auto q = Bind("SELECT MAX(MIN(D.sample_value)) FROM mseed.dataview");
+  EXPECT_FALSE(q.ok());
+}
+
+TEST_F(BinderTest, AggregateInWhereFails) {
+  auto q = Bind(
+      "SELECT station FROM mseed.files WHERE MAX(file_size) > 0");
+  EXPECT_FALSE(q.ok());
+}
+
+TEST_F(BinderTest, NonGroupedColumnFails) {
+  auto q = Bind(
+      "SELECT F.station, AVG(D.sample_value) FROM mseed.dataview");
+  EXPECT_FALSE(q.ok());
+  EXPECT_TRUE(q.status().IsBindError());
+}
+
+TEST_F(BinderTest, GroupedColumnAllowed) {
+  auto q = Bind(
+      "SELECT F.station, AVG(D.sample_value) FROM mseed.dataview "
+      "GROUP BY F.station");
+  ASSERT_OK(q);
+  EXPECT_EQ(q->group_by.size(), 1u);
+}
+
+TEST_F(BinderTest, HavingBindsAggregates) {
+  auto q = Bind(
+      "SELECT F.station FROM mseed.dataview GROUP BY F.station "
+      "HAVING COUNT(*) > 10");
+  ASSERT_OK(q);
+  ASSERT_NE(q->having, nullptr);
+  EXPECT_TRUE(q->having->ContainsAggregate());
+}
+
+TEST_F(BinderTest, OrderByAliasResolves) {
+  auto q = Bind(
+      "SELECT AVG(D.sample_value) AS avg_v FROM mseed.dataview "
+      "GROUP BY F.station ORDER BY avg_v DESC");
+  ASSERT_OK(q);
+  ASSERT_EQ(q->order_by.size(), 1u);
+  EXPECT_TRUE(q->order_by[0].expr->ContainsAggregate());
+  EXPECT_FALSE(q->order_by[0].ascending);
+}
+
+TEST_F(BinderTest, TypeErrors) {
+  // string vs numeric comparison
+  EXPECT_FALSE(
+      Bind("SELECT station FROM mseed.files WHERE station > 5").ok());
+  // arithmetic on strings
+  EXPECT_FALSE(
+      Bind("SELECT station + 1 FROM mseed.files").ok());
+  // NOT on non-boolean
+  EXPECT_FALSE(
+      Bind("SELECT station FROM mseed.files WHERE NOT file_size").ok());
+  // WHERE must be boolean
+  EXPECT_FALSE(Bind("SELECT station FROM mseed.files WHERE file_size").ok());
+  // AND requires booleans
+  EXPECT_FALSE(
+      Bind("SELECT station FROM mseed.files WHERE file_size AND 1 = 1").ok());
+}
+
+TEST_F(BinderTest, ArithmeticTyping) {
+  auto q = Bind(
+      "SELECT AVG(D.sample_value * 2), AVG(D.sample_value / 4), "
+      "AVG(D.sample_value + 0.5) FROM mseed.dataview");
+  ASSERT_OK(q);
+  const auto& aggs = q->aggregates;
+  EXPECT_EQ(aggs[0].arg->type, DataType::kInt64);   // int * int
+  EXPECT_EQ(aggs[1].arg->type, DataType::kDouble);  // division
+  EXPECT_EQ(aggs[2].arg->type, DataType::kDouble);  // mixed
+}
+
+TEST_F(BinderTest, CollectTablesWalksTree) {
+  auto q = Bind(
+      "SELECT COUNT(*) FROM mseed.dataview "
+      "WHERE F.station = 'ISK' AND R.seq_no > 2");
+  ASSERT_OK(q);
+  std::vector<std::string> tables;
+  q->where->CollectTables(&tables);
+  ASSERT_EQ(tables.size(), 2u);
+  EXPECT_EQ(tables[0], core::kFilesTable);
+  EXPECT_EQ(tables[1], core::kRecordsTable);
+}
+
+TEST_F(BinderTest, CloneIsDeepAndEqual) {
+  auto q = Bind(
+      "SELECT COUNT(*) FROM mseed.dataview WHERE F.station = 'ISK'");
+  ASSERT_OK(q);
+  BoundExprPtr clone = q->where->Clone();
+  EXPECT_EQ(clone->ToString(), q->where->ToString());
+  EXPECT_NE(clone.get(), q->where.get());
+}
+
+TEST_F(BinderTest, AbsFunction) {
+  auto q = Bind("SELECT AVG(ABS(D.sample_value)) FROM mseed.dataview");
+  ASSERT_OK(q);
+  EXPECT_EQ(q->aggregates[0].arg->function, "ABS");
+  auto bad = Bind("SELECT ABS(F.station) FROM mseed.dataview GROUP BY F.station");
+  EXPECT_FALSE(bad.ok());
+  auto unknown = Bind("SELECT FOO(1) FROM mseed.files");
+  EXPECT_FALSE(unknown.ok());
+}
+
+TEST_F(BinderTest, StarOutsideCountFails) {
+  EXPECT_FALSE(Bind("SELECT * FROM mseed.files").ok());
+  EXPECT_FALSE(Bind("SELECT MAX(*) FROM mseed.files").ok());
+}
+
+}  // namespace
+}  // namespace lazyetl::sql

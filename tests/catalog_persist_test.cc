@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "core/schema.h"
+#include "storage/catalog.h"
+#include "storage/persist.h"
+#include "test_util.h"
+
+namespace lazyetl::storage {
+namespace {
+
+using lazyetl::testing::ScopedTempDir;
+
+TEST(CatalogTest, RegisterAndGetTable) {
+  Catalog catalog;
+  auto t = std::make_shared<Table>();
+  ASSERT_STATUS_OK(catalog.RegisterTable("t1", t));
+  EXPECT_TRUE(catalog.HasTable("t1"));
+  auto got = catalog.GetTable("t1");
+  ASSERT_OK(got);
+  EXPECT_EQ(got->get(), t.get());
+  EXPECT_FALSE(catalog.GetTable("t2").ok());
+  // Duplicate registration fails; PutTable replaces.
+  EXPECT_TRUE(catalog.RegisterTable("t1", t).IsAlreadyExists());
+  auto t2 = std::make_shared<Table>();
+  catalog.PutTable("t1", t2);
+  EXPECT_EQ(catalog.GetTable("t1")->get(), t2.get());
+}
+
+TEST(CatalogTest, TableNamesSorted) {
+  Catalog catalog;
+  ASSERT_STATUS_OK(catalog.RegisterTable("b", std::make_shared<Table>()));
+  ASSERT_STATUS_OK(catalog.RegisterTable("a", std::make_shared<Table>()));
+  EXPECT_EQ(catalog.TableNames(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CatalogTest, RegisterAndResolveView) {
+  Catalog catalog;
+  ASSERT_STATUS_OK(catalog.RegisterView(core::MakeDataView(/*lazy=*/true)));
+  EXPECT_TRUE(catalog.HasView(core::kDataView));
+  auto view = catalog.GetView(core::kDataView);
+  ASSERT_OK(view);
+  EXPECT_EQ((*view)->lazy_table, core::kDataTable);
+
+  // Qualified resolution.
+  auto station = (*view)->Resolve("F", "station");
+  ASSERT_OK(station);
+  EXPECT_EQ((*station)->base_table, core::kFilesTable);
+  // Unqualified but unambiguous.
+  auto value = (*view)->Resolve("", "sample_value");
+  ASSERT_OK(value);
+  EXPECT_EQ((*value)->base_table, core::kDataTable);
+  // Ambiguous across qualifiers.
+  EXPECT_FALSE((*view)->Resolve("", "file_id").ok());
+  // Unknown.
+  EXPECT_FALSE((*view)->Resolve("F", "nope").ok());
+  EXPECT_FALSE((*view)->Resolve("D", "station").ok());
+}
+
+TEST(CatalogTest, SchemaRegistration) {
+  Catalog catalog;
+  ASSERT_STATUS_OK(core::RegisterSchema(&catalog, /*lazy=*/false));
+  EXPECT_TRUE(catalog.HasTable(core::kFilesTable));
+  EXPECT_TRUE(catalog.HasTable(core::kRecordsTable));
+  EXPECT_TRUE(catalog.HasTable(core::kDataTable));
+  auto view = catalog.GetView(core::kDataView);
+  ASSERT_OK(view);
+  EXPECT_TRUE((*view)->lazy_table.empty());
+  // Double registration is rejected.
+  EXPECT_FALSE(core::RegisterSchema(&catalog, false).ok());
+}
+
+Table MakeSampleTable() {
+  Table t;
+  EXPECT_TRUE(t.AddColumn("id", Column::FromInt64({1, 2, 3})).ok());
+  EXPECT_TRUE(
+      t.AddColumn("name", Column::FromString({"aa", "", "ccc"})).ok());
+  EXPECT_TRUE(t.AddColumn("value", Column::FromDouble({1.5, -2.25, 0})).ok());
+  EXPECT_TRUE(t.AddColumn("flag", Column::FromBool({1, 0, 1})).ok());
+  EXPECT_TRUE(t.AddColumn("when", Column::FromTimestamp(
+                                      {0, 1263254400LL * kNanosPerSecond,
+                                       -5})).ok());
+  EXPECT_TRUE(t.AddColumn("small", Column::FromInt32({-7, 0, 7})).ok());
+  return t;
+}
+
+TEST(PersistTest, WriteReadRoundTrip) {
+  ScopedTempDir dir;
+  Table t = MakeSampleTable();
+  ASSERT_STATUS_OK(WriteTable(dir.path() + "/t", t));
+  auto back = ReadTable(dir.path() + "/t");
+  ASSERT_OK(back);
+  ASSERT_EQ(back->num_columns(), t.num_columns());
+  ASSERT_EQ(back->num_rows(), t.num_rows());
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    EXPECT_EQ(back->column_name(c), t.column_name(c));
+    EXPECT_EQ(back->schema()[c].type, t.schema()[c].type);
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      EXPECT_TRUE(back->GetValue(r, c).Equals(t.GetValue(r, c)))
+          << "col " << c << " row " << r;
+    }
+  }
+}
+
+TEST(PersistTest, EmptyTable) {
+  ScopedTempDir dir;
+  Table t({{"id", DataType::kInt64}, {"s", DataType::kString}});
+  ASSERT_STATUS_OK(WriteTable(dir.path() + "/empty", t));
+  auto back = ReadTable(dir.path() + "/empty");
+  ASSERT_OK(back);
+  EXPECT_EQ(back->num_rows(), 0u);
+  EXPECT_EQ(back->num_columns(), 2u);
+}
+
+TEST(PersistTest, ReadMissingDirFails) {
+  EXPECT_FALSE(ReadTable("/nonexistent/table/dir").ok());
+}
+
+TEST(PersistTest, DirectoryBytesCountsColumns) {
+  ScopedTempDir dir;
+  Table t = MakeSampleTable();
+  ASSERT_STATUS_OK(WriteTable(dir.path() + "/t", t));
+  auto bytes = DirectoryBytes(dir.path());
+  ASSERT_OK(bytes);
+  // At least the fixed-width columns: 3 rows * (8+8+1+8+4) bytes.
+  EXPECT_GT(*bytes, 3u * 29);
+  EXPECT_FALSE(DirectoryBytes("/nonexistent").ok());
+}
+
+TEST(PersistTest, OverwriteReplacesContents) {
+  ScopedTempDir dir;
+  Table t1 = MakeSampleTable();
+  ASSERT_STATUS_OK(WriteTable(dir.path() + "/t", t1));
+  Table t2;
+  ASSERT_STATUS_OK(t2.AddColumn("only", Column::FromInt64({9})));
+  ASSERT_STATUS_OK(WriteTable(dir.path() + "/t", t2));
+  auto back = ReadTable(dir.path() + "/t");
+  ASSERT_OK(back);
+  EXPECT_EQ(back->num_columns(), 1u);
+  EXPECT_EQ(back->num_rows(), 1u);
+  EXPECT_EQ(back->GetValue(0, 0).int64_value(), 9);
+}
+
+}  // namespace
+}  // namespace lazyetl::storage

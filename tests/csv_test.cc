@@ -1,0 +1,92 @@
+#include "storage/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "common/time.h"
+#include "test_util.h"
+#include "warehouse_test_util.h"
+
+namespace lazyetl::storage {
+namespace {
+
+using lazyetl::testing::MustGenerate;
+using lazyetl::testing::MustOpen;
+using lazyetl::testing::ScopedTempDir;
+using lazyetl::testing::SmallRepoConfig;
+
+TEST(CsvTest, BasicRendering) {
+  Table t;
+  ASSERT_STATUS_OK(t.AddColumn("id", Column::FromInt64({1, 2})));
+  ASSERT_STATUS_OK(t.AddColumn("name", Column::FromString({"HGN", "ISK"})));
+  ASSERT_STATUS_OK(t.AddColumn("rate", Column::FromDouble({40.0, 0.5})));
+  EXPECT_EQ(ToCsv(t),
+            "id,name,rate\n"
+            "1,HGN,40\n"
+            "2,ISK,0.5\n");
+}
+
+TEST(CsvTest, QuotingRules) {
+  Table t;
+  ASSERT_STATUS_OK(t.AddColumn(
+      "text", Column::FromString({"plain", "with,comma", "with\"quote",
+                                  "with\nnewline", ""})));
+  std::string csv = ToCsv(t);
+  EXPECT_NE(csv.find("plain\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\nnewline\""), std::string::npos);
+}
+
+TEST(CsvTest, QuotedHeaderNames) {
+  Table t;
+  ASSERT_STATUS_OK(
+      t.AddColumn("MIN(D.sample_value), say", Column::FromInt64({5})));
+  std::string csv = ToCsv(t);
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "\"MIN(D.sample_value), say\"");
+}
+
+TEST(CsvTest, TimestampsIso8601) {
+  Table t;
+  ASSERT_STATUS_OK(t.AddColumn(
+      "ts", Column::FromTimestamp({*ParseTimestamp("2010-01-12T22:15:00.000")})));
+  EXPECT_EQ(ToCsv(t), "ts\n2010-01-12T22:15:00.000\n");
+}
+
+TEST(CsvTest, EmptyTable) {
+  Table t({{"a", DataType::kInt64}});
+  EXPECT_EQ(ToCsv(t), "a\n");
+}
+
+TEST(CsvTest, WriteCsvRoundTripsThroughFile) {
+  ScopedTempDir dir;
+  Table t;
+  ASSERT_STATUS_OK(t.AddColumn("v", Column::FromInt32({7, -8})));
+  std::string path = dir.path() + "/out.csv";
+  ASSERT_STATUS_OK(WriteCsv(path, t));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)), {});
+  EXPECT_EQ(content, "v\n7\n-8\n");
+  EXPECT_FALSE(WriteCsv("/nonexistent/dir/x.csv", t).ok());
+}
+
+TEST(CsvTest, ExportQueryResult) {
+  ScopedTempDir dir;
+  auto cfg = SmallRepoConfig();
+  cfg.num_days = 1;
+  MustGenerate(dir.path(), cfg);
+  auto wh = MustOpen(core::LoadStrategy::kLazy, dir.path());
+  auto result = wh->Query(
+      "SELECT station, COUNT(*) AS files FROM mseed.files "
+      "GROUP BY station ORDER BY station");
+  ASSERT_OK(result);
+  std::string csv = ToCsv(result->table);
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "station,files");
+  // One line per station + header.
+  size_t lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(lines, result->table.num_rows() + 1);
+}
+
+}  // namespace
+}  // namespace lazyetl::storage

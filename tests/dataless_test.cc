@@ -1,0 +1,234 @@
+// Dataless SEED control headers: round trips, malformed input, and the
+// warehouse inventory tables fed from them.
+
+#include "mseed/dataless.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/schema.h"
+#include "core/warehouse.h"
+#include "mseed/repository.h"
+#include "test_util.h"
+#include "warehouse_test_util.h"
+
+namespace lazyetl::mseed {
+namespace {
+
+using lazyetl::testing::MustGenerate;
+using lazyetl::testing::MustOpen;
+using lazyetl::testing::ScopedTempDir;
+using lazyetl::testing::SmallRepoConfig;
+
+StationInventory MakeInventory() {
+  StationInventory inv;
+  inv.volume.label = "test volume";
+  inv.volume.organization = "lazyetl tests";
+  inv.volume.start_time = *ParseTimestamp("2010-01-10T00:00:00.000");
+  inv.volume.end_time = *ParseTimestamp("2010-01-13T00:00:00.000");
+
+  StationIdentifier hgn;
+  hgn.station = "HGN";
+  hgn.network = "NL";
+  hgn.site_name = "HEIMANSGROEVE, NETHERLANDS";
+  hgn.latitude = 50.764;
+  hgn.longitude = 5.9317;
+  hgn.elevation = 135.0;
+  ChannelIdentifier bhz;
+  bhz.location = "02";
+  bhz.channel = "BHZ";
+  bhz.latitude = hgn.latitude;
+  bhz.longitude = hgn.longitude;
+  bhz.elevation = hgn.elevation;
+  bhz.local_depth = 3.0;
+  bhz.azimuth = 0.0;
+  bhz.dip = -90.0;
+  bhz.sample_rate = 40.0;
+  hgn.channels.push_back(bhz);
+  ChannelIdentifier bhe = bhz;
+  bhe.channel = "BHE";
+  bhe.azimuth = 90.0;
+  bhe.dip = 0.0;
+  hgn.channels.push_back(bhe);
+  inv.stations.push_back(std::move(hgn));
+
+  StationIdentifier isk;
+  isk.station = "ISK";
+  isk.network = "KO";
+  isk.site_name = "ISTANBUL-KANDILLI, TURKEY";
+  isk.latitude = 41.0663;
+  isk.longitude = 29.0597;
+  isk.elevation = 132.0;
+  inv.stations.push_back(std::move(isk));
+  return inv;
+}
+
+TEST(DatalessTest, RoundTrip) {
+  ScopedTempDir dir;
+  std::string path = dir.path() + "/dataless.seed";
+  StationInventory inv = MakeInventory();
+  ASSERT_STATUS_OK(WriteDataless(path, inv));
+
+  auto back = ReadDataless(path);
+  ASSERT_OK(back);
+  EXPECT_EQ(back->volume.label, "test volume");
+  EXPECT_EQ(back->volume.version, "02.4");
+  EXPECT_EQ(back->volume.start_time, inv.volume.start_time);
+  ASSERT_EQ(back->stations.size(), 2u);
+  const StationIdentifier& hgn = back->stations[0];
+  EXPECT_EQ(hgn.station, "HGN");
+  EXPECT_EQ(hgn.network, "NL");
+  EXPECT_EQ(hgn.site_name, "HEIMANSGROEVE, NETHERLANDS");
+  EXPECT_NEAR(hgn.latitude, 50.764, 1e-5);
+  EXPECT_NEAR(hgn.longitude, 5.9317, 1e-5);
+  EXPECT_NEAR(hgn.elevation, 135.0, 0.1);
+  ASSERT_EQ(hgn.channels.size(), 2u);
+  EXPECT_EQ(hgn.channels[0].channel, "BHZ");
+  EXPECT_NEAR(hgn.channels[0].dip, -90.0, 0.1);
+  EXPECT_NEAR(hgn.channels[1].azimuth, 90.0, 0.1);
+  EXPECT_NEAR(hgn.channels[0].sample_rate, 40.0, 1e-3);
+  EXPECT_TRUE(back->stations[1].channels.empty());
+}
+
+TEST(DatalessTest, FindStation) {
+  StationInventory inv = MakeInventory();
+  EXPECT_NE(inv.Find("NL", "HGN"), nullptr);
+  EXPECT_EQ(inv.Find("NL", "ISK"), nullptr);
+  EXPECT_NE(inv.Find("KO", "ISK"), nullptr);
+}
+
+TEST(DatalessTest, MultiRecordVolumes) {
+  // Enough stations to spill over one 4096-byte control record.
+  ScopedTempDir dir;
+  StationInventory inv;
+  inv.volume.label = "big";
+  for (int i = 0; i < 60; ++i) {
+    StationIdentifier st;
+    char name[8];
+    std::snprintf(name, sizeof(name), "S%03d", i);
+    st.station = name;
+    st.network = "XX";
+    st.site_name = "SYNTHETIC SITE WITH A LONG DESCRIPTIVE NAME " +
+                   std::to_string(i);
+    st.latitude = i * 0.5;
+    st.longitude = -i * 0.25;
+    ChannelIdentifier ch;
+    ch.channel = "BHZ";
+    ch.sample_rate = 40;
+    st.channels.push_back(ch);
+    inv.stations.push_back(std::move(st));
+  }
+  std::string path = dir.path() + "/dataless.seed";
+  ASSERT_STATUS_OK(WriteDataless(path, inv));
+  auto st = StatFile(path);
+  ASSERT_OK(st);
+  EXPECT_GT(st->size, kControlRecordBytes);  // spilled into record 2+
+  EXPECT_EQ(st->size % kControlRecordBytes, 0u);
+
+  auto back = ReadDataless(path);
+  ASSERT_OK(back);
+  ASSERT_EQ(back->stations.size(), 60u);
+  EXPECT_EQ(back->stations[59].station, "S059");
+  EXPECT_NEAR(back->stations[59].latitude, 29.5, 1e-5);
+}
+
+TEST(DatalessTest, RejectsMalformedInput) {
+  ScopedTempDir dir;
+  std::string path = dir.path() + "/bad.dataless";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a control header volume at all";
+  }
+  EXPECT_FALSE(ReadDataless(path).ok());
+
+  // Valid record marker but garbage blockettes.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    std::string record = "000001V 9999xxxx";
+    record.resize(kControlRecordBytes, ' ');
+    out << record;
+  }
+  auto r = ReadDataless(path);
+  EXPECT_FALSE(r.ok());
+
+  EXPECT_FALSE(ReadDataless("/nonexistent/dataless.seed").ok());
+}
+
+TEST(DatalessTest, RejectsOversizedCodes) {
+  ScopedTempDir dir;
+  StationInventory inv;
+  StationIdentifier st;
+  st.station = "TOOLONGNAME";
+  st.network = "XX";
+  inv.stations.push_back(st);
+  EXPECT_FALSE(WriteDataless(dir.path() + "/x", inv).ok());
+}
+
+TEST(DatalessTest, FilenameDetection) {
+  EXPECT_TRUE(IsDatalessFilename("dataless.seed"));
+  EXPECT_TRUE(IsDatalessFilename("NL.dataless"));
+  EXPECT_TRUE(IsDatalessFilename("dataless.NL.2010"));
+  EXPECT_FALSE(IsDatalessFilename("NL.HGN.02.BHZ.D.2010.012"));
+  EXPECT_FALSE(IsDatalessFilename("README.txt"));
+}
+
+TEST(DatalessWarehouseTest, InventoryTablesPopulated) {
+  ScopedTempDir dir;
+  auto repo = MustGenerate(dir.path(), SmallRepoConfig());
+  ASSERT_FALSE(repo.dataless_path.empty());
+  auto wh = MustOpen(core::LoadStrategy::kLazy, dir.path());
+
+  auto stations = wh->Query(
+      "SELECT network, station, latitude, longitude FROM mseed.stations "
+      "ORDER BY network, station");
+  ASSERT_OK(stations);
+  EXPECT_EQ(stations->table.num_rows(), 5u);  // the demo station set
+  // ISK's real coordinates surfaced through SQL.
+  auto isk = wh->Query(
+      "SELECT latitude, longitude, site_name FROM mseed.stations "
+      "WHERE station = 'ISK'");
+  ASSERT_OK(isk);
+  ASSERT_EQ(isk->table.num_rows(), 1u);
+  EXPECT_NEAR(isk->table.GetValue(0, 0).double_value(), 41.0663, 1e-3);
+  EXPECT_NEAR(isk->table.GetValue(0, 1).double_value(), 29.0597, 1e-3);
+
+  auto channels = wh->Query(
+      "SELECT COUNT(*) FROM mseed.channels WHERE channel LIKE 'BH_'");
+  ASSERT_OK(channels);
+  EXPECT_EQ(channels->table.GetValue(0, 0).int64_value(), 14);  // 3*4 + 2
+
+  // Vertical components have dip -90.
+  auto vertical = wh->Query(
+      "SELECT COUNT(*) FROM mseed.channels WHERE dip < -89");
+  ASSERT_OK(vertical);
+  EXPECT_EQ(vertical->table.GetValue(0, 0).int64_value(), 5);
+}
+
+TEST(DatalessWarehouseTest, RefreshDoesNotDuplicateInventory) {
+  ScopedTempDir dir;
+  MustGenerate(dir.path(), SmallRepoConfig());
+  auto wh = MustOpen(core::LoadStrategy::kLazy, dir.path());
+  auto before = wh->Query("SELECT COUNT(*) FROM mseed.stations");
+  ASSERT_OK(before);
+  ASSERT_OK(wh->Refresh());
+  ASSERT_OK(wh->Refresh());
+  auto after = wh->Query("SELECT COUNT(*) FROM mseed.stations");
+  ASSERT_OK(after);
+  EXPECT_TRUE(
+      after->table.GetValue(0, 0).Equals(before->table.GetValue(0, 0)));
+}
+
+TEST(DatalessWarehouseTest, MissingInventoryLeavesTablesEmpty) {
+  ScopedTempDir dir;
+  auto cfg = SmallRepoConfig();
+  cfg.write_dataless = false;
+  MustGenerate(dir.path(), cfg);
+  auto wh = MustOpen(core::LoadStrategy::kLazy, dir.path());
+  auto stations = wh->Query("SELECT COUNT(*) FROM mseed.stations");
+  ASSERT_OK(stations);
+  EXPECT_EQ(stations->table.GetValue(0, 0).int64_value(), 0);
+}
+
+}  // namespace
+}  // namespace lazyetl::mseed

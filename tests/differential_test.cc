@@ -1,0 +1,162 @@
+// Randomised differential testing: generate a few hundred random queries
+// from a grammar of predicates/aggregates/groupings and check that the
+// lazy and eager warehouses agree on every one of them. This is the
+// volume version of the hand-picked cases in lazy_eager_equivalence_test.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "core/warehouse.h"
+#include "mseed/repository.h"
+#include "test_util.h"
+#include "warehouse_test_util.h"
+
+namespace lazyetl::core {
+namespace {
+
+using lazyetl::testing::MustGenerate;
+using lazyetl::testing::MustOpen;
+using lazyetl::testing::ScopedTempDir;
+
+class QueryGenerator {
+ public:
+  explicit QueryGenerator(uint32_t seed) : rng_(seed) {}
+
+  std::string Next() {
+    std::ostringstream sql;
+    bool grouped = Chance(0.4);
+    if (grouped) {
+      const char* group = Pick({"F.station", "F.channel", "F.network",
+                                "R.seq_no"});
+      sql << "SELECT " << group << ", " << Aggregate() << " FROM mseed.dataview";
+      std::string where = Where();
+      if (!where.empty()) sql << " WHERE " << where;
+      sql << " GROUP BY " << group;
+      if (Chance(0.3)) sql << " HAVING COUNT(*) > " << Int(0, 50);
+      sql << " ORDER BY " << group;
+    } else {
+      sql << "SELECT " << Aggregate();
+      if (Chance(0.5)) sql << ", " << Aggregate();
+      sql << " FROM mseed.dataview";
+      std::string where = Where();
+      if (!where.empty()) sql << " WHERE " << where;
+    }
+    return sql.str();
+  }
+
+ private:
+  bool Chance(double p) { return std::uniform_real_distribution<>(0, 1)(rng_) < p; }
+  int Int(int lo, int hi) { return std::uniform_int_distribution<>(lo, hi)(rng_); }
+
+  template <size_t N>
+  const char* Pick(const char* (&&options)[N]) {
+    return options[static_cast<size_t>(Int(0, N - 1))];
+  }
+
+  std::string Aggregate() {
+    const char* fn = Pick({"COUNT", "AVG", "MIN", "MAX", "SUM"});
+    if (std::string(fn) == "COUNT" && Chance(0.5)) return "COUNT(*)";
+    const char* arg =
+        Pick({"D.sample_value", "ABS(D.sample_value)", "R.num_samples",
+              "D.sample_value * 2", "D.sample_value + R.seq_no"});
+    return std::string(fn) + "(" + arg + ")";
+  }
+
+  std::string Predicate() {
+    switch (Int(0, 5)) {
+      case 0:
+        return std::string("F.station ") + (Chance(0.5) ? "=" : "<>") + " '" +
+               Pick({"HGN", "WIT", "OPLO", "ISK", "APE", "XXXX"}) + "'";
+      case 1:
+        return std::string("F.channel = '") + Pick({"BHZ", "BHN", "BHE"}) +
+               "'";
+      case 2:
+        return std::string("F.network IN ('") + Pick({"NL", "KO", "GE"}) +
+               "', '" + Pick({"NL", "KO", "GE"}) + "')";
+      case 3:
+        return "R.seq_no <= " + std::to_string(Int(1, 4));
+      case 4: {
+        // Random sub-window of the generated day (exercises containment
+        // inference and boundary cases).
+        int lo = Int(0, 50);
+        int hi = lo + Int(0, 30);
+        char a[64], b[64];
+        std::snprintf(a, sizeof(a), "2010-01-10T00:00:%02d.%03d", lo / 2,
+                      (lo % 2) * 500);
+        std::snprintf(b, sizeof(b), "2010-01-10T00:00:%02d.%03d", hi / 2,
+                      (hi % 2) * 500);
+        return std::string("D.sample_time >= '") + a +
+               "' AND D.sample_time < '" + b + "'";
+      }
+      default:
+        return std::string("D.sample_value ") +
+               Pick({">", "<", ">=", "<=", "="}) + " " +
+               std::to_string(Int(-500, 500));
+    }
+  }
+
+  std::string Where() {
+    int n = Int(0, 3);
+    std::string out;
+    for (int i = 0; i < n; ++i) {
+      if (i) out += " AND ";
+      out += Predicate();
+    }
+    return out;
+  }
+
+  std::mt19937 rng_;
+};
+
+class DifferentialTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(DifferentialTest, RandomQueriesAgree) {
+  static ScopedTempDir* dir = new ScopedTempDir();
+  static std::unique_ptr<Warehouse> eager;
+  static std::unique_ptr<Warehouse> lazy;
+  if (!eager) {
+    mseed::RepositoryConfig cfg = mseed::DefaultDemoConfig();
+    cfg.num_days = 1;
+    cfg.seconds_per_segment = 30.0;
+    MustGenerate(dir->path(), cfg);
+    eager = MustOpen(LoadStrategy::kEager, dir->path());
+    lazy = MustOpen(LoadStrategy::kLazy, dir->path(),
+                    /*cache_budget=*/48 << 10,  // small: eviction in play
+                    /*result_cache=*/false);
+  }
+
+  QueryGenerator gen(GetParam());
+  for (int i = 0; i < 40; ++i) {
+    std::string sql = gen.Next();
+    SCOPED_TRACE(sql);
+    auto a = eager->Query(sql);
+    auto b = lazy->Query(sql);
+    ASSERT_OK(a);
+    ASSERT_OK(b);
+    ASSERT_EQ(a->table.num_rows(), b->table.num_rows());
+    ASSERT_EQ(a->table.num_columns(), b->table.num_columns());
+    for (size_t r = 0; r < a->table.num_rows(); ++r) {
+      for (size_t c = 0; c < a->table.num_columns(); ++c) {
+        auto va = a->table.GetValue(r, c);
+        auto vb = b->table.GetValue(r, c);
+        if (va.type() == storage::DataType::kDouble) {
+          EXPECT_NEAR(va.double_value(), vb.double_value(),
+                      1e-9 * (1.0 + std::abs(va.double_value())))
+              << "row " << r << " col " << c;
+        } else {
+          EXPECT_TRUE(va.Equals(vb))
+              << "row " << r << " col " << c << ": " << va.ToString()
+              << " vs " << vb.ToString();
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+}  // namespace
+}  // namespace lazyetl::core

@@ -1,0 +1,109 @@
+// SELECT DISTINCT through planner, executor and warehouse.
+
+#include <gtest/gtest.h>
+
+#include "core/warehouse.h"
+#include "mseed/repository.h"
+#include "test_util.h"
+#include "warehouse_test_util.h"
+
+namespace lazyetl::core {
+namespace {
+
+using lazyetl::testing::MustGenerate;
+using lazyetl::testing::MustOpen;
+using lazyetl::testing::ScopedTempDir;
+using lazyetl::testing::SmallRepoConfig;
+
+class DistinctTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    repo_ = MustGenerate(dir_.path(), SmallRepoConfig());
+    wh_ = MustOpen(LoadStrategy::kLazy, dir_.path());
+  }
+
+  ScopedTempDir dir_;
+  mseed::GeneratedRepository repo_;
+  std::unique_ptr<Warehouse> wh_;
+};
+
+TEST_F(DistinctTest, DistinctStationsFromMetadata) {
+  auto result = wh_->Query(
+      "SELECT DISTINCT station FROM mseed.files ORDER BY station");
+  ASSERT_OK(result);
+  ASSERT_EQ(result->table.num_rows(), 5u);
+  EXPECT_EQ(result->table.GetValue(0, 0).string_value(), "APE");
+  EXPECT_EQ(result->table.GetValue(4, 0).string_value(), "WIT");
+  // Plan carries the Distinct operator.
+  auto explain = wh_->Explain(
+      "SELECT DISTINCT station FROM mseed.files ORDER BY station");
+  ASSERT_OK(explain);
+  EXPECT_NE(explain->plan_after.find("Distinct"), std::string::npos);
+}
+
+TEST_F(DistinctTest, DistinctMultipleColumns) {
+  auto result = wh_->Query(
+      "SELECT DISTINCT network, channel FROM mseed.files "
+      "ORDER BY network, channel");
+  ASSERT_OK(result);
+  // GE: BHN,BHZ; KO: BHE,BHN,BHZ; NL: BHE,BHN,BHZ => 8 pairs.
+  EXPECT_EQ(result->table.num_rows(), 8u);
+}
+
+TEST_F(DistinctTest, DistinctKeepsFirstOccurrenceOrderUnderSort) {
+  // ORDER BY runs before dedup in the plan; dedup keeps first occurrences,
+  // so the output stays sorted.
+  auto result = wh_->Query(
+      "SELECT DISTINCT channel FROM mseed.files ORDER BY channel DESC");
+  ASSERT_OK(result);
+  ASSERT_EQ(result->table.num_rows(), 3u);
+  EXPECT_EQ(result->table.GetValue(0, 0).string_value(), "BHZ");
+  EXPECT_EQ(result->table.GetValue(2, 0).string_value(), "BHE");
+}
+
+TEST_F(DistinctTest, DistinctOverDataview) {
+  // Through the lazy view: the distinct station/seq pairs of extracted
+  // records for one channel.
+  auto result = wh_->Query(
+      "SELECT DISTINCT F.station, R.seq_no FROM mseed.dataview "
+      "WHERE F.channel = 'BHE' AND R.seq_no <= 2 "
+      "ORDER BY F.station, R.seq_no");
+  ASSERT_OK(result);
+  // 3 stations with BHE (HGN, ISK, OPLO, WIT... BHE exists for NL x3 + KO)
+  // x 2 seq values.
+  EXPECT_EQ(result->table.num_rows(), 8u);
+  // And it matches the eager answer.
+  auto eager = MustOpen(LoadStrategy::kEager, dir_.path());
+  auto e = eager->Query(
+      "SELECT DISTINCT F.station, R.seq_no FROM mseed.dataview "
+      "WHERE F.channel = 'BHE' AND R.seq_no <= 2 "
+      "ORDER BY F.station, R.seq_no");
+  ASSERT_OK(e);
+  ASSERT_EQ(e->table.num_rows(), result->table.num_rows());
+  for (size_t r = 0; r < e->table.num_rows(); ++r) {
+    for (size_t c = 0; c < e->table.num_columns(); ++c) {
+      EXPECT_TRUE(
+          e->table.GetValue(r, c).Equals(result->table.GetValue(r, c)));
+    }
+  }
+}
+
+TEST_F(DistinctTest, DistinctWithLimit) {
+  auto result = wh_->Query(
+      "SELECT DISTINCT station FROM mseed.files ORDER BY station LIMIT 2");
+  ASSERT_OK(result);
+  ASSERT_EQ(result->table.num_rows(), 2u);
+  EXPECT_EQ(result->table.GetValue(0, 0).string_value(), "APE");
+  EXPECT_EQ(result->table.GetValue(1, 0).string_value(), "HGN");
+}
+
+TEST_F(DistinctTest, DistinctOnAlreadyUniqueRowsIsNoop) {
+  auto with = wh_->Query("SELECT DISTINCT uri FROM mseed.files");
+  auto without = wh_->Query("SELECT uri FROM mseed.files");
+  ASSERT_OK(with);
+  ASSERT_OK(without);
+  EXPECT_EQ(with->table.num_rows(), without->table.num_rows());
+}
+
+}  // namespace
+}  // namespace lazyetl::core

@@ -1,0 +1,144 @@
+// Direct unit coverage of the shared ETL building blocks (core/etl.h) and
+// the ExecutionReport rendering (engine/report.h), which the integration
+// suites exercise only indirectly.
+
+#include <gtest/gtest.h>
+
+#include "core/etl.h"
+#include "core/schema.h"
+#include "engine/report.h"
+#include "mseed/writer.h"
+#include "test_util.h"
+
+namespace lazyetl::core {
+namespace {
+
+mseed::RecordHeader MakeHeader(uint16_t num_samples, double rate = 40.0) {
+  mseed::RecordHeader h;
+  h.station = "HGN";
+  h.network = "NL";
+  h.channel = "BHZ";
+  h.location = "02";
+  h.start_time = mseed::BTime::FromNano(1263254400LL * kNanosPerSecond);
+  h.num_samples = num_samples;
+  mseed::SampleRateToFactors(rate, &h.sample_rate_factor,
+                             &h.sample_rate_multiplier);
+  return h;
+}
+
+TEST(TransformRecordTest, MaterialisesSampleTimes) {
+  auto h = MakeHeader(4);
+  auto out = TransformRecord(h, {10, 20, 30, 40});
+  ASSERT_OK(out);
+  NanoTime start = *h.StartTime();
+  EXPECT_EQ(out->sample_times,
+            (std::vector<int64_t>{start, start + 25000000,
+                                  start + 50000000, start + 75000000}));
+  EXPECT_EQ(out->sample_values, (std::vector<int32_t>{10, 20, 30, 40}));
+}
+
+TEST(TransformRecordTest, MatchesWriterTimestamps) {
+  // The lazy transform and the writer must agree exactly — the basis of
+  // the lazy==eager invariant.
+  auto h = MakeHeader(100);
+  std::vector<int32_t> samples(100, 1);
+  auto out = TransformRecord(h, samples);
+  ASSERT_OK(out);
+  NanoTime start = *h.StartTime();
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(out->sample_times[i], mseed::SampleTimeAt(start, 40.0, i));
+  }
+}
+
+TEST(TransformRecordTest, RejectsMismatchedCounts) {
+  auto h = MakeHeader(4);
+  auto out = TransformRecord(h, {1, 2, 3});
+  EXPECT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsCorruptData());
+}
+
+TEST(TransformRecordTest, RejectsZeroRate) {
+  auto h = MakeHeader(1, 0.0);
+  h.sample_rate_factor = 0;
+  auto out = TransformRecord(h, {1});
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(RemoveFileRowsTest, RemovesOnlyMatchingRows) {
+  auto data = MakeDataTable();
+  TransformedRecord rec;
+  rec.sample_times = {1, 2};
+  rec.sample_values = {10, 20};
+  ASSERT_STATUS_OK(AppendDataRows(data.get(), 1, 1, rec));
+  ASSERT_STATUS_OK(AppendDataRows(data.get(), 2, 1, rec));
+  ASSERT_STATUS_OK(AppendDataRows(data.get(), 1, 2, rec));
+  ASSERT_EQ(data->num_rows(), 6u);
+
+  auto removed = RemoveFileRows(data.get(), 1);
+  ASSERT_OK(removed);
+  EXPECT_EQ(*removed, 4u);
+  EXPECT_EQ(data->num_rows(), 2u);
+  EXPECT_EQ(data->GetValue(0, 0).int64_value(), 2);
+
+  auto none = RemoveFileRows(data.get(), 99);
+  ASSERT_OK(none);
+  EXPECT_EQ(*none, 0u);
+  EXPECT_EQ(data->num_rows(), 2u);
+}
+
+TEST(AppendDataRowsTest, BulkAppendsTypedColumns) {
+  auto data = MakeDataTable();
+  TransformedRecord rec;
+  rec.sample_times = {100, 200, 300};
+  rec.sample_values = {-1, 0, 1};
+  ASSERT_STATUS_OK(AppendDataRows(data.get(), 7, 3, rec));
+  ASSERT_EQ(data->num_rows(), 3u);
+  EXPECT_EQ(data->GetValue(1, 0).int64_value(), 7);   // file_id
+  EXPECT_EQ(data->GetValue(1, 1).int64_value(), 3);   // seq_no
+  EXPECT_EQ(data->GetValue(1, 2).timestamp_value(), 200);
+  EXPECT_EQ(data->GetValue(2, 3).int32_value(), 1);
+}
+
+TEST(ExecutionReportTest, ToStringContainsEverything) {
+  engine::ExecutionReport report;
+  report.sql = "SELECT 1";
+  report.result_rows = 42;
+  report.records_requested = 10;
+  report.cache_hits = 3;
+  report.cache_misses = 6;
+  report.cache_stale = 1;
+  report.files_opened = 2;
+  report.records_extracted = 7;
+  report.samples_extracted = 700;
+  report.bytes_read = 3584;
+  report.files_hydrated = 4;
+  report.result_cache_hit = true;
+  report.plan_before = "NaivePlan\n";
+  report.plan_after = "OptimizedPlan\n";
+  report.plan_runtime = "RuntimePlan\n";
+  report.total_seconds = 0.001;
+
+  std::string s = report.ToString();
+  EXPECT_NE(s.find("SELECT 1"), std::string::npos);
+  EXPECT_NE(s.find("result rows: 42"), std::string::npos);
+  EXPECT_NE(s.find("requested 10 records"), std::string::npos);
+  EXPECT_NE(s.find("hits 3"), std::string::npos);
+  EXPECT_NE(s.find("misses 6"), std::string::npos);
+  EXPECT_NE(s.find("stale 1"), std::string::npos);
+  EXPECT_NE(s.find("hydrated 4 files"), std::string::npos);
+  EXPECT_NE(s.find("result served from recycler cache"), std::string::npos);
+  EXPECT_NE(s.find("NaivePlan"), std::string::npos);
+  EXPECT_NE(s.find("OptimizedPlan"), std::string::npos);
+  EXPECT_NE(s.find("RuntimePlan"), std::string::npos);
+}
+
+TEST(ExecutionReportTest, OmitsOptionalSections) {
+  engine::ExecutionReport report;
+  std::string s = report.ToString();
+  EXPECT_EQ(s.find("hydrated"), std::string::npos);
+  EXPECT_EQ(s.find("result served"), std::string::npos);
+  EXPECT_EQ(s.find("plan (naive)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lazyetl::core

@@ -1,0 +1,103 @@
+// Explain() (plans without execution) and multi-repository attachment.
+
+#include <gtest/gtest.h>
+
+#include "core/warehouse.h"
+#include "mseed/repository.h"
+#include "test_util.h"
+#include "warehouse_test_util.h"
+
+namespace lazyetl::core {
+namespace {
+
+using lazyetl::testing::MustGenerate;
+using lazyetl::testing::MustOpen;
+using lazyetl::testing::ScopedTempDir;
+using lazyetl::testing::SmallRepoConfig;
+
+TEST(ExplainTest, ShowsPlansWithoutExecuting) {
+  ScopedTempDir dir;
+  MustGenerate(dir.path(), SmallRepoConfig());
+  auto wh = MustOpen(LoadStrategy::kLazy, dir.path());
+
+  auto report = wh->Explain(lazyetl::testing::kPaperQ1);
+  ASSERT_OK(report);
+  EXPECT_NE(report->plan_before.find("HashJoin"), std::string::npos);
+  EXPECT_NE(report->plan_after.find("LazyDataScan"), std::string::npos);
+  EXPECT_NE(report->plan_after.find("(F.station = 'ISK')"),
+            std::string::npos);
+  // Nothing was executed: no extraction, no cache population.
+  EXPECT_EQ(report->records_extracted, 0u);
+  EXPECT_EQ(wh->Stats().cache.entries, 0u);
+  EXPECT_TRUE(report->plan_runtime.empty());
+}
+
+TEST(ExplainTest, ErrorsMatchQueryErrors) {
+  ScopedTempDir dir;
+  MustGenerate(dir.path(), SmallRepoConfig());
+  auto wh = MustOpen(LoadStrategy::kLazy, dir.path());
+  EXPECT_TRUE(wh->Explain("SELEC nope").status().IsParseError());
+  EXPECT_TRUE(
+      wh->Explain("SELECT ghost FROM mseed.files").status().IsBindError());
+}
+
+TEST(ExplainTest, ReflectsPruningToggle) {
+  ScopedTempDir dir;
+  MustGenerate(dir.path(), SmallRepoConfig());
+  const char* sql =
+      "SELECT COUNT(*) FROM mseed.dataview "
+      "WHERE D.sample_time < '2010-01-10T00:00:05.000'";
+
+  auto with = MustOpen(LoadStrategy::kLazy, dir.path());
+  auto on = with->Explain(sql);
+  ASSERT_OK(on);
+  EXPECT_NE(on->plan_after.find("R.start_time <"), std::string::npos);
+
+  WarehouseOptions options;
+  options.strategy = LoadStrategy::kLazy;
+  options.enable_metadata_pruning = false;
+  auto without = Warehouse::Open(options);
+  ASSERT_OK(without);
+  ASSERT_OK((*without)->AttachRepository(dir.path()));
+  auto off = (*without)->Explain(sql);
+  ASSERT_OK(off);
+  EXPECT_EQ(off->plan_after.find("R.start_time <"), std::string::npos);
+}
+
+TEST(MultiRootTest, TwoRepositoriesQueryAsOne) {
+  ScopedTempDir dir_a;
+  ScopedTempDir dir_b;
+  // Repository A: the demo networks; repository B: a different network.
+  auto cfg_a = SmallRepoConfig();
+  cfg_a.num_days = 1;
+  auto repo_a = MustGenerate(dir_a.path(), cfg_a);
+  mseed::RepositoryConfig cfg_b;
+  cfg_b.stations = {{"CH", "DAVOX", "", {"HHZ"}, 40.0}};
+  cfg_b.num_days = 1;
+  cfg_b.seconds_per_segment = 30.0;
+  auto repo_b = MustGenerate(dir_b.path(), cfg_b);
+
+  auto wh = MustOpen(LoadStrategy::kLazy, dir_a.path());
+  ASSERT_OK(wh->AttachRepository(dir_b.path()));
+  EXPECT_EQ(wh->repositories().size(), 2u);
+  EXPECT_EQ(wh->Stats().num_files, repo_a.files.size() + repo_b.files.size());
+
+  // Queries span both roots.
+  auto count = wh->Query("SELECT COUNT(*) FROM mseed.dataview");
+  ASSERT_OK(count);
+  EXPECT_EQ(count->table.GetValue(0, 0).int64_value(),
+            static_cast<int64_t>(repo_a.total_samples + repo_b.total_samples));
+  auto davox = wh->Query(
+      "SELECT COUNT(*) FROM mseed.dataview WHERE F.network = 'CH'");
+  ASSERT_OK(davox);
+  EXPECT_EQ(davox->table.GetValue(0, 0).int64_value(),
+            static_cast<int64_t>(repo_b.total_samples));
+
+  // Refresh covers both roots.
+  auto refresh = wh->Refresh();
+  ASSERT_OK(refresh);
+  EXPECT_EQ(refresh->new_files, 0u);
+}
+
+}  // namespace
+}  // namespace lazyetl::core

@@ -1,0 +1,192 @@
+// Robustness under malformed input: decoders and parsers must return
+// error statuses — never crash, hang, or read out of bounds — when fed
+// corrupted records, truncated frames, or random bytes.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <random>
+
+#include "mseed/reader.h"
+#include "mseed/record.h"
+#include "mseed/steim.h"
+#include "mseed/synth.h"
+#include "mseed/writer.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace lazyetl {
+namespace {
+
+using lazyetl::testing::ScopedTempDir;
+
+// --- Steim decoders on arbitrary bytes ------------------------------------
+
+class SteimFuzzTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SteimFuzzTest, RandomFramesNeverCrash) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<size_t> frames(1, 8);
+  std::uniform_int_distribution<size_t> samples(0, 2000);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<uint8_t> data(frames(rng) * mseed::kSteimFrameBytes);
+    for (auto& b : data) b = static_cast<uint8_t>(byte(rng));
+    size_t n = samples(rng);
+    // Either outcome (error or decoded vector of exactly n values) is
+    // acceptable; crashing or returning the wrong count is not.
+    auto d1 = mseed::Steim1Decode(data.data(), data.size(), n);
+    if (d1.ok()) {
+      EXPECT_EQ(d1->size(), n);
+    }
+    auto d2 = mseed::Steim2Decode(data.data(), data.size(), n);
+    if (d2.ok()) {
+      EXPECT_EQ(d2->size(), n);
+    }
+  }
+}
+
+TEST_P(SteimFuzzTest, BitflippedValidFramesNeverCrash) {
+  std::mt19937 rng(GetParam() ^ 0xBEEF);
+  mseed::SynthOptions synth;
+  synth.seed = GetParam();
+  auto samples = mseed::GenerateSeismogram(500, synth);
+  auto enc = mseed::Steim2Encode(samples, 64, samples[0]);
+  ASSERT_OK(enc);
+  std::uniform_int_distribution<size_t> pos(0, enc->frames.size() - 1);
+  std::uniform_int_distribution<int> bit(0, 7);
+  for (int round = 0; round < 300; ++round) {
+    std::vector<uint8_t> corrupted = enc->frames;
+    for (int flips = 0; flips < 3; ++flips) {
+      corrupted[pos(rng)] ^= static_cast<uint8_t>(1 << bit(rng));
+    }
+    auto dec = mseed::Steim2Decode(corrupted.data(), corrupted.size(),
+                                   samples.size());
+    if (dec.ok()) {
+      EXPECT_EQ(dec->size(), samples.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SteimFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1337u));
+
+// --- Record header decoder -------------------------------------------------
+
+TEST(RecordFuzzTest, RandomHeadersNeverCrash) {
+  std::mt19937 rng(99);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<uint8_t> buf(128);
+    for (auto& b : buf) b = static_cast<uint8_t>(byte(rng));
+    auto header = mseed::DecodeRecordHeader(buf.data(), buf.size());
+    if (header.ok()) {
+      // Whatever parsed must be self-consistent.
+      EXPECT_GE(header->record_length, 256u);
+    }
+  }
+}
+
+TEST(RecordFuzzTest, BitflippedValidHeaderNeverCrashes) {
+  mseed::RecordHeader h;
+  h.station = "HGN";
+  h.network = "NL";
+  h.channel = "BHZ";
+  h.num_samples = 100;
+  h.sample_rate_factor = 40;
+  std::vector<uint8_t> buf(512, 0);
+  ASSERT_STATUS_OK(mseed::EncodeRecordHeader(h, buf.data()));
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<size_t> pos(0, 63);
+  std::uniform_int_distribution<int> bit(0, 7);
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<uint8_t> corrupted = buf;
+    corrupted[pos(rng)] ^= static_cast<uint8_t>(1 << bit(rng));
+    auto decoded = mseed::DecodeRecordHeader(corrupted.data(),
+                                             corrupted.size());
+    (void)decoded;  // either outcome is fine; crashing is not
+  }
+}
+
+// --- Whole-file reader on corrupted files ----------------------------------
+
+TEST(FileFuzzTest, CorruptedFilesFailCleanly) {
+  ScopedTempDir dir;
+  mseed::TimeSeries series;
+  series.network = "NL";
+  series.station = "HGN";
+  series.channel = "BHZ";
+  series.sample_rate = 40.0;
+  mseed::SynthOptions synth;
+  series.samples = mseed::GenerateSeismogram(3000, synth);
+  std::string path = dir.path() + "/fuzz.mseed";
+  ASSERT_OK(mseed::WriteMseedFile(path, series, mseed::WriterOptions{}));
+
+  std::vector<char> original;
+  {
+    std::ifstream in(path, std::ios::binary);
+    original.assign(std::istreambuf_iterator<char>(in), {});
+  }
+
+  std::mt19937 rng(5);
+  std::uniform_int_distribution<size_t> pos(0, original.size() - 1);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<char> corrupted = original;
+    for (int i = 0; i < 8; ++i) {
+      corrupted[pos(rng)] = static_cast<char>(byte(rng));
+    }
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(corrupted.data(),
+                static_cast<std::streamsize>(corrupted.size()));
+    }
+    auto md = mseed::ScanMetadata(path);
+    auto full = mseed::ReadFull(path);
+    (void)md;
+    (void)full;  // error or success, never a crash
+  }
+}
+
+// --- SQL parser on garbage -------------------------------------------------
+
+TEST(SqlFuzzTest, RandomTokenSoupNeverCrashes) {
+  static const char* kFragments[] = {
+      "SELECT", "FROM",  "WHERE", "GROUP", "BY",    "AVG",    "(",
+      ")",      ",",     "'ISK'", "42",    "3.14",  "AND",    "OR",
+      "NOT",    "<",     ">=",    "=",     "F",     ".",      "station",
+      "LIKE",   "'%x'",  "LIMIT", "ORDER", "HAVING", "BETWEEN", ";",
+      "dataview", "*",   "-",     "+",     "/",     "IN",
+  };
+  std::mt19937 rng(11);
+  std::uniform_int_distribution<size_t> pick(0, std::size(kFragments) - 1);
+  std::uniform_int_distribution<size_t> len(0, 24);
+  for (int round = 0; round < 3000; ++round) {
+    std::string sql;
+    size_t n = len(rng);
+    for (size_t i = 0; i < n; ++i) {
+      sql += kFragments[pick(rng)];
+      sql += ' ';
+    }
+    auto stmt = sql::Parse(sql);
+    (void)stmt;  // error or success, never a crash
+  }
+}
+
+TEST(SqlFuzzTest, RandomBytesNeverCrash) {
+  std::mt19937 rng(13);
+  std::uniform_int_distribution<int> byte(32, 126);
+  std::uniform_int_distribution<size_t> len(0, 120);
+  for (int round = 0; round < 3000; ++round) {
+    std::string sql;
+    size_t n = len(rng);
+    for (size_t i = 0; i < n; ++i) {
+      sql += static_cast<char>(byte(rng));
+    }
+    auto stmt = sql::Parse(sql);
+    (void)stmt;
+  }
+}
+
+}  // namespace
+}  // namespace lazyetl

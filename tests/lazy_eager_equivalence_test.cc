@@ -1,0 +1,203 @@
+// The library's central invariant: for every query, a lazy warehouse and
+// an eager warehouse over the same repository return identical results —
+// under cold caches, warm caches, tiny cache budgets, and the
+// filename-only strategy.
+
+#include <gtest/gtest.h>
+
+#include "core/warehouse.h"
+#include "mseed/repository.h"
+#include "test_util.h"
+#include "warehouse_test_util.h"
+
+namespace lazyetl::core {
+namespace {
+
+using lazyetl::testing::MustGenerate;
+using lazyetl::testing::MustOpen;
+using lazyetl::testing::ScopedTempDir;
+using lazyetl::testing::SmallRepoConfig;
+
+void ExpectTablesEqual(const storage::Table& a, const storage::Table& b,
+                       const std::string& context) {
+  ASSERT_EQ(a.num_columns(), b.num_columns()) << context;
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << context;
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    EXPECT_EQ(a.column_name(c), b.column_name(c)) << context;
+    for (size_t r = 0; r < a.num_rows(); ++r) {
+      const auto va = a.GetValue(r, c);
+      const auto vb = b.GetValue(r, c);
+      if (va.type() == storage::DataType::kDouble) {
+        EXPECT_NEAR(va.double_value(), vb.double_value(),
+                    1e-9 * (1.0 + std::abs(va.double_value())))
+            << context << " row " << r << " col " << c;
+      } else {
+        EXPECT_TRUE(va.Equals(vb))
+            << context << " row " << r << " col " << c << ": "
+            << va.ToString() << " vs " << vb.ToString();
+      }
+    }
+  }
+}
+
+class EquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MustGenerate(dir_.path(), SmallRepoConfig());
+    eager_ = MustOpen(LoadStrategy::kEager, dir_.path());
+    lazy_ = MustOpen(LoadStrategy::kLazy, dir_.path());
+    filename_only_ = MustOpen(LoadStrategy::kLazyFilenameOnly, dir_.path());
+    tiny_cache_ = MustOpen(LoadStrategy::kLazy, dir_.path(),
+                           /*cache_budget=*/16 << 10,
+                           /*result_cache=*/false);
+  }
+
+  void ExpectAllStrategiesAgree(const std::string& sql) {
+    auto eager = eager_->Query(sql);
+    ASSERT_OK(eager);
+    for (auto* wh : {lazy_.get(), filename_only_.get(), tiny_cache_.get()}) {
+      SCOPED_TRACE(LoadStrategyToString(wh->options().strategy));
+      // Twice: cold then warm cache.
+      auto cold = wh->Query(sql);
+      ASSERT_OK(cold);
+      ExpectTablesEqual(eager->table, cold->table, "cold: " + sql);
+      auto warm = wh->Query(sql);
+      ASSERT_OK(warm);
+      ExpectTablesEqual(eager->table, warm->table, "warm: " + sql);
+    }
+  }
+
+  ScopedTempDir dir_;
+  std::unique_ptr<Warehouse> eager_;
+  std::unique_ptr<Warehouse> lazy_;
+  std::unique_ptr<Warehouse> filename_only_;
+  std::unique_ptr<Warehouse> tiny_cache_;
+};
+
+TEST_F(EquivalenceTest, PaperQueries) {
+  ExpectAllStrategiesAgree(lazyetl::testing::kPaperQ1);
+  ExpectAllStrategiesAgree(lazyetl::testing::kPaperQ2);
+}
+
+TEST_F(EquivalenceTest, FullScanAggregates) {
+  ExpectAllStrategiesAgree(
+      "SELECT COUNT(*), SUM(D.sample_value), MIN(D.sample_value), "
+      "MAX(D.sample_value), AVG(D.sample_value) FROM mseed.dataview");
+}
+
+TEST_F(EquivalenceTest, GroupByChannelAcrossNetworks) {
+  ExpectAllStrategiesAgree(
+      "SELECT F.network, F.channel, COUNT(*), AVG(D.sample_value) "
+      "FROM mseed.dataview GROUP BY F.network, F.channel "
+      "ORDER BY F.network, F.channel");
+}
+
+TEST_F(EquivalenceTest, RecordLevelPredicates) {
+  ExpectAllStrategiesAgree(
+      "SELECT COUNT(*) FROM mseed.dataview "
+      "WHERE R.seq_no <= 2 AND F.channel = 'BHZ'");
+}
+
+TEST_F(EquivalenceTest, TimeWindowedSelection) {
+  ExpectAllStrategiesAgree(
+      "SELECT COUNT(*), AVG(D.sample_value) FROM mseed.dataview "
+      "WHERE D.sample_time >= '2010-01-10T00:00:05.000' "
+      "AND D.sample_time < '2010-01-10T00:00:15.000' "
+      "AND F.network = 'NL'");
+}
+
+TEST_F(EquivalenceTest, ProjectionWithOrderAndLimit) {
+  ExpectAllStrategiesAgree(
+      "SELECT F.station, R.seq_no, D.sample_time, D.sample_value "
+      "FROM mseed.dataview "
+      "WHERE F.station = 'ISK' AND F.channel = 'BHZ' "
+      "ORDER BY D.sample_time, R.seq_no LIMIT 50");
+}
+
+TEST_F(EquivalenceTest, HavingAndAggregateArithmetic) {
+  ExpectAllStrategiesAgree(
+      "SELECT F.station, MAX(D.sample_value) - MIN(D.sample_value) AS spread "
+      "FROM mseed.dataview GROUP BY F.station "
+      "HAVING COUNT(*) > 100 ORDER BY F.station");
+}
+
+TEST_F(EquivalenceTest, SelectiveStation) {
+  ExpectAllStrategiesAgree(
+      "SELECT AVG(ABS(D.sample_value)) FROM mseed.dataview "
+      "WHERE F.station = 'APE'");
+}
+
+TEST_F(EquivalenceTest, EmptySelection) {
+  ExpectAllStrategiesAgree(
+      "SELECT COUNT(*) FROM mseed.dataview WHERE F.station = 'XXXX'");
+}
+
+TEST_F(EquivalenceTest, MetadataTablesAgree) {
+  // num_records is excluded: under the filename-only strategy it is an
+  // approximation (0) until the file is hydrated — a documented deviation.
+  ExpectAllStrategiesAgree(
+      "SELECT network, station, channel FROM mseed.files "
+      "WHERE network = 'NL' ORDER BY station, channel");
+  // Note: records table requires hydration in filename-only mode; that is
+  // exercised via dataview queries above. Base-table browsing of records
+  // works on lazy/eager:
+  auto eager = eager_->Query(
+      "SELECT COUNT(*) FROM mseed.records WHERE seq_no = 1");
+  auto lazy = lazy_->Query(
+      "SELECT COUNT(*) FROM mseed.records WHERE seq_no = 1");
+  ASSERT_OK(eager);
+  ASSERT_OK(lazy);
+  ExpectTablesEqual(eager->table, lazy->table, "records base table");
+}
+
+// Parameterised sweep over generated query shapes.
+class EquivalenceSweepTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EquivalenceSweepTest, LazyMatchesEager) {
+  static ScopedTempDir* dir = new ScopedTempDir();
+  static bool generated = false;
+  static std::unique_ptr<Warehouse> eager;
+  static std::unique_ptr<Warehouse> lazy;
+  if (!generated) {
+    auto cfg = SmallRepoConfig();
+    cfg.num_days = 1;
+    MustGenerate(dir->path(), cfg);
+    eager = MustOpen(LoadStrategy::kEager, dir->path());
+    lazy = MustOpen(LoadStrategy::kLazy, dir->path());
+    generated = true;
+  }
+  const char* sql = GetParam();
+  auto e = eager->Query(sql);
+  ASSERT_OK(e);
+  auto l = lazy->Query(sql);
+  ASSERT_OK(l);
+  ExpectTablesEqual(e->table, l->table, sql);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QueryShapes, EquivalenceSweepTest,
+    ::testing::Values(
+        "SELECT COUNT(*) FROM mseed.dataview WHERE D.sample_value > 0",
+        "SELECT COUNT(*) FROM mseed.dataview WHERE D.sample_value < 0",
+        "SELECT COUNT(*) FROM mseed.dataview WHERE ABS(D.sample_value) > 500",
+        "SELECT F.channel, COUNT(*) FROM mseed.dataview GROUP BY F.channel "
+        "ORDER BY F.channel",
+        "SELECT R.seq_no, COUNT(*) FROM mseed.dataview WHERE F.station = "
+        "'HGN' GROUP BY R.seq_no ORDER BY R.seq_no",
+        "SELECT MIN(D.sample_time), MAX(D.sample_time) FROM mseed.dataview "
+        "WHERE F.network = 'GE'",
+        "SELECT COUNT(*) FROM mseed.dataview WHERE F.station IN ('ISK', "
+        "'HGN') AND F.channel = 'BHE'",
+        "SELECT COUNT(*) FROM mseed.dataview WHERE R.start_time BETWEEN "
+        "'2010-01-10T00:00:00.000' AND '2010-01-10T00:00:20.000'",
+        "SELECT AVG(D.sample_value * 1) FROM mseed.dataview WHERE "
+        "F.location = '02'",
+        "SELECT F.station FROM mseed.dataview GROUP BY F.station "
+        "HAVING MAX(D.sample_value) > 0 ORDER BY F.station DESC",
+        "SELECT D.sample_value FROM mseed.dataview WHERE F.station = 'APE' "
+        "ORDER BY D.sample_value DESC LIMIT 10",
+        "SELECT COUNT(*) FROM mseed.dataview WHERE NOT (F.channel = 'BHZ')"));
+
+}  // namespace
+}  // namespace lazyetl::core

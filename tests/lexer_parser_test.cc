@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace lazyetl::sql {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT x FROM t WHERE a >= 1.5 AND b = 'hi'");
+  ASSERT_OK(tokens);
+  ASSERT_GE(tokens->size(), 12u);
+  EXPECT_EQ((*tokens)[0].type, TokenType::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[1].text, "x");
+  EXPECT_EQ(tokens->back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Tokenize("select From wHeRe");
+  ASSERT_OK(tokens);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].text, "FROM");
+  EXPECT_EQ((*tokens)[2].text, "WHERE");
+}
+
+TEST(LexerTest, NumbersIntAndFloat) {
+  auto tokens = Tokenize("42 3.14 1e3 2.5e-2 7.");
+  ASSERT_OK(tokens);
+  EXPECT_EQ((*tokens)[0].type, TokenType::kInteger);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kFloat);
+  EXPECT_EQ((*tokens)[2].type, TokenType::kFloat);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kFloat);
+  // "7." is integer 7 followed by a dot operator (qualifier syntax).
+  EXPECT_EQ((*tokens)[4].type, TokenType::kInteger);
+  EXPECT_EQ((*tokens)[5].text, ".");
+}
+
+TEST(LexerTest, StringsWithEscapedQuotes) {
+  auto tokens = Tokenize("'it''s'");
+  ASSERT_OK(tokens);
+  EXPECT_EQ((*tokens)[0].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, OperatorsMultiChar) {
+  auto tokens = Tokenize("<= >= <> != < >");
+  ASSERT_OK(tokens);
+  EXPECT_EQ((*tokens)[0].text, "<=");
+  EXPECT_EQ((*tokens)[1].text, ">=");
+  EXPECT_EQ((*tokens)[2].text, "<>");
+  EXPECT_EQ((*tokens)[3].text, "<>");  // != normalised
+  EXPECT_EQ((*tokens)[4].text, "<");
+  EXPECT_EQ((*tokens)[5].text, ">");
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Tokenize("SELECT -- comment here\n x");
+  ASSERT_OK(tokens);
+  EXPECT_EQ((*tokens)[1].text, "x");
+}
+
+TEST(LexerTest, RejectsUnknownCharacter) {
+  EXPECT_FALSE(Tokenize("SELECT @x").ok());
+}
+
+TEST(ParserTest, PaperQueryQ1) {
+  // First query of Fig. 1, verbatim.
+  auto stmt = Parse(
+      "SELECT AVG(D.sample_value) "
+      "FROM mseed.dataview "
+      "WHERE F.station = 'ISK' "
+      "AND F.channel = 'BHE' "
+      "AND R.start_time > '2010-01-12T00:00:00.000' "
+      "AND R.start_time < '2010-01-12T23:59:59.999' "
+      "AND D.sample_time > '2010-01-12T22:15:00.000' "
+      "AND D.sample_time < '2010-01-12T22:15:02.000';");
+  ASSERT_OK(stmt);
+  EXPECT_EQ(stmt->from_table, "mseed.dataview");
+  ASSERT_EQ(stmt->select_list.size(), 1u);
+  EXPECT_EQ(stmt->select_list[0].expr->ToString(), "AVG(D.sample_value)");
+  ASSERT_NE(stmt->where, nullptr);
+  // Six conjuncts nest left-deep.
+  EXPECT_EQ(stmt->where->bin_op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, PaperQueryQ2) {
+  auto stmt = Parse(
+      "SELECT F.station, MIN(D.sample_value), MAX(D.sample_value) "
+      "FROM mseed.dataview "
+      "WHERE F.network = 'NL' AND F.channel = 'BHZ' "
+      "GROUP BY F.station;");
+  ASSERT_OK(stmt);
+  ASSERT_EQ(stmt->select_list.size(), 3u);
+  EXPECT_EQ(stmt->select_list[0].expr->kind, ExprKind::kColumnRef);
+  EXPECT_EQ(stmt->select_list[0].expr->qualifier, "F");
+  EXPECT_EQ(stmt->select_list[0].expr->column, "station");
+  ASSERT_EQ(stmt->group_by.size(), 1u);
+  EXPECT_EQ(stmt->group_by[0]->ToString(), "F.station");
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto stmt = Parse("SELECT a + b * c - d FROM t");
+  ASSERT_OK(stmt);
+  EXPECT_EQ(stmt->select_list[0].expr->ToString(), "((a + (b * c)) - d)");
+}
+
+TEST(ParserTest, LogicalPrecedence) {
+  auto stmt = Parse("SELECT x FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  ASSERT_OK(stmt);
+  // AND binds tighter than OR.
+  EXPECT_EQ(stmt->where->bin_op, BinaryOp::kOr);
+}
+
+TEST(ParserTest, NotAndParens) {
+  auto stmt = Parse("SELECT x FROM t WHERE NOT (a = 1 OR b = 2)");
+  ASSERT_OK(stmt);
+  EXPECT_EQ(stmt->where->kind, ExprKind::kUnary);
+  EXPECT_EQ(stmt->where->un_op, UnaryOp::kNot);
+}
+
+TEST(ParserTest, BetweenDesugarsToRange) {
+  auto stmt = Parse("SELECT x FROM t WHERE a BETWEEN 1 AND 5");
+  ASSERT_OK(stmt);
+  EXPECT_EQ(stmt->where->ToString(), "((a >= 1) AND (a <= 5))");
+}
+
+TEST(ParserTest, InListDesugarsToDisjunction) {
+  auto stmt = Parse("SELECT x FROM t WHERE s IN ('a', 'b', 'c')");
+  ASSERT_OK(stmt);
+  EXPECT_EQ(stmt->where->ToString(),
+            "(((s = 'a') OR (s = 'b')) OR (s = 'c'))");
+  auto neg = Parse("SELECT x FROM t WHERE s NOT IN ('a')");
+  ASSERT_OK(neg);
+  EXPECT_EQ(neg->where->ToString(), "NOT((s = 'a'))");
+}
+
+TEST(ParserTest, AliasesWithAndWithoutAs) {
+  auto stmt = Parse("SELECT a AS x, b y FROM t");
+  ASSERT_OK(stmt);
+  EXPECT_EQ(stmt->select_list[0].alias, "x");
+  EXPECT_EQ(stmt->select_list[1].alias, "y");
+}
+
+TEST(ParserTest, OrderByLimit) {
+  auto stmt = Parse(
+      "SELECT station FROM t ORDER BY start_time DESC, station ASC LIMIT 10");
+  ASSERT_OK(stmt);
+  ASSERT_EQ(stmt->order_by.size(), 2u);
+  EXPECT_FALSE(stmt->order_by[0].ascending);
+  EXPECT_TRUE(stmt->order_by[1].ascending);
+  EXPECT_EQ(stmt->limit, 10);
+}
+
+TEST(ParserTest, HavingClause) {
+  auto stmt = Parse(
+      "SELECT station, COUNT(*) FROM t GROUP BY station "
+      "HAVING COUNT(*) > 5");
+  ASSERT_OK(stmt);
+  ASSERT_NE(stmt->having, nullptr);
+  EXPECT_EQ(stmt->having->ToString(), "(COUNT(*) > 5)");
+}
+
+TEST(ParserTest, CountStar) {
+  auto stmt = Parse("SELECT COUNT(*) FROM t");
+  ASSERT_OK(stmt);
+  const Expr& e = *stmt->select_list[0].expr;
+  EXPECT_EQ(e.kind, ExprKind::kCall);
+  EXPECT_EQ(e.function, "COUNT");
+  ASSERT_EQ(e.children.size(), 1u);
+  EXPECT_EQ(e.children[0]->kind, ExprKind::kStar);
+}
+
+TEST(ParserTest, NegativeNumbersFold) {
+  auto stmt = Parse("SELECT x FROM t WHERE a > -5 AND b < -2.5");
+  ASSERT_OK(stmt);
+  EXPECT_EQ(stmt->where->ToString(), "((a > -5) AND (b < -2.5))");
+}
+
+TEST(ParserTest, BooleanLiterals) {
+  auto stmt = Parse("SELECT x FROM t WHERE flag = TRUE");
+  ASSERT_OK(stmt);
+  EXPECT_NE(stmt->where->ToString().find("true"), std::string::npos);
+}
+
+TEST(ParserTest, ToStringRoundTripReparses) {
+  const char* queries[] = {
+      "SELECT AVG(v) FROM t WHERE a = 1 AND b > 2",
+      "SELECT s, MIN(v), MAX(v) FROM t GROUP BY s ORDER BY s LIMIT 3",
+      "SELECT (a + b) / 2 AS mid FROM t",
+  };
+  for (const char* q : queries) {
+    auto stmt = Parse(q);
+    ASSERT_OK(stmt);
+    auto again = Parse(stmt->ToString());
+    ASSERT_OK(again);
+    EXPECT_EQ(stmt->ToString(), again->ToString());
+  }
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("SELECT").ok());
+  EXPECT_FALSE(Parse("SELECT x").ok());                  // missing FROM
+  EXPECT_FALSE(Parse("SELECT x FROM").ok());             // missing table
+  EXPECT_FALSE(Parse("SELECT x FROM t WHERE").ok());     // dangling WHERE
+  EXPECT_FALSE(Parse("SELECT x FROM t GROUP x").ok());   // GROUP without BY
+  EXPECT_FALSE(Parse("SELECT x FROM t LIMIT abc").ok());
+  EXPECT_FALSE(Parse("SELECT x FROM t extra garbage !").ok());
+  EXPECT_FALSE(Parse("SELECT f( FROM t").ok());
+  EXPECT_FALSE(Parse("SELECT (a FROM t").ok());
+}
+
+TEST(ParserTest, Distinct) {
+  auto stmt = Parse("SELECT DISTINCT station FROM t ORDER BY station");
+  ASSERT_OK(stmt);
+  EXPECT_TRUE(stmt->distinct);
+  EXPECT_EQ(stmt->ToString(),
+            "SELECT DISTINCT station FROM t ORDER BY station");
+  auto plain = Parse("SELECT station FROM t");
+  ASSERT_OK(plain);
+  EXPECT_FALSE(plain->distinct);
+}
+
+TEST(ParserTest, ExprCloneIsDeep) {
+  auto stmt = Parse("SELECT a + b FROM t");
+  ASSERT_OK(stmt);
+  ExprPtr clone = stmt->select_list[0].expr->Clone();
+  EXPECT_EQ(clone->ToString(), stmt->select_list[0].expr->ToString());
+  EXPECT_NE(clone.get(), stmt->select_list[0].expr.get());
+  EXPECT_NE(clone->children[0].get(),
+            stmt->select_list[0].expr->children[0].get());
+}
+
+}  // namespace
+}  // namespace lazyetl::sql

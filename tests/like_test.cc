@@ -1,0 +1,134 @@
+// LIKE pattern matching through the whole stack: parser, binder, evaluator
+// and warehouse queries.
+
+#include <gtest/gtest.h>
+
+#include "core/schema.h"
+#include "engine/expr_eval.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "test_util.h"
+#include "warehouse_test_util.h"
+
+namespace lazyetl {
+namespace {
+
+using lazyetl::testing::MustGenerate;
+using lazyetl::testing::MustOpen;
+using lazyetl::testing::ScopedTempDir;
+using lazyetl::testing::SmallRepoConfig;
+
+TEST(LikeParserTest, ParsesLikeAndNotLike) {
+  auto stmt = sql::Parse("SELECT x FROM t WHERE s LIKE 'H%'");
+  ASSERT_OK(stmt);
+  EXPECT_EQ(stmt->where->ToString(), "(s LIKE 'H%')");
+  auto neg = sql::Parse("SELECT x FROM t WHERE s NOT LIKE '_GN'");
+  ASSERT_OK(neg);
+  EXPECT_EQ(neg->where->ToString(), "NOT((s LIKE '_GN'))");
+}
+
+TEST(LikeBinderTest, RequiresStringOperands) {
+  storage::Catalog catalog;
+  ASSERT_STATUS_OK(core::RegisterSchema(&catalog, /*lazy=*/true));
+  sql::Binder binder(&catalog);
+  auto ok = sql::Parse(
+      "SELECT station FROM mseed.files WHERE station LIKE 'H%'");
+  ASSERT_OK(ok);
+  ASSERT_OK(binder.Bind(*ok));
+
+  auto bad = sql::Parse(
+      "SELECT station FROM mseed.files WHERE file_size LIKE 'H%'");
+  ASSERT_OK(bad);
+  auto bound = binder.Bind(*bad);
+  EXPECT_FALSE(bound.ok());
+  EXPECT_TRUE(bound.status().IsBindError());
+}
+
+// Direct evaluator-level checks via a tiny table.
+class LikeEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto t = std::make_shared<storage::Table>();
+    ASSERT_STATUS_OK(t->AddColumn(
+        "s", storage::Column::FromString(
+                 {"HGN", "HGX", "ISK", "", "H", "aHGNb"})));
+    ASSERT_STATUS_OK(catalog_.RegisterTable("t", t));
+    input_ = *t;
+  }
+
+  storage::SelectionVector Select(const std::string& pattern) {
+    auto stmt = sql::Parse("SELECT s FROM t WHERE s LIKE '" + pattern + "'");
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    sql::Binder binder(&catalog_);
+    auto bound = binder.Bind(*stmt);
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+    auto sel = engine::EvaluatePredicate(*bound->where, input_);
+    EXPECT_TRUE(sel.ok()) << sel.status().ToString();
+    return *sel;
+  }
+
+  storage::Catalog catalog_;
+  storage::Table input_;
+};
+
+TEST_F(LikeEvalTest, ExactMatchWithoutWildcards) {
+  EXPECT_EQ(Select("HGN"), (storage::SelectionVector{0}));
+  EXPECT_EQ(Select("hgn"), (storage::SelectionVector{}));  // case sensitive
+}
+
+TEST_F(LikeEvalTest, PercentWildcard) {
+  EXPECT_EQ(Select("H%"), (storage::SelectionVector{0, 1, 4}));
+  EXPECT_EQ(Select("%GN"), (storage::SelectionVector{0}));
+  EXPECT_EQ(Select("%HGN%"), (storage::SelectionVector{0, 5}));
+  EXPECT_EQ(Select("%"), (storage::SelectionVector{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(Select("%%"), (storage::SelectionVector{0, 1, 2, 3, 4, 5}));
+}
+
+TEST_F(LikeEvalTest, UnderscoreWildcard) {
+  EXPECT_EQ(Select("_GN"), (storage::SelectionVector{0}));
+  EXPECT_EQ(Select("H__"), (storage::SelectionVector{0, 1}));
+  EXPECT_EQ(Select("_"), (storage::SelectionVector{4}));
+  EXPECT_EQ(Select("_%"), (storage::SelectionVector{0, 1, 2, 4, 5}));
+}
+
+TEST_F(LikeEvalTest, EmptyStringEdgeCases) {
+  EXPECT_EQ(Select(""), (storage::SelectionVector{3}));
+}
+
+TEST(LikeWarehouseTest, StationPrefixQuery) {
+  ScopedTempDir dir;
+  MustGenerate(dir.path(), SmallRepoConfig());
+  auto wh = MustOpen(core::LoadStrategy::kLazy, dir.path());
+
+  // Stations starting with a given letter — metadata browsing with LIKE.
+  auto result = wh->Query(
+      "SELECT station, COUNT(*) FROM mseed.files "
+      "WHERE station LIKE 'H%' GROUP BY station");
+  ASSERT_OK(result);
+  ASSERT_EQ(result->table.num_rows(), 1u);
+  EXPECT_EQ(result->table.GetValue(0, 0).string_value(), "HGN");
+
+  // Broadband channels via pattern on the channel code.
+  auto channels = wh->Query(
+      "SELECT COUNT(*) FROM mseed.files WHERE channel LIKE 'BH_'");
+  ASSERT_OK(channels);
+  EXPECT_EQ(channels->table.GetValue(0, 0).int64_value(),
+            static_cast<int64_t>(wh->Stats().num_files));
+
+  // LIKE also works through the dataview (metadata predicate on F).
+  auto view = wh->Query(
+      "SELECT COUNT(*) FROM mseed.dataview "
+      "WHERE F.station LIKE 'IS%' AND F.channel = 'BHE'");
+  ASSERT_OK(view);
+  EXPECT_GT(view->table.GetValue(0, 0).int64_value(), 0);
+  // NOT LIKE inverts.
+  auto not_like = wh->Query(
+      "SELECT COUNT(*) FROM mseed.files WHERE station NOT LIKE 'H%'");
+  ASSERT_OK(not_like);
+  EXPECT_EQ(not_like->table.GetValue(0, 0).int64_value() +
+                static_cast<int64_t>(1 * 3 * 2),  // HGN: 3 channels x 2 days
+            static_cast<int64_t>(wh->Stats().num_files));
+}
+
+}  // namespace
+}  // namespace lazyetl

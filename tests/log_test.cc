@@ -1,0 +1,68 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace lazyetl {
+namespace {
+
+TEST(OperationLogTest, AppendsAndSnapshots) {
+  OperationLog log(16);
+  log.Append(LogCategory::kQuery, "first");
+  log.Append(LogCategory::kExtract, "second");
+  auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].message, "first");
+  EXPECT_EQ(entries[0].category, LogCategory::kQuery);
+  EXPECT_EQ(entries[1].message, "second");
+  EXPECT_LT(entries[0].seq, entries[1].seq);
+}
+
+TEST(OperationLogTest, CapacityBounded) {
+  OperationLog log(4);
+  for (int i = 0; i < 10; ++i) {
+    log.Append(LogCategory::kGeneral, "m" + std::to_string(i));
+  }
+  auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries.front().message, "m6");
+  EXPECT_EQ(entries.back().message, "m9");
+}
+
+TEST(OperationLogTest, EntriesSince) {
+  OperationLog log(16);
+  log.Append(LogCategory::kGeneral, "a");
+  int64_t mark = log.LastSeq();
+  log.Append(LogCategory::kGeneral, "b");
+  log.Append(LogCategory::kGeneral, "c");
+  auto since = log.EntriesSince(mark);
+  ASSERT_EQ(since.size(), 2u);
+  EXPECT_EQ(since[0].message, "b");
+  EXPECT_EQ(since[1].message, "c");
+}
+
+TEST(OperationLogTest, ClearEmpties) {
+  OperationLog log(16);
+  log.Append(LogCategory::kGeneral, "x");
+  log.Clear();
+  EXPECT_TRUE(log.Entries().empty());
+  // Sequence numbers keep increasing after a clear.
+  log.Append(LogCategory::kGeneral, "y");
+  EXPECT_GE(log.LastSeq(), 2);
+}
+
+TEST(OperationLogTest, GlobalSingleton) {
+  int64_t before = OperationLog::Global().LastSeq();
+  LogOp(LogCategory::kCache, "global test entry");
+  EXPECT_GT(OperationLog::Global().LastSeq(), before);
+}
+
+TEST(LogCategoryTest, Names) {
+  EXPECT_STREQ(LogCategoryToString(LogCategory::kMetadataLoad),
+               "metadata-load");
+  EXPECT_STREQ(LogCategoryToString(LogCategory::kRewrite), "rewrite");
+  EXPECT_STREQ(LogCategoryToString(LogCategory::kCache), "cache");
+  EXPECT_STREQ(LogCategoryToString(LogCategory::kRefresh), "refresh");
+}
+
+}  // namespace
+}  // namespace lazyetl

@@ -1,0 +1,151 @@
+// Metadata-only data-quality assessment: gaps, overlaps, completeness.
+
+#include "core/quality.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "mseed/repository.h"
+#include "mseed/synth.h"
+#include "mseed/writer.h"
+#include "test_util.h"
+#include "warehouse_test_util.h"
+
+namespace lazyetl::core {
+namespace {
+
+using lazyetl::testing::MustGenerate;
+using lazyetl::testing::MustOpen;
+using lazyetl::testing::ScopedTempDir;
+using lazyetl::testing::SmallRepoConfig;
+
+// Writes one channel-day file whose series starts at `start` and lasts
+// `seconds` seconds.
+void WriteSegment(const std::string& dir, const std::string& station,
+                  NanoTime start, double seconds, int segment) {
+  mseed::TimeSeries series;
+  series.network = "XX";
+  series.station = station;
+  series.location = "";
+  series.channel = "BHZ";
+  series.sample_rate = 40.0;
+  series.start_time = start;
+  mseed::SynthOptions synth;
+  synth.seed = 1000 + static_cast<uint64_t>(segment);
+  series.samples = mseed::GenerateSeismogram(
+      static_cast<size_t>(seconds * series.sample_rate), synth);
+  std::string name = mseed::SdsFilename("XX", station, "", "BHZ", 'D', 2010,
+                                        10, segment, /*segments_per_day=*/9);
+  ASSERT_OK(mseed::WriteMseedFile(dir + "/" + name, series,
+                                  mseed::WriterOptions{}));
+}
+
+TEST(QualityTest, ContinuousChannelHasNoGaps) {
+  ScopedTempDir dir;
+  MustGenerate(dir.path(), SmallRepoConfig());
+  auto wh = MustOpen(LoadStrategy::kLazy, dir.path());
+  auto report = AssessQuality(wh.get(), QualityOptions{});
+  ASSERT_OK(report);
+  EXPECT_EQ(report->size(), 14u);  // demo station/channel count
+  for (const auto& q : *report) {
+    SCOPED_TRACE(QualityToString(q));
+    // Per-day segments are separated by day boundaries (a real gap between
+    // days when seconds_per_segment < 86400) — but within each channel the
+    // record sequence inside a file is continuous, so overlaps are zero and
+    // completeness over the observed span is low only due to day gaps.
+    EXPECT_EQ(q.overlap_count, 0u);
+    EXPECT_GT(q.total_samples, 0u);
+  }
+}
+
+TEST(QualityTest, DetectsInjectedGap) {
+  ScopedTempDir dir;
+  NanoTime day = *ParseTimestamp("2010-01-10T00:00:00.000");
+  // Two 30-second segments with a 60-second hole between them.
+  WriteSegment(dir.path(), "GAPS", day, 30.0, 0);
+  WriteSegment(dir.path(), "GAPS", day + 90 * kNanosPerSecond, 30.0, 1);
+  auto wh = MustOpen(LoadStrategy::kLazy, dir.path());
+
+  QualityOptions opt;
+  opt.station = "GAPS";
+  auto report = AssessQuality(wh.get(), opt);
+  ASSERT_OK(report);
+  ASSERT_EQ(report->size(), 1u);
+  const ChannelQuality& q = (*report)[0];
+  EXPECT_EQ(q.num_files, 2u);
+  EXPECT_EQ(q.gap_count, 1u);
+  // The hole is 60 s minus one sample interval, ± rounding.
+  EXPECT_NEAR(static_cast<double>(q.gap_total) / 1e9, 60.0, 0.1);
+  EXPECT_EQ(q.overlap_count, 0u);
+  EXPECT_EQ(q.total_samples, 2u * 30 * 40);
+  EXPECT_LT(q.completeness, 0.6);
+  EXPECT_GT(q.completeness, 0.4);
+}
+
+TEST(QualityTest, DetectsInjectedOverlap) {
+  ScopedTempDir dir;
+  NanoTime day = *ParseTimestamp("2010-01-10T00:00:00.000");
+  // Second segment starts 10 s before the first ends.
+  WriteSegment(dir.path(), "OVLP", day, 30.0, 0);
+  WriteSegment(dir.path(), "OVLP", day + 20 * kNanosPerSecond, 30.0, 1);
+  auto wh = MustOpen(LoadStrategy::kLazy, dir.path());
+
+  QualityOptions opt;
+  opt.station = "OVLP";
+  auto report = AssessQuality(wh.get(), opt);
+  ASSERT_OK(report);
+  ASSERT_EQ(report->size(), 1u);
+  const ChannelQuality& q = (*report)[0];
+  EXPECT_GE(q.overlap_count, 1u);
+  EXPECT_NEAR(static_cast<double>(q.overlap_total) / 1e9, 10.0, 1.0);
+}
+
+TEST(QualityTest, MetadataOnlyUnderLazyStrategy) {
+  ScopedTempDir dir;
+  MustGenerate(dir.path(), SmallRepoConfig());
+  auto wh = MustOpen(LoadStrategy::kLazy, dir.path());
+  ASSERT_OK(AssessQuality(wh.get(), QualityOptions{}));
+  // No extraction and no cached records: QC never touched waveforms.
+  auto stats = wh->Stats();
+  EXPECT_EQ(stats.cache.entries, 0u);
+  EXPECT_EQ(stats.cache.misses, 0u);
+}
+
+TEST(QualityTest, FiltersRestrictChannels) {
+  ScopedTempDir dir;
+  MustGenerate(dir.path(), SmallRepoConfig());
+  auto wh = MustOpen(LoadStrategy::kLazy, dir.path());
+  QualityOptions opt;
+  opt.network = "NL";
+  opt.channel = "BHZ";
+  auto report = AssessQuality(wh.get(), opt);
+  ASSERT_OK(report);
+  EXPECT_EQ(report->size(), 3u);  // HGN, OPLO, WIT
+  for (const auto& q : *report) {
+    EXPECT_EQ(q.network, "NL");
+    EXPECT_EQ(q.channel, "BHZ");
+  }
+}
+
+TEST(QualityTest, AgreesAcrossStrategies) {
+  ScopedTempDir dir;
+  MustGenerate(dir.path(), SmallRepoConfig());
+  auto lazy = MustOpen(LoadStrategy::kLazy, dir.path());
+  auto eager = MustOpen(LoadStrategy::kEager, dir.path());
+  auto fn = MustOpen(LoadStrategy::kLazyFilenameOnly, dir.path());
+  // Filename-only needs record metadata: hydrate via a dataview touch.
+  ASSERT_OK(fn->Query("SELECT COUNT(*) FROM mseed.records"));
+
+  auto a = AssessQuality(lazy.get(), QualityOptions{});
+  auto b = AssessQuality(eager.get(), QualityOptions{});
+  ASSERT_OK(a);
+  ASSERT_OK(b);
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(QualityToString((*a)[i]), QualityToString((*b)[i]));
+  }
+}
+
+}  // namespace
+}  // namespace lazyetl::core

@@ -1,0 +1,194 @@
+#include "mseed/record.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/time.h"
+#include "test_util.h"
+
+namespace lazyetl::mseed {
+namespace {
+
+RecordHeader MakeHeader() {
+  RecordHeader h;
+  h.sequence_number = 7;
+  h.quality_indicator = 'D';
+  h.station = "ISK";
+  h.location = "";
+  h.channel = "BHE";
+  h.network = "KO";
+  h.start_time.year = 2010;
+  h.start_time.day_of_year = 12;
+  h.start_time.hour = 22;
+  h.start_time.minute = 15;
+  h.start_time.second = 1;
+  h.start_time.fract = 2500;  // 0.25 s
+  h.num_samples = 412;
+  h.sample_rate_factor = 40;
+  h.sample_rate_multiplier = 1;
+  h.encoding = DataEncoding::kSteim2;
+  h.record_length = 512;
+  return h;
+}
+
+TEST(BTimeTest, RoundTripsThroughNano) {
+  BTime bt;
+  bt.year = 2010;
+  bt.day_of_year = 12;
+  bt.hour = 22;
+  bt.minute = 15;
+  bt.second = 1;
+  bt.fract = 2500;
+  auto t = bt.ToNano();
+  ASSERT_OK(t);
+  BTime back = BTime::FromNano(*t);
+  EXPECT_EQ(back.year, bt.year);
+  EXPECT_EQ(back.day_of_year, bt.day_of_year);
+  EXPECT_EQ(back.hour, bt.hour);
+  EXPECT_EQ(back.minute, bt.minute);
+  EXPECT_EQ(back.second, bt.second);
+  EXPECT_EQ(back.fract, bt.fract);
+}
+
+TEST(BTimeTest, RejectsBadDayOfYear) {
+  BTime bt;
+  bt.year = 2010;
+  bt.day_of_year = 366;  // not a leap year
+  EXPECT_FALSE(bt.ToNano().ok());
+}
+
+TEST(SampleRateTest, FactorsToRate) {
+  EXPECT_DOUBLE_EQ(SampleRateFromFactors(40, 1), 40.0);
+  EXPECT_DOUBLE_EQ(SampleRateFromFactors(20, 2), 40.0);
+  EXPECT_DOUBLE_EQ(SampleRateFromFactors(-10, 1), 0.1);   // 10 s/sample
+  EXPECT_DOUBLE_EQ(SampleRateFromFactors(40, -2), 20.0);  // divide
+  EXPECT_DOUBLE_EQ(SampleRateFromFactors(0, 1), 0.0);
+}
+
+TEST(SampleRateTest, RateToFactorsRoundTrip) {
+  for (double rate : {1.0, 20.0, 40.0, 100.0, 200.0, 0.1, 0.5, 62.5}) {
+    int16_t factor = 0;
+    int16_t mult = 0;
+    SampleRateToFactors(rate, &factor, &mult);
+    EXPECT_NEAR(SampleRateFromFactors(factor, mult), rate, rate * 1e-6)
+        << "rate " << rate;
+  }
+}
+
+TEST(RecordHeaderTest, EncodeDecodeRoundTrip) {
+  RecordHeader h = MakeHeader();
+  std::vector<uint8_t> buf(512, 0);
+  ASSERT_STATUS_OK(EncodeRecordHeader(h, buf.data()));
+  auto decoded = DecodeRecordHeader(buf.data(), buf.size());
+  ASSERT_OK(decoded);
+  EXPECT_EQ(decoded->sequence_number, 7);
+  EXPECT_EQ(decoded->quality_indicator, 'D');
+  EXPECT_EQ(decoded->station, "ISK");
+  EXPECT_EQ(decoded->location, "");
+  EXPECT_EQ(decoded->channel, "BHE");
+  EXPECT_EQ(decoded->network, "KO");
+  EXPECT_EQ(decoded->start_time.year, 2010);
+  EXPECT_EQ(decoded->start_time.day_of_year, 12);
+  EXPECT_EQ(decoded->start_time.fract, 2500);
+  EXPECT_EQ(decoded->num_samples, 412);
+  EXPECT_EQ(decoded->sample_rate_factor, 40);
+  EXPECT_EQ(decoded->encoding, DataEncoding::kSteim2);
+  EXPECT_EQ(decoded->record_length, 512u);
+  EXPECT_TRUE(decoded->big_endian);
+  EXPECT_EQ(decoded->data_offset, kDataOffset);
+  EXPECT_DOUBLE_EQ(decoded->SampleRate(), 40.0);
+  EXPECT_EQ(decoded->SourceId(), "KO.ISK..BHE");
+}
+
+TEST(RecordHeaderTest, Blockette100CarriesExactRate) {
+  RecordHeader h = MakeHeader();
+  h.has_blockette100 = true;
+  h.actual_sample_rate = 39.98;
+  h.data_offset = 128;
+  std::vector<uint8_t> buf(512, 0);
+  ASSERT_STATUS_OK(EncodeRecordHeader(h, buf.data()));
+  auto decoded = DecodeRecordHeader(buf.data(), buf.size());
+  ASSERT_OK(decoded);
+  EXPECT_TRUE(decoded->has_blockette100);
+  EXPECT_NEAR(decoded->SampleRate(), 39.98, 1e-4);
+}
+
+TEST(RecordHeaderTest, StartTimeAppliesTimeCorrection) {
+  RecordHeader h = MakeHeader();
+  h.time_correction = 150;  // +15 ms in 0.0001 s units
+  auto base = h.start_time.ToNano();
+  ASSERT_OK(base);
+  auto corrected = h.StartTime();
+  ASSERT_OK(corrected);
+  EXPECT_EQ(*corrected - *base, 150LL * 100000);
+
+  // Bit 1 of activity flags means "correction already applied".
+  h.activity_flags = 0x02;
+  auto not_applied = h.StartTime();
+  ASSERT_OK(not_applied);
+  EXPECT_EQ(*not_applied, *base);
+}
+
+TEST(RecordHeaderTest, EndTimeSpansSamples) {
+  RecordHeader h = MakeHeader();
+  h.num_samples = 401;  // 400 intervals at 40 Hz = 10 s
+  auto start = h.StartTime();
+  auto end = h.EndTime();
+  ASSERT_OK(start);
+  ASSERT_OK(end);
+  EXPECT_EQ(*end - *start, 10 * kNanosPerSecond);
+}
+
+TEST(RecordHeaderTest, EncodeRejectsBadFields) {
+  RecordHeader h = MakeHeader();
+  std::vector<uint8_t> buf(512, 0);
+  h.station = "TOOLONGNAME";
+  EXPECT_FALSE(EncodeRecordHeader(h, buf.data()).ok());
+  h = MakeHeader();
+  h.sequence_number = 1000000;
+  EXPECT_FALSE(EncodeRecordHeader(h, buf.data()).ok());
+  h = MakeHeader();
+  h.record_length = 500;  // not a power of two
+  EXPECT_FALSE(EncodeRecordHeader(h, buf.data()).ok());
+}
+
+TEST(DecodeRecordHeaderTest, RejectsGarbage) {
+  std::vector<uint8_t> buf(512, 0xAB);
+  EXPECT_FALSE(DecodeRecordHeader(buf.data(), buf.size()).ok());
+  EXPECT_FALSE(DecodeRecordHeader(buf.data(), 10).ok());
+}
+
+TEST(DecodeRecordHeaderTest, RejectsMissingBlockette1000) {
+  RecordHeader h = MakeHeader();
+  std::vector<uint8_t> buf(512, 0);
+  ASSERT_STATUS_OK(EncodeRecordHeader(h, buf.data()));
+  // Zero the first-blockette offset so the chain is empty.
+  buf[46] = 0;
+  buf[47] = 0;
+  auto decoded = DecodeRecordHeader(buf.data(), buf.size());
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsCorruptData());
+}
+
+TEST(DecodeRecordHeaderTest, RejectsBadQuality) {
+  RecordHeader h = MakeHeader();
+  std::vector<uint8_t> buf(512, 0);
+  ASSERT_STATUS_OK(EncodeRecordHeader(h, buf.data()));
+  buf[6] = 'X';
+  EXPECT_FALSE(DecodeRecordHeader(buf.data(), buf.size()).ok());
+}
+
+TEST(DataEncodingTest, CodeRoundTrip) {
+  for (DataEncoding e : {DataEncoding::kInt16, DataEncoding::kInt32,
+                         DataEncoding::kSteim1, DataEncoding::kSteim2}) {
+    auto back = DataEncodingFromCode(static_cast<uint8_t>(e));
+    ASSERT_OK(back);
+    EXPECT_EQ(*back, e);
+  }
+  EXPECT_FALSE(DataEncodingFromCode(99).ok());
+  EXPECT_STREQ(DataEncodingToString(DataEncoding::kSteim2), "steim2");
+}
+
+}  // namespace
+}  // namespace lazyetl::mseed

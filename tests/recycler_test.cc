@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "engine/recycler.h"
+#include "test_util.h"
+
+namespace lazyetl::engine {
+namespace {
+
+CachedRecord MakeRecord(size_t samples, NanoTime mtime) {
+  CachedRecord rec;
+  rec.sample_times.resize(samples, 1);
+  rec.sample_values.resize(samples, 2);
+  rec.file_mtime = mtime;
+  rec.admitted_at = 100;
+  return rec;
+}
+
+TEST(RecyclerTest, AdmitAndLookup) {
+  Recycler cache(1 << 20);
+  cache.Admit({1, 1}, MakeRecord(10, 500));
+  bool stale = false;
+  const CachedRecord* hit = cache.Lookup({1, 1}, 500, &stale);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_FALSE(stale);
+  EXPECT_EQ(hit->sample_times.size(), 10u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().admissions, 1u);
+}
+
+TEST(RecyclerTest, MissOnAbsentKey) {
+  Recycler cache(1 << 20);
+  bool stale = true;
+  EXPECT_EQ(cache.Lookup({9, 9}, 0, &stale), nullptr);
+  EXPECT_FALSE(stale);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(RecyclerTest, StaleEntryEvictedOnMtimeChange) {
+  Recycler cache(1 << 20);
+  cache.Admit({1, 1}, MakeRecord(10, 500));
+  bool stale = false;
+  // File was modified: mtime differs.
+  EXPECT_EQ(cache.Lookup({1, 1}, 501, &stale), nullptr);
+  EXPECT_TRUE(stale);
+  EXPECT_EQ(cache.stats().stale, 1u);
+  // The entry is gone now even with the original mtime.
+  EXPECT_EQ(cache.Lookup({1, 1}, 500), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(RecyclerTest, LruEvictionUnderBudget) {
+  // Each 100-sample record costs 100*(8+4) + sizeof(CachedRecord) bytes.
+  CachedRecord probe = MakeRecord(100, 1);
+  uint64_t per_entry = 100 * 12 + sizeof(CachedRecord);
+  Recycler cache(per_entry * 3);
+  cache.Admit({1, 1}, MakeRecord(100, 1));
+  cache.Admit({1, 2}, MakeRecord(100, 1));
+  cache.Admit({1, 3}, MakeRecord(100, 1));
+  EXPECT_EQ(cache.stats().entries, 3u);
+  // Touch (1,1) so (1,2) becomes LRU.
+  EXPECT_NE(cache.Lookup({1, 1}, 1), nullptr);
+  cache.Admit({1, 4}, MakeRecord(100, 1));
+  EXPECT_EQ(cache.stats().entries, 3u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.Lookup({1, 2}, 1), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup({1, 1}, 1), nullptr);  // survived
+  EXPECT_NE(cache.Lookup({1, 4}, 1), nullptr);
+  (void)probe;
+}
+
+TEST(RecyclerTest, OversizedEntryNotAdmitted) {
+  Recycler cache(100);
+  cache.Admit({1, 1}, MakeRecord(1000, 1));
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.Lookup({1, 1}, 1), nullptr);
+}
+
+TEST(RecyclerTest, ReplacingEntryKeepsAccounting) {
+  Recycler cache(1 << 20);
+  cache.Admit({1, 1}, MakeRecord(10, 1));
+  uint64_t bytes_small = cache.stats().current_bytes;
+  cache.Admit({1, 1}, MakeRecord(20, 2));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_GT(cache.stats().current_bytes, bytes_small);
+  const CachedRecord* hit = cache.Lookup({1, 1}, 2);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->sample_times.size(), 20u);
+}
+
+TEST(RecyclerTest, InvalidateFileDropsAllItsRecords) {
+  Recycler cache(1 << 20);
+  cache.Admit({1, 1}, MakeRecord(10, 1));
+  cache.Admit({1, 2}, MakeRecord(10, 1));
+  cache.Admit({2, 1}, MakeRecord(10, 1));
+  cache.InvalidateFile(1);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.Lookup({1, 1}, 1), nullptr);
+  EXPECT_EQ(cache.Lookup({1, 2}, 1), nullptr);
+  EXPECT_NE(cache.Lookup({2, 1}, 1), nullptr);
+}
+
+TEST(RecyclerTest, ClearAndResetCounters) {
+  Recycler cache(1 << 20);
+  cache.Admit({1, 1}, MakeRecord(10, 1));
+  EXPECT_NE(cache.Lookup({1, 1}, 1), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().current_bytes, 0u);
+  // Counters survive Clear but reset with ResetCounters.
+  EXPECT_GT(cache.stats().hits, 0u);
+  cache.ResetCounters();
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().budget_bytes, 1u << 20);
+}
+
+TEST(RecyclerTest, KeysInLruOrder) {
+  Recycler cache(1 << 20);
+  cache.Admit({1, 1}, MakeRecord(1, 1));
+  cache.Admit({1, 2}, MakeRecord(1, 1));
+  cache.Admit({1, 3}, MakeRecord(1, 1));
+  EXPECT_NE(cache.Lookup({1, 1}, 1), nullptr);  // bump to MRU
+  auto keys = cache.Keys();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys.front().seq_no, 2);  // LRU
+  EXPECT_EQ(keys.back().seq_no, 1);   // MRU
+}
+
+TEST(ResultRecyclerTest, HitMissAndInvalidation) {
+  ResultRecycler cache;
+  CachedResult result;
+  ASSERT_STATUS_OK(result.table.AddColumn(
+      "x", storage::Column::FromInt64({42})));
+  result.deps = {{1, "/repo/a.mseed", 100}};
+  cache.Admit("SELECT 1", std::move(result));
+
+  // All deps unchanged -> hit.
+  auto unchanged = [](const ResultDependency& d) { return d.mtime; };
+  const CachedResult* hit = cache.ValidateAndGet("SELECT 1", unchanged);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->table.num_rows(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // Unknown query -> miss.
+  EXPECT_EQ(cache.ValidateAndGet("SELECT 2", unchanged), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // Changed dependency -> invalidated and removed.
+  auto changed = [](const ResultDependency& d) { return d.mtime + 1; };
+  EXPECT_EQ(cache.ValidateAndGet("SELECT 1", changed), nullptr);
+  EXPECT_EQ(cache.invalidations(), 1u);
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(ResultRecyclerTest, BoundedEntries) {
+  ResultRecycler cache(2);
+  for (int i = 0; i < 5; ++i) {
+    CachedResult r;
+    cache.Admit("q" + std::to_string(i), std::move(r));
+  }
+  EXPECT_LE(cache.entries(), 2u);
+}
+
+}  // namespace
+}  // namespace lazyetl::engine

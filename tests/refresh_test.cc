@@ -1,0 +1,297 @@
+// Refresh semantics (§3.3): lazy staleness detection via file mtimes, the
+// Refresh() API for new/modified/deleted files, and cache invalidation.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "core/schema.h"
+#include "core/warehouse.h"
+#include "mseed/reader.h"
+#include "mseed/repository.h"
+#include "mseed/synth.h"
+#include "mseed/writer.h"
+#include "test_util.h"
+#include "warehouse_test_util.h"
+
+namespace lazyetl::core {
+namespace {
+
+namespace fs = std::filesystem;
+using lazyetl::testing::MustGenerate;
+using lazyetl::testing::MustOpen;
+using lazyetl::testing::ScopedTempDir;
+using lazyetl::testing::SmallRepoConfig;
+
+// Rewrites `path` with different waveform content (longer series), bumping
+// its mtime and record count.
+void ModifyFile(const std::string& path, double seconds = 45.0) {
+  auto md = mseed::ScanMetadata(path);
+  ASSERT_OK(md);
+  mseed::TimeSeries series;
+  series.network = md->network;
+  series.station = md->station;
+  series.location = md->location;
+  series.channel = md->channel;
+  series.start_time = md->start_time;
+  series.sample_rate = md->sample_rate;
+  mseed::SynthOptions synth;
+  synth.seed = 987654;
+  synth.sample_rate = md->sample_rate;
+  series.samples = mseed::GenerateSeismogram(
+      static_cast<size_t>(seconds * md->sample_rate), synth);
+  ASSERT_OK(mseed::WriteMseedFile(path, series, mseed::WriterOptions{}));
+  // Ensure the mtime visibly advances even on coarse filesystems.
+  auto now = fs::file_time_type::clock::now();
+  fs::last_write_time(path, now + std::chrono::seconds(2));
+}
+
+class RefreshTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto cfg = SmallRepoConfig();
+    cfg.num_days = 1;
+    repo_ = MustGenerate(dir_.path(), cfg);
+  }
+
+  ScopedTempDir dir_;
+  mseed::GeneratedRepository repo_;
+};
+
+TEST_F(RefreshTest, LazyStalenessDetectedAtQueryTimeWithoutRefresh) {
+  auto wh = MustOpen(LoadStrategy::kLazy, dir_.path(),
+                     /*cache_budget=*/64ULL << 20, /*result_cache=*/false);
+  const std::string sql =
+      "SELECT COUNT(*) FROM mseed.dataview WHERE F.station = 'ISK' "
+      "AND F.channel = 'BHE'";
+  auto before = wh->Query(sql);
+  ASSERT_OK(before);
+  int64_t count_before = before->table.GetValue(0, 0).int64_value();
+
+  // Modify the ISK/BHE file on disk; do NOT call Refresh().
+  std::string target;
+  for (const auto& f : repo_.files) {
+    if (f.station == "ISK" && f.channel == "BHE") target = f.path;
+  }
+  ASSERT_FALSE(target.empty());
+  ModifyFile(target, 45.0);
+
+  // The next query notices the stale metadata/cache lazily and re-extracts.
+  auto after = wh->Query(sql);
+  ASSERT_OK(after);
+  int64_t count_after = after->table.GetValue(0, 0).int64_value();
+  EXPECT_EQ(count_after, 45 * 40);  // 45 s at 40 Hz
+  EXPECT_NE(count_after, count_before);
+}
+
+TEST_F(RefreshTest, CachedRecordsInvalidatedByMtimeChange) {
+  auto wh = MustOpen(LoadStrategy::kLazy, dir_.path(),
+                     /*cache_budget=*/64ULL << 20, /*result_cache=*/false);
+  const std::string sql =
+      "SELECT AVG(D.sample_value) FROM mseed.dataview "
+      "WHERE F.station = 'HGN' AND F.channel = 'BHZ'";
+  ASSERT_OK(wh->Query(sql));
+  // Warm: all hits.
+  auto warm = wh->Query(sql);
+  ASSERT_OK(warm);
+  EXPECT_GT(warm->report.cache_hits, 0u);
+  EXPECT_EQ(warm->report.records_extracted, 0u);
+
+  std::string target;
+  for (const auto& f : repo_.files) {
+    if (f.station == "HGN" && f.channel == "BHZ") target = f.path;
+  }
+  ModifyFile(target);
+
+  auto stale = wh->Query(sql);
+  ASSERT_OK(stale);
+  // Metadata was reloaded and records re-extracted.
+  EXPECT_GT(stale->report.records_extracted, 0u);
+}
+
+TEST_F(RefreshTest, ResultCacheInvalidatedByModification) {
+  auto wh = MustOpen(LoadStrategy::kLazy, dir_.path());
+  const std::string sql =
+      "SELECT COUNT(*) FROM mseed.dataview WHERE F.station = 'WIT'";
+  ASSERT_OK(wh->Query(sql));
+  auto hit = wh->Query(sql);
+  ASSERT_OK(hit);
+  EXPECT_TRUE(hit->report.result_cache_hit);
+
+  std::string target;
+  for (const auto& f : repo_.files) {
+    if (f.station == "WIT") {
+      target = f.path;
+      break;
+    }
+  }
+  ModifyFile(target, 20.0);
+
+  auto miss = wh->Query(sql);
+  ASSERT_OK(miss);
+  EXPECT_FALSE(miss->report.result_cache_hit);
+}
+
+TEST_F(RefreshTest, RefreshRegistersNewFiles) {
+  auto wh = MustOpen(LoadStrategy::kLazy, dir_.path());
+  size_t before = wh->Stats().num_files;
+
+  // Add a brand new station file.
+  mseed::RepositoryConfig extra;
+  extra.stations = {{"CH", "DAVOX", "", {"HHZ"}, 40.0}};
+  extra.num_days = 1;
+  extra.seconds_per_segment = 10.0;
+  MustGenerate(dir_.path(), extra);
+
+  auto stats = wh->Refresh();
+  ASSERT_OK(stats);
+  EXPECT_EQ(stats->new_files, 1u);
+  EXPECT_EQ(stats->deleted_files, 0u);
+  EXPECT_EQ(wh->Stats().num_files, before + 1);
+
+  auto result = wh->Query(
+      "SELECT COUNT(*) FROM mseed.dataview WHERE F.station = 'DAVOX'");
+  ASSERT_OK(result);
+  EXPECT_EQ(result->table.GetValue(0, 0).int64_value(), 400);
+}
+
+TEST_F(RefreshTest, RefreshDetectsModification) {
+  for (LoadStrategy strategy :
+       {LoadStrategy::kEager, LoadStrategy::kLazy,
+        LoadStrategy::kLazyFilenameOnly}) {
+    SCOPED_TRACE(LoadStrategyToString(strategy));
+    ScopedTempDir local;
+    auto cfg = SmallRepoConfig();
+    cfg.num_days = 1;
+    auto repo = MustGenerate(local.path(), cfg);
+    auto wh = MustOpen(strategy, local.path());
+
+    ModifyFile(repo.files[0].path, 33.0);
+    auto stats = wh->Refresh();
+    ASSERT_OK(stats);
+    EXPECT_EQ(stats->modified_files, 1u);
+
+    auto result = wh->Query(
+        "SELECT COUNT(*) FROM mseed.dataview WHERE F.station = '" +
+        repo.files[0].station + "' AND F.channel = '" +
+        repo.files[0].channel + "'");
+    ASSERT_OK(result);
+    EXPECT_EQ(result->table.GetValue(0, 0).int64_value(), 33 * 40);
+  }
+}
+
+TEST_F(RefreshTest, RefreshDetectsDeletion) {
+  auto wh = MustOpen(LoadStrategy::kLazy, dir_.path());
+  size_t before = wh->Stats().num_files;
+  fs::remove(repo_.files[0].path);
+
+  auto stats = wh->Refresh();
+  ASSERT_OK(stats);
+  EXPECT_EQ(stats->deleted_files, 1u);
+  EXPECT_EQ(wh->Stats().num_files, before - 1);
+
+  // The deleted file's rows are gone from the metadata tables.
+  auto files = wh->catalog().GetTable(kFilesTable);
+  ASSERT_OK(files);
+  EXPECT_EQ((*files)->num_rows(), before - 1);
+
+  // Queries over the remaining repository still work.
+  auto result = wh->Query("SELECT COUNT(*) FROM mseed.dataview");
+  ASSERT_OK(result);
+  EXPECT_EQ(result->table.GetValue(0, 0).int64_value(),
+            static_cast<int64_t>(repo_.total_samples -
+                                 repo_.files[0].num_samples));
+}
+
+TEST_F(RefreshTest, EagerRefreshReloadsData) {
+  auto wh = MustOpen(LoadStrategy::kEager, dir_.path());
+  auto data_before = wh->catalog().GetTable(kDataTable);
+  ASSERT_OK(data_before);
+  size_t rows_before = (*data_before)->num_rows();
+
+  ModifyFile(repo_.files[0].path, 60.0);
+  auto stats = wh->Refresh();
+  ASSERT_OK(stats);
+  EXPECT_EQ(stats->modified_files, 1u);
+
+  auto data_after = wh->catalog().GetTable(kDataTable);
+  ASSERT_OK(data_after);
+  EXPECT_EQ((*data_after)->num_rows(),
+            rows_before - repo_.files[0].num_samples + 60 * 40);
+}
+
+TEST_F(RefreshTest, NoChangesMeansNoWork) {
+  auto wh = MustOpen(LoadStrategy::kLazy, dir_.path());
+  auto stats = wh->Refresh();
+  ASSERT_OK(stats);
+  EXPECT_EQ(stats->new_files, 0u);
+  EXPECT_EQ(stats->modified_files, 0u);
+  EXPECT_EQ(stats->deleted_files, 0u);
+  EXPECT_EQ(stats->bytes_read, 0u);
+}
+
+TEST_F(RefreshTest, QueryFailsWhenFileVanishesMidway) {
+  auto wh = MustOpen(LoadStrategy::kLazy, dir_.path(),
+                     /*cache_budget=*/64ULL << 20, /*result_cache=*/false);
+  // Delete a file after metadata load, then query data that needs it.
+  std::string target;
+  std::string station;
+  for (const auto& f : repo_.files) {
+    if (f.station == "APE") {
+      target = f.path;
+      station = f.station;
+      break;
+    }
+  }
+  fs::remove(target);
+  auto result = wh->Query(
+      "SELECT COUNT(*) FROM mseed.dataview WHERE F.station = 'APE'");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+  // After Refresh() the file is dropped and the query succeeds (0 rows...
+  // APE has two channel files; one remains).
+  ASSERT_OK(wh->Refresh());
+  auto after = wh->Query(
+      "SELECT COUNT(*) FROM mseed.dataview WHERE F.station = 'APE'");
+  ASSERT_OK(after);
+}
+
+TEST_F(RefreshTest, AppendToFileExtendsSeries) {
+  auto wh = MustOpen(LoadStrategy::kLazy, dir_.path(),
+                     /*cache_budget=*/64ULL << 20, /*result_cache=*/false);
+  const auto& gf = repo_.files[1];
+  const std::string sql =
+      "SELECT COUNT(*) FROM mseed.dataview WHERE F.station = '" + gf.station +
+      "' AND F.channel = '" + gf.channel + "'";
+  auto before = wh->Query(sql);
+  ASSERT_OK(before);
+
+  // Append 10 more seconds to the file (a growing "live" archive).
+  auto md = mseed::ScanMetadata(gf.path);
+  ASSERT_OK(md);
+  mseed::TimeSeries more;
+  more.network = md->network;
+  more.station = md->station;
+  more.location = md->location;
+  more.channel = md->channel;
+  more.sample_rate = md->sample_rate;
+  more.start_time = md->end_time + kNanosPerSecond / 40;
+  mseed::SynthOptions synth;
+  synth.seed = 5555;
+  more.samples = mseed::GenerateSeismogram(400, synth);
+  ASSERT_OK(mseed::AppendToMseedFile(
+      gf.path, more, mseed::WriterOptions{},
+      static_cast<int32_t>(md->records.size() + 1)));
+  fs::last_write_time(gf.path,
+                      fs::file_time_type::clock::now() +
+                          std::chrono::seconds(2));
+
+  auto after = wh->Query(sql);
+  ASSERT_OK(after);
+  EXPECT_EQ(after->table.GetValue(0, 0).int64_value(),
+            before->table.GetValue(0, 0).int64_value() + 400);
+}
+
+}  // namespace
+}  // namespace lazyetl::core

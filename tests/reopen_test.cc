@@ -1,0 +1,147 @@
+// Reopening a persisted eager warehouse without re-running ETL.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/schema.h"
+#include "core/warehouse.h"
+#include "mseed/repository.h"
+#include "mseed/reader.h"
+#include "mseed/synth.h"
+#include "mseed/writer.h"
+#include "test_util.h"
+#include "warehouse_test_util.h"
+
+namespace lazyetl::core {
+namespace {
+
+using lazyetl::testing::MustGenerate;
+using lazyetl::testing::ScopedTempDir;
+using lazyetl::testing::SmallRepoConfig;
+
+class ReopenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto cfg = SmallRepoConfig();
+    cfg.num_days = 1;
+    repo_ = MustGenerate(repo_dir_.path(), cfg);
+
+    WarehouseOptions options;
+    options.strategy = LoadStrategy::kEager;
+    options.persist_dir = persist_dir_.path();
+    auto wh = Warehouse::Open(options);
+    ASSERT_OK(wh);
+    ASSERT_OK((*wh)->AttachRepository(repo_dir_.path()));
+    original_ = std::move(*wh);
+  }
+
+  Result<std::unique_ptr<Warehouse>> Reopen() {
+    WarehouseOptions options;
+    options.strategy = LoadStrategy::kEager;
+    auto wh = Warehouse::Open(options);
+    if (!wh.ok()) return wh.status();
+    auto stats = (*wh)->AttachPersisted(persist_dir_.path());
+    if (!stats.ok()) return stats.status();
+    return std::move(*wh);
+  }
+
+  ScopedTempDir repo_dir_;
+  ScopedTempDir persist_dir_;
+  mseed::GeneratedRepository repo_;
+  std::unique_ptr<Warehouse> original_;
+};
+
+TEST_F(ReopenTest, ReopenedWarehouseAnswersIdentically) {
+  auto reopened = Reopen();
+  ASSERT_OK(reopened);
+  for (const char* sql :
+       {lazyetl::testing::kPaperQ2,
+        "SELECT COUNT(*), SUM(D.sample_value) FROM mseed.dataview",
+        "SELECT station, COUNT(*) FROM mseed.files GROUP BY station "
+        "ORDER BY station"}) {
+    SCOPED_TRACE(sql);
+    auto a = original_->Query(sql);
+    auto b = (*reopened)->Query(sql);
+    ASSERT_OK(a);
+    ASSERT_OK(b);
+    ASSERT_EQ(a->table.num_rows(), b->table.num_rows());
+    for (size_t r = 0; r < a->table.num_rows(); ++r) {
+      for (size_t c = 0; c < a->table.num_columns(); ++c) {
+        EXPECT_TRUE(a->table.GetValue(r, c).Equals(b->table.GetValue(r, c)));
+      }
+    }
+  }
+}
+
+TEST_F(ReopenTest, ReopenSkipsRepositoryIo) {
+  // Delete the source repository: reopening must still work because the
+  // warehouse is self-contained.
+  std::filesystem::remove_all(repo_dir_.path());
+  auto reopened = Reopen();
+  ASSERT_OK(reopened);
+  auto result = (*reopened)->Query("SELECT COUNT(*) FROM mseed.data");
+  ASSERT_OK(result);
+  EXPECT_EQ(result->table.GetValue(0, 0).int64_value(),
+            static_cast<int64_t>(repo_.total_samples));
+}
+
+TEST_F(ReopenTest, ReopenedWarehouseCanRefresh) {
+  auto reopened = Reopen();
+  ASSERT_OK(reopened);
+  // Modify one file; the reopened warehouse knows its roots and mtimes.
+  auto md = mseed::ScanMetadata(repo_.files[0].path);
+  ASSERT_OK(md);
+  mseed::TimeSeries series;
+  series.network = md->network;
+  series.station = md->station;
+  series.location = md->location;
+  series.channel = md->channel;
+  series.start_time = md->start_time;
+  series.sample_rate = md->sample_rate;
+  mseed::SynthOptions synth;
+  synth.seed = 31337;
+  series.samples = mseed::GenerateSeismogram(40 * 20, synth);  // 20 s
+  ASSERT_OK(mseed::WriteMseedFile(repo_.files[0].path, series,
+                                  mseed::WriterOptions{}));
+  std::filesystem::last_write_time(
+      repo_.files[0].path, std::filesystem::file_time_type::clock::now() +
+                               std::chrono::seconds(2));
+
+  auto stats = (*reopened)->Refresh();
+  ASSERT_OK(stats);
+  EXPECT_EQ(stats->modified_files, 1u);
+  auto result = (*reopened)->Query(
+      "SELECT COUNT(*) FROM mseed.dataview WHERE F.station = '" +
+      repo_.files[0].station + "' AND F.channel = '" +
+      repo_.files[0].channel + "'");
+  ASSERT_OK(result);
+  EXPECT_EQ(result->table.GetValue(0, 0).int64_value(), 40 * 20);
+}
+
+TEST_F(ReopenTest, RejectsWrongStrategyOrNonFreshWarehouse) {
+  WarehouseOptions lazy_options;
+  lazy_options.strategy = LoadStrategy::kLazy;
+  auto lazy = Warehouse::Open(lazy_options);
+  ASSERT_OK(lazy);
+  EXPECT_TRUE((*lazy)
+                  ->AttachPersisted(persist_dir_.path())
+                  .status()
+                  .IsInvalidArgument());
+
+  // Already-attached warehouse refuses.
+  EXPECT_TRUE(original_->AttachPersisted(persist_dir_.path())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(ReopenTest, MissingPersistDirFails) {
+  WarehouseOptions options;
+  options.strategy = LoadStrategy::kEager;
+  auto wh = Warehouse::Open(options);
+  ASSERT_OK(wh);
+  EXPECT_FALSE((*wh)->AttachPersisted("/nonexistent/warehouse").ok());
+}
+
+}  // namespace
+}  // namespace lazyetl::core

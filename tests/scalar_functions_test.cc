@@ -1,0 +1,182 @@
+// Scalar functions: SQRT/ROUND/FLOOR/CEIL/UPPER/LOWER/LENGTH/TIME_BUCKET
+// through parser, binder, evaluator, and warehouse queries.
+
+#include <gtest/gtest.h>
+
+#include "core/schema.h"
+#include "engine/expr_eval.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "test_util.h"
+#include "warehouse_test_util.h"
+
+namespace lazyetl {
+namespace {
+
+using lazyetl::testing::MustGenerate;
+using lazyetl::testing::MustOpen;
+using lazyetl::testing::ScopedTempDir;
+using lazyetl::testing::SmallRepoConfig;
+using storage::Column;
+using storage::DataType;
+using storage::Table;
+
+class ScalarFnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto t = std::make_shared<Table>();
+    ASSERT_STATUS_OK(t->AddColumn("i", Column::FromInt64({4, 9, 16, 0})));
+    ASSERT_STATUS_OK(
+        t->AddColumn("d", Column::FromDouble({2.4, 2.5, -2.5, -2.4})));
+    ASSERT_STATUS_OK(t->AddColumn(
+        "s", Column::FromString({"Hgn", "ISK", "", "bhz"})));
+    ASSERT_STATUS_OK(t->AddColumn(
+        "ts", Column::FromTimestamp(
+                  {*ParseTimestamp("2010-01-10T00:00:01.500"),
+                   *ParseTimestamp("2010-01-10T00:00:02.000"),
+                   *ParseTimestamp("2010-01-10T00:00:03.999"),
+                   *ParseTimestamp("2010-01-10T00:01:00.000")})));
+    ASSERT_STATUS_OK(catalog_.RegisterTable("t", t));
+    input_ = *t;
+  }
+
+  Result<Column> Eval(const std::string& expr) {
+    auto stmt = sql::Parse("SELECT " + expr + " FROM t");
+    if (!stmt.ok()) return stmt.status();
+    sql::Binder binder(&catalog_);
+    auto bound = binder.Bind(*stmt);
+    if (!bound.ok()) return bound.status();
+    return engine::EvaluateExpr(*bound->select_list[0].expr, input_);
+  }
+
+  storage::Catalog catalog_;
+  Table input_;
+};
+
+TEST_F(ScalarFnTest, Sqrt) {
+  auto c = Eval("SQRT(i)");
+  ASSERT_OK(c);
+  EXPECT_EQ(c->type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(c->double_data()[0], 2.0);
+  EXPECT_DOUBLE_EQ(c->double_data()[1], 3.0);
+  EXPECT_DOUBLE_EQ(c->double_data()[3], 0.0);
+  // Negative input is an execution error.
+  auto bad = Eval("SQRT(d)");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(ScalarFnTest, RoundFloorCeil) {
+  auto r = Eval("ROUND(d)");
+  ASSERT_OK(r);
+  EXPECT_EQ(r->int64_data(), (std::vector<int64_t>{2, 3, -3, -2}));
+  auto f = Eval("FLOOR(d)");
+  ASSERT_OK(f);
+  EXPECT_EQ(f->int64_data(), (std::vector<int64_t>{2, 2, -3, -3}));
+  auto c = Eval("CEIL(d)");
+  ASSERT_OK(c);
+  EXPECT_EQ(c->int64_data(), (std::vector<int64_t>{3, 3, -2, -2}));
+}
+
+TEST_F(ScalarFnTest, UpperLowerLength) {
+  auto u = Eval("UPPER(s)");
+  ASSERT_OK(u);
+  EXPECT_EQ(u->string_data(),
+            (std::vector<std::string>{"HGN", "ISK", "", "BHZ"}));
+  auto l = Eval("LOWER(s)");
+  ASSERT_OK(l);
+  EXPECT_EQ(l->string_data(),
+            (std::vector<std::string>{"hgn", "isk", "", "bhz"}));
+  auto n = Eval("LENGTH(s)");
+  ASSERT_OK(n);
+  EXPECT_EQ(n->int64_data(), (std::vector<int64_t>{3, 3, 0, 3}));
+  // Type errors.
+  EXPECT_FALSE(Eval("UPPER(i)").ok());
+  EXPECT_FALSE(Eval("LENGTH(d)").ok());
+}
+
+TEST_F(ScalarFnTest, TimeBucketTruncates) {
+  auto c = Eval("TIME_BUCKET(2, ts)");
+  ASSERT_OK(c);
+  EXPECT_EQ(c->type(), DataType::kTimestamp);
+  EXPECT_EQ(FormatTimestamp(c->int64_data()[0]), "2010-01-10T00:00:00.000");
+  EXPECT_EQ(FormatTimestamp(c->int64_data()[1]), "2010-01-10T00:00:02.000");
+  EXPECT_EQ(FormatTimestamp(c->int64_data()[2]), "2010-01-10T00:00:02.000");
+  EXPECT_EQ(FormatTimestamp(c->int64_data()[3]), "2010-01-10T00:01:00.000");
+  // Fractional widths work.
+  auto half = Eval("TIME_BUCKET(0.5, ts)");
+  ASSERT_OK(half);
+  EXPECT_EQ(FormatTimestamp(half->int64_data()[0]),
+            "2010-01-10T00:00:01.500");
+  EXPECT_EQ(FormatTimestamp(half->int64_data()[2]),
+            "2010-01-10T00:00:03.500");
+}
+
+TEST_F(ScalarFnTest, TimeBucketValidation) {
+  EXPECT_TRUE(Eval("TIME_BUCKET(0, ts)").status().IsBindError());
+  EXPECT_TRUE(Eval("TIME_BUCKET(-2, ts)").status().IsBindError());
+  EXPECT_TRUE(Eval("TIME_BUCKET(i, ts)").status().IsBindError());
+  EXPECT_TRUE(Eval("TIME_BUCKET(2, i)").status().IsBindError());
+  EXPECT_TRUE(Eval("TIME_BUCKET(2)").status().IsBindError());
+}
+
+TEST(TimeBucketWarehouseTest, StaSeriesInOneQuery) {
+  ScopedTempDir dir;
+  auto cfg = SmallRepoConfig();
+  cfg.num_days = 1;
+  MustGenerate(dir.path(), cfg);
+  auto wh = MustOpen(core::LoadStrategy::kLazy, dir.path());
+
+  // A 2-second STA series over one channel, grouped in one shot.
+  auto result = wh->Query(
+      "SELECT TIME_BUCKET(2, D.sample_time) AS w, "
+      "AVG(ABS(D.sample_value)) AS sta, COUNT(*) AS n "
+      "FROM mseed.dataview "
+      "WHERE F.station = 'HGN' AND F.channel = 'BHZ' "
+      "GROUP BY TIME_BUCKET(2, D.sample_time) ORDER BY w");
+  ASSERT_OK(result);
+  // 30 seconds at 40 Hz = 15 full buckets of 80 samples.
+  ASSERT_EQ(result->table.num_rows(), 15u);
+  for (size_t r = 0; r < result->table.num_rows(); ++r) {
+    EXPECT_EQ(result->table.GetValue(r, 2).int64_value(), 80);
+    if (r > 0) {
+      EXPECT_EQ(result->table.GetValue(r, 0).timestamp_value() -
+                    result->table.GetValue(r - 1, 0).timestamp_value(),
+                2 * kNanosPerSecond);
+    }
+  }
+
+  // Cross-check one bucket against a direct windowed aggregate.
+  NanoTime w0 = result->table.GetValue(3, 0).timestamp_value();
+  auto direct = wh->Query(
+      "SELECT AVG(ABS(D.sample_value)) FROM mseed.dataview "
+      "WHERE F.station = 'HGN' AND F.channel = 'BHZ' "
+      "AND D.sample_time >= '" + FormatTimestamp(w0) +
+      "' AND D.sample_time < '" +
+      FormatTimestamp(w0 + 2 * kNanosPerSecond) + "'");
+  ASSERT_OK(direct);
+  EXPECT_DOUBLE_EQ(result->table.GetValue(3, 1).double_value(),
+                   direct->table.GetValue(0, 0).double_value());
+}
+
+TEST(TimeBucketWarehouseTest, RmsViaSqrt) {
+  ScopedTempDir dir;
+  auto cfg = SmallRepoConfig();
+  cfg.num_days = 1;
+  MustGenerate(dir.path(), cfg);
+  auto wh = MustOpen(core::LoadStrategy::kLazy, dir.path());
+  auto rms = wh->Query(
+      "SELECT SQRT(AVG(D.sample_value * D.sample_value)) AS rms "
+      "FROM mseed.dataview WHERE F.station = 'ISK' AND F.channel = 'BHZ'");
+  ASSERT_OK(rms);
+  double v = rms->table.GetValue(0, 0).double_value();
+  EXPECT_GT(v, 0.0);
+  // RMS >= mean absolute amplitude (Cauchy-Schwarz).
+  auto mean_abs = wh->Query(
+      "SELECT AVG(ABS(D.sample_value)) FROM mseed.dataview "
+      "WHERE F.station = 'ISK' AND F.channel = 'BHZ'");
+  ASSERT_OK(mean_abs);
+  EXPECT_GE(v, mean_abs->table.GetValue(0, 0).double_value());
+}
+
+}  // namespace
+}  // namespace lazyetl

@@ -1,0 +1,117 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "common/result.h"
+
+namespace lazyetl {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::CorruptData("x").IsCorruptData());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::BindError("x").IsBindError());
+  EXPECT_TRUE(Status::ExecutionError("x").IsExecutionError());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  Status st = Status::NotFound("no such table");
+  EXPECT_EQ(st.ToString(), "not-found: no such table");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status st = Status::IOError("read failed");
+  Status wrapped = st.WithContext("file foo.mseed");
+  EXPECT_TRUE(wrapped.IsIOError());
+  EXPECT_EQ(wrapped.message(), "file foo.mseed: read failed");
+  // OK statuses pass through unchanged.
+  EXPECT_TRUE(Status::OK().WithContext("ctx").ok());
+}
+
+TEST(StatusTest, CopyAndEquality) {
+  Status a = Status::ParseError("bad token");
+  Status b = a;
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(b.IsParseError());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status::NotFound("gone"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r((Status()));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = r.MoveValueUnsafe();
+  EXPECT_EQ(*v, 7);
+}
+
+namespace helpers {
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> DoubleIt(int x) {
+  LAZYETL_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+Status CheckAll(int x) {
+  LAZYETL_RETURN_NOT_OK(ParsePositive(x).status());
+  LAZYETL_CHECK_INTERNAL(x < 100, "too big");
+  return Status::OK();
+}
+
+}  // namespace helpers
+
+TEST(MacrosTest, AssignOrReturnPropagates) {
+  auto ok = helpers::DoubleIt(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  auto err = helpers::DoubleIt(-1);
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsInvalidArgument());
+}
+
+TEST(MacrosTest, ReturnNotOkAndCheckInternal) {
+  EXPECT_TRUE(helpers::CheckAll(5).ok());
+  EXPECT_TRUE(helpers::CheckAll(-5).IsInvalidArgument());
+  EXPECT_TRUE(helpers::CheckAll(500).IsInternal());
+}
+
+}  // namespace
+}  // namespace lazyetl

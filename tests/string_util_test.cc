@@ -1,0 +1,66 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace lazyetl {
+namespace {
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToUpperAscii("select Avg(x)"), "SELECT AVG(X)");
+  EXPECT_EQ(ToLowerAscii("BHZ"), "bhz");
+  EXPECT_EQ(ToUpperAscii(""), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim("hello"), "hello");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a.b.c", '.'),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a..c", '.'), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", '.'), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("NL.HGN.02.BHZ.D.2010.012", '.').size(), 7u);
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, "."), "a.b.c");
+  EXPECT_EQ(Join({}, "."), "");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("mseed.files", "mseed."));
+  EXPECT_FALSE(StartsWith("files", "mseed."));
+  EXPECT_TRUE(EndsWith("F.station", ".station"));
+  EXPECT_FALSE(EndsWith("station", ".station"));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "SELEC"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "b"));
+}
+
+TEST(StringUtilTest, FixedWidth) {
+  EXPECT_EQ(FixedWidth("ISK", 5), "ISK  ");
+  EXPECT_EQ(FixedWidth("TOOLONG", 5), "TOOLO");
+  EXPECT_EQ(FixedWidth("", 2), "  ");
+  EXPECT_EQ(FixedWidth("AB", 2), "AB");
+}
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(0), "0 B");
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(1536), "1.5 KiB");
+  EXPECT_EQ(HumanBytes(10ULL << 20), "10.0 MiB");
+  EXPECT_EQ(HumanBytes(3ULL << 30), "3.0 GiB");
+}
+
+}  // namespace
+}  // namespace lazyetl

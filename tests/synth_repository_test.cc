@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "mseed/reader.h"
+#include "mseed/repository.h"
+#include "mseed/steim.h"
+#include "mseed/synth.h"
+#include "test_util.h"
+
+namespace lazyetl::mseed {
+namespace {
+
+using lazyetl::testing::ScopedTempDir;
+
+TEST(SynthTest, Deterministic) {
+  SynthOptions opt;
+  opt.seed = 123;
+  auto a = GenerateSeismogram(1000, opt);
+  auto b = GenerateSeismogram(1000, opt);
+  EXPECT_EQ(a, b);
+  opt.seed = 124;
+  auto c = GenerateSeismogram(1000, opt);
+  EXPECT_NE(a, c);
+}
+
+TEST(SynthTest, ProducesRequestedLength) {
+  SynthOptions opt;
+  EXPECT_EQ(GenerateSeismogram(0, opt).size(), 0u);
+  EXPECT_EQ(GenerateSeismogram(1, opt).size(), 1u);
+  EXPECT_EQ(GenerateSeismogram(4800, opt).size(), 4800u);
+}
+
+TEST(SynthTest, StaysSteim2Encodable) {
+  SynthOptions opt;
+  opt.seed = 7;
+  opt.event_amplitude = 50000.0;  // exaggerated events
+  auto v = GenerateSeismogram(20000, opt);
+  EXPECT_TRUE(FitsSteim2(v, v.empty() ? 0 : v[0]));
+}
+
+TEST(SynthTest, EventsRaisePeakAmplitude) {
+  SynthOptions quiet;
+  quiet.seed = 5;
+  quiet.events_per_hour = 0.0;
+  SynthOptions active = quiet;
+  active.events_per_hour = 400.0;
+  auto a = GenerateSeismogram(40 * 600, quiet);   // 10 minutes at 40 Hz
+  auto b = GenerateSeismogram(40 * 600, active);
+  auto peak = [](const std::vector<int32_t>& v) {
+    int32_t p = 0;
+    for (int32_t s : v) p = std::max(p, std::abs(s));
+    return p;
+  };
+  EXPECT_GT(peak(b), peak(a));
+}
+
+TEST(ChannelDaySeedTest, DistinctPerChannelAndDay) {
+  uint64_t a = ChannelDaySeed("NL", "HGN", "02", "BHZ", 2010, 10, 42);
+  EXPECT_EQ(a, ChannelDaySeed("NL", "HGN", "02", "BHZ", 2010, 10, 42));
+  EXPECT_NE(a, ChannelDaySeed("NL", "HGN", "02", "BHE", 2010, 10, 42));
+  EXPECT_NE(a, ChannelDaySeed("NL", "HGN", "02", "BHZ", 2010, 11, 42));
+  EXPECT_NE(a, ChannelDaySeed("NL", "WIT", "02", "BHZ", 2010, 10, 42));
+  EXPECT_NE(a, ChannelDaySeed("NL", "HGN", "02", "BHZ", 2010, 10, 43));
+}
+
+TEST(SdsFilenameTest, FormatAndParse) {
+  std::string name = SdsFilename("NL", "HGN", "02", "BHZ", 'D', 2010, 12,
+                                 /*segment=*/0, /*segments_per_day=*/1);
+  EXPECT_EQ(name, "NL.HGN.02.BHZ.D.2010.012");
+  auto md = ParseSdsFilename(name);
+  ASSERT_OK(md);
+  EXPECT_EQ(md->network, "NL");
+  EXPECT_EQ(md->station, "HGN");
+  EXPECT_EQ(md->location, "02");
+  EXPECT_EQ(md->channel, "BHZ");
+  EXPECT_EQ(md->quality, 'D');
+  EXPECT_EQ(md->year, 2010);
+  EXPECT_EQ(md->day_of_year, 12);
+  EXPECT_EQ(md->segment, 0);
+}
+
+TEST(SdsFilenameTest, SegmentSuffix) {
+  std::string name = SdsFilename("KO", "ISK", "", "BHE", 'D', 2010, 12, 3, 8);
+  EXPECT_EQ(name, "KO.ISK..BHE.D.2010.012.03");
+  auto md = ParseSdsFilename(name);
+  ASSERT_OK(md);
+  EXPECT_EQ(md->station, "ISK");
+  EXPECT_EQ(md->location, "");
+  EXPECT_EQ(md->segment, 3);
+}
+
+TEST(SdsFilenameTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseSdsFilename("README.txt").ok());
+  EXPECT_FALSE(ParseSdsFilename("NL.HGN.02.BHZ").ok());
+  EXPECT_FALSE(ParseSdsFilename("NL.HGN.02.BHZ.DD.2010.012").ok());
+  EXPECT_FALSE(ParseSdsFilename("NL.HGN.02.BHZ.D.20x0.012").ok());
+  EXPECT_FALSE(ParseSdsFilename("NL.HGN.02.BHZ.D.2010.999").ok());
+}
+
+TEST(RepositoryTest, GeneratesExpectedFileCount) {
+  ScopedTempDir dir;
+  RepositoryConfig cfg;
+  cfg.stations = {{"NL", "HGN", "02", {"BHZ", "BHE"}, 40.0},
+                  {"KO", "ISK", "", {"BHZ"}, 40.0}};
+  cfg.num_days = 2;
+  cfg.segments_per_day = 1;
+  cfg.seconds_per_segment = 30.0;
+  auto repo = GenerateRepository(dir.path(), cfg);
+  ASSERT_OK(repo);
+  EXPECT_EQ(repo->files.size(), 3u * 2u);  // 3 channels x 2 days
+  EXPECT_GT(repo->total_bytes, 0u);
+  EXPECT_EQ(repo->total_samples, 6u * 30 * 40);
+
+  // Every generated file exists, parses and matches its declared identity.
+  for (const auto& f : repo->files) {
+    auto md = ScanMetadata(f.path);
+    ASSERT_OK(md);
+    EXPECT_EQ(md->network, f.network);
+    EXPECT_EQ(md->station, f.station);
+    EXPECT_EQ(md->channel, f.channel);
+    EXPECT_EQ(md->total_samples, f.num_samples);
+    EXPECT_EQ(md->records.size(), f.num_records);
+    EXPECT_EQ(md->start_time, f.start_time);
+    auto fn =
+        ParseSdsFilename(std::filesystem::path(f.path).filename().string());
+    ASSERT_OK(fn);
+    EXPECT_EQ(fn->network, f.network);
+    EXPECT_EQ(fn->station, f.station);
+  }
+}
+
+TEST(RepositoryTest, SegmentsSplitTheDay) {
+  ScopedTempDir dir;
+  RepositoryConfig cfg;
+  cfg.stations = {{"NL", "HGN", "02", {"BHZ"}, 40.0}};
+  cfg.num_days = 1;
+  cfg.segments_per_day = 4;
+  cfg.seconds_per_segment = 10.0;
+  auto repo = GenerateRepository(dir.path(), cfg);
+  ASSERT_OK(repo);
+  ASSERT_EQ(repo->files.size(), 4u);
+  for (size_t i = 1; i < repo->files.size(); ++i) {
+    EXPECT_EQ(repo->files[i].start_time - repo->files[i - 1].start_time,
+              10 * kNanosPerSecond);
+  }
+}
+
+TEST(RepositoryTest, DeterministicAcrossRuns) {
+  ScopedTempDir dir_a;
+  ScopedTempDir dir_b;
+  RepositoryConfig cfg;
+  cfg.stations = {{"GE", "APE", "", {"BHZ"}, 40.0}};
+  cfg.num_days = 1;
+  cfg.seconds_per_segment = 20.0;
+  auto a = GenerateRepository(dir_a.path(), cfg);
+  auto b = GenerateRepository(dir_b.path(), cfg);
+  ASSERT_OK(a);
+  ASSERT_OK(b);
+  ASSERT_EQ(a->files.size(), b->files.size());
+  auto full_a = ReadFull(a->files[0].path);
+  auto full_b = ReadFull(b->files[0].path);
+  ASSERT_OK(full_a);
+  ASSERT_OK(full_b);
+  EXPECT_EQ(full_a->record_samples, full_b->record_samples);
+}
+
+TEST(RepositoryTest, ScanFindsAllFilesSorted) {
+  ScopedTempDir dir;
+  auto cfg = DefaultDemoConfig();
+  cfg.num_days = 1;
+  cfg.seconds_per_segment = 5.0;
+  auto repo = GenerateRepository(dir.path(), cfg);
+  ASSERT_OK(repo);
+  auto scanned = ScanRepository(dir.path());
+  ASSERT_OK(scanned);
+  // The scan also finds the dataless inventory volume.
+  EXPECT_EQ(scanned->size(), repo->files.size() + 1);
+  EXPECT_FALSE(repo->dataless_path.empty());
+  for (size_t i = 1; i < scanned->size(); ++i) {
+    EXPECT_LT((*scanned)[i - 1].path, (*scanned)[i].path);
+  }
+  for (const auto& f : *scanned) {
+    EXPECT_GT(f.size, 0u);
+    EXPECT_GT(f.mtime, 0);
+  }
+}
+
+TEST(RepositoryTest, ScanRejectsMissingRoot) {
+  EXPECT_FALSE(ScanRepository("/nonexistent/repo/root").ok());
+}
+
+TEST(RepositoryTest, RejectsEmptyConfig) {
+  ScopedTempDir dir;
+  RepositoryConfig cfg;
+  cfg.stations.clear();
+  EXPECT_FALSE(GenerateRepository(dir.path(), cfg).ok());
+  cfg = DefaultDemoConfig();
+  cfg.num_days = 0;
+  EXPECT_FALSE(GenerateRepository(dir.path(), cfg).ok());
+}
+
+TEST(RepositoryTest, DefaultDemoConfigHasPaperStations) {
+  auto cfg = DefaultDemoConfig();
+  bool has_isk = false;
+  bool has_nl = false;
+  for (const auto& st : cfg.stations) {
+    if (st.station == "ISK") has_isk = true;
+    if (st.network == "NL") has_nl = true;
+  }
+  EXPECT_TRUE(has_isk);  // Fig. 1 Q1
+  EXPECT_TRUE(has_nl);   // Fig. 1 Q2
+}
+
+}  // namespace
+}  // namespace lazyetl::mseed

@@ -1,0 +1,67 @@
+// Shared test utilities.
+
+#ifndef LAZYETL_TESTS_TEST_UTIL_H_
+#define LAZYETL_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <random>
+#include <string>
+
+#define ASSERT_OK(expr)                                              \
+  do {                                                               \
+    const auto& _res = (expr);                                       \
+    ASSERT_TRUE(_res.ok()) << "status: " << _res.status().ToString(); \
+  } while (false)
+
+#define ASSERT_STATUS_OK(expr)                                \
+  do {                                                        \
+    const ::lazyetl::Status _st = (expr);                     \
+    ASSERT_TRUE(_st.ok()) << "status: " << _st.ToString();    \
+  } while (false)
+
+#define EXPECT_STATUS_OK(expr)                                \
+  do {                                                        \
+    const ::lazyetl::Status _st = (expr);                     \
+    EXPECT_TRUE(_st.ok()) << "status: " << _st.ToString();    \
+  } while (false)
+
+namespace lazyetl::testing {
+
+// Creates a unique temp directory, removed on destruction.
+class ScopedTempDir {
+ public:
+  ScopedTempDir() {
+    static std::mt19937_64 rng(std::random_device{}());
+    auto base = std::filesystem::temp_directory_path();
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      auto candidate = base / ("lazyetl_test_" + std::to_string(rng()));
+      std::error_code ec;
+      if (std::filesystem::create_directory(candidate, ec) && !ec) {
+        path_ = candidate.string();
+        return;
+      }
+    }
+    ADD_FAILURE() << "could not create temp directory";
+  }
+
+  ~ScopedTempDir() {
+    if (!path_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path_, ec);
+    }
+  }
+
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace lazyetl::testing
+
+#endif  // LAZYETL_TESTS_TEST_UTIL_H_

@@ -1,0 +1,237 @@
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace lazyetl {
+namespace {
+
+TEST(LeapYearTest, Gregorian) {
+  EXPECT_TRUE(IsLeapYear(2000));
+  EXPECT_TRUE(IsLeapYear(2012));
+  EXPECT_TRUE(IsLeapYear(2024));
+  EXPECT_FALSE(IsLeapYear(1900));
+  EXPECT_FALSE(IsLeapYear(2010));
+  EXPECT_FALSE(IsLeapYear(2013));
+  EXPECT_FALSE(IsLeapYear(2100));
+}
+
+TEST(DaysInMonthTest, FebruaryVaries) {
+  EXPECT_EQ(DaysInMonth(2010, 2), 28);
+  EXPECT_EQ(DaysInMonth(2012, 2), 29);
+  EXPECT_EQ(DaysInMonth(2010, 1), 31);
+  EXPECT_EQ(DaysInMonth(2010, 4), 30);
+  EXPECT_EQ(DaysInMonth(2010, 12), 31);
+}
+
+TEST(DayOfYearTest, KnownDates) {
+  EXPECT_EQ(DayOfYear(2010, 1, 1), 1);
+  EXPECT_EQ(DayOfYear(2010, 1, 12), 12);   // the paper's query day
+  EXPECT_EQ(DayOfYear(2010, 12, 31), 365);
+  EXPECT_EQ(DayOfYear(2012, 12, 31), 366);
+  EXPECT_EQ(DayOfYear(2012, 3, 1), 61);    // leap year shifts March
+  EXPECT_EQ(DayOfYear(2010, 3, 1), 60);
+}
+
+TEST(MonthDayFromDayOfYearTest, RoundTripsAllDays) {
+  for (int year : {2010, 2012}) {
+    int last = IsLeapYear(year) ? 366 : 365;
+    for (int doy = 1; doy <= last; ++doy) {
+      int month = 0;
+      int day = 0;
+      ASSERT_STATUS_OK(MonthDayFromDayOfYear(year, doy, &month, &day));
+      EXPECT_EQ(DayOfYear(year, month, day), doy);
+    }
+  }
+}
+
+TEST(MonthDayFromDayOfYearTest, RejectsOutOfRange) {
+  int m = 0;
+  int d = 0;
+  EXPECT_FALSE(MonthDayFromDayOfYear(2010, 0, &m, &d).ok());
+  EXPECT_FALSE(MonthDayFromDayOfYear(2010, 366, &m, &d).ok());
+  EXPECT_FALSE(MonthDayFromDayOfYear(2012, 367, &m, &d).ok());
+}
+
+TEST(CivilToNanoTest, Epoch) {
+  CivilTime ct;
+  ct.year = 1970;
+  ct.month = 1;
+  ct.day = 1;
+  auto t = CivilToNano(ct);
+  ASSERT_OK(t);
+  EXPECT_EQ(*t, 0);
+}
+
+TEST(CivilToNanoTest, KnownTimestamp) {
+  // 2010-01-12T00:00:00Z == 1263254400 seconds.
+  CivilTime ct;
+  ct.year = 2010;
+  ct.month = 1;
+  ct.day = 12;
+  auto t = CivilToNano(ct);
+  ASSERT_OK(t);
+  EXPECT_EQ(*t, 1263254400LL * kNanosPerSecond);
+}
+
+TEST(CivilToNanoTest, RejectsInvalid) {
+  CivilTime ct;
+  ct.year = 2010;
+  ct.month = 13;
+  ct.day = 1;
+  EXPECT_FALSE(CivilToNano(ct).ok());
+  ct.month = 2;
+  ct.day = 29;  // 2010 is not a leap year
+  EXPECT_FALSE(CivilToNano(ct).ok());
+  ct.day = 10;
+  ct.hour = 24;
+  EXPECT_FALSE(CivilToNano(ct).ok());
+  ct.hour = 0;
+  ct.nanos = kNanosPerSecond;
+  EXPECT_FALSE(CivilToNano(ct).ok());
+}
+
+TEST(NanoToCivilTest, RoundTrip) {
+  CivilTime ct;
+  ct.year = 2010;
+  ct.month = 1;
+  ct.day = 12;
+  ct.hour = 22;
+  ct.minute = 15;
+  ct.second = 1;
+  ct.nanos = 123456789;
+  auto t = CivilToNano(ct);
+  ASSERT_OK(t);
+  CivilTime back = NanoToCivil(*t);
+  EXPECT_EQ(back.year, ct.year);
+  EXPECT_EQ(back.month, ct.month);
+  EXPECT_EQ(back.day, ct.day);
+  EXPECT_EQ(back.hour, ct.hour);
+  EXPECT_EQ(back.minute, ct.minute);
+  EXPECT_EQ(back.second, ct.second);
+  EXPECT_EQ(back.nanos, ct.nanos);
+}
+
+TEST(NanoToCivilTest, NegativeTimes) {
+  // 1969-12-31T23:59:59
+  CivilTime back = NanoToCivil(-kNanosPerSecond);
+  EXPECT_EQ(back.year, 1969);
+  EXPECT_EQ(back.month, 12);
+  EXPECT_EQ(back.day, 31);
+  EXPECT_EQ(back.hour, 23);
+  EXPECT_EQ(back.minute, 59);
+  EXPECT_EQ(back.second, 59);
+}
+
+TEST(ParseTimestampTest, PaperLiterals) {
+  // The exact literals from Fig. 1 of the paper.
+  auto t1 = ParseTimestamp("2010-01-12T00:00:00.000");
+  ASSERT_OK(t1);
+  auto t2 = ParseTimestamp("2010-01-12T23:59:59.999");
+  ASSERT_OK(t2);
+  auto t3 = ParseTimestamp("2010-01-12T22:15:00.000");
+  ASSERT_OK(t3);
+  auto t4 = ParseTimestamp("2010-01-12T22:15:02.000");
+  ASSERT_OK(t4);
+  EXPECT_LT(*t1, *t3);
+  EXPECT_LT(*t3, *t4);
+  EXPECT_LT(*t4, *t2);
+  EXPECT_EQ(*t4 - *t3, 2 * kNanosPerSecond);  // the 2-second STA window
+}
+
+TEST(ParseTimestampTest, DateOnly) {
+  auto t = ParseTimestamp("2010-01-12");
+  ASSERT_OK(t);
+  EXPECT_EQ(*t, 1263254400LL * kNanosPerSecond);
+}
+
+TEST(ParseTimestampTest, SpaceSeparator) {
+  auto a = ParseTimestamp("2010-01-12 10:30:00");
+  auto b = ParseTimestamp("2010-01-12T10:30:00");
+  ASSERT_OK(a);
+  ASSERT_OK(b);
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(ParseTimestampTest, FractionDigits) {
+  auto ms = ParseTimestamp("2010-01-12T00:00:00.5");
+  ASSERT_OK(ms);
+  EXPECT_EQ(*ms % kNanosPerSecond, 500000000LL);
+  auto ns = ParseTimestamp("2010-01-12T00:00:00.000000001");
+  ASSERT_OK(ns);
+  EXPECT_EQ(*ns % kNanosPerSecond, 1);
+}
+
+TEST(ParseTimestampTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseTimestamp("").ok());
+  EXPECT_FALSE(ParseTimestamp("2010").ok());
+  EXPECT_FALSE(ParseTimestamp("2010-1-12").ok());
+  EXPECT_FALSE(ParseTimestamp("2010-01-12T25:00:00").ok());
+  EXPECT_FALSE(ParseTimestamp("2010-13-12").ok());
+  EXPECT_FALSE(ParseTimestamp("2010-01-12T10:00:00junk").ok());
+  EXPECT_FALSE(ParseTimestamp("2010-01-12T10:00:00.").ok());
+}
+
+TEST(FormatTimestampTest, RoundTripThroughParse) {
+  for (const char* text :
+       {"2010-01-12T22:15:00.000", "2010-01-12T00:00:00.000",
+        "1999-12-31T23:59:59.999", "2024-02-29T12:00:00.500"}) {
+    auto t = ParseTimestamp(text);
+    ASSERT_OK(t);
+    EXPECT_EQ(FormatTimestamp(*t), text);
+  }
+}
+
+TEST(FormatTimestampTest, SubMillisecondUsesNanoDigits) {
+  auto t = ParseTimestamp("2010-01-12T00:00:00.000000123");
+  ASSERT_OK(t);
+  EXPECT_EQ(FormatTimestamp(*t), "2010-01-12T00:00:00.000000123");
+}
+
+// Property sweep: random timestamps round-trip civil<->nano and
+// parse<->format.
+class TimeRoundTripTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(TimeRoundTripTest, CivilRoundTrip) {
+  NanoTime t = GetParam();
+  CivilTime ct = NanoToCivil(t);
+  auto back = CivilToNano(ct);
+  ASSERT_OK(back);
+  EXPECT_EQ(*back, t);
+}
+
+TEST_P(TimeRoundTripTest, FormatParseRoundTrip) {
+  NanoTime t = GetParam();
+  auto back = ParseTimestamp(FormatTimestamp(t));
+  ASSERT_OK(back);
+  EXPECT_EQ(*back, t);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstants, TimeRoundTripTest,
+    ::testing::Values(0LL, 1LL, 999999999LL, 1263254400LL * kNanosPerSecond,
+                      1263255300123000000LL, 4102444800LL * kNanosPerSecond,
+                      951826154987654321LL, 1709164799000000001LL,
+                      -86400LL * kNanosPerSecond));
+
+TEST(StopwatchTest, MeasuresElapsed) {
+  Stopwatch sw;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GT(sink, 0.0);
+  EXPECT_GT(sw.ElapsedNanos(), 0);
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+  sw.Restart();
+  EXPECT_GE(sw.ElapsedNanos(), 0);
+}
+
+TEST(NowNanosTest, Monotonicish) {
+  NanoTime a = NowNanos();
+  // Now is after 2020 and before 2100.
+  EXPECT_GT(a, 1577836800LL * kNanosPerSecond);
+  EXPECT_LT(a, 4102444800LL * kNanosPerSecond);
+}
+
+}  // namespace
+}  // namespace lazyetl
