@@ -1,0 +1,128 @@
+// Batch pipeline vs. whole-table baseline (materialise-everything,
+// reproduced with batch_rows = SIZE_MAX).
+//
+// A selective D.sample_time range query streams qualifying records through
+// scan → rewrite-join → filter → aggregate. The benchmark reports latency
+// and the executor's peak-intermediate upper bound per batch size: with
+// batching, peak intermediates are bounded by O(batch × pipeline depth)
+// plus the (small) metadata side, instead of the full qualifying set.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "bench_util.h"
+#include "common/time.h"
+
+namespace lazyetl::bench {
+namespace {
+
+constexpr int kDays = 1;
+constexpr double kSeconds = 120.0;
+
+// Selects `percent` of each file's time span across the whole repository.
+std::string WindowQuery(const mseed::GeneratedRepository& repo, int percent) {
+  NanoTime t0 = repo.files[0].start_time;
+  NanoTime t1 = t0 + static_cast<NanoTime>(kSeconds * 1e9 * percent / 100.0);
+  return "SELECT COUNT(*), AVG(D.sample_value) FROM mseed.dataview "
+         "WHERE D.sample_time >= '" + FormatTimestamp(t0) +
+         "' AND D.sample_time < '" + FormatTimestamp(t1) + "'";
+}
+
+std::unique_ptr<core::Warehouse> OpenWithBatch(core::LoadStrategy strategy,
+                                               const std::string& root,
+                                               size_t batch_rows) {
+  core::WarehouseOptions options;
+  options.strategy = strategy;
+  options.batch_rows = batch_rows;
+  options.enable_result_cache = false;
+  auto wh = core::Warehouse::Open(options);
+  if (!wh.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", wh.status().ToString().c_str());
+    std::abort();
+  }
+  auto stats = (*wh)->AttachRepository(root);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "attach failed: %s\n",
+                 stats.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*wh);
+}
+
+// range(0): batch rows (0 = whole-table baseline); range(1): selectivity %.
+void RunPipelineBench(benchmark::State& state, core::LoadStrategy strategy) {
+  const BenchRepo& repo = GetRepo(kDays, kSeconds);
+  size_t batch_rows = state.range(0) == 0
+                          ? std::numeric_limits<size_t>::max()
+                          : static_cast<size_t>(state.range(0));
+  int percent = static_cast<int>(state.range(1));
+  auto wh = OpenWithBatch(strategy, repo.root, batch_rows);
+  std::string sql = WindowQuery(repo.info, percent);
+
+  // Warm the record cache so the comparison isolates execution, not I/O.
+  MustQuery(wh.get(), sql);
+
+  uint64_t peak = 0;
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    auto result = MustQuery(wh.get(), sql);
+    peak = result.report.peak_intermediate_bytes;
+    rows = result.report.result_rows;
+    benchmark::DoNotOptimize(result.table);
+  }
+  state.counters["batch_rows"] =
+      state.range(0) == 0 ? 0.0 : static_cast<double>(batch_rows);
+  state.counters["selectivity_pct"] = percent;
+  state.counters["peak_intermediate_bytes"] = static_cast<double>(peak);
+  state.counters["result_rows"] = static_cast<double>(rows);
+}
+
+void BM_Pipeline_LazyWarm(benchmark::State& state) {
+  RunPipelineBench(state, core::LoadStrategy::kLazy);
+}
+
+void BM_Pipeline_EagerWarm(benchmark::State& state) {
+  RunPipelineBench(state, core::LoadStrategy::kEager);
+}
+
+// Cold-cache lazy: extraction streams file-by-file through the pipeline.
+void BM_Pipeline_LazyCold(benchmark::State& state) {
+  const BenchRepo& repo = GetRepo(kDays, kSeconds);
+  size_t batch_rows = state.range(0) == 0
+                          ? std::numeric_limits<size_t>::max()
+                          : static_cast<size_t>(state.range(0));
+  int percent = static_cast<int>(state.range(1));
+  auto wh = OpenWithBatch(core::LoadStrategy::kLazy, repo.root, batch_rows);
+  std::string sql = WindowQuery(repo.info, percent);
+  uint64_t peak = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    wh->ClearCaches();
+    state.ResumeTiming();
+    auto result = MustQuery(wh.get(), sql);
+    peak = result.report.peak_intermediate_bytes;
+    benchmark::DoNotOptimize(result.table);
+  }
+  state.counters["batch_rows"] =
+      state.range(0) == 0 ? 0.0 : static_cast<double>(batch_rows);
+  state.counters["selectivity_pct"] = percent;
+  state.counters["peak_intermediate_bytes"] = static_cast<double>(peak);
+}
+
+// {batch_rows (0 = whole-table baseline), selectivity %}
+#define PIPELINE_ARGS                                          \
+  ->Args({0, 10})->Args({4096, 10})->Args({1024, 10})          \
+  ->Args({0, 100})->Args({4096, 100})->Args({1024, 100})       \
+  ->Unit(benchmark::kMillisecond)
+
+BENCHMARK(BM_Pipeline_LazyWarm) PIPELINE_ARGS;
+BENCHMARK(BM_Pipeline_EagerWarm) PIPELINE_ARGS;
+BENCHMARK(BM_Pipeline_LazyCold) PIPELINE_ARGS;
+
+}  // namespace
+}  // namespace lazyetl::bench
+
+BENCHMARK_MAIN();

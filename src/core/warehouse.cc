@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <deque>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -49,8 +51,14 @@ const char* LoadStrategyToString(LoadStrategy s) {
 
 // ---------------------------------------------------------------------------
 // WarehouseDataProvider: serves actual data at query time from the recycler
-// cache or by extracting records from the source files (§3.1/§3.3).
+// cache or by extracting records from the source files (§3.1/§3.3). The
+// streaming interface emits the records file-by-file in batch-sized chunks,
+// extracting a window of extraction_threads files at a time, so peak
+// extracted-but-unconsumed memory is bounded by the window — never the whole
+// qualifying set.
 // ---------------------------------------------------------------------------
+
+class WarehouseRecordStream;
 
 class WarehouseDataProvider : public engine::LazyDataProvider {
  public:
@@ -69,7 +77,17 @@ class WarehouseDataProvider : public engine::LazyDataProvider {
   Result<Table> FetchAllRecords(const std::vector<ScanColumn>& columns,
                                 ExecutionReport* report) override;
 
+  Result<std::unique_ptr<engine::RecordStream>> StreamRecords(
+      const std::vector<RecordKey>& keys,
+      const std::vector<ScanColumn>& columns, size_t batch_rows,
+      ExecutionReport* report) override;
+
+  Result<std::unique_ptr<engine::RecordStream>> StreamAllRecords(
+      const std::vector<ScanColumn>& columns, size_t batch_rows,
+      ExecutionReport* report) override;
+
  private:
+  friend class WarehouseRecordStream;
   struct OutputBuffers {
     std::vector<int64_t> file_ids;
     std::vector<int64_t> seq_nos;
@@ -104,8 +122,68 @@ class WarehouseDataProvider : public engine::LazyDataProvider {
   Result<Table> BuildOutput(OutputBuffers buffers,
                             const std::vector<ScanColumn>& columns);
 
+  // Every record of the repository, hydrating record metadata as needed
+  // (the §3.1 worst case).
+  Result<std::vector<RecordKey>> AllRecordKeys(ExecutionReport* report);
+
   Warehouse* warehouse_;
   std::vector<engine::ResultDependency> deps_;
+};
+
+// Pull stream over the requested records: chunks of at most batch_rows
+// rows, file by file, in (file_id, request) order — the same deterministic
+// order the materialising fetch produced.
+class WarehouseRecordStream : public engine::RecordStream {
+ public:
+  static Result<std::unique_ptr<engine::RecordStream>> Create(
+      WarehouseDataProvider* provider, const std::vector<RecordKey>& keys,
+      const std::vector<ScanColumn>& columns, size_t batch_rows,
+      ExecutionReport* report);
+
+  // The summary lines of the run-time rewrite are flushed when the stream
+  // is drained; if a consumer stops early (LIMIT), flush what happened.
+  ~WarehouseRecordStream() override { FlushSummary(); }
+
+  Result<bool> Next(Table* out) override;
+
+ private:
+  // One requested file, validated and refreshed at stream creation.
+  struct FileRequest {
+    int64_t fid = 0;
+    NanoTime mtime = 0;
+    std::vector<int64_t> seqs;  // requested records, in request order
+  };
+
+  WarehouseRecordStream(WarehouseDataProvider* provider,
+                        std::vector<ScanColumn> columns, size_t batch_rows,
+                        ExecutionReport* report)
+      : provider_(provider),
+        columns_(std::move(columns)),
+        batch_rows_(batch_rows),
+        report_(report) {}
+
+  // Cache pass + windowed extraction for the next run of files; pushes
+  // their assembled tables onto ready_.
+  Status AdvanceWindow();
+
+  void FlushSummary();
+
+  WarehouseDataProvider* provider_;
+  std::vector<ScanColumn> columns_;
+  size_t batch_rows_;
+  ExecutionReport* report_;
+
+  std::vector<FileRequest> files_;
+  size_t next_file_ = 0;          // next file not yet cache-passed
+  std::deque<Table> ready_;       // assembled per-file tables, fid order
+  Table current_;                 // file table being chunk-emitted
+  size_t current_offset_ = 0;
+  bool current_active_ = false;
+
+  uint64_t total_hits_ = 0;
+  std::vector<std::string> extracted_desc_;
+  bool emitted_ = false;
+  bool summary_written_ = false;
 };
 
 Status WarehouseDataProvider::RunExtractionJobs(std::vector<ExtractJob>* jobs) {
@@ -183,38 +261,34 @@ Result<Table> WarehouseDataProvider::BuildOutput(
   return out;
 }
 
-Result<Table> WarehouseDataProvider::FetchRecords(
-    const std::vector<RecordKey>& keys, const std::vector<ScanColumn>& columns,
+Result<std::unique_ptr<engine::RecordStream>> WarehouseRecordStream::Create(
+    WarehouseDataProvider* provider, const std::vector<RecordKey>& keys,
+    const std::vector<ScanColumn>& columns, size_t batch_rows,
     ExecutionReport* report) {
+  auto stream = std::unique_ptr<WarehouseRecordStream>(
+      new WarehouseRecordStream(provider, columns, batch_rows, report));
+  Warehouse* warehouse = provider->warehouse_;
+
   // Group requested records by file so each file is statted and opened at
-  // most once.
+  // most once, and validate/refresh every requested file up front: the
+  // stat, staleness re-load and hydration are metadata-only work, and
+  // recording all dependencies before any chunk is consumed keeps the
+  // result cache sound even when a consumer (LIMIT) stops early. The
+  // expensive part — cache lookups and sample extraction — stays deferred.
   std::map<int64_t, std::vector<int64_t>> by_file;
   for (const auto& k : keys) by_file[k.file_id].push_back(k.seq_no);
 
-  OutputBuffers buffers;
-  std::ostringstream rewrite;
-  rewrite << "LazyDataScan(" << kDataTable
-          << ") rewritten at run time into:\n";
-  uint64_t total_hits = 0;
-  std::vector<std::string> extracted_desc;
-  std::vector<ExtractJob> jobs;
-  // Results are staged per record and emitted in (file_id, request) order
-  // below, so the output row order is identical whether a record came from
-  // the cache or from extraction (deterministic results across cache
-  // states).
-  std::map<std::pair<int64_t, int64_t>, TransformedRecord> staged;
-
   for (auto& [fid, seqs] : by_file) {
-    if (fid < 1 || static_cast<size_t>(fid) > warehouse_->files_.size()) {
+    if (fid < 1 || static_cast<size_t>(fid) > warehouse->files_.size()) {
       return Status::ExecutionError("unknown file_id " + std::to_string(fid));
     }
-    Warehouse::FileEntry& entry = warehouse_->files_[fid - 1];
-    NanoTime mtime = warehouse_->CurrentMtime(entry.path);
+    Warehouse::FileEntry& entry = warehouse->files_[fid - 1];
+    NanoTime mtime = warehouse->CurrentMtime(entry.path);
     if (mtime < 0) {
       return Status::NotFound("source file disappeared during query: " +
                               entry.path);
     }
-    deps_.push_back({fid, entry.path, mtime});
+    provider->deps_.push_back({fid, entry.path, mtime});
 
     // Lazy refresh (§3.3): the file changed since its metadata was loaded
     // — re-scan its control headers and invalidate its cache entries before
@@ -224,45 +298,78 @@ Result<Table> WarehouseDataProvider::FetchRecords(
         LogOp(LogCategory::kRefresh,
               "lazy refresh: " + entry.path +
                   " was modified; re-loading its metadata");
-        warehouse_->recycler_->InvalidateFile(fid);
-        LAZYETL_ASSIGN_OR_RETURN(
-            TablePtr records, warehouse_->RecordsTable());
+        warehouse->recycler_->InvalidateFile(fid);
+        LAZYETL_ASSIGN_OR_RETURN(TablePtr records, warehouse->RecordsTable());
         LAZYETL_ASSIGN_OR_RETURN(size_t removed,
                                  RemoveFileRows(records.get(), fid));
         (void)removed;
         entry.hydrated = false;
       }
       uint64_t bytes = 0;
-      LAZYETL_RETURN_NOT_OK(warehouse_->HydrateFile(&entry, &bytes));
+      LAZYETL_RETURN_NOT_OK(warehouse->HydrateFile(&entry, &bytes));
       report->bytes_read += bytes;
-      warehouse_->result_recycler_->Clear();
+      warehouse->result_recycler_->Clear();
     }
+
+    FileRequest fr;
+    fr.fid = fid;
+    fr.mtime = mtime;
+    fr.seqs = std::move(seqs);
+    stream->files_.push_back(std::move(fr));
+  }
+  return std::unique_ptr<engine::RecordStream>(std::move(stream));
+}
+
+Status WarehouseRecordStream::AdvanceWindow() {
+  using ExtractJob = WarehouseDataProvider::ExtractJob;
+  Warehouse* warehouse = provider_->warehouse_;
+  unsigned threads =
+      std::max(1u, warehouse->options().extraction_threads);
+
+  // One window of files: cache lookups now, extraction jobs for the
+  // misses. The window closes once it holds `threads` extraction jobs (or
+  // a multiple of that in cache-only files), so extraction parallelism is
+  // preserved while extracted-but-unconsumed data stays bounded by the
+  // window instead of the whole qualifying set.
+  struct PendingFile {
+    const FileRequest* request = nullptr;
+    std::map<int64_t, TransformedRecord> staged;  // cache hits by seq_no
+    int job_index = -1;
+  };
+  std::vector<PendingFile> window;
+  std::vector<ExtractJob> jobs;
+
+  while (next_file_ < files_.size() && jobs.size() < threads &&
+         window.size() < static_cast<size_t>(threads) * 4) {
+    FileRequest& fr = files_[next_file_++];
+    Warehouse::FileEntry& entry = warehouse->files_[fr.fid - 1];
+    PendingFile pending;
+    pending.request = &fr;
 
     // Cache lookups first; misses become one extraction job per file.
     std::vector<int64_t> to_extract;
-    for (int64_t seq : seqs) {
+    for (int64_t seq : fr.seqs) {
       bool stale = false;
       const CachedRecord* hit =
-          warehouse_->recycler_->Lookup({fid, seq}, mtime, &stale);
+          warehouse->recycler_->Lookup({fr.fid, seq}, fr.mtime, &stale);
       if (hit != nullptr) {
-        ++report->cache_hits;
-        ++total_hits;
-        staged[{fid, seq}] = {hit->sample_times, hit->sample_values};
+        ++report_->cache_hits;
+        ++total_hits_;
+        pending.staged[seq] = {hit->sample_times, hit->sample_values};
       } else {
         if (stale) {
-          ++report->cache_stale;
+          ++report_->cache_stale;
         } else {
-          ++report->cache_misses;
+          ++report_->cache_misses;
         }
         to_extract.push_back(seq);
       }
     }
-    if (to_extract.empty()) continue;
 
     ExtractJob job;
     job.entry = &entry;
-    job.file_id = fid;
-    job.mtime = mtime;
+    job.file_id = fr.fid;
+    job.mtime = fr.mtime;
     for (int64_t seq : to_extract) {
       auto it = entry.seq_to_record.find(seq);
       if (it == entry.seq_to_record.end()) {
@@ -276,91 +383,170 @@ Result<Table> WarehouseDataProvider::FetchRecords(
       job.record_indexes.push_back(it->second);
       job.seq_nos.push_back(seq);
     }
-    if (job.record_indexes.empty()) continue;
-    // Sequential file I/O: visit records in offset order.
-    std::vector<size_t> order(job.record_indexes.size());
-    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return job.record_indexes[a] < job.record_indexes[b];
-    });
-    ExtractJob sorted;
-    sorted.entry = job.entry;
-    sorted.file_id = job.file_id;
-    sorted.mtime = job.mtime;
-    for (size_t i : order) {
-      sorted.record_indexes.push_back(job.record_indexes[i]);
-      sorted.seq_nos.push_back(job.seq_nos[i]);
+    if (!job.record_indexes.empty()) {
+      // Sequential file I/O: visit records in offset order.
+      std::vector<size_t> order(job.record_indexes.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return job.record_indexes[a] < job.record_indexes[b];
+      });
+      ExtractJob sorted;
+      sorted.entry = job.entry;
+      sorted.file_id = job.file_id;
+      sorted.mtime = job.mtime;
+      for (size_t i : order) {
+        sorted.record_indexes.push_back(job.record_indexes[i]);
+        sorted.seq_nos.push_back(job.seq_nos[i]);
+      }
+      pending.job_index = static_cast<int>(jobs.size());
+      jobs.push_back(std::move(sorted));
     }
-    jobs.push_back(std::move(sorted));
+    window.push_back(std::move(pending));
   }
 
   // Run the extraction jobs — decode and transform are pure per-file work,
-  // so with extraction_threads > 1 the files are processed concurrently.
-  // Everything touching shared state (report, cache, buffers) happens
-  // below, single-threaded.
-  LAZYETL_RETURN_NOT_OK(RunExtractionJobs(&jobs));
+  // so with extraction_threads > 1 the window's files are processed
+  // concurrently. Everything touching shared state (report, cache, the
+  // ready queue) happens below, single-threaded.
+  LAZYETL_RETURN_NOT_OK(provider_->RunExtractionJobs(&jobs));
 
-  for (ExtractJob& job : jobs) {
-    LAZYETL_RETURN_NOT_OK(job.status);
-    ++report->files_opened;
-    report->files_touched.push_back(job.entry->path);
-    LogOp(LogCategory::kExtract,
-          "extracted " + std::to_string(job.record_indexes.size()) +
-              " records from " + job.entry->path);
-    for (size_t i = 0; i < job.record_indexes.size(); ++i) {
-      const mseed::RecordInfo& info =
-          job.entry->metadata.records[job.record_indexes[i]];
-      TransformedRecord& transformed = job.results[i];
-      report->bytes_read += info.header.record_length;
-      ++report->records_extracted;
-      report->samples_extracted += transformed.sample_values.size();
+  for (PendingFile& pending : window) {
+    if (pending.job_index >= 0) {
+      ExtractJob& job = jobs[pending.job_index];
+      LAZYETL_RETURN_NOT_OK(job.status);
+      ++report_->files_opened;
+      report_->files_touched.push_back(job.entry->path);
+      LogOp(LogCategory::kExtract,
+            "extracted " + std::to_string(job.record_indexes.size()) +
+                " records from " + job.entry->path);
+      for (size_t i = 0; i < job.record_indexes.size(); ++i) {
+        const mseed::RecordInfo& info =
+            job.entry->metadata.records[job.record_indexes[i]];
+        TransformedRecord& transformed = job.results[i];
+        report_->bytes_read += info.header.record_length;
+        ++report_->records_extracted;
+        report_->samples_extracted += transformed.sample_values.size();
 
-      // Lazy loading (§3.3): admit the extracted+transformed record.
-      CachedRecord cached;
-      cached.sample_times = transformed.sample_times;
-      cached.sample_values = transformed.sample_values;
-      cached.file_mtime = job.mtime;
-      cached.admitted_at = NowNanos();
-      warehouse_->recycler_->Admit({job.file_id, job.seq_nos[i]},
-                                   std::move(cached));
+        // Lazy loading (§3.3): admit the extracted+transformed record.
+        CachedRecord cached;
+        cached.sample_times = transformed.sample_times;
+        cached.sample_values = transformed.sample_values;
+        cached.file_mtime = job.mtime;
+        cached.admitted_at = NowNanos();
+        warehouse->recycler_->Admit({job.file_id, job.seq_nos[i]},
+                                    std::move(cached));
 
-      staged[{job.file_id, job.seq_nos[i]}] = std::move(transformed);
+        pending.staged[job.seq_nos[i]] = std::move(transformed);
+      }
+      extracted_desc_.push_back(job.entry->path + " (" +
+                                std::to_string(job.record_indexes.size()) +
+                                " records)");
     }
-    extracted_desc.push_back(job.entry->path + " (" +
-                             std::to_string(job.record_indexes.size()) +
-                             " records)");
-  }
 
-  // Deterministic assembly: by file, then by requested record order.
-  for (const auto& [fid, seqs] : by_file) {
-    for (int64_t seq : seqs) {
-      auto it = staged.find({fid, seq});
-      if (it == staged.end()) continue;  // vanished record
-      buffers.Append(fid, seq, it->second.sample_times,
+    // Deterministic assembly: by file, then by requested record order —
+    // identical whether a record came from the cache or from extraction.
+    WarehouseDataProvider::OutputBuffers buffers;
+    for (int64_t seq : pending.request->seqs) {
+      auto it = pending.staged.find(seq);
+      if (it == pending.staged.end()) continue;  // vanished record
+      buffers.Append(pending.request->fid, seq, it->second.sample_times,
                      it->second.sample_values);
     }
+    LAZYETL_ASSIGN_OR_RETURN(
+        Table file_table,
+        provider_->BuildOutput(std::move(buffers), columns_));
+    ready_.push_back(std::move(file_table));
   }
-
-  rewrite << "  CacheScan[" << total_hits << " records]\n";
-  rewrite << "  FileExtract[" << extracted_desc.size() << " files";
-  for (size_t i = 0; i < extracted_desc.size() && i < 6; ++i) {
-    rewrite << (i == 0 ? ": " : ", ") << extracted_desc[i];
-  }
-  if (extracted_desc.size() > 6) rewrite << ", ...";
-  rewrite << "]\n";
-  report->plan_runtime += rewrite.str();
-  LogOp(LogCategory::kCache,
-        "cache after fetch: " +
-            std::to_string(warehouse_->recycler_->stats().entries) +
-            " entries, " +
-            std::to_string(warehouse_->recycler_->stats().current_bytes) +
-            " bytes");
-
-  return BuildOutput(std::move(buffers), columns);
+  return Status::OK();
 }
 
-Result<Table> WarehouseDataProvider::FetchAllRecords(
-    const std::vector<ScanColumn>& columns, ExecutionReport* report) {
+Result<bool> WarehouseRecordStream::Next(Table* out) {
+  while (true) {
+    if (current_active_) {
+      size_t rows = current_.num_rows();
+      if (current_offset_ < rows) {
+        size_t n = std::min(batch_rows_, rows - current_offset_);
+        if (current_offset_ == 0 && n == rows) {
+          *out = std::move(current_);
+          current_active_ = false;
+        } else {
+          *out = current_.Slice(current_offset_, n).Materialize();
+          current_offset_ += n;
+          if (current_offset_ >= rows) current_active_ = false;
+        }
+        emitted_ = true;
+        return true;
+      }
+      current_active_ = false;
+    }
+    if (!ready_.empty()) {
+      current_ = std::move(ready_.front());
+      ready_.pop_front();
+      current_offset_ = 0;
+      current_active_ = current_.num_rows() > 0;
+      continue;
+    }
+    if (next_file_ < files_.size()) {
+      LAZYETL_RETURN_NOT_OK(AdvanceWindow());
+      continue;
+    }
+    FlushSummary();
+    if (!emitted_) {
+      // Contract: at least one (possibly empty) chunk carries the schema.
+      emitted_ = true;
+      LAZYETL_ASSIGN_OR_RETURN(
+          *out, provider_->BuildOutput({}, columns_));
+      return true;
+    }
+    return false;
+  }
+}
+
+void WarehouseRecordStream::FlushSummary() {
+  if (summary_written_) return;
+  summary_written_ = true;
+  Warehouse* warehouse = provider_->warehouse_;
+  std::ostringstream rewrite;
+  rewrite << "LazyDataScan(" << kDataTable
+          << ") rewritten at run time into:\n";
+  rewrite << "  CacheScan[" << total_hits_ << " records]\n";
+  rewrite << "  FileExtract[" << extracted_desc_.size() << " files";
+  for (size_t i = 0; i < extracted_desc_.size() && i < 6; ++i) {
+    rewrite << (i == 0 ? ": " : ", ") << extracted_desc_[i];
+  }
+  if (extracted_desc_.size() > 6) rewrite << ", ...";
+  rewrite << "]\n";
+  report_->plan_runtime += rewrite.str();
+  LogOp(LogCategory::kCache,
+        "cache after fetch: " +
+            std::to_string(warehouse->recycler_->stats().entries) +
+            " entries, " +
+            std::to_string(warehouse->recycler_->stats().current_bytes) +
+            " bytes");
+}
+
+Result<std::unique_ptr<engine::RecordStream>>
+WarehouseDataProvider::StreamRecords(const std::vector<RecordKey>& keys,
+                                     const std::vector<ScanColumn>& columns,
+                                     size_t batch_rows,
+                                     ExecutionReport* report) {
+  return WarehouseRecordStream::Create(this, keys, columns, batch_rows,
+                                       report);
+}
+
+Result<std::unique_ptr<engine::RecordStream>>
+WarehouseDataProvider::StreamAllRecords(const std::vector<ScanColumn>& columns,
+                                        size_t batch_rows,
+                                        ExecutionReport* report) {
+  LAZYETL_ASSIGN_OR_RETURN(std::vector<RecordKey> keys,
+                           AllRecordKeys(report));
+  report->records_requested += keys.size();
+  return WarehouseRecordStream::Create(this, keys, columns, batch_rows,
+                                       report);
+}
+
+Result<std::vector<RecordKey>> WarehouseDataProvider::AllRecordKeys(
+    ExecutionReport* report) {
   std::vector<RecordKey> keys;
   for (auto& entry : warehouse_->files_) {
     if (entry.file_id == 0) continue;  // tombstone
@@ -374,6 +560,38 @@ Result<Table> WarehouseDataProvider::FetchAllRecords(
       keys.push_back({entry.file_id, rec.header.sequence_number});
     }
   }
+  return keys;
+}
+
+Result<Table> WarehouseDataProvider::FetchRecords(
+    const std::vector<RecordKey>& keys, const std::vector<ScanColumn>& columns,
+    ExecutionReport* report) {
+  // Materialising wrapper over the stream (kept for API compatibility and
+  // tests): drains every chunk into one table.
+  LAZYETL_ASSIGN_OR_RETURN(
+      std::unique_ptr<engine::RecordStream> stream,
+      StreamRecords(keys, columns, std::numeric_limits<size_t>::max(),
+                    report));
+  Table result;
+  bool first = true;
+  Table chunk;
+  while (true) {
+    LAZYETL_ASSIGN_OR_RETURN(bool more, stream->Next(&chunk));
+    if (!more) break;
+    if (first) {
+      result = std::move(chunk);
+      first = false;
+    } else {
+      LAZYETL_RETURN_NOT_OK(result.AppendTable(chunk));
+    }
+  }
+  return result;
+}
+
+Result<Table> WarehouseDataProvider::FetchAllRecords(
+    const std::vector<ScanColumn>& columns, ExecutionReport* report) {
+  LAZYETL_ASSIGN_OR_RETURN(std::vector<RecordKey> keys,
+                           AllRecordKeys(report));
   report->records_requested += keys.size();
   return FetchRecords(keys, columns, report);
 }
@@ -938,7 +1156,8 @@ Result<QueryResult> Warehouse::Query(const std::string& sql) {
 
   phase.Restart();
   provider->BeginQuery();
-  engine::Executor executor(catalog_.get(), provider_.get());
+  engine::Executor executor(catalog_.get(), provider_.get(),
+                            {options_.batch_rows});
   LAZYETL_ASSIGN_OR_RETURN(Table result,
                            executor.Execute(*planned.plan, &report));
   report.execute_seconds = phase.ElapsedSeconds();

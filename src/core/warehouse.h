@@ -68,8 +68,12 @@ struct WarehouseOptions {
   // Worker threads for lazy extraction. Files are independent units of
   // work (open + decode + transform), so multi-file fetches parallelise
   // cleanly; cache admission and table assembly stay single-threaded.
-  // 1 = fully serial.
+  // 1 = fully serial. The streaming fetch extracts in windows of this
+  // many files, bounding peak extracted-but-unconsumed data.
   unsigned extraction_threads = 1;
+  // Rows per engine pipeline batch. Intermediates of pipelined plans are
+  // bounded by O(batch_rows × pipeline depth).
+  size_t batch_rows = engine::kDefaultBatchRows;
   // Mirror the operation log to stderr.
   bool echo_log = false;
 };
@@ -155,6 +159,7 @@ class Warehouse {
 
  private:
   friend class WarehouseDataProvider;
+  friend class WarehouseRecordStream;
 
   // Everything known about one source file.
   struct FileEntry {

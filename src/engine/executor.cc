@@ -1,97 +1,56 @@
 #include "engine/executor.h"
 
-#include <algorithm>
-#include <cstring>
-#include <string>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 
-#include "common/log.h"
 #include "common/macros.h"
-#include "common/time.h"
-#include "engine/expr_eval.h"
+#include "engine/operators/join_build.h"
+#include "engine/operators/operator.h"
 
 namespace lazyetl::engine {
 
-using sql::BoundAggregate;
-using storage::Column;
-using storage::DataType;
 using storage::SelectionVector;
 using storage::Table;
+using storage::TableSlice;
 
 namespace {
 
-bool IsIntLike(DataType t) {
-  return t == DataType::kBool || t == DataType::kInt32 ||
-         t == DataType::kInt64 || t == DataType::kTimestamp;
-}
+// Default streaming adapter: one chunk holding the whole fetched table.
+// Providers that can extract incrementally override StreamRecords.
+class SingleChunkStream : public RecordStream {
+ public:
+  explicit SingleChunkStream(Table table) : table_(std::move(table)) {}
 
-// Appends a type-tagged binary encoding of row `row` of `col` to `out`,
-// such that two rows encode equal iff their values are equal.
-void PackValue(const Column& col, size_t row, std::string* out) {
-  switch (col.type()) {
-    case DataType::kBool:
-      out->push_back(col.bool_data()[row] ? '\1' : '\0');
-      break;
-    case DataType::kInt32: {
-      int64_t v = col.int32_data()[row];
-      out->append(reinterpret_cast<const char*>(&v), sizeof(v));
-      break;
-    }
-    case DataType::kInt64:
-    case DataType::kTimestamp: {
-      int64_t v = col.int64_data()[row];
-      out->append(reinterpret_cast<const char*>(&v), sizeof(v));
-      break;
-    }
-    case DataType::kDouble: {
-      double v = col.double_data()[row];
-      out->append(reinterpret_cast<const char*>(&v), sizeof(v));
-      break;
-    }
-    case DataType::kString: {
-      const std::string& s = col.string_data()[row];
-      uint32_t len = static_cast<uint32_t>(s.size());
-      out->append(reinterpret_cast<const char*>(&len), sizeof(len));
-      out->append(s);
-      break;
-    }
+  Result<bool> Next(Table* out) override {
+    if (done_) return false;
+    done_ = true;
+    *out = std::move(table_);
+    return true;
   }
-  out->push_back('\x1f');  // field separator
-}
 
-Result<std::vector<const Column*>> ResolveColumns(
-    const Table& table, const std::vector<std::string>& names) {
-  std::vector<const Column*> cols;
-  cols.reserve(names.size());
-  for (const auto& name : names) {
-    LAZYETL_ASSIGN_OR_RETURN(const Column* c, table.ColumnByName(name));
-    cols.push_back(c);
-  }
-  return cols;
-}
-
-// Extracts a column as int64s (for record-key probing).
-Result<std::vector<int64_t>> ColumnAsInt64(const Column& col) {
-  if (!IsIntLike(col.type())) {
-    return Status::ExecutionError("expected an integer key column");
-  }
-  std::vector<int64_t> out(col.size());
-  switch (col.type()) {
-    case DataType::kInt32:
-      for (size_t i = 0; i < col.size(); ++i) out[i] = col.int32_data()[i];
-      break;
-    case DataType::kBool:
-      for (size_t i = 0; i < col.size(); ++i) out[i] = col.bool_data()[i];
-      break;
-    default:
-      out = col.int64_data();
-      break;
-  }
-  return out;
-}
+ private:
+  Table table_;
+  bool done_ = false;
+};
 
 }  // namespace
+
+Result<std::unique_ptr<RecordStream>> LazyDataProvider::StreamRecords(
+    const std::vector<RecordKey>& keys, const std::vector<ScanColumn>& columns,
+    size_t batch_rows, ExecutionReport* report) {
+  (void)batch_rows;
+  LAZYETL_ASSIGN_OR_RETURN(Table data, FetchRecords(keys, columns, report));
+  return std::unique_ptr<RecordStream>(
+      std::make_unique<SingleChunkStream>(std::move(data)));
+}
+
+Result<std::unique_ptr<RecordStream>> LazyDataProvider::StreamAllRecords(
+    const std::vector<ScanColumn>& columns, size_t batch_rows,
+    ExecutionReport* report) {
+  (void)batch_rows;
+  LAZYETL_ASSIGN_OR_RETURN(Table data, FetchAllRecords(columns, report));
+  return std::unique_ptr<RecordStream>(
+      std::make_unique<SingleChunkStream>(std::move(data)));
+}
 
 Result<Table> HashJoinTables(const Table& left, const Table& right,
                              const std::vector<std::string>& left_keys,
@@ -99,32 +58,12 @@ Result<Table> HashJoinTables(const Table& left, const Table& right,
   if (left_keys.size() != right_keys.size() || left_keys.empty()) {
     return Status::InvalidArgument("join key arity mismatch");
   }
-  LAZYETL_ASSIGN_OR_RETURN(auto lcols, ResolveColumns(left, left_keys));
-  LAZYETL_ASSIGN_OR_RETURN(auto rcols, ResolveColumns(right, right_keys));
-
-  // Build side: left.
-  std::unordered_map<std::string, std::vector<uint32_t>> build;
-  build.reserve(left.num_rows() * 2);
-  std::string key;
-  for (size_t row = 0; row < left.num_rows(); ++row) {
-    key.clear();
-    for (const Column* c : lcols) PackValue(*c, row, &key);
-    build[key].push_back(static_cast<uint32_t>(row));
-  }
-
-  // Probe side: right.
+  JoinBuild build;
+  LAZYETL_RETURN_NOT_OK(build.Init(&left, left_keys));
+  TableSlice probe = right.Slice(0, right.num_rows());
   SelectionVector left_sel;
   SelectionVector right_sel;
-  for (size_t row = 0; row < right.num_rows(); ++row) {
-    key.clear();
-    for (const Column* c : rcols) PackValue(*c, row, &key);
-    auto it = build.find(key);
-    if (it == build.end()) continue;
-    for (uint32_t lrow : it->second) {
-      left_sel.push_back(lrow);
-      right_sel.push_back(static_cast<uint32_t>(row));
-    }
-  }
+  LAZYETL_RETURN_NOT_OK(build.Probe(probe, right_keys, &left_sel, &right_sel));
 
   Table out = left.Gather(left_sel);
   Table right_rows = right.Gather(right_sel);
@@ -135,391 +74,27 @@ Result<Table> HashJoinTables(const Table& left, const Table& right,
   return out;
 }
 
-Result<Table> Executor::ExecuteScan(const PlanNode& node) {
-  LAZYETL_ASSIGN_OR_RETURN(storage::TablePtr table,
-                           catalog_->GetTable(node.table));
-  if (node.scan_columns.empty()) {
-    return *table;  // full copy with stored names
-  }
-  Table out;
-  for (const auto& sc : node.scan_columns) {
-    LAZYETL_ASSIGN_OR_RETURN(const Column* c,
-                             table->ColumnByName(sc.base_column));
-    LAZYETL_RETURN_NOT_OK(out.AddColumn(sc.output_name, *c));
-  }
-  return out;
-}
+Result<Table> Executor::Execute(const PlanNode& plan,
+                                ExecutionReport* report) {
+  ExecContext ctx{catalog_, provider_, report, options_.batch_rows};
+  LAZYETL_ASSIGN_OR_RETURN(BatchOperatorPtr root,
+                           BuildOperatorTree(plan, &ctx));
+  LAZYETL_RETURN_NOT_OK(root->Open());
+  auto result = DrainToTable(root.get());
+  root->Close();
+  if (!result.ok()) return result.status();
 
-Result<Table> Executor::ExecuteLazyDataScan(const PlanNode& node,
-                                            ExecutionReport* report) {
-  if (provider_ == nullptr) {
-    return Status::ExecutionError(
-        "plan contains LazyDataScan but no lazy data provider is attached");
-  }
-  Stopwatch extract_timer;
-
-  if (node.children.empty()) {
-    LogOp(LogCategory::kRewrite,
-          "run-time rewrite: no metadata side; extracting entire repository "
-          "for " + node.table);
-    LAZYETL_ASSIGN_OR_RETURN(
-        Table data, provider_->FetchAllRecords(node.scan_columns, report));
-    report->extract_seconds += extract_timer.ElapsedSeconds();
-    return data;
-  }
-
-  // Phase 1: execute the metadata side.
-  LAZYETL_ASSIGN_OR_RETURN(Table meta, Execute(*node.children[0], report));
-
-  // Phase 2 (run-time rewrite): determine the qualifying records.
-  LAZYETL_ASSIGN_OR_RETURN(const Column* fid_col,
-                           meta.ColumnByName(node.probe_file_id_column));
-  LAZYETL_ASSIGN_OR_RETURN(const Column* seq_col,
-                           meta.ColumnByName(node.probe_seq_no_column));
-  LAZYETL_ASSIGN_OR_RETURN(std::vector<int64_t> fids, ColumnAsInt64(*fid_col));
-  LAZYETL_ASSIGN_OR_RETURN(std::vector<int64_t> seqs, ColumnAsInt64(*seq_col));
-
-  std::vector<RecordKey> keys;
-  std::unordered_set<uint64_t> seen;
-  keys.reserve(fids.size());
-  for (size_t i = 0; i < fids.size(); ++i) {
-    uint64_t packed = (static_cast<uint64_t>(fids[i]) << 32) ^
-                      static_cast<uint64_t>(static_cast<uint32_t>(seqs[i]));
-    if (seen.insert(packed).second) {
-      keys.push_back({fids[i], seqs[i]});
+  if (report != nullptr) {
+    size_t base = report->operator_stats.size();
+    root->AppendStats(&report->operator_stats);
+    uint64_t peak = 0;
+    for (size_t i = base; i < report->operator_stats.size(); ++i) {
+      const OperatorStats& os = report->operator_stats[i];
+      peak += os.state_bytes + os.peak_batch_bytes;
     }
+    report->peak_intermediate_bytes += peak;
   }
-  report->records_requested += keys.size();
-  LogOp(LogCategory::kRewrite,
-        "run-time rewrite: metadata phase selected " +
-            std::to_string(keys.size()) + " records from " +
-            std::to_string(meta.num_rows()) + " metadata rows");
-
-  // Phase 3: injected operators — cache accesses and file extraction.
-  LAZYETL_ASSIGN_OR_RETURN(Table data,
-                           provider_->FetchRecords(keys, node.scan_columns,
-                                                   report));
-  report->extract_seconds += extract_timer.ElapsedSeconds();
-
-  // Phase 4: join extracted data back to the metadata side.
-  return HashJoinTables(meta, data, node.left_keys, node.right_keys);
-}
-
-Result<Table> Executor::ExecuteFilter(const PlanNode& node,
-                                      ExecutionReport* report) {
-  LAZYETL_ASSIGN_OR_RETURN(Table input, Execute(*node.children[0], report));
-  LAZYETL_ASSIGN_OR_RETURN(SelectionVector sel,
-                           EvaluatePredicate(*node.predicate, input));
-  return input.Gather(sel);
-}
-
-Result<Table> Executor::ExecuteHashJoin(const PlanNode& node,
-                                        ExecutionReport* report) {
-  LAZYETL_ASSIGN_OR_RETURN(Table left, Execute(*node.children[0], report));
-  LAZYETL_ASSIGN_OR_RETURN(Table right, Execute(*node.children[1], report));
-  return HashJoinTables(left, right, node.left_keys, node.right_keys);
-}
-
-namespace {
-
-// Typed accumulator for one aggregate across all groups.
-class Accumulator {
- public:
-  Accumulator(const BoundAggregate& agg, const Column* arg)
-      : function_(agg.function), out_type_(agg.type), arg_(arg) {}
-
-  void Resize(size_t groups) {
-    count_.resize(groups, 0);
-    if (function_ == "AVG" || function_ == "SUM") {
-      dsum_.resize(groups, 0.0);
-      isum_.resize(groups, 0);
-    } else if (function_ == "MIN" || function_ == "MAX") {
-      if (arg_ && arg_->type() == DataType::kString) {
-        sext_.resize(groups);
-      } else if (arg_ && arg_->type() == DataType::kDouble) {
-        dext_.resize(groups, 0.0);
-      } else {
-        iext_.resize(groups, 0);
-      }
-    }
-  }
-
-  void Update(size_t group, size_t row) {
-    bool first = count_[group] == 0;
-    ++count_[group];
-    if (function_ == "COUNT") return;
-    if (function_ == "AVG" || function_ == "SUM") {
-      if (arg_->type() == DataType::kDouble) {
-        dsum_[group] += arg_->double_data()[row];
-      } else {
-        int64_t v = IntValueAt(row);
-        isum_[group] += v;
-        dsum_[group] += static_cast<double>(v);
-      }
-      return;
-    }
-    // MIN / MAX
-    bool want_min = function_ == "MIN";
-    if (!sext_.empty()) {
-      const std::string& v = arg_->string_data()[row];
-      if (first || (want_min ? v < sext_[group] : v > sext_[group])) {
-        sext_[group] = v;
-      }
-    } else if (!dext_.empty()) {
-      double v = arg_->double_data()[row];
-      if (first || (want_min ? v < dext_[group] : v > dext_[group])) {
-        dext_[group] = v;
-      }
-    } else {
-      int64_t v = IntValueAt(row);
-      if (first || (want_min ? v < iext_[group] : v > iext_[group])) {
-        iext_[group] = v;
-      }
-    }
-  }
-
-  Result<Column> Finish(size_t groups) const {
-    if (function_ == "COUNT") {
-      std::vector<int64_t> out(groups);
-      for (size_t g = 0; g < groups; ++g) out[g] = count_[g];
-      return Column::FromInt64(std::move(out));
-    }
-    if (function_ == "AVG") {
-      std::vector<double> out(groups);
-      for (size_t g = 0; g < groups; ++g) {
-        out[g] = count_[g] ? dsum_[g] / static_cast<double>(count_[g]) : 0.0;
-      }
-      return Column::FromDouble(std::move(out));
-    }
-    if (function_ == "SUM") {
-      if (out_type_ == DataType::kDouble) {
-        return Column::FromDouble(dsum_);
-      }
-      return Column::FromInt64(isum_);
-    }
-    // MIN / MAX: emit in the argument's type.
-    if (!sext_.empty()) return Column::FromString(sext_);
-    if (!dext_.empty()) return Column::FromDouble(dext_);
-    switch (out_type_) {
-      case DataType::kInt32: {
-        std::vector<int32_t> out(groups);
-        for (size_t g = 0; g < groups; ++g) {
-          out[g] = static_cast<int32_t>(iext_[g]);
-        }
-        return Column::FromInt32(std::move(out));
-      }
-      case DataType::kTimestamp:
-        return Column::FromTimestamp(iext_);
-      default:
-        return Column::FromInt64(iext_);
-    }
-  }
-
- private:
-  int64_t IntValueAt(size_t row) const {
-    switch (arg_->type()) {
-      case DataType::kInt32:
-        return arg_->int32_data()[row];
-      case DataType::kBool:
-        return arg_->bool_data()[row];
-      default:
-        return arg_->int64_data()[row];
-    }
-  }
-
-  std::string function_;
-  DataType out_type_;
-  const Column* arg_;
-  std::vector<int64_t> count_;
-  std::vector<double> dsum_;
-  std::vector<int64_t> isum_;
-  std::vector<int64_t> iext_;
-  std::vector<double> dext_;
-  std::vector<std::string> sext_;
-};
-
-}  // namespace
-
-Result<Table> Executor::ExecuteAggregate(const PlanNode& node,
-                                         ExecutionReport* report) {
-  LAZYETL_ASSIGN_OR_RETURN(Table input, Execute(*node.children[0], report));
-
-  // Evaluate grouping expressions and aggregate arguments once, over the
-  // whole input.
-  std::vector<Column> group_cols;
-  for (const auto& g : node.group_exprs) {
-    LAZYETL_ASSIGN_OR_RETURN(Column c, EvaluateExpr(*g, input));
-    group_cols.push_back(std::move(c));
-  }
-  std::vector<Column> arg_cols;
-  arg_cols.reserve(node.aggregates.size());
-  for (const auto& a : node.aggregates) {
-    if (a.arg) {
-      LAZYETL_ASSIGN_OR_RETURN(Column c, EvaluateExpr(*a.arg, input));
-      arg_cols.push_back(std::move(c));
-    } else {
-      arg_cols.emplace_back(DataType::kInt64);  // COUNT(*): unused
-    }
-  }
-
-  // Assign group ids.
-  const size_t rows = input.num_rows();
-  std::unordered_map<std::string, uint32_t> group_index;
-  std::vector<uint32_t> row_group(rows);
-  std::vector<uint32_t> group_rep;  // representative row per group
-  std::string key;
-  for (size_t row = 0; row < rows; ++row) {
-    key.clear();
-    for (const Column& c : group_cols) PackValue(c, row, &key);
-    auto [it, inserted] = group_index.emplace(
-        key, static_cast<uint32_t>(group_rep.size()));
-    if (inserted) group_rep.push_back(static_cast<uint32_t>(row));
-    row_group[row] = it->second;
-  }
-  size_t num_groups = group_rep.size();
-  // Grand aggregate over an empty input still yields one row (COUNT = 0),
-  // matching the "no NULLs" simplification documented in the README.
-  bool synthetic_empty_group = false;
-  if (num_groups == 0 && node.group_exprs.empty()) {
-    num_groups = 1;
-    synthetic_empty_group = true;
-  }
-
-  std::vector<Accumulator> accs;
-  accs.reserve(node.aggregates.size());
-  for (size_t i = 0; i < node.aggregates.size(); ++i) {
-    accs.emplace_back(node.aggregates[i],
-                      node.aggregates[i].arg ? &arg_cols[i] : nullptr);
-    accs.back().Resize(num_groups);
-  }
-  for (size_t row = 0; row < rows; ++row) {
-    for (auto& acc : accs) acc.Update(row_group[row], row);
-  }
-
-  // Output: group columns (named by expression) + one column per aggregate.
-  Table out;
-  if (!synthetic_empty_group) {
-    SelectionVector rep_sel(group_rep.begin(), group_rep.end());
-    for (size_t i = 0; i < group_cols.size(); ++i) {
-      LAZYETL_RETURN_NOT_OK(out.AddColumn(node.group_exprs[i]->ToString(),
-                                          group_cols[i].Gather(rep_sel)));
-    }
-  }
-  for (size_t i = 0; i < node.aggregates.size(); ++i) {
-    LAZYETL_ASSIGN_OR_RETURN(Column c, accs[i].Finish(num_groups));
-    LAZYETL_RETURN_NOT_OK(
-        out.AddColumn("#agg" + std::to_string(i), std::move(c)));
-  }
-  return out;
-}
-
-Result<Table> Executor::ExecuteProject(const PlanNode& node,
-                                       ExecutionReport* report) {
-  LAZYETL_ASSIGN_OR_RETURN(Table input, Execute(*node.children[0], report));
-  Table out;
-  for (size_t i = 0; i < node.project_exprs.size(); ++i) {
-    LAZYETL_ASSIGN_OR_RETURN(Column c,
-                             EvaluateExpr(*node.project_exprs[i], input));
-    LAZYETL_RETURN_NOT_OK(out.AddColumn(node.project_names[i], std::move(c)));
-  }
-  return out;
-}
-
-Result<Table> Executor::ExecuteDistinct(const PlanNode& node,
-                                        ExecutionReport* report) {
-  LAZYETL_ASSIGN_OR_RETURN(Table input, Execute(*node.children[0], report));
-  std::unordered_set<std::string> seen;
-  seen.reserve(input.num_rows());
-  SelectionVector keep;
-  std::string key;
-  for (size_t row = 0; row < input.num_rows(); ++row) {
-    key.clear();
-    for (size_t c = 0; c < input.num_columns(); ++c) {
-      PackValue(input.column(c), row, &key);
-    }
-    if (seen.insert(key).second) keep.push_back(static_cast<uint32_t>(row));
-  }
-  return input.Gather(keep);
-}
-
-Result<Table> Executor::ExecuteSort(const PlanNode& node,
-                                    ExecutionReport* report) {
-  LAZYETL_ASSIGN_OR_RETURN(Table input, Execute(*node.children[0], report));
-  std::vector<Column> sort_cols;
-  for (const auto& item : node.order_items) {
-    LAZYETL_ASSIGN_OR_RETURN(Column c, EvaluateExpr(*item.expr, input));
-    sort_cols.push_back(std::move(c));
-  }
-  std::vector<uint32_t> idx(input.num_rows());
-  for (size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<uint32_t>(i);
-
-  auto compare_rows = [&](uint32_t a, uint32_t b) {
-    for (size_t k = 0; k < sort_cols.size(); ++k) {
-      const Column& c = sort_cols[k];
-      bool asc = node.order_items[k].ascending;
-      int cmp = 0;
-      if (c.type() == DataType::kString) {
-        cmp = c.string_data()[a].compare(c.string_data()[b]);
-      } else if (c.type() == DataType::kDouble) {
-        double va = c.double_data()[a];
-        double vb = c.double_data()[b];
-        cmp = va < vb ? -1 : (va > vb ? 1 : 0);
-      } else {
-        double va = c.NumericAt(a);
-        double vb = c.NumericAt(b);
-        if (IsIntLike(c.type())) {
-          int64_t ia = static_cast<int64_t>(va);
-          int64_t ib = static_cast<int64_t>(vb);
-          // Re-read exactly for int64/timestamp columns.
-          if (c.type() != DataType::kInt32 && c.type() != DataType::kBool) {
-            ia = c.int64_data()[a];
-            ib = c.int64_data()[b];
-          }
-          cmp = ia < ib ? -1 : (ia > ib ? 1 : 0);
-        } else {
-          cmp = va < vb ? -1 : (va > vb ? 1 : 0);
-        }
-      }
-      if (cmp != 0) return asc ? cmp < 0 : cmp > 0;
-    }
-    return false;
-  };
-  std::stable_sort(idx.begin(), idx.end(), compare_rows);
-  return input.Gather(idx);
-}
-
-Result<Table> Executor::ExecuteLimit(const PlanNode& node,
-                                     ExecutionReport* report) {
-  LAZYETL_ASSIGN_OR_RETURN(Table input, Execute(*node.children[0], report));
-  size_t n = std::min<size_t>(input.num_rows(),
-                              static_cast<size_t>(std::max<int64_t>(0, node.limit)));
-  SelectionVector sel(n);
-  for (size_t i = 0; i < n; ++i) sel[i] = static_cast<uint32_t>(i);
-  return input.Gather(sel);
-}
-
-Result<Table> Executor::Execute(const PlanNode& plan, ExecutionReport* report) {
-  switch (plan.type) {
-    case PlanNodeType::kScan:
-      return ExecuteScan(plan);
-    case PlanNodeType::kLazyDataScan:
-      return ExecuteLazyDataScan(plan, report);
-    case PlanNodeType::kFilter:
-      return ExecuteFilter(plan, report);
-    case PlanNodeType::kHashJoin:
-      return ExecuteHashJoin(plan, report);
-    case PlanNodeType::kAggregate:
-      return ExecuteAggregate(plan, report);
-    case PlanNodeType::kProject:
-      return ExecuteProject(plan, report);
-    case PlanNodeType::kDistinct:
-      return ExecuteDistinct(plan, report);
-    case PlanNodeType::kSort:
-      return ExecuteSort(plan, report);
-    case PlanNodeType::kLimit:
-      return ExecuteLimit(plan, report);
-  }
-  return Status::Internal("unhandled plan node type");
+  return result;
 }
 
 }  // namespace lazyetl::engine

@@ -1,16 +1,22 @@
-// Executor: runs plans bottom-up with materialised intermediates.
+// Executor: a thin driver over the streaming batch pipeline.
 //
-// The LazyDataScan node realises the paper's run-time plan modification
-// (§3.1): after the metadata side of the plan has executed, the executor's
-// rewriting step inspects the qualifying (file_id, seq_no) pairs and asks
-// the LazyDataProvider for exactly those records; the provider serves them
-// from the recycler cache or extracts them from the source files. The
+// Plans execute as a pull-based tree of BatchOperators (engine/operators/)
+// exchanging fixed-size batches, so peak intermediate memory of pipelined
+// plans is bounded by O(batch size × pipeline depth) instead of the full
+// qualifying set. The LazyDataScan operator realises the paper's run-time
+// plan modification (§3.1): after the metadata side of the plan has
+// executed, the rewriting step inspects the qualifying (file_id, seq_no)
+// pairs and asks the LazyDataProvider for exactly those records; the
+// provider serves them from the recycler cache or extracts them from the
+// source files — file by file, feeding the pipeline as a stream. The
 // "plan after rewrite" — which records came from cache, which files were
-// opened — is recorded in the ExecutionReport.
+// opened — is recorded in the ExecutionReport, along with per-operator
+// batch/row/time counters.
 
 #ifndef LAZYETL_ENGINE_EXECUTOR_H_
 #define LAZYETL_ENGINE_EXECUTOR_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
@@ -20,6 +26,24 @@
 #include "storage/catalog.h"
 
 namespace lazyetl::engine {
+
+// Rows per pipeline batch (the vectorized execution sweet spot: large
+// enough to amortise per-batch overhead, small enough to stay cache- and
+// memory-friendly).
+inline constexpr size_t kDefaultBatchRows = 4096;
+
+// A pull stream of record chunks produced by lazy extraction. Chunks
+// arrive file-by-file, each at most the requested batch size, so the
+// engine never holds more than a bounded window of extracted data.
+// Streams emit at least one (possibly empty) chunk before end-of-stream
+// so the schema always reaches the consumer.
+class RecordStream {
+ public:
+  virtual ~RecordStream() = default;
+
+  // Fills *out with the next chunk; returns false at end of stream.
+  virtual Result<bool> Next(storage::Table* out) = 0;
+};
 
 // Supplies actual data at query time (implemented by the lazy ETL layer).
 class LazyDataProvider {
@@ -36,39 +60,45 @@ class LazyDataProvider {
   // The §3.1 worst case: every record of the repository.
   virtual Result<storage::Table> FetchAllRecords(
       const std::vector<ScanColumn>& columns, ExecutionReport* report) = 0;
+
+  // Streaming fetch: the same records as FetchRecords, emitted file-by-file
+  // in chunks of at most `batch_rows` rows. The default adapts
+  // FetchRecords into a single-chunk stream; providers that can extract
+  // incrementally should override it to bound peak memory.
+  virtual Result<std::unique_ptr<RecordStream>> StreamRecords(
+      const std::vector<RecordKey>& keys,
+      const std::vector<ScanColumn>& columns, size_t batch_rows,
+      ExecutionReport* report);
+
+  // Streaming variant of FetchAllRecords.
+  virtual Result<std::unique_ptr<RecordStream>> StreamAllRecords(
+      const std::vector<ScanColumn>& columns, size_t batch_rows,
+      ExecutionReport* report);
+};
+
+struct ExecutorOptions {
+  // Rows per pipeline batch. SIZE_MAX reproduces whole-table intermediates
+  // (the materialize-everything baseline, useful for comparison).
+  size_t batch_rows = kDefaultBatchRows;
 };
 
 class Executor {
  public:
   // `provider` may be null (pure eager warehouse); executing a
   // LazyDataScan without a provider is an execution error.
-  Executor(const storage::Catalog* catalog, LazyDataProvider* provider)
-      : catalog_(catalog), provider_(provider) {}
+  Executor(const storage::Catalog* catalog, LazyDataProvider* provider,
+           ExecutorOptions options = {})
+      : catalog_(catalog), provider_(provider), options_(options) {}
 
+  // Builds the batch-operator tree for `plan`, drains it, and assembles
+  // the result table. Per-operator counters land in `report`.
   Result<storage::Table> Execute(const PlanNode& plan,
                                  ExecutionReport* report);
 
  private:
-  Result<storage::Table> ExecuteScan(const PlanNode& node);
-  Result<storage::Table> ExecuteLazyDataScan(const PlanNode& node,
-                                             ExecutionReport* report);
-  Result<storage::Table> ExecuteFilter(const PlanNode& node,
-                                       ExecutionReport* report);
-  Result<storage::Table> ExecuteHashJoin(const PlanNode& node,
-                                         ExecutionReport* report);
-  Result<storage::Table> ExecuteAggregate(const PlanNode& node,
-                                          ExecutionReport* report);
-  Result<storage::Table> ExecuteProject(const PlanNode& node,
-                                        ExecutionReport* report);
-  Result<storage::Table> ExecuteDistinct(const PlanNode& node,
-                                         ExecutionReport* report);
-  Result<storage::Table> ExecuteSort(const PlanNode& node,
-                                     ExecutionReport* report);
-  Result<storage::Table> ExecuteLimit(const PlanNode& node,
-                                      ExecutionReport* report);
-
   const storage::Catalog* catalog_;
   LazyDataProvider* provider_;
+  ExecutorOptions options_;
 };
 
 // Joins two materialised tables on equal key columns (hash join; build on

@@ -13,12 +13,37 @@ using sql::BoundExpr;
 using sql::ExprKind;
 using sql::UnaryOp;
 using storage::Column;
+using storage::ColumnSlice;
 using storage::DataType;
 using storage::SelectionVector;
 using storage::Table;
+using storage::TableSlice;
 using storage::Value;
 
 namespace {
+
+// Evaluation source: either a whole table or a batch slice. Column refs
+// resolve to batch-local columns — for a slice, only the viewed rows are
+// materialised, keeping per-expression memory bounded by the batch size.
+struct EvalInput {
+  size_t num_rows = 0;
+  const Table* table = nullptr;
+  const TableSlice* slice = nullptr;
+
+  Result<Column> Resolve(const std::string& name) const {
+    if (table != nullptr) {
+      auto c = table->ColumnByName(name);
+      if (!c.ok()) return c.status();
+      return **c;
+    }
+    auto cs = slice->ColumnByName(name);
+    if (!cs.ok()) return cs.status();
+    return cs->Materialize();
+  }
+};
+
+EvalInput FromTable(const Table& t) { return {t.num_rows(), &t, nullptr}; }
+EvalInput FromSlice(const TableSlice& s) { return {s.num_rows(), nullptr, &s}; }
 
 // Physically integer-valued types. Comparing them through double would
 // corrupt nanosecond timestamps (2^63 > 2^53), so the evaluator keeps an
@@ -256,32 +281,25 @@ Result<Column> EvaluateArithmetic(BinaryOp op, DataType result_type,
   return Column::FromInt64(std::move(out));
 }
 
-}  // namespace
-
-Result<Column> EvaluateExpr(const BoundExpr& expr, const Table& input) {
+Result<Column> EvaluateExprImpl(const BoundExpr& expr, const EvalInput& input) {
   // Aggregate results and pre-computed expressions (grouping columns) are
   // fetched from the input by name.
   if (expr.is_aggregate) {
-    std::string name = "#agg" + std::to_string(expr.agg_index);
-    LAZYETL_ASSIGN_OR_RETURN(const Column* c, input.ColumnByName(name));
-    return *c;
+    return input.Resolve("#agg" + std::to_string(expr.agg_index));
   }
   if (expr.kind != ExprKind::kColumnRef && expr.kind != ExprKind::kLiteral) {
-    auto precomputed = input.ColumnByName(expr.ToString());
-    if (precomputed.ok()) return **precomputed;
+    auto precomputed = input.Resolve(expr.ToString());
+    if (precomputed.ok()) return precomputed;
   }
 
   switch (expr.kind) {
-    case ExprKind::kColumnRef: {
-      LAZYETL_ASSIGN_OR_RETURN(const Column* c,
-                               input.ColumnByName(expr.display));
-      return *c;
-    }
+    case ExprKind::kColumnRef:
+      return input.Resolve(expr.display);
     case ExprKind::kLiteral:
-      return BroadcastLiteral(expr.literal, input.num_rows());
+      return BroadcastLiteral(expr.literal, input.num_rows);
     case ExprKind::kUnary: {
       LAZYETL_ASSIGN_OR_RETURN(Column operand,
-                               EvaluateExpr(*expr.children[0], input));
+                               EvaluateExprImpl(*expr.children[0], input));
       if (expr.un_op == UnaryOp::kNot) {
         if (operand.type() != DataType::kBool) {
           return Status::ExecutionError("NOT requires a boolean");
@@ -301,9 +319,9 @@ Result<Column> EvaluateExpr(const BoundExpr& expr, const Table& input) {
     }
     case ExprKind::kBinary: {
       LAZYETL_ASSIGN_OR_RETURN(Column lhs,
-                               EvaluateExpr(*expr.children[0], input));
+                               EvaluateExprImpl(*expr.children[0], input));
       LAZYETL_ASSIGN_OR_RETURN(Column rhs,
-                               EvaluateExpr(*expr.children[1], input));
+                               EvaluateExprImpl(*expr.children[1], input));
       if (lhs.size() != rhs.size()) {
         return Status::Internal("operand cardinality mismatch");
       }
@@ -328,7 +346,7 @@ Result<Column> EvaluateExpr(const BoundExpr& expr, const Table& input) {
       const std::string& fn = expr.function;
       if (fn == "ABS") {
         LAZYETL_ASSIGN_OR_RETURN(Column arg,
-                                 EvaluateExpr(*expr.children[0], input));
+                                 EvaluateExprImpl(*expr.children[0], input));
         if (arg.type() == DataType::kDouble) {
           std::vector<double> out = arg.double_data();
           for (auto& v : out) v = std::fabs(v);
@@ -340,7 +358,7 @@ Result<Column> EvaluateExpr(const BoundExpr& expr, const Table& input) {
       }
       if (fn == "SQRT") {
         LAZYETL_ASSIGN_OR_RETURN(Column arg,
-                                 EvaluateExpr(*expr.children[0], input));
+                                 EvaluateExprImpl(*expr.children[0], input));
         std::vector<double> out = ToDoubleVector(arg);
         for (auto& v : out) {
           if (v < 0) return Status::ExecutionError("SQRT of negative value");
@@ -350,7 +368,7 @@ Result<Column> EvaluateExpr(const BoundExpr& expr, const Table& input) {
       }
       if (fn == "ROUND" || fn == "FLOOR" || fn == "CEIL") {
         LAZYETL_ASSIGN_OR_RETURN(Column arg,
-                                 EvaluateExpr(*expr.children[0], input));
+                                 EvaluateExprImpl(*expr.children[0], input));
         std::vector<double> vals = ToDoubleVector(arg);
         std::vector<int64_t> out(vals.size());
         for (size_t i = 0; i < vals.size(); ++i) {
@@ -363,7 +381,7 @@ Result<Column> EvaluateExpr(const BoundExpr& expr, const Table& input) {
       }
       if (fn == "UPPER" || fn == "LOWER") {
         LAZYETL_ASSIGN_OR_RETURN(Column arg,
-                                 EvaluateExpr(*expr.children[0], input));
+                                 EvaluateExprImpl(*expr.children[0], input));
         if (arg.type() != DataType::kString) {
           return Status::ExecutionError(fn + " requires strings");
         }
@@ -379,7 +397,7 @@ Result<Column> EvaluateExpr(const BoundExpr& expr, const Table& input) {
       }
       if (fn == "LENGTH") {
         LAZYETL_ASSIGN_OR_RETURN(Column arg,
-                                 EvaluateExpr(*expr.children[0], input));
+                                 EvaluateExprImpl(*expr.children[0], input));
         if (arg.type() != DataType::kString) {
           return Status::ExecutionError("LENGTH requires strings");
         }
@@ -394,7 +412,7 @@ Result<Column> EvaluateExpr(const BoundExpr& expr, const Table& input) {
         double width_seconds = expr.children[0]->literal.AsDouble();
         int64_t width = static_cast<int64_t>(width_seconds * 1e9);
         LAZYETL_ASSIGN_OR_RETURN(Column ts,
-                                 EvaluateExpr(*expr.children[1], input));
+                                 EvaluateExprImpl(*expr.children[1], input));
         if (ts.type() != DataType::kTimestamp) {
           return Status::ExecutionError("TIME_BUCKET requires a timestamp");
         }
@@ -415,9 +433,7 @@ Result<Column> EvaluateExpr(const BoundExpr& expr, const Table& input) {
   return Status::Internal("unhandled expression kind");
 }
 
-Result<SelectionVector> EvaluatePredicate(const BoundExpr& expr,
-                                          const Table& input) {
-  LAZYETL_ASSIGN_OR_RETURN(Column mask, EvaluateExpr(expr, input));
+Result<SelectionVector> MaskToSelection(const Column& mask) {
   if (mask.type() != DataType::kBool) {
     return Status::ExecutionError("predicate did not evaluate to boolean");
   }
@@ -428,6 +444,30 @@ Result<SelectionVector> EvaluatePredicate(const BoundExpr& expr,
     if (bits[i]) sel.push_back(static_cast<uint32_t>(i));
   }
   return sel;
+}
+
+}  // namespace
+
+Result<Column> EvaluateExpr(const BoundExpr& expr, const Table& input) {
+  return EvaluateExprImpl(expr, FromTable(input));
+}
+
+Result<Column> EvaluateExpr(const BoundExpr& expr, const TableSlice& input) {
+  return EvaluateExprImpl(expr, FromSlice(input));
+}
+
+Result<SelectionVector> EvaluatePredicate(const BoundExpr& expr,
+                                          const Table& input) {
+  LAZYETL_ASSIGN_OR_RETURN(Column mask,
+                           EvaluateExprImpl(expr, FromTable(input)));
+  return MaskToSelection(mask);
+}
+
+Result<SelectionVector> EvaluatePredicate(const BoundExpr& expr,
+                                          const TableSlice& input) {
+  LAZYETL_ASSIGN_OR_RETURN(Column mask,
+                           EvaluateExprImpl(expr, FromSlice(input)));
+  return MaskToSelection(mask);
 }
 
 }  // namespace lazyetl::engine

@@ -1,13 +1,18 @@
-// Vectorised evaluation of bound expressions over intermediate tables.
+// Vectorised evaluation of bound expressions over intermediate tables and
+// batch slices.
 //
 // Lazy transformations (§3.2) become ordinary relational expressions after
-// view expansion; this evaluator executes them column-at-a-time.
+// view expansion; this evaluator executes them column-at-a-time. The batch
+// pipeline evaluates the same expressions per-batch over TableSlices:
+// column refs materialise only the viewed batch of rows, so evaluation
+// cost and memory are bounded by the batch size.
 
 #ifndef LAZYETL_ENGINE_EXPR_EVAL_H_
 #define LAZYETL_ENGINE_EXPR_EVAL_H_
 
 #include "common/result.h"
 #include "sql/binder.h"
+#include "storage/slice.h"
 #include "storage/table.h"
 
 namespace lazyetl::engine {
@@ -24,9 +29,18 @@ namespace lazyetl::engine {
 Result<storage::Column> EvaluateExpr(const sql::BoundExpr& expr,
                                      const storage::Table& input);
 
+// Per-batch evaluation: produces a column of input.num_rows() values for
+// the viewed rows only.
+Result<storage::Column> EvaluateExpr(const sql::BoundExpr& expr,
+                                     const storage::TableSlice& input);
+
 // Evaluates a boolean predicate and returns the selected row ids.
 Result<storage::SelectionVector> EvaluatePredicate(const sql::BoundExpr& expr,
                                                    const storage::Table& input);
+
+// Per-batch predicate: the returned row ids are slice-relative.
+Result<storage::SelectionVector> EvaluatePredicate(
+    const sql::BoundExpr& expr, const storage::TableSlice& input);
 
 }  // namespace lazyetl::engine
 

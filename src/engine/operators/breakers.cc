@@ -1,0 +1,532 @@
+// Pipeline breakers: Sort, Aggregate, Distinct, HashJoin. These consume
+// their input batch-at-a-time and re-emit batches. Aggregate and Distinct
+// accumulate incrementally (state is O(groups) / O(distinct keys), never
+// the whole input); Sort and the HashJoin build side must materialise and
+// record that state in the operator counters.
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "engine/expr_eval.h"
+#include "engine/operators/internal.h"
+#include "engine/operators/join_build.h"
+#include "engine/operators/operator.h"
+
+namespace lazyetl::engine {
+
+using sql::BoundAggregate;
+using storage::Column;
+using storage::DataType;
+using storage::SelectionVector;
+using storage::Table;
+using storage::TableSlice;
+
+namespace {
+
+bool IsIntLike(DataType t) {
+  return t == DataType::kBool || t == DataType::kInt32 ||
+         t == DataType::kInt64 || t == DataType::kTimestamp;
+}
+
+// --------------------------------------------------------------------------
+// Sort
+// --------------------------------------------------------------------------
+
+class SortOperator : public BatchOperator {
+ public:
+  SortOperator(const PlanNode* node, ExecContext* ctx, BatchOperatorPtr child)
+      : BatchOperator("Sort"), node_(node), ctx_(ctx) {
+    AddChild(std::move(child));
+  }
+
+ protected:
+  Status OpenImpl() override {
+    LAZYETL_ASSIGN_OR_RETURN(Table input, DrainToTable(child()));
+    RecordStateBytes(input.MemoryBytes());
+
+    std::vector<Column> sort_cols;
+    for (const auto& item : node_->order_items) {
+      LAZYETL_ASSIGN_OR_RETURN(Column c, EvaluateExpr(*item.expr, input));
+      sort_cols.push_back(std::move(c));
+    }
+    std::vector<uint32_t> idx(input.num_rows());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<uint32_t>(i);
+
+    auto compare_rows = [&](uint32_t a, uint32_t b) {
+      for (size_t k = 0; k < sort_cols.size(); ++k) {
+        const Column& c = sort_cols[k];
+        bool asc = node_->order_items[k].ascending;
+        int cmp = 0;
+        if (c.type() == DataType::kString) {
+          cmp = c.string_data()[a].compare(c.string_data()[b]);
+        } else if (c.type() == DataType::kDouble) {
+          double va = c.double_data()[a];
+          double vb = c.double_data()[b];
+          cmp = va < vb ? -1 : (va > vb ? 1 : 0);
+        } else if (IsIntLike(c.type())) {
+          // Exact integer path: doubles corrupt wide int64/timestamps.
+          int64_t ia, ib;
+          if (c.type() == DataType::kInt32) {
+            ia = c.int32_data()[a];
+            ib = c.int32_data()[b];
+          } else if (c.type() == DataType::kBool) {
+            ia = c.bool_data()[a];
+            ib = c.bool_data()[b];
+          } else {
+            ia = c.int64_data()[a];
+            ib = c.int64_data()[b];
+          }
+          cmp = ia < ib ? -1 : (ia > ib ? 1 : 0);
+        } else {
+          double va = c.NumericAt(a);
+          double vb = c.NumericAt(b);
+          cmp = va < vb ? -1 : (va > vb ? 1 : 0);
+        }
+        if (cmp != 0) return asc ? cmp < 0 : cmp > 0;
+      }
+      return false;
+    };
+    std::stable_sort(idx.begin(), idx.end(), compare_rows);
+    emitter_.Reset(input.Gather(idx), ctx_->batch_rows);
+    return Status::OK();
+  }
+
+  Result<bool> NextImpl(Batch* out) override { return emitter_.Next(out); }
+
+ private:
+  const PlanNode* node_;
+  ExecContext* ctx_;
+  TableEmitter emitter_;
+};
+
+// --------------------------------------------------------------------------
+// Aggregate
+// --------------------------------------------------------------------------
+
+// Typed accumulator for one aggregate across all groups; grows as new
+// groups appear, fed batch-local argument columns.
+class Accumulator {
+ public:
+  explicit Accumulator(const BoundAggregate& agg)
+      : function_(agg.function), out_type_(agg.type) {}
+
+  // Called once, with the argument type observed on the first batch.
+  void Prepare(DataType arg_type) { arg_type_ = arg_type; }
+
+  void Resize(size_t groups) {
+    count_.resize(groups, 0);
+    if (function_ == "AVG" || function_ == "SUM") {
+      dsum_.resize(groups, 0.0);
+      isum_.resize(groups, 0);
+    } else if (function_ == "MIN" || function_ == "MAX") {
+      if (arg_type_ == DataType::kString) {
+        sext_.resize(groups);
+      } else if (arg_type_ == DataType::kDouble) {
+        dext_.resize(groups, 0.0);
+      } else {
+        iext_.resize(groups, 0);
+      }
+    }
+  }
+
+  void Update(size_t group, const Column* arg, size_t row) {
+    bool first = count_[group] == 0;
+    ++count_[group];
+    if (function_ == "COUNT") return;
+    if (function_ == "AVG" || function_ == "SUM") {
+      if (arg->type() == DataType::kDouble) {
+        dsum_[group] += arg->double_data()[row];
+      } else {
+        int64_t v = IntValueAt(*arg, row);
+        isum_[group] += v;
+        dsum_[group] += static_cast<double>(v);
+      }
+      return;
+    }
+    // MIN / MAX
+    bool want_min = function_ == "MIN";
+    if (arg_type_ == DataType::kString) {
+      const std::string& v = arg->string_data()[row];
+      if (first || (want_min ? v < sext_[group] : v > sext_[group])) {
+        sext_[group] = v;
+      }
+    } else if (arg_type_ == DataType::kDouble) {
+      double v = arg->double_data()[row];
+      if (first || (want_min ? v < dext_[group] : v > dext_[group])) {
+        dext_[group] = v;
+      }
+    } else {
+      int64_t v = IntValueAt(*arg, row);
+      if (first || (want_min ? v < iext_[group] : v > iext_[group])) {
+        iext_[group] = v;
+      }
+    }
+  }
+
+  Result<Column> Finish(size_t groups) const {
+    if (function_ == "COUNT") {
+      std::vector<int64_t> out(groups);
+      for (size_t g = 0; g < groups; ++g) out[g] = count_[g];
+      return Column::FromInt64(std::move(out));
+    }
+    if (function_ == "AVG") {
+      std::vector<double> out(groups);
+      for (size_t g = 0; g < groups; ++g) {
+        out[g] = count_[g] ? dsum_[g] / static_cast<double>(count_[g]) : 0.0;
+      }
+      return Column::FromDouble(std::move(out));
+    }
+    if (function_ == "SUM") {
+      if (out_type_ == DataType::kDouble) {
+        return Column::FromDouble(dsum_);
+      }
+      return Column::FromInt64(isum_);
+    }
+    // MIN / MAX: emit in the argument's type.
+    if (arg_type_ == DataType::kString) return Column::FromString(sext_);
+    if (arg_type_ == DataType::kDouble) return Column::FromDouble(dext_);
+    switch (out_type_) {
+      case DataType::kInt32: {
+        std::vector<int32_t> out(groups);
+        for (size_t g = 0; g < groups; ++g) {
+          out[g] = static_cast<int32_t>(iext_[g]);
+        }
+        return Column::FromInt32(std::move(out));
+      }
+      case DataType::kTimestamp:
+        return Column::FromTimestamp(iext_);
+      default:
+        return Column::FromInt64(iext_);
+    }
+  }
+
+  uint64_t StateBytes() const {
+    uint64_t bytes = count_.size() * sizeof(int64_t) +
+                     dsum_.size() * sizeof(double) +
+                     isum_.size() * sizeof(int64_t) +
+                     iext_.size() * sizeof(int64_t) +
+                     dext_.size() * sizeof(double);
+    for (const auto& s : sext_) bytes += sizeof(std::string) + s.capacity();
+    return bytes;
+  }
+
+ private:
+  static int64_t IntValueAt(const Column& arg, size_t row) {
+    switch (arg.type()) {
+      case DataType::kInt32:
+        return arg.int32_data()[row];
+      case DataType::kBool:
+        return arg.bool_data()[row];
+      default:
+        return arg.int64_data()[row];
+    }
+  }
+
+  std::string function_;
+  DataType out_type_;
+  DataType arg_type_ = DataType::kInt64;
+  std::vector<int64_t> count_;
+  std::vector<double> dsum_;
+  std::vector<int64_t> isum_;
+  std::vector<int64_t> iext_;
+  std::vector<double> dext_;
+  std::vector<std::string> sext_;
+};
+
+// Streaming hash aggregation: per input batch, evaluate the grouping and
+// argument expressions, map rows to group ids, and fold them into the
+// accumulators. Holds O(groups) state — the input is never materialised.
+class AggregateOperator : public BatchOperator {
+ public:
+  AggregateOperator(const PlanNode* node, ExecContext* ctx,
+                    BatchOperatorPtr child)
+      : BatchOperator("Aggregate"), node_(node), ctx_(ctx) {
+    AddChild(std::move(child));
+  }
+
+ protected:
+  Status OpenImpl() override {
+    for (const auto& agg : node_->aggregates) accs_.emplace_back(agg);
+
+    bool first_batch = true;
+    Batch in;
+    while (true) {
+      LAZYETL_ASSIGN_OR_RETURN(bool more, child()->Next(&in));
+      if (!more) break;
+      LAZYETL_RETURN_NOT_OK(ConsumeBatch(in.view, first_batch));
+      first_batch = false;
+    }
+
+    size_t num_groups = group_count_;
+    // Grand aggregate over an empty input still yields one row (COUNT = 0),
+    // matching the "no NULLs" simplification documented in the README.
+    bool synthetic_empty_group = false;
+    if (num_groups == 0 && node_->group_exprs.empty()) {
+      num_groups = 1;
+      synthetic_empty_group = true;
+      for (auto& acc : accs_) acc.Resize(1);
+    }
+
+    // Output: group columns (named by expression) + one per aggregate.
+    Table out;
+    if (!synthetic_empty_group) {
+      for (size_t i = 0; i < group_values_.size(); ++i) {
+        LAZYETL_RETURN_NOT_OK(out.AddColumn(node_->group_exprs[i]->ToString(),
+                                            std::move(group_values_[i])));
+      }
+    }
+    for (size_t i = 0; i < accs_.size(); ++i) {
+      LAZYETL_ASSIGN_OR_RETURN(Column c, accs_[i].Finish(num_groups));
+      LAZYETL_RETURN_NOT_OK(
+          out.AddColumn("#agg" + std::to_string(i), std::move(c)));
+    }
+
+    uint64_t state = group_key_bytes_ + out.MemoryBytes();
+    for (const auto& acc : accs_) state += acc.StateBytes();
+    RecordStateBytes(state);
+    emitter_.Reset(std::move(out), ctx_->batch_rows);
+    return Status::OK();
+  }
+
+  Result<bool> NextImpl(Batch* out) override { return emitter_.Next(out); }
+
+ private:
+  Status ConsumeBatch(const TableSlice& view, bool first_batch) {
+    // Evaluate grouping expressions and aggregate arguments per batch.
+    std::vector<Column> group_cols;
+    group_cols.reserve(node_->group_exprs.size());
+    for (const auto& g : node_->group_exprs) {
+      LAZYETL_ASSIGN_OR_RETURN(Column c, EvaluateExpr(*g, view));
+      group_cols.push_back(std::move(c));
+    }
+    std::vector<Column> arg_cols;
+    arg_cols.reserve(node_->aggregates.size());
+    for (const auto& a : node_->aggregates) {
+      if (a.arg) {
+        LAZYETL_ASSIGN_OR_RETURN(Column c, EvaluateExpr(*a.arg, view));
+        arg_cols.push_back(std::move(c));
+      } else {
+        arg_cols.emplace_back(DataType::kInt64);  // COUNT(*): unused
+      }
+    }
+    if (first_batch) {
+      for (const Column& c : group_cols) {
+        group_values_.emplace_back(c.type());
+      }
+      for (size_t i = 0; i < accs_.size(); ++i) {
+        accs_[i].Prepare(arg_cols[i].type());
+      }
+    }
+
+    const size_t rows = view.num_rows();
+    std::string key;
+    for (size_t row = 0; row < rows; ++row) {
+      key.clear();
+      for (const Column& c : group_cols) PackRowKey(c, row, &key);
+      auto [it, inserted] = group_index_.emplace(
+          key, static_cast<uint32_t>(group_count_));
+      if (inserted) {
+        ++group_count_;
+        group_key_bytes_ += key.size();
+        for (size_t i = 0; i < group_cols.size(); ++i) {
+          LAZYETL_RETURN_NOT_OK(
+              group_values_[i].AppendRange(group_cols[i], row, 1));
+        }
+        for (auto& acc : accs_) acc.Resize(group_count_);
+      }
+      size_t group = it->second;
+      for (size_t i = 0; i < accs_.size(); ++i) {
+        accs_[i].Update(group, &arg_cols[i], row);
+      }
+    }
+    return Status::OK();
+  }
+
+  const PlanNode* node_;
+  ExecContext* ctx_;
+  std::vector<Accumulator> accs_;
+  std::unordered_map<std::string, uint32_t> group_index_;
+  std::vector<Column> group_values_;  // representative values per group
+  size_t group_count_ = 0;
+  uint64_t group_key_bytes_ = 0;
+  TableEmitter emitter_;
+};
+
+// --------------------------------------------------------------------------
+// Distinct
+// --------------------------------------------------------------------------
+
+// Streaming duplicate elimination: a global seen-set of packed row keys;
+// each batch forwards only its first-occurrence rows.
+class DistinctOperator : public BatchOperator {
+ public:
+  explicit DistinctOperator(BatchOperatorPtr child)
+      : BatchOperator("Distinct") {
+    AddChild(std::move(child));
+  }
+
+ protected:
+  Result<bool> NextImpl(Batch* out) override {
+    while (true) {
+      Batch in;
+      LAZYETL_ASSIGN_OR_RETURN(bool more, child()->Next(&in));
+      if (!more) {
+        if (!emitted_) {
+          emitted_ = true;
+          *out = Batch::Materialized(std::move(empty_));
+          return true;
+        }
+        return false;
+      }
+      SelectionVector keep;
+      std::string key;
+      for (size_t row = 0; row < in.num_rows(); ++row) {
+        key.clear();
+        for (size_t c = 0; c < in.view.num_columns(); ++c) {
+          PackRowKey(in.view.column(c), in.view.offset() + row, &key);
+        }
+        if (seen_.insert(key).second) {
+          seen_bytes_ += key.size();
+          keep.push_back(static_cast<uint32_t>(row));
+        }
+      }
+      RecordStateBytes(seen_bytes_);
+      if (keep.size() == in.num_rows()) {
+        *out = std::move(in);
+        emitted_ = true;
+        return true;
+      }
+      if (keep.empty()) {
+        if (!emitted_) empty_ = in.view.Gather({});
+        continue;
+      }
+      *out = Batch::Materialized(in.view.Gather(keep));
+      emitted_ = true;
+      return true;
+    }
+  }
+
+ private:
+  std::unordered_set<std::string> seen_;
+  uint64_t seen_bytes_ = 0;
+  Table empty_;
+  bool emitted_ = false;
+};
+
+// --------------------------------------------------------------------------
+// HashJoin
+// --------------------------------------------------------------------------
+
+// Build side (left child) is consumed whole into a hash index — the
+// pipeline-breaking half; the probe side (right child) then streams
+// through, emitting one joined batch per probe batch.
+class HashJoinOperator : public BatchOperator {
+ public:
+  HashJoinOperator(const PlanNode* node, BatchOperatorPtr left,
+                   BatchOperatorPtr right)
+      : BatchOperator("HashJoin"), node_(node) {
+    AddChild(std::move(left));
+    AddChild(std::move(right));
+  }
+
+ protected:
+  Status OpenImpl() override {
+    if (node_->left_keys.size() != node_->right_keys.size() ||
+        node_->left_keys.empty()) {
+      return Status::InvalidArgument("join key arity mismatch");
+    }
+    LAZYETL_ASSIGN_OR_RETURN(build_table_, DrainToTable(child(0)));
+    LAZYETL_RETURN_NOT_OK(build_.Init(&build_table_, node_->left_keys));
+    RecordStateBytes(build_table_.MemoryBytes() + build_.IndexBytes());
+    return Status::OK();
+  }
+
+  Result<bool> NextImpl(Batch* out) override {
+    while (true) {
+      Batch in;
+      LAZYETL_ASSIGN_OR_RETURN(bool more, child(1)->Next(&in));
+      if (!more) {
+        if (!emitted_) {
+          emitted_ = true;
+          LAZYETL_ASSIGN_OR_RETURN(Table empty, JoinBatch({}, probe_empty_));
+          *out = Batch::Materialized(std::move(empty));
+          return true;
+        }
+        return false;
+      }
+      SelectionVector build_sel;
+      SelectionVector probe_sel;
+      LAZYETL_RETURN_NOT_OK(
+          build_.Probe(in.view, node_->right_keys, &build_sel, &probe_sel));
+      if (probe_sel.empty()) {
+        if (!emitted_) probe_empty_ = in.view.Gather({});
+        continue;
+      }
+      LAZYETL_ASSIGN_OR_RETURN(
+          Table joined, JoinBatch(build_sel, in.view.Gather(probe_sel)));
+      *out = Batch::Materialized(std::move(joined));
+      emitted_ = true;
+      return true;
+    }
+  }
+
+ private:
+  // Joined output: build-side rows picked by `build_sel` extended with the
+  // already-gathered probe-side columns.
+  Result<Table> JoinBatch(const SelectionVector& build_sel,
+                          const Table& probe_rows) {
+    Table out = build_table_.Gather(build_sel);
+    for (size_t i = 0; i < probe_rows.num_columns(); ++i) {
+      LAZYETL_RETURN_NOT_OK(
+          out.AddColumn(probe_rows.column_name(i), probe_rows.column(i)));
+    }
+    return out;
+  }
+
+  const PlanNode* node_;
+  Table build_table_;
+  JoinBuild build_;
+  Table probe_empty_;
+  bool emitted_ = false;
+};
+
+}  // namespace
+
+Result<BatchOperatorPtr> MakeSortOperator(const PlanNode& node,
+                                          ExecContext* ctx,
+                                          BatchOperatorPtr child) {
+  return BatchOperatorPtr(
+      std::make_unique<SortOperator>(&node, ctx, std::move(child)));
+}
+
+Result<BatchOperatorPtr> MakeAggregateOperator(const PlanNode& node,
+                                               ExecContext* ctx,
+                                               BatchOperatorPtr child) {
+  return BatchOperatorPtr(
+      std::make_unique<AggregateOperator>(&node, ctx, std::move(child)));
+}
+
+Result<BatchOperatorPtr> MakeDistinctOperator(const PlanNode& node,
+                                              ExecContext* ctx,
+                                              BatchOperatorPtr child) {
+  (void)node;
+  (void)ctx;
+  return BatchOperatorPtr(
+      std::make_unique<DistinctOperator>(std::move(child)));
+}
+
+Result<BatchOperatorPtr> MakeHashJoinOperator(const PlanNode& node,
+                                              ExecContext* ctx,
+                                              BatchOperatorPtr left,
+                                              BatchOperatorPtr right) {
+  (void)ctx;
+  return BatchOperatorPtr(std::make_unique<HashJoinOperator>(
+      &node, std::move(left), std::move(right)));
+}
+
+}  // namespace lazyetl::engine

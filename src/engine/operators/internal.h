@@ -1,0 +1,69 @@
+// Internal factory functions wiring PlanNodes to concrete operators, plus
+// small helpers shared between the operator translation units. Not part
+// of the engine's public surface.
+
+#ifndef LAZYETL_ENGINE_OPERATORS_INTERNAL_H_
+#define LAZYETL_ENGINE_OPERATORS_INTERNAL_H_
+
+#include <algorithm>
+#include <memory>
+
+#include "engine/operators/operator.h"
+
+namespace lazyetl::engine {
+
+// Re-emits an operator-owned table as a sequence of zero-copy batches of
+// at most `batch_rows` rows (at least one batch, possibly empty, so the
+// schema always flows). Used by pipeline breakers.
+class TableEmitter {
+ public:
+  void Reset(storage::Table table, size_t batch_rows) {
+    table_ = std::make_shared<const storage::Table>(std::move(table));
+    batch_rows_ = batch_rows;
+    offset_ = 0;
+    emitted_ = false;
+  }
+
+  bool Next(Batch* out) {
+    size_t rows = table_->num_rows();
+    if (offset_ >= rows && emitted_) return false;
+    size_t n = std::min(batch_rows_, rows - offset_);
+    out->owner = table_;
+    out->view = table_->Slice(offset_, n);
+    offset_ += n;
+    emitted_ = true;
+    return true;
+  }
+
+  const storage::Table& table() const { return *table_; }
+
+ private:
+  std::shared_ptr<const storage::Table> table_;
+  size_t batch_rows_ = kDefaultBatchRows;
+  size_t offset_ = 0;
+  bool emitted_ = false;
+};
+
+// Pipeline breakers (breakers.cc).
+Result<BatchOperatorPtr> MakeSortOperator(const PlanNode& node,
+                                          ExecContext* ctx,
+                                          BatchOperatorPtr child);
+Result<BatchOperatorPtr> MakeAggregateOperator(const PlanNode& node,
+                                               ExecContext* ctx,
+                                               BatchOperatorPtr child);
+Result<BatchOperatorPtr> MakeDistinctOperator(const PlanNode& node,
+                                              ExecContext* ctx,
+                                              BatchOperatorPtr child);
+Result<BatchOperatorPtr> MakeHashJoinOperator(const PlanNode& node,
+                                              ExecContext* ctx,
+                                              BatchOperatorPtr left,
+                                              BatchOperatorPtr right);
+
+// The §3.1 run-time rewrite operator (lazy_scan.cc); builds its own
+// metadata subtree from node.children.
+Result<BatchOperatorPtr> MakeLazyDataScanOperator(const PlanNode& node,
+                                                  ExecContext* ctx);
+
+}  // namespace lazyetl::engine
+
+#endif  // LAZYETL_ENGINE_OPERATORS_INTERNAL_H_

@@ -1,0 +1,101 @@
+#include "engine/operators/join_build.h"
+
+#include "common/macros.h"
+
+namespace lazyetl::engine {
+
+using storage::Column;
+using storage::DataType;
+using storage::SelectionVector;
+using storage::Table;
+using storage::TableSlice;
+
+void PackRowKey(const Column& col, size_t row, std::string* out) {
+  switch (col.type()) {
+    case DataType::kBool:
+      out->push_back(col.bool_data()[row] ? '\1' : '\0');
+      break;
+    case DataType::kInt32: {
+      int64_t v = col.int32_data()[row];
+      out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+      break;
+    }
+    case DataType::kInt64:
+    case DataType::kTimestamp: {
+      int64_t v = col.int64_data()[row];
+      out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+      break;
+    }
+    case DataType::kDouble: {
+      double v = col.double_data()[row];
+      out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+      break;
+    }
+    case DataType::kString: {
+      const std::string& s = col.string_data()[row];
+      uint32_t len = static_cast<uint32_t>(s.size());
+      out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+      out->append(s);
+      break;
+    }
+  }
+  out->push_back('\x1f');  // field separator
+}
+
+Status JoinBuild::Init(const Table* build,
+                       const std::vector<std::string>& keys) {
+  if (keys.empty()) {
+    return Status::InvalidArgument("join requires at least one key");
+  }
+  build_ = build;
+  key_arity_ = keys.size();
+  std::vector<const Column*> cols;
+  cols.reserve(keys.size());
+  for (const auto& name : keys) {
+    LAZYETL_ASSIGN_OR_RETURN(const Column* c, build->ColumnByName(name));
+    cols.push_back(c);
+  }
+  index_.clear();
+  index_.reserve(build->num_rows() * 2);
+  std::string key;
+  for (size_t row = 0; row < build->num_rows(); ++row) {
+    key.clear();
+    for (const Column* c : cols) PackRowKey(*c, row, &key);
+    auto [it, inserted] = index_.try_emplace(key);
+    it->second.push_back(static_cast<uint32_t>(row));
+    if (inserted) index_bytes_ += key.size() + sizeof(std::vector<uint32_t>);
+    index_bytes_ += sizeof(uint32_t);
+  }
+  return Status::OK();
+}
+
+Status JoinBuild::Probe(const TableSlice& probe,
+                        const std::vector<std::string>& keys,
+                        SelectionVector* build_sel,
+                        SelectionVector* probe_sel) const {
+  if (keys.size() != key_arity_) {
+    return Status::InvalidArgument("join key arity mismatch");
+  }
+  std::vector<const Column*> cols;
+  cols.reserve(keys.size());
+  for (const auto& name : keys) {
+    LAZYETL_ASSIGN_OR_RETURN(size_t i, probe.ColumnIndex(name));
+    cols.push_back(&probe.column(i));
+  }
+  std::string key;
+  for (size_t row = 0; row < probe.num_rows(); ++row) {
+    key.clear();
+    for (const Column* c : cols) {
+      PackRowKey(*c, probe.offset() + row, &key);
+    }
+    auto it = index_.find(key);
+    if (it == index_.end()) continue;
+    for (uint32_t build_row : it->second) {
+      build_sel->push_back(build_row);
+      probe_sel->push_back(static_cast<uint32_t>(row));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace lazyetl::engine

@@ -1,0 +1,51 @@
+// Shared row-key packing and the hash-join build side, used by the join,
+// aggregate and distinct operators and by the LazyDataScan run-time
+// rewrite (build once over the metadata side, probe per record batch).
+
+#ifndef LAZYETL_ENGINE_OPERATORS_JOIN_BUILD_H_
+#define LAZYETL_ENGINE_OPERATORS_JOIN_BUILD_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/slice.h"
+#include "storage/table.h"
+
+namespace lazyetl::engine {
+
+// Appends a type-tagged binary encoding of row `row` of `col` to `out`,
+// such that two rows encode equal iff their values are equal.
+void PackRowKey(const storage::Column& col, size_t row, std::string* out);
+
+// Hash index over the key columns of a materialised build-side table.
+class JoinBuild {
+ public:
+  // `build` must outlive this object.
+  Status Init(const storage::Table* build,
+              const std::vector<std::string>& keys);
+
+  // Probes the viewed rows of `probe` on `keys` (same arity as the build
+  // keys); appends matching (build_row, slice-relative probe_row) pairs in
+  // probe order.
+  Status Probe(const storage::TableSlice& probe,
+               const std::vector<std::string>& keys,
+               storage::SelectionVector* build_sel,
+               storage::SelectionVector* probe_sel) const;
+
+  const storage::Table& table() const { return *build_; }
+
+  // Approximate bytes held by the hash index (not the build table).
+  uint64_t IndexBytes() const { return index_bytes_; }
+
+ private:
+  const storage::Table* build_ = nullptr;
+  size_t key_arity_ = 0;
+  std::unordered_map<std::string, std::vector<uint32_t>> index_;
+  uint64_t index_bytes_ = 0;
+};
+
+}  // namespace lazyetl::engine
+
+#endif  // LAZYETL_ENGINE_OPERATORS_JOIN_BUILD_H_

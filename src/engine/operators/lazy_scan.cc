@@ -1,0 +1,218 @@
+// LazyDataScanOperator: the run-time plan modification of §3.1, as a
+// streaming operator.
+//
+// Open() executes the metadata side of the plan (its own operator
+// subtree), derives the qualifying (file_id, seq_no) pairs, and asks the
+// LazyDataProvider for a *stream* of exactly those records; the provider
+// serves them from the recycler cache or extracts them from the source
+// files, file by file. Next() joins each arriving record chunk back to
+// the metadata side (hash built once over the metadata table), so peak
+// memory is the metadata side plus one file's worth of records — never
+// the whole qualifying set.
+
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/log.h"
+#include "common/macros.h"
+#include "common/time.h"
+#include "engine/operators/internal.h"
+#include "engine/operators/join_build.h"
+#include "engine/operators/operator.h"
+
+namespace lazyetl::engine {
+
+using storage::Column;
+using storage::DataType;
+using storage::SelectionVector;
+using storage::Table;
+using storage::TableSlice;
+
+namespace {
+
+// Extracts a column as int64s (for record-key probing).
+Result<std::vector<int64_t>> ColumnAsInt64(const Column& col) {
+  bool int_like = col.type() == DataType::kBool ||
+                  col.type() == DataType::kInt32 ||
+                  col.type() == DataType::kInt64 ||
+                  col.type() == DataType::kTimestamp;
+  if (!int_like) {
+    return Status::ExecutionError("expected an integer key column");
+  }
+  std::vector<int64_t> out(col.size());
+  switch (col.type()) {
+    case DataType::kInt32:
+      for (size_t i = 0; i < col.size(); ++i) out[i] = col.int32_data()[i];
+      break;
+    case DataType::kBool:
+      for (size_t i = 0; i < col.size(); ++i) out[i] = col.bool_data()[i];
+      break;
+    default:
+      out = col.int64_data();
+      break;
+  }
+  return out;
+}
+
+class LazyDataScanOperator : public BatchOperator {
+ public:
+  LazyDataScanOperator(const PlanNode* node, ExecContext* ctx,
+                       BatchOperatorPtr metadata_child)
+      : BatchOperator("LazyDataScan(" + node->table + ")"),
+        node_(node),
+        ctx_(ctx) {
+    if (metadata_child) AddChild(std::move(metadata_child));
+  }
+
+ protected:
+  Status OpenImpl() override {
+    if (ctx_->provider == nullptr) {
+      return Status::ExecutionError(
+          "plan contains LazyDataScan but no lazy data provider is attached");
+    }
+    Stopwatch extract_timer;
+
+    if (num_children() == 0) {
+      LogOp(LogCategory::kRewrite,
+            "run-time rewrite: no metadata side; extracting entire "
+            "repository for " + node_->table);
+      LAZYETL_ASSIGN_OR_RETURN(
+          stream_, ctx_->provider->StreamAllRecords(
+                       node_->scan_columns, ctx_->batch_rows, ctx_->report));
+      ctx_->report->extract_seconds += extract_timer.ElapsedSeconds();
+      return Status::OK();
+    }
+
+    // Phase 1: execute the metadata side (its operators were opened by the
+    // base-class wrapper).
+    LAZYETL_ASSIGN_OR_RETURN(meta_, DrainToTable(child()));
+
+    // Phase 2 (run-time rewrite): determine the qualifying records.
+    LAZYETL_ASSIGN_OR_RETURN(const Column* fid_col,
+                             meta_.ColumnByName(node_->probe_file_id_column));
+    LAZYETL_ASSIGN_OR_RETURN(const Column* seq_col,
+                             meta_.ColumnByName(node_->probe_seq_no_column));
+    LAZYETL_ASSIGN_OR_RETURN(std::vector<int64_t> fids,
+                             ColumnAsInt64(*fid_col));
+    LAZYETL_ASSIGN_OR_RETURN(std::vector<int64_t> seqs,
+                             ColumnAsInt64(*seq_col));
+
+    std::vector<RecordKey> keys;
+    std::unordered_set<uint64_t> seen;
+    keys.reserve(fids.size());
+    for (size_t i = 0; i < fids.size(); ++i) {
+      uint64_t packed = (static_cast<uint64_t>(fids[i]) << 32) ^
+                        static_cast<uint64_t>(static_cast<uint32_t>(seqs[i]));
+      if (seen.insert(packed).second) {
+        keys.push_back({fids[i], seqs[i]});
+      }
+    }
+    ctx_->report->records_requested += keys.size();
+    LogOp(LogCategory::kRewrite,
+          "run-time rewrite: metadata phase selected " +
+              std::to_string(keys.size()) + " records from " +
+              std::to_string(meta_.num_rows()) + " metadata rows");
+
+    // Phase 3: injected operators — cache accesses and file extraction,
+    // as a pull stream consumed by Next().
+    LAZYETL_ASSIGN_OR_RETURN(
+        stream_, ctx_->provider->StreamRecords(keys, node_->scan_columns,
+                                               ctx_->batch_rows,
+                                               ctx_->report));
+
+    // Phase 4 is streamed: hash the metadata side once; each record chunk
+    // probes it on arrival.
+    if (node_->left_keys.size() != node_->right_keys.size() ||
+        node_->left_keys.empty()) {
+      return Status::InvalidArgument("join key arity mismatch");
+    }
+    LAZYETL_RETURN_NOT_OK(build_.Init(&meta_, node_->left_keys));
+    RecordStateBytes(meta_.MemoryBytes() + build_.IndexBytes());
+    join_ = true;
+    ctx_->report->extract_seconds += extract_timer.ElapsedSeconds();
+    return Status::OK();
+  }
+
+  Result<bool> NextImpl(Batch* out) override {
+    while (true) {
+      Stopwatch extract_timer;
+      Table chunk;
+      LAZYETL_ASSIGN_OR_RETURN(bool more, stream_->Next(&chunk));
+      ctx_->report->extract_seconds += extract_timer.ElapsedSeconds();
+      if (!more) {
+        if (!emitted_) {
+          emitted_ = true;
+          Table empty;
+          if (join_) {
+            LAZYETL_ASSIGN_OR_RETURN(empty, JoinChunk({}, data_empty_));
+          } else {
+            empty = std::move(data_empty_);
+          }
+          *out = Batch::Materialized(std::move(empty));
+          return true;
+        }
+        return false;
+      }
+      if (!join_) {
+        if (chunk.num_rows() == 0) {
+          if (!emitted_) data_empty_ = std::move(chunk);
+          continue;
+        }
+        emitted_ = true;
+        *out = Batch::Materialized(std::move(chunk));
+        return true;
+      }
+      TableSlice probe = chunk.Slice(0, chunk.num_rows());
+      SelectionVector build_sel;
+      SelectionVector probe_sel;
+      LAZYETL_RETURN_NOT_OK(
+          build_.Probe(probe, node_->right_keys, &build_sel, &probe_sel));
+      if (probe_sel.empty()) {
+        if (!emitted_) data_empty_ = probe.Gather({});
+        continue;
+      }
+      LAZYETL_ASSIGN_OR_RETURN(
+          Table joined, JoinChunk(build_sel, probe.Gather(probe_sel)));
+      emitted_ = true;
+      *out = Batch::Materialized(std::move(joined));
+      return true;
+    }
+  }
+
+ private:
+  Result<Table> JoinChunk(const SelectionVector& build_sel,
+                          const Table& data_rows) {
+    Table out = meta_.Gather(build_sel);
+    for (size_t i = 0; i < data_rows.num_columns(); ++i) {
+      LAZYETL_RETURN_NOT_OK(
+          out.AddColumn(data_rows.column_name(i), data_rows.column(i)));
+    }
+    return out;
+  }
+
+  const PlanNode* node_;
+  ExecContext* ctx_;
+  Table meta_;
+  JoinBuild build_;
+  bool join_ = false;
+  std::unique_ptr<RecordStream> stream_;
+  Table data_empty_;  // schema of the record chunks, for empty results
+  bool emitted_ = false;
+};
+
+}  // namespace
+
+Result<BatchOperatorPtr> MakeLazyDataScanOperator(const PlanNode& node,
+                                                  ExecContext* ctx) {
+  BatchOperatorPtr metadata_child;
+  if (!node.children.empty()) {
+    LAZYETL_ASSIGN_OR_RETURN(metadata_child,
+                             BuildOperatorTree(*node.children[0], ctx));
+  }
+  return BatchOperatorPtr(std::make_unique<LazyDataScanOperator>(
+      &node, ctx, std::move(metadata_child)));
+}
+
+}  // namespace lazyetl::engine

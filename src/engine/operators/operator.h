@@ -1,0 +1,148 @@
+// BatchOperator: the pull-based (Open/Next/Close) operator interface of
+// the streaming engine.
+//
+// Operators exchange Batches — zero-copy TableSlice views paired with an
+// optional owner keeping the viewed storage alive. Streaming operators
+// (Scan, Filter, Project, Limit) touch one batch at a time; pipeline
+// breakers (Sort, Aggregate, HashJoin build side, Distinct's seen-set)
+// consume their input and re-emit batches, recording their materialised
+// state in the operator counters.
+//
+// Invariant: every operator emits at least one (possibly empty) batch
+// before end-of-stream, so column names and types always reach the
+// consumer even for empty results.
+
+#ifndef LAZYETL_ENGINE_OPERATORS_OPERATOR_H_
+#define LAZYETL_ENGINE_OPERATORS_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time.h"
+#include "engine/executor.h"
+#include "engine/report.h"
+#include "storage/slice.h"
+#include "storage/table.h"
+
+namespace lazyetl::engine {
+
+// One unit of data flowing through the pipeline.
+struct Batch {
+  storage::TableSlice view;
+  // Keep-alive for the storage behind `view`; null when the view borrows
+  // from a base table owned elsewhere (e.g. the catalog).
+  std::shared_ptr<const storage::Table> owner;
+
+  size_t num_rows() const { return view.num_rows(); }
+
+  // Wraps an operator-produced table: the batch owns it and views all of
+  // its rows.
+  static Batch Materialized(storage::Table table) {
+    Batch b;
+    b.owner = std::make_shared<const storage::Table>(std::move(table));
+    b.view = b.owner->Slice(0, b.owner->num_rows());
+    return b;
+  }
+};
+
+// Everything an operator needs from its surroundings.
+struct ExecContext {
+  const storage::Catalog* catalog = nullptr;
+  LazyDataProvider* provider = nullptr;
+  ExecutionReport* report = nullptr;
+  size_t batch_rows = kDefaultBatchRows;
+};
+
+class BatchOperator {
+ public:
+  explicit BatchOperator(std::string name) { stats_.op = std::move(name); }
+  virtual ~BatchOperator() = default;
+
+  BatchOperator(const BatchOperator&) = delete;
+  BatchOperator& operator=(const BatchOperator&) = delete;
+
+  // Called once before the first Next(); opens children first, then this
+  // operator. Pipeline breakers do their consuming work in OpenImpl or
+  // lazily on the first Next(); that work is counted in this operator's
+  // seconds (inclusive of the child pulls it performs).
+  Status Open() {
+    for (auto& c : children_) {
+      Status st = c->Open();
+      if (!st.ok()) return st;
+    }
+    Stopwatch timer;
+    Status st = OpenImpl();
+    stats_.seconds += timer.ElapsedSeconds();
+    return st;
+  }
+
+  // Produces the next batch; returns false at end of stream. Wraps
+  // NextImpl with timing and batch/row accounting.
+  Result<bool> Next(Batch* out) {
+    Stopwatch timer;
+    auto produced = NextImpl(out);
+    stats_.seconds += timer.ElapsedSeconds();
+    if (produced.ok() && *produced) {
+      ++stats_.batches;
+      stats_.rows += out->num_rows();
+      uint64_t bytes = out->view.ViewedBytes();
+      if (bytes > stats_.peak_batch_bytes) stats_.peak_batch_bytes = bytes;
+    }
+    return produced;
+  }
+
+  // Called once after the last Next() (or on abandon); closes this
+  // operator first, then its children.
+  void Close() {
+    CloseImpl();
+    for (auto& child : children_) child->Close();
+  }
+
+  const OperatorStats& stats() const { return stats_; }
+
+  // Appends this operator's counters, then its children's (pre-order).
+  void AppendStats(std::vector<OperatorStats>* out) const {
+    out->push_back(stats_);
+    for (const auto& child : children_) child->AppendStats(out);
+  }
+
+ protected:
+  virtual Status OpenImpl() { return Status::OK(); }
+  virtual Result<bool> NextImpl(Batch* out) = 0;
+  virtual void CloseImpl() {}
+
+  // Pipeline breakers report the bytes of state they hold materialised.
+  void RecordStateBytes(uint64_t bytes) {
+    if (bytes > stats_.state_bytes) stats_.state_bytes = bytes;
+  }
+
+  BatchOperator* child(size_t i = 0) { return children_[i].get(); }
+  void AddChild(std::unique_ptr<BatchOperator> op) {
+    children_.push_back(std::move(op));
+  }
+  size_t num_children() const { return children_.size(); }
+
+  OperatorStats stats_;
+
+ private:
+  std::vector<std::unique_ptr<BatchOperator>> children_;
+};
+
+using BatchOperatorPtr = std::unique_ptr<BatchOperator>;
+
+// Builds the operator tree for `plan`. The context must outlive the tree.
+Result<BatchOperatorPtr> BuildOperatorTree(const PlanNode& plan,
+                                           ExecContext* ctx);
+
+// Drains an already-opened operator into one materialised table (Next
+// loop only — the caller owns Open/Close). Used by the executor driver
+// for the query result and by pipeline breakers that need their input
+// whole.
+Result<storage::Table> DrainToTable(BatchOperator* op);
+
+}  // namespace lazyetl::engine
+
+#endif  // LAZYETL_ENGINE_OPERATORS_OPERATOR_H_

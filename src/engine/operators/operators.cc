@@ -1,0 +1,260 @@
+// Streaming (non-breaking) operators: Scan, Filter, Project, Limit — plus
+// the plan-to-operator translation and the drain helper.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "engine/expr_eval.h"
+#include "engine/operators/internal.h"
+#include "engine/operators/operator.h"
+
+namespace lazyetl::engine {
+
+using storage::Column;
+using storage::SelectionVector;
+using storage::Table;
+using storage::TablePtr;
+using storage::TableSlice;
+
+namespace {
+
+// Scan: emits zero-copy slices over a catalog table, optionally projected
+// and renamed to qualified display names. O(#columns) per batch — the
+// non-qualifying rows of a selective query are never copied.
+class ScanOperator : public BatchOperator {
+ public:
+  ScanOperator(TablePtr table, std::vector<ScanColumn> columns,
+               const std::string& label, size_t batch_rows)
+      : BatchOperator("Scan(" + label + ")"),
+        table_(std::move(table)),
+        columns_(std::move(columns)),
+        batch_rows_(batch_rows) {}
+
+ protected:
+  Status OpenImpl() override {
+    base_ = TableSlice();
+    if (columns_.empty()) {
+      base_ = TableSlice::FromTable(*table_, 0, 0);
+    } else {
+      for (const auto& sc : columns_) {
+        LAZYETL_ASSIGN_OR_RETURN(const Column* c,
+                                 table_->ColumnByName(sc.base_column));
+        base_.AddColumn(sc.output_name, c);
+      }
+    }
+    // Snapshot the row count: rows appended mid-query (lazy hydration)
+    // become visible to the next query, matching the materialised
+    // executor's copy-at-scan semantics.
+    rows_ = table_->num_rows();
+    offset_ = 0;
+    emitted_ = false;
+    return Status::OK();
+  }
+
+  Result<bool> NextImpl(Batch* out) override {
+    if (offset_ >= rows_ && emitted_) return false;
+    size_t n = std::min(batch_rows_, rows_ - offset_);
+    out->view = base_;
+    out->view.SetRange(offset_, n);
+    out->owner = table_;
+    offset_ += n;
+    emitted_ = true;
+    return true;
+  }
+
+ private:
+  TablePtr table_;
+  std::vector<ScanColumn> columns_;
+  size_t batch_rows_;
+  TableSlice base_;
+  size_t rows_ = 0;
+  size_t offset_ = 0;
+  bool emitted_ = false;
+};
+
+// Filter: evaluates the predicate per batch into a selection vector and
+// gathers the qualifying rows. An all-pass batch is forwarded unchanged
+// (zero-copy); all-drop batches are skipped.
+class FilterOperator : public BatchOperator {
+ public:
+  FilterOperator(const sql::BoundExpr* predicate, BatchOperatorPtr child)
+      : BatchOperator("Filter"), predicate_(predicate) {
+    AddChild(std::move(child));
+  }
+
+ protected:
+  Result<bool> NextImpl(Batch* out) override {
+    while (true) {
+      Batch in;
+      LAZYETL_ASSIGN_OR_RETURN(bool more, child()->Next(&in));
+      if (!more) {
+        if (!emitted_) {
+          emitted_ = true;
+          *out = Batch::Materialized(std::move(empty_));
+          return true;
+        }
+        return false;
+      }
+      LAZYETL_ASSIGN_OR_RETURN(SelectionVector sel,
+                               EvaluatePredicate(*predicate_, in.view));
+      if (sel.size() == in.num_rows()) {
+        *out = std::move(in);
+        emitted_ = true;
+        return true;
+      }
+      if (sel.empty()) {
+        if (!emitted_) empty_ = in.view.Gather({});  // schema for EOS
+        continue;
+      }
+      *out = Batch::Materialized(in.view.Gather(sel));
+      emitted_ = true;
+      return true;
+    }
+  }
+
+ private:
+  const sql::BoundExpr* predicate_;
+  Table empty_;
+  bool emitted_ = false;
+};
+
+// Project: evaluates the projection expressions per batch.
+class ProjectOperator : public BatchOperator {
+ public:
+  ProjectOperator(const PlanNode* node, BatchOperatorPtr child)
+      : BatchOperator("Project"), node_(node) {
+    AddChild(std::move(child));
+  }
+
+ protected:
+  Result<bool> NextImpl(Batch* out) override {
+    Batch in;
+    LAZYETL_ASSIGN_OR_RETURN(bool more, child()->Next(&in));
+    if (!more) return false;
+    Table projected;
+    for (size_t i = 0; i < node_->project_exprs.size(); ++i) {
+      LAZYETL_ASSIGN_OR_RETURN(Column c,
+                               EvaluateExpr(*node_->project_exprs[i], in.view));
+      LAZYETL_RETURN_NOT_OK(
+          projected.AddColumn(node_->project_names[i], std::move(c)));
+    }
+    *out = Batch::Materialized(std::move(projected));
+    return true;
+  }
+
+ private:
+  const PlanNode* node_;
+};
+
+// Limit: forwards batches until the limit is reached, truncating the last
+// one with a zero-copy prefix view; then stops pulling the child (early
+// exit — an upstream scan never produces the unneeded rows).
+class LimitOperator : public BatchOperator {
+ public:
+  LimitOperator(int64_t limit, BatchOperatorPtr child)
+      : BatchOperator("Limit"),
+        remaining_(static_cast<size_t>(std::max<int64_t>(0, limit))) {
+    AddChild(std::move(child));
+  }
+
+ protected:
+  Result<bool> NextImpl(Batch* out) override {
+    if (remaining_ == 0 && emitted_) return false;
+    Batch in;
+    LAZYETL_ASSIGN_OR_RETURN(bool more, child()->Next(&in));
+    if (!more) return false;
+    if (in.num_rows() > remaining_) {
+      out->view = in.view.Prefix(remaining_);
+      out->owner = std::move(in.owner);
+      remaining_ = 0;
+    } else {
+      remaining_ -= in.num_rows();
+      *out = std::move(in);
+    }
+    emitted_ = true;
+    return true;
+  }
+
+ private:
+  size_t remaining_;
+  bool emitted_ = false;
+};
+
+}  // namespace
+
+Result<Table> DrainToTable(BatchOperator* op) {
+  Table result;
+  bool first = true;
+  Batch batch;
+  while (true) {
+    LAZYETL_ASSIGN_OR_RETURN(bool more, op->Next(&batch));
+    if (!more) break;
+    if (first) {
+      result = batch.view.Materialize();
+      first = false;
+    } else {
+      LAZYETL_RETURN_NOT_OK(result.AppendSlice(batch.view));
+    }
+  }
+  return result;
+}
+
+Result<BatchOperatorPtr> BuildOperatorTree(const PlanNode& plan,
+                                           ExecContext* ctx) {
+  switch (plan.type) {
+    case PlanNodeType::kScan: {
+      LAZYETL_ASSIGN_OR_RETURN(TablePtr table,
+                               ctx->catalog->GetTable(plan.table));
+      return BatchOperatorPtr(std::make_unique<ScanOperator>(
+          std::move(table), plan.scan_columns, plan.table, ctx->batch_rows));
+    }
+    case PlanNodeType::kLazyDataScan:
+      return MakeLazyDataScanOperator(plan, ctx);
+    case PlanNodeType::kFilter: {
+      LAZYETL_ASSIGN_OR_RETURN(BatchOperatorPtr child,
+                               BuildOperatorTree(*plan.children[0], ctx));
+      return BatchOperatorPtr(std::make_unique<FilterOperator>(
+          plan.predicate.get(), std::move(child)));
+    }
+    case PlanNodeType::kHashJoin: {
+      LAZYETL_ASSIGN_OR_RETURN(BatchOperatorPtr left,
+                               BuildOperatorTree(*plan.children[0], ctx));
+      LAZYETL_ASSIGN_OR_RETURN(BatchOperatorPtr right,
+                               BuildOperatorTree(*plan.children[1], ctx));
+      return MakeHashJoinOperator(plan, ctx, std::move(left),
+                                  std::move(right));
+    }
+    case PlanNodeType::kAggregate: {
+      LAZYETL_ASSIGN_OR_RETURN(BatchOperatorPtr child,
+                               BuildOperatorTree(*plan.children[0], ctx));
+      return MakeAggregateOperator(plan, ctx, std::move(child));
+    }
+    case PlanNodeType::kProject: {
+      LAZYETL_ASSIGN_OR_RETURN(BatchOperatorPtr child,
+                               BuildOperatorTree(*plan.children[0], ctx));
+      return BatchOperatorPtr(
+          std::make_unique<ProjectOperator>(&plan, std::move(child)));
+    }
+    case PlanNodeType::kDistinct: {
+      LAZYETL_ASSIGN_OR_RETURN(BatchOperatorPtr child,
+                               BuildOperatorTree(*plan.children[0], ctx));
+      return MakeDistinctOperator(plan, ctx, std::move(child));
+    }
+    case PlanNodeType::kSort: {
+      LAZYETL_ASSIGN_OR_RETURN(BatchOperatorPtr child,
+                               BuildOperatorTree(*plan.children[0], ctx));
+      return MakeSortOperator(plan, ctx, std::move(child));
+    }
+    case PlanNodeType::kLimit: {
+      LAZYETL_ASSIGN_OR_RETURN(BatchOperatorPtr child,
+                               BuildOperatorTree(*plan.children[0], ctx));
+      return BatchOperatorPtr(
+          std::make_unique<LimitOperator>(plan.limit, std::move(child)));
+    }
+  }
+  return Status::Internal("unhandled plan node type");
+}
+
+}  // namespace lazyetl::engine

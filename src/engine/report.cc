@@ -28,6 +28,22 @@ std::string ExecutionReport::ToString() const {
   if (result_cache_hit) {
     os << "result served from recycler cache\n";
   }
+  if (!operator_stats.empty()) {
+    os << "--- operator pipeline ---\n";
+    for (const auto& op : operator_stats) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s: %llu batches, %llu rows, peak batch %llu B, "
+                    "state %llu B, %.3fms",
+                    op.op.c_str(),
+                    static_cast<unsigned long long>(op.batches),
+                    static_cast<unsigned long long>(op.rows),
+                    static_cast<unsigned long long>(op.peak_batch_bytes),
+                    static_cast<unsigned long long>(op.state_bytes),
+                    op.seconds * 1e3);
+      os << buf << "\n";
+    }
+    os << "peak intermediate bytes: " << peak_intermediate_bytes << "\n";
+  }
   if (!plan_before.empty()) {
     os << "--- plan (naive) ---\n" << plan_before;
     os << "--- plan (metadata-first) ---\n" << plan_after;

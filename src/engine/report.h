@@ -14,6 +14,17 @@
 
 namespace lazyetl::engine {
 
+// Per-operator pipeline counters, one entry per operator instance in the
+// executed batch pipeline (pre-order: parents before children).
+struct OperatorStats {
+  std::string op;            // e.g. "Filter", "Scan(mseed.files)"
+  uint64_t batches = 0;      // batches emitted
+  uint64_t rows = 0;         // rows emitted
+  uint64_t peak_batch_bytes = 0;  // largest single emitted batch
+  uint64_t state_bytes = 0;  // materialised state (pipeline breakers)
+  double seconds = 0;        // time inside Next(), inclusive of children
+};
+
 struct ExecutionReport {
   std::string sql;
 
@@ -43,6 +54,12 @@ struct ExecutionReport {
   bool result_cache_hit = false;
 
   uint64_t result_rows = 0;
+
+  // Batch pipeline introspection: one entry per operator, and an upper
+  // bound on the intermediate bytes live at any point of the execution
+  // (sum over operators of materialised state + largest emitted batch).
+  std::vector<OperatorStats> operator_stats;
+  uint64_t peak_intermediate_bytes = 0;
 
   // Phase timings in seconds.
   double parse_seconds = 0;

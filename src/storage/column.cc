@@ -141,6 +141,25 @@ Status Column::AppendColumn(const Column& other) {
   return Status::OK();
 }
 
+Status Column::AppendRange(const Column& other, size_t offset, size_t length) {
+  if (other.type_ != type_ &&
+      !(type_ == DataType::kInt64 && other.type_ == DataType::kTimestamp) &&
+      !(type_ == DataType::kTimestamp && other.type_ == DataType::kInt64)) {
+    return Status::InvalidArgument(
+        std::string("cannot append ") + DataTypeToString(other.type_) +
+        " range to " + DataTypeToString(type_) + " column");
+  }
+  std::visit(
+      [this, offset, length](const auto& src) {
+        using VecT = std::decay_t<decltype(src)>;
+        auto& dst = std::get<VecT>(data_);
+        dst.insert(dst.end(), src.begin() + offset,
+                   src.begin() + offset + length);
+      },
+      other.data_);
+  return Status::OK();
+}
+
 Column Column::Gather(const SelectionVector& sel) const {
   Column out(type_);
   std::visit(
@@ -149,6 +168,32 @@ Column Column::Gather(const SelectionVector& sel) const {
         auto& dst = std::get<VecT>(out.data_);
         dst.reserve(sel.size());
         for (uint32_t row : sel) dst.push_back(src[row]);
+      },
+      data_);
+  return out;
+}
+
+Column Column::GatherFrom(const SelectionVector& sel,
+                          size_t base_offset) const {
+  Column out(type_);
+  std::visit(
+      [&](const auto& src) {
+        using VecT = std::decay_t<decltype(src)>;
+        auto& dst = std::get<VecT>(out.data_);
+        dst.reserve(sel.size());
+        for (uint32_t row : sel) dst.push_back(src[base_offset + row]);
+      },
+      data_);
+  return out;
+}
+
+Column Column::CopyRange(size_t offset, size_t length) const {
+  Column out(type_);
+  std::visit(
+      [&](const auto& src) {
+        using VecT = std::decay_t<decltype(src)>;
+        auto& dst = std::get<VecT>(out.data_);
+        dst.assign(src.begin() + offset, src.begin() + offset + length);
       },
       data_);
   return out;
@@ -181,6 +226,24 @@ uint64_t Column::MemoryBytes() const {
           return bytes;
         } else {
           return v.capacity() * sizeof(typename VecT::value_type);
+        }
+      },
+      data_);
+}
+
+uint64_t Column::RangeBytes(size_t offset, size_t length) const {
+  return std::visit(
+      [offset, length](const auto& v) -> uint64_t {
+        using VecT = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<VecT, std::vector<std::string>>) {
+          uint64_t bytes = length * sizeof(std::string);
+          for (size_t i = offset; i < offset + length; ++i) {
+            bytes += v[i].capacity();
+          }
+          return bytes;
+        } else {
+          (void)v;
+          return length * sizeof(typename VecT::value_type);
         }
       },
       data_);

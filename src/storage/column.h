@@ -61,8 +61,19 @@ class Column {
   // Appends all rows of `other` (same type) to this column.
   Status AppendColumn(const Column& other);
 
+  // Appends rows [offset, offset + length) of `other` (same type) — the
+  // batch-aware append path used when draining slices into a table.
+  Status AppendRange(const Column& other, size_t offset, size_t length);
+
   // New column containing rows picked by `sel`, in order.
   Column Gather(const SelectionVector& sel) const;
+
+  // Gather with a base offset: rows picked are `base_offset + sel[i]`.
+  // Used by slices, whose selection vectors are slice-relative.
+  Column GatherFrom(const SelectionVector& sel, size_t base_offset) const;
+
+  // New column holding a copy of rows [offset, offset + length).
+  Column CopyRange(size_t offset, size_t length) const;
 
   // Numeric view of row `row` as double (0.0 for strings).
   double NumericAt(size_t row) const;
@@ -70,6 +81,10 @@ class Column {
   // Approximate heap footprint in bytes (used for cache accounting and the
   // storage-footprint experiment).
   uint64_t MemoryBytes() const;
+
+  // Approximate heap bytes of rows [offset, offset + length) only (batch
+  // accounting for slices).
+  uint64_t RangeBytes(size_t offset, size_t length) const;
 
  private:
   DataType type_;

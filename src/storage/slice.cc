@@ -1,0 +1,85 @@
+#include "storage/slice.h"
+
+#include "common/macros.h"
+#include "common/string_util.h"
+
+namespace lazyetl::storage {
+
+TableSlice TableSlice::FromTable(const Table& table, size_t offset,
+                                 size_t length) {
+  TableSlice slice;
+  for (size_t i = 0; i < table.num_columns(); ++i) {
+    slice.AddColumn(table.column_name(i), &table.column(i));
+  }
+  slice.SetRange(offset, length);
+  return slice;
+}
+
+void TableSlice::AddColumn(std::string name, const Column* column) {
+  names_.push_back(std::move(name));
+  columns_.push_back(column);
+}
+
+Result<size_t> TableSlice::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  size_t found = names_.size();
+  int matches = 0;
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (EndsWith(names_[i], "." + name)) {
+      found = i;
+      ++matches;
+    }
+  }
+  if (matches == 1) return found;
+  if (matches > 1) {
+    return Status::BindError("ambiguous column name '" + name + "'");
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+Result<ColumnSlice> TableSlice::ColumnByName(const std::string& name) const {
+  LAZYETL_ASSIGN_OR_RETURN(size_t i, ColumnIndex(name));
+  return column_slice(i);
+}
+
+TableSlice TableSlice::Prefix(size_t n) const {
+  TableSlice out = *this;
+  out.length_ = n < length_ ? n : length_;
+  return out;
+}
+
+TableSlice TableSlice::Subslice(size_t start, size_t n) const {
+  TableSlice out = *this;
+  out.offset_ = offset_ + (start < length_ ? start : length_);
+  size_t avail = length_ - (out.offset_ - offset_);
+  out.length_ = n < avail ? n : avail;
+  return out;
+}
+
+Table TableSlice::Materialize() const {
+  Table out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    (void)out.AddColumn(names_[i], column_slice(i).Materialize());
+  }
+  return out;
+}
+
+Table TableSlice::Gather(const SelectionVector& sel) const {
+  Table out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    (void)out.AddColumn(names_[i], column_slice(i).Gather(sel));
+  }
+  return out;
+}
+
+uint64_t TableSlice::ViewedBytes() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    total += column_slice(i).ViewedBytes();
+  }
+  return total;
+}
+
+}  // namespace lazyetl::storage

@@ -1,0 +1,113 @@
+// Zero-copy row views over columns and tables.
+//
+// A TableSlice is the unit of data exchanged by the engine's batch
+// operators: a window of at most one batch of rows over a set of named
+// columns. The columns are borrowed, never copied — a slice over a base
+// table costs O(#columns) regardless of how many rows it covers, so a scan
+// feeding a selective filter never materialises the non-qualifying rows.
+// Slices do not own storage; whoever hands one out must keep the backing
+// columns alive (the engine's Batch pairs a slice with a shared_ptr owner).
+
+#ifndef LAZYETL_STORAGE_SLICE_H_
+#define LAZYETL_STORAGE_SLICE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/column.h"
+#include "storage/table.h"
+
+namespace lazyetl::storage {
+
+// View of rows [offset, offset + length) of one borrowed column.
+class ColumnSlice {
+ public:
+  ColumnSlice() = default;
+  ColumnSlice(const Column* column, size_t offset, size_t length)
+      : column_(column), offset_(offset), length_(length) {}
+
+  DataType type() const { return column_->type(); }
+  size_t size() const { return length_; }
+  size_t offset() const { return offset_; }
+  const Column& column() const { return *column_; }
+
+  // Row indices are slice-relative throughout.
+  Value GetValue(size_t row) const { return column_->GetValue(offset_ + row); }
+
+  // Copies the viewed rows into an owning column.
+  Column Materialize() const { return column_->CopyRange(offset_, length_); }
+
+  // Owning column holding the slice-relative rows picked by `sel`.
+  Column Gather(const SelectionVector& sel) const {
+    return column_->GatherFrom(sel, offset_);
+  }
+
+  // Approximate heap bytes of the viewed rows (not the whole column).
+  uint64_t ViewedBytes() const { return column_->RangeBytes(offset_, length_); }
+
+ private:
+  const Column* column_ = nullptr;
+  size_t offset_ = 0;
+  size_t length_ = 0;
+};
+
+// View of rows [offset, offset + length) over named, borrowed columns. The
+// names may differ from the backing table's (scan renaming, e.g. "station"
+// viewed as "F.station") and the column set may be a projection of it.
+class TableSlice {
+ public:
+  TableSlice() = default;
+
+  // Views all columns of `table` under their stored names.
+  static TableSlice FromTable(const Table& table, size_t offset,
+                              size_t length);
+
+  // Adds a borrowed column (must have the same underlying size as the
+  // other columns; the slice window applies to all of them).
+  void AddColumn(std::string name, const Column* column);
+
+  void SetRange(size_t offset, size_t length) {
+    offset_ = offset;
+    length_ = length;
+  }
+
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return length_; }
+  size_t offset() const { return offset_; }
+
+  const std::string& column_name(size_t i) const { return names_[i]; }
+  const Column& column(size_t i) const { return *columns_[i]; }
+  ColumnSlice column_slice(size_t i) const {
+    return ColumnSlice(columns_[i], offset_, length_);
+  }
+
+  // Same resolution rules as Table::ColumnIndex: exact match first, then
+  // an unambiguous unqualified suffix match.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+  Result<ColumnSlice> ColumnByName(const std::string& name) const;
+
+  // A narrower window onto the same columns: the first `n` viewed rows.
+  TableSlice Prefix(size_t n) const;
+  // The viewed rows starting at slice-relative row `start`.
+  TableSlice Subslice(size_t start, size_t n) const;
+
+  // Copies the viewed rows into an owning table.
+  Table Materialize() const;
+
+  // Owning table holding the slice-relative rows picked by `sel`.
+  Table Gather(const SelectionVector& sel) const;
+
+  // Approximate heap bytes of the viewed rows.
+  uint64_t ViewedBytes() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<const Column*> columns_;
+  size_t offset_ = 0;
+  size_t length_ = 0;
+};
+
+}  // namespace lazyetl::storage
+
+#endif  // LAZYETL_STORAGE_SLICE_H_

@@ -4,6 +4,7 @@
 
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "storage/slice.h"
 
 namespace lazyetl::storage {
 
@@ -75,6 +76,23 @@ Status Table::AppendTable(const Table& other) {
     LAZYETL_RETURN_NOT_OK(columns_[i].AppendColumn(other.columns_[i]));
   }
   return Status::OK();
+}
+
+Status Table::AppendSlice(const TableSlice& slice) {
+  if (slice.num_columns() != num_columns()) {
+    return Status::InvalidArgument("appending slice with different arity");
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    LAZYETL_RETURN_NOT_OK(
+        columns_[i]
+            .AppendRange(slice.column(i), slice.offset(), slice.num_rows())
+            .WithContext("column '" + schema_[i].name + "'"));
+  }
+  return Status::OK();
+}
+
+TableSlice Table::Slice(size_t offset, size_t length) const {
+  return TableSlice::FromTable(*this, offset, length);
 }
 
 Status Table::AddColumn(std::string name, Column column) {

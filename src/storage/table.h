@@ -15,6 +15,8 @@
 
 namespace lazyetl::storage {
 
+class TableSlice;
+
 struct ColumnSchema {
   std::string name;  // possibly qualified, e.g. "F.station"
   DataType type = DataType::kInt64;
@@ -52,6 +54,14 @@ class Table {
 
   // Appends all rows of `other`, which must have an identical schema.
   Status AppendTable(const Table& other);
+
+  // Appends the viewed rows of `slice` (same arity, compatible column
+  // types) — the batch-aware append path used when draining a pipeline.
+  Status AppendSlice(const TableSlice& slice);
+
+  // Zero-copy view of rows [offset, offset + length); the caller must keep
+  // this table alive while the slice is in use.
+  TableSlice Slice(size_t offset, size_t length) const;
 
   // Adds a column to the right side; size must match num_rows() (or the
   // table must be empty of columns).
