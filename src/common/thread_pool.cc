@@ -1,0 +1,151 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lazyetl::common {
+
+ThreadPool& ThreadPool::Shared() {
+  // Leaked on purpose: worker threads may outlive main() by a few
+  // instructions, and static destruction order must not tear the pool
+  // down under them.
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+ThreadPool::ThreadPool(size_t threads) {
+  workers_.resize(kMaxThreads);
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  EnsureWorkers(std::min(threads, kMaxThreads));
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  size_t n = spawned_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    if (workers_[i]->thread.joinable()) workers_[i]->thread.join();
+  }
+}
+
+void ThreadPool::EnsureWorkers(size_t n) {
+  n = std::min(n, kMaxThreads);
+  if (spawned_.load(std::memory_order_acquire) >= n) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t cur = spawned_.load(std::memory_order_relaxed);
+  for (size_t i = cur; i < n; ++i) {
+    workers_[i] = std::make_unique<Worker>();
+    workers_[i]->thread = std::thread([this, i] { WorkerLoop(i); });
+    // Release so thieves that observe the new count see the slot filled.
+    spawned_.store(i + 1, std::memory_order_release);
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  EnsureWorkers(1);
+  size_t n = spawned_.load(std::memory_order_acquire);
+  size_t target = next_worker_.fetch_add(1, std::memory_order_relaxed) % n;
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mu);
+    workers_[target]->tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  {
+    // Lock so a worker between its failed scan and its wait cannot miss
+    // the notification.
+    std::lock_guard<std::mutex> lock(mu_);
+  }
+  wake_.notify_one();
+}
+
+std::function<void()> ThreadPool::TakeTask(size_t id) {
+  std::function<void()> task;
+  Worker& self = *workers_[id];
+  {
+    std::lock_guard<std::mutex> lock(self.mu);
+    if (!self.tasks.empty()) {
+      task = std::move(self.tasks.back());
+      self.tasks.pop_back();
+    }
+  }
+  if (!task) {
+    size_t n = spawned_.load(std::memory_order_acquire);
+    for (size_t k = 1; k < n && !task; ++k) {
+      Worker& victim = *workers_[(id + k) % n];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.tasks.empty()) {
+        task = std::move(victim.tasks.front());
+        victim.tasks.pop_front();
+      }
+    }
+  }
+  if (task) pending_.fetch_sub(1, std::memory_order_acq_rel);
+  return task;
+}
+
+void ThreadPool::WorkerLoop(size_t id) {
+  while (true) {
+    std::function<void()> task = TakeTask(id);
+    if (task) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    wake_.wait(lock, [this] {
+      return shutdown_ || pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (shutdown_) return;
+  }
+}
+
+void ThreadPool::ParallelFor(size_t items, size_t max_workers,
+                             const std::function<void(size_t)>& fn) {
+  if (items == 0) return;
+  if (max_workers <= 1 || items == 1) {
+    for (size_t i = 0; i < items; ++i) fn(i);
+    return;
+  }
+
+  struct Shared {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    size_t items = 0;
+    const std::function<void(size_t)>* fn = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->items = items;
+  shared->fn = &fn;  // caller blocks until done == items, so this is safe
+
+  auto work = [shared] {
+    while (true) {
+      size_t i = shared->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= shared->items) return;
+      (*shared->fn)(i);
+      if (shared->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          shared->items) {
+        std::lock_guard<std::mutex> lock(shared->mu);
+        shared->cv.notify_all();
+      }
+    }
+  };
+
+  size_t helpers = std::min(max_workers - 1, items - 1);
+  EnsureWorkers(std::min(helpers, kMaxThreads));
+  for (size_t h = 0; h < helpers; ++h) Submit(work);
+  work();  // the caller claims items too — no idle wait, no deadlock
+
+  std::unique_lock<std::mutex> lock(shared->mu);
+  shared->cv.wait(lock, [&] {
+    return shared->done.load(std::memory_order_acquire) == shared->items;
+  });
+}
+
+}  // namespace lazyetl::common

@@ -1,0 +1,83 @@
+// ThreadPool: the process-wide worker pool behind morsel-driven query
+// execution and windowed lazy extraction.
+//
+// Tasks go into per-worker deques; an idle worker pops its own deque LIFO
+// (cache-warm) and steals FIFO from a victim when empty (work stealing).
+// ParallelFor is the main entry point: the *caller participates* — it
+// claims and executes items alongside the pool — so a saturated or
+// undersized pool degrades to serial execution instead of deadlocking,
+// even when pool tasks themselves call ParallelFor (nested parallelism:
+// a query worker driving lazy extraction).
+
+#ifndef LAZYETL_COMMON_THREAD_POOL_H_
+#define LAZYETL_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lazyetl::common {
+
+class ThreadPool {
+ public:
+  // Hard ceiling on pool threads; requests beyond it are clamped. High
+  // enough that tests can oversubscribe (query_threads=8 on a 1-core box)
+  // and real machines are never capped in practice.
+  static constexpr size_t kMaxThreads = 64;
+
+  // The shared pool. Created on first use, sized to hardware_concurrency,
+  // grown on demand (never shrunk), and intentionally leaked so tasks in
+  // flight at process exit cannot race static destruction.
+  static ThreadPool& Shared();
+
+  // `threads` = 0 starts with hardware_concurrency workers.
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task for any worker (round-robin placement, stealable).
+  void Submit(std::function<void()> task);
+
+  // Runs fn(i) for every i in [0, items) using the caller plus up to
+  // max_workers - 1 pool workers, and returns when every item completed.
+  // fn must be safe to call concurrently with distinct arguments.
+  void ParallelFor(size_t items, size_t max_workers,
+                   const std::function<void(size_t)>& fn);
+
+  // Grows the worker set to at least n threads (clamped to kMaxThreads).
+  void EnsureWorkers(size_t n);
+
+  size_t num_threads() const { return spawned_.load(std::memory_order_acquire); }
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> tasks;
+    std::mutex mu;
+    std::thread thread;
+  };
+
+  void WorkerLoop(size_t id);
+  // Pops a task from worker `id`'s own deque, else steals one; returns an
+  // empty function when nothing is runnable.
+  std::function<void()> TakeTask(size_t id);
+
+  std::mutex mu_;                         // guards spawning and sleeping
+  std::condition_variable wake_;          // sleeping workers
+  std::vector<std::unique_ptr<Worker>> workers_;  // kMaxThreads fixed slots
+  std::atomic<size_t> spawned_{0};        // workers_[0..spawned_) are live
+  std::atomic<size_t> next_worker_{0};    // round-robin submit target
+  std::atomic<ptrdiff_t> pending_{0};     // queued-but-unclaimed tasks
+  bool shutdown_ = false;
+};
+
+}  // namespace lazyetl::common
+
+#endif  // LAZYETL_COMMON_THREAD_POOL_H_

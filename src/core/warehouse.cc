@@ -1,19 +1,18 @@
 #include "core/warehouse.h"
 
 #include <algorithm>
-#include <atomic>
 #include <deque>
 #include <filesystem>
 #include <fstream>
 #include <limits>
 #include <set>
 #include <sstream>
-#include <thread>
 #include <unordered_set>
 
 #include "common/log.h"
 #include "common/macros.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/etl.h"
 #include "core/schema.h"
 #include "engine/expr_eval.h"
@@ -214,20 +213,12 @@ Status WarehouseDataProvider::RunExtractionJobs(std::vector<ExtractJob>* jobs) {
     for (auto& job : *jobs) run_one(&job);
     return Status::OK();
   }
-  threads = std::min<unsigned>(threads, static_cast<unsigned>(jobs->size()));
-  std::vector<std::thread> workers;
-  std::atomic<size_t> next{0};
-  workers.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) {
-    workers.emplace_back([&]() {
-      while (true) {
-        size_t i = next.fetch_add(1);
-        if (i >= jobs->size()) break;
-        run_one(&(*jobs)[i]);
-      }
-    });
-  }
-  for (auto& w : workers) w.join();
+  // The shared worker pool runs the per-file jobs; the calling thread
+  // participates, so extraction windows driven from inside a parallel
+  // query pipeline cannot deadlock on a saturated pool.
+  common::ThreadPool::Shared().ParallelFor(
+      jobs->size(), threads,
+      [&](size_t i) { run_one(&(*jobs)[i]); });
   return Status::OK();
 }
 
@@ -1157,7 +1148,7 @@ Result<QueryResult> Warehouse::Query(const std::string& sql) {
   phase.Restart();
   provider->BeginQuery();
   engine::Executor executor(catalog_.get(), provider_.get(),
-                            {options_.batch_rows});
+                            {options_.batch_rows, options_.query_threads});
   LAZYETL_ASSIGN_OR_RETURN(Table result,
                            executor.Execute(*planned.plan, &report));
   report.execute_seconds = phase.ElapsedSeconds();

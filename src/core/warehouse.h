@@ -67,10 +67,14 @@ struct WarehouseOptions {
   std::string persist_dir;
   // Worker threads for lazy extraction. Files are independent units of
   // work (open + decode + transform), so multi-file fetches parallelise
-  // cleanly; cache admission and table assembly stay single-threaded.
-  // 1 = fully serial. The streaming fetch extracts in windows of this
-  // many files, bounding peak extracted-but-unconsumed data.
+  // cleanly on the shared common::ThreadPool; cache admission and table
+  // assembly stay single-threaded. 1 = fully serial. The streaming fetch
+  // extracts in windows of this many files, bounding peak
+  // extracted-but-unconsumed data.
   unsigned extraction_threads = 1;
+  // Worker threads for query execution (morsel-driven parallelism in the
+  // batch pipeline). 0 = hardware_concurrency; 1 = the serial path.
+  size_t query_threads = 0;
   // Rows per engine pipeline batch. Intermediates of pipelined plans are
   // bounded by O(batch_rows × pipeline depth).
   size_t batch_rows = engine::kDefaultBatchRows;

@@ -1,8 +1,11 @@
 #include "engine/executor.h"
 
+#include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "common/macros.h"
+#include "common/thread_pool.h"
 #include "engine/operators/join_build.h"
 #include "engine/operators/operator.h"
 
@@ -76,12 +79,22 @@ Result<Table> HashJoinTables(const Table& left, const Table& right,
 
 Result<Table> Executor::Execute(const PlanNode& plan,
                                 ExecutionReport* report) {
-  ExecContext ctx{catalog_, provider_, report, options_.batch_rows};
+  size_t threads = options_.query_threads;
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, common::ThreadPool::kMaxThreads);
+
+  ExecContext ctx{catalog_, provider_, report, options_.batch_rows, threads};
   LAZYETL_ASSIGN_OR_RETURN(BatchOperatorPtr root,
                            BuildOperatorTree(plan, &ctx));
   LAZYETL_RETURN_NOT_OK(root->Open());
-  auto result = DrainToTable(root.get());
+  // The top-level drive loop: when the root pipeline is parallel-safe,
+  // `threads` workers pull morsels concurrently and the result table is
+  // reassembled in seq order — byte-identical to the serial drain.
+  auto result = DrainToTableOrdered(root.get(), threads);
   root->Close();
+  if (report != nullptr) report->query_threads = threads;
   if (!result.ok()) return result.status();
 
   if (report != nullptr) {

@@ -80,6 +80,14 @@ struct ExecutorOptions {
   // Rows per pipeline batch. SIZE_MAX reproduces whole-table intermediates
   // (the materialize-everything baseline, useful for comparison).
   size_t batch_rows = kDefaultBatchRows;
+  // Worker threads driving the batch pipeline (morsel-driven parallelism:
+  // sources hand out disjoint batch-sized morsels, pipeline breakers merge
+  // per-batch partial states deterministically). 0 = hardware_concurrency;
+  // 1 = the serial execution path. Results are deterministic at any
+  // setting; floating-point SUM/AVG combine per-batch partials in batch
+  // order under parallelism, which can differ from the serial row-order
+  // sum in the last few ulps.
+  size_t query_threads = 0;
 };
 
 class Executor {

@@ -1,10 +1,22 @@
-// Pipeline breakers: Sort, Aggregate, Distinct, HashJoin. These consume
-// their input batch-at-a-time and re-emit batches. Aggregate and Distinct
-// accumulate incrementally (state is O(groups) / O(distinct keys), never
-// the whole input); Sort and the HashJoin build side must materialise and
-// record that state in the operator counters.
+// Pipeline breakers: Sort, TopK, Aggregate, Distinct, HashJoin. These
+// consume their input batch-at-a-time and re-emit batches. Aggregate and
+// Distinct accumulate incrementally (state is O(groups) / O(distinct
+// keys), never the whole input); Sort and the HashJoin build side must
+// materialise and record that state in the operator counters; TopK keeps
+// only a bounded candidate set (O(k) per worker).
+//
+// Parallelism (morsel-driven): with query_threads > 1 and a parallel-safe
+// child, every breaker consumes its input through ParallelDrain — workers
+// fold batches into *partial* states that are merged at the end of the
+// consume phase. Merges happen in batch-seq order, so results are
+// deterministic and independent of scheduling: integer/string aggregates,
+// distinct sets, sort orders and top-k sets are byte-identical to the
+// serial path; floating-point sums combine per-batch partials in seq
+// order (deterministic, but associated differently than the serial
+// row-by-row sum — equal up to rounding).
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -12,6 +24,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/thread_pool.h"
 #include "engine/expr_eval.h"
 #include "engine/operators/internal.h"
 #include "engine/operators/join_build.h"
@@ -33,6 +46,95 @@ bool IsIntLike(DataType t) {
          t == DataType::kInt64 || t == DataType::kTimestamp;
 }
 
+// Three-way row comparison under the ORDER BY items; `sort_cols` are the
+// evaluated key columns. Negative = row a orders first.
+int CompareRows(const std::vector<Column>& sort_cols,
+                const std::vector<sql::BoundOrderItem>& items, size_t a,
+                size_t b) {
+  for (size_t k = 0; k < sort_cols.size(); ++k) {
+    const Column& c = sort_cols[k];
+    int cmp = 0;
+    if (c.type() == DataType::kString) {
+      cmp = c.string_data()[a].compare(c.string_data()[b]);
+      cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+    } else if (c.type() == DataType::kDouble) {
+      double va = c.double_data()[a];
+      double vb = c.double_data()[b];
+      cmp = va < vb ? -1 : (va > vb ? 1 : 0);
+    } else if (IsIntLike(c.type())) {
+      // Exact integer path: doubles corrupt wide int64/timestamps.
+      int64_t ia, ib;
+      if (c.type() == DataType::kInt32) {
+        ia = c.int32_data()[a];
+        ib = c.int32_data()[b];
+      } else if (c.type() == DataType::kBool) {
+        ia = c.bool_data()[a];
+        ib = c.bool_data()[b];
+      } else {
+        ia = c.int64_data()[a];
+        ib = c.int64_data()[b];
+      }
+      cmp = ia < ib ? -1 : (ia > ib ? 1 : 0);
+    } else {
+      double va = c.NumericAt(a);
+      double vb = c.NumericAt(b);
+      cmp = va < vb ? -1 : (va > vb ? 1 : 0);
+    }
+    if (cmp != 0) return items[k].ascending ? cmp : -cmp;
+  }
+  return 0;
+}
+
+// Stable-sorts `idx` with `threads` workers: contiguous chunks are sorted
+// concurrently, then merged pairwise (std::inplace_merge is stable and
+// every left chunk holds lower original positions than its right chunk,
+// so the result is exactly the serial std::stable_sort order).
+template <typename Less>
+void ParallelStableSort(std::vector<uint32_t>* idx, size_t threads,
+                        const Less& less) {
+  size_t n = idx->size();
+  if (threads <= 1 || n < 4096) {
+    std::stable_sort(idx->begin(), idx->end(), less);
+    return;
+  }
+  size_t chunks = std::min(threads, n);
+  std::vector<size_t> bounds(chunks + 1);
+  for (size_t c = 0; c <= chunks; ++c) bounds[c] = c * n / chunks;
+
+  auto& pool = common::ThreadPool::Shared();
+  pool.ParallelFor(chunks, threads, [&](size_t c) {
+    std::stable_sort(idx->begin() + bounds[c], idx->begin() + bounds[c + 1],
+                     less);
+  });
+  for (size_t width = 1; width < chunks; width *= 2) {
+    std::vector<size_t> starts;
+    for (size_t c = 0; c + width < chunks; c += 2 * width) starts.push_back(c);
+    pool.ParallelFor(starts.size(), threads, [&](size_t j) {
+      size_t c = starts[j];
+      std::inplace_merge(idx->begin() + bounds[c],
+                         idx->begin() + bounds[c + width],
+                         idx->begin() + bounds[std::min(c + 2 * width, chunks)],
+                         less);
+    });
+  }
+}
+
+// Gathers the picked rows column-by-column across workers.
+Table ParallelGather(const Table& input, const SelectionVector& sel,
+                     size_t threads) {
+  if (threads <= 1 || input.num_columns() <= 1) return input.Gather(sel);
+  std::vector<Column> cols(input.num_columns(), Column(DataType::kInt64));
+  common::ThreadPool::Shared().ParallelFor(
+      input.num_columns(), threads,
+      [&](size_t c) { cols[c] = input.column(c).Gather(sel); });
+  Table out;
+  for (size_t c = 0; c < input.num_columns(); ++c) {
+    Status st = out.AddColumn(input.column_name(c), std::move(cols[c]));
+    (void)st;  // same-length columns from the same table cannot mismatch
+  }
+  return out;
+}
+
 // --------------------------------------------------------------------------
 // Sort
 // --------------------------------------------------------------------------
@@ -44,9 +146,13 @@ class SortOperator : public BatchOperator {
     AddChild(std::move(child));
   }
 
+  bool ParallelSafe() const override { return true; }
+
  protected:
   Status OpenImpl() override {
-    LAZYETL_ASSIGN_OR_RETURN(Table input, DrainToTable(child()));
+    size_t threads = ctx_->query_threads;
+    LAZYETL_ASSIGN_OR_RETURN(Table input,
+                             DrainToTableOrdered(child(), threads));
     RecordStateBytes(input.MemoryBytes());
 
     std::vector<Column> sort_cols;
@@ -57,50 +163,148 @@ class SortOperator : public BatchOperator {
     std::vector<uint32_t> idx(input.num_rows());
     for (size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<uint32_t>(i);
 
-    auto compare_rows = [&](uint32_t a, uint32_t b) {
-      for (size_t k = 0; k < sort_cols.size(); ++k) {
-        const Column& c = sort_cols[k];
-        bool asc = node_->order_items[k].ascending;
-        int cmp = 0;
-        if (c.type() == DataType::kString) {
-          cmp = c.string_data()[a].compare(c.string_data()[b]);
-        } else if (c.type() == DataType::kDouble) {
-          double va = c.double_data()[a];
-          double vb = c.double_data()[b];
-          cmp = va < vb ? -1 : (va > vb ? 1 : 0);
-        } else if (IsIntLike(c.type())) {
-          // Exact integer path: doubles corrupt wide int64/timestamps.
-          int64_t ia, ib;
-          if (c.type() == DataType::kInt32) {
-            ia = c.int32_data()[a];
-            ib = c.int32_data()[b];
-          } else if (c.type() == DataType::kBool) {
-            ia = c.bool_data()[a];
-            ib = c.bool_data()[b];
-          } else {
-            ia = c.int64_data()[a];
-            ib = c.int64_data()[b];
-          }
-          cmp = ia < ib ? -1 : (ia > ib ? 1 : 0);
-        } else {
-          double va = c.NumericAt(a);
-          double vb = c.NumericAt(b);
-          cmp = va < vb ? -1 : (va > vb ? 1 : 0);
-        }
-        if (cmp != 0) return asc ? cmp < 0 : cmp > 0;
-      }
-      return false;
+    auto less = [&](uint32_t a, uint32_t b) {
+      return CompareRows(sort_cols, node_->order_items, a, b) < 0;
     };
-    std::stable_sort(idx.begin(), idx.end(), compare_rows);
-    emitter_.Reset(input.Gather(idx), ctx_->batch_rows);
+    ParallelStableSort(&idx, threads, less);
+    emitter_.Reset(ParallelGather(input, idx, threads), ctx_->batch_rows);
     return Status::OK();
   }
 
-  Result<bool> NextImpl(Batch* out) override { return emitter_.Next(out); }
+  Result<bool> NextImpl(Batch* out) override {
+    return emitter_.Next(out, parallel_drive());
+  }
 
  private:
   const PlanNode* node_;
   ExecContext* ctx_;
+  TableEmitter emitter_;
+};
+
+// --------------------------------------------------------------------------
+// TopK (fused Sort + Limit)
+// --------------------------------------------------------------------------
+
+// Bounded top-k: each worker keeps at most ~2k candidate rows (pruned
+// with nth_element under the total order <sort keys, arrival tag>), so a
+// Sort directly below a Limit no longer materialises its whole input.
+// The arrival tag (batch seq, row) reproduces stable-sort semantics:
+// among key-equal rows the earliest input rows win, byte-identical to the
+// unfused Sort + Limit at any thread count.
+class TopKOperator : public BatchOperator {
+ public:
+  TopKOperator(const PlanNode* node, ExecContext* ctx, BatchOperatorPtr child)
+      : BatchOperator("TopK"), node_(node), ctx_(ctx) {
+    AddChild(std::move(child));
+  }
+
+  bool ParallelSafe() const override { return true; }
+
+ protected:
+  Status OpenImpl() override {
+    k_ = static_cast<size_t>(std::max<int64_t>(0, node_->limit));
+    size_t threads = ctx_->query_threads;
+    std::vector<WorkerState> states(std::max<size_t>(threads, 1));
+
+    LAZYETL_RETURN_NOT_OK(ParallelDrain(
+        child(), threads, [&](size_t worker, Batch&& batch) -> Status {
+          return Consume(&states[worker], batch);
+        }));
+
+    // Merge: every worker's pruned candidates together hold the global
+    // top k; one final ordered selection yields the output.
+    WorkerState merged;
+    for (WorkerState& s : states) {
+      if (!s.init) continue;
+      Prune(&s);
+      if (!merged.init) {
+        merged = std::move(s);
+        continue;
+      }
+      LAZYETL_RETURN_NOT_OK(merged.rows.AppendTable(s.rows));
+      for (size_t i = 0; i < merged.keys.size(); ++i) {
+        LAZYETL_RETURN_NOT_OK(merged.keys[i].AppendColumn(s.keys[i]));
+      }
+      merged.tags.insert(merged.tags.end(), s.tags.begin(), s.tags.end());
+    }
+    // ParallelDrain delivers at least one (possibly empty) batch, so some
+    // worker always carries the schema.
+    if (!merged.init) return Status::Internal("top-k saw no input batch");
+
+    std::vector<uint32_t> idx(merged.rows.num_rows());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<uint32_t>(i);
+    std::sort(idx.begin(), idx.end(),
+              [&](uint32_t a, uint32_t b) { return Before(merged, a, b); });
+    if (idx.size() > k_) idx.resize(k_);
+
+    uint64_t key_bytes = 0;
+    for (const Column& c : merged.keys) key_bytes += c.MemoryBytes();
+    RecordStateBytes(merged.rows.MemoryBytes() + key_bytes);
+    emitter_.Reset(merged.rows.Gather(idx), ctx_->batch_rows);
+    return Status::OK();
+  }
+
+  Result<bool> NextImpl(Batch* out) override {
+    return emitter_.Next(out, parallel_drive());
+  }
+
+ private:
+  struct WorkerState {
+    bool init = false;
+    Table rows;                // candidate rows (bounded by Prune)
+    std::vector<Column> keys;  // evaluated sort keys, aligned with rows
+    std::vector<std::pair<uint64_t, uint32_t>> tags;  // (batch seq, row)
+  };
+
+  // Total order: sort keys, then input arrival order.
+  bool Before(const WorkerState& s, uint32_t a, uint32_t b) const {
+    int cmp = CompareRows(s.keys, node_->order_items, a, b);
+    if (cmp != 0) return cmp < 0;
+    return s.tags[a] < s.tags[b];
+  }
+
+  Status Consume(WorkerState* s, const Batch& batch) {
+    std::vector<Column> batch_keys;
+    for (const auto& item : node_->order_items) {
+      LAZYETL_ASSIGN_OR_RETURN(Column c, EvaluateExpr(*item.expr, batch.view));
+      batch_keys.push_back(std::move(c));
+    }
+    if (!s->init) {
+      s->rows = batch.view.Gather({});  // schema
+      for (const Column& c : batch_keys) s->keys.emplace_back(c.type());
+      s->init = true;
+    }
+    if (k_ == 0) return Status::OK();
+    LAZYETL_RETURN_NOT_OK(s->rows.AppendSlice(batch.view));
+    for (size_t i = 0; i < batch_keys.size(); ++i) {
+      LAZYETL_RETURN_NOT_OK(s->keys[i].AppendColumn(batch_keys[i]));
+    }
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      s->tags.emplace_back(batch.seq, static_cast<uint32_t>(r));
+    }
+    if (s->rows.num_rows() >= std::max<size_t>(2 * k_, 8192)) Prune(s);
+    return Status::OK();
+  }
+
+  void Prune(WorkerState* s) {
+    size_t n = s->rows.num_rows();
+    if (n <= k_) return;
+    std::vector<uint32_t> idx(n);
+    for (size_t i = 0; i < n; ++i) idx[i] = static_cast<uint32_t>(i);
+    std::nth_element(idx.begin(), idx.begin() + k_, idx.end(),
+                     [&](uint32_t a, uint32_t b) { return Before(*s, a, b); });
+    idx.resize(k_);
+    s->rows = s->rows.Gather(idx);
+    std::vector<std::pair<uint64_t, uint32_t>> tags;
+    tags.reserve(idx.size());
+    for (uint32_t i : idx) tags.push_back(s->tags[i]);
+    for (Column& key : s->keys) key = key.Gather(idx);
+    s->tags = std::move(tags);
+  }
+
+  const PlanNode* node_;
+  ExecContext* ctx_;
+  size_t k_ = 0;
   TableEmitter emitter_;
 };
 
@@ -117,6 +321,8 @@ class Accumulator {
 
   // Called once, with the argument type observed on the first batch.
   void Prepare(DataType arg_type) { arg_type_ = arg_type; }
+
+  DataType arg_type() const { return arg_type_; }
 
   void Resize(size_t groups) {
     count_.resize(groups, 0);
@@ -164,6 +370,41 @@ class Accumulator {
       int64_t v = IntValueAt(*arg, row);
       if (first || (want_min ? v < iext_[group] : v > iext_[group])) {
         iext_[group] = v;
+      }
+    }
+  }
+
+  // Folds group `src_group` of a partial accumulator into this one's
+  // `dst_group`. COUNT/SUM/MIN/MAX merge exactly; double sums combine the
+  // partials' per-batch sums (callers merge in seq order so the result is
+  // deterministic).
+  void MergeGroup(const Accumulator& src, size_t src_group,
+                  size_t dst_group) {
+    int64_t src_count = src.count_[src_group];
+    if (src_count == 0) return;
+    bool first = count_[dst_group] == 0;
+    count_[dst_group] += src_count;
+    if (function_ == "COUNT") return;
+    if (function_ == "AVG" || function_ == "SUM") {
+      dsum_[dst_group] += src.dsum_[src_group];
+      isum_[dst_group] += src.isum_[src_group];
+      return;
+    }
+    bool want_min = function_ == "MIN";
+    if (arg_type_ == DataType::kString) {
+      const std::string& v = src.sext_[src_group];
+      if (first || (want_min ? v < sext_[dst_group] : v > sext_[dst_group])) {
+        sext_[dst_group] = v;
+      }
+    } else if (arg_type_ == DataType::kDouble) {
+      double v = src.dext_[src_group];
+      if (first || (want_min ? v < dext_[dst_group] : v > dext_[dst_group])) {
+        dext_[dst_group] = v;
+      }
+    } else {
+      int64_t v = src.iext_[src_group];
+      if (first || (want_min ? v < iext_[dst_group] : v > iext_[dst_group])) {
+        iext_[dst_group] = v;
       }
     }
   }
@@ -241,6 +482,12 @@ class Accumulator {
 // Streaming hash aggregation: per input batch, evaluate the grouping and
 // argument expressions, map rows to group ids, and fold them into the
 // accumulators. Holds O(groups) state — the input is never materialised.
+//
+// Parallel consume: workers pre-aggregate each batch into a local
+// partial (per-batch hash table + accumulators) and the partials are
+// merged into the global state in seq order — group output order equals
+// the serial first-occurrence order, and the merge result is independent
+// of which worker processed which batch.
 class AggregateOperator : public BatchOperator {
  public:
   AggregateOperator(const PlanNode* node, ExecContext* ctx,
@@ -249,17 +496,24 @@ class AggregateOperator : public BatchOperator {
     AddChild(std::move(child));
   }
 
+  bool ParallelSafe() const override { return true; }
+
  protected:
   Status OpenImpl() override {
     for (const auto& agg : node_->aggregates) accs_.emplace_back(agg);
 
-    bool first_batch = true;
-    Batch in;
-    while (true) {
-      LAZYETL_ASSIGN_OR_RETURN(bool more, child()->Next(&in));
-      if (!more) break;
-      LAZYETL_RETURN_NOT_OK(ConsumeBatch(in.view, first_batch));
-      first_batch = false;
+    size_t threads = ctx_->query_threads;
+    if (threads > 1 && child()->ParallelSafe()) {
+      LAZYETL_RETURN_NOT_OK(ConsumeParallel(threads));
+    } else {
+      bool first_batch = true;
+      Batch in;
+      while (true) {
+        LAZYETL_ASSIGN_OR_RETURN(bool more, child()->Next(&in));
+        if (!more) break;
+        LAZYETL_RETURN_NOT_OK(ConsumeBatch(in.view, first_batch));
+        first_batch = false;
+      }
     }
 
     size_t num_groups = group_count_;
@@ -293,9 +547,118 @@ class AggregateOperator : public BatchOperator {
     return Status::OK();
   }
 
-  Result<bool> NextImpl(Batch* out) override { return emitter_.Next(out); }
+  Result<bool> NextImpl(Batch* out) override {
+    return emitter_.Next(out, parallel_drive());
+  }
 
  private:
+  // One batch pre-aggregated by a worker: local groups in first-occurrence
+  // order with their keys, representative values and accumulator state.
+  struct BatchPartial {
+    uint64_t seq = 0;
+    std::vector<std::string> keys;     // one per local group
+    std::vector<Column> group_values;  // one row per local group
+    std::vector<Accumulator> accs;
+  };
+
+  Status ConsumeParallel(size_t threads) {
+    std::mutex mu;
+    std::vector<BatchPartial> partials;
+    LAZYETL_RETURN_NOT_OK(ParallelDrain(
+        child(), threads, [&](size_t, Batch&& batch) -> Status {
+          BatchPartial partial;
+          partial.seq = batch.seq;
+          LAZYETL_RETURN_NOT_OK(AggregateBatch(batch.view, &partial));
+          std::lock_guard<std::mutex> lock(mu);
+          partials.push_back(std::move(partial));
+          return Status::OK();
+        }));
+    std::sort(partials.begin(), partials.end(),
+              [](const BatchPartial& a, const BatchPartial& b) {
+                return a.seq < b.seq;
+              });
+
+    bool first = true;
+    for (BatchPartial& partial : partials) {
+      if (first) {
+        for (const Column& c : partial.group_values) {
+          group_values_.emplace_back(c.type());
+        }
+        for (size_t i = 0; i < accs_.size(); ++i) {
+          accs_[i].Prepare(partial.accs[i].arg_type());
+        }
+        first = false;
+      }
+      for (size_t g = 0; g < partial.keys.size(); ++g) {
+        auto [it, inserted] = group_index_.emplace(
+            partial.keys[g], static_cast<uint32_t>(group_count_));
+        if (inserted) {
+          ++group_count_;
+          group_key_bytes_ += partial.keys[g].size();
+          for (size_t i = 0; i < group_values_.size(); ++i) {
+            LAZYETL_RETURN_NOT_OK(
+                group_values_[i].AppendRange(partial.group_values[i], g, 1));
+          }
+          for (auto& acc : accs_) acc.Resize(group_count_);
+        }
+        for (size_t i = 0; i < accs_.size(); ++i) {
+          accs_[i].MergeGroup(partial.accs[i], g, it->second);
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  // Pre-aggregates one batch into `partial`. Pure per-batch work — safe
+  // to run concurrently on distinct batches.
+  Status AggregateBatch(const TableSlice& view, BatchPartial* partial) {
+    std::vector<Column> group_cols;
+    group_cols.reserve(node_->group_exprs.size());
+    for (const auto& g : node_->group_exprs) {
+      LAZYETL_ASSIGN_OR_RETURN(Column c, EvaluateExpr(*g, view));
+      group_cols.push_back(std::move(c));
+    }
+    std::vector<Column> arg_cols;
+    arg_cols.reserve(node_->aggregates.size());
+    for (const auto& a : node_->aggregates) {
+      if (a.arg) {
+        LAZYETL_ASSIGN_OR_RETURN(Column c, EvaluateExpr(*a.arg, view));
+        arg_cols.push_back(std::move(c));
+      } else {
+        arg_cols.emplace_back(DataType::kInt64);  // COUNT(*): unused
+      }
+    }
+    for (const Column& c : group_cols) {
+      partial->group_values.emplace_back(c.type());
+    }
+    for (size_t i = 0; i < node_->aggregates.size(); ++i) {
+      partial->accs.emplace_back(node_->aggregates[i]);
+      partial->accs.back().Prepare(arg_cols[i].type());
+    }
+
+    std::unordered_map<std::string, uint32_t> local_index;
+    const size_t rows = view.num_rows();
+    std::string key;
+    for (size_t row = 0; row < rows; ++row) {
+      key.clear();
+      for (const Column& c : group_cols) PackRowKey(c, row, &key);
+      auto [it, inserted] = local_index.emplace(
+          key, static_cast<uint32_t>(partial->keys.size()));
+      if (inserted) {
+        partial->keys.push_back(key);
+        for (size_t i = 0; i < group_cols.size(); ++i) {
+          LAZYETL_RETURN_NOT_OK(
+              partial->group_values[i].AppendRange(group_cols[i], row, 1));
+        }
+        for (auto& acc : partial->accs) acc.Resize(partial->keys.size());
+      }
+      for (size_t i = 0; i < partial->accs.size(); ++i) {
+        partial->accs[i].Update(it->second, &arg_cols[i], row);
+      }
+    }
+    return Status::OK();
+  }
+
   Status ConsumeBatch(const TableSlice& view, bool first_batch) {
     // Evaluate grouping expressions and aggregate arguments per batch.
     std::vector<Column> group_cols;
@@ -362,16 +725,90 @@ class AggregateOperator : public BatchOperator {
 // --------------------------------------------------------------------------
 
 // Streaming duplicate elimination: a global seen-set of packed row keys;
-// each batch forwards only its first-occurrence rows.
+// each batch forwards only its first-occurrence rows. In parallel mode it
+// becomes a breaker: workers dedupe each batch locally (pure per-batch
+// work) and the survivors are merged against the global set in seq order
+// — exactly the serial first-occurrence output.
 class DistinctOperator : public BatchOperator {
  public:
-  explicit DistinctOperator(BatchOperatorPtr child)
-      : BatchOperator("Distinct") {
+  DistinctOperator(ExecContext* ctx, BatchOperatorPtr child)
+      : BatchOperator("Distinct"), ctx_(ctx) {
     AddChild(std::move(child));
   }
 
+  // Streaming (serial) mode shares the seen-set across calls; only the
+  // materialised parallel mode may be pulled concurrently.
+  bool ParallelSafe() const override { return parallel_mode_; }
+
  protected:
+  Status OpenImpl() override {
+    size_t threads = ctx_->query_threads;
+    parallel_mode_ = threads > 1 && child()->ParallelSafe();
+    if (!parallel_mode_) return Status::OK();
+
+    struct BatchPartial {
+      uint64_t seq = 0;
+      std::vector<std::string> keys;  // aligned with rows of `rows`
+      Table rows;                     // first-in-batch occurrences
+    };
+    std::mutex mu;
+    std::vector<BatchPartial> partials;
+    LAZYETL_RETURN_NOT_OK(ParallelDrain(
+        child(), threads, [&](size_t, Batch&& batch) -> Status {
+          BatchPartial partial;
+          partial.seq = batch.seq;
+          std::unordered_set<std::string> local;
+          SelectionVector keep;
+          std::string key;
+          for (size_t row = 0; row < batch.num_rows(); ++row) {
+            key.clear();
+            for (size_t c = 0; c < batch.view.num_columns(); ++c) {
+              PackRowKey(batch.view.column(c), batch.view.offset() + row,
+                         &key);
+            }
+            if (local.insert(key).second) {
+              keep.push_back(static_cast<uint32_t>(row));
+              partial.keys.push_back(key);
+            }
+          }
+          partial.rows = batch.view.Gather(keep);
+          std::lock_guard<std::mutex> lock(mu);
+          partials.push_back(std::move(partial));
+          return Status::OK();
+        }));
+    std::sort(partials.begin(), partials.end(),
+              [](const BatchPartial& a, const BatchPartial& b) {
+                return a.seq < b.seq;
+              });
+
+    Table out;
+    bool first = true;
+    for (const BatchPartial& partial : partials) {
+      if (first) {
+        out = partial.rows.Gather({});  // schema
+        first = false;
+      }
+      SelectionVector keep;
+      for (size_t r = 0; r < partial.keys.size(); ++r) {
+        if (seen_.insert(partial.keys[r]).second) {
+          seen_bytes_ += partial.keys[r].size();
+          keep.push_back(static_cast<uint32_t>(r));
+        }
+      }
+      if (keep.empty()) continue;
+      if (keep.size() == partial.rows.num_rows()) {
+        LAZYETL_RETURN_NOT_OK(out.AppendTable(partial.rows));
+      } else {
+        LAZYETL_RETURN_NOT_OK(out.AppendTable(partial.rows.Gather(keep)));
+      }
+    }
+    RecordStateBytes(seen_bytes_);
+    emitter_.Reset(std::move(out), ctx_->batch_rows);
+    return Status::OK();
+  }
+
   Result<bool> NextImpl(Batch* out) override {
+    if (parallel_mode_) return emitter_.Next(out, parallel_drive());
     while (true) {
       Batch in;
       LAZYETL_ASSIGN_OR_RETURN(bool more, child()->Next(&in));
@@ -405,13 +842,18 @@ class DistinctOperator : public BatchOperator {
         if (!emitted_) empty_ = in.view.Gather({});
         continue;
       }
+      uint64_t seq = in.seq;
       *out = Batch::Materialized(in.view.Gather(keep));
+      out->seq = seq;
       emitted_ = true;
       return true;
     }
   }
 
  private:
+  ExecContext* ctx_;
+  bool parallel_mode_ = false;
+  TableEmitter emitter_;
   std::unordered_set<std::string> seen_;
   uint64_t seen_bytes_ = 0;
   Table empty_;
@@ -424,15 +866,20 @@ class DistinctOperator : public BatchOperator {
 
 // Build side (left child) is consumed whole into a hash index — the
 // pipeline-breaking half; the probe side (right child) then streams
-// through, emitting one joined batch per probe batch.
+// through, emitting one joined batch per probe batch. The build index is
+// read-only after Open, so probe batches may be processed concurrently
+// (parallel probe): each worker probes and assembles its own joined
+// batch.
 class HashJoinOperator : public BatchOperator {
  public:
-  HashJoinOperator(const PlanNode* node, BatchOperatorPtr left,
-                   BatchOperatorPtr right)
-      : BatchOperator("HashJoin"), node_(node) {
+  HashJoinOperator(const PlanNode* node, ExecContext* ctx,
+                   BatchOperatorPtr left, BatchOperatorPtr right)
+      : BatchOperator("HashJoin"), node_(node), ctx_(ctx) {
     AddChild(std::move(left));
     AddChild(std::move(right));
   }
+
+  bool ParallelSafe() const override { return child(1)->ParallelSafe(); }
 
  protected:
   Status OpenImpl() override {
@@ -440,7 +887,8 @@ class HashJoinOperator : public BatchOperator {
         node_->left_keys.empty()) {
       return Status::InvalidArgument("join key arity mismatch");
     }
-    LAZYETL_ASSIGN_OR_RETURN(build_table_, DrainToTable(child(0)));
+    LAZYETL_ASSIGN_OR_RETURN(
+        build_table_, DrainToTableOrdered(child(0), ctx_->query_threads));
     LAZYETL_RETURN_NOT_OK(build_.Init(&build_table_, node_->left_keys));
     RecordStateBytes(build_table_.MemoryBytes() + build_.IndexBytes());
     return Status::OK();
@@ -451,8 +899,9 @@ class HashJoinOperator : public BatchOperator {
       Batch in;
       LAZYETL_ASSIGN_OR_RETURN(bool more, child(1)->Next(&in));
       if (!more) {
-        if (!emitted_) {
-          emitted_ = true;
+        if (parallel_drive()) return false;
+        if (!emitted_.exchange(true)) {
+          std::lock_guard<std::mutex> lock(empty_mu_);
           LAZYETL_ASSIGN_OR_RETURN(Table empty, JoinBatch({}, probe_empty_));
           *out = Batch::Materialized(std::move(empty));
           return true;
@@ -464,13 +913,21 @@ class HashJoinOperator : public BatchOperator {
       LAZYETL_RETURN_NOT_OK(
           build_.Probe(in.view, node_->right_keys, &build_sel, &probe_sel));
       if (probe_sel.empty()) {
-        if (!emitted_) probe_empty_ = in.view.Gather({});
+        if (!emitted_.load()) {
+          std::lock_guard<std::mutex> lock(empty_mu_);
+          if (!empty_captured_) {
+            probe_empty_ = in.view.Gather({});
+            empty_captured_ = true;
+          }
+        }
         continue;
       }
+      uint64_t seq = in.seq;
       LAZYETL_ASSIGN_OR_RETURN(
           Table joined, JoinBatch(build_sel, in.view.Gather(probe_sel)));
       *out = Batch::Materialized(std::move(joined));
-      emitted_ = true;
+      out->seq = seq;
+      emitted_.store(true);
       return true;
     }
   }
@@ -489,10 +946,13 @@ class HashJoinOperator : public BatchOperator {
   }
 
   const PlanNode* node_;
+  ExecContext* ctx_;
   Table build_table_;
   JoinBuild build_;
+  std::mutex empty_mu_;
   Table probe_empty_;
-  bool emitted_ = false;
+  bool empty_captured_ = false;
+  std::atomic<bool> emitted_{false};
 };
 
 }  // namespace
@@ -502,6 +962,13 @@ Result<BatchOperatorPtr> MakeSortOperator(const PlanNode& node,
                                           BatchOperatorPtr child) {
   return BatchOperatorPtr(
       std::make_unique<SortOperator>(&node, ctx, std::move(child)));
+}
+
+Result<BatchOperatorPtr> MakeTopKOperator(const PlanNode& node,
+                                          ExecContext* ctx,
+                                          BatchOperatorPtr child) {
+  return BatchOperatorPtr(
+      std::make_unique<TopKOperator>(&node, ctx, std::move(child)));
 }
 
 Result<BatchOperatorPtr> MakeAggregateOperator(const PlanNode& node,
@@ -515,18 +982,16 @@ Result<BatchOperatorPtr> MakeDistinctOperator(const PlanNode& node,
                                               ExecContext* ctx,
                                               BatchOperatorPtr child) {
   (void)node;
-  (void)ctx;
   return BatchOperatorPtr(
-      std::make_unique<DistinctOperator>(std::move(child)));
+      std::make_unique<DistinctOperator>(ctx, std::move(child)));
 }
 
 Result<BatchOperatorPtr> MakeHashJoinOperator(const PlanNode& node,
                                               ExecContext* ctx,
                                               BatchOperatorPtr left,
                                               BatchOperatorPtr right) {
-  (void)ctx;
   return BatchOperatorPtr(std::make_unique<HashJoinOperator>(
-      &node, std::move(left), std::move(right)));
+      &node, ctx, std::move(left), std::move(right)));
 }
 
 }  // namespace lazyetl::engine

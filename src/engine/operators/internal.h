@@ -6,6 +6,7 @@
 #define LAZYETL_ENGINE_OPERATORS_INTERNAL_H_
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 
 #include "engine/operators/operator.h"
@@ -14,24 +15,35 @@ namespace lazyetl::engine {
 
 // Re-emits an operator-owned table as a sequence of zero-copy batches of
 // at most `batch_rows` rows (at least one batch, possibly empty, so the
-// schema always flows). Used by pipeline breakers.
+// schema always flows). Used by pipeline breakers. Thread-safe: morsels
+// are handed out through an atomic cursor, and `seq` is the slice index —
+// a pure function of the morsel range.
 class TableEmitter {
  public:
   void Reset(storage::Table table, size_t batch_rows) {
     table_ = std::make_shared<const storage::Table>(std::move(table));
-    batch_rows_ = batch_rows;
-    offset_ = 0;
-    emitted_ = false;
+    step_ = std::min(batch_rows, std::max<size_t>(table_->num_rows(), 1));
+    offset_.store(0, std::memory_order_relaxed);
+    emitted_.store(false, std::memory_order_relaxed);
   }
 
-  bool Next(Batch* out) {
+  // `suppress_empty` (the parallel-drive flag) skips the one-empty-batch
+  // end-of-stream contract; the drive loop restores it serially.
+  bool Next(Batch* out, bool suppress_empty = false) {
     size_t rows = table_->num_rows();
-    if (offset_ >= rows && emitted_) return false;
-    size_t n = std::min(batch_rows_, rows - offset_);
+    size_t start = offset_.fetch_add(step_, std::memory_order_relaxed);
+    if (start >= rows) {
+      if (rows == 0 && !suppress_empty && !emitted_.exchange(true)) {
+        out->owner = table_;
+        out->view = table_->Slice(0, 0);
+        out->seq = 0;
+        return true;
+      }
+      return false;
+    }
     out->owner = table_;
-    out->view = table_->Slice(offset_, n);
-    offset_ += n;
-    emitted_ = true;
+    out->view = table_->Slice(start, std::min(step_, rows - start));
+    out->seq = start / step_;
     return true;
   }
 
@@ -39,13 +51,16 @@ class TableEmitter {
 
  private:
   std::shared_ptr<const storage::Table> table_;
-  size_t batch_rows_ = kDefaultBatchRows;
-  size_t offset_ = 0;
-  bool emitted_ = false;
+  size_t step_ = kDefaultBatchRows;
+  std::atomic<size_t> offset_{0};
+  std::atomic<bool> emitted_{false};
 };
 
 // Pipeline breakers (breakers.cc).
 Result<BatchOperatorPtr> MakeSortOperator(const PlanNode& node,
+                                          ExecContext* ctx,
+                                          BatchOperatorPtr child);
+Result<BatchOperatorPtr> MakeTopKOperator(const PlanNode& node,
                                           ExecContext* ctx,
                                           BatchOperatorPtr child);
 Result<BatchOperatorPtr> MakeAggregateOperator(const PlanNode& node,

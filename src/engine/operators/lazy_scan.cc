@@ -9,7 +9,16 @@
 // the metadata side (hash built once over the metadata table), so peak
 // memory is the metadata side plus one file's worth of records — never
 // the whole qualifying set.
+//
+// Parallelism: the record stream itself is stateful (cache admission,
+// report counters) and is pulled under a mutex in deterministic stream
+// order — each chunk's seq is its position in the stream. The expensive
+// per-chunk work (probing the read-only metadata hash, gathering and
+// assembling the joined batch) runs outside the lock, so several query
+// workers overlap extraction with join work.
 
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <unordered_set>
 #include <utility>
@@ -66,6 +75,8 @@ class LazyDataScanOperator : public BatchOperator {
     if (metadata_child) AddChild(std::move(metadata_child));
   }
 
+  bool ParallelSafe() const override { return true; }
+
  protected:
   Status OpenImpl() override {
     if (ctx_->provider == nullptr) {
@@ -86,8 +97,10 @@ class LazyDataScanOperator : public BatchOperator {
     }
 
     // Phase 1: execute the metadata side (its operators were opened by the
-    // base-class wrapper).
-    LAZYETL_ASSIGN_OR_RETURN(meta_, DrainToTable(child()));
+    // base-class wrapper). Parallel drain reassembles in seq order, so the
+    // metadata table is identical to the serial one.
+    LAZYETL_ASSIGN_OR_RETURN(
+        meta_, DrainToTableOrdered(child(), ctx_->query_threads));
 
     // Phase 2 (run-time rewrite): determine the qualifying records.
     LAZYETL_ASSIGN_OR_RETURN(const Column* fid_col,
@@ -123,7 +136,8 @@ class LazyDataScanOperator : public BatchOperator {
                                                ctx_->report));
 
     // Phase 4 is streamed: hash the metadata side once; each record chunk
-    // probes it on arrival.
+    // probes it on arrival (the hash is read-only from here on, so probes
+    // may run concurrently).
     if (node_->left_keys.size() != node_->right_keys.size() ||
         node_->left_keys.empty()) {
       return Status::InvalidArgument("join key arity mismatch");
@@ -137,13 +151,23 @@ class LazyDataScanOperator : public BatchOperator {
 
   Result<bool> NextImpl(Batch* out) override {
     while (true) {
-      Stopwatch extract_timer;
       Table chunk;
-      LAZYETL_ASSIGN_OR_RETURN(bool more, stream_->Next(&chunk));
-      ctx_->report->extract_seconds += extract_timer.ElapsedSeconds();
+      uint64_t seq = 0;
+      bool more = false;
+      {
+        // The stream mutates shared state (recycler admissions, report
+        // counters): pull one chunk at a time. seq is the stream
+        // position — deterministic regardless of which worker pulls.
+        std::lock_guard<std::mutex> lock(stream_mu_);
+        Stopwatch extract_timer;
+        LAZYETL_ASSIGN_OR_RETURN(more, stream_->Next(&chunk));
+        ctx_->report->extract_seconds += extract_timer.ElapsedSeconds();
+        if (more) seq = next_seq_++;
+      }
       if (!more) {
-        if (!emitted_) {
-          emitted_ = true;
+        if (parallel_drive()) return false;
+        if (!emitted_.exchange(true)) {
+          std::lock_guard<std::mutex> lock(empty_mu_);
           Table empty;
           if (join_) {
             LAZYETL_ASSIGN_OR_RETURN(empty, JoinChunk({}, data_empty_));
@@ -157,11 +181,18 @@ class LazyDataScanOperator : public BatchOperator {
       }
       if (!join_) {
         if (chunk.num_rows() == 0) {
-          if (!emitted_) data_empty_ = std::move(chunk);
+          if (!emitted_.load()) {
+            std::lock_guard<std::mutex> lock(empty_mu_);
+            if (!empty_captured_) {
+              data_empty_ = std::move(chunk);
+              empty_captured_ = true;
+            }
+          }
           continue;
         }
-        emitted_ = true;
+        emitted_.store(true);
         *out = Batch::Materialized(std::move(chunk));
+        out->seq = seq;
         return true;
       }
       TableSlice probe = chunk.Slice(0, chunk.num_rows());
@@ -170,13 +201,20 @@ class LazyDataScanOperator : public BatchOperator {
       LAZYETL_RETURN_NOT_OK(
           build_.Probe(probe, node_->right_keys, &build_sel, &probe_sel));
       if (probe_sel.empty()) {
-        if (!emitted_) data_empty_ = probe.Gather({});
+        if (!emitted_.load()) {
+          std::lock_guard<std::mutex> lock(empty_mu_);
+          if (!empty_captured_) {
+            data_empty_ = probe.Gather({});
+            empty_captured_ = true;
+          }
+        }
         continue;
       }
       LAZYETL_ASSIGN_OR_RETURN(
           Table joined, JoinChunk(build_sel, probe.Gather(probe_sel)));
-      emitted_ = true;
+      emitted_.store(true);
       *out = Batch::Materialized(std::move(joined));
+      out->seq = seq;
       return true;
     }
   }
@@ -198,8 +236,12 @@ class LazyDataScanOperator : public BatchOperator {
   JoinBuild build_;
   bool join_ = false;
   std::unique_ptr<RecordStream> stream_;
+  std::mutex stream_mu_;
+  uint64_t next_seq_ = 0;     // guarded by stream_mu_
+  std::mutex empty_mu_;
   Table data_empty_;  // schema of the record chunks, for empty results
-  bool emitted_ = false;
+  bool empty_captured_ = false;
+  std::atomic<bool> emitted_{false};
 };
 
 }  // namespace

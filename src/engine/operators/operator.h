@@ -4,18 +4,28 @@
 // Operators exchange Batches — zero-copy TableSlice views paired with an
 // optional owner keeping the viewed storage alive. Streaming operators
 // (Scan, Filter, Project, Limit) touch one batch at a time; pipeline
-// breakers (Sort, Aggregate, HashJoin build side, Distinct's seen-set)
-// consume their input and re-emit batches, recording their materialised
-// state in the operator counters.
+// breakers (Sort, TopK, Aggregate, HashJoin build side, Distinct's
+// seen-set) consume their input and re-emit batches, recording their
+// materialised state in the operator counters.
 //
 // Invariant: every operator emits at least one (possibly empty) batch
 // before end-of-stream, so column names and types always reach the
 // consumer even for empty results.
+//
+// Morsel-driven parallelism: operators whose ParallelSafe() is true may
+// have Next() called concurrently from several workers — each call hands
+// out a disjoint morsel. Every batch carries a sequence number `seq` that
+// is a pure function of the morsel (not of scheduling), so consumers that
+// need order (sort input assembly, aggregate merge, the final drain)
+// restore the serial order deterministically by sorting on seq.
 
 #ifndef LAZYETL_ENGINE_OPERATORS_OPERATOR_H_
 #define LAZYETL_ENGINE_OPERATORS_OPERATOR_H_
 
+#include <atomic>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -35,6 +45,11 @@ struct Batch {
   // Keep-alive for the storage behind `view`; null when the view borrows
   // from a base table owned elsewhere (e.g. the catalog).
   std::shared_ptr<const storage::Table> owner;
+  // Deterministic morsel id: assigned by the source (scan morsel index,
+  // stream chunk index, emitter slice index) and preserved by streaming
+  // operators. Serial pulls observe strictly increasing seqs; parallel
+  // consumers sort on it to recover the serial order.
+  uint64_t seq = 0;
 
   size_t num_rows() const { return view.num_rows(); }
 
@@ -54,6 +69,8 @@ struct ExecContext {
   LazyDataProvider* provider = nullptr;
   ExecutionReport* report = nullptr;
   size_t batch_rows = kDefaultBatchRows;
+  // Resolved worker count for this query (>= 1; 1 = the serial path).
+  size_t query_threads = 1;
 };
 
 class BatchOperator {
@@ -75,21 +92,25 @@ class BatchOperator {
     }
     Stopwatch timer;
     Status st = OpenImpl();
-    stats_.seconds += timer.ElapsedSeconds();
+    stats_.seconds += timer.ElapsedSeconds();  // Open is single-threaded
     return st;
   }
 
   // Produces the next batch; returns false at end of stream. Wraps
-  // NextImpl with timing and batch/row accounting.
+  // NextImpl with timing and batch/row accounting. Thread-safe counter
+  // aggregation: under parallel drive, concurrent calls update the stats
+  // under a mutex and each add their own time, so `seconds` approximates
+  // aggregate worker time (it can exceed wall clock); the serial path
+  // skips the lock — only the drive loop ever calls Next concurrently.
   Result<bool> Next(Batch* out) {
     Stopwatch timer;
     auto produced = NextImpl(out);
-    stats_.seconds += timer.ElapsedSeconds();
-    if (produced.ok() && *produced) {
-      ++stats_.batches;
-      stats_.rows += out->num_rows();
-      uint64_t bytes = out->view.ViewedBytes();
-      if (bytes > stats_.peak_batch_bytes) stats_.peak_batch_bytes = bytes;
+    double seconds = timer.ElapsedSeconds();
+    if (parallel_drive_) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      UpdateStats(produced, *out, seconds);
+    } else {
+      UpdateStats(produced, *out, seconds);
     }
     return produced;
   }
@@ -101,10 +122,23 @@ class BatchOperator {
     for (auto& child : children_) child->Close();
   }
 
+  // True when Next() may be called concurrently from several workers.
+  // Evaluated after Open() (breakers decide their mode there).
+  virtual bool ParallelSafe() const { return false; }
+
+  // Toggled by the parallel driver on the subtree it drives. While set,
+  // operators suppress their at-least-one-empty-batch end-of-stream
+  // contract (several workers would race to emit it); the driver restores
+  // the contract with one serial Next() after the workers joined.
+  void SetParallelDrive(bool on) {
+    parallel_drive_ = on;
+    for (auto& child : children_) child->SetParallelDrive(on);
+  }
+
   const OperatorStats& stats() const { return stats_; }
 
   // Appends this operator's counters, then its children's (pre-order).
-  void AppendStats(std::vector<OperatorStats>* out) const {
+  virtual void AppendStats(std::vector<OperatorStats>* out) const {
     out->push_back(stats_);
     for (const auto& child : children_) child->AppendStats(out);
   }
@@ -114,21 +148,40 @@ class BatchOperator {
   virtual Result<bool> NextImpl(Batch* out) = 0;
   virtual void CloseImpl() {}
 
+  bool parallel_drive() const { return parallel_drive_; }
+
   // Pipeline breakers report the bytes of state they hold materialised.
+  // Called from Open/consume phases, which are single-threaded per
+  // operator, except Distinct's streaming NextImpl — which is only ever
+  // pulled serially — so no lock is needed.
   void RecordStateBytes(uint64_t bytes) {
     if (bytes > stats_.state_bytes) stats_.state_bytes = bytes;
   }
 
+  void UpdateStats(const Result<bool>& produced, const Batch& batch,
+                   double seconds) {
+    stats_.seconds += seconds;
+    if (produced.ok() && *produced) {
+      ++stats_.batches;
+      stats_.rows += batch.num_rows();
+      uint64_t bytes = batch.view.ViewedBytes();
+      if (bytes > stats_.peak_batch_bytes) stats_.peak_batch_bytes = bytes;
+    }
+  }
+
   BatchOperator* child(size_t i = 0) { return children_[i].get(); }
+  const BatchOperator* child(size_t i = 0) const { return children_[i].get(); }
   void AddChild(std::unique_ptr<BatchOperator> op) {
     children_.push_back(std::move(op));
   }
   size_t num_children() const { return children_.size(); }
 
   OperatorStats stats_;
+  std::mutex stats_mu_;
 
  private:
   std::vector<std::unique_ptr<BatchOperator>> children_;
+  bool parallel_drive_ = false;
 };
 
 using BatchOperatorPtr = std::unique_ptr<BatchOperator>;
@@ -142,6 +195,24 @@ Result<BatchOperatorPtr> BuildOperatorTree(const PlanNode& plan,
 // for the query result and by pipeline breakers that need their input
 // whole.
 Result<storage::Table> DrainToTable(BatchOperator* op);
+
+// Receives drained batches: called concurrently from different workers,
+// but serially per worker id.
+using BatchSink = std::function<Status(size_t worker, Batch&& batch)>;
+
+// Morsel-driven drive loop: pulls `op` from `threads` concurrent workers
+// when it is parallel-safe (plain serial pull otherwise) and hands every
+// batch to `sink`. Guarantees the at-least-one-batch contract: if the
+// parallel phase produced nothing, one serial pull fetches the schema
+// batch.
+Status ParallelDrain(BatchOperator* op, size_t threads,
+                     const BatchSink& sink);
+
+// DrainToTable with a parallel drive loop: batches are collected
+// concurrently and reassembled in seq order, so the result is
+// byte-identical to the serial drain.
+Result<storage::Table> DrainToTableOrdered(BatchOperator* op,
+                                           size_t threads);
 
 }  // namespace lazyetl::engine
 

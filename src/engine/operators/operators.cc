@@ -1,11 +1,15 @@
-// Streaming (non-breaking) operators: Scan, Filter, Project, Limit — plus
-// the plan-to-operator translation and the drain helper.
+// Streaming (non-breaking) operators: Scan, Filter, Project, Limit, the
+// fused FilterScan — plus the plan-to-operator translation, the serial
+// drain helper and the morsel-driven parallel drive loop.
 
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/macros.h"
+#include "common/thread_pool.h"
 #include "engine/expr_eval.h"
 #include "engine/operators/internal.h"
 #include "engine/operators/operator.h"
@@ -22,7 +26,9 @@ namespace {
 
 // Scan: emits zero-copy slices over a catalog table, optionally projected
 // and renamed to qualified display names. O(#columns) per batch — the
-// non-qualifying rows of a selective query are never copied.
+// non-qualifying rows of a selective query are never copied. Parallel
+// safe: an atomic cursor hands each worker a disjoint morsel range, and
+// seq is the morsel index.
 class ScanOperator : public BatchOperator {
  public:
   ScanOperator(TablePtr table, std::vector<ScanColumn> columns,
@@ -31,6 +37,8 @@ class ScanOperator : public BatchOperator {
         table_(std::move(table)),
         columns_(std::move(columns)),
         batch_rows_(batch_rows) {}
+
+  bool ParallelSafe() const override { return true; }
 
  protected:
   Status OpenImpl() override {
@@ -48,19 +56,31 @@ class ScanOperator : public BatchOperator {
     // become visible to the next query, matching the materialised
     // executor's copy-at-scan semantics.
     rows_ = table_->num_rows();
-    offset_ = 0;
-    emitted_ = false;
+    step_ = std::min(batch_rows_, std::max<size_t>(rows_, 1));
+    offset_.store(0, std::memory_order_relaxed);
+    emitted_.store(false, std::memory_order_relaxed);
     return Status::OK();
   }
 
   Result<bool> NextImpl(Batch* out) override {
-    if (offset_ >= rows_ && emitted_) return false;
-    size_t n = std::min(batch_rows_, rows_ - offset_);
+    size_t start = offset_.fetch_add(step_, std::memory_order_relaxed);
+    if (start >= rows_) {
+      // Empty table: exactly one schema-carrying empty batch (restored by
+      // the drive loop when running in parallel).
+      if (rows_ == 0 && !parallel_drive() && !emitted_.exchange(true)) {
+        out->view = base_;
+        out->view.SetRange(0, 0);
+        out->owner = table_;
+        out->seq = 0;
+        return true;
+      }
+      return false;
+    }
     out->view = base_;
-    out->view.SetRange(offset_, n);
+    out->view.SetRange(start, std::min(step_, rows_ - start));
     out->owner = table_;
-    offset_ += n;
-    emitted_ = true;
+    out->seq = start / step_;
+    emitted_.store(true, std::memory_order_relaxed);
     return true;
   }
 
@@ -70,13 +90,15 @@ class ScanOperator : public BatchOperator {
   size_t batch_rows_;
   TableSlice base_;
   size_t rows_ = 0;
-  size_t offset_ = 0;
-  bool emitted_ = false;
+  size_t step_ = 1;
+  std::atomic<size_t> offset_{0};
+  std::atomic<bool> emitted_{false};
 };
 
 // Filter: evaluates the predicate per batch into a selection vector and
 // gathers the qualifying rows. An all-pass batch is forwarded unchanged
-// (zero-copy); all-drop batches are skipped.
+// (zero-copy); all-drop batches are skipped. Parallel safe when the child
+// is: predicate evaluation and gather touch only the worker's own batch.
 class FilterOperator : public BatchOperator {
  public:
   FilterOperator(const sql::BoundExpr* predicate, BatchOperatorPtr child)
@@ -84,14 +106,17 @@ class FilterOperator : public BatchOperator {
     AddChild(std::move(child));
   }
 
+  bool ParallelSafe() const override { return child()->ParallelSafe(); }
+
  protected:
   Result<bool> NextImpl(Batch* out) override {
     while (true) {
       Batch in;
       LAZYETL_ASSIGN_OR_RETURN(bool more, child()->Next(&in));
       if (!more) {
-        if (!emitted_) {
-          emitted_ = true;
+        if (parallel_drive()) return false;
+        if (!emitted_.exchange(true)) {
+          std::lock_guard<std::mutex> lock(empty_mu_);
           *out = Batch::Materialized(std::move(empty_));
           return true;
         }
@@ -101,32 +126,185 @@ class FilterOperator : public BatchOperator {
                                EvaluatePredicate(*predicate_, in.view));
       if (sel.size() == in.num_rows()) {
         *out = std::move(in);
-        emitted_ = true;
+        emitted_.store(true);
         return true;
       }
       if (sel.empty()) {
-        if (!emitted_) empty_ = in.view.Gather({});  // schema for EOS
+        if (!emitted_.load()) {
+          std::lock_guard<std::mutex> lock(empty_mu_);
+          if (!empty_captured_) {
+            empty_ = in.view.Gather({});  // schema for EOS
+            empty_captured_ = true;
+          }
+        }
         continue;
       }
+      uint64_t seq = in.seq;
       *out = Batch::Materialized(in.view.Gather(sel));
-      emitted_ = true;
+      out->seq = seq;
+      emitted_.store(true);
       return true;
     }
   }
 
  private:
   const sql::BoundExpr* predicate_;
+  std::mutex empty_mu_;
   Table empty_;
-  bool emitted_ = false;
+  bool empty_captured_ = false;
+  std::atomic<bool> emitted_{false};
 };
 
-// Project: evaluates the projection expressions per batch.
+// FilterScan: Filter fused into Scan (selection-vector pushdown). The
+// predicate is evaluated directly on zero-copy morsel views of the base
+// table; all-pass morsels are forwarded without any copy, all-drop
+// morsels are skipped without leaving the operator, and — on the serial
+// path — qualifying rows of highly selective predicates are accumulated
+// across morsels into one batch-sized gather instead of one small gather
+// per input batch. Reports stats as the Filter/Scan pair it replaces.
+class FilterScanOperator : public BatchOperator {
+ public:
+  FilterScanOperator(TablePtr table, std::vector<ScanColumn> columns,
+                     const std::string& label, const sql::BoundExpr* predicate,
+                     size_t batch_rows)
+      : BatchOperator("Filter"),
+        table_(std::move(table)),
+        columns_(std::move(columns)),
+        predicate_(predicate),
+        batch_rows_(batch_rows) {
+    scan_stats_.op = "Scan(" + label + ")";
+  }
+
+  bool ParallelSafe() const override { return true; }
+
+  // The fused operator stands in for a Filter above a Scan: report both
+  // stages so pipeline introspection stays shaped like the plan. The
+  // scan stage reports the morsels it viewed; its time cannot be
+  // separated from predicate evaluation, so `seconds` is attributed
+  // wholly to the Filter entry.
+  void AppendStats(std::vector<OperatorStats>* out) const override {
+    out->push_back(stats_);
+    OperatorStats scan = scan_stats_;
+    scan.rows = scanned_rows_.load(std::memory_order_relaxed);
+    scan.batches = scanned_batches_.load(std::memory_order_relaxed);
+    scan.peak_batch_bytes = scanned_peak_bytes_.load(std::memory_order_relaxed);
+    out->push_back(scan);
+  }
+
+ protected:
+  Status OpenImpl() override {
+    base_ = TableSlice();
+    if (columns_.empty()) {
+      base_ = TableSlice::FromTable(*table_, 0, 0);
+    } else {
+      for (const auto& sc : columns_) {
+        LAZYETL_ASSIGN_OR_RETURN(const Column* c,
+                                 table_->ColumnByName(sc.base_column));
+        base_.AddColumn(sc.output_name, c);
+      }
+    }
+    rows_ = table_->num_rows();
+    step_ = std::min(batch_rows_, std::max<size_t>(rows_, 1));
+    offset_.store(0, std::memory_order_relaxed);
+    emitted_.store(false, std::memory_order_relaxed);
+    pending_.clear();
+    pending_first_seq_ = 0;
+    return Status::OK();
+  }
+
+  Result<bool> NextImpl(Batch* out) override {
+    while (true) {
+      size_t start = offset_.fetch_add(step_, std::memory_order_relaxed);
+      if (start >= rows_) {
+        if (parallel_drive()) return false;
+        if (!pending_.empty()) return FlushPending(out);
+        if (!emitted_.exchange(true)) {
+          // Schema-carrying empty batch (zero-copy: the base slice).
+          out->view = base_;
+          out->view.SetRange(0, 0);
+          out->owner = table_;
+          out->seq = rows_ / step_ + 1;
+          return true;
+        }
+        return false;
+      }
+      size_t n = std::min(step_, rows_ - start);
+      TableSlice morsel = base_;
+      morsel.SetRange(start, n);
+      scanned_rows_.fetch_add(n, std::memory_order_relaxed);
+      scanned_batches_.fetch_add(1, std::memory_order_relaxed);
+      uint64_t viewed = morsel.ViewedBytes();
+      uint64_t prev = scanned_peak_bytes_.load(std::memory_order_relaxed);
+      while (viewed > prev && !scanned_peak_bytes_.compare_exchange_weak(
+                                  prev, viewed, std::memory_order_relaxed)) {
+      }
+      LAZYETL_ASSIGN_OR_RETURN(SelectionVector sel,
+                               EvaluatePredicate(*predicate_, morsel));
+      uint64_t seq = start / step_;
+      if (sel.size() == n && pending_.empty()) {
+        out->view = std::move(morsel);
+        out->owner = table_;
+        out->seq = seq;
+        emitted_.store(true, std::memory_order_relaxed);
+        return true;
+      }
+      if (sel.empty()) continue;
+      if (parallel_drive()) {
+        // Per-morsel emission keeps seq a pure function of the morsel.
+        *out = Batch::Materialized(morsel.Gather(sel));
+        out->seq = seq;
+        emitted_.store(true, std::memory_order_relaxed);
+        return true;
+      }
+      // Serial: accumulate absolute row ids until a full output batch is
+      // ready, then gather once — selective predicates skip the per-morsel
+      // gather entirely.
+      if (pending_.empty()) pending_first_seq_ = seq;
+      for (uint32_t rel : sel) {
+        pending_.push_back(static_cast<uint32_t>(start) + rel);
+      }
+      if (pending_.size() >= batch_rows_) return FlushPending(out);
+    }
+  }
+
+ private:
+  Result<bool> FlushPending(Batch* out) {
+    TableSlice all = base_;
+    all.SetRange(0, rows_);
+    *out = Batch::Materialized(all.Gather(pending_));
+    out->seq = pending_first_seq_;
+    pending_.clear();
+    emitted_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
+  TablePtr table_;
+  std::vector<ScanColumn> columns_;
+  const sql::BoundExpr* predicate_;
+  size_t batch_rows_;
+  TableSlice base_;
+  size_t rows_ = 0;
+  size_t step_ = 1;
+  std::atomic<size_t> offset_{0};
+  std::atomic<bool> emitted_{false};
+  std::atomic<uint64_t> scanned_rows_{0};
+  std::atomic<uint64_t> scanned_batches_{0};
+  std::atomic<uint64_t> scanned_peak_bytes_{0};
+  SelectionVector pending_;  // absolute row ids, serial path only
+  uint64_t pending_first_seq_ = 0;
+  OperatorStats scan_stats_;
+};
+
+// Project: evaluates the projection expressions per batch. Stateless, so
+// parallel-safe whenever the child is.
 class ProjectOperator : public BatchOperator {
  public:
   ProjectOperator(const PlanNode* node, BatchOperatorPtr child)
       : BatchOperator("Project"), node_(node) {
     AddChild(std::move(child));
   }
+
+  bool ParallelSafe() const override { return child()->ParallelSafe(); }
 
  protected:
   Result<bool> NextImpl(Batch* out) override {
@@ -140,7 +318,9 @@ class ProjectOperator : public BatchOperator {
       LAZYETL_RETURN_NOT_OK(
           projected.AddColumn(node_->project_names[i], std::move(c)));
     }
+    uint64_t seq = in.seq;
     *out = Batch::Materialized(std::move(projected));
+    out->seq = seq;
     return true;
   }
 
@@ -150,7 +330,8 @@ class ProjectOperator : public BatchOperator {
 
 // Limit: forwards batches until the limit is reached, truncating the last
 // one with a zero-copy prefix view; then stops pulling the child (early
-// exit — an upstream scan never produces the unneeded rows).
+// exit — an upstream scan never produces the unneeded rows). Inherently
+// serial: the prefix depends on arrival order.
 class LimitOperator : public BatchOperator {
  public:
   LimitOperator(int64_t limit, BatchOperatorPtr child)
@@ -168,6 +349,7 @@ class LimitOperator : public BatchOperator {
     if (in.num_rows() > remaining_) {
       out->view = in.view.Prefix(remaining_);
       out->owner = std::move(in.owner);
+      out->seq = in.seq;
       remaining_ = 0;
     } else {
       remaining_ -= in.num_rows();
@@ -201,6 +383,91 @@ Result<Table> DrainToTable(BatchOperator* op) {
   return result;
 }
 
+Status ParallelDrain(BatchOperator* op, size_t threads,
+                     const BatchSink& sink) {
+  if (threads <= 1 || !op->ParallelSafe()) {
+    Batch batch;
+    while (true) {
+      LAZYETL_ASSIGN_OR_RETURN(bool more, op->Next(&batch));
+      if (!more) break;
+      LAZYETL_RETURN_NOT_OK(sink(0, std::move(batch)));
+      batch = Batch();
+    }
+    return Status::OK();
+  }
+
+  op->SetParallelDrive(true);
+  std::atomic<bool> failed{false};
+  std::atomic<uint64_t> produced{0};
+  std::mutex error_mu;
+  Status first_error;
+
+  common::ThreadPool::Shared().ParallelFor(
+      threads, threads, [&](size_t worker) {
+        Batch batch;
+        while (!failed.load(std::memory_order_relaxed)) {
+          auto more = op->Next(&batch);
+          Status st = more.ok() ? Status::OK() : more.status();
+          if (st.ok() && !*more) return;
+          if (st.ok()) {
+            produced.fetch_add(1, std::memory_order_relaxed);
+            st = sink(worker, std::move(batch));
+            batch = Batch();
+          }
+          if (!st.ok()) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (first_error.ok()) first_error = st;
+            failed.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+      });
+  op->SetParallelDrive(false);
+  if (failed.load()) return first_error;
+
+  if (produced.load() == 0) {
+    // Restore the at-least-one-batch contract: the schema batch the
+    // workers suppressed.
+    Batch batch;
+    LAZYETL_ASSIGN_OR_RETURN(bool more, op->Next(&batch));
+    if (more) LAZYETL_RETURN_NOT_OK(sink(0, std::move(batch)));
+  }
+  return Status::OK();
+}
+
+// Note: the parallel path retains every batch until the drain completes
+// (seqs can have gaps — a dropped morsel is indistinguishable from one
+// still in flight — so in-order streaming append would need per-worker
+// watermarks). Transient peak is therefore ~2× the drained bytes, same
+// order as the serial Sort's input+gather transient; see ROADMAP for the
+// watermark-based streaming merge.
+Result<Table> DrainToTableOrdered(BatchOperator* op, size_t threads) {
+  if (threads <= 1 || !op->ParallelSafe()) return DrainToTable(op);
+
+  std::mutex mu;
+  std::vector<Batch> collected;
+  LAZYETL_RETURN_NOT_OK(
+      ParallelDrain(op, threads, [&](size_t, Batch&& batch) {
+        std::lock_guard<std::mutex> lock(mu);
+        collected.push_back(std::move(batch));
+        return Status::OK();
+      }));
+  std::sort(collected.begin(), collected.end(),
+            [](const Batch& a, const Batch& b) { return a.seq < b.seq; });
+
+  Table result;
+  bool first = true;
+  for (const Batch& batch : collected) {
+    if (first) {
+      result = batch.view.Materialize();
+      first = false;
+    } else {
+      LAZYETL_RETURN_NOT_OK(result.AppendSlice(batch.view));
+    }
+  }
+  return result;
+}
+
 Result<BatchOperatorPtr> BuildOperatorTree(const PlanNode& plan,
                                            ExecContext* ctx) {
   switch (plan.type) {
@@ -213,8 +480,18 @@ Result<BatchOperatorPtr> BuildOperatorTree(const PlanNode& plan,
     case PlanNodeType::kLazyDataScan:
       return MakeLazyDataScanOperator(plan, ctx);
     case PlanNodeType::kFilter: {
+      const PlanNode& below = *plan.children[0];
+      if (below.type == PlanNodeType::kScan) {
+        // Operator fusion: push the selection vector into the scan. The
+        // plan keeps its Filter-over-Scan shape; only execution fuses.
+        LAZYETL_ASSIGN_OR_RETURN(TablePtr table,
+                                 ctx->catalog->GetTable(below.table));
+        return BatchOperatorPtr(std::make_unique<FilterScanOperator>(
+            std::move(table), below.scan_columns, below.table,
+            plan.predicate.get(), ctx->batch_rows));
+      }
       LAZYETL_ASSIGN_OR_RETURN(BatchOperatorPtr child,
-                               BuildOperatorTree(*plan.children[0], ctx));
+                               BuildOperatorTree(below, ctx));
       return BatchOperatorPtr(std::make_unique<FilterOperator>(
           plan.predicate.get(), std::move(child)));
     }
@@ -246,6 +523,11 @@ Result<BatchOperatorPtr> BuildOperatorTree(const PlanNode& plan,
       LAZYETL_ASSIGN_OR_RETURN(BatchOperatorPtr child,
                                BuildOperatorTree(*plan.children[0], ctx));
       return MakeSortOperator(plan, ctx, std::move(child));
+    }
+    case PlanNodeType::kTopK: {
+      LAZYETL_ASSIGN_OR_RETURN(BatchOperatorPtr child,
+                               BuildOperatorTree(*plan.children[0], ctx));
+      return MakeTopKOperator(plan, ctx, std::move(child));
     }
     case PlanNodeType::kLimit: {
       LAZYETL_ASSIGN_OR_RETURN(BatchOperatorPtr child,

@@ -22,6 +22,8 @@ const char* PlanNodeTypeToString(PlanNodeType t) {
       return "Distinct";
     case PlanNodeType::kSort:
       return "Sort";
+    case PlanNodeType::kTopK:
+      return "TopK";
     case PlanNodeType::kLimit:
       return "Limit";
   }
@@ -97,8 +99,10 @@ void PrintNode(const PlanNode& node, int depth, std::ostringstream* os) {
     }
     case PlanNodeType::kDistinct:
       break;
-    case PlanNodeType::kSort: {
+    case PlanNodeType::kSort:
+    case PlanNodeType::kTopK: {
       *os << "(";
+      if (node.type == PlanNodeType::kTopK) *os << "k=" << node.limit << "; ";
       for (size_t i = 0; i < node.order_items.size(); ++i) {
         if (i) *os << ", ";
         *os << node.order_items[i].expr->ToString()

@@ -26,6 +26,7 @@ enum class PlanNodeType {
   kProject,
   kDistinct,  // drop duplicate rows, keeping first occurrences
   kSort,
+  kTopK,  // fused Sort + Limit: bounded top-k heap breaker
   kLimit,
 };
 
@@ -69,10 +70,10 @@ struct PlanNode {
   std::vector<sql::BoundExprPtr> project_exprs;
   std::vector<std::string> project_names;
 
-  // kSort
+  // kSort / kTopK
   std::vector<sql::BoundOrderItem> order_items;
 
-  // kLimit
+  // kLimit / kTopK (the k)
   int64_t limit = -1;
 
   // Pretty-printed plan tree (one node per line, indented).

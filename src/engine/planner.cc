@@ -114,8 +114,15 @@ BoundAggregate CloneAggregate(const BoundAggregate& a) {
 }  // namespace
 
 Result<PlanNodePtr> Planner::FinishPlan(const BoundQuery& query,
-                                        PlanNodePtr input) {
+                                        PlanNodePtr input, bool fuse) {
   PlanNodePtr node = std::move(input);
+
+  // Sort + Limit fusion: a LIMIT above an ORDER BY (the Project between
+  // them is 1:1) keeps only the top k rows, so the sort never needs to
+  // materialise its whole input. DISTINCT changes cardinality above the
+  // sort and disables the fusion.
+  const bool fuse_top_k =
+      fuse && query.limit >= 0 && !query.order_by.empty() && !query.distinct;
 
   if (query.has_aggregates() || !query.group_by.empty()) {
     auto agg = std::make_unique<PlanNode>();
@@ -134,7 +141,8 @@ Result<PlanNodePtr> Planner::FinishPlan(const BoundQuery& query,
 
   if (!query.order_by.empty()) {
     auto sort = std::make_unique<PlanNode>();
-    sort->type = PlanNodeType::kSort;
+    sort->type = fuse_top_k ? PlanNodeType::kTopK : PlanNodeType::kSort;
+    if (fuse_top_k) sort->limit = query.limit;
     for (const auto& o : query.order_by) {
       sql::BoundOrderItem item;
       item.expr = o.expr->Clone();
@@ -161,7 +169,7 @@ Result<PlanNodePtr> Planner::FinishPlan(const BoundQuery& query,
     node = std::move(distinct);
   }
 
-  if (query.limit >= 0) {
+  if (query.limit >= 0 && !fuse_top_k) {
     auto limit = std::make_unique<PlanNode>();
     limit->type = PlanNodeType::kLimit;
     limit->limit = query.limit;
@@ -174,29 +182,34 @@ Result<PlanNodePtr> Planner::FinishPlan(const BoundQuery& query,
 Result<PlannedQuery> Planner::PlanBaseTableQuery(const BoundQuery& query) {
   std::map<std::string, std::vector<ScanColumn>> needed;
   CollectQueryColumns(query, &needed);
-  std::vector<ScanColumn> cols = needed[query.base_table];
 
-  PlanNodePtr scan;
-  if (IsLazy(query.base_table)) {
-    // Direct query on the unmaterialised data table: the worst case of
-    // §3.1 — extraction of the entire repository.
-    scan = std::make_unique<PlanNode>();
-    scan->type = PlanNodeType::kLazyDataScan;
-    scan->table = query.base_table;
-    scan->scan_columns = std::move(cols);
-  } else {
-    scan = MakeScan(query.base_table, std::move(cols));
-  }
+  // Scan + filter (identical shape in the naive and optimized plans for
+  // base tables; only the top-k fusion differs between the two).
+  auto build_input = [&]() -> PlanNodePtr {
+    PlanNodePtr scan;
+    if (IsLazy(query.base_table)) {
+      // Direct query on the unmaterialised data table: the worst case of
+      // §3.1 — extraction of the entire repository.
+      scan = std::make_unique<PlanNode>();
+      scan->type = PlanNodeType::kLazyDataScan;
+      scan->table = query.base_table;
+      scan->scan_columns = needed[query.base_table];
+    } else {
+      scan = MakeScan(query.base_table, needed[query.base_table]);
+    }
+    if (query.where) {
+      scan = MakeFilter(std::move(scan), query.where->Clone());
+    }
+    return scan;
+  };
 
-  // Naive plan: filter above the scan (identical shape for base tables).
-  PlanNodePtr node = std::move(scan);
-  if (query.where) {
-    node = MakeFilter(std::move(node), query.where->Clone());
-  }
-  LAZYETL_ASSIGN_OR_RETURN(node, FinishPlan(query, std::move(node)));
+  LAZYETL_ASSIGN_OR_RETURN(
+      PlanNodePtr naive, FinishPlan(query, build_input(), /*fuse=*/false));
+  LAZYETL_ASSIGN_OR_RETURN(PlanNodePtr node,
+                           FinishPlan(query, build_input()));
 
   PlannedQuery out;
-  out.naive_plan = node->ToString();
+  out.naive_plan = naive->ToString();
   out.plan = std::move(node);
   return out;
 }
@@ -465,7 +478,8 @@ Result<PlannedQuery> Planner::PlanViewQuery(const BoundQuery& query) {
   if (query.where) {
     naive = MakeFilter(std::move(naive), query.where->Clone());
   }
-  LAZYETL_ASSIGN_OR_RETURN(naive, FinishPlan(query, std::move(naive)));
+  LAZYETL_ASSIGN_OR_RETURN(naive,
+                           FinishPlan(query, std::move(naive), /*fuse=*/false));
 
   LAZYETL_ASSIGN_OR_RETURN(node, FinishPlan(query, std::move(node)));
 

@@ -41,8 +41,11 @@ class Planner {
   Result<PlannedQuery> PlanBaseTableQuery(const sql::BoundQuery& query);
 
   // Wraps `input` with Aggregate/Having/Sort/Project/Limit as required.
+  // With `fuse` set, an ORDER BY + LIMIT pair (without DISTINCT between
+  // them) is rewritten into a single bounded top-k breaker; the naive
+  // ("before optimisation") plan passes false to keep the unfused shape.
   Result<PlanNodePtr> FinishPlan(const sql::BoundQuery& query,
-                                 PlanNodePtr input);
+                                 PlanNodePtr input, bool fuse = true);
 
   bool IsLazy(const std::string& table) const {
     return lazy_tables_.count(table) > 0;

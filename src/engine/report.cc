@@ -28,6 +28,9 @@ std::string ExecutionReport::ToString() const {
   if (result_cache_hit) {
     os << "result served from recycler cache\n";
   }
+  if (query_threads > 1) {
+    os << "query threads: " << query_threads << "\n";
+  }
   if (!operator_stats.empty()) {
     os << "--- operator pipeline ---\n";
     for (const auto& op : operator_stats) {

@@ -15,14 +15,18 @@
 namespace lazyetl::engine {
 
 // Per-operator pipeline counters, one entry per operator instance in the
-// executed batch pipeline (pre-order: parents before children).
+// executed batch pipeline (pre-order: parents before children). Counters
+// are aggregated thread-safely, so batch/row totals are exact at any
+// query_threads setting; `seconds` sums the time of every worker inside
+// Next() (inclusive of children), which under parallel execution can
+// exceed wall-clock time.
 struct OperatorStats {
   std::string op;            // e.g. "Filter", "Scan(mseed.files)"
   uint64_t batches = 0;      // batches emitted
   uint64_t rows = 0;         // rows emitted
   uint64_t peak_batch_bytes = 0;  // largest single emitted batch
   uint64_t state_bytes = 0;  // materialised state (pipeline breakers)
-  double seconds = 0;        // time inside Next(), inclusive of children
+  double seconds = 0;        // aggregate worker time inside Next()
 };
 
 struct ExecutionReport {
@@ -60,6 +64,8 @@ struct ExecutionReport {
   // (sum over operators of materialised state + largest emitted batch).
   std::vector<OperatorStats> operator_stats;
   uint64_t peak_intermediate_bytes = 0;
+  // Resolved worker count of the morsel-driven drive loop (1 = serial).
+  uint64_t query_threads = 1;
 
   // Phase timings in seconds.
   double parse_seconds = 0;
