@@ -1,0 +1,159 @@
+// Memory-governed execution: latency and memory of spilling pipeline
+// breakers vs. their in-memory fast paths.
+//
+// Each workload (full sort, wide group-by, distinct) runs at three
+// budgets — unlimited, ~1/4 and ~1/16 of the breaker's in-memory state —
+// so the timings show the cost of going out-of-core and the counters show
+// the memory actually held. Per run we report the breaker's resident
+// state bytes (bounded by the budget plus a one-batch floor), the bytes
+// spilled to disk, and the process peak RSS; checksums confirm the
+// spilled runs reproduce the in-memory results.
+
+#include <benchmark/benchmark.h>
+
+#include <sys/resource.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "bench_util.h"
+#include "engine/executor.h"
+#include "engine/planner.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "storage/catalog.h"
+
+namespace lazyetl::bench {
+namespace {
+
+using engine::ExecutionReport;
+using storage::Catalog;
+using storage::Column;
+using storage::Table;
+
+constexpr int kRows = 1'000'000;
+
+const Catalog& SpillCatalog() {
+  static Catalog* catalog = [] {
+    auto* c = new Catalog();
+    std::vector<std::string> grp;
+    std::vector<int64_t> i64;
+    std::vector<std::string> s;
+    grp.reserve(kRows);
+    i64.reserve(kRows);
+    s.reserve(kRows);
+    for (int i = 0; i < kRows; ++i) {
+      grp.push_back("g" + std::to_string(i % 100003));  // ~100k groups
+      i64.push_back(static_cast<int64_t>(i) * 1103515245 % (1LL << 40));
+      s.push_back("k" + std::to_string(i % 4096));
+    }
+    auto t = std::make_shared<Table>();
+    (void)t->AddColumn("grp", Column::FromString(std::move(grp)));
+    (void)t->AddColumn("i64", Column::FromInt64(std::move(i64)));
+    (void)t->AddColumn("s", Column::FromString(std::move(s)));
+    (void)c->RegisterTable("t", t);
+    return c;
+  }();
+  return *catalog;
+}
+
+uint64_t Checksum(const Table& t) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      for (char ch : t.GetValue(r, c).ToString()) {
+        h = (h ^ static_cast<unsigned char>(ch)) * 1099511628211ULL;
+      }
+    }
+  }
+  return h;
+}
+
+double PeakRssMb() {
+  struct rusage usage;
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB -> MiB
+}
+
+// `op`: the breaker whose state the budget governs. state.range(0) is the
+// budget divisor: 0 = unlimited, N = in-memory state / N.
+void RunSpillBench(benchmark::State& state, const std::string& sql,
+                   const std::string& op) {
+  const Catalog& catalog = SpillCatalog();
+
+  auto run = [&](uint64_t budget, ExecutionReport* report) {
+    auto stmt = sql::Parse(sql);
+    sql::Binder binder(&catalog);
+    auto bound = binder.Bind(*stmt);
+    engine::Planner planner(&catalog, {});
+    auto planned = planner.Plan(*bound);
+    engine::Executor executor(&catalog, nullptr,
+                              {engine::kDefaultBatchRows, /*threads=*/0,
+                               budget, ""});
+    auto result = executor.Execute(*planned->plan, report);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      std::abort();
+    }
+    return std::move(*result);
+  };
+
+  // Calibrate: the unbudgeted breaker state sizes the budget.
+  ExecutionReport calibration;
+  Table unbudgeted = run(0, &calibration);
+  uint64_t full_state = 0;
+  for (const auto& os : calibration.operator_stats) {
+    if (os.op == op) full_state = std::max(full_state, os.state_bytes);
+  }
+  uint64_t divisor = static_cast<uint64_t>(state.range(0));
+  uint64_t budget = divisor == 0 ? 0 : std::max<uint64_t>(full_state / divisor, 1);
+
+  uint64_t checksum = 0;
+  uint64_t spilled = 0;
+  uint64_t state_bytes = 0;
+  for (auto _ : state) {
+    ExecutionReport report;
+    Table result = run(budget, &report);
+    checksum = Checksum(result);
+    spilled = report.spilled_bytes;
+    for (const auto& os : report.operator_stats) {
+      if (os.op == op) state_bytes = std::max(state_bytes, os.state_bytes);
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["budget_mb"] = static_cast<double>(budget) / (1 << 20);
+  state.counters["state_mb"] = static_cast<double>(state_bytes) / (1 << 20);
+  state.counters["spilled_mb"] = static_cast<double>(spilled) / (1 << 20);
+  state.counters["peak_rss_mb"] = PeakRssMb();
+  state.counters["checksum"] = static_cast<double>(checksum % 1000000);
+}
+
+void BM_Spill_Sort(benchmark::State& state) {
+  RunSpillBench(state, "SELECT i64, s FROM t ORDER BY i64 DESC, s", "Sort");
+}
+
+void BM_Spill_GroupBy(benchmark::State& state) {
+  RunSpillBench(state,
+                "SELECT grp, COUNT(*), SUM(i64) FROM t "
+                "GROUP BY grp ORDER BY grp",
+                "Aggregate");
+}
+
+void BM_Spill_Distinct(benchmark::State& state) {
+  RunSpillBench(state, "SELECT DISTINCT grp FROM t", "Distinct");
+}
+
+// Budget divisors: 0 = unlimited (in-memory fast path), 4 and 16 = the
+// breaker's state / 4 and / 16.
+#define SPILL_ARGS ->Arg(0)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond)
+
+BENCHMARK(BM_Spill_Sort) SPILL_ARGS;
+BENCHMARK(BM_Spill_GroupBy) SPILL_ARGS;
+BENCHMARK(BM_Spill_Distinct) SPILL_ARGS;
+
+}  // namespace
+}  // namespace lazyetl::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+#include "common/memory_budget.h"
+
+#include <cstdlib>
+
+namespace lazyetl::common {
+
+bool MemoryBudget::TryReserve(uint64_t bytes) {
+  uint64_t limit = limit_.load(std::memory_order_relaxed);
+  if (limit != 0) {
+    uint64_t used = used_.load(std::memory_order_relaxed);
+    while (true) {
+      if (used + bytes > limit) return false;
+      if (used_.compare_exchange_weak(used, used + bytes,
+                                      std::memory_order_relaxed)) {
+        break;
+      }
+    }
+  } else {
+    used_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  if (parent_ != nullptr && !parent_->TryReserve(bytes)) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    return false;
+  }
+  uint64_t now = used_.load(std::memory_order_relaxed);
+  uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak && !peak_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+void MemoryBudget::Release(uint64_t bytes) {
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (parent_ != nullptr) parent_->Release(bytes);
+}
+
+MemoryBudget& MemoryBudget::Process() {
+  // Intentionally leaked, like ThreadPool::Shared(): queries in flight at
+  // process exit must not race static destruction.
+  static MemoryBudget* process = [] {
+    uint64_t limit = 0;
+    if (const char* env = std::getenv("LAZYETL_GLOBAL_MEMORY_BUDGET")) {
+      limit = std::strtoull(env, nullptr, 10);
+    }
+    return new MemoryBudget(limit);
+  }();
+  return *process;
+}
+
+}  // namespace lazyetl::common

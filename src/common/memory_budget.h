@@ -1,0 +1,120 @@
+// MemoryBudget: atomic memory reservations for budget-governed execution.
+//
+// Pipeline breakers (engine/operators) reserve bytes as they accumulate
+// state; a failed reservation is the signal to spill the accumulated state
+// to disk instead of growing further. Budgets chain: a per-query budget
+// created by the Executor is parented to the process-wide budget, so both
+// a per-query cap (WarehouseOptions::memory_budget_bytes) and a global cap
+// across concurrent queries can be enforced at once. A limit of 0 means
+// unlimited — reservations always succeed and the engine keeps its
+// in-memory fast paths.
+
+#ifndef LAZYETL_COMMON_MEMORY_BUDGET_H_
+#define LAZYETL_COMMON_MEMORY_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace lazyetl::common {
+
+class MemoryBudget {
+ public:
+  // `limit_bytes` = 0 means unlimited. `parent` (may be null) is charged
+  // for every successful reservation as well; a parent failure rolls the
+  // local charge back, so `used()` never exceeds a finite limit.
+  explicit MemoryBudget(uint64_t limit_bytes = 0,
+                        MemoryBudget* parent = nullptr)
+      : limit_(limit_bytes), parent_(parent) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  // Attempts to reserve `bytes`; returns false (and charges nothing) when
+  // this budget or any ancestor would exceed its finite limit.
+  bool TryReserve(uint64_t bytes);
+
+  // Releases a previous successful reservation (here and in ancestors).
+  void Release(uint64_t bytes);
+
+  // True when neither this budget nor any ancestor has a finite limit —
+  // the engine uses this to keep the unbudgeted fast paths untouched.
+  bool unlimited() const {
+    return limit_ == 0 && (parent_ == nullptr || parent_->unlimited());
+  }
+
+  uint64_t limit() const { return limit_; }
+  uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+  uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+  // The process-wide root budget (unlimited unless SetLimit is called; the
+  // LAZYETL_GLOBAL_MEMORY_BUDGET environment variable, parsed on first
+  // use, also sets it). Per-query budgets are parented to it.
+  static MemoryBudget& Process();
+
+  // Adjusts the limit (0 = unlimited). Not synchronised with in-flight
+  // reservations beyond atomicity of the field itself; intended for
+  // configuration at startup and for tests.
+  void SetLimit(uint64_t limit_bytes) { limit_ = limit_bytes; }
+
+ private:
+  std::atomic<uint64_t> limit_;
+  MemoryBudget* parent_;
+  std::atomic<uint64_t> used_{0};
+  std::atomic<uint64_t> peak_{0};
+};
+
+// RAII charge against a budget: grows while state accumulates, releases on
+// destruction (operator Close or query teardown). Never over-charges: a
+// failed Grow leaves the held amount unchanged.
+class MemoryReservation {
+ public:
+  MemoryReservation() = default;
+  explicit MemoryReservation(MemoryBudget* budget) : budget_(budget) {}
+  ~MemoryReservation() { ReleaseAll(); }
+
+  MemoryReservation(const MemoryReservation&) = delete;
+  MemoryReservation& operator=(const MemoryReservation&) = delete;
+  MemoryReservation(MemoryReservation&& other) noexcept
+      : budget_(other.budget_), held_(other.held_) {
+    other.budget_ = nullptr;
+    other.held_ = 0;
+  }
+  MemoryReservation& operator=(MemoryReservation&& other) noexcept {
+    if (this != &other) {
+      ReleaseAll();
+      budget_ = other.budget_;
+      held_ = other.held_;
+      other.budget_ = nullptr;
+      other.held_ = 0;
+    }
+    return *this;
+  }
+
+  void Reset(MemoryBudget* budget) {
+    ReleaseAll();
+    budget_ = budget;
+  }
+
+  // Tries to grow the held reservation; false when the budget refuses.
+  bool Grow(uint64_t bytes) {
+    if (budget_ == nullptr) return true;
+    if (!budget_->TryReserve(bytes)) return false;
+    held_ += bytes;
+    return true;
+  }
+
+  void ReleaseAll() {
+    if (budget_ != nullptr && held_ > 0) budget_->Release(held_);
+    held_ = 0;
+  }
+
+  uint64_t held() const { return held_; }
+
+ private:
+  MemoryBudget* budget_ = nullptr;
+  uint64_t held_ = 0;
+};
+
+}  // namespace lazyetl::common
+
+#endif  // LAZYETL_COMMON_MEMORY_BUDGET_H_

@@ -1,0 +1,111 @@
+#include "common/spill.h"
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace lazyetl::common {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Directory-name prefix: "q<pid>-<n>". The pid makes stale directories
+// attributable to their (possibly dead) owner.
+constexpr char kDirPrefix = 'q';
+
+bool ProcessAlive(long pid) {
+#ifndef _WIN32
+  if (pid <= 0) return false;
+  return kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH;
+#else
+  (void)pid;
+  return true;  // no cheap liveness probe; never sweep
+#endif
+}
+
+// Parses "q<pid>-<n>"; returns false for names this library did not write.
+bool ParseSpillDirName(const std::string& name, long* pid) {
+  if (name.size() < 3 || name[0] != kDirPrefix) return false;
+  char* end = nullptr;
+  long parsed = std::strtol(name.c_str() + 1, &end, 10);
+  if (end == name.c_str() + 1 || end == nullptr || *end != '-') return false;
+  *pid = parsed;
+  return true;
+}
+
+}  // namespace
+
+SpillManager::SpillManager(std::string root) : root_(std::move(root)) {
+  if (root_.empty()) {
+    if (const char* env = std::getenv("LAZYETL_SPILL_DIR")) root_ = env;
+  }
+  if (root_.empty()) {
+    std::error_code ec;
+    fs::path tmp = fs::temp_directory_path(ec);
+    root_ = (ec ? fs::path("/tmp") : tmp) / "lazyetl-spill";
+  }
+}
+
+SpillManager::~SpillManager() {
+  if (dir_.empty()) return;
+  std::error_code ec;
+  fs::remove_all(dir_, ec);  // best effort; stale sweep is the backstop
+}
+
+Status SpillManager::EnsureDir() {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  if (ec) {
+    return Status::IOError("cannot create spill root " + root_ + ": " +
+                           ec.message());
+  }
+
+  // Crash-safe cleanup: reclaim directories whose owning process is gone.
+  long self = static_cast<long>(getpid());
+  for (fs::directory_iterator it(root_, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    long pid = 0;
+    if (!ParseSpillDirName(it->path().filename().string(), &pid)) continue;
+    if (pid == self || ProcessAlive(pid)) continue;
+    std::error_code rm_ec;
+    fs::remove_all(it->path(), rm_ec);
+  }
+
+  // A process-wide counter keeps concurrent queries (several managers in
+  // one process) in distinct directories.
+  static std::atomic<uint64_t> next_dir{0};
+  std::string name = std::string(1, kDirPrefix) + std::to_string(self) + "-" +
+                     std::to_string(next_dir.fetch_add(1));
+  fs::path dir = fs::path(root_) / name;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create spill dir " + dir.string() + ": " +
+                           ec.message());
+  }
+  dir_ = dir.string();
+  return Status::OK();
+}
+
+Result<std::string> SpillManager::NewFilePath() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dir_.empty()) {
+    Status st = EnsureDir();
+    if (!st.ok()) return st;
+  }
+  ++files_created_;
+  return (fs::path(dir_) / (std::to_string(next_file_++) + ".run")).string();
+}
+
+void SpillManager::RemoveFile(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);  // best effort; the directory removal is the backstop
+}
+
+}  // namespace lazyetl::common

@@ -1,0 +1,65 @@
+// SpillManager: ownership and lifecycle of the temp files behind
+// spill-to-disk execution.
+//
+// Each manager (one per query, owned by the Executor) lazily creates a
+// unique directory under the configured spill root and hands out unique
+// file paths inside it. The directory is removed wholesale when the
+// manager is destroyed — on query success *and* on query error, since the
+// Executor holds the manager by value (RAII). Cleanup is crash-safe: the
+// directory name embeds the owning pid, and whenever a manager first
+// touches the spill root it sweeps sibling directories whose pid no longer
+// exists, so files orphaned by a killed process are reclaimed by the next
+// spilling query.
+
+#ifndef LAZYETL_COMMON_SPILL_H_
+#define LAZYETL_COMMON_SPILL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+
+namespace lazyetl::common {
+
+class SpillManager {
+ public:
+  // `root` = "" uses LAZYETL_SPILL_DIR if set, else <system temp>/
+  // lazyetl-spill. Nothing touches the filesystem until the first
+  // NewFilePath call.
+  explicit SpillManager(std::string root = "");
+  ~SpillManager();
+
+  SpillManager(const SpillManager&) = delete;
+  SpillManager& operator=(const SpillManager&) = delete;
+
+  // A fresh unique path inside this manager's directory (created on first
+  // use). The file is not opened; callers write it with storage's
+  // SpillWriter. Thread-safe.
+  Result<std::string> NewFilePath();
+
+  // Deletes one spill file early (e.g. a fully-consumed partition), so
+  // peak disk usage tracks live state rather than query lifetime.
+  void RemoveFile(const std::string& path);
+
+  // Number of NewFilePath calls served.
+  uint64_t files_created() const { return files_created_; }
+
+  // The manager's directory ("" until the first NewFilePath).
+  const std::string& dir() const { return dir_; }
+
+ private:
+  // Creates dir_ under the root and sweeps stale sibling directories left
+  // by dead processes. Called once, under mu_.
+  Status EnsureDir();
+
+  std::string root_;
+  std::string dir_;
+  std::mutex mu_;
+  uint64_t next_file_ = 0;
+  uint64_t files_created_ = 0;
+};
+
+}  // namespace lazyetl::common
+
+#endif  // LAZYETL_COMMON_SPILL_H_

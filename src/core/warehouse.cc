@@ -1148,7 +1148,9 @@ Result<QueryResult> Warehouse::Query(const std::string& sql) {
   phase.Restart();
   provider->BeginQuery();
   engine::Executor executor(catalog_.get(), provider_.get(),
-                            {options_.batch_rows, options_.query_threads});
+                            {options_.batch_rows, options_.query_threads,
+                             options_.memory_budget_bytes,
+                             options_.spill_dir});
   LAZYETL_ASSIGN_OR_RETURN(Table result,
                            executor.Execute(*planned.plan, &report));
   report.execute_seconds = phase.ElapsedSeconds();

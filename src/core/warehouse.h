@@ -75,6 +75,14 @@ struct WarehouseOptions {
   // Worker threads for query execution (morsel-driven parallelism in the
   // batch pipeline). 0 = hardware_concurrency; 1 = the serial path.
   size_t query_threads = 0;
+  // Memory governance: per-query cap on resident pipeline-breaker state
+  // (Sort, Aggregate, Distinct, HashJoin build). 0 = unlimited; the
+  // LAZYETL_MEMORY_BUDGET environment variable supplies a default when
+  // unset. With a finite budget, breakers spill to disk and stream the
+  // state back — results are byte-identical to the unbudgeted run.
+  uint64_t memory_budget_bytes = 0;
+  // Directory for spill files ("" = LAZYETL_SPILL_DIR, else system temp).
+  std::string spill_dir;
   // Rows per engine pipeline batch. Intermediates of pipelined plans are
   // bounded by O(batch_rows × pipeline depth).
   size_t batch_rows = engine::kDefaultBatchRows;

@@ -1,10 +1,13 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <thread>
 #include <utility>
 
 #include "common/macros.h"
+#include "common/memory_budget.h"
+#include "common/spill.h"
 #include "common/thread_pool.h"
 #include "engine/operators/join_build.h"
 #include "engine/operators/operator.h"
@@ -85,7 +88,22 @@ Result<Table> Executor::Execute(const PlanNode& plan,
   }
   threads = std::min(threads, common::ThreadPool::kMaxThreads);
 
-  ExecContext ctx{catalog_, provider_, report, options_.batch_rows, threads};
+  // Memory governance: the per-query budget (options, else the
+  // LAZYETL_MEMORY_BUDGET environment variable) chains to the process-wide
+  // budget so a global cap across concurrent queries also holds. The spill
+  // manager's directory lives exactly as long as this call — RAII removes
+  // it on success and on error alike.
+  uint64_t budget_bytes = options_.memory_budget_bytes;
+  if (budget_bytes == 0) {
+    if (const char* env = std::getenv("LAZYETL_MEMORY_BUDGET")) {
+      budget_bytes = std::strtoull(env, nullptr, 10);
+    }
+  }
+  common::MemoryBudget budget(budget_bytes, &common::MemoryBudget::Process());
+  common::SpillManager spill(options_.spill_dir);
+
+  ExecContext ctx{catalog_,  provider_, report, options_.batch_rows,
+                  threads,   &budget,   &spill};
   LAZYETL_ASSIGN_OR_RETURN(BatchOperatorPtr root,
                            BuildOperatorTree(plan, &ctx));
   LAZYETL_RETURN_NOT_OK(root->Open());
@@ -94,7 +112,10 @@ Result<Table> Executor::Execute(const PlanNode& plan,
   // reassembled in seq order — byte-identical to the serial drain.
   auto result = DrainToTableOrdered(root.get(), threads);
   root->Close();
-  if (report != nullptr) report->query_threads = threads;
+  if (report != nullptr) {
+    report->query_threads = threads;
+    report->memory_budget_bytes = budget_bytes;
+  }
   if (!result.ok()) return result.status();
 
   if (report != nullptr) {
@@ -104,6 +125,8 @@ Result<Table> Executor::Execute(const PlanNode& plan,
     for (size_t i = base; i < report->operator_stats.size(); ++i) {
       const OperatorStats& os = report->operator_stats[i];
       peak += os.state_bytes + os.peak_batch_bytes;
+      report->spilled_bytes += os.spilled_bytes;
+      report->spill_files += os.spill_files;
     }
     report->peak_intermediate_bytes += peak;
   }

@@ -88,6 +88,19 @@ struct ExecutorOptions {
   // order under parallelism, which can differ from the serial row-order
   // sum in the last few ulps.
   size_t query_threads = 0;
+  // Memory governance: per-query cap on resident pipeline-breaker state
+  // (Sort / Aggregate / Distinct / HashJoin build). 0 = unlimited (the
+  // in-memory fast paths; the LAZYETL_MEMORY_BUDGET environment variable,
+  // if set, supplies the cap instead). With a finite budget, breakers
+  // spill state to temp files under `spill_dir` and stream it back —
+  // results stay byte-identical to the unbudgeted run at any thread
+  // count.
+  uint64_t memory_budget_bytes = 0;
+  // Directory for spill files; "" = LAZYETL_SPILL_DIR, else the system
+  // temp directory. Each query gets its own subdirectory, removed when
+  // the query finishes (crash-orphaned directories are swept by the next
+  // spilling query).
+  std::string spill_dir;
 };
 
 class Executor {

@@ -16,7 +16,9 @@
 // row-by-row sum — equal up to rounding).
 
 #include <algorithm>
+#include <limits>
 #include <memory>
+#include <numeric>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -24,11 +26,14 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/memory_budget.h"
 #include "common/thread_pool.h"
 #include "engine/expr_eval.h"
 #include "engine/operators/internal.h"
 #include "engine/operators/join_build.h"
 #include "engine/operators/operator.h"
+#include "engine/operators/spill_run.h"
+#include "storage/spill_format.h"
 
 namespace lazyetl::engine {
 
@@ -37,9 +42,29 @@ using storage::Column;
 using storage::DataType;
 using storage::SelectionVector;
 using storage::Table;
+using storage::TableSchema;
 using storage::TableSlice;
 
 namespace {
+
+// Grace partitioning parameters: the fan-out of one partitioning pass and
+// the recursion cap. Beyond the cap (e.g. a single key dominating the
+// input, which no hash can split) the partition is processed in memory
+// even if it overruns the budget — completion is guaranteed, the budget
+// becomes best-effort. The same soft-overflow escape applies when a
+// partition holds too few groups/rows for splitting to help (fewer than
+// kMinSplitGroups / kMinSplitRows): re-partitioning such a partition
+// multiplies tiny files without reducing its largest state, so it
+// finishes in memory instead — the over-budget transient is bounded by
+// that constant, not by the input.
+constexpr size_t kSpillFanout = 8;
+constexpr size_t kMaxSpillLevel = 6;
+constexpr size_t kMinSplitGroups = 128;
+constexpr size_t kMinSplitRows = 1024;
+
+// Per-group bookkeeping estimate (hash-map node + tag + accumulator
+// entries) used when charging grouped state to the memory budget.
+constexpr uint64_t kPerGroupOverhead = 96;
 
 bool IsIntLike(DataType t) {
   return t == DataType::kBool || t == DataType::kInt32 ||
@@ -119,6 +144,55 @@ void ParallelStableSort(std::vector<uint32_t>* idx, size_t threads,
   }
 }
 
+// Evaluates the ORDER BY key expressions over `input` with `threads`
+// workers: the table is split into contiguous chunks, each (item, chunk)
+// pair evaluates independently, and the chunk columns are concatenated in
+// order. Expression evaluation is pure and row-wise, so the result is
+// byte-identical to the serial whole-table evaluation.
+Result<std::vector<Column>> EvaluateSortKeys(
+    const Table& input, const std::vector<sql::BoundOrderItem>& items,
+    size_t threads) {
+  std::vector<Column> keys;
+  const size_t n = input.num_rows();
+  if (threads <= 1 || n < 8192 || items.empty()) {
+    for (const auto& item : items) {
+      LAZYETL_ASSIGN_OR_RETURN(Column c, EvaluateExpr(*item.expr, input));
+      keys.push_back(std::move(c));
+    }
+    return keys;
+  }
+
+  const size_t chunks = std::min(threads, n / 4096);
+  std::vector<size_t> bounds(chunks + 1);
+  for (size_t c = 0; c <= chunks; ++c) bounds[c] = c * n / chunks;
+  std::vector<std::vector<Column>> parts(
+      items.size(), std::vector<Column>(chunks, Column(DataType::kInt64)));
+  std::mutex err_mu;
+  Status err;
+  common::ThreadPool::Shared().ParallelFor(
+      items.size() * chunks, threads, [&](size_t j) {
+        size_t item = j / chunks;
+        size_t c = j % chunks;
+        TableSlice slice = input.Slice(bounds[c], bounds[c + 1] - bounds[c]);
+        auto col = EvaluateExpr(*items[item].expr, slice);
+        if (!col.ok()) {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (err.ok()) err = col.status();
+          return;
+        }
+        parts[item][c] = std::move(*col);
+      });
+  LAZYETL_RETURN_NOT_OK(err);
+  for (size_t item = 0; item < items.size(); ++item) {
+    Column key = std::move(parts[item][0]);
+    for (size_t c = 1; c < chunks; ++c) {
+      LAZYETL_RETURN_NOT_OK(key.AppendColumn(parts[item][c]));
+    }
+    keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
 // Gathers the picked rows column-by-column across workers.
 Table ParallelGather(const Table& input, const SelectionVector& sel,
                      size_t threads) {
@@ -139,6 +213,12 @@ Table ParallelGather(const Table& input, const SelectionVector& sel,
 // Sort
 // --------------------------------------------------------------------------
 
+// External sort (budget mode): workers accumulate <payload, evaluated
+// keys, arrival tag> run buffers and spill them — sorted — whenever the
+// memory reservation fails; a k-way streaming merge over the runs then
+// emits batches in sorted order. The arrival tag (seq, row) is a unique
+// total tie-break, so the merged sequence equals the in-memory stable
+// sort byte-for-byte regardless of where the spill boundaries fell.
 class SortOperator : public BatchOperator {
  public:
   SortOperator(const PlanNode* node, ExecContext* ctx, BatchOperatorPtr child)
@@ -146,20 +226,22 @@ class SortOperator : public BatchOperator {
     AddChild(std::move(child));
   }
 
-  bool ParallelSafe() const override { return true; }
+  // The streaming merge is inherently serial; the in-memory emitter is
+  // parallel-safe as before.
+  bool ParallelSafe() const override { return !external_; }
 
  protected:
   Status OpenImpl() override {
     size_t threads = ctx_->query_threads;
+    if (ctx_->budgeted()) return OpenBudgeted(threads);
+
     LAZYETL_ASSIGN_OR_RETURN(Table input,
                              DrainToTableOrdered(child(), threads));
     RecordStateBytes(input.MemoryBytes());
 
-    std::vector<Column> sort_cols;
-    for (const auto& item : node_->order_items) {
-      LAZYETL_ASSIGN_OR_RETURN(Column c, EvaluateExpr(*item.expr, input));
-      sort_cols.push_back(std::move(c));
-    }
+    LAZYETL_ASSIGN_OR_RETURN(
+        std::vector<Column> sort_cols,
+        EvaluateSortKeys(input, node_->order_items, threads));
     std::vector<uint32_t> idx(input.num_rows());
     for (size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<uint32_t>(i);
 
@@ -172,13 +254,167 @@ class SortOperator : public BatchOperator {
   }
 
   Result<bool> NextImpl(Batch* out) override {
-    return emitter_.Next(out, parallel_drive());
+    if (!external_) return emitter_.Next(out, parallel_drive());
+    Table merged;
+    LAZYETL_ASSIGN_OR_RETURN(bool more,
+                             merger_.Next(ctx_->batch_rows, &merged));
+    if (!more) {
+      if (!emitted_) {
+        emitted_ = true;
+        *out = Batch::Materialized(payload_proto_.Gather({}));
+        return true;
+      }
+      return false;
+    }
+    *out = Batch::Materialized(std::move(merged));
+    out->seq = next_seq_++;
+    emitted_ = true;
+    return true;
+  }
+
+  void CloseImpl() override {
+    for (auto& w : workers_) w.res.ReleaseAll();
   }
 
  private:
+  struct SortWorker {
+    bool init = false;
+    Table payload;                      // accumulated input rows
+    std::vector<Column> keys;           // evaluated key columns, aligned
+    std::vector<int64_t> tag_seq;
+    std::vector<int64_t> tag_row;
+    std::vector<std::string> run_paths;  // spilled sorted runs
+    common::MemoryReservation res;
+  };
+
+  Status OpenBudgeted(size_t threads) {
+    external_ = true;
+    // Run ordering spec: ORDER BY keys, then the (seq, row) arrival tag.
+    order_cols_ = node_->order_items.size() + 2;
+    for (const auto& item : node_->order_items) {
+      ascending_.push_back(item.ascending);
+    }
+    ascending_.push_back(true);  // tag seq
+    ascending_.push_back(true);  // tag row
+    merger_.Configure(order_cols_, ascending_, ctx_->spill);
+
+    workers_.resize(std::max<size_t>(threads, 1));
+    for (auto& w : workers_) w.res.Reset(ctx_->budget);
+
+    LAZYETL_RETURN_NOT_OK(ParallelDrain(
+        child(), threads, [&](size_t worker, Batch&& batch) -> Status {
+          return Consume(&workers_[worker], batch);
+        }));
+
+    // Leftover buffers become in-memory runs (their reservations stay
+    // held until Close — they are the resident breaker state).
+    uint64_t resident = 0;
+    bool any_spill = false;
+    for (auto& w : workers_) {
+      if (w.init && payload_proto_.num_columns() == 0) {
+        payload_proto_ = w.payload.Gather({});
+      }
+      if (w.init && w.payload.num_rows() > 0) {
+        merger_.AddMemoryRun(SortRunRows(AssembleRun(&w), order_cols_,
+                                         ascending_));
+      }
+      resident += w.res.held();
+      any_spill = any_spill || !w.run_paths.empty();
+      for (const std::string& path : w.run_paths) {
+        LAZYETL_RETURN_NOT_OK(merger_.AddSpilledRun(path));
+      }
+    }
+    RecordStateBytes(resident);
+    if (!any_spill) {
+      // Fit within the budget: merge the per-worker sorted runs once and
+      // keep the parallel emitter path — a budget alone must not
+      // serialise queries that never overflow it.
+      Table merged;
+      LAZYETL_ASSIGN_OR_RETURN(
+          bool more,
+          merger_.Next(std::numeric_limits<size_t>::max(), &merged));
+      if (!more) merged = payload_proto_.Gather({});
+      emitter_.Reset(std::move(merged), ctx_->batch_rows);
+      external_ = false;
+    }
+    return Status::OK();
+  }
+
+  Status Consume(SortWorker* w, const Batch& batch) {
+    std::vector<Column> batch_keys;
+    for (const auto& item : node_->order_items) {
+      LAZYETL_ASSIGN_OR_RETURN(Column c, EvaluateExpr(*item.expr, batch.view));
+      batch_keys.push_back(std::move(c));
+    }
+    if (!w->init) {
+      w->payload = batch.view.Gather({});
+      for (const Column& c : batch_keys) w->keys.emplace_back(c.type());
+      w->init = true;
+    }
+    uint64_t added = batch.view.ViewedBytes() + 16 * batch.num_rows();
+    for (const Column& c : batch_keys) added += c.MemoryBytes();
+    LAZYETL_RETURN_NOT_OK(w->payload.AppendSlice(batch.view));
+    for (size_t i = 0; i < batch_keys.size(); ++i) {
+      LAZYETL_RETURN_NOT_OK(w->keys[i].AppendColumn(batch_keys[i]));
+    }
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      w->tag_seq.push_back(static_cast<int64_t>(batch.seq));
+      w->tag_row.push_back(static_cast<int64_t>(r));
+    }
+    if (!w->res.Grow(added)) {
+      // Peak resident state: what was reserved plus the batch that did
+      // not fit (a single batch is the floor no budget can undercut).
+      RecordStateBytes(w->res.held() + added);
+      return SpillWorkerRun(w);
+    }
+    return Status::OK();
+  }
+
+  // Drains `w`'s buffer into <payload | keys | tag> columns, resetting the
+  // buffer to empty same-schema state.
+  Table AssembleRun(SortWorker* w) {
+    Table run = std::move(w->payload);
+    w->payload = run.Gather({});
+    for (size_t i = 0; i < w->keys.size(); ++i) {
+      Column key = std::move(w->keys[i]);
+      w->keys[i] = Column(key.type());
+      Status st = run.AddColumn("#k" + std::to_string(i), std::move(key));
+      (void)st;  // equal-length by construction
+    }
+    Status st = run.AddColumn("#tseq", Column::FromInt64(std::move(w->tag_seq)));
+    (void)st;
+    st = run.AddColumn("#trow", Column::FromInt64(std::move(w->tag_row)));
+    (void)st;
+    w->tag_seq.clear();
+    w->tag_row.clear();
+    return run;
+  }
+
+  Status SpillWorkerRun(SortWorker* w) {
+    if (w->payload.num_rows() == 0) return Status::OK();
+    Table run = SortRunRows(AssembleRun(w), order_cols_, ascending_);
+    std::string path;
+    LAZYETL_ASSIGN_OR_RETURN(
+        uint64_t bytes,
+        WriteRunFile(run, ctx_->batch_rows, ctx_->spill, &path));
+    RecordSpill(bytes, 1);
+    w->run_paths.push_back(std::move(path));
+    w->res.ReleaseAll();
+    return Status::OK();
+  }
+
   const PlanNode* node_;
   ExecContext* ctx_;
   TableEmitter emitter_;
+  // External-mode state.
+  bool external_ = false;
+  bool emitted_ = false;
+  uint64_t next_seq_ = 0;
+  size_t order_cols_ = 0;        // run ordering spec (keys + 2 tag cols)
+  std::vector<bool> ascending_;
+  std::vector<SortWorker> workers_;
+  RunMerger merger_;
+  Table payload_proto_;  // schema-only table for the empty-batch contract
 };
 
 // --------------------------------------------------------------------------
@@ -409,6 +645,87 @@ class Accumulator {
     }
   }
 
+  // --- Spill support -------------------------------------------------------
+  // Partial state serialises as columns (one row per group) so overflowing
+  // aggregation state can be radix-partitioned to disk and re-merged
+  // later: COUNT → [count]; SUM/AVG → [count, isum, dsum]; MIN/MAX →
+  // [count, extremum (argument-typed)]. Integer merges are exact and
+  // order-independent; double sums re-associate across spill boundaries
+  // (same relaxation as the parallel in-memory merge).
+
+  DataType StateExtType() const {
+    if (arg_type_ == DataType::kString) return DataType::kString;
+    if (arg_type_ == DataType::kDouble) return DataType::kDouble;
+    return DataType::kInt64;
+  }
+
+  size_t NumStateCols() const {
+    if (function_ == "AVG" || function_ == "SUM") return 3;
+    if (function_ == "MIN" || function_ == "MAX") return 2;
+    return 1;  // COUNT
+  }
+
+  void AppendStateSchema(TableSchema* schema,
+                         const std::string& prefix) const {
+    schema->push_back({prefix + "c", DataType::kInt64});
+    if (function_ == "AVG" || function_ == "SUM") {
+      schema->push_back({prefix + "i", DataType::kInt64});
+      schema->push_back({prefix + "d", DataType::kDouble});
+    } else if (function_ == "MIN" || function_ == "MAX") {
+      schema->push_back({prefix + "x", StateExtType()});
+    }
+  }
+
+  void ExportState(std::vector<Column>* out) const {
+    out->push_back(Column::FromInt64(count_));
+    if (function_ == "AVG" || function_ == "SUM") {
+      out->push_back(Column::FromInt64(isum_));
+      out->push_back(Column::FromDouble(dsum_));
+    } else if (function_ == "MIN" || function_ == "MAX") {
+      if (arg_type_ == DataType::kString) {
+        out->push_back(Column::FromString(sext_));
+      } else if (arg_type_ == DataType::kDouble) {
+        out->push_back(Column::FromDouble(dext_));
+      } else {
+        out->push_back(Column::FromInt64(iext_));
+      }
+    }
+  }
+
+  // Merges one exported-state row (columns starting at `first_col` of `t`)
+  // into group `dst_group`, the disk-backed analog of MergeGroup.
+  void MergeStateRow(const Table& t, size_t first_col, size_t row,
+                     size_t dst_group) {
+    int64_t src_count = t.column(first_col).int64_data()[row];
+    if (src_count == 0) return;
+    bool first = count_[dst_group] == 0;
+    count_[dst_group] += src_count;
+    if (function_ == "COUNT") return;
+    if (function_ == "AVG" || function_ == "SUM") {
+      isum_[dst_group] += t.column(first_col + 1).int64_data()[row];
+      dsum_[dst_group] += t.column(first_col + 2).double_data()[row];
+      return;
+    }
+    bool want_min = function_ == "MIN";
+    const Column& ext = t.column(first_col + 1);
+    if (arg_type_ == DataType::kString) {
+      const std::string& v = ext.string_data()[row];
+      if (first || (want_min ? v < sext_[dst_group] : v > sext_[dst_group])) {
+        sext_[dst_group] = v;
+      }
+    } else if (arg_type_ == DataType::kDouble) {
+      double v = ext.double_data()[row];
+      if (first || (want_min ? v < dext_[dst_group] : v > dext_[dst_group])) {
+        dext_[dst_group] = v;
+      }
+    } else {
+      int64_t v = ext.int64_data()[row];
+      if (first || (want_min ? v < iext_[dst_group] : v > iext_[dst_group])) {
+        iext_[dst_group] = v;
+      }
+    }
+  }
+
   Result<Column> Finish(size_t groups) const {
     if (function_ == "COUNT") {
       std::vector<int64_t> out(groups);
@@ -479,6 +796,407 @@ class Accumulator {
   std::vector<std::string> sext_;
 };
 
+// One batch pre-grouped by a worker: local groups in first-occurrence
+// order with their packed keys, representative values, first-occurrence
+// arrival tags, and (for Aggregate) accumulator state. Shared between the
+// Aggregate and Distinct consume paths.
+struct GroupedPartial {
+  uint64_t seq = 0;
+  std::vector<std::string> names;   // group column names (first partial)
+  std::vector<std::string> keys;    // one per local group
+  std::vector<Column> values;       // one row per local group
+  std::vector<Accumulator> accs;    // empty for Distinct
+  std::vector<int64_t> tag_seq;     // first occurrence (seq, row) per group
+  std::vector<int64_t> tag_row;
+};
+
+// Reusable per-worker scratch: the per-batch hash table and key buffer
+// are the dominant per-batch allocations of the aggregate partials
+// (ROADMAP open item); hoisting them into one arena per worker makes the
+// consume loop allocation-light.
+struct GroupScratch {
+  std::unordered_map<std::string, uint32_t> index;
+  std::string key;
+  std::vector<Column> group_cols;
+  std::vector<Column> arg_cols;
+};
+
+// Budget-governed grouped state shared by Aggregate and Distinct
+// (Distinct is the degenerate case: every column is a group column, no
+// accumulators). Consume merges pre-grouped partials into one hash state;
+// when the memory reservation fails the state is radix-partitioned to
+// spill files (group values + arrival tags + serialised accumulator
+// state). Partitions are then merged one at a time — recursing with a
+// re-seeded hash when a partition itself overflows — and each finished
+// partition becomes a run sorted by first-occurrence tag, so the final
+// k-way merge streams groups out in exactly the in-memory
+// first-occurrence order.
+class GroupSpillHelper {
+ public:
+  void Init(BatchOperator* op, ExecContext* ctx,
+            std::vector<std::string> output_names) {
+    op_ = op;
+    ctx_ = ctx;
+    output_names_ = std::move(output_names);
+    res_consume_.Reset(ctx->budget);
+  }
+
+  // Merges one partial into the global state; thread-safe.
+  Status MergePartial(GroupedPartial&& partial) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!init_) InitFromPartial(partial);
+    uint64_t added = 0;
+    for (size_t g = 0; g < partial.keys.size(); ++g) {
+      auto [it, inserted] = state_.index.emplace(
+          partial.keys[g], static_cast<uint32_t>(state_.keys.size()));
+      size_t dst = it->second;
+      if (inserted) {
+        added += 2 * partial.keys[g].size() + kPerGroupOverhead +
+                 24 * state_.accs.size();
+        state_.keys.push_back(partial.keys[g]);
+        for (size_t i = 0; i < state_.values.size(); ++i) {
+          LAZYETL_RETURN_NOT_OK(
+              state_.values[i].AppendRange(partial.values[i], g, 1));
+        }
+        state_.tseq.push_back(partial.tag_seq[g]);
+        state_.trow.push_back(partial.tag_row[g]);
+        for (auto& acc : state_.accs) acc.Resize(state_.keys.size());
+        ++total_groups_;
+      } else if (std::pair(partial.tag_seq[g], partial.tag_row[g]) <
+                 std::pair(state_.tseq[dst], state_.trow[dst])) {
+        state_.tseq[dst] = partial.tag_seq[g];
+        state_.trow[dst] = partial.tag_row[g];
+      }
+      for (size_t a = 0; a < state_.accs.size(); ++a) {
+        state_.accs[a].MergeGroup(partial.accs[a], g, dst);
+      }
+    }
+    if (!res_consume_.Grow(added)) {
+      op_->RecordStateBytes(res_consume_.held() + added);
+      LAZYETL_RETURN_NOT_OK(SpillState());
+    }
+    return Status::OK();
+  }
+
+  // Total distinct groups observed during consume (including spilled).
+  uint64_t total_groups() const { return total_groups_; }
+
+  // True when consume overflowed into partition files at least once.
+  bool spilled() const { return spilled_; }
+
+  // No-spill finish: the merged groups as one tag-ordered output table
+  // (tags stripped), ready for the parallel TableEmitter — budgeted
+  // queries whose state fit keep the in-memory emission path.
+  Result<Table> FinishInMemory() {
+    if (!init_ || state_.keys.empty()) return EmptyOutput();
+    LAZYETL_ASSIGN_OR_RETURN(Table run, FinishState(&state_));
+    Table out;
+    for (size_t c = 0; c + 2 < run.num_columns(); ++c) {
+      LAZYETL_RETURN_NOT_OK(
+          out.AddColumn(run.column_name(c), std::move(run.column(c))));
+    }
+    return out;
+  }
+
+  // Zero-row output table carrying the schema (group columns + finished
+  // aggregate columns) for the empty-batch contract.
+  Result<Table> EmptyOutput() const {
+    Table out;
+    for (size_t i = 0; i < value_types_.size(); ++i) {
+      LAZYETL_RETURN_NOT_OK(
+          out.AddColumn(output_names_[i], Column(value_types_[i])));
+    }
+    for (size_t a = 0; a < acc_protos_.size(); ++a) {
+      LAZYETL_ASSIGN_OR_RETURN(Column c, acc_protos_[a].Finish(0));
+      LAZYETL_RETURN_NOT_OK(
+          out.AddColumn("#agg" + std::to_string(a), std::move(c)));
+    }
+    return out;
+  }
+
+  const std::vector<Accumulator>& acc_protos() const { return acc_protos_; }
+
+  uint64_t resident_bytes() const { return res_consume_.held(); }
+
+  void ReleaseReservations() { res_consume_.ReleaseAll(); }
+
+  // Ends the consume phase: processes spilled partitions (if any) and
+  // returns a merger streaming <group cols, agg cols> rows ordered by
+  // first occurrence (trailing tag columns are stripped by the merger).
+  Result<RunMerger> Finish() {
+    RunMerger merger;
+    merger.Configure(2, {true, true}, ctx_->spill);
+    if (!spilled_) {
+      if (init_ && !state_.keys.empty()) {
+        LAZYETL_ASSIGN_OR_RETURN(Table run, FinishState(&state_));
+        merger.AddMemoryRun(std::move(run));
+        // res_consume_ keeps the run's bytes charged until Close.
+      }
+      return merger;
+    }
+    LAZYETL_RETURN_NOT_OK(SpillState());  // flush the remainder
+    res_consume_.ReleaseAll();
+    LAZYETL_ASSIGN_OR_RETURN(
+        std::vector<std::string> paths,
+        SealPartitionWriters(&writers_, op_, ctx_->spill));
+    for (const std::string& path : paths) {
+      if (path.empty()) continue;
+      LAZYETL_RETURN_NOT_OK(ProcessPartition(path, 1, &merger));
+    }
+    return merger;
+  }
+
+ private:
+  struct State {
+    std::unordered_map<std::string, uint32_t> index;
+    std::vector<std::string> keys;  // aligned with group ids
+    std::vector<Column> values;
+    std::vector<Accumulator> accs;
+    std::vector<int64_t> tseq;
+    std::vector<int64_t> trow;
+  };
+
+  void InitFromPartial(const GroupedPartial& partial) {
+    if (output_names_.empty()) output_names_ = partial.names;
+    for (const Column& c : partial.values) {
+      value_types_.push_back(c.type());
+    }
+    for (const Accumulator& acc : partial.accs) {
+      Accumulator proto = acc;
+      proto.Resize(0);
+      acc_protos_.push_back(std::move(proto));
+    }
+    ResetState(&state_);
+    init_ = true;
+  }
+
+  void ResetState(State* st) const {
+    st->index.clear();
+    st->keys.clear();
+    st->values.clear();
+    for (DataType t : value_types_) st->values.emplace_back(t);
+    st->accs = acc_protos_;
+    st->tseq.clear();
+    st->trow.clear();
+  }
+
+  // Schema of partition spill rows: group values, arrival tag, serialised
+  // accumulator state.
+  TableSchema PartitionSchema() const {
+    TableSchema schema;
+    for (size_t i = 0; i < value_types_.size(); ++i) {
+      schema.push_back({"#g" + std::to_string(i), value_types_[i]});
+    }
+    schema.push_back({"#tseq", DataType::kInt64});
+    schema.push_back({"#trow", DataType::kInt64});
+    for (size_t a = 0; a < acc_protos_.size(); ++a) {
+      acc_protos_[a].AppendStateSchema(&schema,
+                                       "#s" + std::to_string(a) + "_");
+    }
+    return schema;
+  }
+
+  // Drains `st` into one <group values | tags | acc state> table.
+  Table AssembleStateTable(State* st) const {
+    Table t;
+    for (size_t i = 0; i < st->values.size(); ++i) {
+      Status s = t.AddColumn("#g" + std::to_string(i),
+                             std::move(st->values[i]));
+      (void)s;  // equal-length by construction
+    }
+    Status s = t.AddColumn("#tseq", Column::FromInt64(std::move(st->tseq)));
+    (void)s;
+    s = t.AddColumn("#trow", Column::FromInt64(std::move(st->trow)));
+    (void)s;
+    for (size_t a = 0; a < st->accs.size(); ++a) {
+      std::vector<Column> cols;
+      st->accs[a].ExportState(&cols);
+      for (size_t k = 0; k < cols.size(); ++k) {
+        s = t.AddColumn("#s" + std::to_string(a) + "_" + std::to_string(k),
+                        std::move(cols[k]));
+        (void)s;
+      }
+    }
+    return t;
+  }
+
+  // Radix-partitions `st` (by key hash at `level`) into the writers.
+  Status SpillStateInto(State* st, size_t level, SpillWriterVec* writers) {
+    if (st->keys.empty()) return Status::OK();
+    std::vector<SelectionVector> sel(kSpillFanout);
+    for (size_t g = 0; g < st->keys.size(); ++g) {
+      sel[SpillPartitionOf(st->keys[g], level, kSpillFanout)].push_back(
+          static_cast<uint32_t>(g));
+    }
+    Table full = AssembleStateTable(st);
+    for (size_t p = 0; p < kSpillFanout; ++p) {
+      if (sel[p].empty()) continue;
+      Table part = full.Gather(sel[p]);
+      const size_t step = std::max<size_t>(1, ctx_->batch_rows);
+      for (size_t off = 0; off < part.num_rows(); off += step) {
+        LAZYETL_RETURN_NOT_OK((*writers)[p]->Append(
+            part.Slice(off, std::min(step, part.num_rows() - off))));
+      }
+    }
+    return Status::OK();
+  }
+
+  // Spills the consume-phase state into the level-0 partition files.
+  // Caller holds mu_ (or is past the parallel phase).
+  Status SpillState() {
+    spilled_ = true;
+    if (writers_.empty()) {
+      LAZYETL_ASSIGN_OR_RETURN(
+          writers_,
+          OpenPartitionWriters(kSpillFanout, PartitionSchema(), ctx_->spill));
+    }
+    LAZYETL_RETURN_NOT_OK(SpillStateInto(&state_, 0, &writers_));
+    ResetState(&state_);
+    res_consume_.ReleaseAll();
+    return Status::OK();
+  }
+
+  // Routes the partition-file rows of `frame` to sub-partitions at
+  // `level` without merging (used after a recursive overflow).
+  Status RouteFrame(const Table& frame, size_t level, SpillWriterVec* subs) {
+    std::vector<size_t> key_cols(value_types_.size());
+    std::iota(key_cols.begin(), key_cols.end(), 0);
+    return PartitionTableToWriters(frame, key_cols, level, ctx_->batch_rows,
+                                   subs);
+  }
+
+  // Merges one partition file into a fresh state, recursing (with a
+  // re-seeded hash) when it still overflows the budget, and turns the
+  // merged groups into a tag-sorted run for the final merge.
+  Status ProcessPartition(const std::string& path, size_t level,
+                          RunMerger* merger) {
+    op_->RecordPartitions(1);
+    State st;
+    ResetState(&st);
+    common::MemoryReservation res(ctx_->budget);
+    storage::SpillReader reader;
+    LAZYETL_RETURN_NOT_OK(reader.Open(path));
+    const size_t ngroup = value_types_.size();
+    const size_t state_col0 = ngroup + 2;
+    bool routing = false;
+    SpillWriterVec subs;
+    Table frame;
+    std::string key;
+    while (true) {
+      LAZYETL_ASSIGN_OR_RETURN(bool more, reader.Next(&frame));
+      if (!more) break;
+      if (routing) {
+        LAZYETL_RETURN_NOT_OK(RouteFrame(frame, level, &subs));
+        continue;
+      }
+      uint64_t added = 0;
+      for (size_t row = 0; row < frame.num_rows(); ++row) {
+        key.clear();
+        for (size_t i = 0; i < ngroup; ++i) {
+          PackRowKey(frame.column(i), row, &key);
+        }
+        auto [it, inserted] =
+            st.index.emplace(key, static_cast<uint32_t>(st.keys.size()));
+        size_t dst = it->second;
+        int64_t tseq = frame.column(ngroup).int64_data()[row];
+        int64_t trow = frame.column(ngroup + 1).int64_data()[row];
+        if (inserted) {
+          added += 2 * key.size() + kPerGroupOverhead + 24 * st.accs.size();
+          st.keys.push_back(key);
+          for (size_t i = 0; i < ngroup; ++i) {
+            LAZYETL_RETURN_NOT_OK(
+                st.values[i].AppendRange(frame.column(i), row, 1));
+          }
+          st.tseq.push_back(tseq);
+          st.trow.push_back(trow);
+          for (auto& acc : st.accs) acc.Resize(st.keys.size());
+        } else if (std::pair(tseq, trow) <
+                   std::pair(st.tseq[dst], st.trow[dst])) {
+          st.tseq[dst] = tseq;
+          st.trow[dst] = trow;
+        }
+        size_t col = state_col0;
+        for (auto& acc : st.accs) {
+          acc.MergeStateRow(frame, col, row, dst);
+          col += acc.NumStateCols();
+        }
+      }
+      if (!res.Grow(added) && level < kMaxSpillLevel &&
+          st.keys.size() >= kMinSplitGroups) {
+        op_->RecordStateBytes(res.held() + added);
+        // Recursive overflow: push the merged state down one level and
+        // route the rest of this partition directly to the sub-files.
+        LAZYETL_ASSIGN_OR_RETURN(
+            subs, OpenPartitionWriters(kSpillFanout, PartitionSchema(),
+                                       ctx_->spill));
+        LAZYETL_RETURN_NOT_OK(SpillStateInto(&st, level, &subs));
+        ResetState(&st);
+        res.ReleaseAll();
+        routing = true;
+      }
+      // At kMaxSpillLevel (or below kMinSplitGroups) the partition
+      // finishes in memory even over budget: splitting cannot help.
+    }
+    ctx_->spill->RemoveFile(path);
+    if (routing) {
+      LAZYETL_ASSIGN_OR_RETURN(
+          std::vector<std::string> sub_paths,
+          SealPartitionWriters(&subs, op_, ctx_->spill));
+      for (const std::string& sub_path : sub_paths) {
+        if (sub_path.empty()) continue;
+        LAZYETL_RETURN_NOT_OK(ProcessPartition(sub_path, level + 1, merger));
+      }
+      return Status::OK();
+    }
+    op_->RecordStateBytes(res.held());
+    if (st.keys.empty()) return Status::OK();
+    // Finished partitions always go to disk: retaining them in memory
+    // would eat the budget headroom every later partition needs to merge,
+    // cascading into needless recursion.
+    LAZYETL_ASSIGN_OR_RETURN(Table run, FinishState(&st));
+    std::string run_path;
+    LAZYETL_ASSIGN_OR_RETURN(
+        uint64_t bytes,
+        WriteRunFile(run, ctx_->batch_rows, ctx_->spill, &run_path));
+    op_->RecordSpill(bytes, 1);
+    return merger->AddSpilledRun(run_path);
+  }
+
+  // Converts merged groups into an output run <group cols | #agg cols |
+  // tags>, sorted by first-occurrence tag.
+  Result<Table> FinishState(State* st) const {
+    const size_t n = st->keys.size();
+    Table out;
+    for (size_t i = 0; i < st->values.size(); ++i) {
+      LAZYETL_RETURN_NOT_OK(
+          out.AddColumn(output_names_[i], std::move(st->values[i])));
+    }
+    for (size_t a = 0; a < st->accs.size(); ++a) {
+      LAZYETL_ASSIGN_OR_RETURN(Column c, st->accs[a].Finish(n));
+      LAZYETL_RETURN_NOT_OK(
+          out.AddColumn("#agg" + std::to_string(a), std::move(c)));
+    }
+    LAZYETL_RETURN_NOT_OK(
+        out.AddColumn("#tseq", Column::FromInt64(std::move(st->tseq))));
+    LAZYETL_RETURN_NOT_OK(
+        out.AddColumn("#trow", Column::FromInt64(std::move(st->trow))));
+    return SortRunRows(out, 2, {true, true});
+  }
+
+  BatchOperator* op_ = nullptr;
+  ExecContext* ctx_ = nullptr;
+  std::vector<std::string> output_names_;
+  std::vector<DataType> value_types_;
+  std::vector<Accumulator> acc_protos_;
+  std::mutex mu_;
+  bool init_ = false;
+  bool spilled_ = false;
+  State state_;
+  SpillWriterVec writers_;
+  uint64_t total_groups_ = 0;
+  common::MemoryReservation res_consume_;  // live grouped state
+};
+
 // Streaming hash aggregation: per input batch, evaluate the grouping and
 // argument expressions, map rows to group ids, and fold them into the
 // accumulators. Holds O(groups) state — the input is never materialised.
@@ -496,13 +1214,15 @@ class AggregateOperator : public BatchOperator {
     AddChild(std::move(child));
   }
 
-  bool ParallelSafe() const override { return true; }
+  bool ParallelSafe() const override { return !external_; }
 
  protected:
   Status OpenImpl() override {
+    size_t threads = ctx_->query_threads;
+    if (ctx_->budgeted()) return OpenBudgeted(threads);
+
     for (const auto& agg : node_->aggregates) accs_.emplace_back(agg);
 
-    size_t threads = ctx_->query_threads;
     if (threads > 1 && child()->ParallelSafe()) {
       LAZYETL_RETURN_NOT_OK(ConsumeParallel(threads));
     } else {
@@ -548,40 +1268,95 @@ class AggregateOperator : public BatchOperator {
   }
 
   Result<bool> NextImpl(Batch* out) override {
-    return emitter_.Next(out, parallel_drive());
+    if (!external_) return emitter_.Next(out, parallel_drive());
+    Table merged;
+    LAZYETL_ASSIGN_OR_RETURN(bool more,
+                             merger_.Next(ctx_->batch_rows, &merged));
+    if (!more) {
+      if (!emitted_) {
+        emitted_ = true;
+        LAZYETL_ASSIGN_OR_RETURN(Table empty, helper_.EmptyOutput());
+        *out = Batch::Materialized(std::move(empty));
+        return true;
+      }
+      return false;
+    }
+    *out = Batch::Materialized(std::move(merged));
+    out->seq = next_seq_++;
+    emitted_ = true;
+    return true;
   }
 
+  void CloseImpl() override { helper_.ReleaseReservations(); }
+
  private:
-  // One batch pre-aggregated by a worker: local groups in first-occurrence
-  // order with their keys, representative values and accumulator state.
-  struct BatchPartial {
-    uint64_t seq = 0;
-    std::vector<std::string> keys;     // one per local group
-    std::vector<Column> group_values;  // one row per local group
-    std::vector<Accumulator> accs;
-  };
+  // Budget mode: per-batch partials merge into the GroupSpillHelper's
+  // governed state (in any arrival order — the first-occurrence tags
+  // restore the serial group order at emission), which spills partitions
+  // when its reservation fails.
+  Status OpenBudgeted(size_t threads) {
+    std::vector<std::string> names;
+    for (const auto& g : node_->group_exprs) names.push_back(g->ToString());
+    helper_.Init(this, ctx_, std::move(names));
+    std::vector<GroupScratch> scratches(std::max<size_t>(threads, 1));
+    LAZYETL_RETURN_NOT_OK(ParallelDrain(
+        child(), threads, [&](size_t worker, Batch&& batch) -> Status {
+          GroupedPartial partial;
+          LAZYETL_RETURN_NOT_OK(AggregateBatch(batch.view, batch.seq,
+                                               &scratches[worker], &partial));
+          return helper_.MergePartial(std::move(partial));
+        }));
+
+    if (helper_.total_groups() == 0 && node_->group_exprs.empty()) {
+      // Grand aggregate over an empty input still yields one row.
+      std::vector<Accumulator> accs = helper_.acc_protos();
+      Table out;
+      for (size_t i = 0; i < accs.size(); ++i) {
+        accs[i].Resize(1);
+        LAZYETL_ASSIGN_OR_RETURN(Column c, accs[i].Finish(1));
+        LAZYETL_RETURN_NOT_OK(
+            out.AddColumn("#agg" + std::to_string(i), std::move(c)));
+      }
+      RecordStateBytes(helper_.resident_bytes());
+      emitter_.Reset(std::move(out), ctx_->batch_rows);
+      return Status::OK();
+    }
+    if (!helper_.spilled()) {
+      // State fit the budget: keep the parallel emitter path — a budget
+      // alone must not serialise queries that never overflow it.
+      LAZYETL_ASSIGN_OR_RETURN(Table out, helper_.FinishInMemory());
+      RecordStateBytes(helper_.resident_bytes());
+      emitter_.Reset(std::move(out), ctx_->batch_rows);
+      return Status::OK();
+    }
+    external_ = true;
+    LAZYETL_ASSIGN_OR_RETURN(merger_, helper_.Finish());
+    RecordStateBytes(helper_.resident_bytes());
+    return Status::OK();
+  }
 
   Status ConsumeParallel(size_t threads) {
     std::mutex mu;
-    std::vector<BatchPartial> partials;
+    std::vector<GroupedPartial> partials;
+    std::vector<GroupScratch> scratches(std::max<size_t>(threads, 1));
     LAZYETL_RETURN_NOT_OK(ParallelDrain(
-        child(), threads, [&](size_t, Batch&& batch) -> Status {
-          BatchPartial partial;
-          partial.seq = batch.seq;
-          LAZYETL_RETURN_NOT_OK(AggregateBatch(batch.view, &partial));
+        child(), threads, [&](size_t worker, Batch&& batch) -> Status {
+          GroupedPartial partial;
+          LAZYETL_RETURN_NOT_OK(AggregateBatch(batch.view, batch.seq,
+                                               &scratches[worker], &partial));
           std::lock_guard<std::mutex> lock(mu);
           partials.push_back(std::move(partial));
           return Status::OK();
         }));
     std::sort(partials.begin(), partials.end(),
-              [](const BatchPartial& a, const BatchPartial& b) {
+              [](const GroupedPartial& a, const GroupedPartial& b) {
                 return a.seq < b.seq;
               });
 
     bool first = true;
-    for (BatchPartial& partial : partials) {
+    for (GroupedPartial& partial : partials) {
       if (first) {
-        for (const Column& c : partial.group_values) {
+        for (const Column& c : partial.values) {
           group_values_.emplace_back(c.type());
         }
         for (size_t i = 0; i < accs_.size(); ++i) {
@@ -597,7 +1372,7 @@ class AggregateOperator : public BatchOperator {
           group_key_bytes_ += partial.keys[g].size();
           for (size_t i = 0; i < group_values_.size(); ++i) {
             LAZYETL_RETURN_NOT_OK(
-                group_values_[i].AppendRange(partial.group_values[i], g, 1));
+                group_values_[i].AppendRange(partial.values[i], g, 1));
           }
           for (auto& acc : accs_) acc.Resize(group_count_);
         }
@@ -610,50 +1385,53 @@ class AggregateOperator : public BatchOperator {
   }
 
   // Pre-aggregates one batch into `partial`. Pure per-batch work — safe
-  // to run concurrently on distinct batches.
-  Status AggregateBatch(const TableSlice& view, BatchPartial* partial) {
-    std::vector<Column> group_cols;
-    group_cols.reserve(node_->group_exprs.size());
+  // to run concurrently on distinct batches. The hash table and key
+  // buffer live in the per-worker scratch and are reused across batches.
+  Status AggregateBatch(const TableSlice& view, uint64_t seq,
+                        GroupScratch* scratch, GroupedPartial* partial) {
+    scratch->group_cols.clear();
     for (const auto& g : node_->group_exprs) {
       LAZYETL_ASSIGN_OR_RETURN(Column c, EvaluateExpr(*g, view));
-      group_cols.push_back(std::move(c));
+      scratch->group_cols.push_back(std::move(c));
     }
-    std::vector<Column> arg_cols;
-    arg_cols.reserve(node_->aggregates.size());
+    scratch->arg_cols.clear();
     for (const auto& a : node_->aggregates) {
       if (a.arg) {
         LAZYETL_ASSIGN_OR_RETURN(Column c, EvaluateExpr(*a.arg, view));
-        arg_cols.push_back(std::move(c));
+        scratch->arg_cols.push_back(std::move(c));
       } else {
-        arg_cols.emplace_back(DataType::kInt64);  // COUNT(*): unused
+        scratch->arg_cols.emplace_back(DataType::kInt64);  // COUNT(*)
       }
     }
-    for (const Column& c : group_cols) {
-      partial->group_values.emplace_back(c.type());
+    partial->seq = seq;
+    for (const Column& c : scratch->group_cols) {
+      partial->values.emplace_back(c.type());
     }
     for (size_t i = 0; i < node_->aggregates.size(); ++i) {
       partial->accs.emplace_back(node_->aggregates[i]);
-      partial->accs.back().Prepare(arg_cols[i].type());
+      partial->accs.back().Prepare(scratch->arg_cols[i].type());
     }
 
-    std::unordered_map<std::string, uint32_t> local_index;
+    scratch->index.clear();
     const size_t rows = view.num_rows();
-    std::string key;
+    std::string& key = scratch->key;
     for (size_t row = 0; row < rows; ++row) {
       key.clear();
-      for (const Column& c : group_cols) PackRowKey(c, row, &key);
-      auto [it, inserted] = local_index.emplace(
+      for (const Column& c : scratch->group_cols) PackRowKey(c, row, &key);
+      auto [it, inserted] = scratch->index.emplace(
           key, static_cast<uint32_t>(partial->keys.size()));
       if (inserted) {
         partial->keys.push_back(key);
-        for (size_t i = 0; i < group_cols.size(); ++i) {
-          LAZYETL_RETURN_NOT_OK(
-              partial->group_values[i].AppendRange(group_cols[i], row, 1));
+        for (size_t i = 0; i < scratch->group_cols.size(); ++i) {
+          LAZYETL_RETURN_NOT_OK(partial->values[i].AppendRange(
+              scratch->group_cols[i], row, 1));
         }
+        partial->tag_seq.push_back(static_cast<int64_t>(seq));
+        partial->tag_row.push_back(static_cast<int64_t>(row));
         for (auto& acc : partial->accs) acc.Resize(partial->keys.size());
       }
       for (size_t i = 0; i < partial->accs.size(); ++i) {
-        partial->accs[i].Update(it->second, &arg_cols[i], row);
+        partial->accs[i].Update(it->second, &scratch->arg_cols[i], row);
       }
     }
     return Status::OK();
@@ -718,6 +1496,12 @@ class AggregateOperator : public BatchOperator {
   size_t group_count_ = 0;
   uint64_t group_key_bytes_ = 0;
   TableEmitter emitter_;
+  // Budget-mode state.
+  bool external_ = false;
+  bool emitted_ = false;
+  uint64_t next_seq_ = 0;
+  GroupSpillHelper helper_;
+  RunMerger merger_;
 };
 
 // --------------------------------------------------------------------------
@@ -743,6 +1527,7 @@ class DistinctOperator : public BatchOperator {
  protected:
   Status OpenImpl() override {
     size_t threads = ctx_->query_threads;
+    if (ctx_->budgeted()) return OpenBudgeted(threads);
     parallel_mode_ = threads > 1 && child()->ParallelSafe();
     if (!parallel_mode_) return Status::OK();
 
@@ -808,6 +1593,23 @@ class DistinctOperator : public BatchOperator {
   }
 
   Result<bool> NextImpl(Batch* out) override {
+    if (external_) {
+      Table merged;
+      LAZYETL_ASSIGN_OR_RETURN(bool more,
+                               merger_.Next(ctx_->batch_rows, &merged));
+      if (!more) {
+        if (!emitted_) {
+          emitted_ = true;
+          *out = Batch::Materialized(payload_proto_.Gather({}));
+          return true;
+        }
+        return false;
+      }
+      *out = Batch::Materialized(std::move(merged));
+      out->seq = next_seq_++;
+      emitted_ = true;
+      return true;
+    }
     if (parallel_mode_) return emitter_.Next(out, parallel_drive());
     while (true) {
       Batch in;
@@ -850,7 +1652,71 @@ class DistinctOperator : public BatchOperator {
     }
   }
 
+  void CloseImpl() override { helper_.ReleaseReservations(); }
+
  private:
+  // Budget mode (any thread count): Distinct becomes a breaker whose
+  // seen-state is governed by the GroupSpillHelper — every column is a
+  // group column, there are no accumulators, and duplicate rows are
+  // byte-identical so keeping the minimum-tag representative reproduces
+  // the streaming first-occurrence output exactly.
+  Status OpenBudgeted(size_t threads) {
+    external_ = true;
+    helper_.Init(this, ctx_, {});  // names come from the first partial
+    std::vector<GroupScratch> scratches(std::max<size_t>(threads, 1));
+    std::mutex proto_mu;
+    LAZYETL_RETURN_NOT_OK(ParallelDrain(
+        child(), threads, [&](size_t worker, Batch&& batch) -> Status {
+          GroupScratch& scratch = scratches[worker];
+          GroupedPartial partial;
+          partial.seq = batch.seq;
+          for (size_t c = 0; c < batch.view.num_columns(); ++c) {
+            partial.names.push_back(batch.view.column_name(c));
+          }
+          scratch.index.clear();
+          SelectionVector keep;
+          std::string& key = scratch.key;
+          for (size_t row = 0; row < batch.num_rows(); ++row) {
+            key.clear();
+            for (size_t c = 0; c < batch.view.num_columns(); ++c) {
+              PackRowKey(batch.view.column(c), batch.view.offset() + row,
+                         &key);
+            }
+            if (scratch.index
+                    .emplace(key, static_cast<uint32_t>(partial.keys.size()))
+                    .second) {
+              keep.push_back(static_cast<uint32_t>(row));
+              partial.keys.push_back(key);
+              partial.tag_seq.push_back(static_cast<int64_t>(batch.seq));
+              partial.tag_row.push_back(static_cast<int64_t>(row));
+            }
+          }
+          Table rows = batch.view.Gather(keep);
+          for (size_t c = 0; c < rows.num_columns(); ++c) {
+            partial.values.push_back(std::move(rows.column(c)));
+          }
+          {
+            std::lock_guard<std::mutex> lock(proto_mu);
+            if (payload_proto_.num_columns() == 0) {
+              payload_proto_ = batch.view.Gather({});
+            }
+          }
+          return helper_.MergePartial(std::move(partial));
+        }));
+    if (!helper_.spilled()) {
+      // Fit within the budget: parallel emitter path, as unbudgeted.
+      LAZYETL_ASSIGN_OR_RETURN(Table out, helper_.FinishInMemory());
+      RecordStateBytes(helper_.resident_bytes());
+      emitter_.Reset(std::move(out), ctx_->batch_rows);
+      external_ = false;
+      parallel_mode_ = true;
+      return Status::OK();
+    }
+    LAZYETL_ASSIGN_OR_RETURN(merger_, helper_.Finish());
+    RecordStateBytes(helper_.resident_bytes());
+    return Status::OK();
+  }
+
   ExecContext* ctx_;
   bool parallel_mode_ = false;
   TableEmitter emitter_;
@@ -858,6 +1724,12 @@ class DistinctOperator : public BatchOperator {
   uint64_t seen_bytes_ = 0;
   Table empty_;
   bool emitted_ = false;
+  // Budget-mode state.
+  bool external_ = false;
+  uint64_t next_seq_ = 0;
+  Table payload_proto_;
+  GroupSpillHelper helper_;
+  RunMerger merger_;
 };
 
 // --------------------------------------------------------------------------
@@ -870,6 +1742,15 @@ class DistinctOperator : public BatchOperator {
 // read-only after Open, so probe batches may be processed concurrently
 // (parallel probe): each worker probes and assembles its own joined
 // batch.
+//
+// Budget mode: the build side accumulates under a reservation; on
+// overflow both sides are radix-partitioned on the join key to spill
+// files (Grace join) and the partitions are joined one at a time,
+// recursing with a re-seeded hash when a build partition still exceeds
+// the budget. Every joined row carries the probe arrival tag (seq, row)
+// plus a match counter in build-row order, and the joined fragments are
+// re-merged by that tag — the emitted row sequence equals the in-memory
+// join's seq-ordered output exactly.
 class HashJoinOperator : public BatchOperator {
  public:
   HashJoinOperator(const PlanNode* node, ExecContext* ctx,
@@ -879,7 +1760,9 @@ class HashJoinOperator : public BatchOperator {
     AddChild(std::move(right));
   }
 
-  bool ParallelSafe() const override { return child(1)->ParallelSafe(); }
+  bool ParallelSafe() const override {
+    return !grace_ && child(1)->ParallelSafe();
+  }
 
  protected:
   Status OpenImpl() override {
@@ -887,6 +1770,7 @@ class HashJoinOperator : public BatchOperator {
         node_->left_keys.empty()) {
       return Status::InvalidArgument("join key arity mismatch");
     }
+    if (ctx_->budgeted()) return OpenBudgeted(ctx_->query_threads);
     LAZYETL_ASSIGN_OR_RETURN(
         build_table_, DrainToTableOrdered(child(0), ctx_->query_threads));
     LAZYETL_RETURN_NOT_OK(build_.Init(&build_table_, node_->left_keys));
@@ -895,6 +1779,24 @@ class HashJoinOperator : public BatchOperator {
   }
 
   Result<bool> NextImpl(Batch* out) override {
+    if (grace_) {
+      Table merged;
+      LAZYETL_ASSIGN_OR_RETURN(bool more,
+                               merger_.Next(ctx_->batch_rows, &merged));
+      if (!more) {
+        if (!grace_emitted_) {
+          grace_emitted_ = true;
+          LAZYETL_ASSIGN_OR_RETURN(Table empty, EmptyJoined());
+          *out = Batch::Materialized(std::move(empty));
+          return true;
+        }
+        return false;
+      }
+      *out = Batch::Materialized(std::move(merged));
+      out->seq = next_seq_++;
+      grace_emitted_ = true;
+      return true;
+    }
     while (true) {
       Batch in;
       LAZYETL_ASSIGN_OR_RETURN(bool more, child(1)->Next(&in));
@@ -932,7 +1834,11 @@ class HashJoinOperator : public BatchOperator {
     }
   }
 
+  void CloseImpl() override { res_state_.ReleaseAll(); }
+
  private:
+  using WriterVec = SpillWriterVec;
+
   // Joined output: build-side rows picked by `build_sel` extended with the
   // already-gathered probe-side columns.
   Result<Table> JoinBatch(const SelectionVector& build_sel,
@@ -945,6 +1851,343 @@ class HashJoinOperator : public BatchOperator {
     return out;
   }
 
+  // Appends "#tseq"/"#trow" tag columns to a materialised batch.
+  static Result<Table> TagRows(Table rows, uint64_t seq) {
+    std::vector<int64_t> tseq(rows.num_rows(), static_cast<int64_t>(seq));
+    std::vector<int64_t> trow(rows.num_rows());
+    std::iota(trow.begin(), trow.end(), 0);
+    LAZYETL_RETURN_NOT_OK(
+        rows.AddColumn("#tseq", Column::FromInt64(std::move(tseq))));
+    LAZYETL_RETURN_NOT_OK(
+        rows.AddColumn("#trow", Column::FromInt64(std::move(trow))));
+    return rows;
+  }
+
+  // Radix-partitions `rows` on the packed key of `key_cols` at `level`
+  // into the writers, frame-bounded so replay memory stays bounded even
+  // when `rows` is a budget-sized buffer.
+  Status PartitionRows(const Table& rows, const std::vector<size_t>& key_cols,
+                       size_t level, WriterVec* writers) {
+    return PartitionTableToWriters(rows, key_cols, level, ctx_->batch_rows,
+                                   writers);
+  }
+
+  // Key column indices within a tagged partition table (payload columns
+  // precede the two tag columns, so payload indices are stable).
+  static Result<std::vector<size_t>> ResolveKeys(
+      const Table& table, const std::vector<std::string>& names) {
+    std::vector<size_t> cols;
+    for (const auto& name : names) {
+      LAZYETL_ASSIGN_OR_RETURN(size_t i, table.ColumnIndex(name));
+      cols.push_back(i);
+    }
+    return cols;
+  }
+
+  Status OpenBudgeted(size_t threads) {
+    // Phase 1: drain the build side under the reservation; on overflow,
+    // switch to writing key-partitioned build files.
+    std::mutex mu;
+    Table build_rows;             // tagged accumulation (payload + tags)
+    bool build_init = false;
+    WriterVec build_writers;
+    std::vector<size_t> build_key_cols;
+    res_state_.Reset(ctx_->budget);
+
+    LAZYETL_RETURN_NOT_OK(ParallelDrain(
+        child(0), threads, [&](size_t, Batch&& batch) -> Status {
+          LAZYETL_ASSIGN_OR_RETURN(Table tagged,
+                                   TagRows(batch.view.Materialize(),
+                                           batch.seq));
+          std::lock_guard<std::mutex> lock(mu);
+          if (!build_init) {
+            build_rows = tagged.Gather({});
+            build_proto_ = batch.view.Gather({});
+            LAZYETL_ASSIGN_OR_RETURN(
+                build_key_cols, ResolveKeys(build_rows, node_->left_keys));
+            build_init = true;
+          }
+          if (!build_writers.empty()) {
+            return PartitionRows(tagged, build_key_cols, 0, &build_writers);
+          }
+          uint64_t added = tagged.MemoryBytes();
+          LAZYETL_RETURN_NOT_OK(build_rows.AppendTable(tagged));
+          if (!res_state_.Grow(added)) {
+            RecordStateBytes(res_state_.held() + added);
+            LAZYETL_ASSIGN_OR_RETURN(
+                build_writers,
+                OpenPartitionWriters(kSpillFanout, build_rows.schema(),
+                                     ctx_->spill));
+            LAZYETL_RETURN_NOT_OK(
+                PartitionRows(build_rows, build_key_cols, 0, &build_writers));
+            build_rows = build_rows.Gather({});
+            res_state_.ReleaseAll();
+          }
+          return Status::OK();
+        }));
+
+    if (build_writers.empty()) {
+      // Everything fit: reorder into arrival order and try the in-memory
+      // index (reserving roughly its footprint on top of the payload). An
+      // index reservation failure still forces Grace.
+      Table sorted = SortRunRows(build_rows, 2, {true, true});
+      build_rows = Table();
+      if (res_state_.Grow(sorted.MemoryBytes())) {
+        for (size_t c = 0; c + 2 < sorted.num_columns(); ++c) {
+          LAZYETL_RETURN_NOT_OK(build_table_.AddColumn(
+              sorted.column_name(c), std::move(sorted.column(c))));
+        }
+        LAZYETL_RETURN_NOT_OK(build_.Init(&build_table_, node_->left_keys));
+        RecordStateBytes(build_table_.MemoryBytes() + build_.IndexBytes());
+        return Status::OK();
+      }
+      LAZYETL_ASSIGN_OR_RETURN(
+          build_writers,
+          OpenPartitionWriters(kSpillFanout, sorted.schema(), ctx_->spill));
+      LAZYETL_RETURN_NOT_OK(
+          PartitionRows(sorted, build_key_cols, 0, &build_writers));
+      res_state_.ReleaseAll();
+    }
+    grace_ = true;
+    LAZYETL_ASSIGN_OR_RETURN(
+        std::vector<std::string> build_paths,
+        SealPartitionWriters(&build_writers, this, ctx_->spill));
+
+    // Phase 2: drain the probe side into matching key partitions.
+    WriterVec probe_writers;
+    std::vector<size_t> probe_key_cols;
+    bool probe_init = false;
+    LAZYETL_RETURN_NOT_OK(ParallelDrain(
+        child(1), threads, [&](size_t, Batch&& batch) -> Status {
+          LAZYETL_ASSIGN_OR_RETURN(Table tagged,
+                                   TagRows(batch.view.Materialize(),
+                                           batch.seq));
+          std::lock_guard<std::mutex> lock(mu);
+          if (!probe_init) {
+            probe_proto_ = batch.view.Gather({});
+            LAZYETL_ASSIGN_OR_RETURN(
+                probe_key_cols, ResolveKeys(tagged, node_->right_keys));
+            LAZYETL_ASSIGN_OR_RETURN(
+                probe_writers,
+                OpenPartitionWriters(kSpillFanout, tagged.schema(),
+                                     ctx_->spill));
+            probe_init = true;
+          }
+          return PartitionRows(tagged, probe_key_cols, 0, &probe_writers);
+        }));
+    std::vector<std::string> probe_paths;
+    if (probe_init) {
+      LAZYETL_ASSIGN_OR_RETURN(
+          probe_paths,
+          SealPartitionWriters(&probe_writers, this, ctx_->spill));
+    } else {
+      probe_paths.assign(kSpillFanout, "");
+    }
+
+    // Phase 3: join the partition pairs; joined fragments become
+    // tag-sorted runs merged at emission.
+    merger_.Configure(3, {true, true, true}, ctx_->spill);
+    for (size_t p = 0; p < kSpillFanout; ++p) {
+      if (build_paths[p].empty() || probe_paths[p].empty()) {
+        if (!build_paths[p].empty()) ctx_->spill->RemoveFile(build_paths[p]);
+        if (!probe_paths[p].empty()) ctx_->spill->RemoveFile(probe_paths[p]);
+        continue;
+      }
+      LAZYETL_RETURN_NOT_OK(JoinPartition(build_paths[p], probe_paths[p], 1));
+    }
+    return Status::OK();
+  }
+
+  // Joins one build/probe partition pair, recursing when the build side
+  // still overflows the budget.
+  Status JoinPartition(const std::string& build_path,
+                       const std::string& probe_path, size_t level) {
+    RecordPartitions(1);
+    common::MemoryReservation res(ctx_->budget);
+
+    // Load the build partition (payload + tags).
+    storage::SpillReader breader;
+    LAZYETL_RETURN_NOT_OK(breader.Open(build_path));
+    Table build_part;
+    bool overflow = false;
+    Table frame;
+    while (true) {
+      LAZYETL_ASSIGN_OR_RETURN(bool more, breader.Next(&frame));
+      if (!more) break;
+      if (build_part.num_columns() == 0) build_part = frame.Gather({});
+      LAZYETL_RETURN_NOT_OK(build_part.AppendTable(frame));
+      if (!res.Grow(frame.MemoryBytes()) && level < kMaxSpillLevel &&
+          build_part.num_rows() >= kMinSplitRows) {
+        overflow = true;
+        break;
+      }
+    }
+    if (overflow) {
+      // Sub-partition both sides with the re-seeded hash and recurse.
+      LAZYETL_ASSIGN_OR_RETURN(std::vector<size_t> bkeys,
+                               ResolveKeys(build_part, node_->left_keys));
+      WriterVec sub_build;
+      LAZYETL_ASSIGN_OR_RETURN(
+          sub_build,
+          OpenPartitionWriters(kSpillFanout, build_part.schema(),
+                               ctx_->spill));
+      LAZYETL_RETURN_NOT_OK(
+          PartitionRows(build_part, bkeys, level, &sub_build));
+      build_part = Table();
+      res.ReleaseAll();
+      while (true) {
+        LAZYETL_ASSIGN_OR_RETURN(bool more, breader.Next(&frame));
+        if (!more) break;
+        LAZYETL_RETURN_NOT_OK(PartitionRows(frame, bkeys, level, &sub_build));
+      }
+      ctx_->spill->RemoveFile(build_path);
+      LAZYETL_ASSIGN_OR_RETURN(
+          std::vector<std::string> sub_build_paths,
+          SealPartitionWriters(&sub_build, this, ctx_->spill));
+
+      storage::SpillReader preader;
+      LAZYETL_RETURN_NOT_OK(preader.Open(probe_path));
+      WriterVec sub_probe;
+      std::vector<size_t> pkeys;
+      bool pkeys_init = false;
+      while (true) {
+        LAZYETL_ASSIGN_OR_RETURN(bool more, preader.Next(&frame));
+        if (!more) break;
+        if (!pkeys_init) {
+          LAZYETL_ASSIGN_OR_RETURN(pkeys,
+                                   ResolveKeys(frame, node_->right_keys));
+          LAZYETL_ASSIGN_OR_RETURN(
+              sub_probe,
+              OpenPartitionWriters(kSpillFanout, frame.schema(),
+                                   ctx_->spill));
+          pkeys_init = true;
+        }
+        LAZYETL_RETURN_NOT_OK(PartitionRows(frame, pkeys, level, &sub_probe));
+      }
+      ctx_->spill->RemoveFile(probe_path);
+      std::vector<std::string> sub_probe_paths;
+      if (pkeys_init) {
+        LAZYETL_ASSIGN_OR_RETURN(
+            sub_probe_paths,
+            SealPartitionWriters(&sub_probe, this, ctx_->spill));
+      } else {
+        sub_probe_paths.assign(kSpillFanout, "");
+      }
+      for (size_t p = 0; p < kSpillFanout; ++p) {
+        if (sub_build_paths[p].empty() || sub_probe_paths[p].empty()) {
+          if (!sub_build_paths[p].empty()) {
+            ctx_->spill->RemoveFile(sub_build_paths[p]);
+          }
+          if (!sub_probe_paths[p].empty()) {
+            ctx_->spill->RemoveFile(sub_probe_paths[p]);
+          }
+          continue;
+        }
+        LAZYETL_RETURN_NOT_OK(
+            JoinPartition(sub_build_paths[p], sub_probe_paths[p], level + 1));
+      }
+      return Status::OK();
+    }
+    ctx_->spill->RemoveFile(build_path);
+
+    // Build the partition index over arrival-ordered payload rows, so
+    // per-probe-row matches enumerate in global build-row order.
+    Table bt;
+    if (build_part.num_rows() > 0) {
+      Table sorted = SortRunRows(build_part, 2, {true, true});
+      for (size_t c = 0; c + 2 < sorted.num_columns(); ++c) {
+        LAZYETL_RETURN_NOT_OK(
+            bt.AddColumn(sorted.column_name(c), std::move(sorted.column(c))));
+      }
+    }
+    JoinBuild jb;
+    LAZYETL_RETURN_NOT_OK(jb.Init(&bt, node_->left_keys));
+
+    // Stream the probe partition, spooling tagged joined fragments.
+    storage::SpillReader preader;
+    LAZYETL_RETURN_NOT_OK(preader.Open(probe_path));
+    Table out_buf;
+    common::MemoryReservation out_res(ctx_->budget);
+    while (true) {
+      LAZYETL_ASSIGN_OR_RETURN(bool more, preader.Next(&frame));
+      if (!more) break;
+      if (frame.num_rows() == 0) continue;
+      TableSlice probe = frame.Slice(0, frame.num_rows());
+      SelectionVector build_sel;
+      SelectionVector probe_sel;
+      LAZYETL_RETURN_NOT_OK(
+          jb.Probe(probe, node_->right_keys, &build_sel, &probe_sel));
+      if (probe_sel.empty()) continue;
+
+      // Joined fragment: build payload + probe payload + (#tseq, #trow,
+      // #tk) with the match counter in build-row order per probe row.
+      Table joined = bt.Gather(build_sel);
+      const size_t probe_payload = frame.num_columns() - 2;
+      for (size_t c = 0; c < probe_payload; ++c) {
+        LAZYETL_RETURN_NOT_OK(joined.AddColumn(
+            frame.column_name(c), frame.column(c).Gather(probe_sel)));
+      }
+      LAZYETL_RETURN_NOT_OK(joined.AddColumn(
+          "#tseq", frame.column(probe_payload).Gather(probe_sel)));
+      LAZYETL_RETURN_NOT_OK(joined.AddColumn(
+          "#trow", frame.column(probe_payload + 1).Gather(probe_sel)));
+      std::vector<int64_t> tk(probe_sel.size());
+      for (size_t i = 0; i < probe_sel.size(); ++i) {
+        tk[i] = (i > 0 && probe_sel[i] == probe_sel[i - 1]) ? tk[i - 1] + 1
+                                                            : 0;
+      }
+      LAZYETL_RETURN_NOT_OK(
+          joined.AddColumn("#tk", Column::FromInt64(std::move(tk))));
+
+      if (out_buf.num_columns() == 0) out_buf = joined.Gather({});
+      uint64_t added = joined.MemoryBytes();
+      LAZYETL_RETURN_NOT_OK(out_buf.AppendTable(joined));
+      if (!out_res.Grow(added)) {
+        Table run = SortRunRows(out_buf, 3, {true, true, true});
+        std::string run_path;
+        LAZYETL_ASSIGN_OR_RETURN(
+            uint64_t bytes,
+            WriteRunFile(run, ctx_->batch_rows, ctx_->spill, &run_path));
+        RecordSpill(bytes, 1);
+        LAZYETL_RETURN_NOT_OK(merger_.AddSpilledRun(run_path));
+        out_buf = out_buf.Gather({});
+        out_res.ReleaseAll();
+      }
+    }
+    ctx_->spill->RemoveFile(probe_path);
+    RecordStateBytes(res.held() + out_res.held());
+    res.ReleaseAll();
+
+    if (out_buf.num_rows() > 0) {
+      // Always to disk: in-memory runs would eat the headroom the later
+      // partitions need (see GroupSpillHelper::ProcessPartition).
+      Table run = SortRunRows(out_buf, 3, {true, true, true});
+      std::string run_path;
+      LAZYETL_ASSIGN_OR_RETURN(
+          uint64_t bytes,
+          WriteRunFile(run, ctx_->batch_rows, ctx_->spill, &run_path));
+      RecordSpill(bytes, 1);
+      LAZYETL_RETURN_NOT_OK(merger_.AddSpilledRun(run_path));
+    }
+    return Status::OK();
+  }
+
+  // Zero-row joined table: build payload schema + probe payload schema.
+  Result<Table> EmptyJoined() const {
+    Table out;
+    for (size_t c = 0; c < build_proto_.num_columns(); ++c) {
+      LAZYETL_RETURN_NOT_OK(out.AddColumn(
+          build_proto_.column_name(c),
+          Column(build_proto_.schema()[c].type)));
+    }
+    for (size_t c = 0; c < probe_proto_.num_columns(); ++c) {
+      LAZYETL_RETURN_NOT_OK(out.AddColumn(
+          probe_proto_.column_name(c),
+          Column(probe_proto_.schema()[c].type)));
+    }
+    return out;
+  }
+
   const PlanNode* node_;
   ExecContext* ctx_;
   Table build_table_;
@@ -953,6 +2196,14 @@ class HashJoinOperator : public BatchOperator {
   Table probe_empty_;
   bool empty_captured_ = false;
   std::atomic<bool> emitted_{false};
+  // Budget-mode state.
+  bool grace_ = false;
+  bool grace_emitted_ = false;
+  uint64_t next_seq_ = 0;
+  Table build_proto_;
+  Table probe_proto_;
+  RunMerger merger_;
+  common::MemoryReservation res_state_;
 };
 
 }  // namespace

@@ -30,7 +30,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/memory_budget.h"
 #include "common/result.h"
+#include "common/spill.h"
 #include "common/time.h"
 #include "engine/executor.h"
 #include "engine/report.h"
@@ -71,6 +73,15 @@ struct ExecContext {
   size_t batch_rows = kDefaultBatchRows;
   // Resolved worker count for this query (>= 1; 1 = the serial path).
   size_t query_threads = 1;
+  // Memory governance (owned by the Executor, outlives the tree). When
+  // `budget` is null or unlimited, breakers keep their in-memory fast
+  // paths; otherwise they reserve state bytes against it and spill through
+  // `spill` when a reservation fails.
+  common::MemoryBudget* budget = nullptr;
+  common::SpillManager* spill = nullptr;
+
+  // True when breakers must govern their state with the budget.
+  bool budgeted() const { return budget != nullptr && !budget->unlimited(); }
 };
 
 class BatchOperator {
@@ -150,13 +161,27 @@ class BatchOperator {
 
   bool parallel_drive() const { return parallel_drive_; }
 
-  // Pipeline breakers report the bytes of state they hold materialised.
-  // Called from Open/consume phases, which are single-threaded per
-  // operator, except Distinct's streaming NextImpl — which is only ever
-  // pulled serially — so no lock is needed.
+ public:
+  // Pipeline breakers report the bytes of state they hold materialised —
+  // on the budgeted path, the peak reserved bytes (recorded just before a
+  // spill releases them). Public so the spill helpers in breakers.cc can
+  // charge the operator they act for; concurrent consume-phase workers
+  // may call these, so updates take the stats lock.
   void RecordStateBytes(uint64_t bytes) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
     if (bytes > stats_.state_bytes) stats_.state_bytes = bytes;
   }
+  void RecordSpill(uint64_t bytes, uint64_t files) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.spilled_bytes += bytes;
+    stats_.spill_files += files;
+  }
+  void RecordPartitions(uint64_t count) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.partitions += count;
+  }
+
+ protected:
 
   void UpdateStats(const Result<bool>& produced, const Batch& batch,
                    double seconds) {
@@ -197,8 +222,16 @@ Result<BatchOperatorPtr> BuildOperatorTree(const PlanNode& plan,
 Result<storage::Table> DrainToTable(BatchOperator* op);
 
 // Receives drained batches: called concurrently from different workers,
-// but serially per worker id.
+// but serially per worker id. The seqs a given worker delivers are
+// strictly increasing (every parallel-safe source hands out morsels
+// through a monotone cursor and streaming operators preserve the seq of
+// the batch they forward), which is what makes per-worker watermarks
+// sound.
 using BatchSink = std::function<Status(size_t worker, Batch&& batch)>;
+
+// Invoked once when a worker's drive loop finishes cleanly (its seq
+// watermark becomes +infinity).
+using WorkerDone = std::function<void(size_t worker)>;
 
 // Morsel-driven drive loop: pulls `op` from `threads` concurrent workers
 // when it is parallel-safe (plain serial pull otherwise) and hands every
@@ -207,10 +240,15 @@ using BatchSink = std::function<Status(size_t worker, Batch&& batch)>;
 // batch.
 Status ParallelDrain(BatchOperator* op, size_t threads,
                      const BatchSink& sink);
+Status ParallelDrain(BatchOperator* op, size_t threads, const BatchSink& sink,
+                     const WorkerDone& done);
 
-// DrainToTable with a parallel drive loop: batches are collected
-// concurrently and reassembled in seq order, so the result is
-// byte-identical to the serial drain.
+// DrainToTable with a parallel drive loop: batches are reassembled in seq
+// order, so the result is byte-identical to the serial drain. Streaming
+// in-order flush: per-worker seq watermarks let every contiguous seq
+// prefix append to the result while the drain is still running, so the
+// transient buffering holds only out-of-order batches instead of the
+// whole input (~2× before).
 Result<storage::Table> DrainToTableOrdered(BatchOperator* op,
                                            size_t threads);
 

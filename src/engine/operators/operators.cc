@@ -385,6 +385,11 @@ Result<Table> DrainToTable(BatchOperator* op) {
 
 Status ParallelDrain(BatchOperator* op, size_t threads,
                      const BatchSink& sink) {
+  return ParallelDrain(op, threads, sink, nullptr);
+}
+
+Status ParallelDrain(BatchOperator* op, size_t threads, const BatchSink& sink,
+                     const WorkerDone& done) {
   if (threads <= 1 || !op->ParallelSafe()) {
     Batch batch;
     while (true) {
@@ -393,6 +398,7 @@ Status ParallelDrain(BatchOperator* op, size_t threads,
       LAZYETL_RETURN_NOT_OK(sink(0, std::move(batch)));
       batch = Batch();
     }
+    if (done) done(0);
     return Status::OK();
   }
 
@@ -408,7 +414,10 @@ Status ParallelDrain(BatchOperator* op, size_t threads,
         while (!failed.load(std::memory_order_relaxed)) {
           auto more = op->Next(&batch);
           Status st = more.ok() ? Status::OK() : more.status();
-          if (st.ok() && !*more) return;
+          if (st.ok() && !*more) {
+            if (done) done(worker);
+            return;
+          }
           if (st.ok()) {
             produced.fetch_add(1, std::memory_order_relaxed);
             st = sink(worker, std::move(batch));
@@ -435,36 +444,67 @@ Status ParallelDrain(BatchOperator* op, size_t threads,
   return Status::OK();
 }
 
-// Note: the parallel path retains every batch until the drain completes
-// (seqs can have gaps — a dropped morsel is indistinguishable from one
-// still in flight — so in-order streaming append would need per-worker
-// watermarks). Transient peak is therefore ~2× the drained bytes, same
-// order as the serial Sort's input+gather transient; see ROADMAP for the
-// watermark-based streaming merge.
+// Streaming in-order reassembly via per-worker seq watermarks. Seqs can
+// have gaps (a dropped morsel is indistinguishable from one still in
+// flight), but each worker delivers strictly increasing seqs, so any
+// batch with seq <= min over unfinished workers of (last seq delivered)
+// can never be preceded by a still-missing one: the contiguous prefix
+// appends to the result while the drain runs, and only out-of-order
+// batches are buffered (the old implementation held the entire input,
+// a transient ~2× of the drained bytes).
 Result<Table> DrainToTableOrdered(BatchOperator* op, size_t threads) {
   if (threads <= 1 || !op->ParallelSafe()) return DrainToTable(op);
 
+  constexpr int64_t kNoneDelivered = -1;
   std::mutex mu;
-  std::vector<Batch> collected;
-  LAZYETL_RETURN_NOT_OK(
-      ParallelDrain(op, threads, [&](size_t, Batch&& batch) {
-        std::lock_guard<std::mutex> lock(mu);
-        collected.push_back(std::move(batch));
-        return Status::OK();
-      }));
-  std::sort(collected.begin(), collected.end(),
-            [](const Batch& a, const Batch& b) { return a.seq < b.seq; });
-
+  std::map<uint64_t, Batch> pending;      // out-of-order batches, by seq
+  std::vector<int64_t> watermark(threads, kNoneDelivered);
+  std::vector<bool> finished(threads, false);
   Table result;
   bool first = true;
-  for (const Batch& batch : collected) {
-    if (first) {
-      result = batch.view.Materialize();
-      first = false;
-    } else {
-      LAZYETL_RETURN_NOT_OK(result.AppendSlice(batch.view));
+  Status append_error;
+
+  // Appends every pending batch at or below the current safe seq. Called
+  // under `mu`.
+  auto flush = [&]() {
+    int64_t safe = INT64_MAX;
+    for (size_t w = 0; w < threads; ++w) {
+      if (!finished[w]) safe = std::min(safe, watermark[w]);
     }
-  }
+    while (!pending.empty() &&
+           static_cast<int64_t>(pending.begin()->first) <= safe) {
+      const Batch& batch = pending.begin()->second;
+      if (first) {
+        result = batch.view.Materialize();
+        first = false;
+      } else {
+        Status st = result.AppendSlice(batch.view);
+        if (!st.ok() && append_error.ok()) append_error = st;
+      }
+      pending.erase(pending.begin());
+    }
+  };
+
+  LAZYETL_RETURN_NOT_OK(ParallelDrain(
+      op, threads,
+      [&](size_t worker, Batch&& batch) {
+        std::lock_guard<std::mutex> lock(mu);
+        watermark[worker] = static_cast<int64_t>(batch.seq);
+        pending.emplace(batch.seq, std::move(batch));
+        flush();
+        return append_error;
+      },
+      [&](size_t worker) {
+        std::lock_guard<std::mutex> lock(mu);
+        finished[worker] = true;
+        flush();
+      }));
+
+  // Whatever is still buffered (workers that errored out never finish;
+  // the schema-restoring batch arrives after the workers joined).
+  std::fill(finished.begin(), finished.end(), true);
+  flush();
+  LAZYETL_RETURN_NOT_OK(append_error);
   return result;
 }
 

@@ -1,0 +1,287 @@
+#include "engine/operators/spill_run.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <utility>
+
+#include "common/macros.h"
+#include "engine/operators/join_build.h"
+#include "engine/operators/operator.h"
+
+namespace lazyetl::engine {
+
+using storage::Column;
+using storage::DataType;
+using storage::SelectionVector;
+using storage::Table;
+
+int CompareColumnRows(const Column& a, size_t ar, const Column& b,
+                      size_t br) {
+  switch (a.type()) {
+    case DataType::kString: {
+      int cmp = a.string_data()[ar].compare(b.string_data()[br]);
+      return cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+    }
+    case DataType::kDouble: {
+      double va = a.double_data()[ar];
+      double vb = b.double_data()[br];
+      return va < vb ? -1 : (va > vb ? 1 : 0);
+    }
+    case DataType::kBool: {
+      int va = a.bool_data()[ar];
+      int vb = b.bool_data()[br];
+      return va < vb ? -1 : (va > vb ? 1 : 0);
+    }
+    case DataType::kInt32: {
+      int32_t va = a.int32_data()[ar];
+      int32_t vb = b.int32_data()[br];
+      return va < vb ? -1 : (va > vb ? 1 : 0);
+    }
+    default: {  // kInt64 / kTimestamp
+      int64_t va = a.int64_data()[ar];
+      int64_t vb = b.int64_data()[br];
+      return va < vb ? -1 : (va > vb ? 1 : 0);
+    }
+  }
+}
+
+size_t SpillPartitionOf(const std::string& key, size_t level, size_t fanout) {
+  uint64_t h = std::hash<std::string>{}(key);
+  h += 0x9E3779B97F4A7C15ull * (level + 1);
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  return static_cast<size_t>(h % fanout);
+}
+
+Table SortRunRows(const Table& table, size_t order_cols,
+                  const std::vector<bool>& ascending) {
+  const size_t n = table.num_rows();
+  const size_t first = table.num_columns() - order_cols;
+  SelectionVector idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t b) {
+    for (size_t k = 0; k < order_cols; ++k) {
+      const Column& c = table.column(first + k);
+      int cmp = CompareColumnRows(c, a, c, b);
+      if (cmp != 0) return ascending[k] ? cmp < 0 : cmp > 0;
+    }
+    return false;  // unreachable: the last order column is a unique tag
+  });
+  return table.Gather(idx);
+}
+
+Result<uint64_t> WriteRunFile(const Table& table, size_t frame_rows,
+                              common::SpillManager* spill,
+                              std::string* path_out) {
+  LAZYETL_ASSIGN_OR_RETURN(std::string path, spill->NewFilePath());
+  storage::SpillWriter writer;
+  LAZYETL_RETURN_NOT_OK(writer.Open(path, table.schema()));
+  const size_t n = table.num_rows();
+  const size_t step = std::max<size_t>(1, frame_rows);
+  for (size_t off = 0; off < n; off += step) {
+    LAZYETL_RETURN_NOT_OK(
+        writer.Append(table.Slice(off, std::min(step, n - off))));
+  }
+  LAZYETL_RETURN_NOT_OK(writer.Finish());
+  *path_out = path;
+  return writer.bytes_written();
+}
+
+Result<SpillWriterVec> OpenPartitionWriters(
+    size_t fanout, const storage::TableSchema& schema,
+    common::SpillManager* spill) {
+  SpillWriterVec writers;
+  for (size_t p = 0; p < fanout; ++p) {
+    LAZYETL_ASSIGN_OR_RETURN(std::string path, spill->NewFilePath());
+    auto writer = std::make_unique<storage::SpillWriter>();
+    LAZYETL_RETURN_NOT_OK(writer->Open(path, schema));
+    writers.push_back(std::move(writer));
+  }
+  return writers;
+}
+
+Result<std::vector<std::string>> SealPartitionWriters(
+    SpillWriterVec* writers, BatchOperator* op, common::SpillManager* spill) {
+  std::vector<std::string> paths;
+  for (auto& w : *writers) {
+    LAZYETL_RETURN_NOT_OK(w->Finish());
+    if (w->rows_written() == 0) {
+      // Empty partition: nothing to process, nothing worth counting.
+      spill->RemoveFile(w->path());
+      paths.push_back("");
+      continue;
+    }
+    op->RecordSpill(w->bytes_written(), 1);
+    paths.push_back(w->path());
+  }
+  writers->clear();
+  return paths;
+}
+
+Status PartitionTableToWriters(const Table& rows,
+                               const std::vector<size_t>& key_cols,
+                               size_t level, size_t frame_rows,
+                               SpillWriterVec* writers) {
+  const size_t fanout = writers->size();
+  std::vector<SelectionVector> sel(fanout);
+  std::string key;
+  for (size_t row = 0; row < rows.num_rows(); ++row) {
+    key.clear();
+    for (size_t c : key_cols) PackRowKey(rows.column(c), row, &key);
+    sel[SpillPartitionOf(key, level, fanout)].push_back(
+        static_cast<uint32_t>(row));
+  }
+  const size_t step = std::max<size_t>(1, frame_rows);
+  for (size_t p = 0; p < fanout; ++p) {
+    if (sel[p].empty()) continue;
+    Table part = rows.Gather(sel[p]);
+    for (size_t off = 0; off < part.num_rows(); off += step) {
+      LAZYETL_RETURN_NOT_OK((*writers)[p]->Append(
+          part.Slice(off, std::min(step, part.num_rows() - off))));
+    }
+  }
+  return Status::OK();
+}
+
+// Readers open lazily (in Advance), not here: a query can accumulate far
+// more runs than the fan-in cap, and eagerly holding a file handle plus a
+// decoded frame per run would defeat both the fd budget and the memory
+// budget before PrepareFanIn gets a chance to bound them.
+Status RunMerger::AddSpilledRun(const std::string& path) {
+  Run run;
+  run.path = path;
+  runs_.push_back(std::move(run));
+  return Status::OK();
+}
+
+void RunMerger::AddMemoryRun(Table table) {
+  Run run;
+  run.current = std::move(table);
+  run.done = run.current.num_rows() == 0;
+  if (!schema_known_ && run.current.num_columns() >= merge_cols()) {
+    payload_cols_ = run.current.num_columns() - order_cols_;
+    payload_schema_.assign(run.current.schema().begin(),
+                           run.current.schema().begin() + payload_cols_);
+    schema_known_ = true;
+  }
+  runs_.push_back(std::move(run));
+}
+
+Status RunMerger::PrepareFanIn() {
+  while (runs_.size() > kMaxFanIn) {
+    // Merge the first kMaxFanIn runs into one larger spilled run with the
+    // order columns preserved, then re-add it. Only the sub-merger's runs
+    // are open at any moment, so handles stay bounded by the fan-in.
+    RunMerger sub;
+    sub.order_cols_ = 0;  // emit all columns, order columns included
+    sub.asc_ = asc_;
+    sub.merge_cols_ = order_cols_;
+    sub.spill_ = spill_;
+    sub.prepared_ = true;  // already at fan-in
+    sub.runs_.assign(std::make_move_iterator(runs_.begin()),
+                     std::make_move_iterator(runs_.begin() + kMaxFanIn));
+    runs_.erase(runs_.begin(), runs_.begin() + kMaxFanIn);
+
+    storage::SpillWriter writer;
+    std::string path;
+    Table chunk;
+    while (true) {
+      LAZYETL_ASSIGN_OR_RETURN(bool more, sub.Next(4096, &chunk));
+      if (!more) break;
+      if (path.empty()) {  // schema known after the first merged chunk
+        LAZYETL_ASSIGN_OR_RETURN(path, spill_->NewFilePath());
+        LAZYETL_RETURN_NOT_OK(writer.Open(path, chunk.schema()));
+      }
+      LAZYETL_RETURN_NOT_OK(writer.Append(chunk.Slice(0, chunk.num_rows())));
+    }
+    if (path.empty()) continue;  // all merged runs were empty
+    LAZYETL_RETURN_NOT_OK(writer.Finish());
+    LAZYETL_RETURN_NOT_OK(AddSpilledRun(path));
+  }
+  return Status::OK();
+}
+
+Status RunMerger::Advance(Run* run) {
+  if (run->path.empty()) {  // memory run: one table, no refill
+    run->done = true;
+    return Status::OK();
+  }
+  if (run->reader == nullptr) {  // lazy first open
+    run->reader = std::make_unique<storage::SpillReader>();
+    LAZYETL_RETURN_NOT_OK(run->reader->Open(run->path));
+  }
+  run->cursor = 0;
+  while (true) {
+    auto more = run->reader->Next(&run->current);
+    if (!more.ok()) return more.status();
+    if (!*more) {
+      run->done = true;
+      run->current = Table();
+      run->reader.reset();
+      if (spill_ != nullptr) spill_->RemoveFile(run->path);
+      return Status::OK();
+    }
+    if (!schema_known_ && run->current.num_columns() >= merge_cols()) {
+      payload_cols_ = run->current.num_columns() - order_cols_;
+      payload_schema_.assign(run->current.schema().begin(),
+                             run->current.schema().begin() + payload_cols_);
+      schema_known_ = true;
+    }
+    if (run->current.num_rows() > 0) return Status::OK();
+  }
+}
+
+bool RunMerger::RowLess(const Run& a, const Run& b) const {
+  const size_t cols = merge_cols();
+  const size_t first = a.current.num_columns() - cols;
+  for (size_t k = 0; k < cols; ++k) {
+    int cmp = CompareColumnRows(a.current.column(first + k), a.cursor,
+                                b.current.column(first + k), b.cursor);
+    if (cmp != 0) return asc_[k] ? cmp < 0 : cmp > 0;
+  }
+  return false;
+}
+
+Result<bool> RunMerger::Next(size_t max_rows, Table* out) {
+  if (!prepared_) {
+    prepared_ = true;
+    LAZYETL_RETURN_NOT_OK(PrepareFanIn());
+  }
+  // Lazy opens: load the head frame of every run that does not have one
+  // yet (first call) or just exhausted its frame.
+  for (Run& run : runs_) {
+    if (!run.done && run.cursor >= run.current.num_rows()) {
+      LAZYETL_RETURN_NOT_OK(Advance(&run));
+    }
+  }
+  if (!schema_known_) return false;  // no run ever produced a frame
+  // Linear min-scan per row: run counts are small (bounded by kMaxFanIn),
+  // so a heap buys little.
+  Table result(payload_schema_);
+  size_t emitted = 0;
+  while (emitted < max_rows) {
+    Run* best = nullptr;
+    for (Run& run : runs_) {
+      if (run.cursor >= run.current.num_rows()) continue;
+      if (best == nullptr || RowLess(run, *best)) best = &run;
+    }
+    if (best == nullptr) break;
+    for (size_t c = 0; c < payload_cols_; ++c) {
+      LAZYETL_RETURN_NOT_OK(
+          result.column(c).AppendRange(best->current.column(c), best->cursor,
+                                       1));
+    }
+    ++emitted;
+    ++best->cursor;
+    if (best->cursor >= best->current.num_rows() && !best->done) {
+      LAZYETL_RETURN_NOT_OK(Advance(best));
+    }
+  }
+  if (emitted == 0) return false;
+  *out = std::move(result);
+  return true;
+}
+
+}  // namespace lazyetl::engine

@@ -31,6 +31,10 @@ std::string ExecutionReport::ToString() const {
   if (query_threads > 1) {
     os << "query threads: " << query_threads << "\n";
   }
+  if (memory_budget_bytes > 0) {
+    os << "memory budget: " << memory_budget_bytes << " B | spilled "
+       << spilled_bytes << " B in " << spill_files << " files\n";
+  }
   if (!operator_stats.empty()) {
     os << "--- operator pipeline ---\n";
     for (const auto& op : operator_stats) {
@@ -43,7 +47,16 @@ std::string ExecutionReport::ToString() const {
                     static_cast<unsigned long long>(op.peak_batch_bytes),
                     static_cast<unsigned long long>(op.state_bytes),
                     op.seconds * 1e3);
-      os << buf << "\n";
+      os << buf;
+      if (op.spilled_bytes > 0 || op.partitions > 0) {
+        std::snprintf(buf, sizeof(buf),
+                      " | spilled %llu B, %llu files, %llu partitions",
+                      static_cast<unsigned long long>(op.spilled_bytes),
+                      static_cast<unsigned long long>(op.spill_files),
+                      static_cast<unsigned long long>(op.partitions));
+        os << buf;
+      }
+      os << "\n";
     }
     os << "peak intermediate bytes: " << peak_intermediate_bytes << "\n";
   }

@@ -26,6 +26,12 @@ struct OperatorStats {
   uint64_t rows = 0;         // rows emitted
   uint64_t peak_batch_bytes = 0;  // largest single emitted batch
   uint64_t state_bytes = 0;  // materialised state (pipeline breakers)
+  // Memory governance: bytes spilled to disk when the operator's state
+  // exceeded the memory budget, the number of spill files written, and the
+  // number of Grace partitions processed (0 on the in-memory path).
+  uint64_t spilled_bytes = 0;
+  uint64_t spill_files = 0;
+  uint64_t partitions = 0;
   double seconds = 0;        // aggregate worker time inside Next()
 };
 
@@ -66,6 +72,11 @@ struct ExecutionReport {
   uint64_t peak_intermediate_bytes = 0;
   // Resolved worker count of the morsel-driven drive loop (1 = serial).
   uint64_t query_threads = 1;
+  // Memory governance: the resolved per-query budget (0 = unlimited) and
+  // spill totals summed over the pipeline's operators.
+  uint64_t memory_budget_bytes = 0;
+  uint64_t spilled_bytes = 0;
+  uint64_t spill_files = 0;
 
   // Phase timings in seconds.
   double parse_seconds = 0;

@@ -1,0 +1,278 @@
+#include "storage/spill_format.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace lazyetl::storage {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4C53504Cu;  // "LSPL"
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+void AppendRaw(std::string* out, const T* data, size_t count) {
+  out->append(reinterpret_cast<const char*>(data), count * sizeof(T));
+}
+
+Status ReadExact(const char* data, size_t size, size_t* offset, void* dst,
+                 size_t bytes, const char* what) {
+  if (*offset + bytes > size) {
+    return Status::CorruptData(std::string("spill frame truncated in ") +
+                               what);
+  }
+  std::memcpy(dst, data + *offset, bytes);
+  *offset += bytes;
+  return Status::OK();
+}
+
+}  // namespace
+
+void SerializeSlice(const TableSlice& slice, std::string* out) {
+  const size_t rows = slice.num_rows();
+  const size_t offset = slice.offset();
+  AppendU32(out, static_cast<uint32_t>(rows));
+  for (size_t c = 0; c < slice.num_columns(); ++c) {
+    const Column& col = slice.column(c);
+    switch (col.type()) {
+      case DataType::kBool:
+        AppendRaw(out, col.bool_data().data() + offset, rows);
+        break;
+      case DataType::kInt32:
+        AppendRaw(out, col.int32_data().data() + offset, rows);
+        break;
+      case DataType::kInt64:
+      case DataType::kTimestamp:
+        AppendRaw(out, col.int64_data().data() + offset, rows);
+        break;
+      case DataType::kDouble:
+        AppendRaw(out, col.double_data().data() + offset, rows);
+        break;
+      case DataType::kString: {
+        const auto& strings = col.string_data();
+        for (size_t r = 0; r < rows; ++r) {
+          const std::string& s = strings[offset + r];
+          AppendU32(out, static_cast<uint32_t>(s.size()));
+          out->append(s);
+        }
+        break;
+      }
+    }
+  }
+}
+
+Status DeserializeBatch(const char* data, size_t size, size_t* offset,
+                        const std::vector<DataType>& types,
+                        const std::vector<std::string>& names, Table* out) {
+  uint32_t rows = 0;
+  LAZYETL_RETURN_NOT_OK(
+      ReadExact(data, size, offset, &rows, sizeof(rows), "row count"));
+  Table result;
+  for (size_t c = 0; c < types.size(); ++c) {
+    Column col(types[c]);
+    switch (types[c]) {
+      case DataType::kBool: {
+        std::vector<uint8_t> v(rows);
+        LAZYETL_RETURN_NOT_OK(
+            ReadExact(data, size, offset, v.data(), rows, "bool column"));
+        col = Column::FromBool(std::move(v));
+        break;
+      }
+      case DataType::kInt32: {
+        std::vector<int32_t> v(rows);
+        LAZYETL_RETURN_NOT_OK(ReadExact(data, size, offset, v.data(),
+                                        rows * sizeof(int32_t),
+                                        "int32 column"));
+        col = Column::FromInt32(std::move(v));
+        break;
+      }
+      case DataType::kInt64:
+      case DataType::kTimestamp: {
+        std::vector<int64_t> v(rows);
+        LAZYETL_RETURN_NOT_OK(ReadExact(data, size, offset, v.data(),
+                                        rows * sizeof(int64_t),
+                                        "int64 column"));
+        col = types[c] == DataType::kInt64
+                  ? Column::FromInt64(std::move(v))
+                  : Column::FromTimestamp(std::move(v));
+        break;
+      }
+      case DataType::kDouble: {
+        std::vector<double> v(rows);
+        LAZYETL_RETURN_NOT_OK(ReadExact(data, size, offset, v.data(),
+                                        rows * sizeof(double),
+                                        "double column"));
+        col = Column::FromDouble(std::move(v));
+        break;
+      }
+      case DataType::kString: {
+        std::vector<std::string> v;
+        v.reserve(rows);
+        for (uint32_t r = 0; r < rows; ++r) {
+          uint32_t len = 0;
+          LAZYETL_RETURN_NOT_OK(ReadExact(data, size, offset, &len,
+                                          sizeof(len), "string length"));
+          if (*offset + len > size) {
+            return Status::CorruptData("spill frame truncated in string");
+          }
+          v.emplace_back(data + *offset, len);
+          *offset += len;
+        }
+        col = Column::FromString(std::move(v));
+        break;
+      }
+    }
+    LAZYETL_RETURN_NOT_OK(result.AddColumn(names[c], std::move(col)));
+  }
+  *out = std::move(result);
+  return Status::OK();
+}
+
+Status SpillWriter::Open(const std::string& path, const TableSchema& schema) {
+  path_ = path;
+  bytes_written_ = 0;
+  rows_written_ = 0;
+  out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!out_.is_open()) {
+    return Status::IOError("cannot open spill file " + path + " for writing");
+  }
+  pending_.clear();
+  AppendU32(&pending_, kMagic);
+  AppendU32(&pending_, static_cast<uint32_t>(schema.size()));
+  for (const ColumnSchema& col : schema) {
+    AppendU32(&pending_, static_cast<uint32_t>(col.name.size()));
+    pending_.append(col.name);
+    pending_.push_back(static_cast<char>(col.type));
+  }
+  return Status::OK();
+}
+
+Status SpillWriter::FlushPending() {
+  if (pending_.empty()) return Status::OK();
+  out_.write(pending_.data(), static_cast<std::streamsize>(pending_.size()));
+  if (!out_.good()) return Status::IOError("failed writing to " + path_);
+  pending_.clear();
+  return Status::OK();
+}
+
+Status SpillWriter::Append(const TableSlice& slice) {
+  size_t before = pending_.size();
+  SerializeSlice(slice, &pending_);
+  bytes_written_ += pending_.size() - before;
+  rows_written_ += slice.num_rows();
+  if (pending_.size() >= kWriteChunkBytes) return FlushPending();
+  return Status::OK();
+}
+
+Status SpillWriter::Finish() {
+  if (!out_.is_open()) return Status::OK();
+  LAZYETL_RETURN_NOT_OK(FlushPending());
+  out_.flush();
+  bool ok = out_.good();
+  out_.close();
+  if (!ok) return Status::IOError("failed flushing spill file " + path_);
+  return Status::OK();
+}
+
+Status SpillReader::Open(const std::string& path) {
+  path_ = path;
+  read_buf_.resize(64 * 1024);
+  in_.rdbuf()->pubsetbuf(read_buf_.data(),
+                         static_cast<std::streamsize>(read_buf_.size()));
+  in_.open(path, std::ios::binary);
+  if (!in_.is_open()) {
+    return Status::IOError("cannot open spill file " + path);
+  }
+  uint32_t magic = 0;
+  uint32_t cols = 0;
+  in_.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in_.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!in_.good() || magic != kMagic) {
+    return Status::CorruptData("bad spill file header in " + path);
+  }
+  schema_.clear();
+  types_.clear();
+  names_.clear();
+  for (uint32_t c = 0; c < cols; ++c) {
+    uint32_t len = 0;
+    in_.read(reinterpret_cast<char*>(&len), sizeof(len));
+    std::string name(len, '\0');
+    in_.read(name.data(), len);
+    char type = 0;
+    in_.read(&type, 1);
+    if (!in_.good()) {
+      return Status::CorruptData("truncated spill schema in " + path);
+    }
+    schema_.push_back({name, static_cast<DataType>(type)});
+    types_.push_back(static_cast<DataType>(type));
+    names_.push_back(std::move(name));
+  }
+  return Status::OK();
+}
+
+Result<bool> SpillReader::Next(Table* out) {
+  uint32_t rows = 0;
+  in_.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  if (in_.eof() && in_.gcount() == 0) return false;  // clean end of run
+  if (in_.gcount() != sizeof(rows)) {
+    return Status::CorruptData("truncated frame header in " + path_);
+  }
+
+  // Decode the frame through the shared parser: re-assemble the frame
+  // bytes (row count + payload) in the reusable buffer. The payload size
+  // of fixed-width columns is known; strings are read incrementally.
+  buffer_.clear();
+  AppendU32(&buffer_, rows);
+  for (DataType type : types_) {
+    size_t fixed = 0;
+    switch (type) {
+      case DataType::kBool:
+        fixed = rows;
+        break;
+      case DataType::kInt32:
+        fixed = rows * sizeof(int32_t);
+        break;
+      case DataType::kInt64:
+      case DataType::kTimestamp:
+        fixed = rows * sizeof(int64_t);
+        break;
+      case DataType::kDouble:
+        fixed = rows * sizeof(double);
+        break;
+      case DataType::kString: {
+        for (uint32_t r = 0; r < rows; ++r) {
+          uint32_t len = 0;
+          in_.read(reinterpret_cast<char*>(&len), sizeof(len));
+          if (in_.gcount() != sizeof(len)) {
+            return Status::CorruptData("truncated string length in " + path_);
+          }
+          size_t at = buffer_.size();
+          buffer_.resize(at + sizeof(len) + len);
+          std::memcpy(buffer_.data() + at, &len, sizeof(len));
+          in_.read(buffer_.data() + at + sizeof(len), len);
+          if (in_.gcount() != static_cast<std::streamsize>(len)) {
+            return Status::CorruptData("truncated string data in " + path_);
+          }
+        }
+        continue;
+      }
+    }
+    size_t at = buffer_.size();
+    buffer_.resize(at + fixed);
+    in_.read(buffer_.data() + at, static_cast<std::streamsize>(fixed));
+    if (in_.gcount() != static_cast<std::streamsize>(fixed)) {
+      return Status::CorruptData("truncated column data in " + path_);
+    }
+  }
+
+  size_t offset = 0;
+  LAZYETL_RETURN_NOT_OK(DeserializeBatch(buffer_.data(), buffer_.size(),
+                                         &offset, types_, names_, out));
+  return true;
+}
+
+}  // namespace lazyetl::storage

@@ -1,0 +1,98 @@
+// Compact on-disk run format for spilled intermediates.
+//
+// Pipeline breakers that exceed their memory budget spool TableSlice runs
+// to temp files and stream them back batch-at-a-time. The format is a
+// sequence of self-delimiting frames after a one-off schema header:
+//
+//   header:  u32 magic | u32 #columns | per column: u32 name-len, name
+//            bytes, u8 type
+//   frame:   u32 #rows | per column: raw fixed-width array (bool/i32/i64/
+//            timestamp/double) or, for strings, u32 length + bytes per row
+//
+// Values are written in host byte order — spill files are process-local
+// scratch, never interchange (persist.cc owns durable storage). A reader
+// returns one Table per frame, so replay memory is bounded by the largest
+// spilled batch regardless of run length.
+
+#ifndef LAZYETL_STORAGE_SPILL_FORMAT_H_
+#define LAZYETL_STORAGE_SPILL_FORMAT_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/slice.h"
+#include "storage/table.h"
+
+namespace lazyetl::storage {
+
+// Appends one frame encoding the viewed rows of `slice` to `out`.
+void SerializeSlice(const TableSlice& slice, std::string* out);
+
+// Parses the frame starting at `data + *offset` (schema known from the
+// header) into `*out` and advances *offset past it. `types` gives the
+// column type per frame column.
+Status DeserializeBatch(const char* data, size_t size, size_t* offset,
+                        const std::vector<DataType>& types,
+                        const std::vector<std::string>& names, Table* out);
+
+// Streaming writer for one run file. Append order is preserved exactly on
+// read-back.
+class SpillWriter {
+ public:
+  // Opens (truncates) `path` and writes the schema header.
+  Status Open(const std::string& path, const TableSchema& schema);
+
+  // Appends the viewed rows of `slice` as one frame. The slice must match
+  // the opened schema (arity and types).
+  Status Append(const TableSlice& slice);
+
+  // Flushes and closes; no further Append. Safe to call twice.
+  Status Finish();
+
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t rows_written() const { return rows_written_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  // Encoded frames accumulate here and hit the file in large chunks:
+  // spill workloads write many small frames across several partition
+  // files at once, and per-frame write() calls are brutally slow on some
+  // filesystems (journaled ext4 queues writeback per syscall).
+  static constexpr size_t kWriteChunkBytes = 64 * 1024;
+
+  Status FlushPending();
+
+  std::ofstream out_;
+  std::string path_;
+  std::string pending_;  // encoded-but-unwritten frames
+  uint64_t bytes_written_ = 0;
+  uint64_t rows_written_ = 0;
+};
+
+// Streaming reader over a run file written by SpillWriter: one Table per
+// Next call, frames in append order.
+class SpillReader {
+ public:
+  Status Open(const std::string& path);
+
+  const TableSchema& schema() const { return schema_; }
+
+  // Fills *out with the next frame; returns false at clean end-of-file.
+  Result<bool> Next(Table* out);
+
+ private:
+  std::ifstream in_;
+  std::string path_;
+  TableSchema schema_;
+  std::vector<DataType> types_;
+  std::vector<std::string> names_;
+  std::string buffer_;           // reused frame decoding scratch
+  std::vector<char> read_buf_;   // large stream buffer (fewer syscalls)
+};
+
+}  // namespace lazyetl::storage
+
+#endif  // LAZYETL_STORAGE_SPILL_FORMAT_H_

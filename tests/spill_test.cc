@@ -1,0 +1,431 @@
+// Memory-governed execution: with memory_budget_bytes set below a pipeline
+// breaker's state, Sort / Aggregate / Distinct / HashJoin spill to disk and
+// stream the state back — and the results stay identical to the unbudgeted
+// run across thread counts {1, 8} and batch sizes {1, 4096} (integers and
+// strings byte-identical; double SUM/AVG compared with the same tight
+// tolerance the parallel merge already requires). Also covers recursive
+// partition overflow, spill-file cleanup on success and on query error,
+// and the SpillManager's crash-orphan sweep.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/memory_budget.h"
+#include "common/spill.h"
+#include "core/warehouse.h"
+#include "engine/executor.h"
+#include "engine/planner.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "storage/catalog.h"
+#include "storage/spill_format.h"
+#include "test_util.h"
+#include "warehouse_test_util.h"
+
+namespace lazyetl::engine {
+namespace {
+
+namespace fs = std::filesystem;
+
+// This suite drives budgets explicitly: a suite-wide LAZYETL_MEMORY_BUDGET
+// (the CI spill job sets one) would corrupt the unbudgeted baselines.
+class ClearBudgetEnv : public ::testing::Environment {
+ public:
+  void SetUp() override { unsetenv("LAZYETL_MEMORY_BUDGET"); }
+};
+const auto* const kClearBudgetEnv =
+    ::testing::AddGlobalTestEnvironment(new ClearBudgetEnv);
+
+using storage::Catalog;
+using storage::Column;
+using storage::DataType;
+using storage::Table;
+
+const size_t kThreadCounts[] = {1, 8};
+const size_t kBatchSizes[] = {1, 4096};
+
+void ExpectTablesEqual(const Table& a, const Table& b,
+                       const std::string& context) {
+  ASSERT_EQ(a.num_columns(), b.num_columns()) << context;
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << context;
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    EXPECT_EQ(a.column_name(c), b.column_name(c)) << context;
+    EXPECT_EQ(a.schema()[c].type, b.schema()[c].type) << context;
+    for (size_t r = 0; r < a.num_rows(); ++r) {
+      const auto va = a.GetValue(r, c);
+      const auto vb = b.GetValue(r, c);
+      if (va.type() == DataType::kDouble) {
+        EXPECT_NEAR(va.double_value(), vb.double_value(),
+                    1e-9 * (1.0 + std::abs(va.double_value())))
+            << context << " row " << r << " col " << c;
+      } else {
+        EXPECT_TRUE(va.Equals(vb))
+            << context << " row " << r << " col " << c << ": "
+            << va.ToString() << " vs " << vb.ToString();
+      }
+    }
+  }
+}
+
+uint64_t SpilledBytesFor(const ExecutionReport& report,
+                         const std::string& op) {
+  uint64_t bytes = 0;
+  for (const auto& os : report.operator_stats) {
+    if (os.op == op) bytes += os.spilled_bytes;
+  }
+  return bytes;
+}
+
+uint64_t PartitionsFor(const ExecutionReport& report, const std::string& op) {
+  uint64_t parts = 0;
+  for (const auto& os : report.operator_stats) {
+    if (os.op == op) parts += os.partitions;
+  }
+  return parts;
+}
+
+uint64_t MaxStateBytesFor(const ExecutionReport& report,
+                          const std::string& op) {
+  uint64_t state = 0;
+  for (const auto& os : report.operator_stats) {
+    if (os.op == op) state = std::max(state, os.state_bytes);
+  }
+  return state;
+}
+
+class SpillTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    constexpr int kRows = 20000;
+    // Fact table: ~5000 distinct groups, wide-ranging int64, strings.
+    std::vector<std::string> grp;
+    std::vector<int64_t> i64;
+    std::vector<double> d;
+    std::vector<std::string> s;
+    std::vector<int64_t> k;
+    for (int i = 0; i < kRows; ++i) {
+      grp.push_back("g" + std::to_string(i % 5003));
+      i64.push_back((1LL << 40) * (i % 3 - 1) + i * 37 % 9973);
+      d.push_back(i * 0.25 - 100.0);
+      s.push_back("row" + std::to_string(i % 97));
+      k.push_back(i % 211);
+    }
+    auto big = std::make_shared<Table>();
+    ASSERT_STATUS_OK(big->AddColumn("grp", Column::FromString(grp)));
+    ASSERT_STATUS_OK(big->AddColumn("i64", Column::FromInt64(i64)));
+    ASSERT_STATUS_OK(big->AddColumn("d", Column::FromDouble(d)));
+    ASSERT_STATUS_OK(big->AddColumn("s", Column::FromString(s)));
+    ASSERT_STATUS_OK(big->AddColumn("k", Column::FromInt64(k)));
+    ASSERT_STATUS_OK(catalog_.RegisterTable("big", big));
+
+    // Dimension table joined through a view (the planner builds HashJoin
+    // with the view's root — the big table — as the build side).
+    std::vector<int64_t> dk;
+    std::vector<std::string> dname;
+    for (int i = 0; i < 211; ++i) {
+      dk.push_back(i);
+      dname.push_back("dim" + std::to_string(i));
+    }
+    auto dim = std::make_shared<Table>();
+    ASSERT_STATUS_OK(dim->AddColumn("k", Column::FromInt64(dk)));
+    ASSERT_STATUS_OK(dim->AddColumn("name", Column::FromString(dname)));
+    ASSERT_STATUS_OK(catalog_.RegisterTable("dim", dim));
+
+    storage::ViewDefinition view;
+    view.name = "jv";
+    view.root_table = "big";
+    view.joins.push_back({"dim", {{"big.k", "k"}}});
+    view.columns = {
+        {"B", "grp", "big", "grp"}, {"B", "i64", "big", "i64"},
+        {"B", "d", "big", "d"},     {"B", "s", "big", "s"},
+        {"B", "k", "big", "k"},     {"S", "name", "dim", "name"},
+        {"S", "k", "dim", "k"},
+    };
+    ASSERT_STATUS_OK(catalog_.RegisterView(std::move(view)));
+  }
+
+  Result<Table> Run(const std::string& sql, size_t batch_rows, size_t threads,
+                    uint64_t budget, ExecutionReport* report,
+                    const std::string& spill_dir = "") {
+    auto stmt = sql::Parse(sql);
+    if (!stmt.ok()) return stmt.status();
+    sql::Binder binder(&catalog_);
+    auto bound = binder.Bind(*stmt);
+    if (!bound.ok()) return bound.status();
+    Planner planner(&catalog_, {});
+    auto planned = planner.Plan(*bound);
+    if (!planned.ok()) return planned.status();
+    Executor executor(&catalog_, nullptr,
+                      {batch_rows, threads, budget, spill_dir});
+    return executor.Execute(*planned->plan, report);
+  }
+
+  // Budget parity: the budgeted run must reproduce the unbudgeted serial
+  // result at every thread count and batch size, and `op` must actually
+  // have spilled at the given budget (checked at batch 4096 — batch 1
+  // also spills, but asserting per-combination keeps failures readable).
+  void ExpectBudgetParity(const std::string& sql, uint64_t budget,
+                          const std::string& op) {
+    ExecutionReport baseline_report;
+    auto baseline = Run(sql, 4096, 1, 0, &baseline_report);
+    ASSERT_OK(baseline);
+    EXPECT_EQ(SpilledBytesFor(baseline_report, op), 0u)
+        << "unbudgeted run must not spill";
+    bool spilled_somewhere = false;
+    for (size_t batch : kBatchSizes) {
+      for (size_t threads : kThreadCounts) {
+        ExecutionReport report;
+        auto got = Run(sql, batch, threads, budget, &report);
+        ASSERT_OK(got);
+        std::string context = sql + " @batch=" + std::to_string(batch) +
+                              " threads=" + std::to_string(threads) +
+                              " budget=" + std::to_string(budget);
+        ExpectTablesEqual(*baseline, *got, context);
+        EXPECT_EQ(report.memory_budget_bytes, budget) << context;
+        if (SpilledBytesFor(report, op) > 0) spilled_somewhere = true;
+        // Resident state stays within the budget plus the one-batch floor
+        // (a single batch and its per-batch partial cannot be split, so
+        // no budget can undercut them).
+        EXPECT_LE(MaxStateBytesFor(report, op), budget + (1u << 20))
+            << context;
+      }
+    }
+    EXPECT_TRUE(spilled_somewhere)
+        << op << " never spilled at budget " << budget << " for: " << sql;
+  }
+
+  // Parity without requiring a spill (tiny states never overflow).
+  void ExpectBudgetParityNoSpill(const std::string& sql) {
+    ExecutionReport baseline_report;
+    auto baseline = Run(sql, 4096, 1, 0, &baseline_report);
+    ASSERT_OK(baseline);
+    for (size_t threads : kThreadCounts) {
+      ExecutionReport report;
+      auto got = Run(sql, 4096, threads, 50000, &report);
+      ASSERT_OK(got);
+      ExpectTablesEqual(*baseline, *got,
+                        sql + " threads=" + std::to_string(threads));
+    }
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(SpillTest, SortSpillsAndStaysExact) {
+  ExpectBudgetParity("SELECT i64, s FROM big ORDER BY i64 DESC, s", 64000,
+                     "Sort");
+  ExpectBudgetParity("SELECT grp, d FROM big ORDER BY grp", 64000, "Sort");
+}
+
+TEST_F(SpillTest, AggregateSpillsAndStaysExact) {
+  ExpectBudgetParity(
+      "SELECT grp, COUNT(*), SUM(i64), MIN(s), MAX(i64) FROM big "
+      "GROUP BY grp ORDER BY grp",
+      64000, "Aggregate");
+  ExpectBudgetParity("SELECT COUNT(*), SUM(i64), MIN(i64) FROM big", 1,
+                     "Aggregate");
+}
+
+TEST_F(SpillTest, DoubleAggregatesUnderBudget) {
+  // Double SUM/AVG re-associate across spill boundaries; ExpectTablesEqual
+  // compares them with the same tolerance the parallel merge requires.
+  ExpectBudgetParity(
+      "SELECT grp, AVG(d), SUM(d) FROM big GROUP BY grp ORDER BY grp", 64000,
+      "Aggregate");
+}
+
+TEST_F(SpillTest, DistinctSpillsAndStaysExact) {
+  ExpectBudgetParity("SELECT DISTINCT grp FROM big", 64000, "Distinct");
+  ExpectBudgetParity("SELECT DISTINCT grp, s FROM big ORDER BY grp", 100000,
+                     "Distinct");
+}
+
+TEST_F(SpillTest, HashJoinGoesGraceAndStaysExact) {
+  ExpectBudgetParity(
+      "SELECT B.grp, B.i64, S.name FROM jv WHERE B.i64 > 0 "
+      "ORDER BY B.i64, B.grp",
+      120000, "HashJoin");
+}
+
+TEST_F(SpillTest, HashJoinReportsPartitions) {
+  ExecutionReport report;
+  auto got = Run(
+      "SELECT B.i64, S.name FROM jv WHERE B.i64 > 0 ORDER BY B.i64, S.name",
+      4096, 1, 120000, &report);
+  ASSERT_OK(got);
+  EXPECT_GT(SpilledBytesFor(report, "HashJoin"), 0u);
+  EXPECT_GT(PartitionsFor(report, "HashJoin"), 0u);
+}
+
+TEST_F(SpillTest, ManyRunsExerciseMergeFanInCap) {
+  // Batch 1 at a ~2 KB budget spills a sorted run every few dozen rows —
+  // hundreds of runs, far past RunMerger::kMaxFanIn — so the multi-pass
+  // pre-merge must kick in and still reproduce the exact order.
+  const std::string sql = "SELECT i64, s FROM big ORDER BY i64, s";
+  ExecutionReport baseline_report;
+  auto baseline = Run(sql, 4096, 1, 0, &baseline_report);
+  ASSERT_OK(baseline);
+  ExecutionReport report;
+  auto got = Run(sql, 1, 1, 2000, &report);
+  ASSERT_OK(got);
+  ExpectTablesEqual(*baseline, *got, "fan-in cap");
+  uint64_t files = 0;
+  for (const auto& os : report.operator_stats) {
+    if (os.op == "Sort") files += os.spill_files;
+  }
+  EXPECT_GT(files, 64u) << "expected more runs than the merge fan-in cap";
+}
+
+TEST_F(SpillTest, RecursivePartitionOverflow) {
+  // ~5000 groups at a few-KB budget: level-1 partitions (fan-out 8) hold
+  // hundreds of groups each and must re-partition recursively.
+  const std::string sql =
+      "SELECT grp, COUNT(*) FROM big GROUP BY grp ORDER BY grp";
+  ExecutionReport baseline_report;
+  auto baseline = Run(sql, 4096, 1, 0, &baseline_report);
+  ASSERT_OK(baseline);
+  for (size_t threads : kThreadCounts) {
+    ExecutionReport report;
+    auto got = Run(sql, 4096, threads, 8000, &report);
+    ASSERT_OK(got);
+    std::string context = "recursive threads=" + std::to_string(threads);
+    ExpectTablesEqual(*baseline, *got, context);
+    // More partitions than one fan-out pass means recursion happened.
+    EXPECT_GT(PartitionsFor(report, "Aggregate"), 8u) << context;
+  }
+}
+
+TEST_F(SpillTest, EmptyResultsUnderBudget) {
+  ExpectBudgetParityNoSpill(
+      "SELECT i64, s FROM big WHERE i64 > 2000000000000 ORDER BY i64");
+  ExpectBudgetParityNoSpill(
+      "SELECT grp, COUNT(*) FROM big WHERE i64 > 2000000000000 GROUP BY grp");
+  ExpectBudgetParityNoSpill(
+      "SELECT DISTINCT s FROM big WHERE i64 > 2000000000000");
+  ExpectBudgetParityNoSpill(
+      "SELECT COUNT(*) FROM big WHERE i64 > 2000000000000");
+}
+
+TEST_F(SpillTest, SpillFilesCleanedUpOnSuccess) {
+  lazyetl::testing::ScopedTempDir dir;
+  ExecutionReport report;
+  auto got = Run("SELECT grp, COUNT(*) FROM big GROUP BY grp", 4096, 1, 32000,
+                 &report, dir.path());
+  ASSERT_OK(got);
+  EXPECT_GT(report.spilled_bytes, 0u);
+  // The query's spill directory (and every file in it) is gone.
+  size_t entries = 0;
+  for (auto it = fs::directory_iterator(dir.path());
+       it != fs::directory_iterator(); ++it) {
+    ++entries;
+  }
+  EXPECT_EQ(entries, 0u) << "spill dir not cleaned up";
+}
+
+TEST_F(SpillTest, SpillFilesCleanedUpOnQueryError) {
+  lazyetl::testing::ScopedTempDir dir;
+  // MIN(k) is 0 for group g0 (k = i % 211), so the projected division
+  // fails at emission — after the aggregate already spilled.
+  ExecutionReport report;
+  auto got = Run("SELECT grp, SUM(i64) / MIN(k) FROM big GROUP BY grp", 4096,
+                 1, 32000, &report, dir.path());
+  EXPECT_FALSE(got.ok());
+  size_t entries = 0;
+  for (auto it = fs::directory_iterator(dir.path());
+       it != fs::directory_iterator(); ++it) {
+    ++entries;
+  }
+  EXPECT_EQ(entries, 0u) << "spill dir not cleaned up after error";
+}
+
+TEST(SpillManagerTest, SweepsStaleDirectoriesOfDeadProcesses) {
+  lazyetl::testing::ScopedTempDir root;
+  // A directory left by a (guaranteed dead) pid far above pid_max.
+  fs::path stale = fs::path(root.path()) / "q999999999-0";
+  fs::create_directories(stale);
+  std::ofstream(stale / "0.run") << "orphan";
+  ASSERT_TRUE(fs::exists(stale));
+
+  common::SpillManager manager(root.path());
+  auto path = manager.NewFilePath();
+  ASSERT_OK(path);
+  EXPECT_FALSE(fs::exists(stale)) << "stale spill dir not swept";
+}
+
+TEST(SpillFormatTest, RoundTripsAllColumnTypes) {
+  Table t;
+  ASSERT_STATUS_OK(t.AddColumn("b", Column::FromBool({1, 0, 1})));
+  ASSERT_STATUS_OK(t.AddColumn("i32", Column::FromInt32({-1, 0, 7})));
+  ASSERT_STATUS_OK(t.AddColumn("i64", Column::FromInt64({1LL << 40, -5, 0})));
+  ASSERT_STATUS_OK(t.AddColumn("d", Column::FromDouble({0.5, -2.25, 1e300})));
+  ASSERT_STATUS_OK(t.AddColumn("s", Column::FromString({"", "abc", "xyz"})));
+  ASSERT_STATUS_OK(
+      t.AddColumn("ts", Column::FromTimestamp({123456789, 0, -1})));
+
+  lazyetl::testing::ScopedTempDir dir;
+  std::string path = (fs::path(dir.path()) / "run").string();
+  storage::SpillWriter writer;
+  ASSERT_STATUS_OK(writer.Open(path, t.schema()));
+  ASSERT_STATUS_OK(writer.Append(t.Slice(0, 2)));
+  ASSERT_STATUS_OK(writer.Append(t.Slice(2, 1)));
+  ASSERT_STATUS_OK(writer.Finish());
+
+  storage::SpillReader reader;
+  ASSERT_STATUS_OK(reader.Open(path));
+  Table frame;
+  auto more = reader.Next(&frame);
+  ASSERT_OK(more);
+  ASSERT_TRUE(*more);
+  ExpectTablesEqual(t.Slice(0, 2).Materialize(), frame, "frame 0");
+  more = reader.Next(&frame);
+  ASSERT_OK(more);
+  ASSERT_TRUE(*more);
+  ExpectTablesEqual(t.Slice(2, 1).Materialize(), frame, "frame 1");
+  more = reader.Next(&frame);
+  ASSERT_OK(more);
+  EXPECT_FALSE(*more);
+}
+
+// --- Warehouse-level budget parity (lazy extraction feeding breakers) -------
+
+TEST(SpillWarehouseTest, PaperQueriesUnderBudget) {
+  lazyetl::testing::ScopedTempDir repo;
+  auto cfg = lazyetl::testing::SmallRepoConfig();
+  cfg.num_days = 1;
+  lazyetl::testing::MustGenerate(repo.path(), cfg);
+
+  auto open = [&](uint64_t budget) {
+    core::WarehouseOptions options;
+    options.strategy = core::LoadStrategy::kLazy;
+    options.query_threads = 2;
+    options.memory_budget_bytes = budget;
+    options.enable_result_cache = false;
+    auto wh = core::Warehouse::Open(options);
+    EXPECT_TRUE(wh.ok()) << wh.status().ToString();
+    auto stats = (*wh)->AttachRepository(repo.path());
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    return std::move(*wh);
+  };
+
+  const char* sql =
+      "SELECT F.station, COUNT(*), MIN(D.sample_value), MAX(D.sample_value) "
+      "FROM mseed.dataview GROUP BY F.station ORDER BY F.station";
+  auto unbudgeted = open(0);
+  auto expected = unbudgeted->Query(sql);
+  ASSERT_OK(expected);
+  auto budgeted = open(20000);
+  auto got = budgeted->Query(sql);
+  ASSERT_OK(got);
+  ExpectTablesEqual(expected->table, got->table, "warehouse budget parity");
+  EXPECT_EQ(got->report.memory_budget_bytes, 20000u);
+}
+
+}  // namespace
+}  // namespace lazyetl::engine
