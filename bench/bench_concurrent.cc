@@ -1,0 +1,158 @@
+// Concurrent query serving: throughput and latency percentiles of one
+// shared Warehouse under 1/2/4/8 client threads.
+//
+// Two workloads:
+//   cache-hit  — the recycler is warmed once, every query is answered
+//                from cached records (the paper's steady serving state);
+//                per-query parallelism is pinned to 1 so the scaling
+//                measured is client concurrency, not morsel parallelism.
+//   mixed      — cold-ish mix of lazy extraction, group-bys and
+//                metadata-only browsing with a small record cache, so
+//                extraction, hydration checks and cache admission all
+//                contend.
+//
+// Reported counters per run: qps (queries/second across all clients),
+// p50_ms / p99_ms client-observed latency, and the mean queue wait the
+// scheduler imposed. The ISSUE acceptance bar — ≥2× throughput at 4
+// clients vs 1 on the cache-hit workload — reads directly off qps.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/time.h"
+
+namespace lazyetl::bench {
+namespace {
+
+const char* kServingWorkload[] = {kQ1, kQ2, kQBrowse};
+constexpr size_t kServingWorkloadSize = 3;
+
+struct ServingStats {
+  double qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double mean_queue_wait_ms = 0;
+};
+
+// Runs `clients` threads, each issuing `per_client` queries round-robin
+// over `workload`, and collects client-observed latencies.
+ServingStats DriveClients(core::Warehouse* wh, int clients, int per_client,
+                          const char* const* workload, size_t workload_size) {
+  std::vector<double> latencies(
+      static_cast<size_t>(clients) * per_client);
+  std::vector<double> waits(latencies.size());
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  Stopwatch wall;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = 0; i < per_client; ++i) {
+        const char* sql = workload[(i + c) % workload_size];
+        Stopwatch timer;
+        core::QueryResult result = MustQuery(wh, sql);
+        size_t slot = static_cast<size_t>(c) * per_client + i;
+        latencies[slot] = timer.ElapsedSeconds();
+        waits[slot] = result.report.queue_wait_seconds;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  double elapsed = wall.ElapsedSeconds();
+
+  std::sort(latencies.begin(), latencies.end());
+  ServingStats stats;
+  stats.qps = static_cast<double>(latencies.size()) / elapsed;
+  stats.p50_ms = latencies[latencies.size() / 2] * 1e3;
+  stats.p99_ms = latencies[latencies.size() * 99 / 100] * 1e3;
+  double wait_sum = 0;
+  for (double w : waits) wait_sum += w;
+  stats.mean_queue_wait_ms = wait_sum / waits.size() * 1e3;
+  return stats;
+}
+
+// Shared warm warehouse for the cache-hit workload, built once: the
+// recycler holds every record the workload touches, the result cache is
+// off so each query exercises the full execution path.
+core::Warehouse* WarmWarehouse() {
+  static core::Warehouse* wh = [] {
+    const BenchRepo& repo = GetRepo(2, 30.0);
+    core::WarehouseOptions options;
+    options.strategy = core::LoadStrategy::kLazy;
+    options.enable_result_cache = false;
+    options.extraction_threads = 1;
+    options.query_threads = 1;  // scaling under test = client concurrency
+    auto opened = core::Warehouse::Open(options);
+    if (!opened.ok()) std::abort();
+    auto wh_ptr = std::move(*opened);
+    if (!wh_ptr->AttachRepository(repo.root).ok()) std::abort();
+    for (const char* sql : kServingWorkload) (void)MustQuery(wh_ptr.get(), sql);
+    return wh_ptr.release();
+  }();
+  return wh;
+}
+
+void BM_Concurrent_CacheHit(benchmark::State& state) {
+  int clients = static_cast<int>(state.range(0));
+  core::Warehouse* wh = WarmWarehouse();
+  constexpr int kPerClient = 32;
+  ServingStats stats;
+  for (auto _ : state) {
+    stats = DriveClients(wh, clients, kPerClient, kServingWorkload,
+                         kServingWorkloadSize);
+  }
+  state.counters["clients"] = clients;
+  state.counters["qps"] = stats.qps;
+  state.counters["p50_ms"] = stats.p50_ms;
+  state.counters["p99_ms"] = stats.p99_ms;
+  state.counters["queue_wait_ms"] = stats.mean_queue_wait_ms;
+}
+
+void BM_Concurrent_Mixed(benchmark::State& state) {
+  int clients = static_cast<int>(state.range(0));
+  const BenchRepo& repo = GetRepo(2, 30.0);
+  // Fresh warehouse per run: a small record cache keeps extraction, cache
+  // admission and eviction all active throughout.
+  core::WarehouseOptions options;
+  options.strategy = core::LoadStrategy::kLazy;
+  options.enable_result_cache = false;
+  options.cache_budget_bytes = 256ULL << 10;
+  options.extraction_threads = 2;
+  options.query_threads = 1;
+  auto opened = core::Warehouse::Open(options);
+  if (!opened.ok()) std::abort();
+  auto wh = std::move(*opened);
+  if (!wh->AttachRepository(repo.root).ok()) std::abort();
+
+  constexpr int kPerClient = 16;
+  const char* workload[] = {kQ1, kQ2, kQBrowse, kQFull};
+  ServingStats stats;
+  for (auto _ : state) {
+    stats = DriveClients(wh.get(), clients, kPerClient, workload, 4);
+  }
+  state.counters["clients"] = clients;
+  state.counters["qps"] = stats.qps;
+  state.counters["p50_ms"] = stats.p50_ms;
+  state.counters["p99_ms"] = stats.p99_ms;
+  state.counters["queue_wait_ms"] = stats.mean_queue_wait_ms;
+}
+
+BENCHMARK(BM_Concurrent_CacheHit)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime()->MeasureProcessCPUTime();
+BENCHMARK(BM_Concurrent_Mixed)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime()->MeasureProcessCPUTime();
+
+}  // namespace
+}  // namespace lazyetl::bench
+
+BENCHMARK_MAIN();

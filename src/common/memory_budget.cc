@@ -35,6 +35,14 @@ void MemoryBudget::Release(uint64_t bytes) {
   if (parent_ != nullptr) parent_->Release(bytes);
 }
 
+uint64_t ResolvePerQueryBudgetBytes(uint64_t configured_bytes) {
+  if (configured_bytes != 0) return configured_bytes;
+  if (const char* env = std::getenv("LAZYETL_MEMORY_BUDGET")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 0;
+}
+
 MemoryBudget& MemoryBudget::Process() {
   // Intentionally leaked, like ThreadPool::Shared(): queries in flight at
   // process exit must not race static destruction.

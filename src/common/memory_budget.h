@@ -63,6 +63,12 @@ class MemoryBudget {
   std::atomic<uint64_t> peak_{0};
 };
 
+// The per-query budget fallback chain, owned here so the warehouse and the
+// standalone executor path cannot diverge: a non-zero configured value wins;
+// otherwise the LAZYETL_MEMORY_BUDGET environment variable; otherwise 0
+// (unlimited).
+uint64_t ResolvePerQueryBudgetBytes(uint64_t configured_bytes);
+
 // RAII charge against a budget: grows while state accumulates, releases on
 // destruction (operator Close or query teardown). Never over-charges: a
 // failed Grow leaves the held amount unchanged.

@@ -1,0 +1,81 @@
+#include "common/query_scheduler.h"
+
+#include "common/time.h"
+
+namespace lazyetl::common {
+
+QueryScheduler::QueryScheduler(size_t max_concurrent,
+                               uint64_t per_query_budget_bytes,
+                               MemoryBudget* global_budget)
+    : max_concurrent_(max_concurrent),
+      per_query_budget_bytes_(per_query_budget_bytes),
+      global_budget_(global_budget) {}
+
+QueryTicket QueryScheduler::Admit() {
+  Stopwatch wait;
+  QueryTicket ticket;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    uint64_t my_turn = next_ticket_++;
+    // Strict FIFO: wait both for a free slot and for every earlier arrival
+    // to have been served, so a long queue cannot be overtaken by a lucky
+    // late wakeup.
+    slot_free_.wait(lock, [&] {
+      return (max_concurrent_ == 0 || active_ < max_concurrent_) &&
+             my_turn == next_serving_;
+    });
+    ++next_serving_;
+    ++active_;
+    ++total_admitted_;
+    ticket.id_ = my_turn;
+    ticket.scheduler_ = this;
+    // Serving the next arrival may already be possible (slots > 1).
+    slot_free_.notify_all();
+  }
+  ticket.queue_wait_seconds_ = wait.ElapsedSeconds();
+
+  // Resolve the per-query cap: the configured per-query budget, or an
+  // equal carve of a finite global budget across the concurrency slots.
+  uint64_t limit = per_query_budget_bytes_;
+  uint64_t global_limit =
+      global_budget_ != nullptr ? global_budget_->limit() : 0;
+  if (limit == 0 && global_limit != 0 && max_concurrent_ > 0) {
+    limit = std::max<uint64_t>(1, global_limit / max_concurrent_);
+  }
+  ticket.admitted_budget_bytes_ = limit;
+  ticket.budget_ = std::make_unique<MemoryBudget>(limit, global_budget_);
+  return ticket;
+}
+
+void QueryScheduler::ReleaseSlot() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_;
+  }
+  slot_free_.notify_all();
+}
+
+uint64_t QueryScheduler::total_admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_admitted_;
+}
+
+size_t QueryScheduler::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+size_t QueryScheduler::waiting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<size_t>(next_ticket_ - next_serving_);
+}
+
+void QueryTicket::Release() {
+  if (scheduler_ == nullptr) return;
+  // Only the slot is released; the budget stays valid until the ticket is
+  // destroyed (it chains to the leaked process-global budget).
+  scheduler_->ReleaseSlot();
+  scheduler_ = nullptr;
+}
+
+}  // namespace lazyetl::common

@@ -1,0 +1,123 @@
+// QueryScheduler: admission control for concurrent query serving.
+//
+// A shared Warehouse may be driven by many Query() callers at once; the
+// scheduler bounds how many execute simultaneously and hands each admitted
+// query a memory budget carved from the process-global MemoryBudget, so
+// pipeline-breaker state, recycler admissions and extraction windows of
+// every in-flight query draw from one cap.
+//
+// Admission is strict FIFO: at most `max_concurrent` tickets are
+// outstanding; callers beyond that block in arrival order. A QueryTicket
+// is RAII — destroying it (query done, success or error) admits the next
+// waiter. `max_concurrent` = 0 disables the bound (every caller is
+// admitted immediately), which keeps single-client embedding free of any
+// scheduling overhead beyond one uncontended mutex.
+
+#ifndef LAZYETL_COMMON_QUERY_SCHEDULER_H_
+#define LAZYETL_COMMON_QUERY_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "common/memory_budget.h"
+
+namespace lazyetl::common {
+
+class QueryScheduler;
+
+// One admitted query's scheduling state: its ticket id (process-unique,
+// also used to label spill directories), how long it waited in the FIFO
+// queue, and the per-query MemoryBudget the scheduler carved for it
+// (chained to the global budget). Move-only RAII: destruction releases
+// the concurrency slot.
+class QueryTicket {
+ public:
+  QueryTicket() = default;
+  ~QueryTicket() { Release(); }
+
+  QueryTicket(const QueryTicket&) = delete;
+  QueryTicket& operator=(const QueryTicket&) = delete;
+  QueryTicket(QueryTicket&& other) noexcept { *this = std::move(other); }
+  QueryTicket& operator=(QueryTicket&& other) noexcept {
+    if (this != &other) {
+      Release();
+      scheduler_ = other.scheduler_;
+      id_ = other.id_;
+      queue_wait_seconds_ = other.queue_wait_seconds_;
+      admitted_budget_bytes_ = other.admitted_budget_bytes_;
+      budget_ = std::move(other.budget_);
+      other.scheduler_ = nullptr;
+    }
+    return *this;
+  }
+
+  // Releases the slot early (before destruction); idempotent.
+  void Release();
+
+  uint64_t id() const { return id_; }
+  double queue_wait_seconds() const { return queue_wait_seconds_; }
+  // The per-query cap the scheduler resolved (0 = unlimited).
+  uint64_t admitted_budget_bytes() const { return admitted_budget_bytes_; }
+  // The per-query budget, chained to the global budget. Null only on a
+  // default-constructed (empty) ticket.
+  MemoryBudget* budget() { return budget_.get(); }
+
+ private:
+  friend class QueryScheduler;
+
+  QueryScheduler* scheduler_ = nullptr;
+  uint64_t id_ = 0;
+  double queue_wait_seconds_ = 0;
+  uint64_t admitted_budget_bytes_ = 0;
+  std::unique_ptr<MemoryBudget> budget_;
+};
+
+class QueryScheduler {
+ public:
+  // `max_concurrent` = 0 means unbounded. `per_query_budget_bytes` is the
+  // configured per-query cap (0 = unlimited); when it is unlimited but the
+  // global budget is finite and the scheduler is bounded, each admitted
+  // query instead gets an equal share (global limit / max_concurrent) so
+  // the global cap is never oversubscribed by design. Either way the
+  // per-query budget chains to `global_budget`, so global pressure is
+  // enforced even for mis-estimated shares.
+  QueryScheduler(size_t max_concurrent, uint64_t per_query_budget_bytes,
+                 MemoryBudget* global_budget);
+
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  // Blocks until a concurrency slot is free (strict arrival order) and
+  // returns the admission ticket.
+  QueryTicket Admit();
+
+  size_t max_concurrent() const { return max_concurrent_; }
+
+  // Observability: total admissions and the number of callers currently
+  // inside / queued (racy snapshots, for reporting only).
+  uint64_t total_admitted() const;
+  size_t active() const;
+  size_t waiting() const;
+
+ private:
+  friend class QueryTicket;
+
+  void ReleaseSlot();
+
+  const size_t max_concurrent_;
+  const uint64_t per_query_budget_bytes_;
+  MemoryBudget* const global_budget_;
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_free_;
+  uint64_t next_ticket_ = 1;   // arrival order (and ticket ids)
+  uint64_t next_serving_ = 1;  // the arrival allowed to take the next slot
+  size_t active_ = 0;
+  uint64_t total_admitted_ = 0;
+};
+
+}  // namespace lazyetl::common
+
+#endif  // LAZYETL_COMMON_QUERY_SCHEDULER_H_

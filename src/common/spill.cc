@@ -42,7 +42,8 @@ bool ParseSpillDirName(const std::string& name, long* pid) {
 
 }  // namespace
 
-SpillManager::SpillManager(std::string root) : root_(std::move(root)) {
+SpillManager::SpillManager(std::string root, uint64_t ticket_id)
+    : root_(std::move(root)), ticket_id_(ticket_id) {
   if (root_.empty()) {
     if (const char* env = std::getenv("LAZYETL_SPILL_DIR")) root_ = env;
   }
@@ -78,10 +79,14 @@ Status SpillManager::EnsureDir() {
     fs::remove_all(it->path(), rm_ec);
   }
 
-  // A process-wide counter keeps concurrent queries (several managers in
-  // one process) in distinct directories.
+  // The query ticket id plus a process-wide counter keep concurrent
+  // queries (several managers in one process) in distinct, attributable
+  // directories: "q<pid>-t<ticket>-<n>". The sweep above only parses the
+  // pid, so old-format directories from earlier versions are reclaimed
+  // too.
   static std::atomic<uint64_t> next_dir{0};
-  std::string name = std::string(1, kDirPrefix) + std::to_string(self) + "-" +
+  std::string name = std::string(1, kDirPrefix) + std::to_string(self) +
+                     "-t" + std::to_string(ticket_id_) + "-" +
                      std::to_string(next_dir.fetch_add(1));
   fs::path dir = fs::path(root_) / name;
   fs::create_directories(dir, ec);

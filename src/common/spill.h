@@ -25,9 +25,12 @@ namespace lazyetl::common {
 class SpillManager {
  public:
   // `root` = "" uses LAZYETL_SPILL_DIR if set, else <system temp>/
-  // lazyetl-spill. Nothing touches the filesystem until the first
-  // NewFilePath call.
-  explicit SpillManager(std::string root = "");
+  // lazyetl-spill. `ticket_id` is the owning query's scheduler ticket
+  // (0 for standalone executors); it is embedded in the directory name so
+  // concurrent queries in one process are attributable and can never
+  // collide. Nothing touches the filesystem until the first NewFilePath
+  // call.
+  explicit SpillManager(std::string root = "", uint64_t ticket_id = 0);
   ~SpillManager();
 
   SpillManager(const SpillManager&) = delete;
@@ -54,6 +57,7 @@ class SpillManager {
   Status EnsureDir();
 
   std::string root_;
+  uint64_t ticket_id_ = 0;
   std::string dir_;
   std::mutex mu_;
   uint64_t next_file_ = 0;

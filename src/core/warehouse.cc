@@ -1,22 +1,27 @@
 #include "core/warehouse.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <deque>
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <unordered_set>
+#include <utility>
 
 #include "common/log.h"
 #include "common/macros.h"
+#include "common/memory_budget.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "core/etl.h"
 #include "core/schema.h"
 #include "engine/expr_eval.h"
 #include "engine/planner.h"
+#include "engine/query_context.h"
 #include "mseed/dataless.h"
 #include "mseed/repository.h"
 #include "sql/binder.h"
@@ -49,25 +54,80 @@ const char* LoadStrategyToString(LoadStrategy s) {
 }
 
 // ---------------------------------------------------------------------------
+// CatalogWriter: copy-on-write sessions over catalog tables.
+//
+// Every mutation of a published table (hydration appending R rows, refresh
+// removing a modified file's rows, eager loading) stages its changes in a
+// private clone and publishes the clones atomically per table. Executing
+// queries keep scanning the snapshot they grabbed at operator-build time —
+// the reason concurrent Query() needs no global lock around execution.
+// Sessions must run under an exclusive meta_mu_ so two writers never race
+// on clone-modify-publish.
+// ---------------------------------------------------------------------------
+
+class Warehouse::CatalogWriter {
+ public:
+  explicit CatalogWriter(storage::Catalog* catalog) : catalog_(catalog) {}
+
+  // A session that errors out mid-way still publishes what it staged:
+  // registry entries (FileEntry.hydrated, metadata, tombstones) are
+  // mutated in place as each file is processed, so discarding the staged
+  // rows would desynchronize registry and catalog permanently — e.g. a
+  // file marked hydrated whose R rows were thrown away. Per-file failures
+  // happen before that file's table mutations (the I/O comes first), so
+  // the published state matches exactly what the pre-COW in-place code
+  // left behind on the same error.
+  ~CatalogWriter() { Publish(); }
+
+  // Clone-on-first-use mutable copy of table `name`; one clone per session
+  // no matter how many files touch it.
+  Result<Table*> Mutable(const std::string& name) {
+    auto it = copies_.find(name);
+    if (it != copies_.end()) return it->second.get();
+    LAZYETL_ASSIGN_OR_RETURN(TablePtr current, catalog_->GetTable(name));
+    auto copy = std::make_shared<Table>(*current);
+    Table* raw = copy.get();
+    copies_[name] = std::move(copy);
+    return raw;
+  }
+
+  // Swaps every staged clone into the catalog.
+  void Publish() {
+    for (auto& [name, table] : copies_) catalog_->PutTable(name, table);
+    copies_.clear();
+  }
+
+ private:
+  storage::Catalog* catalog_;
+  std::map<std::string, TablePtr> copies_;
+};
+
+// ---------------------------------------------------------------------------
 // WarehouseDataProvider: serves actual data at query time from the recycler
-// cache or by extracting records from the source files (§3.1/§3.3). The
-// streaming interface emits the records file-by-file in batch-sized chunks,
+// cache or by extracting records from the source files (§3.1/§3.3). One
+// provider exists per query (it carries the query's result-cache
+// dependencies and its memory budget); the warehouse state it touches is
+// synchronized behind meta_mu_ and the caches' own locks. The streaming
+// interface emits the records file-by-file in batch-sized chunks,
 // extracting a window of extraction_threads files at a time, so peak
-// extracted-but-unconsumed memory is bounded by the window — never the whole
-// qualifying set.
+// extracted-but-unconsumed memory is bounded by the window — never the
+// whole qualifying set. The window's estimated bytes are charged to the
+// query's MemoryBudget, so lazy extraction and pipeline-breaker state draw
+// from the same cap (one resident file is the floor no budget undercuts).
 // ---------------------------------------------------------------------------
 
 class WarehouseRecordStream;
 
 class WarehouseDataProvider : public engine::LazyDataProvider {
  public:
-  explicit WarehouseDataProvider(Warehouse* warehouse)
-      : warehouse_(warehouse) {}
-
-  // Called by Warehouse at the start of every query.
-  void BeginQuery() { deps_.clear(); }
+  WarehouseDataProvider(Warehouse* warehouse, engine::QueryContext* qctx)
+      : warehouse_(warehouse), qctx_(qctx) {}
 
   const std::vector<engine::ResultDependency>& deps() const { return deps_; }
+
+  common::MemoryBudget* query_budget() {
+    return qctx_ != nullptr ? qctx_->budget() : nullptr;
+  }
 
   Result<Table> FetchRecords(const std::vector<RecordKey>& keys,
                              const std::vector<ScanColumn>& columns,
@@ -104,8 +164,11 @@ class WarehouseDataProvider : public engine::LazyDataProvider {
 
   // One file's worth of pending extraction: which records to decode and,
   // after RunExtractionJobs, their transformed samples (or the error).
+  // Holds an immutable metadata snapshot, so a concurrent re-hydration of
+  // the same file (another query's lazy refresh) never races the decode.
   struct ExtractJob {
-    Warehouse::FileEntry* entry = nullptr;
+    std::shared_ptr<const mseed::FileMetadata> metadata;
+    std::string path;
     int64_t file_id = 0;
     NanoTime mtime = 0;
     std::vector<size_t> record_indexes;  // sorted by file offset
@@ -126,6 +189,7 @@ class WarehouseDataProvider : public engine::LazyDataProvider {
   Result<std::vector<RecordKey>> AllRecordKeys(ExecutionReport* report);
 
   Warehouse* warehouse_;
+  engine::QueryContext* qctx_;
   std::vector<engine::ResultDependency> deps_;
 };
 
@@ -141,7 +205,10 @@ class WarehouseRecordStream : public engine::RecordStream {
 
   // The summary lines of the run-time rewrite are flushed when the stream
   // is drained; if a consumer stops early (LIMIT), flush what happened.
-  ~WarehouseRecordStream() override { FlushSummary(); }
+  ~WarehouseRecordStream() override {
+    FlushSummary();
+    ReleaseWindowBytes(outstanding_);
+  }
 
   Result<bool> Next(Table* out) override;
 
@@ -151,6 +218,13 @@ class WarehouseRecordStream : public engine::RecordStream {
     int64_t fid = 0;
     NanoTime mtime = 0;
     std::vector<int64_t> seqs;  // requested records, in request order
+  };
+
+  // An assembled per-file table waiting to be chunk-emitted, plus the
+  // window bytes it holds reserved on the query budget.
+  struct ReadyTable {
+    Table table;
+    uint64_t reserved = 0;
   };
 
   WarehouseRecordStream(WarehouseDataProvider* provider,
@@ -165,6 +239,14 @@ class WarehouseRecordStream : public engine::RecordStream {
   // their assembled tables onto ready_.
   Status AdvanceWindow();
 
+  void ReleaseWindowBytes(uint64_t bytes) {
+    if (bytes == 0) return;
+    if (common::MemoryBudget* budget = provider_->query_budget()) {
+      budget->Release(bytes);
+    }
+    outstanding_ -= bytes;
+  }
+
   void FlushSummary();
 
   WarehouseDataProvider* provider_;
@@ -174,10 +256,12 @@ class WarehouseRecordStream : public engine::RecordStream {
 
   std::vector<FileRequest> files_;
   size_t next_file_ = 0;          // next file not yet cache-passed
-  std::deque<Table> ready_;       // assembled per-file tables, fid order
+  std::deque<ReadyTable> ready_;  // assembled per-file tables, fid order
   Table current_;                 // file table being chunk-emitted
+  uint64_t current_reserved_ = 0;
   size_t current_offset_ = 0;
   bool current_active_ = false;
+  uint64_t outstanding_ = 0;      // reserved window bytes not yet released
 
   uint64_t total_hits_ = 0;
   std::vector<std::string> extracted_desc_;
@@ -187,8 +271,8 @@ class WarehouseRecordStream : public engine::RecordStream {
 
 Status WarehouseDataProvider::RunExtractionJobs(std::vector<ExtractJob>* jobs) {
   auto run_one = [](ExtractJob* job) {
-    auto samples = mseed::ReadSelectedRecords(job->entry->metadata,
-                                              job->record_indexes);
+    auto samples =
+        mseed::ReadSelectedRecords(*job->metadata, job->record_indexes);
     if (!samples.ok()) {
       job->status = samples.status();
       return;
@@ -196,12 +280,11 @@ Status WarehouseDataProvider::RunExtractionJobs(std::vector<ExtractJob>* jobs) {
     job->results.reserve(job->record_indexes.size());
     for (size_t i = 0; i < job->record_indexes.size(); ++i) {
       const mseed::RecordInfo& info =
-          job->entry->metadata.records[job->record_indexes[i]];
+          job->metadata->records[job->record_indexes[i]];
       auto transformed = TransformRecord(info.header, (*samples)[i]);
       if (!transformed.ok()) {
         job->status = transformed.status().WithContext(
-            "record " + std::to_string(job->seq_nos[i]) + " of " +
-            job->entry->path);
+            "record " + std::to_string(job->seq_nos[i]) + " of " + job->path);
         return;
       }
       job->results.push_back(std::move(*transformed));
@@ -269,44 +352,99 @@ Result<std::unique_ptr<engine::RecordStream>> WarehouseRecordStream::Create(
   std::map<int64_t, std::vector<int64_t>> by_file;
   for (const auto& k : keys) by_file[k.file_id].push_back(k.seq_no);
 
-  for (auto& [fid, seqs] : by_file) {
-    if (fid < 1 || static_cast<size_t>(fid) > warehouse->files_.size()) {
-      return Status::ExecutionError("unknown file_id " + std::to_string(fid));
+  // Pass 1 (shared lock): snapshot each requested file's registry state.
+  struct Checked {
+    int64_t fid = 0;
+    std::string path;
+    NanoTime entry_mtime = 0;
+    bool hydrated = false;
+  };
+  std::vector<Checked> checks;
+  checks.reserve(by_file.size());
+  {
+    std::shared_lock lock(warehouse->meta_mu_);
+    for (const auto& [fid, seqs] : by_file) {
+      if (fid < 1 || static_cast<size_t>(fid) > warehouse->files_.size() ||
+          warehouse->files_[fid - 1].file_id == 0) {
+        return Status::ExecutionError("unknown file_id " +
+                                      std::to_string(fid));
+      }
+      const Warehouse::FileEntry& entry = warehouse->files_[fid - 1];
+      checks.push_back({fid, entry.path, entry.mtime, entry.hydrated});
     }
-    Warehouse::FileEntry& entry = warehouse->files_[fid - 1];
-    NanoTime mtime = warehouse->CurrentMtime(entry.path);
+  }
+
+  // Pass 2 (no lock): stat the files and decide which need a fix-up.
+  std::vector<int64_t> fix;
+  for (const Checked& c : checks) {
+    NanoTime mtime = warehouse->CurrentMtime(c.path);
     if (mtime < 0) {
       return Status::NotFound("source file disappeared during query: " +
-                              entry.path);
+                              c.path);
     }
-    provider->deps_.push_back({fid, entry.path, mtime});
+    if (mtime != c.entry_mtime || !c.hydrated) fix.push_back(c.fid);
+  }
 
-    // Lazy refresh (§3.3): the file changed since its metadata was loaded
-    // — re-scan its control headers and invalidate its cache entries before
-    // extracting.
-    if (mtime != entry.mtime || !entry.hydrated) {
+  // Pass 3 (exclusive lock, only when needed): lazy refresh (§3.3) — a
+  // requested file changed since its metadata was loaded, or was never
+  // hydrated (filename-only loading). Re-checked under the lock: another
+  // query may have fixed it meanwhile.
+  if (!fix.empty()) {
+    std::unique_lock lock(warehouse->meta_mu_);
+    Warehouse::CatalogWriter writer(warehouse->catalog_.get());
+    for (int64_t fid : fix) {
+      Warehouse::FileEntry& entry = warehouse->files_[fid - 1];
+      if (entry.file_id == 0) {
+        return Status::NotFound("source file disappeared during query: " +
+                                entry.path);
+      }
+      NanoTime mtime = warehouse->CurrentMtime(entry.path);
+      if (mtime < 0) {
+        return Status::NotFound("source file disappeared during query: " +
+                                entry.path);
+      }
       if (mtime != entry.mtime && entry.hydrated) {
         LogOp(LogCategory::kRefresh,
               "lazy refresh: " + entry.path +
                   " was modified; re-loading its metadata");
         warehouse->recycler_->InvalidateFile(fid);
-        LAZYETL_ASSIGN_OR_RETURN(TablePtr records, warehouse->RecordsTable());
+        LAZYETL_ASSIGN_OR_RETURN(Table * records,
+                                 writer.Mutable(kRecordsTable));
         LAZYETL_ASSIGN_OR_RETURN(size_t removed,
-                                 RemoveFileRows(records.get(), fid));
+                                 RemoveFileRows(records, fid));
         (void)removed;
         entry.hydrated = false;
       }
-      uint64_t bytes = 0;
-      LAZYETL_RETURN_NOT_OK(warehouse->HydrateFile(&entry, &bytes));
-      report->bytes_read += bytes;
-      warehouse->result_recycler_->Clear();
+      if (!entry.hydrated) {
+        uint64_t bytes = 0;
+        LAZYETL_RETURN_NOT_OK(
+            warehouse->HydrateFileLocked(&entry, &writer, &bytes));
+        report->bytes_read += bytes;
+      }
     }
+    writer.Publish();
+  }
 
-    FileRequest fr;
-    fr.fid = fid;
-    fr.mtime = mtime;
-    fr.seqs = std::move(seqs);
-    stream->files_.push_back(std::move(fr));
+  // Pass 4 (shared lock): record dependencies and build the per-file
+  // requests against the (now current) registry state. A file tombstoned
+  // by a concurrent Refresh since pass 1 fails here the same way it would
+  // have failed in any earlier pass — never a silent zero-row result.
+  {
+    std::shared_lock lock(warehouse->meta_mu_);
+    for (auto& [fid, seqs] : by_file) {
+      const Warehouse::FileEntry& entry = warehouse->files_[fid - 1];
+      if (entry.file_id == 0) {
+        return Status::NotFound(
+            "source file disappeared during query: file_id " +
+            std::to_string(fid));
+      }
+      provider->deps_.push_back({fid, entry.path, entry.mtime});
+      FileRequest fr;
+      fr.fid = fid;
+      fr.mtime = entry.mtime;
+      fr.seqs = std::move(seqs);
+      stream->files_.push_back(std::move(fr));
+    }
   }
   return std::unique_ptr<engine::RecordStream>(std::move(stream));
 }
@@ -316,89 +454,137 @@ Status WarehouseRecordStream::AdvanceWindow() {
   Warehouse* warehouse = provider_->warehouse_;
   unsigned threads =
       std::max(1u, warehouse->options().extraction_threads);
+  common::MemoryBudget* budget = provider_->query_budget();
 
   // One window of files: cache lookups now, extraction jobs for the
   // misses. The window closes once it holds `threads` extraction jobs (or
   // a multiple of that in cache-only files), so extraction parallelism is
   // preserved while extracted-but-unconsumed data stays bounded by the
-  // window instead of the whole qualifying set.
+  // window instead of the whole qualifying set. The window's estimated
+  // decoded bytes are additionally charged to the query's memory budget:
+  // under pressure the window shrinks (down to a one-file floor), so lazy
+  // ETL honours the same cap as pipeline-breaker state. Registry state is
+  // only read under the shared lock; the extraction I/O below runs on
+  // immutable metadata snapshots outside it.
   struct PendingFile {
     const FileRequest* request = nullptr;
     std::map<int64_t, TransformedRecord> staged;  // cache hits by seq_no
     int job_index = -1;
+    uint64_t reserved = 0;  // window bytes charged for this file
   };
   std::vector<PendingFile> window;
   std::vector<ExtractJob> jobs;
 
-  while (next_file_ < files_.size() && jobs.size() < threads &&
-         window.size() < static_cast<size_t>(threads) * 4) {
-    FileRequest& fr = files_[next_file_++];
-    Warehouse::FileEntry& entry = warehouse->files_[fr.fid - 1];
-    PendingFile pending;
-    pending.request = &fr;
+  {
+    std::shared_lock lock(warehouse->meta_mu_);
+    while (next_file_ < files_.size() && jobs.size() < threads &&
+           window.size() < static_cast<size_t>(threads) * 4) {
+      FileRequest& fr = files_[next_file_];
+      const Warehouse::FileEntry& entry = warehouse->files_[fr.fid - 1];
+      if (entry.file_id == 0) {
+        // Tombstoned by a concurrent Refresh since stream creation: fail
+        // like every earlier validation pass — never a silent partial
+        // result.
+        return Status::NotFound(
+            "source file disappeared during query: file_id " +
+            std::to_string(fr.fid));
+      }
 
-    // Cache lookups first; misses become one extraction job per file.
-    std::vector<int64_t> to_extract;
-    for (int64_t seq : fr.seqs) {
-      bool stale = false;
-      const CachedRecord* hit =
-          warehouse->recycler_->Lookup({fr.fid, seq}, fr.mtime, &stale);
-      if (hit != nullptr) {
-        ++report_->cache_hits;
-        ++total_hits_;
-        pending.staged[seq] = {hit->sample_times, hit->sample_values};
-      } else {
-        if (stale) {
-          ++report_->cache_stale;
-        } else {
-          ++report_->cache_misses;
+      // Estimated decoded footprint of this file's requested records
+      // (8-byte time + 4-byte value per sample, plus per-record slack).
+      uint64_t est = 0;
+      if (entry.metadata != nullptr) {
+        for (int64_t seq : fr.seqs) {
+          auto it = entry.seq_to_record.find(seq);
+          if (it == entry.seq_to_record.end()) continue;
+          est += entry.metadata->records[it->second].header.num_samples *
+                     12ULL +
+                 64;
         }
-        to_extract.push_back(seq);
       }
-    }
+      uint64_t reserved = 0;
+      if (budget != nullptr && est > 0) {
+        if (budget->TryReserve(est)) {
+          reserved = est;
+        } else if (!window.empty()) {
+          break;  // budget pressure: stop growing, keep the 1-file floor
+        }
+        // First file of the window proceeds unreserved — a single file is
+        // the resident floor no budget can undercut.
+      }
+      outstanding_ += reserved;
+      ++next_file_;
 
-    ExtractJob job;
-    job.entry = &entry;
-    job.file_id = fr.fid;
-    job.mtime = fr.mtime;
-    for (int64_t seq : to_extract) {
-      auto it = entry.seq_to_record.find(seq);
-      if (it == entry.seq_to_record.end()) {
-        // The record vanished in a concurrent file modification; treat as
-        // zero rows for this record rather than failing the query.
-        LogOp(LogCategory::kExtract,
-              "record " + std::to_string(seq) + " no longer present in " +
-                  entry.path);
-        continue;
+      PendingFile pending;
+      pending.request = &fr;
+      pending.reserved = reserved;
+
+      // Cache lookups first; misses become one extraction job per file.
+      std::vector<int64_t> to_extract;
+      for (int64_t seq : fr.seqs) {
+        bool stale = false;
+        engine::CachedRecordPtr hit =
+            warehouse->recycler_->Lookup({fr.fid, seq}, fr.mtime, &stale);
+        if (hit != nullptr) {
+          ++report_->cache_hits;
+          ++total_hits_;
+          pending.staged[seq] = {hit->sample_times, hit->sample_values};
+        } else {
+          if (stale) {
+            ++report_->cache_stale;
+          } else {
+            ++report_->cache_misses;
+          }
+          to_extract.push_back(seq);
+        }
       }
-      job.record_indexes.push_back(it->second);
-      job.seq_nos.push_back(seq);
-    }
-    if (!job.record_indexes.empty()) {
-      // Sequential file I/O: visit records in offset order.
-      std::vector<size_t> order(job.record_indexes.size());
-      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-        return job.record_indexes[a] < job.record_indexes[b];
-      });
-      ExtractJob sorted;
-      sorted.entry = job.entry;
-      sorted.file_id = job.file_id;
-      sorted.mtime = job.mtime;
-      for (size_t i : order) {
-        sorted.record_indexes.push_back(job.record_indexes[i]);
-        sorted.seq_nos.push_back(job.seq_nos[i]);
+
+      ExtractJob job;
+      job.metadata = entry.metadata;
+      job.path = entry.path;
+      job.file_id = fr.fid;
+      job.mtime = fr.mtime;
+      for (int64_t seq : to_extract) {
+        auto it = entry.seq_to_record.find(seq);
+        if (it == entry.seq_to_record.end()) {
+          // The record vanished in a concurrent file modification; treat
+          // as zero rows for this record rather than failing the query.
+          LogOp(LogCategory::kExtract,
+                "record " + std::to_string(seq) + " no longer present in " +
+                    entry.path);
+          continue;
+        }
+        job.record_indexes.push_back(it->second);
+        job.seq_nos.push_back(seq);
       }
-      pending.job_index = static_cast<int>(jobs.size());
-      jobs.push_back(std::move(sorted));
+      if (!job.record_indexes.empty()) {
+        // Sequential file I/O: visit records in offset order.
+        std::vector<size_t> order(job.record_indexes.size());
+        for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+        std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+          return job.record_indexes[a] < job.record_indexes[b];
+        });
+        ExtractJob sorted;
+        sorted.metadata = job.metadata;
+        sorted.path = job.path;
+        sorted.file_id = job.file_id;
+        sorted.mtime = job.mtime;
+        for (size_t i : order) {
+          sorted.record_indexes.push_back(job.record_indexes[i]);
+          sorted.seq_nos.push_back(job.seq_nos[i]);
+        }
+        pending.job_index = static_cast<int>(jobs.size());
+        jobs.push_back(std::move(sorted));
+      }
+      window.push_back(std::move(pending));
     }
-    window.push_back(std::move(pending));
   }
 
-  // Run the extraction jobs — decode and transform are pure per-file work,
-  // so with extraction_threads > 1 the window's files are processed
-  // concurrently. Everything touching shared state (report, cache, the
-  // ready queue) happens below, single-threaded.
+  // Run the extraction jobs — decode and transform are pure per-file work
+  // on immutable metadata snapshots, so with extraction_threads > 1 the
+  // window's files are processed concurrently. Everything touching
+  // per-query state (report, the ready queue) happens below on this
+  // thread; the recycler handles its own locking.
   LAZYETL_RETURN_NOT_OK(provider_->RunExtractionJobs(&jobs));
 
   for (PendingFile& pending : window) {
@@ -406,13 +592,13 @@ Status WarehouseRecordStream::AdvanceWindow() {
       ExtractJob& job = jobs[pending.job_index];
       LAZYETL_RETURN_NOT_OK(job.status);
       ++report_->files_opened;
-      report_->files_touched.push_back(job.entry->path);
+      report_->files_touched.push_back(job.path);
       LogOp(LogCategory::kExtract,
             "extracted " + std::to_string(job.record_indexes.size()) +
-                " records from " + job.entry->path);
+                " records from " + job.path);
       for (size_t i = 0; i < job.record_indexes.size(); ++i) {
         const mseed::RecordInfo& info =
-            job.entry->metadata.records[job.record_indexes[i]];
+            job.metadata->records[job.record_indexes[i]];
         TransformedRecord& transformed = job.results[i];
         report_->bytes_read += info.header.record_length;
         ++report_->records_extracted;
@@ -429,7 +615,7 @@ Status WarehouseRecordStream::AdvanceWindow() {
 
         pending.staged[job.seq_nos[i]] = std::move(transformed);
       }
-      extracted_desc_.push_back(job.entry->path + " (" +
+      extracted_desc_.push_back(job.path + " (" +
                                 std::to_string(job.record_indexes.size()) +
                                 " records)");
     }
@@ -446,7 +632,7 @@ Status WarehouseRecordStream::AdvanceWindow() {
     LAZYETL_ASSIGN_OR_RETURN(
         Table file_table,
         provider_->BuildOutput(std::move(buffers), columns_));
-    ready_.push_back(std::move(file_table));
+    ready_.push_back({std::move(file_table), pending.reserved});
   }
   return Status::OK();
 }
@@ -465,16 +651,27 @@ Result<bool> WarehouseRecordStream::Next(Table* out) {
           current_offset_ += n;
           if (current_offset_ >= rows) current_active_ = false;
         }
+        if (!current_active_) {
+          ReleaseWindowBytes(current_reserved_);
+          current_reserved_ = 0;
+        }
         emitted_ = true;
         return true;
       }
       current_active_ = false;
+      ReleaseWindowBytes(current_reserved_);
+      current_reserved_ = 0;
     }
     if (!ready_.empty()) {
-      current_ = std::move(ready_.front());
+      current_ = std::move(ready_.front().table);
+      current_reserved_ = ready_.front().reserved;
       ready_.pop_front();
       current_offset_ = 0;
       current_active_ = current_.num_rows() > 0;
+      if (!current_active_) {
+        ReleaseWindowBytes(current_reserved_);
+        current_reserved_ = 0;
+      }
       continue;
     }
     if (next_file_ < files_.size()) {
@@ -508,11 +705,10 @@ void WarehouseRecordStream::FlushSummary() {
   if (extracted_desc_.size() > 6) rewrite << ", ...";
   rewrite << "]\n";
   report_->plan_runtime += rewrite.str();
+  engine::RecyclerStats cache_stats = warehouse->recycler_->stats();
   LogOp(LogCategory::kCache,
-        "cache after fetch: " +
-            std::to_string(warehouse->recycler_->stats().entries) +
-            " entries, " +
-            std::to_string(warehouse->recycler_->stats().current_bytes) +
+        "cache after fetch: " + std::to_string(cache_stats.entries) +
+            " entries, " + std::to_string(cache_stats.current_bytes) +
             " bytes");
 }
 
@@ -538,17 +734,38 @@ WarehouseDataProvider::StreamAllRecords(const std::vector<ScanColumn>& columns,
 
 Result<std::vector<RecordKey>> WarehouseDataProvider::AllRecordKeys(
     ExecutionReport* report) {
-  std::vector<RecordKey> keys;
-  for (auto& entry : warehouse_->files_) {
-    if (entry.file_id == 0) continue;  // tombstone
-    if (!entry.hydrated) {
+  // Hydration pass (exclusive, only when files lack record metadata),
+  // then a read-only pass building the keys.
+  std::vector<int64_t> unhydrated;
+  {
+    std::shared_lock lock(warehouse_->meta_mu_);
+    for (const auto& entry : warehouse_->files_) {
+      if (entry.file_id == 0) continue;  // tombstone
+      if (!entry.hydrated) unhydrated.push_back(entry.file_id);
+    }
+  }
+  if (!unhydrated.empty()) {
+    std::unique_lock lock(warehouse_->meta_mu_);
+    Warehouse::CatalogWriter writer(warehouse_->catalog_.get());
+    for (int64_t fid : unhydrated) {
+      Warehouse::FileEntry& entry = warehouse_->files_[fid - 1];
+      if (entry.file_id == 0 || entry.hydrated) continue;
       uint64_t bytes = 0;
-      LAZYETL_RETURN_NOT_OK(warehouse_->HydrateFile(&entry, &bytes));
+      LAZYETL_RETURN_NOT_OK(
+          warehouse_->HydrateFileLocked(&entry, &writer, &bytes));
       report->bytes_read += bytes;
       ++report->files_hydrated;
     }
-    for (const auto& rec : entry.metadata.records) {
-      keys.push_back({entry.file_id, rec.header.sequence_number});
+    writer.Publish();
+  }
+  std::vector<RecordKey> keys;
+  {
+    std::shared_lock lock(warehouse_->meta_mu_);
+    for (const auto& entry : warehouse_->files_) {
+      if (entry.file_id == 0 || entry.metadata == nullptr) continue;
+      for (const auto& rec : entry.metadata->records) {
+        keys.push_back({entry.file_id, rec.header.sequence_number});
+      }
     }
   }
   return keys;
@@ -601,14 +818,35 @@ Result<std::unique_ptr<Warehouse>> Warehouse::Open(WarehouseOptions options) {
   wh->catalog_ = std::make_unique<storage::Catalog>();
   LAZYETL_RETURN_NOT_OK(
       RegisterSchema(wh->catalog_.get(), wh->IsLazyStrategy()));
-  wh->recycler_ =
-      std::make_unique<engine::Recycler>(wh->options_.cache_budget_bytes);
+  // The recycler charges its resident bytes to the process-global budget
+  // (and yields LRU entries under global pressure), so cached records and
+  // in-flight query state draw from one cap.
+  wh->recycler_ = std::make_unique<engine::Recycler>(
+      wh->options_.cache_budget_bytes, &common::MemoryBudget::Process());
   wh->result_recycler_ = std::make_unique<engine::ResultRecycler>();
-  wh->provider_ = std::make_unique<WarehouseDataProvider>(wh.get());
+
+  // Admission control: resolve the concurrency bound and the per-query
+  // budget (options, else environment) once; the scheduler carves each
+  // admitted query's budget from the global cap.
+  size_t max_concurrent = wh->options_.max_concurrent_queries;
+  if (max_concurrent == 0) {
+    if (const char* env = std::getenv("LAZYETL_MAX_CONCURRENT_QUERIES")) {
+      max_concurrent = static_cast<size_t>(std::strtoull(env, nullptr, 10));
+    }
+  }
+  wh->scheduler_ = std::make_unique<common::QueryScheduler>(
+      max_concurrent,
+      common::ResolvePerQueryBudgetBytes(wh->options_.memory_budget_bytes),
+      &common::MemoryBudget::Process());
+
   OperationLog::Global().set_echo_to_stderr(wh->options_.echo_log);
   LogOp(LogCategory::kGeneral,
         std::string("warehouse opened with strategy ") +
-            LoadStrategyToString(wh->options_.strategy));
+            LoadStrategyToString(wh->options_.strategy) +
+            (max_concurrent > 0
+                 ? ", max " + std::to_string(max_concurrent) +
+                       " concurrent queries"
+                 : ""));
   return wh;
 }
 
@@ -628,14 +866,19 @@ NanoTime Warehouse::CurrentMtime(const std::string& path) const {
   return st->mtime;
 }
 
-Status Warehouse::HydrateFile(FileEntry* entry, uint64_t* bytes_read) {
+std::vector<std::string> Warehouse::repositories() const {
+  std::shared_lock lock(meta_mu_);
+  return roots_;
+}
+
+Status Warehouse::HydrateFileLocked(FileEntry* entry, CatalogWriter* writer,
+                                    uint64_t* bytes_read) {
   LAZYETL_ASSIGN_OR_RETURN(mseed::FileMetadata md,
                            mseed::ScanMetadata(entry->path));
   *bytes_read += md.bytes_read;
 
-  LAZYETL_ASSIGN_OR_RETURN(TablePtr records, RecordsTable());
-  LAZYETL_RETURN_NOT_OK(
-      AppendRecordRows(records.get(), entry->file_id, md));
+  LAZYETL_ASSIGN_OR_RETURN(Table * records, writer->Mutable(kRecordsTable));
+  LAZYETL_RETURN_NOT_OK(AppendRecordRows(records, entry->file_id, md));
 
   entry->mtime = md.mtime;
   entry->size = md.file_size;
@@ -643,11 +886,12 @@ Status Warehouse::HydrateFile(FileEntry* entry, uint64_t* bytes_read) {
   for (size_t i = 0; i < md.records.size(); ++i) {
     entry->seq_to_record[md.records[i].header.sequence_number] = i;
   }
-  entry->metadata = std::move(md);
+  entry->metadata =
+      std::make_shared<const mseed::FileMetadata>(std::move(md));
   entry->hydrated = true;
 
   // Correct the approximate F-row with header-derived values.
-  LAZYETL_ASSIGN_OR_RETURN(TablePtr files, FilesTable());
+  LAZYETL_ASSIGN_OR_RETURN(Table * files, writer->Mutable(kFilesTable));
   LAZYETL_ASSIGN_OR_RETURN(size_t fid_idx, files->ColumnIndex("file_id"));
   const auto& fids = files->column(fid_idx).int64_data();
   for (size_t row = 0; row < fids.size(); ++row) {
@@ -658,38 +902,38 @@ Status Warehouse::HydrateFile(FileEntry* entry, uint64_t* bytes_read) {
     LAZYETL_ASSIGN_OR_RETURN(size_t c_rate, files->ColumnIndex("sample_rate"));
     LAZYETL_ASSIGN_OR_RETURN(size_t c_mtime,
                              files->ColumnIndex("last_modified"));
-    files->column(c_start).int64_data()[row] = entry->metadata.start_time;
-    files->column(c_end).int64_data()[row] = entry->metadata.end_time;
+    files->column(c_start).int64_data()[row] = entry->metadata->start_time;
+    files->column(c_end).int64_data()[row] = entry->metadata->end_time;
     files->column(c_nrec).int64_data()[row] =
-        static_cast<int64_t>(entry->metadata.records.size());
-    files->column(c_rate).double_data()[row] = entry->metadata.sample_rate;
-    files->column(c_mtime).int64_data()[row] = entry->metadata.mtime;
+        static_cast<int64_t>(entry->metadata->records.size());
+    files->column(c_rate).double_data()[row] = entry->metadata->sample_rate;
+    files->column(c_mtime).int64_data()[row] = entry->metadata->mtime;
     break;
   }
   result_recycler_->Clear();
   return Status::OK();
 }
 
-Status Warehouse::LoadFileEager(FileEntry* entry, LoadStats* stats) {
+Status Warehouse::LoadFileEagerLocked(FileEntry* entry, CatalogWriter* writer,
+                                      LoadStats* stats) {
   LAZYETL_ASSIGN_OR_RETURN(mseed::FullFile full,
                            mseed::ReadFull(entry->path));
   stats->bytes_read += full.metadata.bytes_read;
   stats->records += full.metadata.records.size();
 
-  LAZYETL_ASSIGN_OR_RETURN(TablePtr files, FilesTable());
-  LAZYETL_ASSIGN_OR_RETURN(TablePtr records, RecordsTable());
-  LAZYETL_ASSIGN_OR_RETURN(TablePtr data, DataTable());
+  LAZYETL_ASSIGN_OR_RETURN(Table * files, writer->Mutable(kFilesTable));
+  LAZYETL_ASSIGN_OR_RETURN(Table * records, writer->Mutable(kRecordsTable));
+  LAZYETL_ASSIGN_OR_RETURN(Table * data, writer->Mutable(kDataTable));
+  LAZYETL_RETURN_NOT_OK(AppendFileRow(files, entry->file_id, full.metadata));
   LAZYETL_RETURN_NOT_OK(
-      AppendFileRow(files.get(), entry->file_id, full.metadata));
-  LAZYETL_RETURN_NOT_OK(
-      AppendRecordRows(records.get(), entry->file_id, full.metadata));
+      AppendRecordRows(records, entry->file_id, full.metadata));
   for (size_t i = 0; i < full.metadata.records.size(); ++i) {
     const mseed::RecordInfo& info = full.metadata.records[i];
     LAZYETL_ASSIGN_OR_RETURN(
         TransformedRecord transformed,
         TransformRecord(info.header, full.record_samples[i]));
     stats->samples_loaded += transformed.sample_values.size();
-    LAZYETL_RETURN_NOT_OK(AppendDataRows(data.get(), entry->file_id,
+    LAZYETL_RETURN_NOT_OK(AppendDataRows(data, entry->file_id,
                                          info.header.sequence_number,
                                          transformed));
   }
@@ -700,21 +944,24 @@ Status Warehouse::LoadFileEager(FileEntry* entry, LoadStats* stats) {
   for (size_t i = 0; i < full.metadata.records.size(); ++i) {
     entry->seq_to_record[full.metadata.records[i].header.sequence_number] = i;
   }
-  entry->metadata = std::move(full.metadata);
+  entry->metadata =
+      std::make_shared<const mseed::FileMetadata>(std::move(full.metadata));
   entry->hydrated = true;
   return Status::OK();
 }
 
-Status Warehouse::LoadFileMetadata(FileEntry* entry, LoadStats* stats) {
+Status Warehouse::LoadFileMetadataLocked(FileEntry* entry,
+                                         CatalogWriter* writer,
+                                         LoadStats* stats) {
   LAZYETL_ASSIGN_OR_RETURN(mseed::FileMetadata md,
                            mseed::ScanMetadata(entry->path));
   stats->bytes_read += md.bytes_read;
   stats->records += md.records.size();
 
-  LAZYETL_ASSIGN_OR_RETURN(TablePtr files, FilesTable());
-  LAZYETL_ASSIGN_OR_RETURN(TablePtr records, RecordsTable());
-  LAZYETL_RETURN_NOT_OK(AppendFileRow(files.get(), entry->file_id, md));
-  LAZYETL_RETURN_NOT_OK(AppendRecordRows(records.get(), entry->file_id, md));
+  LAZYETL_ASSIGN_OR_RETURN(Table * files, writer->Mutable(kFilesTable));
+  LAZYETL_ASSIGN_OR_RETURN(Table * records, writer->Mutable(kRecordsTable));
+  LAZYETL_RETURN_NOT_OK(AppendFileRow(files, entry->file_id, md));
+  LAZYETL_RETURN_NOT_OK(AppendRecordRows(records, entry->file_id, md));
 
   entry->mtime = md.mtime;
   entry->size = md.file_size;
@@ -722,12 +969,14 @@ Status Warehouse::LoadFileMetadata(FileEntry* entry, LoadStats* stats) {
   for (size_t i = 0; i < md.records.size(); ++i) {
     entry->seq_to_record[md.records[i].header.sequence_number] = i;
   }
-  entry->metadata = std::move(md);
+  entry->metadata =
+      std::make_shared<const mseed::FileMetadata>(std::move(md));
   entry->hydrated = true;
   return Status::OK();
 }
 
-Status Warehouse::LoadFileFromFilename(FileEntry* entry) {
+Status Warehouse::LoadFileFromFilenameLocked(FileEntry* entry,
+                                             CatalogWriter* writer) {
   std::string basename = fs::path(entry->path).filename().string();
   LAZYETL_ASSIGN_OR_RETURN(mseed::FilenameMetadata fn,
                            mseed::ParseSdsFilename(basename));
@@ -756,8 +1005,8 @@ Status Warehouse::LoadFileFromFilename(FileEntry* entry) {
   md.end_time = start + kNanosPerDay;
   md.sample_rate = 0.0;  // unknown until hydration
 
-  LAZYETL_ASSIGN_OR_RETURN(TablePtr files, FilesTable());
-  LAZYETL_RETURN_NOT_OK(AppendFileRow(files.get(), entry->file_id, md));
+  LAZYETL_ASSIGN_OR_RETURN(Table * files, writer->Mutable(kFilesTable));
+  LAZYETL_RETURN_NOT_OK(AppendFileRow(files, entry->file_id, md));
 
   entry->mtime = st.mtime;
   entry->size = st.size;
@@ -765,18 +1014,17 @@ Status Warehouse::LoadFileFromFilename(FileEntry* entry) {
   return Status::OK();
 }
 
-Status Warehouse::LoadDatalessInventory(const std::string& path,
-                                        LoadStats* stats) {
+Status Warehouse::LoadDatalessInventoryLocked(const std::string& path,
+                                              CatalogWriter* writer,
+                                              LoadStats* stats) {
   if (dataless_paths_.count(path)) return Status::OK();
   LAZYETL_ASSIGN_OR_RETURN(mseed::StationInventory inventory,
                            mseed::ReadDataless(path));
   LAZYETL_ASSIGN_OR_RETURN(mseed::FileStatInfo st, mseed::StatFile(path));
   stats->bytes_read += st.size;
 
-  LAZYETL_ASSIGN_OR_RETURN(TablePtr stations,
-                           catalog_->GetTable(kStationsTable));
-  LAZYETL_ASSIGN_OR_RETURN(TablePtr channels,
-                           catalog_->GetTable(kChannelsTable));
+  LAZYETL_ASSIGN_OR_RETURN(Table * stations, writer->Mutable(kStationsTable));
+  LAZYETL_ASSIGN_OR_RETURN(Table * channels, writer->Mutable(kChannelsTable));
   for (const auto& station : inventory.stations) {
     LAZYETL_RETURN_NOT_OK(stations->AppendRow({
         Value::String(station.network),
@@ -809,10 +1057,11 @@ Status Warehouse::LoadDatalessInventory(const std::string& path,
   return Status::OK();
 }
 
-Status Warehouse::AttachFile(const std::string& path, LoadStats* stats) {
+Status Warehouse::AttachFileLocked(const std::string& path,
+                                   CatalogWriter* writer, LoadStats* stats) {
   // Dataless SEED volumes hold inventory control headers, not waveforms.
   if (mseed::IsDatalessFilename(fs::path(path).filename().string())) {
-    return LoadDatalessInventory(path, stats);
+    return LoadDatalessInventoryLocked(path, writer, stats);
   }
   FileEntry entry;
   entry.file_id = static_cast<int64_t>(files_.size()) + 1;
@@ -821,17 +1070,14 @@ Status Warehouse::AttachFile(const std::string& path, LoadStats* stats) {
   Status load_status;
   switch (options_.strategy) {
     case LoadStrategy::kEager:
-      load_status = LoadFileEager(&entry, stats);
+      load_status = LoadFileEagerLocked(&entry, writer, stats);
       break;
     case LoadStrategy::kLazy:
-      load_status = LoadFileMetadata(&entry, stats);
+      load_status = LoadFileMetadataLocked(&entry, writer, stats);
       break;
-    case LoadStrategy::kLazyFilenameOnly: {
-      LoadStats unused;
-      load_status = LoadFileFromFilename(&entry);
-      (void)unused;
+    case LoadStrategy::kLazyFilenameOnly:
+      load_status = LoadFileFromFilenameLocked(&entry, writer);
       break;
-    }
   }
   if (!load_status.ok()) {
     if (load_status.IsCorruptData() || load_status.IsParseError() ||
@@ -858,12 +1104,17 @@ Result<LoadStats> Warehouse::AttachRepository(const std::string& root) {
             LoadStrategyToString(options_.strategy) + ") of " + root);
 
   LAZYETL_ASSIGN_OR_RETURN(auto scanned, mseed::ScanRepository(root));
-  for (const auto& f : scanned) {
-    if (path_to_file_id_.count(f.path)) continue;  // already attached
-    LAZYETL_RETURN_NOT_OK(AttachFile(f.path, &stats));
-  }
-  if (std::find(roots_.begin(), roots_.end(), root) == roots_.end()) {
-    roots_.push_back(root);
+  {
+    std::unique_lock lock(meta_mu_);
+    CatalogWriter writer(catalog_.get());
+    for (const auto& f : scanned) {
+      if (path_to_file_id_.count(f.path)) continue;  // already attached
+      LAZYETL_RETURN_NOT_OK(AttachFileLocked(f.path, &writer, &stats));
+    }
+    if (std::find(roots_.begin(), roots_.end(), root) == roots_.end()) {
+      roots_.push_back(root);
+    }
+    writer.Publish();
   }
   result_recycler_->Clear();
 
@@ -881,7 +1132,7 @@ Result<LoadStats> Warehouse::AttachRepository(const std::string& root) {
     // Remember the attached roots so a reopened warehouse can Refresh().
     std::ofstream roots_file(fs::path(options_.persist_dir) / "roots",
                              std::ios::trunc);
-    for (const auto& r : roots_) roots_file << r << "\n";
+    for (const auto& r : repositories()) roots_file << r << "\n";
     if (!roots_file.good()) {
       return Status::IOError("failed writing roots file in " +
                              options_.persist_dir);
@@ -905,7 +1156,8 @@ Result<std::vector<int64_t>> Warehouse::CandidateFileIds(
   const auto& fids = files->column(fid_idx).int64_data();
 
   // With file-level conjuncts, evaluate them over a qualified view of the
-  // files table ("F.station", ...) to prune the candidate set.
+  // files table ("F.station", ...) to prune the candidate set. Runs on an
+  // immutable snapshot — no registry lock needed.
   if (query.view != nullptr && query.where != nullptr) {
     std::vector<sql::BoundExprPtr> file_preds;
     for (auto& conjunct : engine::SplitConjuncts(*query.where)) {
@@ -935,34 +1187,35 @@ Result<std::vector<int64_t>> Warehouse::CandidateFileIds(
   return std::vector<int64_t>(fids.begin(), fids.end());
 }
 
-Status Warehouse::ReloadModifiedFile(FileEntry* entry, uint64_t* bytes_read) {
+Status Warehouse::ReloadModifiedFileLocked(FileEntry* entry,
+                                           CatalogWriter* writer,
+                                           uint64_t* bytes_read) {
   recycler_->InvalidateFile(entry->file_id);
-  LAZYETL_ASSIGN_OR_RETURN(TablePtr files, FilesTable());
-  LAZYETL_ASSIGN_OR_RETURN(TablePtr records, RecordsTable());
-  LAZYETL_RETURN_NOT_OK(RemoveFileRows(files.get(), entry->file_id).status());
-  LAZYETL_RETURN_NOT_OK(
-      RemoveFileRows(records.get(), entry->file_id).status());
+  LAZYETL_ASSIGN_OR_RETURN(Table * files, writer->Mutable(kFilesTable));
+  LAZYETL_ASSIGN_OR_RETURN(Table * records, writer->Mutable(kRecordsTable));
+  LAZYETL_RETURN_NOT_OK(RemoveFileRows(files, entry->file_id).status());
+  LAZYETL_RETURN_NOT_OK(RemoveFileRows(records, entry->file_id).status());
   entry->hydrated = false;
+  entry->metadata.reset();
   entry->seq_to_record.clear();
 
   switch (options_.strategy) {
     case LoadStrategy::kEager: {
-      LAZYETL_ASSIGN_OR_RETURN(TablePtr data, DataTable());
-      LAZYETL_RETURN_NOT_OK(
-          RemoveFileRows(data.get(), entry->file_id).status());
+      LAZYETL_ASSIGN_OR_RETURN(Table * data, writer->Mutable(kDataTable));
+      LAZYETL_RETURN_NOT_OK(RemoveFileRows(data, entry->file_id).status());
       LoadStats ls;
-      LAZYETL_RETURN_NOT_OK(LoadFileEager(entry, &ls));
+      LAZYETL_RETURN_NOT_OK(LoadFileEagerLocked(entry, writer, &ls));
       *bytes_read += ls.bytes_read;
       break;
     }
     case LoadStrategy::kLazy: {
       LoadStats ls;
-      LAZYETL_RETURN_NOT_OK(LoadFileMetadata(entry, &ls));
+      LAZYETL_RETURN_NOT_OK(LoadFileMetadataLocked(entry, writer, &ls));
       *bytes_read += ls.bytes_read;
       break;
     }
     case LoadStrategy::kLazyFilenameOnly:
-      LAZYETL_RETURN_NOT_OK(LoadFileFromFilename(entry));
+      LAZYETL_RETURN_NOT_OK(LoadFileFromFilenameLocked(entry, writer));
       break;
   }
   result_recycler_->Clear();
@@ -973,17 +1226,53 @@ Status Warehouse::RefreshStaleCandidates(const sql::BoundQuery& query,
                                          ExecutionReport* report) {
   LAZYETL_ASSIGN_OR_RETURN(std::vector<int64_t> candidates,
                            CandidateFileIds(query));
-  for (int64_t fid : candidates) {
+
+  // Pass 1 (shared): snapshot the registry state of the candidates.
+  struct Checked {
+    int64_t fid = 0;
+    std::string path;
+    NanoTime mtime = 0;
+    uint64_t size = 0;
+  };
+  std::vector<Checked> checks;
+  {
+    std::shared_lock lock(meta_mu_);
+    for (int64_t fid : candidates) {
+      if (fid < 1 || static_cast<size_t>(fid) > files_.size()) continue;
+      const FileEntry& entry = files_[fid - 1];
+      if (entry.file_id == 0) continue;
+      checks.push_back({fid, entry.path, entry.mtime, entry.size});
+    }
+  }
+
+  // Pass 2 (no lock): stat the candidates.
+  std::vector<int64_t> changed;
+  for (const Checked& c : checks) {
+    auto st = mseed::StatFile(c.path);
+    if (!st.ok()) continue;  // vanished: extraction will report NotFound
+    if (st->mtime == c.mtime && st->size == c.size) continue;
+    changed.push_back(c.fid);
+  }
+  if (changed.empty()) return Status::OK();
+
+  // Pass 3 (exclusive): re-check and re-load, one COW session.
+  std::unique_lock lock(meta_mu_);
+  CatalogWriter writer(catalog_.get());
+  for (int64_t fid : changed) {
     FileEntry& entry = files_[fid - 1];
     if (entry.file_id == 0) continue;
     auto st = mseed::StatFile(entry.path);
-    if (!st.ok()) continue;  // vanished: extraction will report NotFound
-    if (st->mtime == entry.mtime && st->size == entry.size) continue;
+    if (!st.ok()) continue;
+    if (st->mtime == entry.mtime && st->size == entry.size) {
+      continue;  // another query already re-loaded it
+    }
     LogOp(LogCategory::kRefresh,
           "lazy refresh at query time: " + entry.path +
               " changed; re-loading its metadata");
-    LAZYETL_RETURN_NOT_OK(ReloadModifiedFile(&entry, &report->bytes_read));
+    LAZYETL_RETURN_NOT_OK(
+        ReloadModifiedFileLocked(&entry, &writer, &report->bytes_read));
   }
+  writer.Publish();
   return Status::OK();
 }
 
@@ -991,10 +1280,6 @@ Result<LoadStats> Warehouse::AttachPersisted(const std::string& persist_dir) {
   if (options_.strategy != LoadStrategy::kEager) {
     return Status::InvalidArgument(
         "AttachPersisted requires the eager strategy");
-  }
-  if (!files_.empty()) {
-    return Status::InvalidArgument(
-        "AttachPersisted requires a fresh warehouse");
   }
   Stopwatch timer;
   LogOp(LogCategory::kEagerLoad,
@@ -1007,6 +1292,12 @@ Result<LoadStats> Warehouse::AttachPersisted(const std::string& persist_dir) {
       storage::ReadTable((fs::path(persist_dir) / "records").string()));
   LAZYETL_ASSIGN_OR_RETURN(
       Table data, storage::ReadTable((fs::path(persist_dir) / "data").string()));
+
+  std::unique_lock lock(meta_mu_);
+  if (!files_.empty()) {
+    return Status::InvalidArgument(
+        "AttachPersisted requires a fresh warehouse");
+  }
 
   // Rebuild the file registry from the files table.
   LAZYETL_ASSIGN_OR_RETURN(size_t fid_idx, files.ColumnIndex("file_id"));
@@ -1072,13 +1363,28 @@ Status Warehouse::HydrateForQuery(const sql::BoundQuery& query,
 
   LAZYETL_ASSIGN_OR_RETURN(std::vector<int64_t> candidates,
                            CandidateFileIds(query));
-  for (int64_t fid : candidates) {
-    FileEntry& entry = files_[fid - 1];
-    if (entry.file_id == 0 || entry.hydrated) continue;
-    uint64_t bytes = 0;
-    LAZYETL_RETURN_NOT_OK(HydrateFile(&entry, &bytes));
-    report->bytes_read += bytes;
-    ++report->files_hydrated;
+  std::vector<int64_t> todo;
+  {
+    std::shared_lock lock(meta_mu_);
+    for (int64_t fid : candidates) {
+      if (fid < 1 || static_cast<size_t>(fid) > files_.size()) continue;
+      const FileEntry& entry = files_[fid - 1];
+      if (entry.file_id == 0 || entry.hydrated) continue;
+      todo.push_back(fid);
+    }
+  }
+  if (!todo.empty()) {
+    std::unique_lock lock(meta_mu_);
+    CatalogWriter writer(catalog_.get());
+    for (int64_t fid : todo) {
+      FileEntry& entry = files_[fid - 1];
+      if (entry.file_id == 0 || entry.hydrated) continue;
+      uint64_t bytes = 0;
+      LAZYETL_RETURN_NOT_OK(HydrateFileLocked(&entry, &writer, &bytes));
+      report->bytes_read += bytes;
+      ++report->files_hydrated;
+    }
+    writer.Publish();
   }
   if (report->files_hydrated > 0) {
     LogOp(LogCategory::kMetadataLoad,
@@ -1093,7 +1399,14 @@ Result<QueryResult> Warehouse::Query(const std::string& sql) {
   Stopwatch total;
   ExecutionReport report;
   report.sql = sql;
-  LogOp(LogCategory::kQuery, "query: " + sql);
+
+  // Admission control: FIFO ticket, held (RAII, via the QueryContext) for
+  // the query's whole lifetime. The ticket's budget — carved from the
+  // process-global cap — governs breaker state, extraction windows and
+  // (via the recycler's governor) cache admissions.
+  common::QueryTicket ticket = scheduler_->Admit();
+  LogOp(LogCategory::kQuery,
+        "query (ticket " + std::to_string(ticket.id()) + "): " + sql);
 
   Stopwatch phase;
   LAZYETL_ASSIGN_OR_RETURN(sql::SelectStatement stmt, sql::Parse(sql));
@@ -1127,15 +1440,19 @@ Result<QueryResult> Warehouse::Query(const std::string& sql) {
         "compile-time reorganisation done (metadata predicates first)");
 
   // Whole-result recycling.
-  auto* provider = static_cast<WarehouseDataProvider*>(provider_.get());
   if (options_.enable_result_cache) {
     auto mtime_fn = [this](const engine::ResultDependency& dep) {
       return CurrentMtime(dep.path);
     };
-    const engine::CachedResult* cached =
+    engine::CachedResultPtr cached =
         result_recycler_->ValidateAndGet(sql, mtime_fn);
     if (cached != nullptr) {
-      ++result_cache_hits_;
+      result_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      // The executed path gets these from Executor::Execute (via the
+      // QueryContext); the early return must fill them itself.
+      report.ticket_id = ticket.id();
+      report.queue_wait_seconds = ticket.queue_wait_seconds();
+      report.admitted_budget_bytes = ticket.admitted_budget_bytes();
       report.result_cache_hit = true;
       report.result_rows = cached->table.num_rows();
       report.total_seconds = total.ElapsedSeconds();
@@ -1146,13 +1463,20 @@ Result<QueryResult> Warehouse::Query(const std::string& sql) {
   }
 
   phase.Restart();
-  provider->BeginQuery();
-  engine::Executor executor(catalog_.get(), provider_.get(),
-                            {options_.batch_rows, options_.query_threads,
-                             options_.memory_budget_bytes,
-                             options_.spill_dir});
+  // Per-query execution state: the context adopts the admission ticket
+  // (so the slot is held until execution finishes) and labels its spill
+  // directory with the ticket id; the provider carries the query's
+  // result-cache dependencies.
+  engine::QueryContext qctx(std::move(ticket), options_.spill_dir);
+  WarehouseDataProvider provider(this, &qctx);
+  // Budget and spill state come from the QueryContext; ExecutorOptions
+  // carries only the knobs the context does not own.
+  engine::ExecutorOptions exec_options;
+  exec_options.batch_rows = options_.batch_rows;
+  exec_options.query_threads = options_.query_threads;
+  engine::Executor executor(catalog_.get(), &provider, exec_options);
   LAZYETL_ASSIGN_OR_RETURN(Table result,
-                           executor.Execute(*planned.plan, &report));
+                           executor.Execute(*planned.plan, &report, &qctx));
   report.execute_seconds = phase.ElapsedSeconds();
   report.result_rows = result.num_rows();
   report.total_seconds = total.ElapsedSeconds();
@@ -1160,7 +1484,7 @@ Result<QueryResult> Warehouse::Query(const std::string& sql) {
   if (options_.enable_result_cache) {
     engine::CachedResult cached;
     cached.table = result;
-    cached.deps = provider->deps();
+    cached.deps = provider.deps();
     cached.admitted_at = NowNanos();
     result_recycler_->Admit(sql, std::move(cached));
   }
@@ -1199,47 +1523,90 @@ Result<RefreshStats> Warehouse::Refresh() {
   RefreshStats stats;
   LogOp(LogCategory::kRefresh, "refresh: re-scanning repositories");
 
+  // Pass 1 (no lock): walk the repositories. The directory scan is the
+  // bulk of a no-op refresh; keeping it off the registry lock means
+  // polling refreshes never stall concurrent queries.
+  std::vector<mseed::ScannedFile> scanned_all;
   std::unordered_set<std::string> seen;
-  for (const auto& root : roots_) {
+  for (const auto& root : repositories()) {
     LAZYETL_ASSIGN_OR_RETURN(auto scanned, mseed::ScanRepository(root));
-    for (const auto& f : scanned) {
+    for (auto& f : scanned) {
       seen.insert(f.path);
-      auto it = path_to_file_id_.find(f.path);
-      if (it == path_to_file_id_.end()) {
-        // New file.
-        LoadStats ls;
-        LAZYETL_RETURN_NOT_OK(AttachFile(f.path, &ls));
-        stats.bytes_read += ls.bytes_read;
-        if (ls.files > 0) ++stats.new_files;
-        continue;
-      }
-      FileEntry& entry = files_[it->second - 1];
-      if (f.mtime == entry.mtime && f.size == entry.size) continue;
-
-      // Modified file.
-      ++stats.modified_files;
-      LAZYETL_RETURN_NOT_OK(ReloadModifiedFile(&entry, &stats.bytes_read));
+      scanned_all.push_back(std::move(f));
     }
   }
 
-  // Deleted files.
-  for (auto& entry : files_) {
-    if (entry.file_id == 0) continue;
-    if (seen.count(entry.path)) continue;
-    ++stats.deleted_files;
-    recycler_->InvalidateFile(entry.file_id);
-    LAZYETL_ASSIGN_OR_RETURN(TablePtr files, FilesTable());
-    LAZYETL_ASSIGN_OR_RETURN(TablePtr records, RecordsTable());
-    LAZYETL_RETURN_NOT_OK(RemoveFileRows(files.get(), entry.file_id).status());
-    LAZYETL_RETURN_NOT_OK(
-        RemoveFileRows(records.get(), entry.file_id).status());
-    if (options_.strategy == LoadStrategy::kEager) {
-      LAZYETL_ASSIGN_OR_RETURN(TablePtr data, DataTable());
-      LAZYETL_RETURN_NOT_OK(
-          RemoveFileRows(data.get(), entry.file_id).status());
+  // Pass 2 (shared lock): classify against the registry.
+  std::vector<const mseed::ScannedFile*> new_files;
+  std::vector<const mseed::ScannedFile*> modified;
+  std::vector<int64_t> deleted;
+  {
+    std::shared_lock lock(meta_mu_);
+    for (const auto& f : scanned_all) {
+      auto it = path_to_file_id_.find(f.path);
+      if (it == path_to_file_id_.end()) {
+        new_files.push_back(&f);
+        continue;
+      }
+      const FileEntry& entry = files_[it->second - 1];
+      if (f.mtime != entry.mtime || f.size != entry.size) {
+        modified.push_back(&f);
+      }
     }
-    path_to_file_id_.erase(entry.path);
-    entry.file_id = 0;  // tombstone
+    for (const auto& entry : files_) {
+      if (entry.file_id == 0) continue;
+      if (!seen.count(entry.path)) deleted.push_back(entry.file_id);
+    }
+  }
+
+  // Pass 3 (exclusive, only when the repository actually changed):
+  // re-check under the lock — a concurrent query's staleness pass or
+  // another Refresh may have raced us — and apply in one COW session.
+  if (!new_files.empty() || !modified.empty() || !deleted.empty()) {
+    std::unique_lock lock(meta_mu_);
+    CatalogWriter writer(catalog_.get());
+    for (const mseed::ScannedFile* f : new_files) {
+      if (path_to_file_id_.count(f->path)) continue;
+      LoadStats ls;
+      LAZYETL_RETURN_NOT_OK(AttachFileLocked(f->path, &writer, &ls));
+      stats.bytes_read += ls.bytes_read;
+      if (ls.files > 0) ++stats.new_files;
+    }
+    for (const mseed::ScannedFile* f : modified) {
+      auto it = path_to_file_id_.find(f->path);
+      if (it == path_to_file_id_.end()) continue;
+      FileEntry& entry = files_[it->second - 1];
+      if (f->mtime == entry.mtime && f->size == entry.size) continue;
+      ++stats.modified_files;
+      LAZYETL_RETURN_NOT_OK(
+          ReloadModifiedFileLocked(&entry, &writer, &stats.bytes_read));
+    }
+    for (int64_t fid : deleted) {
+      FileEntry& entry = files_[fid - 1];
+      if (entry.file_id == 0) continue;
+      // Re-verify on disk: the lock-free scan races concurrent
+      // AttachRepository() calls, so an entry absent from the scan may
+      // simply have been attached after the snapshot — a file that still
+      // exists is never tombstoned.
+      if (mseed::StatFile(entry.path).ok()) continue;
+      ++stats.deleted_files;
+      recycler_->InvalidateFile(entry.file_id);
+      LAZYETL_ASSIGN_OR_RETURN(Table * files, writer.Mutable(kFilesTable));
+      LAZYETL_ASSIGN_OR_RETURN(Table * records,
+                               writer.Mutable(kRecordsTable));
+      LAZYETL_RETURN_NOT_OK(RemoveFileRows(files, entry.file_id).status());
+      LAZYETL_RETURN_NOT_OK(RemoveFileRows(records, entry.file_id).status());
+      if (options_.strategy == LoadStrategy::kEager) {
+        LAZYETL_ASSIGN_OR_RETURN(Table * data, writer.Mutable(kDataTable));
+        LAZYETL_RETURN_NOT_OK(RemoveFileRows(data, entry.file_id).status());
+      }
+      path_to_file_id_.erase(entry.path);
+      entry.file_id = 0;  // tombstone
+      entry.metadata.reset();
+      entry.hydrated = false;
+      entry.seq_to_record.clear();
+    }
+    writer.Publish();
   }
 
   result_recycler_->Clear();
@@ -1262,16 +1629,22 @@ void Warehouse::ResetCacheCounters() { recycler_->ResetCounters(); }
 WarehouseStats Warehouse::Stats() const {
   WarehouseStats stats;
   stats.strategy = options_.strategy;
-  for (const auto& entry : files_) {
-    if (entry.file_id == 0) continue;
-    ++stats.num_files;
-    if (entry.hydrated) ++stats.num_hydrated_files;
-    stats.repository_bytes += entry.size;
+  {
+    std::shared_lock lock(meta_mu_);
+    for (const auto& entry : files_) {
+      if (entry.file_id == 0) continue;
+      ++stats.num_files;
+      if (entry.hydrated) ++stats.num_hydrated_files;
+      stats.repository_bytes += entry.size;
+    }
   }
   stats.catalog_bytes = catalog_->MemoryBytes();
   stats.cache = recycler_->stats();
-  stats.result_cache_hits = result_cache_hits_;
+  stats.result_cache_hits = result_cache_hits_.load(std::memory_order_relaxed);
   stats.result_cache_entries = result_recycler_->entries();
+  stats.queries_admitted = scheduler_->total_admitted();
+  stats.queries_active = scheduler_->active();
+  stats.queries_waiting = scheduler_->waiting();
   return stats;
 }
 

@@ -14,6 +14,18 @@
 //                     record metadata is hydrated at query time for
 //                     candidate files.
 //
+// Concurrency: one Warehouse instance safely serves many concurrent
+// Query() callers. Admission is controlled by a FIFO QueryScheduler
+// (`max_concurrent_queries`), each admitted query gets a MemoryBudget
+// carved from the process-global cap, and all shared mutable state — the
+// record/result recyclers, the catalog tables, the file registry with its
+// hydration/lazy-refresh machinery — is synchronized internally:
+// catalog tables are copy-on-write published (executing queries scan
+// immutable snapshots), the registry sits behind a reader/writer lock, and
+// the caches are lock-protected with atomic counters. A query's results
+// under concurrent load are byte-identical to running it alone; cache
+// evictions and scheduler queuing only ever change timings.
+//
 // Usage:
 //   WarehouseOptions options;
 //   options.strategy = LoadStrategy::kLazy;
@@ -26,12 +38,16 @@
 #ifndef LAZYETL_CORE_WAREHOUSE_H_
 #define LAZYETL_CORE_WAREHOUSE_H_
 
+#include <atomic>
+#include <deque>
 #include <map>
 #include <memory>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/query_scheduler.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/time.h"
@@ -75,11 +91,20 @@ struct WarehouseOptions {
   // Worker threads for query execution (morsel-driven parallelism in the
   // batch pipeline). 0 = hardware_concurrency; 1 = the serial path.
   size_t query_threads = 0;
+  // Admission control: at most this many Query() calls execute
+  // concurrently; further callers wait in FIFO order. 0 = unbounded (the
+  // LAZYETL_MAX_CONCURRENT_QUERIES environment variable supplies a
+  // default when unset). With a bounded scheduler and a finite global
+  // budget, each admitted query's memory budget is carved as an equal
+  // share of the global cap.
+  size_t max_concurrent_queries = 0;
   // Memory governance: per-query cap on resident pipeline-breaker state
   // (Sort, Aggregate, Distinct, HashJoin build). 0 = unlimited; the
   // LAZYETL_MEMORY_BUDGET environment variable supplies a default when
   // unset. With a finite budget, breakers spill to disk and stream the
   // state back — results are byte-identical to the unbudgeted run.
+  // Recycler admissions and extraction windows are charged to the same
+  // budget chain, so lazy ETL and query execution share one cap.
   uint64_t memory_budget_bytes = 0;
   // Directory for spill files ("" = LAZYETL_SPILL_DIR, else system temp).
   std::string spill_dir;
@@ -120,6 +145,11 @@ struct WarehouseStats {
   engine::RecyclerStats cache;
   uint64_t result_cache_hits = 0;
   uint64_t result_cache_entries = 0;
+  // Scheduler observability: total admissions and the current number of
+  // executing / queued queries (racy snapshots).
+  uint64_t queries_admitted = 0;
+  size_t queries_active = 0;
+  size_t queries_waiting = 0;
 };
 
 class Warehouse {
@@ -141,18 +171,22 @@ class Warehouse {
   Result<LoadStats> AttachPersisted(const std::string& persist_dir);
 
   // Parses, binds, plans, and executes `sql`. The report documents plan
-  // reorganisation, run-time rewriting, extraction and cache activity.
+  // reorganisation, run-time rewriting, extraction and cache activity —
+  // plus, under concurrent serving, the admission ticket, queue wait and
+  // carved budget. Safe to call from many threads at once.
   Result<QueryResult> Query(const std::string& sql);
 
   // Parses, binds, and plans `sql` without executing it: the report holds
   // the naive plan and the reorganised (metadata-first) plan. No data is
-  // touched and no metadata is hydrated.
+  // touched, no metadata is hydrated, and no admission ticket is needed.
   Result<engine::ExecutionReport> Explain(const std::string& sql);
 
   // Re-scans attached repositories: registers new files, refreshes the
   // metadata of modified ones (and drops deleted ones). Actual data held
   // in the cache is refreshed lazily at query time via mtime checks; with
-  // the eager strategy modified files are re-loaded here.
+  // the eager strategy modified files are re-loaded here. Safe to call
+  // concurrently with queries (it serialises with hydration, and
+  // executing queries keep scanning their catalog snapshots).
   Result<RefreshStats> Refresh();
 
   // Drops all cached intermediates and results (cold-cache measurements).
@@ -166,55 +200,74 @@ class Warehouse {
   WarehouseStats Stats() const;
   const WarehouseOptions& options() const { return options_; }
 
-  // Paths of the attached repository roots.
-  const std::vector<std::string>& repositories() const { return roots_; }
+  // Paths of the attached repository roots (snapshot).
+  std::vector<std::string> repositories() const;
 
  private:
   friend class WarehouseDataProvider;
   friend class WarehouseRecordStream;
 
-  // Everything known about one source file.
+  // Everything known about one source file. Field access is guarded by
+  // meta_mu_; `metadata` is an immutable snapshot — re-hydration swaps in
+  // a new one, so extraction jobs holding the old snapshot stay safe.
   struct FileEntry {
     int64_t file_id = 0;
     std::string path;
     NanoTime mtime = 0;      // as of the last metadata (re)load
     uint64_t size = 0;
     bool hydrated = false;   // record metadata present?
-    mseed::FileMetadata metadata;  // valid when hydrated
+    std::shared_ptr<const mseed::FileMetadata> metadata;  // when hydrated
     std::map<int64_t, size_t> seq_to_record;  // seq_no -> records index
   };
 
+  // Copy-on-write session over catalog tables: Mutable() clones a table
+  // on first access, Publish() swaps the clones into the catalog so
+  // concurrently executing queries keep their immutable snapshots. The
+  // whole session must run under an exclusive meta_mu_ lock.
+  class CatalogWriter;
+
   explicit Warehouse(WarehouseOptions options);
 
-  Status AttachFile(const std::string& path, LoadStats* stats);
-  Status LoadFileEager(FileEntry* entry, LoadStats* stats);
-  Status LoadFileMetadata(FileEntry* entry, LoadStats* stats);
-  Status LoadFileFromFilename(FileEntry* entry);
+  // The *Locked helpers require meta_mu_ held exclusively and stage their
+  // table changes in `writer` (published by the caller).
+  Status AttachFileLocked(const std::string& path, CatalogWriter* writer,
+                          LoadStats* stats);
+  Status LoadFileEagerLocked(FileEntry* entry, CatalogWriter* writer,
+                             LoadStats* stats);
+  Status LoadFileMetadataLocked(FileEntry* entry, CatalogWriter* writer,
+                                LoadStats* stats);
+  Status LoadFileFromFilenameLocked(FileEntry* entry, CatalogWriter* writer);
 
   // Fills entry->metadata by scanning record headers; appends R rows.
-  Status HydrateFile(FileEntry* entry, uint64_t* bytes_read);
+  Status HydrateFileLocked(FileEntry* entry, CatalogWriter* writer,
+                           uint64_t* bytes_read);
 
   // Loads a dataless SEED volume (ASCII control headers) into the
   // mseed.stations / mseed.channels inventory tables. Idempotent per path.
-  Status LoadDatalessInventory(const std::string& path, LoadStats* stats);
+  Status LoadDatalessInventoryLocked(const std::string& path,
+                                     CatalogWriter* writer, LoadStats* stats);
 
   // Drops a modified file's table rows and cache entries and re-loads its
   // metadata per the current strategy (shared by Refresh() and the lazy
   // query-time staleness pass).
-  Status ReloadModifiedFile(FileEntry* entry, uint64_t* bytes_read);
+  Status ReloadModifiedFileLocked(FileEntry* entry, CatalogWriter* writer,
+                                  uint64_t* bytes_read);
 
   // File ids matching the query's file-level predicates (all files when
   // the query has none). Used to bound hydration and staleness checks.
+  // Reads only an immutable catalog snapshot — no lock needed.
   Result<std::vector<int64_t>> CandidateFileIds(const sql::BoundQuery& query);
 
   // Lazy refresh (§3.3) at query time: stats the candidate files and
   // re-loads metadata of any whose mtime changed since it was read.
+  // Takes meta_mu_ shared for the checks, exclusive only when a stale
+  // file must actually be re-loaded.
   Status RefreshStaleCandidates(const sql::BoundQuery& query,
                                 engine::ExecutionReport* report);
 
   // Filename-only strategy: hydrate record metadata of the files matching
   // the query's file-level predicates (called before planning when the
-  // query needs R or D columns).
+  // query needs R or D columns). Same locking shape as the lazy refresh.
   Status HydrateForQuery(const sql::BoundQuery& query,
                          engine::ExecutionReport* report);
 
@@ -233,12 +286,22 @@ class Warehouse {
   std::unique_ptr<storage::Catalog> catalog_;
   std::unique_ptr<engine::Recycler> recycler_;
   std::unique_ptr<engine::ResultRecycler> result_recycler_;
-  std::unique_ptr<engine::LazyDataProvider> provider_;
-  std::vector<std::string> roots_;
-  std::vector<FileEntry> files_;                  // indexed by file_id - 1
+  std::unique_ptr<common::QueryScheduler> scheduler_;
+
+  // Reader/writer lock over the file registry and every catalog-table
+  // mutation (hydration, refresh, attach). Queries take it shared for
+  // registry reads and exclusive only for the short metadata fix-up
+  // sections; execution itself runs lock-free on catalog snapshots — no
+  // global query lock.
+  mutable std::shared_mutex meta_mu_;
+  // Deque for address stability: attach only appends and refresh only
+  // tombstones, so FileEntry pointers held briefly under the lock never
+  // dangle from growth.
+  std::deque<FileEntry> files_;                   // indexed by file_id - 1
   std::map<std::string, int64_t> path_to_file_id_;
+  std::vector<std::string> roots_;
   std::set<std::string> dataless_paths_;  // inventories already loaded
-  uint64_t result_cache_hits_ = 0;
+  std::atomic<uint64_t> result_cache_hits_{0};
 };
 
 }  // namespace lazyetl::core

@@ -9,6 +9,7 @@
 #include "common/memory_budget.h"
 #include "common/spill.h"
 #include "common/thread_pool.h"
+#include "engine/query_context.h"
 #include "engine/operators/join_build.h"
 #include "engine/operators/operator.h"
 
@@ -80,30 +81,32 @@ Result<Table> HashJoinTables(const Table& left, const Table& right,
   return out;
 }
 
-Result<Table> Executor::Execute(const PlanNode& plan,
-                                ExecutionReport* report) {
+Result<Table> Executor::Execute(const PlanNode& plan, ExecutionReport* report,
+                                QueryContext* qctx) {
   size_t threads = options_.query_threads;
   if (threads == 0) {
     threads = std::max<size_t>(1, std::thread::hardware_concurrency());
   }
   threads = std::min(threads, common::ThreadPool::kMaxThreads);
 
-  // Memory governance: the per-query budget (options, else the
-  // LAZYETL_MEMORY_BUDGET environment variable) chains to the process-wide
-  // budget so a global cap across concurrent queries also holds. The spill
-  // manager's directory lives exactly as long as this call — RAII removes
-  // it on success and on error alike.
-  uint64_t budget_bytes = options_.memory_budget_bytes;
-  if (budget_bytes == 0) {
-    if (const char* env = std::getenv("LAZYETL_MEMORY_BUDGET")) {
-      budget_bytes = std::strtoull(env, nullptr, 10);
-    }
+  // Memory governance: the per-query budget chains to the process-wide
+  // budget so a global cap across concurrent queries also holds. An
+  // admitted query brings its context (scheduler-carved budget, spill
+  // manager labelled with the ticket id); standalone callers get one built
+  // here from the options (else the LAZYETL_MEMORY_BUDGET environment
+  // variable). Either way the spill directory lives exactly as long as
+  // the context — RAII removes it on success and on error alike.
+  std::unique_ptr<QueryContext> local_ctx;
+  if (qctx == nullptr) {
+    local_ctx = std::make_unique<QueryContext>(
+        common::ResolvePerQueryBudgetBytes(options_.memory_budget_bytes),
+        options_.spill_dir);
+    qctx = local_ctx.get();
   }
-  common::MemoryBudget budget(budget_bytes, &common::MemoryBudget::Process());
-  common::SpillManager spill(options_.spill_dir);
+  uint64_t budget_bytes = qctx->admitted_budget_bytes();
 
-  ExecContext ctx{catalog_,  provider_, report, options_.batch_rows,
-                  threads,   &budget,   &spill};
+  ExecContext ctx{catalog_,  provider_,      report, options_.batch_rows,
+                  threads,   qctx->budget(), qctx->spill()};
   LAZYETL_ASSIGN_OR_RETURN(BatchOperatorPtr root,
                            BuildOperatorTree(plan, &ctx));
   LAZYETL_RETURN_NOT_OK(root->Open());
@@ -115,6 +118,9 @@ Result<Table> Executor::Execute(const PlanNode& plan,
   if (report != nullptr) {
     report->query_threads = threads;
     report->memory_budget_bytes = budget_bytes;
+    report->ticket_id = qctx->ticket_id();
+    report->queue_wait_seconds = qctx->queue_wait_seconds();
+    report->admitted_budget_bytes = qctx->admitted_budget_bytes();
   }
   if (!result.ok()) return result.status();
 

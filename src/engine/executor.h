@@ -103,6 +103,8 @@ struct ExecutorOptions {
   std::string spill_dir;
 };
 
+class QueryContext;
+
 class Executor {
  public:
   // `provider` may be null (pure eager warehouse); executing a
@@ -112,9 +114,15 @@ class Executor {
       : catalog_(catalog), provider_(provider), options_(options) {}
 
   // Builds the batch-operator tree for `plan`, drains it, and assembles
-  // the result table. Per-operator counters land in `report`.
+  // the result table. Per-operator counters land in `report`. `qctx`
+  // supplies the per-query budget/spill state (admission-controlled
+  // serving, see engine/query_context.h); when null, a standalone context
+  // is constructed from the options (budget from
+  // memory_budget_bytes, else the LAZYETL_MEMORY_BUDGET environment
+  // variable, chained to the process-global budget).
   Result<storage::Table> Execute(const PlanNode& plan,
-                                 ExecutionReport* report);
+                                 ExecutionReport* report,
+                                 QueryContext* qctx = nullptr);
 
  private:
   const storage::Catalog* catalog_;

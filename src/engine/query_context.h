@@ -1,0 +1,66 @@
+// QueryContext: the per-query execution state that used to live scattered
+// across Warehouse and Executor.
+//
+// One QueryContext exists per Query() call and owns everything that must
+// not be shared between concurrent queries: the scheduler admission ticket
+// (id + queue-wait stats), the per-query MemoryBudget (chained to the
+// process-global budget, so breaker state, recycler admissions and
+// extraction windows of all in-flight queries draw from one cap), and the
+// SpillManager whose temp directory is labelled with the ticket id. The
+// Warehouse threads it from admission through the Executor into the
+// operator tree and the lazy-extraction stream; standalone Executor users
+// get one constructed on the fly from ExecutorOptions.
+
+#ifndef LAZYETL_ENGINE_QUERY_CONTEXT_H_
+#define LAZYETL_ENGINE_QUERY_CONTEXT_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/memory_budget.h"
+#include "common/query_scheduler.h"
+#include "common/spill.h"
+
+namespace lazyetl::engine {
+
+class QueryContext {
+ public:
+  // Admitted path: budget, ticket id and queue-wait stats come from the
+  // scheduler ticket.
+  QueryContext(common::QueryTicket ticket, const std::string& spill_dir)
+      : ticket_(std::move(ticket)),
+        spill_(spill_dir, ticket_.id()) {}
+
+  // Standalone path (no scheduler): a per-query budget of `budget_bytes`
+  // (0 = unlimited), chained to the process-global budget.
+  QueryContext(uint64_t budget_bytes, const std::string& spill_dir)
+      : local_budget_(std::make_unique<common::MemoryBudget>(
+            budget_bytes, &common::MemoryBudget::Process())),
+        spill_(spill_dir, 0) {}
+
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+
+  common::MemoryBudget* budget() {
+    return local_budget_ != nullptr ? local_budget_.get() : ticket_.budget();
+  }
+  common::SpillManager* spill() { return &spill_; }
+
+  uint64_t ticket_id() const { return ticket_.id(); }
+  double queue_wait_seconds() const { return ticket_.queue_wait_seconds(); }
+  // The resolved per-query cap (0 = unlimited).
+  uint64_t admitted_budget_bytes() const {
+    return local_budget_ != nullptr ? local_budget_->limit()
+                                    : ticket_.admitted_budget_bytes();
+  }
+
+ private:
+  common::QueryTicket ticket_;  // empty on the standalone path
+  std::unique_ptr<common::MemoryBudget> local_budget_;
+  common::SpillManager spill_;
+};
+
+}  // namespace lazyetl::engine
+
+#endif  // LAZYETL_ENGINE_QUERY_CONTEXT_H_

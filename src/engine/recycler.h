@@ -9,6 +9,22 @@
 // lazy refresh compares it against the file's current mtime and re-extracts
 // when outdated.
 //
+// Concurrency: both caches are shared by every in-flight query of a
+// Warehouse. The structures are mutex-guarded and lookups hand out
+// shared_ptr handles, so a hit stays valid even if the entry is evicted by
+// a concurrent admission. Hit/miss/eviction counters are atomics —
+// observable (Warehouse::Stats) without taking the cache lock and race-free
+// under any interleaving.
+//
+// Memory governance: a Recycler can additionally charge its resident bytes
+// to a `governor` MemoryBudget (the process-global budget). Resident cache
+// bytes are bounded to half of a finite global cap — evictions only run at
+// admission time, so a larger share could pin bytes queries have no way to
+// reclaim — and under pressure admission evicts LRU entries (cache contents
+// only ever affect timings, never results), bounded per admission so a
+// transient spike cannot wipe the working set; what cannot be admitted is
+// counted in `rejected`.
+//
 // A second, optional layer (ResultRecycler) caches whole query results —
 // "usually the end result of a view is saved in the cache" — with
 // conservative invalidation: a cached result lists the (file, mtime) pairs
@@ -17,12 +33,16 @@
 #ifndef LAZYETL_ENGINE_RECYCLER_H_
 #define LAZYETL_ENGINE_RECYCLER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/memory_budget.h"
 #include "common/time.h"
 #include "storage/table.h"
 
@@ -56,12 +76,17 @@ struct CachedRecord {
   uint64_t bytes = 0;                  // accounted against the budget
 };
 
+// Eviction-safe handle to a cache entry.
+using CachedRecordPtr = std::shared_ptr<const CachedRecord>;
+
+// Value snapshot of the cache counters (the live counters are atomics).
 struct RecyclerStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t stale = 0;
   uint64_t admissions = 0;
   uint64_t evictions = 0;
+  uint64_t rejected = 0;     // admissions refused under global pressure
   uint64_t current_bytes = 0;
   uint64_t budget_bytes = 0;
   uint64_t entries = 0;
@@ -71,20 +96,25 @@ class Recycler {
  public:
   // `budget_bytes` caps the summed CachedRecord::bytes; admission evicts
   // LRU entries until the new entry fits. Entries larger than the whole
-  // budget are not admitted.
-  explicit Recycler(uint64_t budget_bytes);
+  // budget are not admitted. `governor` (may be null) is additionally
+  // charged for every resident byte — under global pressure admission
+  // evicts, and gives up rather than exceed the global cap.
+  explicit Recycler(uint64_t budget_bytes,
+                    common::MemoryBudget* governor = nullptr);
+  ~Recycler();
 
   Recycler(const Recycler&) = delete;
   Recycler& operator=(const Recycler&) = delete;
 
-  // Returns the entry and bumps it to most-recently-used, or nullptr.
-  // `current_file_mtime` triggers the staleness check: an entry whose
-  // admission mtime differs is erased and counted as stale. When `stale`
-  // is non-null it is set to whether the miss was due to staleness.
-  const CachedRecord* Lookup(const RecordKey& key, NanoTime current_file_mtime,
-                             bool* stale = nullptr);
+  // Returns the entry (bumped to most-recently-used) or null. The handle
+  // stays valid after eviction. `current_file_mtime` triggers the
+  // staleness check: an entry whose admission mtime differs is erased and
+  // counted as stale. When `stale` is non-null it is set to whether the
+  // miss was due to staleness. Thread-safe.
+  CachedRecordPtr Lookup(const RecordKey& key, NanoTime current_file_mtime,
+                         bool* stale = nullptr);
 
-  // Inserts or replaces; computes entry.bytes if zero.
+  // Inserts or replaces; computes entry.bytes if zero. Thread-safe.
   void Admit(const RecordKey& key, CachedRecord record);
 
   // Drops all entries of a file (used when a file disappears).
@@ -92,7 +122,8 @@ class Recycler {
 
   void Clear();
 
-  const RecyclerStats& stats() const { return stats_; }
+  // Race-free counter snapshot (no cache lock taken for the counters).
+  RecyclerStats stats() const;
   void ResetCounters();
 
   // Snapshot of cached keys in LRU order (least recent first) — lets the
@@ -101,17 +132,29 @@ class Recycler {
 
  private:
   struct Node {
-    CachedRecord record;
+    CachedRecordPtr record;
     std::list<RecordKey>::iterator lru_it;
   };
 
-  void EvictOne();
-  void Erase(const RecordKey& key);
+  // Both require mu_ held. EvictOneLocked returns the victim's bytes.
+  uint64_t EvictOneLocked();
+  void EraseLocked(const RecordKey& key);
 
-  uint64_t budget_bytes_;
+  const uint64_t budget_bytes_;
+  common::MemoryBudget* const governor_;
+
+  mutable std::mutex mu_;  // guards map_, lru_
   std::unordered_map<RecordKey, Node, RecordKeyHash> map_;
   std::list<RecordKey> lru_;  // front = least recently used
-  RecyclerStats stats_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> stale_{0};
+  std::atomic<uint64_t> admissions_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> current_bytes_{0};
+  std::atomic<uint64_t> entries_{0};
 };
 
 // Dependencies of a cached query result.
@@ -127,10 +170,13 @@ struct CachedResult {
   NanoTime admitted_at = 0;
 };
 
+using CachedResultPtr = std::shared_ptr<const CachedResult>;
+
 // Whole-query result cache keyed by SQL text. Validation is the caller's
 // job (it knows how to stat files); ValidateAndGet takes a callback that
 // returns the current mtime for a dependency or a negative value when the
-// file is gone.
+// file is gone. Thread-safe; the dependency stats run outside the cache
+// lock so slow filesystems never serialise concurrent queries here.
 class ResultRecycler {
  public:
   explicit ResultRecycler(size_t max_entries = 64) : max_entries_(max_entries) {}
@@ -139,38 +185,56 @@ class ResultRecycler {
   ResultRecycler& operator=(const ResultRecycler&) = delete;
 
   template <typename MtimeFn>
-  const CachedResult* ValidateAndGet(const std::string& sql, MtimeFn mtime_fn) {
-    auto it = map_.find(sql);
-    if (it == map_.end()) {
-      ++misses_;
+  CachedResultPtr ValidateAndGet(const std::string& sql, MtimeFn mtime_fn) {
+    CachedResultPtr entry;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = map_.find(sql);
+      if (it != map_.end()) entry = it->second;
+    }
+    if (entry == nullptr) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
       return nullptr;
     }
-    for (const auto& dep : it->second.deps) {
+    for (const auto& dep : entry->deps) {
       NanoTime current = mtime_fn(dep);
       if (current != dep.mtime) {
-        map_.erase(it);
-        ++invalidations_;
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = map_.find(sql);
+        // Only drop the entry we validated; a concurrent re-admission
+        // under the same SQL may already be fresher.
+        if (it != map_.end() && it->second == entry) map_.erase(it);
+        invalidations_.fetch_add(1, std::memory_order_relaxed);
         return nullptr;
       }
     }
-    ++hits_;
-    return &it->second;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return entry;
   }
 
   void Admit(const std::string& sql, CachedResult result);
-  void Clear() { map_.clear(); }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+  }
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t invalidations() const { return invalidations_; }
-  size_t entries() const { return map_.size(); }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t invalidations() const {
+    return invalidations_.load(std::memory_order_relaxed);
+  }
+  size_t entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
 
  private:
-  size_t max_entries_;
-  std::unordered_map<std::string, CachedResult> map_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t invalidations_ = 0;
+  const size_t max_entries_;
+  mutable std::mutex mu_;  // guards map_
+  std::unordered_map<std::string, CachedResultPtr> map_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> invalidations_{0};
 };
 
 }  // namespace lazyetl::engine

@@ -31,6 +31,15 @@ std::string ExecutionReport::ToString() const {
   if (query_threads > 1) {
     os << "query threads: " << query_threads << "\n";
   }
+  if (ticket_id > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "scheduler: ticket %llu | queue wait %.3fms | admitted "
+                  "budget %llu B",
+                  static_cast<unsigned long long>(ticket_id),
+                  queue_wait_seconds * 1e3,
+                  static_cast<unsigned long long>(admitted_budget_bytes));
+    os << buf << "\n";
+  }
   if (memory_budget_bytes > 0) {
     os << "memory budget: " << memory_budget_bytes << " B | spilled "
        << spilled_bytes << " B in " << spill_files << " files\n";

@@ -78,6 +78,14 @@ struct ExecutionReport {
   uint64_t spilled_bytes = 0;
   uint64_t spill_files = 0;
 
+  // Concurrent serving: the scheduler admission ticket (0 when no
+  // scheduler was involved), how long the query waited in the FIFO
+  // admission queue, and the per-query budget the scheduler carved from
+  // the global cap (0 = unlimited).
+  uint64_t ticket_id = 0;
+  double queue_wait_seconds = 0;
+  uint64_t admitted_budget_bytes = 0;
+
   // Phase timings in seconds.
   double parse_seconds = 0;
   double bind_seconds = 0;

@@ -1,5 +1,8 @@
 #include "storage/catalog.h"
 
+#include <mutex>
+#include <shared_mutex>
+
 namespace lazyetl::storage {
 
 Result<const ViewColumn*> ViewDefinition::Resolve(const std::string& qualifier,
@@ -23,6 +26,7 @@ Result<const ViewColumn*> ViewDefinition::Resolve(const std::string& qualifier,
 }
 
 Status Catalog::RegisterTable(const std::string& name, TablePtr table) {
+  std::unique_lock lock(mu_);
   if (tables_.count(name)) {
     return Status::AlreadyExists("table '" + name + "' already registered");
   }
@@ -31,10 +35,12 @@ Status Catalog::RegisterTable(const std::string& name, TablePtr table) {
 }
 
 void Catalog::PutTable(const std::string& name, TablePtr table) {
+  std::unique_lock lock(mu_);
   tables_[name] = std::move(table);
 }
 
 Result<TablePtr> Catalog::GetTable(const std::string& name) const {
+  std::shared_lock lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("no table named '" + name + "'");
@@ -43,10 +49,12 @@ Result<TablePtr> Catalog::GetTable(const std::string& name) const {
 }
 
 bool Catalog::HasTable(const std::string& name) const {
+  std::shared_lock lock(mu_);
   return tables_.count(name) > 0;
 }
 
 std::vector<std::string> Catalog::TableNames() const {
+  std::shared_lock lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, _] : tables_) names.push_back(name);
@@ -54,6 +62,7 @@ std::vector<std::string> Catalog::TableNames() const {
 }
 
 Status Catalog::RegisterView(ViewDefinition view) {
+  std::unique_lock lock(mu_);
   if (views_.count(view.name)) {
     return Status::AlreadyExists("view '" + view.name + "' already registered");
   }
@@ -63,18 +72,23 @@ Status Catalog::RegisterView(ViewDefinition view) {
 }
 
 Result<const ViewDefinition*> Catalog::GetView(const std::string& name) const {
+  std::shared_lock lock(mu_);
   auto it = views_.find(name);
   if (it == views_.end()) {
     return Status::NotFound("no view named '" + name + "'");
   }
+  // Safe to return without the lock: views are write-once (warehouse
+  // construction) and std::map nodes are address-stable.
   return &it->second;
 }
 
 bool Catalog::HasView(const std::string& name) const {
+  std::shared_lock lock(mu_);
   return views_.count(name) > 0;
 }
 
 std::vector<std::string> Catalog::ViewNames() const {
+  std::shared_lock lock(mu_);
   std::vector<std::string> names;
   names.reserve(views_.size());
   for (const auto& [name, _] : views_) names.push_back(name);
@@ -82,8 +96,16 @@ std::vector<std::string> Catalog::ViewNames() const {
 }
 
 uint64_t Catalog::MemoryBytes() const {
+  // Snapshot the table pointers under the lock; summing MemoryBytes of
+  // the (immutable once published) tables happens outside it.
+  std::vector<TablePtr> tables;
+  {
+    std::shared_lock lock(mu_);
+    tables.reserve(tables_.size());
+    for (const auto& [_, table] : tables_) tables.push_back(table);
+  }
   uint64_t total = 0;
-  for (const auto& [_, table] : tables_) {
+  for (const auto& table : tables) {
     if (table) total += table->MemoryBytes();
   }
   return total;

@@ -12,6 +12,7 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,14 @@ struct ViewDefinition {
                                     const std::string& name) const;
 };
 
+// Concurrency contract: the registry maps are internally locked, so
+// GetTable/PutTable may race freely across query threads. A published
+// TablePtr is treated as immutable — writers that need to change a table
+// build a modified copy and PutTable it (copy-on-write), so readers keep
+// scanning their snapshot safely while a new version is published. Views
+// are registered once at warehouse construction and immutable after, so
+// the ViewDefinition pointers GetView hands out stay valid without a
+// sustained lock.
 class Catalog {
  public:
   Catalog() = default;
@@ -80,7 +89,7 @@ class Catalog {
   Catalog& operator=(const Catalog&) = delete;
 
   Status RegisterTable(const std::string& name, TablePtr table);
-  // Replaces the table if it already exists.
+  // Replaces the table if it already exists (the copy-on-write publish).
   void PutTable(const std::string& name, TablePtr table);
   Result<TablePtr> GetTable(const std::string& name) const;
   bool HasTable(const std::string& name) const;
@@ -95,6 +104,7 @@ class Catalog {
   uint64_t MemoryBytes() const;
 
  private:
+  mutable std::shared_mutex mu_;  // guards the maps (not table contents)
   std::map<std::string, TablePtr> tables_;
   std::map<std::string, ViewDefinition> views_;
 };

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
+#include "common/memory_budget.h"
 #include "engine/recycler.h"
 #include "test_util.h"
 
@@ -19,7 +23,7 @@ TEST(RecyclerTest, AdmitAndLookup) {
   Recycler cache(1 << 20);
   cache.Admit({1, 1}, MakeRecord(10, 500));
   bool stale = false;
-  const CachedRecord* hit = cache.Lookup({1, 1}, 500, &stale);
+  CachedRecordPtr hit = cache.Lookup({1, 1}, 500, &stale);
   ASSERT_NE(hit, nullptr);
   EXPECT_FALSE(stale);
   EXPECT_EQ(hit->sample_times.size(), 10u);
@@ -82,7 +86,7 @@ TEST(RecyclerTest, ReplacingEntryKeepsAccounting) {
   cache.Admit({1, 1}, MakeRecord(20, 2));
   EXPECT_EQ(cache.stats().entries, 1u);
   EXPECT_GT(cache.stats().current_bytes, bytes_small);
-  const CachedRecord* hit = cache.Lookup({1, 1}, 2);
+  CachedRecordPtr hit = cache.Lookup({1, 1}, 2);
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit->sample_times.size(), 20u);
 }
@@ -125,6 +129,89 @@ TEST(RecyclerTest, KeysInLruOrder) {
   EXPECT_EQ(keys.back().seq_no, 1);   // MRU
 }
 
+TEST(RecyclerTest, GlobalPressureEvictsInLruOrder) {
+  // A finite governor bounds the cache to half the global cap even though
+  // the cache's own budget has room: entries must leave strictly
+  // least-recently-used first at that share boundary.
+  uint64_t per_entry = 100 * 12 + sizeof(CachedRecord);
+  common::MemoryBudget global(per_entry * 8);  // cache share: 4 entries
+  Recycler cache(1 << 20, &global);
+  for (int seq = 1; seq <= 4; ++seq) {
+    cache.Admit({1, seq}, MakeRecord(100, 1));
+  }
+  EXPECT_EQ(cache.stats().entries, 4u);
+  EXPECT_EQ(global.used(), per_entry * 4);
+
+  // Touch (1,1) so (1,2) is LRU; the next admission must evict exactly
+  // (1,2) at the share boundary — never the recently-used entry.
+  EXPECT_NE(cache.Lookup({1, 1}, 1), nullptr);
+  cache.Admit({1, 5}, MakeRecord(100, 1));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 4u);  // stays at the half-cap share
+  EXPECT_EQ(cache.Lookup({1, 2}, 1), nullptr);  // the LRU victim
+  EXPECT_NE(cache.Lookup({1, 1}, 1), nullptr);
+  EXPECT_NE(cache.Lookup({1, 5}, 1), nullptr);
+  // The governor never over-commits, and the cache never exceeds half of
+  // the global cap — queries always keep reclaim-free headroom.
+  EXPECT_LE(global.used(), global.limit());
+  EXPECT_LE(cache.stats().current_bytes, global.limit() / 2);
+
+  // Exhaust the remaining global headroom from the outside (concurrent
+  // queries reserving state): the next admission yields LRU entries —
+  // boundedly — and either fits or is rejected; the cap always holds.
+  while (global.TryReserve(per_entry)) {
+  }
+  cache.Admit({1, 6}, MakeRecord(100, 1));
+  EXPECT_LE(global.used(), global.limit());
+  EXPECT_EQ(cache.stats().rejected + cache.stats().admissions, 6u);
+}
+
+TEST(RecyclerTest, HandleSurvivesEviction) {
+  // A lookup handle must stay readable after the entry is evicted by a
+  // later admission (the concurrent-query safety contract).
+  uint64_t per_entry = 100 * 12 + sizeof(CachedRecord);
+  Recycler cache(per_entry);  // room for exactly one entry
+  cache.Admit({1, 1}, MakeRecord(100, 7));
+  CachedRecordPtr hit = cache.Lookup({1, 1}, 7);
+  ASSERT_NE(hit, nullptr);
+  cache.Admit({1, 2}, MakeRecord(100, 7));  // evicts (1,1)
+  EXPECT_EQ(cache.Lookup({1, 1}, 7), nullptr);
+  EXPECT_EQ(hit->sample_times.size(), 100u);  // still valid
+  EXPECT_EQ(hit->file_mtime, 7);
+}
+
+TEST(RecyclerTest, ConcurrentMixedUseKeepsCountersConsistent) {
+  uint64_t per_entry = 10 * 12 + sizeof(CachedRecord);
+  Recycler cache(per_entry * 8);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 400;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {
+      for (int i = 0; i < kOps; ++i) {
+        RecordKey key{1 + (i + t) % 4, (i * 7 + t) % 16};
+        if (i % 3 == 0) {
+          cache.Admit(key, MakeRecord(10, 1));
+        } else {
+          bool stale = false;
+          CachedRecordPtr hit = cache.Lookup(key, 1, &stale);
+          if (hit != nullptr) {
+            // Reading through the handle must always be safe.
+            EXPECT_EQ(hit->sample_times.size(), 10u);
+          }
+        }
+        if (i % 97 == 0) cache.InvalidateFile(2);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  RecyclerStats s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses + s.stale,
+            static_cast<uint64_t>(kThreads) * ((kOps * 2) / 3));
+  EXPECT_LE(s.current_bytes, per_entry * 8);
+  EXPECT_EQ(s.entries, cache.Keys().size());
+}
+
 TEST(ResultRecyclerTest, HitMissAndInvalidation) {
   ResultRecycler cache;
   CachedResult result;
@@ -135,7 +222,7 @@ TEST(ResultRecyclerTest, HitMissAndInvalidation) {
 
   // All deps unchanged -> hit.
   auto unchanged = [](const ResultDependency& d) { return d.mtime; };
-  const CachedResult* hit = cache.ValidateAndGet("SELECT 1", unchanged);
+  CachedResultPtr hit = cache.ValidateAndGet("SELECT 1", unchanged);
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit->table.num_rows(), 1u);
   EXPECT_EQ(cache.hits(), 1u);
