@@ -1,80 +1,376 @@
 #include "common/query_scheduler.h"
 
-#include "common/time.h"
+#include <algorithm>
+#include <chrono>
 
 namespace lazyetl::common {
+namespace {
+
+// Floor of the footprint-derived per-query budget carve: estimates are
+// heuristic, and a carve below one pipeline batch would force pathological
+// spilling on queries that misestimated small.
+constexpr uint64_t kMinFootprintCarveBytes = 64ULL << 10;
+
+int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* QueryPriorityToString(QueryPriority p) {
+  switch (p) {
+    case QueryPriority::kLow:
+      return "low";
+    case QueryPriority::kNormal:
+      return "normal";
+    case QueryPriority::kHigh:
+      return "high";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionQueue
+// ---------------------------------------------------------------------------
+
+uint64_t AdmissionQueue::Enqueue(const AdmissionRequest& req,
+                                 int64_t now_nanos) {
+  const uint64_t id = next_id_++;
+  Waiter w;
+  w.req = req;
+  w.req.client_weight = std::max<uint32_t>(1, req.client_weight);
+  w.enqueue_nanos = now_nanos;
+  if (req.queue_timeout_ms > 0) {
+    w.deadline_nanos = now_nanos + req.queue_timeout_ms * 1000000LL;
+  }
+  waiters_.emplace(id, std::move(w));
+  ++waiting_count_;
+
+  ClassQueue& cq = class_queue(req.priority);
+  auto [it, inserted] = cq.clients.try_emplace(req.client_id);
+  if (inserted) cq.rotation.push_back(req.client_id);
+  it->second.push_back(id);
+  // Last write wins: a tenant's weight is whatever its newest request says.
+  cq.weights[req.client_id] = std::max<uint32_t>(1, req.client_weight);
+  return id;
+}
+
+bool AdmissionQueue::FootprintFits(uint64_t estimate) const {
+  if (estimate == 0 || config_.footprint_limit_bytes == 0) return true;
+  // A sole in-flight query always fits: an estimate above the whole
+  // ceiling must still be runnable (budgets and spilling govern reality).
+  if (footprint_in_use_ == 0) return true;
+  return footprint_in_use_ + estimate <= config_.footprint_limit_bytes;
+}
+
+uint64_t AdmissionQueue::PickAdmissible(std::vector<uint64_t>* skipped) {
+  skipped->clear();
+  if (config_.max_concurrent > 0 && active_count_ >= config_.max_concurrent) {
+    return 0;
+  }
+  // Strict class order: HIGH before NORMAL before LOW.
+  for (int cls = kNumClasses - 1; cls >= 0; --cls) {
+    ClassQueue& cq = classes_[cls];
+    if (cq.rotation.empty()) continue;
+    if (cq.cursor >= cq.rotation.size()) cq.cursor = 0;
+    if (cq.credit == 0) cq.credit = cq.weights[cq.rotation[cq.cursor]];
+    // Weighted fair share: clients are scanned in rotation order starting
+    // at the cursor; within a client, FIFO. With one client this is plain
+    // FIFO within the class.
+    for (size_t i = 0; i < cq.rotation.size(); ++i) {
+      const std::string& client =
+          cq.rotation[(cq.cursor + i) % cq.rotation.size()];
+      for (uint64_t id : cq.clients[client]) {
+        Waiter& w = waiters_.at(id);
+        if (FootprintFits(w.req.estimated_bytes)) return id;
+        // Footprint-blocked: later, smaller waiters may overtake — but a
+        // waiter bypassed to its bound pins the scan until it fits, so
+        // large queries are never starved.
+        if (w.bypassed >= config_.max_bypasses) {
+          skipped->clear();
+          return 0;
+        }
+        skipped->push_back(id);
+      }
+    }
+  }
+  return 0;
+}
+
+std::vector<uint64_t> AdmissionQueue::Dispatch() {
+  std::vector<uint64_t> admitted;
+  std::vector<uint64_t> skipped;
+  while (true) {
+    const uint64_t id = PickAdmissible(&skipped);
+    if (id == 0) break;
+    Waiter& w = waiters_.at(id);
+    ClassQueue& cq = class_queue(w.req.priority);
+    const std::string& client = w.req.client_id;
+    const bool rotation_turn = !cq.rotation.empty() &&
+                               cq.rotation[cq.cursor] == client &&
+                               cq.clients[client].front() == id;
+
+    auto& dq = cq.clients[client];
+    dq.erase(std::find(dq.begin(), dq.end(), id));
+    if (dq.empty()) {
+      DropClient(&cq, client);
+    } else if (rotation_turn) {
+      // Consume one unit of this client's fair-share credit; an exhausted
+      // credit hands the turn to the next client in rotation.
+      if (cq.credit > 0) --cq.credit;
+      if (cq.credit == 0 && cq.rotation.size() > 1) {
+        cq.cursor = (cq.cursor + 1) % cq.rotation.size();
+      }
+    }
+
+    w.state = WaiterState::kAdmitted;
+    --waiting_count_;
+    ++active_count_;
+    ++total_admitted_;
+    footprint_in_use_ += w.req.estimated_bytes;
+    if (!skipped.empty()) {
+      ++total_bypass_admissions_;
+      for (uint64_t over : skipped) ++waiters_.at(over).bypassed;
+    }
+    admitted.push_back(id);
+  }
+  return admitted;
+}
+
+std::vector<uint64_t> AdmissionQueue::ExpireTimeouts(int64_t now_nanos) {
+  std::vector<uint64_t> expired;
+  for (auto& [id, w] : waiters_) {
+    if (w.state != WaiterState::kWaiting) continue;
+    if (w.deadline_nanos < 0 || w.deadline_nanos > now_nanos) continue;
+    w.state = WaiterState::kTimedOut;
+    RemoveFromQueue(id);
+    --waiting_count_;
+    ++total_timed_out_;
+    expired.push_back(id);
+  }
+  return expired;
+}
+
+bool AdmissionQueue::ExpireNow(uint64_t id) {
+  auto it = waiters_.find(id);
+  if (it == waiters_.end() || it->second.state != WaiterState::kWaiting) {
+    return false;
+  }
+  it->second.state = WaiterState::kTimedOut;
+  RemoveFromQueue(id);
+  --waiting_count_;
+  ++total_timed_out_;
+  return true;
+}
+
+bool AdmissionQueue::Cancel(uint64_t id) {
+  auto it = waiters_.find(id);
+  if (it == waiters_.end() || it->second.state != WaiterState::kWaiting) {
+    return false;
+  }
+  it->second.state = WaiterState::kCancelled;
+  RemoveFromQueue(id);
+  --waiting_count_;
+  return true;
+}
+
+void AdmissionQueue::Release(uint64_t id) {
+  auto it = waiters_.find(id);
+  if (it == waiters_.end() || it->second.state != WaiterState::kAdmitted) {
+    return;
+  }
+  const uint64_t estimate = it->second.req.estimated_bytes;
+  footprint_in_use_ -= std::min(footprint_in_use_, estimate);
+  --active_count_;
+  waiters_.erase(it);
+}
+
+void AdmissionQueue::Forget(uint64_t id) {
+  auto it = waiters_.find(id);
+  if (it == waiters_.end() || it->second.state == WaiterState::kWaiting ||
+      it->second.state == WaiterState::kAdmitted) {
+    return;
+  }
+  waiters_.erase(it);
+}
+
+AdmissionQueue::WaiterState AdmissionQueue::state(uint64_t id) const {
+  auto it = waiters_.find(id);
+  return it == waiters_.end() ? WaiterState::kUnknown : it->second.state;
+}
+
+int64_t AdmissionQueue::enqueue_nanos(uint64_t id) const {
+  auto it = waiters_.find(id);
+  return it == waiters_.end() ? 0 : it->second.enqueue_nanos;
+}
+
+void AdmissionQueue::RemoveFromQueue(uint64_t id) {
+  Waiter& w = waiters_.at(id);
+  ClassQueue& cq = class_queue(w.req.priority);
+  auto it = cq.clients.find(w.req.client_id);
+  if (it == cq.clients.end()) return;
+  auto pos = std::find(it->second.begin(), it->second.end(), id);
+  if (pos == it->second.end()) return;
+  it->second.erase(pos);
+  if (it->second.empty()) DropClient(&cq, w.req.client_id);
+}
+
+void AdmissionQueue::DropClient(ClassQueue* cq, const std::string& client) {
+  cq->clients.erase(client);
+  cq->weights.erase(client);
+  auto pos = std::find(cq->rotation.begin(), cq->rotation.end(), client);
+  if (pos == cq->rotation.end()) return;
+  const size_t idx = static_cast<size_t>(pos - cq->rotation.begin());
+  cq->rotation.erase(pos);
+  if (idx < cq->cursor) {
+    --cq->cursor;
+  } else if (idx == cq->cursor) {
+    // The cursor's client left; its remaining credit dies with it.
+    cq->credit = 0;
+  }
+  if (cq->cursor >= cq->rotation.size()) cq->cursor = 0;
+}
+
+// ---------------------------------------------------------------------------
+// QueryScheduler
+// ---------------------------------------------------------------------------
 
 QueryScheduler::QueryScheduler(size_t max_concurrent,
                                uint64_t per_query_budget_bytes,
                                MemoryBudget* global_budget)
     : max_concurrent_(max_concurrent),
       per_query_budget_bytes_(per_query_budget_bytes),
-      global_budget_(global_budget) {}
+      global_budget_(global_budget),
+      queue_(AdmissionQueue::Config{
+          max_concurrent,
+          global_budget != nullptr ? global_budget->limit() : 0,
+          kMaxAdmissionBypasses}) {}
 
-QueryTicket QueryScheduler::Admit() {
-  Stopwatch wait;
-  QueryTicket ticket;
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    uint64_t my_turn = next_ticket_++;
-    // Strict FIFO: wait both for a free slot and for every earlier arrival
-    // to have been served, so a long queue cannot be overtaken by a lucky
-    // late wakeup.
-    slot_free_.wait(lock, [&] {
-      return (max_concurrent_ == 0 || active_ < max_concurrent_) &&
-             my_turn == next_serving_;
-    });
-    ++next_serving_;
-    ++active_;
-    ++total_admitted_;
-    ticket.id_ = my_turn;
-    ticket.scheduler_ = this;
-    // Serving the next arrival may already be possible (slots > 1).
-    slot_free_.notify_all();
+int64_t QueryScheduler::NowNanos() const {
+  return clock_ ? clock_() : SteadyNowNanos();
+}
+
+void QueryScheduler::SetClockForTesting(std::function<int64_t()> clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = std::move(clock);
+}
+
+void QueryScheduler::DispatchLocked() {
+  // The global limit is reconfigurable at run time; re-read it so the
+  // footprint gate always reflects the current cap.
+  queue_.set_footprint_limit(global_budget_ != nullptr ? global_budget_->limit()
+                                                       : 0);
+  if (!queue_.Dispatch().empty()) admitted_cv_.notify_all();
+}
+
+Result<QueryTicket> QueryScheduler::Admit(const AdmissionRequest& req) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const int64_t enqueued_at = NowNanos();
+  const uint64_t id = queue_.Enqueue(req, enqueued_at);
+  DispatchLocked();
+
+  const bool has_deadline = req.queue_timeout_ms > 0;
+  const auto steady_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(has_deadline ? req.queue_timeout_ms : 0);
+  while (queue_.state(id) == AdmissionQueue::WaiterState::kWaiting) {
+    if (!has_deadline) {
+      admitted_cv_.wait(lock);
+      continue;
+    }
+    if (admitted_cv_.wait_until(lock, steady_deadline) ==
+        std::cv_status::timeout) {
+      // The (injectable) scheduler clock is authoritative for expiry; the
+      // real-time wakeup only says "go check". Under the default clock
+      // they agree; with a lagging test clock the waiter is force-expired
+      // so a blocking caller can never hang past its real deadline.
+      queue_.ExpireTimeouts(NowNanos());
+      if (queue_.state(id) == AdmissionQueue::WaiterState::kWaiting) {
+        queue_.ExpireNow(id);
+      }
+    }
   }
-  ticket.queue_wait_seconds_ = wait.ElapsedSeconds();
 
-  // Resolve the per-query cap: the configured per-query budget, or an
-  // equal carve of a finite global budget across the concurrency slots.
+  if (queue_.state(id) != AdmissionQueue::WaiterState::kAdmitted) {
+    queue_.Forget(id);
+    // The departed waiter may have been the footprint-blocked head pinning
+    // the queue; whoever it unblocks gets admitted (and woken) now.
+    DispatchLocked();
+    return Status::DeadlineExceeded(
+        "admission queue timeout after " +
+        std::to_string(req.queue_timeout_ms) + " ms (priority " +
+        std::string(QueryPriorityToString(req.priority)) + ", " +
+        std::to_string(queue_.active()) + " active, " +
+        std::to_string(queue_.waiting()) + " still waiting)");
+  }
+
+  QueryTicket ticket;
+  ticket.id_ = id;
+  ticket.scheduler_ = this;
+  ticket.request_ = req;
+  // Monotonic queue-wait accounting, enqueue to admission: covers the slot
+  // wait and any time blocked on footprint headroom.
+  ticket.queue_wait_seconds_ =
+      static_cast<double>(NowNanos() - enqueued_at) / 1e9;
+
+  // Resolve the per-query cap: the configured per-query budget wins; else
+  // a finite global budget is carved by the footprint estimate when the
+  // query brought one, else as an equal share across the slots.
   uint64_t limit = per_query_budget_bytes_;
-  uint64_t global_limit =
+  const uint64_t global_limit =
       global_budget_ != nullptr ? global_budget_->limit() : 0;
-  if (limit == 0 && global_limit != 0 && max_concurrent_ > 0) {
-    limit = std::max<uint64_t>(1, global_limit / max_concurrent_);
+  if (limit == 0 && global_limit != 0) {
+    if (req.estimated_bytes > 0) {
+      limit = std::min(std::max(req.estimated_bytes, kMinFootprintCarveBytes),
+                       global_limit);
+    } else if (max_concurrent_ > 0) {
+      limit = std::max<uint64_t>(1, global_limit / max_concurrent_);
+    }
   }
   ticket.admitted_budget_bytes_ = limit;
   ticket.budget_ = std::make_unique<MemoryBudget>(limit, global_budget_);
   return ticket;
 }
 
-void QueryScheduler::ReleaseSlot() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    --active_;
-  }
-  slot_free_.notify_all();
+void QueryScheduler::ReleaseTicket(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.Release(id);
+  DispatchLocked();
 }
 
 uint64_t QueryScheduler::total_admitted() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return total_admitted_;
+  return queue_.total_admitted();
+}
+
+uint64_t QueryScheduler::total_timed_out() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.total_timed_out();
+}
+
+uint64_t QueryScheduler::total_bypass_admissions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.total_bypass_admissions();
 }
 
 size_t QueryScheduler::active() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return active_;
+  return queue_.active();
 }
 
 size_t QueryScheduler::waiting() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<size_t>(next_ticket_ - next_serving_);
+  return queue_.waiting();
 }
 
 void QueryTicket::Release() {
   if (scheduler_ == nullptr) return;
-  // Only the slot is released; the budget stays valid until the ticket is
-  // destroyed (it chains to the leaked process-global budget).
-  scheduler_->ReleaseSlot();
+  // Only the slot (and footprint reservation) is released; the budget
+  // stays valid until the ticket is destroyed (it chains to the leaked
+  // process-global budget).
+  scheduler_->ReleaseTicket(id_);
   scheduler_ = nullptr;
 }
 

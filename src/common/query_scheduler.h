@@ -1,4 +1,5 @@
-// QueryScheduler: admission control for concurrent query serving.
+// QueryScheduler: workload-aware admission control for concurrent query
+// serving.
 //
 // A shared Warehouse may be driven by many Query() callers at once; the
 // scheduler bounds how many execute simultaneously and hands each admitted
@@ -6,32 +7,224 @@
 // pipeline-breaker state, recycler admissions and extraction windows of
 // every in-flight query draw from one cap.
 //
-// Admission is strict FIFO: at most `max_concurrent` tickets are
-// outstanding; callers beyond that block in arrival order. A QueryTicket
-// is RAII — destroying it (query done, success or error) admits the next
-// waiter. `max_concurrent` = 0 disables the bound (every caller is
-// admitted immediately), which keeps single-client embedding free of any
-// scheduling overhead beyond one uncontended mutex.
+// Admission is policy-driven:
+//
+//   priority classes   strict ordering between classes (HIGH before NORMAL
+//                      before LOW), FIFO within a class. A cold analytical
+//                      scan queued at LOW can never delay an interactive
+//                      HIGH lookup by more than the in-flight queries.
+//   fair share         within a class, waiters of distinct client ids are
+//                      admitted in weighted round-robin rotation over the
+//                      clients, so no tenant monopolizes the slots. With a
+//                      single client (the default anonymous tenant) the
+//                      rotation degenerates to plain FIFO.
+//   queue timeouts     a waiter whose queue_timeout_ms expires before
+//                      admission fails with Status::DeadlineExceeded; its
+//                      departure cannot leak a slot, a budget reservation
+//                      or a spill directory (none were created yet).
+//   footprint gating   a waiter carrying a non-zero estimated_bytes is
+//                      admitted only when the global budget has headroom
+//                      for the estimate; smaller queries may be admitted
+//                      past a blocked large one (bounded by
+//                      kMaxAdmissionBypasses, so the large query is never
+//                      starved), and the per-query budget is carved from
+//                      the estimate instead of the blind equal share.
+//
+// With every request at the same priority, no timeouts and no estimates
+// (the defaults), admission order is byte-identical to the strict-FIFO
+// scheduler this generalises: at most `max_concurrent` tickets are
+// outstanding and callers beyond that block in arrival order. A
+// QueryTicket is RAII — destroying it (query done, success or error)
+// admits the next waiter. `max_concurrent` = 0 disables the slot bound.
+//
+// The policy itself lives in AdmissionQueue, a synchronous state machine
+// with no threads, locks or clock of its own — every transition takes the
+// current time as an argument, so tests drive it deterministically with a
+// fake clock. QueryScheduler wraps it with the mutex/condvar blocking
+// protocol and the budget carve.
 
 #ifndef LAZYETL_COMMON_QUERY_SCHEDULER_H_
 #define LAZYETL_COMMON_QUERY_SCHEDULER_H_
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <vector>
 
 #include "common/memory_budget.h"
+#include "common/result.h"
 
 namespace lazyetl::common {
 
 class QueryScheduler;
 
+// Priority classes, ordered: higher value = served first.
+enum class QueryPriority : int {
+  kLow = 0,     // background / batch analytics
+  kNormal = 1,  // the default
+  kHigh = 2,    // interactive, latency-sensitive
+};
+
+const char* QueryPriorityToString(QueryPriority p);
+
+// Everything a caller can tell the scheduler about a query before it runs.
+struct AdmissionRequest {
+  QueryPriority priority = QueryPriority::kNormal;
+  // Fair-share tenant key; "" = the shared anonymous tenant.
+  std::string client_id;
+  // Consecutive admissions this client receives per fair-share rotation
+  // turn (>= 1); a weight-2 client gets two slots for every one a
+  // weight-1 client gets when both have waiters queued.
+  uint32_t client_weight = 1;
+  // > 0: fail admission with DeadlineExceeded after this many ms in the
+  // queue. <= 0: wait forever.
+  int64_t queue_timeout_ms = 0;
+  // Estimated peak memory footprint of the query (0 = unknown/disabled).
+  // Gates admission on global-budget headroom and replaces the equal-share
+  // per-query budget carve.
+  uint64_t estimated_bytes = 0;
+};
+
+// A waiter skipped over this many times by smaller queries stops being
+// bypassable: admission stalls until it fits, bounding starvation of large
+// queries under footprint-aware admission.
+inline constexpr uint32_t kMaxAdmissionBypasses = 16;
+
+// The admission policy core: priority classes, weighted fair-share
+// rotation, deadline expiry and footprint gating over a set of waiters.
+// Purely synchronous — no locks (callers synchronize) and no clock (time
+// is always passed in), so unit tests drive every schedule
+// deterministically. Ids are process-unique arrival numbers and double as
+// scheduler ticket ids.
+class AdmissionQueue {
+ public:
+  enum class WaiterState {
+    kUnknown,   // id never seen or already forgotten
+    kWaiting,   // queued, not yet admitted
+    kAdmitted,  // holds a slot (and footprint) until Release
+    kTimedOut,  // deadline expired before admission
+    kCancelled, // withdrawn before admission
+  };
+
+  struct Config {
+    size_t max_concurrent = 0;        // 0 = unbounded slots
+    uint64_t footprint_limit_bytes = 0;  // 0 = no footprint gating
+    uint32_t max_bypasses = kMaxAdmissionBypasses;
+  };
+
+  explicit AdmissionQueue(Config config) : config_(config) {}
+
+  // The footprint ceiling can change at run time (the global budget is
+  // reconfigurable); takes effect at the next Dispatch.
+  void set_footprint_limit(uint64_t bytes) {
+    config_.footprint_limit_bytes = bytes;
+  }
+
+  // Adds a waiter; returns its id (arrival order). Does not dispatch.
+  uint64_t Enqueue(const AdmissionRequest& req, int64_t now_nanos);
+
+  // Admits every currently-admissible waiter in policy order and returns
+  // their ids in admission order. Call after anything that could free
+  // capacity or add waiters.
+  std::vector<uint64_t> Dispatch();
+
+  // Expires every waiting id whose deadline is <= now; returns the newly
+  // timed-out ids. An admitted id never expires.
+  std::vector<uint64_t> ExpireTimeouts(int64_t now_nanos);
+
+  // Force-expires a waiting id regardless of its deadline (false when it
+  // is not waiting). Used by the blocking wrapper when the real-time
+  // wakeup fires but an injected test clock lags the deadline.
+  bool ExpireNow(uint64_t id);
+
+  // Withdraws a waiting id (false when it is not waiting — e.g. it won
+  // the race and was admitted first).
+  bool Cancel(uint64_t id);
+
+  // An admitted id finished: releases its slot and footprint and drops
+  // its record.
+  void Release(uint64_t id);
+
+  // Drops the record of a terminal (timed-out / cancelled) id.
+  void Forget(uint64_t id);
+
+  WaiterState state(uint64_t id) const;
+  // Enqueue timestamp of a live id (0 when unknown).
+  int64_t enqueue_nanos(uint64_t id) const;
+
+  size_t active() const { return active_count_; }
+  size_t waiting() const { return waiting_count_; }
+  uint64_t total_admitted() const { return total_admitted_; }
+  uint64_t total_timed_out() const { return total_timed_out_; }
+  // Admissions that overtook a footprint-blocked earlier waiter.
+  uint64_t total_bypass_admissions() const { return total_bypass_admissions_; }
+  uint64_t footprint_in_use() const { return footprint_in_use_; }
+
+ private:
+  struct Waiter {
+    AdmissionRequest req;
+    int64_t enqueue_nanos = 0;
+    int64_t deadline_nanos = -1;  // -1 = no deadline
+    WaiterState state = WaiterState::kWaiting;
+    uint32_t bypassed = 0;  // times a later waiter was admitted past this
+  };
+
+  // One priority class: per-client FIFO queues plus the weighted
+  // round-robin rotation state across clients.
+  struct ClassQueue {
+    std::map<std::string, std::deque<uint64_t>> clients;
+    std::map<std::string, uint32_t> weights;
+    std::vector<std::string> rotation;  // first-arrival order of clients
+    size_t cursor = 0;    // rotation index currently being served
+    uint32_t credit = 0;  // admissions left for rotation[cursor]
+  };
+
+  static constexpr int kNumClasses = 3;
+
+  ClassQueue& class_queue(QueryPriority p) {
+    return classes_[static_cast<int>(p)];
+  }
+
+  // True when `estimate` fits the footprint ceiling right now. A sole
+  // query always fits (an estimate above the whole ceiling must still be
+  // runnable — budgets and spilling govern its real usage).
+  bool FootprintFits(uint64_t estimate) const;
+
+  // Picks the next admissible waiter in policy order (0 = none). Waiters
+  // skipped over because their footprint does not fit are returned in
+  // `*skipped`; a skipped waiter at its bypass bound stops the scan.
+  uint64_t PickAdmissible(std::vector<uint64_t>* skipped);
+
+  // Removes `id` from its class/client queue (it must be queued).
+  void RemoveFromQueue(uint64_t id);
+
+  // Drops `client` from `cq`'s rotation, keeping cursor/credit coherent.
+  void DropClient(ClassQueue* cq, const std::string& client);
+
+  Config config_;
+  std::map<uint64_t, Waiter> waiters_;
+  ClassQueue classes_[kNumClasses];
+  uint64_t next_id_ = 1;
+  size_t active_count_ = 0;
+  size_t waiting_count_ = 0;
+  uint64_t footprint_in_use_ = 0;
+  uint64_t total_admitted_ = 0;
+  uint64_t total_timed_out_ = 0;
+  uint64_t total_bypass_admissions_ = 0;
+};
+
 // One admitted query's scheduling state: its ticket id (process-unique,
-// also used to label spill directories), how long it waited in the FIFO
-// queue, and the per-query MemoryBudget the scheduler carved for it
+// also used to label spill directories), the request it was admitted
+// under, how long it waited in the admission queue (monotonic clock,
+// inclusive of time blocked on footprint headroom, not just the slot
+// wait), and the per-query MemoryBudget the scheduler carved for it
 // (chained to the global budget). Move-only RAII: destruction releases
-// the concurrency slot.
+// the concurrency slot and footprint reservation.
 class QueryTicket {
  public:
   QueryTicket() = default;
@@ -45,6 +238,7 @@ class QueryTicket {
       Release();
       scheduler_ = other.scheduler_;
       id_ = other.id_;
+      request_ = std::move(other.request_);
       queue_wait_seconds_ = other.queue_wait_seconds_;
       admitted_budget_bytes_ = other.admitted_budget_bytes_;
       budget_ = std::move(other.budget_);
@@ -57,6 +251,7 @@ class QueryTicket {
   void Release();
 
   uint64_t id() const { return id_; }
+  const AdmissionRequest& request() const { return request_; }
   double queue_wait_seconds() const { return queue_wait_seconds_; }
   // The per-query cap the scheduler resolved (0 = unlimited).
   uint64_t admitted_budget_bytes() const { return admitted_budget_bytes_; }
@@ -69,6 +264,7 @@ class QueryTicket {
 
   QueryScheduler* scheduler_ = nullptr;
   uint64_t id_ = 0;
+  AdmissionRequest request_;
   double queue_wait_seconds_ = 0;
   uint64_t admitted_budget_bytes_ = 0;
   std::unique_ptr<MemoryBudget> budget_;
@@ -78,9 +274,10 @@ class QueryScheduler {
  public:
   // `max_concurrent` = 0 means unbounded. `per_query_budget_bytes` is the
   // configured per-query cap (0 = unlimited); when it is unlimited but the
-  // global budget is finite and the scheduler is bounded, each admitted
-  // query instead gets an equal share (global limit / max_concurrent) so
-  // the global cap is never oversubscribed by design. Either way the
+  // global budget is finite, each admitted query gets its footprint
+  // estimate (clamped to the global limit) if it carries one, else — with
+  // a bounded scheduler — an equal share (global limit / max_concurrent)
+  // so the global cap is never oversubscribed by design. Either way the
   // per-query budget chains to `global_budget`, so global pressure is
   // enforced even for mis-estimated shares.
   QueryScheduler(size_t max_concurrent, uint64_t per_query_budget_bytes,
@@ -89,33 +286,45 @@ class QueryScheduler {
   QueryScheduler(const QueryScheduler&) = delete;
   QueryScheduler& operator=(const QueryScheduler&) = delete;
 
-  // Blocks until a concurrency slot is free (strict arrival order) and
-  // returns the admission ticket.
-  QueryTicket Admit();
+  // Blocks until the policy admits this request and returns the admission
+  // ticket, or fails with Status::DeadlineExceeded when
+  // `req.queue_timeout_ms` expires first. The default request reproduces
+  // strict-FIFO admission.
+  Result<QueryTicket> Admit(const AdmissionRequest& req = {});
 
   size_t max_concurrent() const { return max_concurrent_; }
 
-  // Observability: total admissions and the number of callers currently
-  // inside / queued (racy snapshots, for reporting only).
+  // Observability: totals and the number of callers currently inside /
+  // queued (racy snapshots, for reporting only).
   uint64_t total_admitted() const;
+  uint64_t total_timed_out() const;
+  uint64_t total_bypass_admissions() const;
   size_t active() const;
   size_t waiting() const;
+
+  // Test hook: replaces the monotonic clock (nanoseconds) behind queue
+  // timestamps, deadline expiry and queue-wait accounting. Not for
+  // production use.
+  void SetClockForTesting(std::function<int64_t()> clock);
 
  private:
   friend class QueryTicket;
 
-  void ReleaseSlot();
+  void ReleaseTicket(uint64_t id);
+  // Re-reads the global limit (it can change at run time) and admits
+  // whatever the policy allows; wakes blocked waiters when anything
+  // changed. Requires mu_.
+  void DispatchLocked();
+  int64_t NowNanos() const;
 
   const size_t max_concurrent_;
   const uint64_t per_query_budget_bytes_;
   MemoryBudget* const global_budget_;
 
   mutable std::mutex mu_;
-  std::condition_variable slot_free_;
-  uint64_t next_ticket_ = 1;   // arrival order (and ticket ids)
-  uint64_t next_serving_ = 1;  // the arrival allowed to take the next slot
-  size_t active_ = 0;
-  uint64_t total_admitted_ = 0;
+  std::condition_variable admitted_cv_;
+  AdmissionQueue queue_;
+  std::function<int64_t()> clock_;  // null = steady_clock
 };
 
 }  // namespace lazyetl::common

@@ -28,6 +28,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "already-exists";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
   }
   return "unknown";
 }

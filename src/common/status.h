@@ -30,6 +30,7 @@ enum class StatusCode : int {
   kResourceExhausted = 9, // cache/memory budget exceeded hard limit
   kAlreadyExists = 10,    // duplicate table/view/file registration
   kInternal = 11,         // invariant violation (a bug in lazyetl)
+  kDeadlineExceeded = 12, // admission-queue or operation timeout expired
 };
 
 // Returns a stable lowercase name for the code, e.g. "invalid-argument".
@@ -86,6 +87,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -105,6 +109,7 @@ class Status {
   bool IsResourceExhausted() const { return code() == StatusCode::kResourceExhausted; }
   bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const { return code() == StatusCode::kDeadlineExceeded; }
 
   // "OK" or "<code-name>: <message>".
   std::string ToString() const;

@@ -834,6 +834,18 @@ Result<std::unique_ptr<Warehouse>> Warehouse::Open(WarehouseOptions options) {
       max_concurrent = static_cast<size_t>(std::strtoull(env, nullptr, 10));
     }
   }
+  if (wh->options_.queue_timeout_ms == 0) {
+    if (const char* env = std::getenv("LAZYETL_QUEUE_TIMEOUT_MS")) {
+      wh->options_.queue_timeout_ms = std::strtoll(env, nullptr, 10);
+    }
+  }
+  if (!wh->options_.footprint_aware_admission) {
+    if (const char* env = std::getenv("LAZYETL_FOOTPRINT_ADMISSION")) {
+      const std::string value = ToLowerAscii(env);
+      wh->options_.footprint_aware_admission =
+          value == "1" || value == "true" || value == "on" || value == "yes";
+    }
+  }
   wh->scheduler_ = std::make_unique<common::QueryScheduler>(
       max_concurrent,
       common::ResolvePerQueryBudgetBytes(wh->options_.memory_budget_bytes),
@@ -1396,17 +1408,57 @@ Status Warehouse::HydrateForQuery(const sql::BoundQuery& query,
 }
 
 Result<QueryResult> Warehouse::Query(const std::string& sql) {
+  return Query(sql, QueryOptions());
+}
+
+int64_t Warehouse::ResolveQueueTimeoutMs(int64_t query_timeout_ms) const {
+  if (query_timeout_ms > 0) return query_timeout_ms;
+  if (query_timeout_ms < 0) return 0;  // explicit "never", beats the default
+  return options_.queue_timeout_ms > 0 ? options_.queue_timeout_ms : 0;
+}
+
+Result<uint64_t> Warehouse::EstimateColdExtractionBytes(
+    const sql::BoundQuery& query) {
+  LAZYETL_ASSIGN_OR_RETURN(std::vector<int64_t> candidates,
+                           CandidateFileIds(query));
+  uint64_t bytes = 0;
+  std::shared_lock lock(meta_mu_);
+  for (int64_t fid : candidates) {
+    if (fid < 1 || static_cast<size_t>(fid) > files_.size()) continue;
+    const FileEntry& entry = files_[fid - 1];
+    if (entry.file_id == 0) continue;
+    bytes += entry.size;
+  }
+  return bytes;
+}
+
+Result<QueryResult> Warehouse::Query(const std::string& sql,
+                                     const QueryOptions& query_options) {
   Stopwatch total;
   ExecutionReport report;
   report.sql = sql;
 
-  // Admission control: FIFO ticket, held (RAII, via the QueryContext) for
-  // the query's whole lifetime. The ticket's budget — carved from the
-  // process-global cap — governs breaker state, extraction windows and
-  // (via the recycler's governor) cache admissions.
-  common::QueryTicket ticket = scheduler_->Admit();
-  LogOp(LogCategory::kQuery,
-        "query (ticket " + std::to_string(ticket.id()) + "): " + sql);
+  common::AdmissionRequest request;
+  request.priority = query_options.priority;
+  request.client_id = query_options.client_id;
+  request.client_weight = query_options.client_weight;
+  request.queue_timeout_ms =
+      ResolveQueueTimeoutMs(query_options.queue_timeout_ms);
+
+  // Admission control: policy-driven ticket, held (RAII, via the
+  // QueryContext) for the query's whole lifetime. The ticket's budget —
+  // carved from the process-global cap — governs breaker state,
+  // extraction windows and (via the recycler's governor) cache
+  // admissions. Only footprint-aware admission needs the plan before the
+  // ticket; otherwise admit first, so the scheduler bound also caps
+  // concurrent metadata refresh/hydration work (the PR 4 shape).
+  common::QueryTicket ticket;
+  if (!options_.footprint_aware_admission) {
+    LAZYETL_ASSIGN_OR_RETURN(ticket, scheduler_->Admit(request));
+    LogOp(LogCategory::kQuery,
+          "query (ticket " + std::to_string(ticket.id()) + ", priority " +
+              common::QueryPriorityToString(request.priority) + "): " + sql);
+  }
 
   Stopwatch phase;
   LAZYETL_ASSIGN_OR_RETURN(sql::SelectStatement stmt, sql::Parse(sql));
@@ -1439,6 +1491,36 @@ Result<QueryResult> Warehouse::Query(const std::string& sql) {
   LogOp(LogCategory::kPlan,
         "compile-time reorganisation done (metadata predicates first)");
 
+  // Footprint-aware admission: estimate from the just-built plan, then
+  // take the ticket.
+  if (options_.footprint_aware_admission) {
+    uint64_t lazy_bytes = 0;
+    if (IsLazyStrategy()) {
+      auto cold = EstimateColdExtractionBytes(bound);
+      if (cold.ok()) lazy_bytes = *cold;
+    }
+    request.estimated_bytes =
+        engine::EstimatePlanFootprint(*planned.plan, *catalog_, lazy_bytes);
+    // A still-valid cached whole result needs no execution memory: drop
+    // the estimate so the hit is never footprint-gated behind headroom it
+    // will not use (the authoritative probe below runs post-admission, at
+    // the same point as on the FIFO path).
+    if (options_.enable_result_cache &&
+        result_recycler_->ValidateAndGet(
+            sql,
+            [this](const engine::ResultDependency& dep) {
+              return CurrentMtime(dep.path);
+            }) != nullptr) {
+      request.estimated_bytes = 0;
+    }
+    LAZYETL_ASSIGN_OR_RETURN(ticket, scheduler_->Admit(request));
+    LogOp(LogCategory::kQuery,
+          "query (ticket " + std::to_string(ticket.id()) + ", priority " +
+              common::QueryPriorityToString(request.priority) +
+              ", estimated footprint " +
+              std::to_string(request.estimated_bytes) + " B): " + sql);
+  }
+
   // Whole-result recycling.
   if (options_.enable_result_cache) {
     auto mtime_fn = [this](const engine::ResultDependency& dep) {
@@ -1453,6 +1535,9 @@ Result<QueryResult> Warehouse::Query(const std::string& sql) {
       report.ticket_id = ticket.id();
       report.queue_wait_seconds = ticket.queue_wait_seconds();
       report.admitted_budget_bytes = ticket.admitted_budget_bytes();
+      report.priority = common::QueryPriorityToString(request.priority);
+      report.client_id = request.client_id;
+      report.estimated_footprint_bytes = request.estimated_bytes;
       report.result_cache_hit = true;
       report.result_rows = cached->table.num_rows();
       report.total_seconds = total.ElapsedSeconds();
@@ -1643,6 +1728,8 @@ WarehouseStats Warehouse::Stats() const {
   stats.result_cache_hits = result_cache_hits_.load(std::memory_order_relaxed);
   stats.result_cache_entries = result_recycler_->entries();
   stats.queries_admitted = scheduler_->total_admitted();
+  stats.queries_timed_out = scheduler_->total_timed_out();
+  stats.queries_bypass_admitted = scheduler_->total_bypass_admissions();
   stats.queries_active = scheduler_->active();
   stats.queries_waiting = scheduler_->waiting();
   return stats;

@@ -15,8 +15,10 @@
 //                     candidate files.
 //
 // Concurrency: one Warehouse instance safely serves many concurrent
-// Query() callers. Admission is controlled by a FIFO QueryScheduler
-// (`max_concurrent_queries`), each admitted query gets a MemoryBudget
+// Query() callers. Admission is controlled by a policy-driven
+// QueryScheduler (`max_concurrent_queries`; priority classes, weighted
+// per-client fair share, queue timeouts and footprint-aware admission via
+// QueryOptions), each admitted query gets a MemoryBudget
 // carved from the process-global cap, and all shared mutable state — the
 // record/result recyclers, the catalog tables, the file registry with its
 // hydration/lazy-refresh machinery — is synchronized internally:
@@ -92,12 +94,32 @@ struct WarehouseOptions {
   // batch pipeline). 0 = hardware_concurrency; 1 = the serial path.
   size_t query_threads = 0;
   // Admission control: at most this many Query() calls execute
-  // concurrently; further callers wait in FIFO order. 0 = unbounded (the
-  // LAZYETL_MAX_CONCURRENT_QUERIES environment variable supplies a
-  // default when unset). With a bounded scheduler and a finite global
-  // budget, each admitted query's memory budget is carved as an equal
-  // share of the global cap.
+  // concurrently; further callers wait per the admission policy (strict
+  // priority classes, weighted fair share across client ids, FIFO within
+  // a class+client — plain FIFO when every query uses the defaults).
+  // 0 = unbounded (the LAZYETL_MAX_CONCURRENT_QUERIES environment
+  // variable supplies a default when unset). With a bounded scheduler and
+  // a finite global budget, each admitted query's memory budget is carved
+  // as an equal share of the global cap (or from its footprint estimate,
+  // see footprint_aware_admission).
   size_t max_concurrent_queries = 0;
+  // Default admission-queue timeout applied to queries that do not set
+  // QueryOptions::queue_timeout_ms themselves. 0 = no timeout (the
+  // LAZYETL_QUEUE_TIMEOUT_MS environment variable supplies a default when
+  // unset). A query that times out before admission fails with
+  // Status::DeadlineExceeded without having touched any state — no slot,
+  // budget reservation or spill directory is leaked.
+  int64_t queue_timeout_ms = 0;
+  // Footprint-aware admission: estimate each query's peak memory need
+  // from its plan (pipeline-breaker inputs + cold-extraction file bytes
+  // from registry metadata), gate admission on global-budget headroom,
+  // and carve its per-query budget from the estimate instead of the blind
+  // equal share. Small queries may be admitted past a footprint-blocked
+  // large one (bounded bypassing — common::kMaxAdmissionBypasses — so the
+  // large query is never starved). Off by default (admission is then
+  // byte-identical to strict FIFO); the LAZYETL_FOOTPRINT_ADMISSION
+  // environment variable supplies a default when unset.
+  bool footprint_aware_admission = false;
   // Memory governance: per-query cap on resident pipeline-breaker state
   // (Sort, Aggregate, Distinct, HashJoin build). 0 = unlimited; the
   // LAZYETL_MEMORY_BUDGET environment variable supplies a default when
@@ -136,6 +158,25 @@ struct QueryResult {
   engine::ExecutionReport report;
 };
 
+// Per-query scheduling knobs for workload-aware admission. The defaults
+// reproduce strict-FIFO admission exactly.
+struct QueryOptions {
+  // Priority class: strict ordering between classes (HIGH admitted before
+  // NORMAL before LOW), FIFO within a class+client.
+  common::QueryPriority priority = common::QueryPriority::kNormal;
+  // Fair-share tenant key: within a priority class, waiters of distinct
+  // client ids are admitted in weighted round-robin rotation so no tenant
+  // monopolizes the slots. "" = the shared anonymous tenant.
+  std::string client_id;
+  // Admissions this client receives per fair-share rotation turn (>= 1).
+  uint32_t client_weight = 1;
+  // Admission-queue timeout: > 0 = fail with Status::DeadlineExceeded
+  // after this many ms in the queue; 0 = use the warehouse default
+  // (WarehouseOptions::queue_timeout_ms / LAZYETL_QUEUE_TIMEOUT_MS);
+  // < 0 = never time out, overriding the default.
+  int64_t queue_timeout_ms = 0;
+};
+
 struct WarehouseStats {
   LoadStrategy strategy = LoadStrategy::kLazy;
   size_t num_files = 0;
@@ -145,9 +186,12 @@ struct WarehouseStats {
   engine::RecyclerStats cache;
   uint64_t result_cache_hits = 0;
   uint64_t result_cache_entries = 0;
-  // Scheduler observability: total admissions and the current number of
-  // executing / queued queries (racy snapshots).
+  // Scheduler observability: total admissions, queue timeouts and
+  // footprint-bypass admissions, and the current number of executing /
+  // queued queries (racy snapshots).
   uint64_t queries_admitted = 0;
+  uint64_t queries_timed_out = 0;
+  uint64_t queries_bypass_admitted = 0;
   size_t queries_active = 0;
   size_t queries_waiting = 0;
 };
@@ -172,9 +216,13 @@ class Warehouse {
 
   // Parses, binds, plans, and executes `sql`. The report documents plan
   // reorganisation, run-time rewriting, extraction and cache activity —
-  // plus, under concurrent serving, the admission ticket, queue wait and
-  // carved budget. Safe to call from many threads at once.
+  // plus, under concurrent serving, the admission ticket, queue wait,
+  // priority class and carved budget. Safe to call from many threads at
+  // once. The one-argument form runs with default QueryOptions (NORMAL
+  // priority, anonymous tenant, warehouse-default timeout).
   Result<QueryResult> Query(const std::string& sql);
+  Result<QueryResult> Query(const std::string& sql,
+                            const QueryOptions& query_options);
 
   // Parses, binds, and plans `sql` without executing it: the report holds
   // the naive plan and the reorganised (metadata-first) plan. No data is
@@ -257,6 +305,15 @@ class Warehouse {
   // the query has none). Used to bound hydration and staleness checks.
   // Reads only an immutable catalog snapshot — no lock needed.
   Result<std::vector<int64_t>> CandidateFileIds(const sql::BoundQuery& query);
+
+  // Footprint-aware admission: summed source-file bytes of the query's
+  // candidate files, from registry metadata — the cold-extraction term of
+  // the plan footprint estimate.
+  Result<uint64_t> EstimateColdExtractionBytes(const sql::BoundQuery& query);
+
+  // Resolves a query's effective admission-queue timeout from its options
+  // and the warehouse default (see QueryOptions::queue_timeout_ms).
+  int64_t ResolveQueueTimeoutMs(int64_t query_timeout_ms) const;
 
   // Lazy refresh (§3.3) at query time: stats the candidate files and
   // re-loads metadata of any whose mtime changed since it was read.

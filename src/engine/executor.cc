@@ -121,6 +121,10 @@ Result<Table> Executor::Execute(const PlanNode& plan, ExecutionReport* report,
     report->ticket_id = qctx->ticket_id();
     report->queue_wait_seconds = qctx->queue_wait_seconds();
     report->admitted_budget_bytes = qctx->admitted_budget_bytes();
+    report->priority =
+        common::QueryPriorityToString(qctx->admission().priority);
+    report->client_id = qctx->admission().client_id;
+    report->estimated_footprint_bytes = qctx->admission().estimated_bytes;
   }
   if (!result.ok()) return result.status();
 

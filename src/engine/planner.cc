@@ -494,4 +494,71 @@ Result<PlannedQuery> Planner::Plan(const BoundQuery& query) {
   return PlanBaseTableQuery(query);
 }
 
+namespace {
+
+// Walks the plan bottom-up carrying an output-size estimate per node and
+// accumulating breaker state into *state_bytes. Returns the node's
+// estimated output bytes.
+uint64_t EstimateNodeOutput(const PlanNode& node,
+                            const storage::Catalog& catalog,
+                            uint64_t lazy_scan_bytes, uint64_t* state_bytes) {
+  std::vector<uint64_t> child_out;
+  child_out.reserve(node.children.size());
+  uint64_t child_sum = 0;
+  for (const auto& child : node.children) {
+    child_out.push_back(
+        EstimateNodeOutput(*child, catalog, lazy_scan_bytes, state_bytes));
+    child_sum += child_out.back();
+  }
+  switch (node.type) {
+    case PlanNodeType::kScan: {
+      auto table = catalog.GetTable(node.table);
+      return table.ok() ? (*table)->MemoryBytes() : 0;
+    }
+    case PlanNodeType::kLazyDataScan:
+      // The metadata side streams through; the dominant cost is the
+      // extracted actual data joined against it.
+      return lazy_scan_bytes + child_sum;
+    case PlanNodeType::kFilter:
+    case PlanNodeType::kProject:
+    case PlanNodeType::kLimit:
+      // Streaming operators: no state; selectivity unknown, so the upper
+      // bound passes the input through.
+      return child_sum;
+    case PlanNodeType::kHashJoin:
+      // The build side (children[0]) is materialised as the hash table.
+      *state_bytes += child_out.empty() ? 0 : child_out[0];
+      return child_sum;
+    case PlanNodeType::kSort:
+      *state_bytes += child_sum;
+      return child_sum;
+    case PlanNodeType::kAggregate:
+    case PlanNodeType::kDistinct:
+      // Grouped state is usually far smaller than the input; charge the
+      // input as the bound and emit a reduced stream.
+      *state_bytes += child_sum;
+      return child_sum / 4;
+    case PlanNodeType::kTopK: {
+      // O(k) candidates per worker; a coarse per-row constant suffices.
+      uint64_t k = node.limit > 0 ? static_cast<uint64_t>(node.limit) : 1;
+      *state_bytes += k * 64;
+      return k * 64;
+    }
+  }
+  return child_sum;
+}
+
+}  // namespace
+
+uint64_t EstimatePlanFootprint(const PlanNode& plan,
+                               const storage::Catalog& catalog,
+                               uint64_t lazy_scan_bytes) {
+  uint64_t state_bytes = 0;
+  uint64_t result_bytes =
+      EstimateNodeOutput(plan, catalog, lazy_scan_bytes, &state_bytes);
+  // Breaker state + the materialised result; never zero, so an enabled
+  // estimate is always visible to the admission gate.
+  return std::max<uint64_t>(1, state_bytes + result_bytes);
+}
+
 }  // namespace lazyetl::engine

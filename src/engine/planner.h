@@ -56,6 +56,19 @@ class Planner {
   bool infer_metadata_predicates_ = true;
 };
 
+// Estimated peak memory footprint (bytes) of executing `plan`, for
+// footprint-aware admission: pipeline-breaker state (Sort, Aggregate,
+// Distinct, HashJoin build, TopK) is bounded by its input's materialised
+// size, so the walk carries a per-node output-size estimate — catalog
+// table bytes at the Scan leaves, `lazy_scan_bytes` (the caller's
+// cold-extraction estimate from file metadata) at a LazyDataScan — and
+// sums the breaker states plus the result materialisation. A cheap,
+// deterministic heuristic upper bound, not a guarantee; the admitted
+// query's real usage is still governed by its MemoryBudget.
+uint64_t EstimatePlanFootprint(const PlanNode& plan,
+                               const storage::Catalog& catalog,
+                               uint64_t lazy_scan_bytes);
+
 // Splits a boolean expression into its top-level AND conjuncts (clones).
 std::vector<sql::BoundExprPtr> SplitConjuncts(const sql::BoundExpr& expr);
 

@@ -54,6 +54,12 @@ class QueryContext {
     return local_budget_ != nullptr ? local_budget_->limit()
                                     : ticket_.admitted_budget_bytes();
   }
+  // The admission request this query ran under (defaults on the
+  // standalone path): priority class, fair-share client id, and the
+  // footprint estimate the scheduler admitted on.
+  const common::AdmissionRequest& admission() const {
+    return ticket_.request();
+  }
 
  private:
   common::QueryTicket ticket_;  // empty on the standalone path

@@ -38,7 +38,13 @@ std::string ExecutionReport::ToString() const {
                   static_cast<unsigned long long>(ticket_id),
                   queue_wait_seconds * 1e3,
                   static_cast<unsigned long long>(admitted_budget_bytes));
-    os << buf << "\n";
+    os << buf;
+    os << " | priority " << priority;
+    if (!client_id.empty()) os << " | client " << client_id;
+    if (estimated_footprint_bytes > 0) {
+      os << " | estimated footprint " << estimated_footprint_bytes << " B";
+    }
+    os << "\n";
   }
   if (memory_budget_bytes > 0) {
     os << "memory budget: " << memory_budget_bytes << " B | spilled "

@@ -79,12 +79,19 @@ struct ExecutionReport {
   uint64_t spill_files = 0;
 
   // Concurrent serving: the scheduler admission ticket (0 when no
-  // scheduler was involved), how long the query waited in the FIFO
-  // admission queue, and the per-query budget the scheduler carved from
-  // the global cap (0 = unlimited).
+  // scheduler was involved), how long the query waited in the admission
+  // queue (monotonic clock; includes time blocked on footprint headroom,
+  // not just the slot wait), and the per-query budget the scheduler
+  // carved from the global cap (0 = unlimited).
   uint64_t ticket_id = 0;
   double queue_wait_seconds = 0;
   uint64_t admitted_budget_bytes = 0;
+  // Workload-aware admission: the query's priority class, its fair-share
+  // client id ("" = the anonymous tenant), and the plan-derived footprint
+  // estimate admission was gated on (0 = estimation off).
+  std::string priority = "normal";
+  std::string client_id;
+  uint64_t estimated_footprint_bytes = 0;
 
   // Phase timings in seconds.
   double parse_seconds = 0;

@@ -7,6 +7,8 @@
 
 #include <random>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "core/warehouse.h"
 #include "mseed/repository.h"
@@ -110,6 +112,27 @@ class QueryGenerator {
   std::mt19937 rng_;
 };
 
+void ExpectTablesAgree(const storage::Table& a, const storage::Table& b,
+                       const std::string& context) {
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << context;
+  ASSERT_EQ(a.num_columns(), b.num_columns()) << context;
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      auto va = a.GetValue(r, c);
+      auto vb = b.GetValue(r, c);
+      if (va.type() == storage::DataType::kDouble) {
+        EXPECT_NEAR(va.double_value(), vb.double_value(),
+                    1e-9 * (1.0 + std::abs(va.double_value())))
+            << context << " row " << r << " col " << c;
+      } else {
+        EXPECT_TRUE(va.Equals(vb))
+            << context << " row " << r << " col " << c << ": "
+            << va.ToString() << " vs " << vb.ToString();
+      }
+    }
+  }
+}
+
 class DifferentialTest : public ::testing::TestWithParam<uint32_t> {};
 
 TEST_P(DifferentialTest, RandomQueriesAgree) {
@@ -135,28 +158,96 @@ TEST_P(DifferentialTest, RandomQueriesAgree) {
     auto b = lazy->Query(sql);
     ASSERT_OK(a);
     ASSERT_OK(b);
-    ASSERT_EQ(a->table.num_rows(), b->table.num_rows());
-    ASSERT_EQ(a->table.num_columns(), b->table.num_columns());
-    for (size_t r = 0; r < a->table.num_rows(); ++r) {
-      for (size_t c = 0; c < a->table.num_columns(); ++c) {
-        auto va = a->table.GetValue(r, c);
-        auto vb = b->table.GetValue(r, c);
-        if (va.type() == storage::DataType::kDouble) {
-          EXPECT_NEAR(va.double_value(), vb.double_value(),
-                      1e-9 * (1.0 + std::abs(va.double_value())))
-              << "row " << r << " col " << c;
-        } else {
-          EXPECT_TRUE(va.Equals(vb))
-              << "row " << r << " col " << c << ": " << va.ToString()
-              << " vs " << vb.ToString();
-        }
-      }
-    }
+    ExpectTablesAgree(a->table, b->table, sql);
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
                          ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+// Seeded-random differential testing under concurrent, priority-scheduled
+// serving: every generated query runs on a serial warehouse and then — from
+// four client threads carrying distinct priorities and client ids —
+// against a shared `max_concurrent = 4` warehouse, and the results must
+// agree. Workers record outcomes; the main thread asserts.
+class ConcurrentDifferentialTest : public ::testing::TestWithParam<uint32_t> {
+};
+
+TEST_P(ConcurrentDifferentialTest, RandomQueriesAgreeUnderPriorities) {
+  static ScopedTempDir* dir = new ScopedTempDir();
+  static std::unique_ptr<Warehouse> serial;
+  static std::unique_ptr<Warehouse> concurrent;
+  if (!serial) {
+    mseed::RepositoryConfig cfg = mseed::DefaultDemoConfig();
+    cfg.num_days = 1;
+    cfg.seconds_per_segment = 30.0;
+    MustGenerate(dir->path(), cfg);
+    serial = MustOpen(LoadStrategy::kEager, dir->path());
+    WarehouseOptions options;
+    options.strategy = LoadStrategy::kLazy;
+    options.cache_budget_bytes = 48 << 10;  // small: eviction in play
+    options.enable_result_cache = false;
+    options.max_concurrent_queries = 4;
+    options.query_threads = 2;
+    options.extraction_threads = 2;
+    auto wh = Warehouse::Open(options);
+    ASSERT_TRUE(wh.ok()) << wh.status().ToString();
+    concurrent = std::move(*wh);
+    auto attached = concurrent->AttachRepository(dir->path());
+    ASSERT_TRUE(attached.ok()) << attached.status().ToString();
+  }
+  // A partial setup failure on an earlier seed leaves the statics
+  // half-built; fail cleanly instead of dereferencing null.
+  ASSERT_NE(serial, nullptr);
+  ASSERT_NE(concurrent, nullptr);
+
+  constexpr int kClients = 4;
+  constexpr int kQueriesPerClient = 6;
+  QueryGenerator gen(GetParam());
+  std::vector<std::string> sqls;
+  std::vector<storage::Table> expected(kClients * kQueriesPerClient);
+  for (int i = 0; i < kClients * kQueriesPerClient; ++i) {
+    sqls.push_back(gen.Next());
+    auto r = serial->Query(sqls.back());
+    ASSERT_OK(r);
+    expected[i] = std::move(r->table);
+  }
+
+  struct Outcome {
+    bool ok = false;
+    std::string error;
+    storage::Table table;
+  };
+  std::vector<Outcome> outcomes(sqls.size());
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      QueryOptions qo;
+      qo.priority = static_cast<common::QueryPriority>(c % 3);
+      qo.client_id = "client-" + std::to_string(c);
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        size_t slot = static_cast<size_t>(c) * kQueriesPerClient + i;
+        auto r = concurrent->Query(sqls[slot], qo);
+        if (r.ok()) {
+          outcomes[slot].ok = true;
+          outcomes[slot].table = std::move(r->table);
+        } else {
+          outcomes[slot].error = r.status().ToString();
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    SCOPED_TRACE(sqls[i]);
+    ASSERT_TRUE(outcomes[i].ok) << outcomes[i].error;
+    ExpectTablesAgree(expected[i], outcomes[i].table, sqls[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConcurrentDifferentialTest,
+                         ::testing::Values(3u, 17u, 4242u));
 
 }  // namespace
 }  // namespace lazyetl::core

@@ -1,0 +1,399 @@
+// Deterministic unit tests of the admission policy core (AdmissionQueue)
+// in isolation — priority ordering, within-class FIFO, weighted fair-share
+// rotation, timeout expiry and cancellation racing admission, and
+// footprint-aware admission past a blocked head-of-line query — driven by
+// a controllable fake clock, no sleeps. Plus blocking-QueryScheduler tests
+// for the timeout status type, leak-freedom and queue-wait accounting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/memory_budget.h"
+#include "common/query_scheduler.h"
+#include "test_util.h"
+
+namespace lazyetl::common {
+namespace {
+
+using State = AdmissionQueue::WaiterState;
+
+constexpr int64_t kMs = 1000000;  // nanos per millisecond
+
+AdmissionRequest Req(QueryPriority priority = QueryPriority::kNormal,
+                     std::string client = "", uint64_t estimated = 0,
+                     int64_t timeout_ms = 0, uint32_t weight = 1) {
+  AdmissionRequest r;
+  r.priority = priority;
+  r.client_id = std::move(client);
+  r.client_weight = weight;
+  r.queue_timeout_ms = timeout_ms;
+  r.estimated_bytes = estimated;
+  return r;
+}
+
+// --- Policy core -----------------------------------------------------------
+
+TEST(AdmissionQueueTest, DefaultRequestsAreStrictFifo) {
+  // The PR-4 parity case: equal priorities, one (anonymous) client, no
+  // timeouts, no estimates — admission order must equal arrival order.
+  AdmissionQueue q({/*max_concurrent=*/1, 0, kMaxAdmissionBypasses});
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 5; ++i) ids.push_back(q.Enqueue(Req(), /*now=*/i));
+  std::vector<uint64_t> admitted = q.Dispatch();
+  ASSERT_EQ(admitted.size(), 1u);
+  EXPECT_EQ(admitted[0], ids[0]);
+  for (size_t next = 1; next < ids.size(); ++next) {
+    q.Release(ids[next - 1]);
+    admitted = q.Dispatch();
+    ASSERT_EQ(admitted.size(), 1u) << "after release " << next;
+    EXPECT_EQ(admitted[0], ids[next]);
+  }
+  q.Release(ids.back());
+  EXPECT_EQ(q.active(), 0u);
+  EXPECT_EQ(q.waiting(), 0u);
+  EXPECT_EQ(q.total_admitted(), 5u);
+  EXPECT_EQ(q.total_bypass_admissions(), 0u);
+}
+
+TEST(AdmissionQueueTest, UnboundedAdmitsEverythingImmediately) {
+  AdmissionQueue q({/*max_concurrent=*/0, 0, kMaxAdmissionBypasses});
+  uint64_t a = q.Enqueue(Req(), 0);
+  uint64_t b = q.Enqueue(Req(QueryPriority::kLow), 0);
+  std::vector<uint64_t> admitted = q.Dispatch();
+  EXPECT_EQ(admitted, (std::vector<uint64_t>{a, b}));
+  EXPECT_EQ(q.active(), 2u);
+}
+
+TEST(AdmissionQueueTest, HighPriorityOvertakesQueuedNormal) {
+  AdmissionQueue q({1, 0, kMaxAdmissionBypasses});
+  uint64_t running = q.Enqueue(Req(), 0);
+  ASSERT_EQ(q.Dispatch(), std::vector<uint64_t>{running});
+  uint64_t normal1 = q.Enqueue(Req(), 1);
+  uint64_t normal2 = q.Enqueue(Req(), 2);
+  uint64_t high = q.Enqueue(Req(QueryPriority::kHigh), 3);
+  uint64_t low = q.Enqueue(Req(QueryPriority::kLow), 4);
+  EXPECT_TRUE(q.Dispatch().empty());  // slot still held
+
+  // Strict class order: HIGH first, then the NORMALs FIFO, then LOW.
+  q.Release(running);
+  EXPECT_EQ(q.Dispatch(), std::vector<uint64_t>{high});
+  q.Release(high);
+  EXPECT_EQ(q.Dispatch(), std::vector<uint64_t>{normal1});
+  q.Release(normal1);
+  EXPECT_EQ(q.Dispatch(), std::vector<uint64_t>{normal2});
+  q.Release(normal2);
+  EXPECT_EQ(q.Dispatch(), std::vector<uint64_t>{low});
+  q.Release(low);
+  EXPECT_EQ(q.waiting(), 0u);
+}
+
+TEST(AdmissionQueueTest, WithinClassAndClientIsFifo) {
+  AdmissionQueue q({1, 0, kMaxAdmissionBypasses});
+  uint64_t running = q.Enqueue(Req(QueryPriority::kHigh), 0);
+  ASSERT_EQ(q.Dispatch(), std::vector<uint64_t>{running});
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(q.Enqueue(Req(QueryPriority::kHigh, "tenant-a"), i));
+  }
+  uint64_t prev = running;
+  for (uint64_t id : ids) {
+    q.Release(prev);
+    ASSERT_EQ(q.Dispatch(), std::vector<uint64_t>{id});
+    prev = id;
+  }
+  q.Release(prev);
+}
+
+TEST(AdmissionQueueTest, TwoTenantFairShareRotation) {
+  // Tenant A floods the queue first; tenant B arrives later. With fair
+  // share, admissions alternate A, B, A, B ... instead of draining A.
+  AdmissionQueue q({1, 0, kMaxAdmissionBypasses});
+  uint64_t running = q.Enqueue(Req(), 0);
+  ASSERT_EQ(q.Dispatch(), std::vector<uint64_t>{running});
+  std::vector<uint64_t> a, b;
+  for (int i = 0; i < 3; ++i) a.push_back(q.Enqueue(Req(QueryPriority::kNormal, "A"), i));
+  for (int i = 0; i < 3; ++i) b.push_back(q.Enqueue(Req(QueryPriority::kNormal, "B"), 10 + i));
+
+  std::vector<uint64_t> order;
+  uint64_t prev = running;
+  for (int i = 0; i < 6; ++i) {
+    q.Release(prev);
+    std::vector<uint64_t> admitted = q.Dispatch();
+    ASSERT_EQ(admitted.size(), 1u);
+    order.push_back(admitted[0]);
+    prev = admitted[0];
+  }
+  q.Release(prev);
+  EXPECT_EQ(order, (std::vector<uint64_t>{a[0], b[0], a[1], b[1], a[2], b[2]}));
+}
+
+TEST(AdmissionQueueTest, WeightedFairShareGivesHeavyTenantMoreTurns) {
+  AdmissionQueue q({1, 0, kMaxAdmissionBypasses});
+  uint64_t running = q.Enqueue(Req(), 0);
+  ASSERT_EQ(q.Dispatch(), std::vector<uint64_t>{running});
+  std::vector<uint64_t> a, b;
+  for (int i = 0; i < 2; ++i) {
+    a.push_back(q.Enqueue(Req(QueryPriority::kNormal, "A", 0, 0, /*weight=*/1), i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    b.push_back(q.Enqueue(Req(QueryPriority::kNormal, "B", 0, 0, /*weight=*/2), 10 + i));
+  }
+  std::vector<uint64_t> order;
+  uint64_t prev = running;
+  for (int i = 0; i < 6; ++i) {
+    q.Release(prev);
+    std::vector<uint64_t> admitted = q.Dispatch();
+    ASSERT_EQ(admitted.size(), 1u);
+    order.push_back(admitted[0]);
+    prev = admitted[0];
+  }
+  q.Release(prev);
+  // Weight 2 tenant gets two consecutive turns per rotation.
+  EXPECT_EQ(order, (std::vector<uint64_t>{a[0], b[0], b[1], a[1], b[2], b[3]}));
+}
+
+TEST(AdmissionQueueTest, TimeoutExpiryIsDrivenByTheFakeClock) {
+  AdmissionQueue q({1, 0, kMaxAdmissionBypasses});
+  uint64_t running = q.Enqueue(Req(), 0);
+  ASSERT_EQ(q.Dispatch(), std::vector<uint64_t>{running});
+  uint64_t waiter = q.Enqueue(Req(QueryPriority::kNormal, "", 0,
+                                  /*timeout_ms=*/10), /*now=*/5 * kMs);
+  uint64_t forever = q.Enqueue(Req(), 6 * kMs);
+
+  // Before the deadline nothing expires.
+  EXPECT_TRUE(q.ExpireTimeouts(14 * kMs).empty());
+  EXPECT_EQ(q.state(waiter), State::kWaiting);
+  // At the deadline (enqueue + 10ms) the waiter times out; the untimed
+  // waiter stays.
+  EXPECT_EQ(q.ExpireTimeouts(15 * kMs), std::vector<uint64_t>{waiter});
+  EXPECT_EQ(q.state(waiter), State::kTimedOut);
+  EXPECT_EQ(q.state(forever), State::kWaiting);
+  EXPECT_EQ(q.total_timed_out(), 1u);
+
+  // The expired waiter is out of the queue: the next admission skips it.
+  q.Release(running);
+  EXPECT_EQ(q.Dispatch(), std::vector<uint64_t>{forever});
+  q.Release(forever);
+  q.Forget(waiter);
+  EXPECT_EQ(q.state(waiter), State::kUnknown);
+}
+
+TEST(AdmissionQueueTest, ExpiryRacingAdmissionAdmittedWins) {
+  // A waiter admitted in the same round it would have expired must stay
+  // admitted: Dispatch before ExpireTimeouts never hands out a dead slot,
+  // and an admitted id can no longer time out or be cancelled.
+  AdmissionQueue q({1, 0, kMaxAdmissionBypasses});
+  uint64_t id = q.Enqueue(Req(QueryPriority::kNormal, "", 0, /*timeout_ms=*/10), 0);
+  ASSERT_EQ(q.Dispatch(), std::vector<uint64_t>{id});
+  // Clock far past the deadline: expiry must not touch the admitted id.
+  EXPECT_TRUE(q.ExpireTimeouts(1000 * kMs).empty());
+  EXPECT_EQ(q.state(id), State::kAdmitted);
+  EXPECT_FALSE(q.Cancel(id));
+  EXPECT_FALSE(q.ExpireNow(id));
+  q.Release(id);
+  EXPECT_EQ(q.total_timed_out(), 0u);
+}
+
+TEST(AdmissionQueueTest, CancellationRacingAdmissionCancelledFirstWins) {
+  AdmissionQueue q({1, 0, kMaxAdmissionBypasses});
+  uint64_t running = q.Enqueue(Req(), 0);
+  ASSERT_EQ(q.Dispatch(), std::vector<uint64_t>{running});
+  uint64_t a = q.Enqueue(Req(), 1);
+  uint64_t b = q.Enqueue(Req(), 2);
+  // Cancel a queued waiter before a slot frees: it must never be admitted.
+  EXPECT_TRUE(q.Cancel(a));
+  EXPECT_EQ(q.state(a), State::kCancelled);
+  q.Release(running);
+  EXPECT_EQ(q.Dispatch(), std::vector<uint64_t>{b});
+  // Double-cancel and cancel-after-terminal are no-ops.
+  EXPECT_FALSE(q.Cancel(a));
+  q.Forget(a);
+  EXPECT_EQ(q.state(a), State::kUnknown);
+  q.Release(b);
+  EXPECT_EQ(q.waiting(), 0u);
+  EXPECT_EQ(q.active(), 0u);
+}
+
+TEST(AdmissionQueueTest, FootprintAdmitsSmallPastBlockedLarge) {
+  // 1 MiB ceiling; a running query holds 700 KiB. The 500 KiB
+  // head-of-line query does not fit, but the 100 KiB one behind it does —
+  // footprint-aware admission lets it through, and the large query is
+  // admitted once the headroom frees.
+  constexpr uint64_t kLimit = 1 << 20;
+  AdmissionQueue q({/*max_concurrent=*/4, kLimit, kMaxAdmissionBypasses});
+  uint64_t running = q.Enqueue(Req(QueryPriority::kNormal, "", 700 << 10), 0);
+  ASSERT_EQ(q.Dispatch(), std::vector<uint64_t>{running});
+  uint64_t large = q.Enqueue(Req(QueryPriority::kNormal, "", 500 << 10), 1);
+  uint64_t small = q.Enqueue(Req(QueryPriority::kNormal, "", 100 << 10), 2);
+
+  EXPECT_EQ(q.Dispatch(), std::vector<uint64_t>{small});
+  EXPECT_EQ(q.state(large), State::kWaiting);
+  EXPECT_EQ(q.total_bypass_admissions(), 1u);
+  EXPECT_EQ(q.footprint_in_use(), (700u << 10) + (100u << 10));
+
+  q.Release(running);
+  EXPECT_EQ(q.Dispatch(), std::vector<uint64_t>{large});
+  q.Release(small);
+  q.Release(large);
+  EXPECT_EQ(q.footprint_in_use(), 0u);
+}
+
+TEST(AdmissionQueueTest, SoleQueryAlwaysFitsEvenOverTheCeiling) {
+  // An estimate above the whole ceiling must still run once nothing else
+  // is in flight (budgets and spilling govern its real usage).
+  AdmissionQueue q({1, /*footprint_limit=*/1 << 20, kMaxAdmissionBypasses});
+  uint64_t huge = q.Enqueue(Req(QueryPriority::kNormal, "", 8 << 20), 0);
+  EXPECT_EQ(q.Dispatch(), std::vector<uint64_t>{huge});
+  q.Release(huge);
+}
+
+TEST(AdmissionQueueTest, BypassBoundPinsTheQueueForTheLargeQuery) {
+  // After max_bypasses overtakes, the large query pins the queue: nothing
+  // is admitted past it even though it would fit, bounding starvation.
+  constexpr uint32_t kBound = 3;
+  AdmissionQueue q({/*max_concurrent=*/8, 1 << 20, kBound});
+  uint64_t running = q.Enqueue(Req(QueryPriority::kNormal, "", 900 << 10), 0);
+  ASSERT_EQ(q.Dispatch(), std::vector<uint64_t>{running});
+  uint64_t large = q.Enqueue(Req(QueryPriority::kNormal, "", 500 << 10), 1);
+  std::vector<uint64_t> smalls;
+  for (int i = 0; i < 5; ++i) {
+    smalls.push_back(q.Enqueue(Req(QueryPriority::kNormal, "", 10 << 10), 2 + i));
+  }
+  // Exactly kBound smalls bypass the blocked large query, then the scan
+  // pins: remaining smalls wait behind it.
+  std::vector<uint64_t> admitted = q.Dispatch();
+  EXPECT_EQ(admitted, (std::vector<uint64_t>{smalls[0], smalls[1], smalls[2]}));
+  EXPECT_TRUE(q.Dispatch().empty());
+  EXPECT_EQ(q.total_bypass_admissions(), 3u);
+
+  // Headroom frees -> the pinned large query goes first, then the rest.
+  q.Release(running);
+  admitted = q.Dispatch();
+  EXPECT_EQ(admitted, (std::vector<uint64_t>{large, smalls[3], smalls[4]}));
+  for (uint64_t id : admitted) q.Release(id);
+  for (int i = 0; i < 3; ++i) q.Release(smalls[i]);
+  EXPECT_EQ(q.active(), 0u);
+  EXPECT_EQ(q.footprint_in_use(), 0u);
+}
+
+// --- Blocking wrapper ------------------------------------------------------
+
+TEST(QuerySchedulerTest, TimeoutReturnsTypedStatusWithoutLeaks) {
+  MemoryBudget global(16 << 20);
+  QueryScheduler sched(/*max_concurrent=*/1, /*per_query=*/0, &global);
+  auto held = sched.Admit();
+  ASSERT_OK(held);
+
+  // The queue is full; a 20 ms timeout must expire with a typed status.
+  AdmissionRequest req;
+  req.queue_timeout_ms = 20;
+  auto denied = sched.Admit(req);
+  ASSERT_FALSE(denied.ok());
+  EXPECT_TRUE(denied.status().IsDeadlineExceeded())
+      << denied.status().ToString();
+  EXPECT_EQ(sched.total_timed_out(), 1u);
+  // No slot, waiter record or budget reservation leaked.
+  EXPECT_EQ(sched.waiting(), 0u);
+  EXPECT_EQ(sched.active(), 1u);
+  held->Release();
+  EXPECT_EQ(sched.active(), 0u);
+  EXPECT_EQ(global.used(), 0u);
+
+  // After the timeout the queue still serves: the next Admit succeeds.
+  auto next = sched.Admit(req);
+  ASSERT_OK(next);
+  EXPECT_EQ(next->queue_wait_seconds() < 1.0, true);
+}
+
+TEST(QuerySchedulerTest, TicketReleaseAdmitsNextAndBudgetsCarve) {
+  MemoryBudget global(8 << 20);
+  QueryScheduler sched(/*max_concurrent=*/2, /*per_query=*/0, &global);
+  auto a = sched.Admit();
+  auto b = sched.Admit();
+  ASSERT_OK(a);
+  ASSERT_OK(b);
+  // Equal-share carve: global / max_concurrent.
+  EXPECT_EQ(a->admitted_budget_bytes(), 4u << 20);
+  EXPECT_EQ(b->admitted_budget_bytes(), 4u << 20);
+  // Footprint estimate replaces the equal share.
+  b->Release();
+  AdmissionRequest est;
+  est.estimated_bytes = 1 << 20;
+  auto c = sched.Admit(est);
+  ASSERT_OK(c);
+  EXPECT_EQ(c->admitted_budget_bytes(), 1u << 20);
+  EXPECT_EQ(c->request().estimated_bytes, 1u << 20);
+}
+
+TEST(QuerySchedulerTest, QueueWaitIncludesFootprintHeadroomWait) {
+  // Regression for queue-wait accounting: the wait is measured with the
+  // (injectable, monotonic) scheduler clock from enqueue to admission and
+  // must cover time blocked on footprint headroom — not just the slot
+  // wait. Here a slot is always free; the waiter blocks only on
+  // headroom. The fake clock advances 250 ms while it is blocked, and the
+  // reported wait must be exactly that.
+  MemoryBudget global(1 << 20);
+  QueryScheduler sched(/*max_concurrent=*/4, 0, &global);
+  std::atomic<int64_t> fake_now{0};
+  sched.SetClockForTesting([&] { return fake_now.load(); });
+
+  AdmissionRequest big;
+  big.estimated_bytes = 900 << 10;
+  auto holder = sched.Admit(big);
+  ASSERT_OK(holder);
+  EXPECT_EQ(holder->queue_wait_seconds(), 0.0);  // admitted instantly
+
+  AdmissionRequest blocked;
+  blocked.estimated_bytes = 400 << 10;
+  Result<QueryTicket> waiter = Status::Internal("not yet admitted");
+  std::thread t([&] { waiter = sched.Admit(blocked); });
+  // Wait until the waiter is queued (blocked on headroom, not a slot).
+  while (sched.waiting() == 0) std::this_thread::yield();
+  fake_now.store(250 * kMs);
+  holder->Release();  // frees the headroom; the waiter is admitted
+  t.join();
+  ASSERT_OK(waiter);
+  EXPECT_DOUBLE_EQ(waiter->queue_wait_seconds(), 0.250);
+}
+
+TEST(QuerySchedulerTest, ConcurrentStormNeverLosesASlot) {
+  // Many threads hammer a 2-slot scheduler with mixed priorities and
+  // occasional timeouts; afterwards every counter must balance.
+  MemoryBudget global(0);
+  QueryScheduler sched(/*max_concurrent=*/2, 0, &global);
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 50;
+  std::atomic<int> admitted{0}, timed_out{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        AdmissionRequest req;
+        req.priority = static_cast<QueryPriority>(t % 3);
+        req.client_id = "tenant-" + std::to_string(t % 3);
+        if (i % 7 == 3) req.queue_timeout_ms = 1;
+        auto ticket = sched.Admit(req);
+        if (ticket.ok()) {
+          ++admitted;
+        } else {
+          ++timed_out;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(admitted + timed_out, kThreads * kItersPerThread);
+  EXPECT_EQ(sched.total_admitted(), static_cast<uint64_t>(admitted));
+  EXPECT_EQ(sched.total_timed_out(), static_cast<uint64_t>(timed_out));
+  EXPECT_EQ(sched.active(), 0u);
+  EXPECT_EQ(sched.waiting(), 0u);
+  EXPECT_EQ(global.used(), 0u);
+}
+
+}  // namespace
+}  // namespace lazyetl::common
