@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "bench_util.h"
 
 namespace lazyetl::bench {
@@ -98,11 +100,49 @@ void BM_Lazy_ResultCache(benchmark::State& state) {
   state.SetLabel(QueryName(static_cast<int>(state.range(0))));
 }
 
+// Storage-encoding knobs: the same hot queries with zone-map pruning and
+// dictionary encoding toggled via the LAZYETL_* environment knobs. Dict
+// encoding applies when the metadata tables are published (warehouse
+// attach); pruning is read per query. range(0): query; range(1): bit 0 =
+// pruning on, bit 1 = dict on.
+void BM_Lazy_Hot_Knobs(benchmark::State& state) {
+  const BenchRepo& repo = GetRepo(kDays, kSeconds);
+  const char* sql = QueryByIndex(static_cast<int>(state.range(0)));
+  const bool pruning = (state.range(1) & 1) != 0;
+  const bool dict = (state.range(1) & 2) != 0;
+  ::setenv("LAZYETL_DICT_ENCODING", dict ? "auto" : "off", 1);
+  auto wh = OpenWarehouse(core::LoadStrategy::kLazy, repo.root);
+  ::unsetenv("LAZYETL_DICT_ENCODING");
+  if (pruning) {
+    ::unsetenv("LAZYETL_DISABLE_PRUNING");
+  } else {
+    ::setenv("LAZYETL_DISABLE_PRUNING", "1", 1);
+  }
+  MustQuery(wh.get(), sql);  // warm the record cache
+  uint64_t morsels_pruned = 0;
+  uint64_t rows_pruned = 0;
+  for (auto _ : state) {
+    auto result = MustQuery(wh.get(), sql);
+    morsels_pruned = result.report.morsels_pruned;
+    rows_pruned = result.report.rows_pruned;
+    benchmark::DoNotOptimize(result.table);
+  }
+  ::unsetenv("LAZYETL_DISABLE_PRUNING");
+  state.SetLabel(std::string(QueryName(static_cast<int>(state.range(0)))) +
+                 (pruning ? " pruning=on" : " pruning=off") +
+                 (dict ? " dict=on" : " dict=off"));
+  state.counters["morsels_pruned"] = static_cast<double>(morsels_pruned);
+  state.counters["rows_pruned"] = static_cast<double>(rows_pruned);
+}
+
 BENCHMARK(BM_Lazy_Cold)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Lazy_Hot)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Eager)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Lazy_ResultCache)
     ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Lazy_Hot_Knobs)
+    ->ArgsProduct({{0, 1, 2, 3}, {0, 1, 2, 3}})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

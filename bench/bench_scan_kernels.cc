@@ -1,0 +1,176 @@
+// Microbenchmarks for the vectorized scan kernels (engine/kernels.h):
+// comparison-to-selection, selection refine, and streaming-aggregate
+// min/max/sum ranges, each against the boxed per-row path it replaced
+// (Value::GetValue + Value comparisons — what the generic evaluator does
+// per row). Rates are rows/second over the input vector.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/kernels.h"
+#include "storage/column.h"
+
+namespace lazyetl::bench {
+namespace {
+
+using engine::kernels::CmpOp;
+using storage::Column;
+using storage::SelectionVector;
+using storage::Value;
+
+constexpr size_t kN = 1 << 20;
+
+const std::vector<int64_t>& Int64Data() {
+  static auto* data = [] {
+    auto* v = new std::vector<int64_t>();
+    v->reserve(kN);
+    for (size_t i = 0; i < kN; ++i) {
+      v->push_back(static_cast<int64_t>(i * 2654435761u % 100003));
+    }
+    return v;
+  }();
+  return *data;
+}
+
+const std::vector<double>& DoubleData() {
+  static auto* data = [] {
+    auto* v = new std::vector<double>();
+    v->reserve(kN);
+    for (size_t i = 0; i < kN; ++i) {
+      v->push_back(static_cast<double>(i * 2654435761u % 100003) * 0.01);
+    }
+    return v;
+  }();
+  return *data;
+}
+
+void AddRowRate(benchmark::State& state) {
+  state.counters["rows_per_sec"] = benchmark::Counter(
+      static_cast<double>(kN), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+// --- Comparison -> selection -------------------------------------------------
+
+void BM_CompareSelect_Kernel_Int64(benchmark::State& state) {
+  const auto& data = Int64Data();
+  const int64_t cut = state.range(0);
+  SelectionVector sel;
+  for (auto _ : state) {
+    engine::kernels::CompareConstSelect(data.data(), kN, CmpOp::kLt, cut,
+                                        &sel);
+    benchmark::DoNotOptimize(sel.size());
+  }
+  state.counters["selected"] = static_cast<double>(sel.size());
+  AddRowRate(state);
+}
+
+// The boxed path: one Value construction + Value comparison per row,
+// mirroring the generic evaluator's per-row cost model.
+void BM_CompareSelect_Boxed_Int64(benchmark::State& state) {
+  Column col = Column::FromInt64(Int64Data());
+  const Value cut = Value::Int64(state.range(0));
+  SelectionVector sel;
+  for (auto _ : state) {
+    sel.clear();
+    for (size_t i = 0; i < kN; ++i) {
+      if (col.GetValue(i).AsInt64() < cut.AsInt64()) {
+        sel.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    benchmark::DoNotOptimize(sel.size());
+  }
+  state.counters["selected"] = static_cast<double>(sel.size());
+  AddRowRate(state);
+}
+
+void BM_CompareSelect_Kernel_Double(benchmark::State& state) {
+  const auto& data = DoubleData();
+  const double cut = static_cast<double>(state.range(0));
+  SelectionVector sel;
+  for (auto _ : state) {
+    engine::kernels::CompareConstSelect(data.data(), kN, CmpOp::kGe, cut,
+                                        &sel);
+    benchmark::DoNotOptimize(sel.size());
+  }
+  state.counters["selected"] = static_cast<double>(sel.size());
+  AddRowRate(state);
+}
+
+// --- Conjunct refine ---------------------------------------------------------
+
+void BM_CompareRefine_Kernel(benchmark::State& state) {
+  const auto& i64 = Int64Data();
+  const auto& dbl = DoubleData();
+  SelectionVector sel;
+  for (auto _ : state) {
+    engine::kernels::CompareConstSelect(i64.data(), kN, CmpOp::kLt,
+                                        int64_t{50000}, &sel);
+    engine::kernels::CompareConstRefine(dbl.data(), CmpOp::kGe, 100.0, &sel);
+    benchmark::DoNotOptimize(sel.size());
+  }
+  state.counters["selected"] = static_cast<double>(sel.size());
+  AddRowRate(state);
+}
+
+// --- Aggregate ranges --------------------------------------------------------
+
+void BM_SumRange_Kernel_Int64(benchmark::State& state) {
+  const auto& data = Int64Data();
+  for (auto _ : state) {
+    int64_t isum = 0;
+    double dsum = 0.0;
+    engine::kernels::SumRange(data.data(), 0, kN, &isum, &dsum);
+    benchmark::DoNotOptimize(isum);
+    benchmark::DoNotOptimize(dsum);
+  }
+  AddRowRate(state);
+}
+
+void BM_SumRange_Kernel_Double(benchmark::State& state) {
+  const auto& data = DoubleData();
+  for (auto _ : state) {
+    double dsum = 0.0;
+    engine::kernels::SumDoubleRange(data.data(), 0, kN, &dsum);
+    benchmark::DoNotOptimize(dsum);
+  }
+  AddRowRate(state);
+}
+
+void BM_SumRange_Boxed(benchmark::State& state) {
+  Column col = Column::FromInt64(Int64Data());
+  for (auto _ : state) {
+    double dsum = 0.0;
+    for (size_t i = 0; i < kN; ++i) dsum += col.GetValue(i).AsDouble();
+    benchmark::DoNotOptimize(dsum);
+  }
+  AddRowRate(state);
+}
+
+void BM_MinMaxRange_Kernel(benchmark::State& state) {
+  const auto& data = DoubleData();
+  for (auto _ : state) {
+    bool first = true;
+    double extreme = 0.0;
+    engine::kernels::MinMaxRange(data.data(), 0, kN, /*want_min=*/false,
+                                 &first, &extreme);
+    benchmark::DoNotOptimize(extreme);
+  }
+  AddRowRate(state);
+}
+
+BENCHMARK(BM_CompareSelect_Kernel_Int64)->Arg(1000)->Arg(50000)->Arg(100003);
+BENCHMARK(BM_CompareSelect_Boxed_Int64)->Arg(1000)->Arg(50000)->Arg(100003);
+BENCHMARK(BM_CompareSelect_Kernel_Double)->Arg(500);
+BENCHMARK(BM_CompareRefine_Kernel);
+BENCHMARK(BM_SumRange_Kernel_Int64);
+BENCHMARK(BM_SumRange_Kernel_Double);
+BENCHMARK(BM_SumRange_Boxed);
+BENCHMARK(BM_MinMaxRange_Kernel);
+
+}  // namespace
+}  // namespace lazyetl::bench
+
+BENCHMARK_MAIN();

@@ -1324,7 +1324,7 @@ Result<LoadStats> Warehouse::AttachPersisted(const std::string& persist_dir) {
   for (size_t row = 0; row < fids.size(); ++row) {
     FileEntry& entry = files_[fids[row] - 1];
     entry.file_id = fids[row];
-    entry.path = files.column(uri_idx).string_data()[row];
+    entry.path = files.column(uri_idx).StringAt(row);
     entry.size =
         static_cast<uint64_t>(files.column(size_idx).int64_data()[row]);
     entry.mtime = files.column(mtime_idx).int64_data()[row];

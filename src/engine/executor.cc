@@ -137,6 +137,8 @@ Result<Table> Executor::Execute(const PlanNode& plan, ExecutionReport* report,
       peak += os.state_bytes + os.peak_batch_bytes;
       report->spilled_bytes += os.spilled_bytes;
       report->spill_files += os.spill_files;
+      report->morsels_pruned += os.morsels_pruned;
+      report->rows_pruned += os.rows_pruned;
     }
     report->peak_intermediate_bytes += peak;
   }

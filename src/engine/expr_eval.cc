@@ -1,10 +1,13 @@
 #include "engine/expr_eval.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdint>
 
 #include "common/macros.h"
+#include "engine/kernels.h"
+#include "engine/pruning.h"
 
 namespace lazyetl::engine {
 
@@ -30,15 +33,41 @@ struct EvalInput {
   const Table* table = nullptr;
   const TableSlice* slice = nullptr;
 
+  // Dictionary-encoded string columns are decoded here, so everything the
+  // evaluator computes on is plain — encoded predicates take the code-space
+  // fast path in EvaluatePredicate instead and never reach this copy.
   Result<Column> Resolve(const std::string& name) const {
     if (table != nullptr) {
       auto c = table->ColumnByName(name);
       if (!c.ok()) return c.status();
-      return **c;
+      return (*c)->dict_encoded() ? (*c)->Decoded() : **c;
     }
     auto cs = slice->ColumnByName(name);
     if (!cs.ok()) return cs.status();
-    return cs->Materialize();
+    Column col = cs->Materialize();
+    if (col.dict_encoded()) col.DecodeInPlace();
+    return col;
+  }
+
+  // Whether `name` resolves to a column (precomputed-expression probe).
+  bool Has(const std::string& name) const {
+    if (table != nullptr) return table->ColumnIndex(name).ok();
+    return slice->ColumnIndex(name).ok();
+  }
+
+  // Raw (possibly encoded) column and the base offset of the viewed rows —
+  // the zero-copy access path for the vectorized predicate kernels.
+  const Column* Raw(const std::string& name, size_t* base_offset) const {
+    if (table != nullptr) {
+      auto c = table->ColumnByName(name);
+      if (!c.ok()) return nullptr;
+      *base_offset = 0;
+      return *c;
+    }
+    auto i = slice->ColumnIndex(name);
+    if (!i.ok()) return nullptr;
+    *base_offset = slice->offset();
+    return &slice->column(*i);
   }
 };
 
@@ -446,6 +475,160 @@ Result<SelectionVector> MaskToSelection(const Column& mask) {
   return sel;
 }
 
+// --- Vectorized fast path for conjunctive comparison predicates ------------
+//
+// A predicate shaped as AND-tree of {column <cmp> literal} leaves is
+// evaluated through engine/kernels without Value boxing or full-width
+// intermediate vectors: the first conjunct builds the selection, each later
+// conjunct refines it in place. Rows are visited in ascending order and the
+// comparisons use the same arithmetic conversions as EvaluateComparison's
+// promoted paths, so the result is byte-identical to the generic
+// mask-and-AND evaluation. Anything else — LIKE, column-vs-column,
+// mismatched string/non-string operands, aggregate refs, precomputed
+// expression columns — falls back to the generic evaluator (preserving its
+// error behaviour too).
+
+using kernels::CmpOp;
+
+void IdentitySelection(size_t n, SelectionVector* sel) {
+  sel->resize(n);
+  for (size_t i = 0; i < n; ++i) (*sel)[i] = static_cast<uint32_t>(i);
+}
+
+// Select (first == true) or refine on data[base + i] `op` constant, where
+// selection indices are batch-relative [0, n).
+template <typename T, typename V>
+void RunKernel(const T* data, size_t base, size_t n, CmpOp op, V constant,
+               bool first, SelectionVector* sel) {
+  if (first) {
+    kernels::CompareConstSelect(data + base, n, op, constant, sel);
+  } else {
+    kernels::CompareConstRefine(data + base, op, constant, sel);
+  }
+}
+
+template <typename V>
+bool RunNumericKernel(const Column& col, size_t base, size_t n, CmpOp op,
+                      V constant, bool first, SelectionVector* sel) {
+  switch (col.type()) {
+    case DataType::kBool:
+      RunKernel(col.bool_data().data(), base, n, op, constant, first, sel);
+      return true;
+    case DataType::kInt32:
+      RunKernel(col.int32_data().data(), base, n, op, constant, first, sel);
+      return true;
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      RunKernel(col.int64_data().data(), base, n, op, constant, first, sel);
+      return true;
+    case DataType::kDouble:
+      RunKernel(col.double_data().data(), base, n, op, constant, first, sel);
+      return true;
+    case DataType::kString:
+      return false;
+  }
+  return false;
+}
+
+// Dictionary-encoded string comparison in code space: the dictionary is
+// sorted and duplicate-free, so codes are order-isomorphic to strings and
+// every comparison reduces to a code-threshold compare (equality against an
+// absent value matches nothing; inequality against it matches everything).
+void RunDictKernel(const Column& col, size_t base, size_t n, CmpOp op,
+                   const std::string& lit, bool first, SelectionVector* sel) {
+  const auto& dict = *col.dictionary();
+  auto it = std::lower_bound(dict.begin(), dict.end(), lit);
+  uint32_t idx = static_cast<uint32_t>(it - dict.begin());
+  bool found = it != dict.end() && *it == lit;
+  const uint32_t* codes = col.dict_codes().data();
+
+  if (op == CmpOp::kEq && !found) {
+    sel->clear();
+    return;
+  }
+  if (op == CmpOp::kNe && !found) {
+    if (first) IdentitySelection(n, sel);
+    return;  // refine: everything already selected still passes
+  }
+  CmpOp code_op = op;
+  switch (op) {
+    case CmpOp::kLe: code_op = found ? CmpOp::kLe : CmpOp::kLt; break;
+    case CmpOp::kGt: code_op = found ? CmpOp::kGt : CmpOp::kGe; break;
+    default: break;  // kEq/kNe (found), kLt, kGe use idx as-is
+  }
+  RunKernel(codes, base, n, code_op, idx, first, sel);
+}
+
+// One conjunct against the raw (possibly encoded) column. `first` builds
+// the selection, otherwise refines it. Returns false when this conjunct
+// needs the generic path (unresolvable column, string/non-string mix).
+bool TryFastConjunct(const ColumnComparison& fc, const EvalInput& input,
+                     bool first, SelectionVector* sel) {
+  size_t base = 0;
+  const Column* col = input.Raw(fc.column->display, &base);
+  if (col == nullptr) return false;
+  size_t n = input.num_rows;
+  if (col->type() == DataType::kString) {
+    if (fc.literal->type() != DataType::kString) return false;
+    const std::string& lit = fc.literal->string_value();
+    if (col->dict_encoded()) {
+      RunDictKernel(*col, base, n, fc.op, lit, first, sel);
+    } else {
+      RunKernel(col->string_data().data(), base, n, fc.op, lit, first, sel);
+    }
+    return true;
+  }
+  if (fc.literal->type() == DataType::kString) return false;
+  if (IsIntLike(col->type()) && IsIntLike(fc.literal->type())) {
+    return RunNumericKernel(*col, base, n, fc.op, fc.literal->AsInt64(),
+                            first, sel);
+  }
+  return RunNumericKernel(*col, base, n, fc.op, fc.literal->AsDouble(), first,
+                          sel);
+}
+
+// Whether every conjunct can run through the kernels (columns resolve and
+// operand types are compatible) — checked before evaluating anything so a
+// type error in a later conjunct still surfaces through the generic path
+// even when an earlier conjunct would have emptied the selection.
+bool CanRunFast(const std::vector<ColumnComparison>& conjuncts,
+                const EvalInput& input) {
+  for (const auto& fc : conjuncts) {
+    size_t base = 0;
+    const Column* col = input.Raw(fc.column->display, &base);
+    if (col == nullptr) return false;
+    bool col_str = col->type() == DataType::kString;
+    bool lit_str = fc.literal->type() == DataType::kString;
+    if (col_str != lit_str) return false;
+  }
+  return true;
+}
+
+Result<SelectionVector> EvaluatePredicateImpl(const BoundExpr& expr,
+                                              const EvalInput& input) {
+  std::vector<ColumnComparison> conjuncts;
+  auto shadowed = [&input](const std::string& name) {
+    return input.Has(name);
+  };
+  if (CollectConjunctComparisons(expr, shadowed, &conjuncts) &&
+      !conjuncts.empty() && CanRunFast(conjuncts, input)) {
+    SelectionVector sel;
+    bool ok = true;
+    bool first = true;
+    for (const auto& fc : conjuncts) {
+      if (!TryFastConjunct(fc, input, first, &sel)) {
+        ok = false;
+        break;
+      }
+      first = false;
+      if (sel.empty()) break;  // later conjuncts were pre-validated
+    }
+    if (ok) return sel;
+  }
+  LAZYETL_ASSIGN_OR_RETURN(Column mask, EvaluateExprImpl(expr, input));
+  return MaskToSelection(mask);
+}
+
 }  // namespace
 
 Result<Column> EvaluateExpr(const BoundExpr& expr, const Table& input) {
@@ -458,16 +641,12 @@ Result<Column> EvaluateExpr(const BoundExpr& expr, const TableSlice& input) {
 
 Result<SelectionVector> EvaluatePredicate(const BoundExpr& expr,
                                           const Table& input) {
-  LAZYETL_ASSIGN_OR_RETURN(Column mask,
-                           EvaluateExprImpl(expr, FromTable(input)));
-  return MaskToSelection(mask);
+  return EvaluatePredicateImpl(expr, FromTable(input));
 }
 
 Result<SelectionVector> EvaluatePredicate(const BoundExpr& expr,
                                           const TableSlice& input) {
-  LAZYETL_ASSIGN_OR_RETURN(Column mask,
-                           EvaluateExprImpl(expr, FromSlice(input)));
-  return MaskToSelection(mask);
+  return EvaluatePredicateImpl(expr, FromSlice(input));
 }
 
 }  // namespace lazyetl::engine

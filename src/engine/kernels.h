@@ -1,0 +1,183 @@
+// Vectorized scan kernels: tight, auto-vectorizable per-type loops used by
+// predicate evaluation (engine/expr_eval) and the streaming aggregates
+// (engine/operators/breakers). No per-row virtual dispatch and no Value
+// boxing — the comparison op is dispatched once, outside the loop, and each
+// branch body is a plain loop over contiguous data the compiler can SIMD.
+//
+// Determinism contract: every kernel visits rows in ascending order and
+// performs exactly the arithmetic of the generic path it replaces. The
+// comparators are the transparent std functors (std::less<> etc.), so mixed
+// operand types go through the usual arithmetic conversions — identical to
+// the generic evaluator's promoted compares. Double summation stays a
+// serial in-order accumulation (see SumRange) so budgeted/unbudgeted and
+// all thread counts produce byte-identical aggregates.
+
+#ifndef LAZYETL_ENGINE_KERNELS_H_
+#define LAZYETL_ENGINE_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "storage/column.h"
+
+namespace lazyetl::engine::kernels {
+
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+// Applies `op` between `v` and `c` with the functor's usual arithmetic
+// conversions (int32 vs int64 -> int64, int vs double -> double).
+template <typename T, typename V>
+inline bool ApplyCmp(CmpOp op, T v, V c) {
+  switch (op) {
+    case CmpOp::kEq: return std::equal_to<>()(v, c);
+    case CmpOp::kNe: return std::not_equal_to<>()(v, c);
+    case CmpOp::kLt: return std::less<>()(v, c);
+    case CmpOp::kLe: return std::less_equal<>()(v, c);
+    case CmpOp::kGt: return std::greater<>()(v, c);
+    case CmpOp::kGe: return std::greater_equal<>()(v, c);
+  }
+  return false;
+}
+
+// data[i] `op` constant over [0, n) -> selection vector of passing rows.
+// Op dispatch happens once; each case body is one branch-free-comparison
+// loop the compiler can vectorize.
+template <typename T, typename V>
+inline void CompareConstSelect(const T* data, size_t n, CmpOp op, V constant,
+                               storage::SelectionVector* out) {
+  out->clear();
+  out->reserve(n);
+  switch (op) {
+#define LAZYETL_CMP_CASE(OP, FUNCTOR)                            \
+  case CmpOp::OP:                                                \
+    for (size_t i = 0; i < n; ++i) {                             \
+      if (FUNCTOR()(data[i], constant))                          \
+        out->push_back(static_cast<uint32_t>(i));                \
+    }                                                            \
+    break;
+    LAZYETL_CMP_CASE(kEq, std::equal_to<>)
+    LAZYETL_CMP_CASE(kNe, std::not_equal_to<>)
+    LAZYETL_CMP_CASE(kLt, std::less<>)
+    LAZYETL_CMP_CASE(kLe, std::less_equal<>)
+    LAZYETL_CMP_CASE(kGt, std::greater<>)
+    LAZYETL_CMP_CASE(kGe, std::greater_equal<>)
+#undef LAZYETL_CMP_CASE
+  }
+}
+
+// In-place refine: keeps only rows of `sel` whose value still passes
+// data[row] `op` constant. Preserves ascending order.
+template <typename T, typename V>
+inline void CompareConstRefine(const T* data, CmpOp op, V constant,
+                               storage::SelectionVector* sel) {
+  size_t kept = 0;
+  switch (op) {
+#define LAZYETL_CMP_CASE(OP, FUNCTOR)                            \
+  case CmpOp::OP:                                                \
+    for (size_t i = 0; i < sel->size(); ++i) {                   \
+      uint32_t row = (*sel)[i];                                  \
+      if (FUNCTOR()(data[row], constant)) (*sel)[kept++] = row;  \
+    }                                                            \
+    break;
+    LAZYETL_CMP_CASE(kEq, std::equal_to<>)
+    LAZYETL_CMP_CASE(kNe, std::not_equal_to<>)
+    LAZYETL_CMP_CASE(kLt, std::less<>)
+    LAZYETL_CMP_CASE(kLe, std::less_equal<>)
+    LAZYETL_CMP_CASE(kGt, std::greater<>)
+    LAZYETL_CMP_CASE(kGe, std::greater_equal<>)
+#undef LAZYETL_CMP_CASE
+  }
+  sel->resize(kept);
+}
+
+// data[i] `op` constant over [0, n) -> byte mask (1 = pass). Used when a
+// comparison feeds a logical expression rather than a selection directly.
+template <typename T, typename V>
+inline void CompareConstMask(const T* data, size_t n, CmpOp op, V constant,
+                             std::vector<uint8_t>* mask) {
+  mask->resize(n);
+  uint8_t* m = mask->data();
+  switch (op) {
+#define LAZYETL_CMP_CASE(OP, FUNCTOR)                                  \
+  case CmpOp::OP:                                                      \
+    for (size_t i = 0; i < n; ++i) m[i] = FUNCTOR()(data[i], constant); \
+    break;
+    LAZYETL_CMP_CASE(kEq, std::equal_to<>)
+    LAZYETL_CMP_CASE(kNe, std::not_equal_to<>)
+    LAZYETL_CMP_CASE(kLt, std::less<>)
+    LAZYETL_CMP_CASE(kLe, std::less_equal<>)
+    LAZYETL_CMP_CASE(kGt, std::greater<>)
+    LAZYETL_CMP_CASE(kGe, std::greater_equal<>)
+#undef LAZYETL_CMP_CASE
+  }
+}
+
+// Element-wise AND of two equal-length byte masks, into `a`.
+inline void AndMask(std::vector<uint8_t>* a, const std::vector<uint8_t>& b) {
+  uint8_t* pa = a->data();
+  const uint8_t* pb = b.data();
+  size_t n = a->size();
+  for (size_t i = 0; i < n; ++i) pa[i] = pa[i] & pb[i];
+}
+
+// Min/max over data[sel[*]] refining running bounds. `first` marks whether
+// the running bounds are not yet seeded. Matches the scalar update order of
+// Accumulator::Update (ascending rows), so NaN handling for doubles is
+// identical: a NaN seeds the state and then sticks, exactly like the
+// per-row path.
+template <typename T, typename V>
+inline void MinMaxRefine(const T* data, const uint32_t* sel, size_t n,
+                         bool want_min, bool* first, V* extreme) {
+  for (size_t i = 0; i < n; ++i) {
+    V v = static_cast<V>(data[sel[i]]);
+    if (*first || (want_min ? v < *extreme : v > *extreme)) {
+      *extreme = v;
+      *first = false;
+    }
+  }
+}
+
+// Contiguous-range variant (sel == identity over [offset, offset+n)).
+template <typename T, typename V>
+inline void MinMaxRange(const T* data, size_t offset, size_t n, bool want_min,
+                        bool* first, V* extreme) {
+  for (size_t i = 0; i < n; ++i) {
+    V v = static_cast<V>(data[offset + i]);
+    if (*first || (want_min ? v < *extreme : v > *extreme)) {
+      *extreme = v;
+      *first = false;
+    }
+  }
+}
+
+// Sum over a contiguous range for SUM/AVG state: integer part vectorizes
+// freely (int addition is associative); the double mirror accumulates
+// per-row IN ORDER with the same two-step cast (T -> int64 -> double) as
+// the scalar path, preserving byte-identical floating-point results.
+template <typename T>
+inline void SumRange(const T* data, size_t offset, size_t n, int64_t* isum,
+                     double* dsum) {
+  int64_t is = 0;
+  for (size_t i = 0; i < n; ++i) is += static_cast<int64_t>(data[offset + i]);
+  *isum += is;
+  double ds = *dsum;
+  for (size_t i = 0; i < n; ++i) {
+    ds += static_cast<double>(static_cast<int64_t>(data[offset + i]));
+  }
+  *dsum = ds;
+}
+
+// Double-typed sum: strictly in-order accumulation (FP addition is not
+// associative; reordering would break budgeted == unbudgeted parity).
+inline void SumDoubleRange(const double* data, size_t offset, size_t n,
+                           double* dsum) {
+  double ds = *dsum;
+  for (size_t i = 0; i < n; ++i) ds += data[offset + i];
+  *dsum = ds;
+}
+
+}  // namespace lazyetl::engine::kernels
+
+#endif  // LAZYETL_ENGINE_KERNELS_H_

@@ -29,6 +29,7 @@
 #include "common/memory_budget.h"
 #include "common/thread_pool.h"
 #include "engine/expr_eval.h"
+#include "engine/kernels.h"
 #include "engine/operators/internal.h"
 #include "engine/operators/join_build.h"
 #include "engine/operators/operator.h"
@@ -80,7 +81,7 @@ int CompareRows(const std::vector<Column>& sort_cols,
     const Column& c = sort_cols[k];
     int cmp = 0;
     if (c.type() == DataType::kString) {
-      cmp = c.string_data()[a].compare(c.string_data()[b]);
+      cmp = c.StringAt(a).compare(c.StringAt(b));
       cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
     } else if (c.type() == DataType::kDouble) {
       double va = c.double_data()[a];
@@ -593,7 +594,7 @@ class Accumulator {
     // MIN / MAX
     bool want_min = function_ == "MIN";
     if (arg_type_ == DataType::kString) {
-      const std::string& v = arg->string_data()[row];
+      const std::string& v = arg->StringAt(row);
       if (first || (want_min ? v < sext_[group] : v > sext_[group])) {
         sext_[group] = v;
       }
@@ -607,6 +608,55 @@ class Accumulator {
       if (first || (want_min ? v < iext_[group] : v > iext_[group])) {
         iext_[group] = v;
       }
+    }
+  }
+
+  // Bulk Update over rows [0, rows) of `arg` into group 0 — the ungrouped
+  // aggregation path, routed through the vectorized kernels. Byte-identical
+  // to per-row Update: integer sums vectorize freely, double sums
+  // accumulate in row order, and min/max replicate the scalar comparison
+  // chain (including its NaN-seeding behaviour).
+  void UpdateBulk(const Column* arg, size_t rows) {
+    bool first = count_[0] == 0;
+    count_[0] += static_cast<int64_t>(rows);
+    if (function_ == "COUNT") return;
+    if (function_ == "AVG" || function_ == "SUM") {
+      if (arg->type() == DataType::kDouble) {
+        kernels::SumDoubleRange(arg->double_data().data(), 0, rows,
+                                &dsum_[0]);
+      } else if (arg->type() == DataType::kInt32) {
+        kernels::SumRange(arg->int32_data().data(), 0, rows, &isum_[0],
+                          &dsum_[0]);
+      } else if (arg->type() == DataType::kBool) {
+        kernels::SumRange(arg->bool_data().data(), 0, rows, &isum_[0],
+                          &dsum_[0]);
+      } else {
+        kernels::SumRange(arg->int64_data().data(), 0, rows, &isum_[0],
+                          &dsum_[0]);
+      }
+      return;
+    }
+    bool want_min = function_ == "MIN";
+    if (arg_type_ == DataType::kString) {
+      for (size_t row = 0; row < rows; ++row) {
+        const std::string& v = arg->StringAt(row);
+        if (first || (want_min ? v < sext_[0] : v > sext_[0])) {
+          sext_[0] = v;
+          first = false;
+        }
+      }
+    } else if (arg_type_ == DataType::kDouble) {
+      kernels::MinMaxRange(arg->double_data().data(), 0, rows, want_min,
+                           &first, &dext_[0]);
+    } else if (arg->type() == DataType::kInt32) {
+      kernels::MinMaxRange(arg->int32_data().data(), 0, rows, want_min,
+                           &first, &iext_[0]);
+    } else if (arg->type() == DataType::kBool) {
+      kernels::MinMaxRange(arg->bool_data().data(), 0, rows, want_min,
+                           &first, &iext_[0]);
+    } else {
+      kernels::MinMaxRange(arg->int64_data().data(), 0, rows, want_min,
+                           &first, &iext_[0]);
     }
   }
 
@@ -709,7 +759,7 @@ class Accumulator {
     bool want_min = function_ == "MIN";
     const Column& ext = t.column(first_col + 1);
     if (arg_type_ == DataType::kString) {
-      const std::string& v = ext.string_data()[row];
+      const std::string& v = ext.StringAt(row);
       if (first || (want_min ? v < sext_[dst_group] : v > sext_[dst_group])) {
         sext_[dst_group] = v;
       }
@@ -1414,6 +1464,18 @@ class AggregateOperator : public BatchOperator {
 
     scratch->index.clear();
     const size_t rows = view.num_rows();
+    if (node_->group_exprs.empty() && rows > 0) {
+      // Ungrouped: one implicit group, fed whole batches through the
+      // vectorized accumulator path.
+      partial->keys.emplace_back();
+      partial->tag_seq.push_back(static_cast<int64_t>(seq));
+      partial->tag_row.push_back(0);
+      for (auto& acc : partial->accs) acc.Resize(1);
+      for (size_t i = 0; i < partial->accs.size(); ++i) {
+        partial->accs[i].UpdateBulk(&scratch->arg_cols[i], rows);
+      }
+      return Status::OK();
+    }
     std::string& key = scratch->key;
     for (size_t row = 0; row < rows; ++row) {
       key.clear();
@@ -1465,6 +1527,16 @@ class AggregateOperator : public BatchOperator {
     }
 
     const size_t rows = view.num_rows();
+    if (node_->group_exprs.empty()) {
+      if (rows > 0) {
+        if (group_index_.emplace(std::string(), 0).second) ++group_count_;
+        for (auto& acc : accs_) acc.Resize(group_count_);
+        for (size_t i = 0; i < accs_.size(); ++i) {
+          accs_[i].UpdateBulk(&arg_cols[i], rows);
+        }
+      }
+      return Status::OK();
+    }
     std::string key;
     for (size_t row = 0; row < rows; ++row) {
       key.clear();

@@ -32,7 +32,7 @@ void PackRowKey(const Column& col, size_t row, std::string* out) {
       break;
     }
     case DataType::kString: {
-      const std::string& s = col.string_data()[row];
+      const std::string& s = col.StringAt(row);
       uint32_t len = static_cast<uint32_t>(s.size());
       out->append(reinterpret_cast<const char*>(&len), sizeof(len));
       out->append(s);

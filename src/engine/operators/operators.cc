@@ -13,6 +13,7 @@
 #include "engine/expr_eval.h"
 #include "engine/operators/internal.h"
 #include "engine/operators/operator.h"
+#include "engine/pruning.h"
 
 namespace lazyetl::engine {
 
@@ -188,6 +189,8 @@ class FilterScanOperator : public BatchOperator {
     scan.rows = scanned_rows_.load(std::memory_order_relaxed);
     scan.batches = scanned_batches_.load(std::memory_order_relaxed);
     scan.peak_batch_bytes = scanned_peak_bytes_.load(std::memory_order_relaxed);
+    scan.morsels_pruned = morsels_pruned_.load(std::memory_order_relaxed);
+    scan.rows_pruned = rows_pruned_.load(std::memory_order_relaxed);
     out->push_back(scan);
   }
 
@@ -209,6 +212,13 @@ class FilterScanOperator : public BatchOperator {
     emitted_.store(false, std::memory_order_relaxed);
     pending_.clear();
     pending_first_seq_ = 0;
+    // Zone-map constraints for morsel pruning; empty (prune nothing) when
+    // disabled, when statistics are missing, or when the predicate is not
+    // a conjunction of column-literal comparisons.
+    constraints_.clear();
+    if (PruningEnabled()) {
+      constraints_ = ExtractScanConstraints(*predicate_, base_, *table_);
+    }
     return Status::OK();
   }
 
@@ -229,6 +239,14 @@ class FilterScanOperator : public BatchOperator {
         return false;
       }
       size_t n = std::min(step_, rows_ - start);
+      // Zone-map pruning: a morsel whose chunk statistics prove no row can
+      // satisfy the predicate is equivalent to an all-drop morsel — skip it
+      // without viewing any data.
+      if (!constraints_.empty() && !RangeCanMatch(constraints_, start, n)) {
+        morsels_pruned_.fetch_add(1, std::memory_order_relaxed);
+        rows_pruned_.fetch_add(n, std::memory_order_relaxed);
+        continue;
+      }
       TableSlice morsel = base_;
       morsel.SetRange(start, n);
       scanned_rows_.fetch_add(n, std::memory_order_relaxed);
@@ -290,6 +308,9 @@ class FilterScanOperator : public BatchOperator {
   std::atomic<uint64_t> scanned_rows_{0};
   std::atomic<uint64_t> scanned_batches_{0};
   std::atomic<uint64_t> scanned_peak_bytes_{0};
+  std::atomic<uint64_t> morsels_pruned_{0};
+  std::atomic<uint64_t> rows_pruned_{0};
+  std::vector<ScanConstraint> constraints_;
   SelectionVector pending_;  // absolute row ids, serial path only
   uint64_t pending_first_seq_ = 0;
   OperatorStats scan_stats_;

@@ -20,7 +20,7 @@ int CompareColumnRows(const Column& a, size_t ar, const Column& b,
                       size_t br) {
   switch (a.type()) {
     case DataType::kString: {
-      int cmp = a.string_data()[ar].compare(b.string_data()[br]);
+      int cmp = a.StringAt(ar).compare(b.StringAt(br));
       return cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
     }
     case DataType::kDouble: {

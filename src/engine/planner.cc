@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/macros.h"
+#include "engine/pruning.h"
 
 namespace lazyetl::engine {
 
@@ -496,6 +497,31 @@ Result<PlannedQuery> Planner::Plan(const BoundQuery& query) {
 
 namespace {
 
+// Zone-map-sharpened bound for a Filter directly over a Scan: only the
+// chunks whose statistics admit the predicate count toward the scan's
+// output. Falls back to `fallback` (the full scan size) when the table,
+// its statistics, or a usable conjunct is unavailable.
+uint64_t EstimateFilterOverScan(const PlanNode& filter, const PlanNode& scan,
+                                const storage::Catalog& catalog,
+                                uint64_t fallback) {
+  if (filter.predicate == nullptr) return fallback;
+  auto table = catalog.GetTable(scan.table);
+  if (!table.ok()) return fallback;
+  storage::TableSlice base;
+  if (scan.scan_columns.empty()) {
+    base = storage::TableSlice::FromTable(**table, 0, 0);
+  } else {
+    for (const auto& sc : scan.scan_columns) {
+      auto c = (*table)->ColumnByName(sc.base_column);
+      if (!c.ok()) return fallback;
+      base.AddColumn(sc.output_name, *c);
+    }
+  }
+  uint64_t sharp =
+      EstimateFilteredScanBytes(**table, base, *filter.predicate);
+  return std::min(sharp, fallback);
+}
+
 // Walks the plan bottom-up carrying an output-size estimate per node and
 // accumulating breaker state into *state_bytes. Returns the node's
 // estimated output bytes.
@@ -520,6 +546,15 @@ uint64_t EstimateNodeOutput(const PlanNode& node,
       // extracted actual data joined against it.
       return lazy_scan_bytes + child_sum;
     case PlanNodeType::kFilter:
+      // Streaming; no state. When the filter sits directly on a base-table
+      // scan, zone maps bound how many chunks can survive the predicate —
+      // the same statistics the scan uses to skip morsels at run time.
+      if (node.children.size() == 1 &&
+          node.children[0]->type == PlanNodeType::kScan) {
+        return EstimateFilterOverScan(node, *node.children[0], catalog,
+                                      child_sum);
+      }
+      return child_sum;
     case PlanNodeType::kProject:
     case PlanNodeType::kLimit:
       // Streaming operators: no state; selectivity unknown, so the upper

@@ -71,6 +71,12 @@ std::string ExecutionReport::ToString() const {
                       static_cast<unsigned long long>(op.partitions));
         os << buf;
       }
+      if (op.morsels_pruned > 0) {
+        std::snprintf(buf, sizeof(buf), " | pruned %llu morsels (%llu rows)",
+                      static_cast<unsigned long long>(op.morsels_pruned),
+                      static_cast<unsigned long long>(op.rows_pruned));
+        os << buf;
+      }
       os << "\n";
     }
     os << "peak intermediate bytes: " << peak_intermediate_bytes << "\n";

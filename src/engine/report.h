@@ -32,6 +32,11 @@ struct OperatorStats {
   uint64_t spilled_bytes = 0;
   uint64_t spill_files = 0;
   uint64_t partitions = 0;
+  // Zone-map pruning (scan stage of a fused FilterScan): morsels skipped
+  // because chunk statistics proved no row could satisfy the predicate,
+  // and the rows those morsels covered (never touched).
+  uint64_t morsels_pruned = 0;
+  uint64_t rows_pruned = 0;
   double seconds = 0;        // aggregate worker time inside Next()
 };
 
@@ -77,6 +82,9 @@ struct ExecutionReport {
   uint64_t memory_budget_bytes = 0;
   uint64_t spilled_bytes = 0;
   uint64_t spill_files = 0;
+  // Zone-map pruning totals summed over the pipeline's scans.
+  uint64_t morsels_pruned = 0;
+  uint64_t rows_pruned = 0;
 
   // Concurrent serving: the scheduler admission ticket (0 when no
   // scheduler was involved), how long the query waited in the admission

@@ -1,9 +1,44 @@
 #include "storage/catalog.h"
 
+#include <cstdlib>
 #include <mutex>
 #include <shared_mutex>
 
 namespace lazyetl::storage {
+
+namespace {
+
+// Dictionary-encoding policy for tables entering the catalog, controlled by
+// LAZYETL_DICT_ENCODING (off | auto | force, default auto) and
+// LAZYETL_DICT_MAX_CARDINALITY (default 256). "auto" encodes string columns
+// whose cardinality is at most the cap; "force" lifts the cap so every
+// string column encodes (parity testing); "off" leaves columns plain.
+size_t DictCardinalityCap() {
+  size_t cap = 256;
+  if (const char* env = std::getenv("LAZYETL_DICT_MAX_CARDINALITY")) {
+    cap = static_cast<size_t>(std::strtoull(env, nullptr, 10));
+  }
+  if (const char* env = std::getenv("LAZYETL_DICT_ENCODING")) {
+    std::string mode(env);
+    if (mode == "off") return 0;
+    if (mode == "force") return static_cast<size_t>(-1);
+  }
+  return cap;
+}
+
+// Publish-time preparation: encode low-cardinality string columns and
+// rebuild zone maps. Runs before the registry lock is taken — the caller
+// still exclusively owns the table at this point (published tables are
+// immutable by contract).
+void PrepareForPublish(const TablePtr& table) {
+  if (!table) return;
+  if (size_t cap = DictCardinalityCap(); cap > 0) {
+    table->DictEncodeStrings(cap);
+  }
+  if (!table->has_stats()) table->RefreshStats();
+}
+
+}  // namespace
 
 Result<const ViewColumn*> ViewDefinition::Resolve(const std::string& qualifier,
                                                   const std::string& col) const {
@@ -26,6 +61,7 @@ Result<const ViewColumn*> ViewDefinition::Resolve(const std::string& qualifier,
 }
 
 Status Catalog::RegisterTable(const std::string& name, TablePtr table) {
+  PrepareForPublish(table);
   std::unique_lock lock(mu_);
   if (tables_.count(name)) {
     return Status::AlreadyExists("table '" + name + "' already registered");
@@ -35,6 +71,7 @@ Status Catalog::RegisterTable(const std::string& name, TablePtr table) {
 }
 
 void Catalog::PutTable(const std::string& name, TablePtr table) {
+  PrepareForPublish(table);
   std::unique_lock lock(mu_);
   tables_[name] = std::move(table);
 }

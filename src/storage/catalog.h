@@ -88,6 +88,10 @@ class Catalog {
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
 
+  // Both publish paths prepare the table before it becomes visible:
+  // low-cardinality string columns are dictionary-encoded (see
+  // LAZYETL_DICT_ENCODING / LAZYETL_DICT_MAX_CARDINALITY) and zone maps are
+  // refreshed, so scans can prune against up-to-date statistics.
   Status RegisterTable(const std::string& name, TablePtr table);
   // Replaces the table if it already exists (the copy-on-write publish).
   void PutTable(const std::string& name, TablePtr table);

@@ -1,5 +1,9 @@
 #include "storage/column.h"
 
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
 namespace lazyetl::storage {
 namespace {
 
@@ -65,7 +69,67 @@ Column Column::FromBool(std::vector<uint8_t> data) {
   return c;
 }
 
+Column Column::FromDictionary(
+    std::shared_ptr<const std::vector<std::string>> dict,
+    std::vector<uint32_t> codes) {
+  Column c(DataType::kString);
+  c.dict_ = std::move(dict);
+  c.codes_ = std::move(codes);
+  return c;
+}
+
+Column Column::Decoded() const {
+  if (!dict_) return *this;
+  std::vector<std::string> out;
+  out.reserve(codes_.size());
+  for (uint32_t code : codes_) out.push_back((*dict_)[code]);
+  return FromString(std::move(out));
+}
+
+void Column::DecodeInPlace() {
+  if (!dict_) return;
+  std::vector<std::string> out;
+  out.reserve(codes_.size());
+  for (uint32_t code : codes_) out.push_back((*dict_)[code]);
+  data_ = std::move(out);
+  dict_.reset();
+  codes_.clear();
+  codes_.shrink_to_fit();
+}
+
+bool Column::TryDictEncode(size_t max_cardinality) {
+  if (type_ != DataType::kString) return false;
+  if (dict_) return true;
+  const auto& src = string_data();
+  std::vector<std::string> sorted;
+  {
+    // Early abort: stop collecting the moment the cap is exceeded, so a
+    // high-cardinality column (URIs) costs one pass, not a full sort.
+    std::unordered_set<std::string> distinct;
+    for (const auto& s : src) {
+      if (distinct.insert(s).second && distinct.size() > max_cardinality) {
+        return false;
+      }
+    }
+    sorted.assign(distinct.begin(), distinct.end());
+  }
+  std::sort(sorted.begin(), sorted.end());
+  std::unordered_map<std::string, uint32_t> code_of;
+  code_of.reserve(sorted.size());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    code_of.emplace(sorted[i], static_cast<uint32_t>(i));
+  }
+  std::vector<uint32_t> codes;
+  codes.reserve(src.size());
+  for (const auto& s : src) codes.push_back(code_of.find(s)->second);
+  dict_ = std::make_shared<const std::vector<std::string>>(std::move(sorted));
+  codes_ = std::move(codes);
+  data_ = std::vector<std::string>{};  // drop the plain storage
+  return true;
+}
+
 size_t Column::size() const {
+  if (dict_) return codes_.size();
   return std::visit([](const auto& v) { return v.size(); }, data_);
 }
 
@@ -80,7 +144,7 @@ Value Column::GetValue(size_t row) const {
     case DataType::kDouble:
       return Value::Double(double_data()[row]);
     case DataType::kString:
-      return Value::String(string_data()[row]);
+      return Value::String(StringAt(row));
     case DataType::kTimestamp:
       return Value::Timestamp(int64_data()[row]);
   }
@@ -111,6 +175,19 @@ Status Column::AppendValue(const Value& v) {
       return Status::OK();
     case DataType::kString:
       if (v.type() != DataType::kString) break;
+      if (dict_) {
+        // Known values append as a code; an unknown value falls back to
+        // plain storage (re-encoded at the next catalog publish).
+        auto it = std::lower_bound(dict_->begin(), dict_->end(),
+                                   v.string_value());
+        if (it != dict_->end() && *it == v.string_value()) {
+          codes_.push_back(static_cast<uint32_t>(it - dict_->begin()));
+        } else {
+          DecodeInPlace();
+          string_data().push_back(v.string_value());
+        }
+        return Status::OK();
+      }
       string_data().push_back(v.string_value());
       return Status::OK();
   }
@@ -120,10 +197,17 @@ Status Column::AppendValue(const Value& v) {
 }
 
 void Column::Reserve(size_t n) {
+  if (dict_) {
+    codes_.reserve(n);
+    return;
+  }
   std::visit([n](auto& v) { v.reserve(n); }, data_);
 }
 
 Status Column::AppendColumn(const Column& other) {
+  if (dict_ || other.dict_) {
+    return AppendRange(other, 0, other.size());
+  }
   if (other.type_ != type_ &&
       !(type_ == DataType::kInt64 && other.type_ == DataType::kTimestamp) &&
       !(type_ == DataType::kTimestamp && other.type_ == DataType::kInt64)) {
@@ -149,6 +233,20 @@ Status Column::AppendRange(const Column& other, size_t offset, size_t length) {
         std::string("cannot append ") + DataTypeToString(other.type_) +
         " range to " + DataTypeToString(type_) + " column");
   }
+  if (dict_ || other.dict_) {
+    if (dict_ && dict_ == other.dict_) {
+      // Shared dictionary: the append moves only codes.
+      codes_.insert(codes_.end(), other.codes_.begin() + offset,
+                    other.codes_.begin() + offset + length);
+      return Status::OK();
+    }
+    // Mixed encodings (or distinct dictionaries): fall back to plain.
+    DecodeInPlace();
+    auto& dst = string_data();
+    dst.reserve(dst.size() + length);
+    for (size_t i = 0; i < length; ++i) dst.push_back(other.StringAt(offset + i));
+    return Status::OK();
+  }
   std::visit(
       [this, offset, length](const auto& src) {
         using VecT = std::decay_t<decltype(src)>;
@@ -161,6 +259,12 @@ Status Column::AppendRange(const Column& other, size_t offset, size_t length) {
 }
 
 Column Column::Gather(const SelectionVector& sel) const {
+  if (dict_) {
+    std::vector<uint32_t> codes;
+    codes.reserve(sel.size());
+    for (uint32_t row : sel) codes.push_back(codes_[row]);
+    return FromDictionary(dict_, std::move(codes));
+  }
   Column out(type_);
   std::visit(
       [&](const auto& src) {
@@ -175,6 +279,12 @@ Column Column::Gather(const SelectionVector& sel) const {
 
 Column Column::GatherFrom(const SelectionVector& sel,
                           size_t base_offset) const {
+  if (dict_) {
+    std::vector<uint32_t> codes;
+    codes.reserve(sel.size());
+    for (uint32_t row : sel) codes.push_back(codes_[base_offset + row]);
+    return FromDictionary(dict_, std::move(codes));
+  }
   Column out(type_);
   std::visit(
       [&](const auto& src) {
@@ -188,6 +298,11 @@ Column Column::GatherFrom(const SelectionVector& sel,
 }
 
 Column Column::CopyRange(size_t offset, size_t length) const {
+  if (dict_) {
+    return FromDictionary(
+        dict_, std::vector<uint32_t>(codes_.begin() + offset,
+                                     codes_.begin() + offset + length));
+  }
   Column out(type_);
   std::visit(
       [&](const auto& src) {
@@ -217,6 +332,12 @@ double Column::NumericAt(size_t row) const {
 }
 
 uint64_t Column::MemoryBytes() const {
+  if (dict_) {
+    uint64_t bytes = codes_.capacity() * sizeof(uint32_t) +
+                     dict_->capacity() * sizeof(std::string);
+    for (const auto& s : *dict_) bytes += s.capacity();
+    return bytes;
+  }
   return std::visit(
       [](const auto& v) -> uint64_t {
         using VecT = std::decay_t<decltype(v)>;
@@ -232,6 +353,15 @@ uint64_t Column::MemoryBytes() const {
 }
 
 uint64_t Column::RangeBytes(size_t offset, size_t length) const {
+  if (dict_) {
+    // Codes plus the viewed rows' amortised share of the shared
+    // dictionary, so batch accounting stays proportional to coverage.
+    uint64_t dict_bytes = 0;
+    for (const auto& s : *dict_) dict_bytes += sizeof(std::string) + s.capacity();
+    size_t rows = codes_.size();
+    return length * sizeof(uint32_t) +
+           (rows == 0 ? 0 : dict_bytes * length / rows);
+  }
   return std::visit(
       [offset, length](const auto& v) -> uint64_t {
         using VecT = std::decay_t<decltype(v)>;

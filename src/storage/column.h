@@ -6,6 +6,7 @@
 #define LAZYETL_STORAGE_COLUMN_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <variant>
 #include <vector>
@@ -36,11 +37,49 @@ class Column {
   static Column FromTimestamp(std::vector<int64_t> data);
   static Column FromBool(std::vector<uint8_t> data);
 
+  // Dictionary-encoded string column: a shared, sorted, duplicate-free
+  // dictionary plus one uint32 code per row. Because the dictionary is
+  // sorted, codes are order-isomorphic to their strings, so comparison
+  // predicates evaluate on the codes alone (see engine/expr_eval).
+  static Column FromDictionary(
+      std::shared_ptr<const std::vector<std::string>> dict,
+      std::vector<uint32_t> codes);
+
   DataType type() const { return type_; }
   size_t size() const;
   bool empty() const { return size() == 0; }
 
-  // Direct typed access; precondition: matching physical type.
+  // --- Dictionary encoding (kString columns only) -------------------------
+
+  bool dict_encoded() const { return dict_ != nullptr; }
+  // Precondition for both: dict_encoded().
+  const std::vector<uint32_t>& dict_codes() const { return codes_; }
+  const std::shared_ptr<const std::vector<std::string>>& dictionary() const {
+    return dict_;
+  }
+
+  // Row `row` as a string, transparent to the encoding. Precondition:
+  // type() == kString. The reference stays valid while the column (or its
+  // shared dictionary) lives.
+  const std::string& StringAt(size_t row) const {
+    return dict_ ? (*dict_)[codes_[row]] : string_data()[row];
+  }
+
+  // Plain (unencoded) copy; returns *this unchanged when already plain.
+  Column Decoded() const;
+
+  // Replaces the encoded representation with plain strings in place.
+  void DecodeInPlace();
+
+  // Encodes a plain kString column in place when its distinct-value count
+  // is at most `max_cardinality`. Returns whether the column is encoded
+  // afterwards (already-encoded columns report true; over-cardinality and
+  // non-string columns are left untouched and report false).
+  bool TryDictEncode(size_t max_cardinality);
+
+  // --- Direct typed access ------------------------------------------------
+  // Precondition: matching physical type, and for kString additionally
+  // !dict_encoded() (use StringAt for encoding-transparent reads).
   // (kInt64 and kTimestamp share int64 storage; kBool uses uint8.)
   std::vector<int32_t>& int32_data() { return std::get<std::vector<int32_t>>(data_); }
   const std::vector<int32_t>& int32_data() const { return std::get<std::vector<int32_t>>(data_); }
@@ -94,6 +133,12 @@ class Column {
                std::vector<double>,       // double
                std::vector<std::string>>  // string
       data_;
+  // Dictionary encoding lives beside the variant: when dict_ is set the
+  // column is an encoded kString column, codes_ holds one code per row and
+  // the variant's string vector stays empty. Gathers, slices and appends
+  // between columns sharing a dictionary move only the codes.
+  std::shared_ptr<const std::vector<std::string>> dict_;
+  std::vector<uint32_t> codes_;
 };
 
 }  // namespace lazyetl::storage

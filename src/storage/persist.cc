@@ -46,7 +46,8 @@ Status WriteColumnFile(const std::string& path, const Column& col) {
       break;
     }
     case DataType::kString: {
-      for (const auto& s : col.string_data()) {
+      for (size_t r = 0; r < col.size(); ++r) {
+        const std::string& s = col.StringAt(r);
         uint32_t len = static_cast<uint32_t>(s.size());
         out.write(reinterpret_cast<const char*>(&len), sizeof(len));
         out.write(s.data(), static_cast<std::streamsize>(s.size()));

@@ -53,9 +53,8 @@ void SerializeSlice(const TableSlice& slice, std::string* out) {
         AppendRaw(out, col.double_data().data() + offset, rows);
         break;
       case DataType::kString: {
-        const auto& strings = col.string_data();
         for (size_t r = 0; r < rows; ++r) {
-          const std::string& s = strings[offset + r];
+          const std::string& s = col.StringAt(offset + r);
           AppendU32(out, static_cast<uint32_t>(s.size()));
           out->append(s);
         }

@@ -1,5 +1,6 @@
 #include "storage/table.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/macros.h"
@@ -65,6 +66,7 @@ Status Table::AppendRow(const std::vector<Value>& values) {
     LAZYETL_RETURN_NOT_OK(columns_[i].AppendValue(values[i]).WithContext(
         "column '" + schema_[i].name + "'"));
   }
+  InvalidateStats();
   return Status::OK();
 }
 
@@ -75,6 +77,7 @@ Status Table::AppendTable(const Table& other) {
   for (size_t i = 0; i < columns_.size(); ++i) {
     LAZYETL_RETURN_NOT_OK(columns_[i].AppendColumn(other.columns_[i]));
   }
+  InvalidateStats();
   return Status::OK();
 }
 
@@ -88,6 +91,7 @@ Status Table::AppendSlice(const TableSlice& slice) {
             .AppendRange(slice.column(i), slice.offset(), slice.num_rows())
             .WithContext("column '" + schema_[i].name + "'"));
   }
+  InvalidateStats();
   return Status::OK();
 }
 
@@ -104,6 +108,7 @@ Status Table::AddColumn(std::string name, Column column) {
   }
   schema_.push_back({std::move(name), column.type()});
   columns_.push_back(std::move(column));
+  InvalidateStats();
   return Status::OK();
 }
 
@@ -129,6 +134,110 @@ uint64_t Table::MemoryBytes() const {
   uint64_t total = 0;
   for (const auto& c : columns_) total += c.MemoryBytes();
   return total;
+}
+
+namespace {
+
+// Bounds over [begin, end) of an int-backed vector (bool / int32 / int64 /
+// timestamp), written into the zone-map entry's int64 domain.
+template <typename T>
+void IntBounds(const std::vector<T>& data, size_t begin, size_t end,
+               ZoneMapEntry* e) {
+  int64_t lo = static_cast<int64_t>(data[begin]);
+  int64_t hi = lo;
+  for (size_t r = begin + 1; r < end; ++r) {
+    int64_t v = static_cast<int64_t>(data[r]);
+    if (v < lo) lo = v;
+    if (v > hi) hi = v;
+  }
+  e->imin = lo;
+  e->imax = hi;
+  e->has_bounds = true;
+}
+
+void ChunkBounds(const Column& col, size_t begin, size_t end,
+                 ZoneMapEntry* e) {
+  switch (col.type()) {
+    case DataType::kBool:
+      IntBounds(col.bool_data(), begin, end, e);
+      break;
+    case DataType::kInt32:
+      IntBounds(col.int32_data(), begin, end, e);
+      break;
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      IntBounds(col.int64_data(), begin, end, e);
+      break;
+    case DataType::kDouble: {
+      // NaN never satisfies a comparison, so NaNs are skipped; a chunk of
+      // only NaNs gets no bounds and is prunable by every comparison.
+      const auto& data = col.double_data();
+      bool seen = false;
+      double lo = 0.0, hi = 0.0;
+      for (size_t r = begin; r < end; ++r) {
+        double v = data[r];
+        if (v != v) continue;
+        if (!seen) {
+          lo = hi = v;
+          seen = true;
+        } else {
+          if (v < lo) lo = v;
+          if (v > hi) hi = v;
+        }
+      }
+      e->dmin = lo;
+      e->dmax = hi;
+      e->has_bounds = seen;
+      break;
+    }
+    case DataType::kString: {
+      const std::string* lo = &col.StringAt(begin);
+      const std::string* hi = lo;
+      for (size_t r = begin + 1; r < end; ++r) {
+        const std::string& s = col.StringAt(r);
+        if (s < *lo) lo = &s;
+        if (s > *hi) hi = &s;
+      }
+      e->smin = *lo;
+      e->smax = *hi;
+      e->has_bounds = true;
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+void Table::RefreshStats() {
+  size_t rows = num_rows();
+  zone_maps_.assign(columns_.size(), {});
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const Column& col = columns_[c];
+    ColumnZoneMap& zm = zone_maps_[c];
+    zm.type = col.type();
+    size_t num_chunks = (rows + kZoneMapChunkRows - 1) / kZoneMapChunkRows;
+    zm.chunks.resize(num_chunks);
+    for (size_t ch = 0; ch < num_chunks; ++ch) {
+      size_t begin = ch * kZoneMapChunkRows;
+      size_t end = std::min(begin + kZoneMapChunkRows, rows);
+      ZoneMapEntry& e = zm.chunks[ch];
+      e.rows = end - begin;
+      e.bytes = col.RangeBytes(begin, end - begin);
+      ChunkBounds(col, begin, end, &e);
+    }
+  }
+  stats_rows_ = rows;
+}
+
+size_t Table::DictEncodeStrings(size_t max_cardinality) {
+  size_t encoded = 0;
+  for (auto& c : columns_) {
+    if (c.type() == DataType::kString && !c.dict_encoded() &&
+        c.TryDictEncode(max_cardinality)) {
+      ++encoded;
+    }
+  }
+  return encoded;
 }
 
 std::string Table::ToString(size_t max_rows) const {

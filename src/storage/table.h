@@ -24,6 +24,30 @@ struct ColumnSchema {
 
 using TableSchema = std::vector<ColumnSchema>;
 
+// Zone maps: per-chunk min/max statistics over a column, computed at
+// catalog-publish time (Table::RefreshStats) and consulted by the scan
+// operators to skip whole morsels whose value range cannot satisfy a
+// conjunctive comparison predicate (engine/pruning).
+inline constexpr size_t kZoneMapChunkRows = 4096;
+
+struct ZoneMapEntry {
+  uint64_t rows = 0;
+  uint64_t bytes = 0;  // approximate heap bytes of the chunk's values
+  // Bounds in the column's comparison domain; which pair is meaningful
+  // depends on the column type. `has_bounds` is false when no orderable
+  // value exists in the chunk (an all-NaN double chunk) — no comparison
+  // predicate can match such rows.
+  int64_t imin = 0, imax = 0;      // bool / int32 / int64 / timestamp
+  double dmin = 0.0, dmax = 0.0;   // double
+  std::string smin, smax;          // string (encoding-transparent)
+  bool has_bounds = false;
+};
+
+struct ColumnZoneMap {
+  DataType type = DataType::kInt64;
+  std::vector<ZoneMapEntry> chunks;  // kZoneMapChunkRows rows per chunk
+};
+
 class Table {
  public:
   Table() = default;
@@ -77,12 +101,40 @@ class Table {
 
   uint64_t MemoryBytes() const;
 
+  // --- Statistics & encodings ----------------------------------------------
+  // Zone maps are rebuilt explicitly (the catalog does this when a table is
+  // published) and invalidated by any row-adding mutator above. Readers of a
+  // published (immutable) table may call zone_map() concurrently.
+
+  // Recomputes per-chunk zone maps for every column. Idempotent.
+  void RefreshStats();
+
+  // Whether zone maps are present and consistent with the current row count.
+  bool has_stats() const {
+    return stats_rows_ == num_rows() && zone_maps_.size() == columns_.size();
+  }
+
+  // Zone map for column `i`, or nullptr when statistics are stale/absent.
+  const ColumnZoneMap* zone_map(size_t i) const {
+    return has_stats() ? &zone_maps_[i] : nullptr;
+  }
+
+  // Dictionary-encodes every plain string column whose cardinality is at
+  // most `max_cardinality`; returns how many columns were encoded.
+  size_t DictEncodeStrings(size_t max_cardinality);
+
   // Pretty-prints up to `max_rows` rows (for examples and the browser).
   std::string ToString(size_t max_rows = 20) const;
 
  private:
+  static constexpr size_t kStatsStale = static_cast<size_t>(-1);
+
+  void InvalidateStats() { stats_rows_ = kStatsStale; }
+
   TableSchema schema_;
   std::vector<Column> columns_;
+  std::vector<ColumnZoneMap> zone_maps_;
+  size_t stats_rows_ = kStatsStale;  // row count the zone maps describe
 };
 
 using TablePtr = std::shared_ptr<Table>;

@@ -1,0 +1,547 @@
+// Zone maps, dictionary encoding, and scan pruning.
+//
+// Covers the three invariants of the statistics-and-encoding layer:
+//  - zone maps are maintained across append / refresh / COW publish and
+//    invalidated by every row-adding mutator;
+//  - pruned ≡ unpruned and encoded ≡ unencoded: query results are
+//    byte-identical with pruning disabled and with dictionary encoding
+//    forced off/on, across thread counts {1, 8} × budgets {∞, 1 MiB};
+//  - dictionary fallback paths (LIKE, `<`, high-cardinality overflow,
+//    appending a string absent from the dictionary) stay correct.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/executor.h"
+#include "engine/planner.h"
+#include "engine/report.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "storage/catalog.h"
+#include "storage/column.h"
+#include "storage/table.h"
+#include "test_util.h"
+
+namespace lazyetl::engine {
+namespace {
+
+using storage::Catalog;
+using storage::Column;
+using storage::DataType;
+using storage::kZoneMapChunkRows;
+using storage::Table;
+using storage::TablePtr;
+using storage::Value;
+
+// Sets (or unsets, when `value` is nullptr) an environment variable for the
+// lifetime of the scope, restoring the previous state on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+// Byte-exact table comparison: the pruning/encoding invariants promise
+// bit-identical results (doubles included), not merely close ones.
+void ExpectTablesIdentical(const Table& a, const Table& b,
+                           const std::string& context) {
+  ASSERT_EQ(a.num_columns(), b.num_columns()) << context;
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << context;
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    EXPECT_EQ(a.column_name(c), b.column_name(c)) << context;
+    ASSERT_EQ(a.schema()[c].type, b.schema()[c].type) << context;
+    for (size_t r = 0; r < a.num_rows(); ++r) {
+      const Value va = a.GetValue(r, c);
+      const Value vb = b.GetValue(r, c);
+      if (va.type() == DataType::kDouble) {
+        // Bit-compare so -0.0 vs 0.0 or last-ulp drift fails loudly.
+        EXPECT_EQ(std::signbit(va.double_value()),
+                  std::signbit(vb.double_value()))
+            << context << " row " << r << " col " << c;
+        EXPECT_EQ(va.double_value(), vb.double_value())
+            << context << " row " << r << " col " << c;
+      } else {
+        EXPECT_TRUE(va.Equals(vb))
+            << context << " row " << r << " col " << c << ": "
+            << va.ToString() << " vs " << vb.ToString();
+      }
+    }
+  }
+}
+
+// --- Zone-map maintenance ----------------------------------------------------
+
+TablePtr MakeStatsTable(size_t rows) {
+  std::vector<int64_t> id;
+  std::vector<double> d;
+  std::vector<std::string> s;
+  for (size_t i = 0; i < rows; ++i) {
+    id.push_back(static_cast<int64_t>(i));
+    d.push_back(static_cast<double>(i) * 0.5 - 100.0);
+    s.push_back("grp" + std::to_string(i / kZoneMapChunkRows));
+  }
+  auto t = std::make_shared<Table>();
+  EXPECT_STATUS_OK(t->AddColumn("id", Column::FromInt64(id)));
+  EXPECT_STATUS_OK(t->AddColumn("d", Column::FromDouble(d)));
+  EXPECT_STATUS_OK(t->AddColumn("s", Column::FromString(s)));
+  return t;
+}
+
+TEST(ZoneMapTest, RefreshComputesPerChunkBounds) {
+  const size_t kRows = 2 * kZoneMapChunkRows + 100;
+  TablePtr t = MakeStatsTable(kRows);
+  EXPECT_FALSE(t->has_stats());
+  EXPECT_EQ(t->zone_map(0), nullptr);
+
+  t->RefreshStats();
+  ASSERT_TRUE(t->has_stats());
+  const storage::ColumnZoneMap* zm = t->zone_map(0);
+  ASSERT_NE(zm, nullptr);
+  EXPECT_EQ(zm->type, DataType::kInt64);
+  ASSERT_EQ(zm->chunks.size(), 3u);
+
+  uint64_t total_rows = 0;
+  for (size_t c = 0; c < zm->chunks.size(); ++c) {
+    const storage::ZoneMapEntry& e = zm->chunks[c];
+    total_rows += e.rows;
+    ASSERT_TRUE(e.has_bounds);
+    EXPECT_EQ(e.imin, static_cast<int64_t>(c * kZoneMapChunkRows));
+    EXPECT_EQ(e.imax,
+              static_cast<int64_t>(
+                  std::min(kRows, (c + 1) * kZoneMapChunkRows) - 1));
+  }
+  EXPECT_EQ(total_rows, kRows);
+  EXPECT_EQ(zm->chunks[2].rows, 100u);
+
+  const storage::ColumnZoneMap* dzm = t->zone_map(1);
+  ASSERT_NE(dzm, nullptr);
+  EXPECT_EQ(dzm->type, DataType::kDouble);
+  EXPECT_EQ(dzm->chunks[0].dmin, -100.0);
+  EXPECT_EQ(dzm->chunks[0].dmax,
+            static_cast<double>(kZoneMapChunkRows - 1) * 0.5 - 100.0);
+
+  const storage::ColumnZoneMap* szm = t->zone_map(2);
+  ASSERT_NE(szm, nullptr);
+  EXPECT_EQ(szm->type, DataType::kString);
+  EXPECT_EQ(szm->chunks[0].smin, "grp0");
+  EXPECT_EQ(szm->chunks[0].smax, "grp0");
+  EXPECT_EQ(szm->chunks[1].smin, "grp1");
+}
+
+TEST(ZoneMapTest, NaNChunksLoseBounds) {
+  std::vector<double> vals(2 * kZoneMapChunkRows,
+                           std::numeric_limits<double>::quiet_NaN());
+  // Chunk 0: all NaN. Chunk 1: NaN with two real values mixed in.
+  vals[kZoneMapChunkRows + 7] = 3.5;
+  vals[kZoneMapChunkRows + 9] = -2.5;
+  Table t;
+  ASSERT_STATUS_OK(t.AddColumn("d", Column::FromDouble(vals)));
+  t.RefreshStats();
+  const storage::ColumnZoneMap* zm = t.zone_map(0);
+  ASSERT_NE(zm, nullptr);
+  ASSERT_EQ(zm->chunks.size(), 2u);
+  EXPECT_FALSE(zm->chunks[0].has_bounds);
+  ASSERT_TRUE(zm->chunks[1].has_bounds);
+  EXPECT_EQ(zm->chunks[1].dmin, -2.5);
+  EXPECT_EQ(zm->chunks[1].dmax, 3.5);
+}
+
+TEST(ZoneMapTest, RowAddingMutatorsInvalidateStats) {
+  TablePtr t = MakeStatsTable(100);
+  t->RefreshStats();
+  ASSERT_TRUE(t->has_stats());
+
+  ASSERT_STATUS_OK(t->AppendRow(
+      {Value::Int64(1000), Value::Double(1.0), Value::String("grp9")}));
+  EXPECT_FALSE(t->has_stats());
+  EXPECT_EQ(t->zone_map(0), nullptr);
+
+  t->RefreshStats();
+  ASSERT_TRUE(t->has_stats());
+  TablePtr other = MakeStatsTable(10);
+  ASSERT_STATUS_OK(t->AppendTable(*other));
+  EXPECT_FALSE(t->has_stats());
+
+  // Refresh is idempotent and tracks the new row count.
+  t->RefreshStats();
+  ASSERT_TRUE(t->has_stats());
+  EXPECT_EQ(t->zone_map(0)->chunks[0].rows, t->num_rows());
+}
+
+TEST(ZoneMapTest, CatalogPublishRefreshesStatsAndEncodes) {
+  Catalog catalog;
+  TablePtr t = MakeStatsTable(3 * kZoneMapChunkRows);
+  EXPECT_FALSE(t->has_stats());
+  ASSERT_STATUS_OK(catalog.RegisterTable("t", t));
+
+  auto got = catalog.GetTable("t");
+  ASSERT_OK(got);
+  EXPECT_TRUE((*got)->has_stats());
+  // The low-cardinality string column was dictionary-encoded at publish.
+  auto scol = (*got)->ColumnByName("s");
+  ASSERT_OK(scol);
+  EXPECT_TRUE((*scol)->dict_encoded());
+  // Values read back identically through the encoding.
+  EXPECT_EQ((*scol)->StringAt(0), "grp0");
+  EXPECT_EQ((*scol)->StringAt(kZoneMapChunkRows), "grp1");
+
+  // PutTable (the COW republish path) re-establishes stats too.
+  TablePtr replacement = MakeStatsTable(10);
+  catalog.PutTable("t", replacement);
+  got = catalog.GetTable("t");
+  ASSERT_OK(got);
+  EXPECT_TRUE((*got)->has_stats());
+  EXPECT_EQ((*got)->num_rows(), 10u);
+}
+
+// --- Dictionary encoding -----------------------------------------------------
+
+TEST(DictEncodingTest, RoundTripPreservesValues) {
+  std::vector<std::string> vals;
+  for (int i = 0; i < 1000; ++i) vals.push_back("v" + std::to_string(i % 7));
+  Column plain = Column::FromString(vals);
+  Column col = plain;
+  ASSERT_TRUE(col.TryDictEncode(256));
+  ASSERT_TRUE(col.dict_encoded());
+  EXPECT_EQ(col.dictionary()->size(), 7u);
+  // The dictionary is sorted — the property code-space comparisons rely on.
+  for (size_t i = 1; i < col.dictionary()->size(); ++i) {
+    EXPECT_LT((*col.dictionary())[i - 1], (*col.dictionary())[i]);
+  }
+  for (size_t r = 0; r < vals.size(); ++r) {
+    EXPECT_EQ(col.StringAt(r), vals[r]);
+    EXPECT_TRUE(col.GetValue(r).Equals(plain.GetValue(r)));
+  }
+  Column decoded = col.Decoded();
+  EXPECT_FALSE(decoded.dict_encoded());
+  for (size_t r = 0; r < vals.size(); ++r) {
+    EXPECT_EQ(decoded.StringAt(r), vals[r]);
+  }
+}
+
+TEST(DictEncodingTest, HighCardinalityOverflowStaysPlain) {
+  std::vector<std::string> vals;
+  for (int i = 0; i < 300; ++i) vals.push_back("unique" + std::to_string(i));
+  Column col = Column::FromString(vals);
+  EXPECT_FALSE(col.TryDictEncode(256));
+  EXPECT_FALSE(col.dict_encoded());
+  // A generous cap accepts the same column.
+  EXPECT_TRUE(col.TryDictEncode(1024));
+  EXPECT_TRUE(col.dict_encoded());
+}
+
+TEST(DictEncodingTest, AppendingUnknownStringFallsBackToPlain) {
+  Column col = Column::FromString({"a", "b", "a", "c"});
+  ASSERT_TRUE(col.TryDictEncode(256));
+
+  // A string already in the dictionary appends as a code.
+  ASSERT_STATUS_OK(col.AppendValue(Value::String("b")));
+  EXPECT_TRUE(col.dict_encoded());
+  EXPECT_EQ(col.StringAt(4), "b");
+
+  // A string outside the dictionary forces transparent decode-then-append.
+  ASSERT_STATUS_OK(col.AppendValue(Value::String("zebra")));
+  EXPECT_FALSE(col.dict_encoded());
+  ASSERT_EQ(col.size(), 6u);
+  EXPECT_EQ(col.StringAt(0), "a");
+  EXPECT_EQ(col.StringAt(4), "b");
+  EXPECT_EQ(col.StringAt(5), "zebra");
+}
+
+TEST(DictEncodingTest, TableDictEncodeStringsHonoursCap) {
+  Table t;
+  std::vector<std::string> low, high;
+  for (int i = 0; i < 500; ++i) {
+    low.push_back(i % 2 ? "x" : "y");
+    high.push_back("u" + std::to_string(i));
+  }
+  ASSERT_STATUS_OK(t.AddColumn("low", Column::FromString(low)));
+  ASSERT_STATUS_OK(t.AddColumn("high", Column::FromString(high)));
+  EXPECT_EQ(t.DictEncodeStrings(256), 1u);
+  EXPECT_TRUE(t.column(0).dict_encoded());
+  EXPECT_FALSE(t.column(1).dict_encoded());
+}
+
+// --- Pruning & encoding parity under execution -------------------------------
+
+class ScanPruningTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kRows = 100000;
+
+  // `id` ascends, so zone maps cluster tightly per chunk; `noise` is
+  // uncorrelated with row position, so its chunks never prune; `station`
+  // is low-cardinality (dictionary-encoded at publish under the default
+  // policy); `amp` exercises double kernels and FP-sum determinism.
+  static TablePtr MakeClusteredTable() {
+    std::vector<int64_t> id;
+    std::vector<int32_t> noise;
+    std::vector<std::string> station;
+    std::vector<double> amp;
+    const char* stations[] = {"ANMO", "COLA", "KONO", "MAJO", "TUC"};
+    for (size_t i = 0; i < kRows; ++i) {
+      id.push_back(static_cast<int64_t>(i));
+      noise.push_back(static_cast<int32_t>(i * 2654435761u % 1000));
+      station.push_back(stations[i % 5]);
+      amp.push_back(static_cast<double>(i % 997) * 0.125 - 60.0);
+    }
+    auto t = std::make_shared<Table>();
+    EXPECT_STATUS_OK(t->AddColumn("id", Column::FromInt64(id)));
+    EXPECT_STATUS_OK(t->AddColumn("noise", Column::FromInt32(noise)));
+    EXPECT_STATUS_OK(t->AddColumn("station", Column::FromString(station)));
+    EXPECT_STATUS_OK(t->AddColumn("amp", Column::FromDouble(amp)));
+    return t;
+  }
+
+  // Builds a fresh catalog and registers the table under the ambient
+  // LAZYETL_DICT_ENCODING policy (publish-time encoding).
+  static std::unique_ptr<Catalog> MakeCatalog() {
+    auto catalog = std::make_unique<Catalog>();
+    EXPECT_STATUS_OK(catalog->RegisterTable("t", MakeClusteredTable()));
+    return catalog;
+  }
+
+  static Result<Table> Run(Catalog* catalog, const std::string& sql,
+                           size_t threads, uint64_t budget_bytes,
+                           ExecutionReport* report) {
+    auto stmt = sql::Parse(sql);
+    if (!stmt.ok()) return stmt.status();
+    sql::Binder binder(catalog);
+    auto bound = binder.Bind(*stmt);
+    if (!bound.ok()) return bound.status();
+    Planner planner(catalog, {});
+    auto planned = planner.Plan(*bound);
+    if (!planned.ok()) return planned.status();
+    ExecutorOptions options;
+    options.batch_rows = kDefaultBatchRows;
+    options.query_threads = threads;
+    options.memory_budget_bytes = budget_bytes;
+    Executor executor(catalog, nullptr, options);
+    return executor.Execute(*planned->plan, report);
+  }
+
+  // Queries whose results must be byte-identical across every
+  // pruning/encoding/threads/budget configuration. They cover pruning hits
+  // (clustered `id`), pruning misses (`noise`), dictionary comparisons on
+  // every operator class, the LIKE and `<` fallback paths, and FP-sensitive
+  // aggregation over filtered scans.
+  std::vector<std::string> ParityQueries() const {
+    return {
+        "SELECT id, amp FROM t WHERE id >= 95000",
+        "SELECT COUNT(*), SUM(amp), MIN(id), MAX(noise) FROM t "
+        "WHERE id >= 90000 AND id < 90500",
+        "SELECT id FROM t WHERE noise < 3",
+        "SELECT station, COUNT(*), SUM(amp) FROM t WHERE id < 20000 "
+        "GROUP BY station ORDER BY station",
+        "SELECT COUNT(*) FROM t WHERE station = 'KONO' AND id >= 99000",
+        "SELECT COUNT(*) FROM t WHERE station != 'ANMO'",
+        "SELECT COUNT(*) FROM t WHERE station < 'KONO'",
+        "SELECT COUNT(*) FROM t WHERE station LIKE '%O'",
+        "SELECT COUNT(*) FROM t WHERE station = 'nowhere'",
+        "SELECT id FROM t WHERE amp > 64.0 AND id < 5000",
+        "SELECT id FROM t WHERE id > 100000000",  // empty: beyond every chunk
+        "SELECT DISTINCT station FROM t WHERE id >= 98000 ORDER BY station",
+    };
+  }
+};
+
+TEST_F(ScanPruningTest, PrunedMatchesUnprunedAcrossThreadsAndBudgets) {
+  auto catalog = MakeCatalog();
+  const uint64_t kBudgets[] = {0, 1 << 20};
+  const size_t kThreads[] = {1, 8};
+  for (const std::string& sql : ParityQueries()) {
+    // Baseline: pruning disabled, serial, unbudgeted.
+    ExecutionReport base_report;
+    Result<Table> baseline = [&] {
+      ScopedEnv off("LAZYETL_DISABLE_PRUNING", "1");
+      return Run(catalog.get(), sql, 1, 0, &base_report);
+    }();
+    ASSERT_OK(baseline);
+    EXPECT_EQ(base_report.morsels_pruned, 0u) << sql;
+
+    for (size_t threads : kThreads) {
+      for (uint64_t budget : kBudgets) {
+        std::string context = sql + " threads=" + std::to_string(threads) +
+                              " budget=" + std::to_string(budget);
+        ExecutionReport report;
+        Result<Table> pruned = [&] {
+          ScopedEnv on("LAZYETL_DISABLE_PRUNING", nullptr);
+          return Run(catalog.get(), sql, threads, budget, &report);
+        }();
+        ASSERT_OK(pruned);
+        ExpectTablesIdentical(*baseline, *pruned, context);
+        ExecutionReport off_report;
+        Result<Table> unpruned = [&] {
+          ScopedEnv off("LAZYETL_DISABLE_PRUNING", "1");
+          return Run(catalog.get(), sql, threads, budget, &off_report);
+        }();
+        ASSERT_OK(unpruned);
+        ExpectTablesIdentical(*baseline, *unpruned, context + " pruning=off");
+      }
+    }
+  }
+}
+
+TEST_F(ScanPruningTest, EncodedMatchesUnencodedAcrossThreads) {
+  // Publish the same data under all three encoding policies; every policy
+  // must produce byte-identical query results.
+  auto auto_catalog = MakeCatalog();
+  ScopedEnv cap("LAZYETL_DICT_MAX_CARDINALITY", nullptr);
+  auto plain_catalog = [&] {
+    ScopedEnv off("LAZYETL_DICT_ENCODING", "off");
+    return MakeCatalog();
+  }();
+  auto forced_catalog = [&] {
+    ScopedEnv force("LAZYETL_DICT_ENCODING", "force");
+    return MakeCatalog();
+  }();
+
+  // Verify the policies actually took effect.
+  auto plain_t = plain_catalog->GetTable("t");
+  auto forced_t = forced_catalog->GetTable("t");
+  ASSERT_OK(plain_t);
+  ASSERT_OK(forced_t);
+  EXPECT_FALSE((*(*plain_t)->ColumnByName("station"))->dict_encoded());
+  EXPECT_TRUE((*(*forced_t)->ColumnByName("station"))->dict_encoded());
+
+  for (const std::string& sql : ParityQueries()) {
+    ExecutionReport plain_report;
+    auto expected = Run(plain_catalog.get(), sql, 1, 0, &plain_report);
+    ASSERT_OK(expected);
+    for (size_t threads : {size_t{1}, size_t{8}}) {
+      for (Catalog* c : {auto_catalog.get(), forced_catalog.get()}) {
+        ExecutionReport report;
+        auto got = Run(c, sql, threads, 0, &report);
+        ASSERT_OK(got);
+        ExpectTablesIdentical(
+            *expected, *got,
+            sql + " encoded threads=" + std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST_F(ScanPruningTest, SelectivePredicateSkipsMorselsAndReportsCounters) {
+  ScopedEnv on("LAZYETL_DISABLE_PRUNING", nullptr);
+  auto catalog = MakeCatalog();
+  ExecutionReport report;
+  auto got =
+      Run(catalog.get(), "SELECT id FROM t WHERE id >= 98000", 1, 0, &report);
+  ASSERT_OK(got);
+  EXPECT_EQ(got->num_rows(), 2000u);
+
+  // 100000 rows = 25 morsels of 4096; ids < 98000 fill the first 23 chunks
+  // (rows 0..94207), all provably below the constant — pruned untouched.
+  EXPECT_EQ(report.morsels_pruned, 23u);
+  EXPECT_EQ(report.rows_pruned, 23u * kDefaultBatchRows);
+
+  // The counters surface on the fused scan's stats entry and in the
+  // rendered report.
+  bool saw_scan_counters = false;
+  uint64_t scanned_rows = 0;
+  for (const auto& op : report.operator_stats) {
+    if (op.op == "Scan(t)") {
+      saw_scan_counters = op.morsels_pruned == 23u;
+      scanned_rows = op.rows;
+    }
+  }
+  EXPECT_TRUE(saw_scan_counters);
+  EXPECT_NE(report.ToString().find("pruned 23 morsels"), std::string::npos);
+
+  // ≥5× fewer rows touched than a full scan at this selectivity (2%).
+  EXPECT_LE(scanned_rows, kRows / 5);
+
+  // An unprunable predicate — noise is unclustered, so every chunk's range
+  // straddles the constant — selects few rows yet prunes nothing.
+  ExecutionReport noise_report;
+  got = Run(catalog.get(), "SELECT id FROM t WHERE noise < 3", 1, 0,
+            &noise_report);
+  ASSERT_OK(got);
+  EXPECT_GT(got->num_rows(), 0u);
+  EXPECT_LT(got->num_rows(), 1000u);
+  EXPECT_EQ(noise_report.morsels_pruned, 0u);
+}
+
+TEST_F(ScanPruningTest, ImpossiblePredicatePrunesEveryMorsel) {
+  ScopedEnv on("LAZYETL_DISABLE_PRUNING", nullptr);
+  auto catalog = MakeCatalog();
+  ExecutionReport report;
+  auto got = Run(catalog.get(), "SELECT id FROM t WHERE id < 0", 1, 0, &report);
+  ASSERT_OK(got);
+  EXPECT_EQ(got->num_rows(), 0u);
+  EXPECT_EQ(report.morsels_pruned, (kRows + kDefaultBatchRows - 1) /
+                                       kDefaultBatchRows);
+  EXPECT_EQ(report.rows_pruned, kRows);
+  // The schema still reaches the consumer: column names survive.
+  ASSERT_EQ(got->num_columns(), 1u);
+  EXPECT_EQ(got->column_name(0), "id");
+}
+
+TEST_F(ScanPruningTest, PruningHonoursStringZoneMapsOverDictColumns) {
+  // station cycles all five values through every chunk, so equality on an
+  // existing station prunes nothing — but a value above the global max
+  // prunes everything, dictionary or not.
+  ScopedEnv on("LAZYETL_DISABLE_PRUNING", nullptr);
+  auto catalog = MakeCatalog();
+  ExecutionReport report;
+  auto got = Run(catalog.get(),
+                 "SELECT COUNT(*) FROM t WHERE station = 'ZZZZ'", 1, 0,
+                 &report);
+  ASSERT_OK(got);
+  ASSERT_EQ(got->num_rows(), 1u);
+  EXPECT_EQ(got->GetValue(0, 0).AsInt64(), 0);
+  EXPECT_EQ(report.rows_pruned, kRows);
+}
+
+TEST_F(ScanPruningTest, FootprintEstimateSharpensWithZoneMaps) {
+  auto catalog = MakeCatalog();
+  auto plan_bytes = [&](const std::string& sql) -> uint64_t {
+    auto stmt = sql::Parse(sql);
+    EXPECT_TRUE(stmt.ok());
+    sql::Binder binder(catalog.get());
+    auto bound = binder.Bind(*stmt);
+    EXPECT_TRUE(bound.ok());
+    Planner planner(catalog.get(), {});
+    auto planned = planner.Plan(*bound);
+    EXPECT_TRUE(planned.ok());
+    return EstimatePlanFootprint(*planned->plan, *catalog, 0);
+  };
+  uint64_t wide = plan_bytes("SELECT id FROM t WHERE noise < 500");
+  uint64_t narrow = plan_bytes("SELECT id FROM t WHERE id >= 98000");
+  EXPECT_LT(narrow, wide / 5)
+      << "zone maps should shrink the estimate for clustered predicates";
+}
+
+}  // namespace
+}  // namespace lazyetl::engine
