@@ -1,0 +1,137 @@
+#include "common/memory_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace lazyetl::common {
+
+bool MemoryPool::TryCharge(uint64_t bytes) {
+  if (limit_ != 0) {
+    uint64_t used = used_.load(std::memory_order_relaxed);
+    while (true) {
+      if (used + bytes > limit_) {
+        charge_failures_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      if (used_.compare_exchange_weak(used, used + bytes,
+                                      std::memory_order_relaxed)) {
+        break;
+      }
+    }
+  } else {
+    used_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  if (governor_ != nullptr && !governor_->TryReserve(bytes)) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    charge_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  charges_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t now = used_.load(std::memory_order_relaxed);
+  uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak && !peak_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+void MemoryPool::Release(uint64_t bytes) {
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (governor_ != nullptr) governor_->Release(bytes);
+}
+
+MemoryPool::YielderId MemoryPool::RegisterYielder(Yielder yielder) {
+  std::lock_guard<std::mutex> lock(yielders_mu_);
+  YielderId id = next_yielder_id_++;
+  yielders_.emplace_back(id, std::move(yielder));
+  return id;
+}
+
+void MemoryPool::UnregisterYielder(YielderId id) {
+  std::lock_guard<std::mutex> lock(yielders_mu_);
+  yielders_.erase(
+      std::remove_if(yielders_.begin(), yielders_.end(),
+                     [id](const auto& p) { return p.first == id; }),
+      yielders_.end());
+}
+
+bool MemoryPool::ChargeWithYield(uint64_t bytes, YielderId exclude) {
+  if (TryCharge(bytes)) return true;
+
+  // Snapshot the registry so yielders run outside the registry mutex (a
+  // yielder takes its tier's lock; holding ours too would order-couple
+  // every tier lock through the pool).
+  std::vector<std::pair<YielderId, Yielder>> yielders;
+  {
+    std::lock_guard<std::mutex> lock(yielders_mu_);
+    yielders = yielders_;
+  }
+
+  uint64_t yielded_total = 0;
+  const uint64_t max_yield = bytes * 4;
+  for (const auto& [id, yielder] : yielders) {
+    if (id == exclude) continue;
+    if (yielded_total >= max_yield) break;
+    yield_requests_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t freed = yielder(bytes);
+    yielded_bytes_.fetch_add(freed, std::memory_order_relaxed);
+    yielded_total += freed;
+    if (TryCharge(bytes)) return true;
+  }
+  return false;
+}
+
+MemoryPoolStats MemoryPool::stats() const {
+  MemoryPoolStats s;
+  s.limit_bytes = limit_;
+  s.used_bytes = used_.load(std::memory_order_relaxed);
+  s.peak_bytes = peak_.load(std::memory_order_relaxed);
+  s.charges = charges_.load(std::memory_order_relaxed);
+  s.charge_failures = charge_failures_.load(std::memory_order_relaxed);
+  s.yield_requests = yield_requests_.load(std::memory_order_relaxed);
+  s.yielded_bytes = yielded_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void* PoolArena::Allocate(size_t bytes, size_t align) {
+  if (bytes == 0) bytes = 1;
+  // Align the actual address, not the chunk offset: malloc only promises
+  // max_align_t alignment for the chunk base.
+  const uintptr_t mask = static_cast<uintptr_t>(align) - 1;
+  Chunk* chunk = chunks_.empty() ? nullptr : &chunks_.back();
+  uintptr_t out = 0;
+  if (chunk != nullptr) {
+    uintptr_t base = reinterpret_cast<uintptr_t>(chunk->data);
+    out = (base + chunk->offset + mask) & ~mask;
+    if (out + bytes > base + chunk->size) chunk = nullptr;
+  }
+  if (chunk == nullptr) {
+    size_t size = std::max(bytes + align, chunk_bytes_);
+    if (pool_ != nullptr && !pool_->TryCharge(size)) return nullptr;
+    Chunk fresh;
+    fresh.data = static_cast<char*>(std::malloc(size));
+    if (fresh.data == nullptr) {
+      if (pool_ != nullptr) pool_->Release(size);
+      return nullptr;
+    }
+    fresh.size = size;
+    charged_ += size;
+    chunks_.push_back(fresh);
+    chunk = &chunks_.back();
+    out = (reinterpret_cast<uintptr_t>(chunk->data) + mask) & ~mask;
+  }
+  chunk->offset =
+      (out - reinterpret_cast<uintptr_t>(chunk->data)) + bytes;
+  allocated_ += bytes;
+  return reinterpret_cast<void*>(out);
+}
+
+void PoolArena::Reset() {
+  for (Chunk& chunk : chunks_) std::free(chunk.data);
+  chunks_.clear();
+  if (pool_ != nullptr && charged_ > 0) pool_->Release(charged_);
+  charged_ = 0;
+  allocated_ = 0;
+}
+
+}  // namespace lazyetl::common

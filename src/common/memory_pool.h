@@ -1,0 +1,162 @@
+// MemoryPool: one governed pool of bytes behind every cache tier.
+//
+// The record recycler, the decoded-column cache and the sub-plan cache all
+// charge their resident bytes here instead of reserving against the global
+// MemoryBudget independently. The pool adds two things over a raw budget:
+//
+//   * a shared limit across the tiers, so cache residency is bounded as a
+//     whole (LAZYETL_CACHE_POOL_BUDGET / WarehouseOptions), and every
+//     charge still chains to the process-global MemoryBudget — cache
+//     bytes, extraction windows and pipeline-breaker state compete for
+//     one cap;
+//   * cross-tier LRU yield: each tier registers a yielder callback that
+//     evicts its least-recently-used entries on demand. ChargeWithYield
+//     asks the *other* tiers to shrink when a charge does not fit, so a
+//     hot tier reclaims bytes pinned by a cold one instead of failing.
+//
+// Locking protocol (deadlock freedom): a yielder may take its own tier's
+// lock, and only that lock; callers of ChargeWithYield must therefore hold
+// no tier lock (tiers evict their own LRU under lock first, then charge
+// outside it). TryCharge/Release never invoke yielders, so they are safe
+// from any context, including under a tier lock.
+//
+// PoolArena is a chunked arena allocator drawing from a pool: allocations
+// bump-point into pool-charged chunks and are released wholesale when the
+// arena resets or dies — the cheap way for a cache entry to own odd-sized
+// side arrays (key materials, seq lists) under the same governed cap.
+
+#ifndef LAZYETL_COMMON_MEMORY_POOL_H_
+#define LAZYETL_COMMON_MEMORY_POOL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/memory_budget.h"
+
+namespace lazyetl::common {
+
+// Value snapshot of the pool counters (the live counters are atomics).
+struct MemoryPoolStats {
+  uint64_t limit_bytes = 0;  // 0 = no pool-local limit
+  uint64_t used_bytes = 0;
+  uint64_t peak_bytes = 0;
+  uint64_t charges = 0;          // successful charges
+  uint64_t charge_failures = 0;  // charges refused (after any yield)
+  uint64_t yield_requests = 0;   // yielder invocations
+  uint64_t yielded_bytes = 0;    // bytes reclaimed by yielders
+};
+
+class MemoryPool {
+ public:
+  // `limit_bytes` = 0 means no pool-local limit (the governor still
+  // applies). `governor` (may be null) is charged for every resident byte
+  // and refunded on release — normally &MemoryBudget::Process().
+  explicit MemoryPool(uint64_t limit_bytes, MemoryBudget* governor = nullptr)
+      : limit_(limit_bytes), governor_(governor) {}
+
+  MemoryPool(const MemoryPool&) = delete;
+  MemoryPool& operator=(const MemoryPool&) = delete;
+
+  // Attempts to charge `bytes` against the pool limit and the governor;
+  // charges nothing on failure. Never invokes yielders — safe under any
+  // tier lock.
+  bool TryCharge(uint64_t bytes);
+
+  // Refunds a previous successful charge (pool and governor).
+  void Release(uint64_t bytes);
+
+  // A yielder frees up to `want` reclaimable bytes (LRU eviction inside
+  // its tier, which calls Release) and returns how many it freed.
+  using Yielder = std::function<uint64_t(uint64_t want)>;
+  using YielderId = int;
+
+  YielderId RegisterYielder(Yielder yielder);
+  void UnregisterYielder(YielderId id);
+
+  // TryCharge, and on failure rotate through the registered yielders
+  // (skipping `exclude`, normally the calling tier's own id) asking each
+  // for the full deficit, bounded to 4x the requested bytes in total so a
+  // single admission cannot wipe every tier. Callers must hold no tier
+  // lock (see the locking protocol above).
+  bool ChargeWithYield(uint64_t bytes, YielderId exclude = -1);
+
+  // The governor's finite limit (0 = unlimited/no governor) — tiers use it
+  // for their global-share bound, exactly as they did when charging the
+  // global budget directly.
+  uint64_t governed_limit() const {
+    return governor_ != nullptr ? governor_->limit() : 0;
+  }
+
+  uint64_t limit() const { return limit_; }
+  uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+
+  MemoryPoolStats stats() const;
+
+ private:
+  const uint64_t limit_;
+  MemoryBudget* const governor_;
+
+  std::atomic<uint64_t> used_{0};
+  std::atomic<uint64_t> peak_{0};
+  std::atomic<uint64_t> charges_{0};
+  std::atomic<uint64_t> charge_failures_{0};
+  std::atomic<uint64_t> yield_requests_{0};
+  std::atomic<uint64_t> yielded_bytes_{0};
+
+  mutable std::mutex yielders_mu_;  // guards yielders_ (registry only)
+  std::vector<std::pair<YielderId, Yielder>> yielders_;
+  YielderId next_yielder_id_ = 0;
+};
+
+// Chunked arena allocator over a MemoryPool. Allocate() bump-points into
+// the current chunk, growing by pool-charged chunks on demand; individual
+// allocations are never freed — Reset() or destruction returns every chunk
+// (and its pool charge) at once. Returns nullptr when the pool refuses the
+// chunk, so callers can decline admission instead of overshooting the cap.
+class PoolArena {
+ public:
+  static constexpr size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit PoolArena(MemoryPool* pool,
+                     size_t chunk_bytes = kDefaultChunkBytes)
+      : pool_(pool), chunk_bytes_(chunk_bytes) {}
+  ~PoolArena() { Reset(); }
+
+  PoolArena(const PoolArena&) = delete;
+  PoolArena& operator=(const PoolArena&) = delete;
+
+  // Aligned bump allocation; nullptr when the pool refuses a new chunk.
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t));
+
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  // Frees every chunk and refunds the pool charge.
+  void Reset();
+
+  uint64_t allocated_bytes() const { return allocated_; }  // live requests
+  uint64_t chunk_bytes_total() const { return charged_; }  // pool charge
+
+ private:
+  struct Chunk {
+    char* data = nullptr;
+    size_t size = 0;
+    size_t offset = 0;
+  };
+
+  MemoryPool* const pool_;
+  const size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  uint64_t allocated_ = 0;
+  uint64_t charged_ = 0;
+};
+
+}  // namespace lazyetl::common
+
+#endif  // LAZYETL_COMMON_MEMORY_POOL_H_

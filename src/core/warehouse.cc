@@ -233,7 +233,16 @@ class WarehouseRecordStream : public engine::RecordStream {
       : provider_(provider),
         columns_(std::move(columns)),
         batch_rows_(batch_rows),
-        report_(report) {}
+        report_(report) {
+    // Canonical projection signature — the decoded-column cache key's
+    // column component. Empty columns_ (= all columns) signs as "".
+    for (const auto& sc : columns_) {
+      columns_sig_ += sc.base_column;
+      columns_sig_ += '>';
+      columns_sig_ += sc.output_name;
+      columns_sig_ += ',';
+    }
+  }
 
   // Cache pass + windowed extraction for the next run of files; pushes
   // their assembled tables onto ready_.
@@ -253,6 +262,7 @@ class WarehouseRecordStream : public engine::RecordStream {
   std::vector<ScanColumn> columns_;
   size_t batch_rows_;
   ExecutionReport* report_;
+  std::string columns_sig_;
 
   std::vector<FileRequest> files_;
   size_t next_file_ = 0;          // next file not yet cache-passed
@@ -264,6 +274,7 @@ class WarehouseRecordStream : public engine::RecordStream {
   uint64_t outstanding_ = 0;      // reserved window bytes not yet released
 
   uint64_t total_hits_ = 0;
+  uint64_t column_hit_files_ = 0;
   std::vector<std::string> extracted_desc_;
   bool emitted_ = false;
   bool summary_written_ = false;
@@ -408,6 +419,12 @@ Result<std::unique_ptr<engine::RecordStream>> WarehouseRecordStream::Create(
               "lazy refresh: " + entry.path +
                   " was modified; re-loading its metadata");
         warehouse->recycler_->InvalidateFile(fid);
+        if (warehouse->column_cache_ != nullptr) {
+          warehouse->column_cache_->InvalidateFile(fid);
+        }
+        if (warehouse->plan_cache_ != nullptr) {
+          warehouse->plan_cache_->InvalidateFile(fid);
+        }
         LAZYETL_ASSIGN_OR_RETURN(Table * records,
                                  writer.Mutable(kRecordsTable));
         LAZYETL_ASSIGN_OR_RETURN(size_t removed,
@@ -471,6 +488,9 @@ Status WarehouseRecordStream::AdvanceWindow() {
     std::map<int64_t, TransformedRecord> staged;  // cache hits by seq_no
     int job_index = -1;
     uint64_t reserved = 0;  // window bytes charged for this file
+    // Decoded-column tier hit: the shared assembled table — no budget
+    // reservation, no recycler pass, no extraction job for this file.
+    storage::TablePtr column_hit;
   };
   std::vector<PendingFile> window;
   std::vector<ExtractJob> jobs;
@@ -488,6 +508,32 @@ Status WarehouseRecordStream::AdvanceWindow() {
         return Status::NotFound(
             "source file disappeared during query: file_id " +
             std::to_string(fr.fid));
+      }
+
+      // Decoded-column tier first: the assembled, publish-encoded table
+      // for exactly this (file, projection, seq window) may already be
+      // resident — then this file needs no budget reservation, no
+      // per-record recycler pass and no extraction job.
+      if (warehouse->column_cache_ != nullptr) {
+        bool col_stale = false;
+        storage::TablePtr cached = warehouse->column_cache_->Lookup(
+            fr.fid, fr.mtime, columns_sig_, fr.seqs, &col_stale);
+        if (cached != nullptr) {
+          ++report_->column_cache_hits;
+          ++column_hit_files_;
+          // The window's records are served without extraction — credit
+          // them as cache hits exactly like record-tier hits, so the
+          // "requested = hits + misses + stale" accounting holds.
+          report_->cache_hits += fr.seqs.size();
+          total_hits_ += fr.seqs.size();
+          ++next_file_;
+          PendingFile pending;
+          pending.request = &fr;
+          pending.column_hit = std::move(cached);
+          window.push_back(std::move(pending));
+          continue;
+        }
+        ++report_->column_cache_misses;
       }
 
       // Estimated decoded footprint of this file's requested records
@@ -588,6 +634,14 @@ Status WarehouseRecordStream::AdvanceWindow() {
   LAZYETL_RETURN_NOT_OK(provider_->RunExtractionJobs(&jobs));
 
   for (PendingFile& pending : window) {
+    if (pending.column_hit != nullptr) {
+      // Emit a copy of the shared cached table: the entry itself stays
+      // zero-copy-shared across queries (dictionary columns share their
+      // dicts); the pipeline takes its own materialization, exactly as
+      // the extraction path would have built one.
+      ready_.push_back({*pending.column_hit, 0});
+      continue;
+    }
     if (pending.job_index >= 0) {
       ExtractJob& job = jobs[pending.job_index];
       LAZYETL_RETURN_NOT_OK(job.status);
@@ -632,6 +686,14 @@ Status WarehouseRecordStream::AdvanceWindow() {
     LAZYETL_ASSIGN_OR_RETURN(
         Table file_table,
         provider_->BuildOutput(std::move(buffers), columns_));
+    if (warehouse->column_cache_ != nullptr) {
+      // Admit the assembled output (even when staged entirely from
+      // record-tier hits — the assembly itself is what this tier saves).
+      // No tier lock is held here, so the pool may run cross-tier yield.
+      warehouse->column_cache_->Admit(
+          pending.request->fid, pending.request->mtime, columns_sig_,
+          pending.request->seqs, std::make_shared<Table>(file_table));
+    }
     ready_.push_back({std::move(file_table), pending.reserved});
   }
   return Status::OK();
@@ -698,6 +760,9 @@ void WarehouseRecordStream::FlushSummary() {
   rewrite << "LazyDataScan(" << kDataTable
           << ") rewritten at run time into:\n";
   rewrite << "  CacheScan[" << total_hits_ << " records]\n";
+  if (column_hit_files_ > 0) {
+    rewrite << "  ColumnCacheScan[" << column_hit_files_ << " files]\n";
+  }
   rewrite << "  FileExtract[" << extracted_desc_.size() << " files";
   for (size_t i = 0; i < extracted_desc_.size() && i < 6; ++i) {
     rewrite << (i == 0 ? ": " : ", ") << extracted_desc_[i];
@@ -813,16 +878,93 @@ Warehouse::Warehouse(WarehouseOptions options)
 
 Warehouse::~Warehouse() = default;
 
+namespace {
+
+// Tri-state cache knob: explicit option (0/1) wins; -1 resolves from the
+// environment (1/true/on/yes enable); absent env = off.
+bool ResolveCacheKnob(int option, const char* env_name) {
+  if (option >= 0) return option != 0;
+  if (const char* env = std::getenv(env_name)) {
+    const std::string value = ToLowerAscii(env);
+    return value == "1" || value == "true" || value == "on" ||
+           value == "yes";
+  }
+  return false;
+}
+
+// Byte-size knob with k/m/g suffixes: explicit option (> 0) wins; 0
+// resolves from the environment, falling back to `fallback`.
+uint64_t ResolveCacheBytes(uint64_t option, const char* env_name,
+                           uint64_t fallback) {
+  if (option > 0) return option;
+  if (const char* env = std::getenv(env_name)) {
+    char* end = nullptr;
+    uint64_t v = std::strtoull(env, &end, 10);
+    if (end != nullptr) {
+      switch (*end) {
+        case 'k':
+        case 'K':
+          v <<= 10;
+          break;
+        case 'm':
+        case 'M':
+          v <<= 20;
+          break;
+        case 'g':
+        case 'G':
+          v <<= 30;
+          break;
+        default:
+          break;
+      }
+    }
+    return v;
+  }
+  return fallback;
+}
+
+}  // namespace
+
 Result<std::unique_ptr<Warehouse>> Warehouse::Open(WarehouseOptions options) {
   auto wh = std::unique_ptr<Warehouse>(new Warehouse(std::move(options)));
   wh->catalog_ = std::make_unique<storage::Catalog>();
   LAZYETL_RETURN_NOT_OK(
       RegisterSchema(wh->catalog_.get(), wh->IsLazyStrategy()));
-  // The recycler charges its resident bytes to the process-global budget
-  // (and yields LRU entries under global pressure), so cached records and
-  // in-flight query state draw from one cap.
+
+  // Multi-tier caching: every tier (record recycler, decoded-column,
+  // sub-plan) charges one shared MemoryPool, itself chained to the
+  // process-global budget — cache residency, extraction windows and
+  // breaker state compete for one cap, and the tiers LRU-yield to each
+  // other under pool pressure.
+  wh->options_.enable_column_cache =
+      ResolveCacheKnob(wh->options_.enable_column_cache,
+                       "LAZYETL_COLUMN_CACHE")
+          ? 1
+          : 0;
+  wh->options_.enable_plan_cache =
+      ResolveCacheKnob(wh->options_.enable_plan_cache, "LAZYETL_PLAN_CACHE")
+          ? 1
+          : 0;
+  wh->options_.column_cache_budget_bytes =
+      ResolveCacheBytes(wh->options_.column_cache_budget_bytes,
+                        "LAZYETL_COLUMN_CACHE_BUDGET", 64ULL << 20);
+  wh->options_.plan_cache_budget_bytes =
+      ResolveCacheBytes(wh->options_.plan_cache_budget_bytes,
+                        "LAZYETL_PLAN_CACHE_BUDGET", 64ULL << 20);
+  wh->options_.cache_pool_budget_bytes = ResolveCacheBytes(
+      wh->options_.cache_pool_budget_bytes, "LAZYETL_CACHE_POOL_BUDGET", 0);
+  wh->cache_pool_ = std::make_unique<common::MemoryPool>(
+      wh->options_.cache_pool_budget_bytes, &common::MemoryBudget::Process());
   wh->recycler_ = std::make_unique<engine::Recycler>(
-      wh->options_.cache_budget_bytes, &common::MemoryBudget::Process());
+      wh->options_.cache_budget_bytes, wh->cache_pool_.get());
+  if (wh->options_.enable_column_cache != 0) {
+    wh->column_cache_ = std::make_unique<engine::ColumnCache>(
+        wh->options_.column_cache_budget_bytes, wh->cache_pool_.get());
+  }
+  if (wh->options_.enable_plan_cache != 0) {
+    wh->plan_cache_ = std::make_unique<engine::PlanCache>(
+        wh->options_.plan_cache_budget_bytes, wh->cache_pool_.get());
+  }
   wh->result_recycler_ = std::make_unique<engine::ResultRecycler>();
 
   // Admission control: resolve the concurrency bound and the per-query
@@ -923,6 +1065,7 @@ Status Warehouse::HydrateFileLocked(FileEntry* entry, CatalogWriter* writer,
     break;
   }
   result_recycler_->Clear();
+  if (plan_cache_ != nullptr) plan_cache_->Clear();
   return Status::OK();
 }
 
@@ -1129,6 +1272,7 @@ Result<LoadStats> Warehouse::AttachRepository(const std::string& root) {
     writer.Publish();
   }
   result_recycler_->Clear();
+  if (plan_cache_ != nullptr) plan_cache_->Clear();
 
   if (options_.strategy == LoadStrategy::kEager &&
       !options_.persist_dir.empty()) {
@@ -1203,6 +1347,8 @@ Status Warehouse::ReloadModifiedFileLocked(FileEntry* entry,
                                            CatalogWriter* writer,
                                            uint64_t* bytes_read) {
   recycler_->InvalidateFile(entry->file_id);
+  if (column_cache_ != nullptr) column_cache_->InvalidateFile(entry->file_id);
+  if (plan_cache_ != nullptr) plan_cache_->InvalidateFile(entry->file_id);
   LAZYETL_ASSIGN_OR_RETURN(Table * files, writer->Mutable(kFilesTable));
   LAZYETL_ASSIGN_OR_RETURN(Table * records, writer->Mutable(kRecordsTable));
   LAZYETL_RETURN_NOT_OK(RemoveFileRows(files, entry->file_id).status());
@@ -1231,6 +1377,7 @@ Status Warehouse::ReloadModifiedFileLocked(FileEntry* entry,
       break;
   }
   result_recycler_->Clear();
+  if (plan_cache_ != nullptr) plan_cache_->Clear();
   return Status::OK();
 }
 
@@ -1354,6 +1501,7 @@ Result<LoadStats> Warehouse::AttachPersisted(const std::string& persist_dir) {
   }
 
   result_recycler_->Clear();
+  if (plan_cache_ != nullptr) plan_cache_->Clear();
   stats.seconds = timer.ElapsedSeconds();
   LogOp(LogCategory::kEagerLoad,
         "persisted warehouse reopened: " + std::to_string(stats.files) +
@@ -1427,7 +1575,15 @@ Result<uint64_t> Warehouse::EstimateColdExtractionBytes(
     if (fid < 1 || static_cast<size_t>(fid) > files_.size()) continue;
     const FileEntry& entry = files_[fid - 1];
     if (entry.file_id == 0) continue;
-    bytes += entry.size;
+    uint64_t file_bytes = entry.size;
+    if (column_cache_ != nullptr) {
+      // Decoded columns already resident in the cache tier are served
+      // without extraction: discount them (clamped per file) so a warm
+      // query admits for what it will actually extract.
+      file_bytes -= std::min(file_bytes,
+                             column_cache_->ResidentBytesForFile(fid));
+    }
+    bytes += file_bytes;
   }
   return bytes;
 }
@@ -1491,6 +1647,45 @@ Result<QueryResult> Warehouse::Query(const std::string& sql,
   LogOp(LogCategory::kPlan,
         "compile-time reorganisation done (metadata predicates first)");
 
+  // Sub-plan cache: recognize the topmost breaker subtree and, when a
+  // still-valid materialization exists, substitute a CachedScan for it
+  // before admission — footprint estimation then sees the substituted
+  // plan, so a served sub-plan admits near-free. The original subtree is
+  // detached (not destroyed): the footprint path re-validates after its
+  // queue wait and reverts on staleness.
+  engine::PlanNodePtr* sub_slot = nullptr;
+  std::string subplan_fp;
+  uint64_t plan_epoch = 0;
+  engine::PlanNodePtr subplan_detached;
+  std::vector<engine::ResultDependency> subplan_deps;
+  bool subplan_hit = false;
+  auto dep_mtime_fn = [this](const engine::ResultDependency& dep) {
+    return CurrentMtime(dep.path);
+  };
+  if (plan_cache_ != nullptr) {
+    sub_slot = engine::FindCacheableSubPlan(&planned.plan);
+    if (sub_slot != nullptr) {
+      subplan_fp = engine::PlanFingerprint(**sub_slot);
+      if (subplan_fp.empty()) sub_slot = nullptr;
+    }
+    if (sub_slot != nullptr) {
+      plan_epoch = plan_cache_->epoch();
+      engine::CachedSubPlanPtr cached =
+          plan_cache_->ValidateAndGet(subplan_fp, dep_mtime_fn);
+      if (cached != nullptr) {
+        subplan_detached = std::move(*sub_slot);
+        *sub_slot = engine::MakeCachedScan(cached->table, "subplan");
+        subplan_deps = cached->deps;
+        subplan_hit = true;
+        report.plan_cache_hit = true;
+        report.plan_runtime +=
+            "sub-plan cache hit: breaker subtree replaced by CachedScan\n" +
+            planned.plan->ToString();
+        LogOp(LogCategory::kCache, "sub-plan served from plan cache");
+      }
+    }
+  }
+
   // Footprint-aware admission: estimate from the just-built plan, then
   // take the ticket.
   if (options_.footprint_aware_admission) {
@@ -1519,6 +1714,27 @@ Result<QueryResult> Warehouse::Query(const std::string& sql,
               common::QueryPriorityToString(request.priority) +
               ", estimated footprint " +
               std::to_string(request.estimated_bytes) + " B): " + sql);
+
+    // The cached sub-plan was validated before queueing for admission;
+    // files may have changed while this query waited. Re-validate and
+    // fall back to the detached original subtree on staleness —
+    // correctness never depends on the cache.
+    if (subplan_hit) {
+      bool fresh = true;
+      for (const auto& dep : subplan_deps) {
+        if (CurrentMtime(dep.path) != dep.mtime) {
+          fresh = false;
+          break;
+        }
+      }
+      if (!fresh) {
+        *sub_slot = std::move(subplan_detached);
+        subplan_deps.clear();
+        subplan_hit = false;
+        report.plan_cache_hit = false;
+        report.plan_runtime.clear();
+      }
+    }
   }
 
   // Whole-result recycling.
@@ -1560,8 +1776,34 @@ Result<QueryResult> Warehouse::Query(const std::string& sql,
   exec_options.batch_rows = options_.batch_rows;
   exec_options.query_threads = options_.query_threads;
   engine::Executor executor(catalog_.get(), &provider, exec_options);
-  LAZYETL_ASSIGN_OR_RETURN(Table result,
-                           executor.Execute(*planned.plan, &report, &qctx));
+  Table result;
+  if (plan_cache_ != nullptr && sub_slot != nullptr && !subplan_hit) {
+    // Sub-plan miss: execute the breaker subtree first, admit its
+    // materialization together with the dependency set the execution
+    // recorded, then run the remainder of the plan over the cached
+    // table. Byte-identical to single-phase execution: the breaker's
+    // output is deterministic, and the remainder consumes the same rows
+    // in the same order.
+    const bool sub_is_root = (sub_slot == &planned.plan);
+    LAZYETL_ASSIGN_OR_RETURN(Table sub_result,
+                             executor.Execute(**sub_slot, &report, &qctx));
+    auto sub_table = std::make_shared<Table>(std::move(sub_result));
+    engine::CachedSubPlan entry;
+    entry.table = sub_table;
+    entry.deps = provider.deps();
+    entry.admitted_at = NowNanos();
+    plan_cache_->Admit(subplan_fp, std::move(entry), plan_epoch);
+    if (sub_is_root) {
+      result = *sub_table;
+    } else {
+      *sub_slot = engine::MakeCachedScan(sub_table, "subplan");
+      LAZYETL_ASSIGN_OR_RETURN(
+          result, executor.Execute(*planned.plan, &report, &qctx));
+    }
+  } else {
+    LAZYETL_ASSIGN_OR_RETURN(result,
+                             executor.Execute(*planned.plan, &report, &qctx));
+  }
   report.execute_seconds = phase.ElapsedSeconds();
   report.result_rows = result.num_rows();
   report.total_seconds = total.ElapsedSeconds();
@@ -1570,6 +1812,10 @@ Result<QueryResult> Warehouse::Query(const std::string& sql,
     engine::CachedResult cached;
     cached.table = result;
     cached.deps = provider.deps();
+    // A sub-plan served from cache contributes files this execution never
+    // opened; the whole result still depends on them.
+    cached.deps.insert(cached.deps.end(), subplan_deps.begin(),
+                       subplan_deps.end());
     cached.admitted_at = NowNanos();
     result_recycler_->Admit(sql, std::move(cached));
   }
@@ -1676,6 +1922,10 @@ Result<RefreshStats> Warehouse::Refresh() {
       if (mseed::StatFile(entry.path).ok()) continue;
       ++stats.deleted_files;
       recycler_->InvalidateFile(entry.file_id);
+      if (column_cache_ != nullptr) {
+        column_cache_->InvalidateFile(entry.file_id);
+      }
+      if (plan_cache_ != nullptr) plan_cache_->InvalidateFile(entry.file_id);
       LAZYETL_ASSIGN_OR_RETURN(Table * files, writer.Mutable(kFilesTable));
       LAZYETL_ASSIGN_OR_RETURN(Table * records,
                                writer.Mutable(kRecordsTable));
@@ -1695,6 +1945,7 @@ Result<RefreshStats> Warehouse::Refresh() {
   }
 
   result_recycler_->Clear();
+  if (plan_cache_ != nullptr) plan_cache_->Clear();
   stats.seconds = timer.ElapsedSeconds();
   LogOp(LogCategory::kRefresh,
         "refresh done: " + std::to_string(stats.new_files) + " new, " +
@@ -1706,10 +1957,22 @@ Result<RefreshStats> Warehouse::Refresh() {
 void Warehouse::ClearCaches() {
   recycler_->Clear();
   recycler_->ResetCounters();
+  if (column_cache_ != nullptr) {
+    column_cache_->Clear();
+    column_cache_->ResetCounters();
+  }
+  if (plan_cache_ != nullptr) {
+    plan_cache_->Clear();
+    plan_cache_->ResetCounters();
+  }
   result_recycler_->Clear();
 }
 
-void Warehouse::ResetCacheCounters() { recycler_->ResetCounters(); }
+void Warehouse::ResetCacheCounters() {
+  recycler_->ResetCounters();
+  if (column_cache_ != nullptr) column_cache_->ResetCounters();
+  if (plan_cache_ != nullptr) plan_cache_->ResetCounters();
+}
 
 WarehouseStats Warehouse::Stats() const {
   WarehouseStats stats;
@@ -1727,6 +1990,9 @@ WarehouseStats Warehouse::Stats() const {
   stats.cache = recycler_->stats();
   stats.result_cache_hits = result_cache_hits_.load(std::memory_order_relaxed);
   stats.result_cache_entries = result_recycler_->entries();
+  if (column_cache_ != nullptr) stats.column_cache = column_cache_->stats();
+  if (plan_cache_ != nullptr) stats.plan_cache = plan_cache_->stats();
+  stats.cache_pool = cache_pool_->stats();
   stats.queries_admitted = scheduler_->total_admitted();
   stats.queries_timed_out = scheduler_->total_timed_out();
   stats.queries_bypass_admitted = scheduler_->total_bypass_admissions();

@@ -1,0 +1,215 @@
+#include "engine/column_cache.h"
+
+#include <algorithm>
+
+namespace lazyetl::engine {
+
+namespace {
+
+inline uint64_t MixHash(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+ColumnCache::ColumnCache(uint64_t budget_bytes, common::MemoryPool* pool)
+    : budget_bytes_(budget_bytes), pool_(pool) {
+  if (pool_ != nullptr) {
+    // Yielder takes only mu_ (pool locking protocol); EvictOneLocked
+    // releases pool charges, which never re-enters any yielder.
+    yielder_id_ = pool_->RegisterYielder([this](uint64_t want) {
+      std::lock_guard<std::mutex> lock(mu_);
+      uint64_t freed = 0;
+      while (freed < want && !lru_.empty()) freed += EvictOneLocked();
+      return freed;
+    });
+  }
+}
+
+ColumnCache::~ColumnCache() {
+  if (pool_ != nullptr) {
+    pool_->UnregisterYielder(yielder_id_);
+    pool_->Release(current_bytes_.load(std::memory_order_relaxed));
+  }
+}
+
+uint64_t ColumnCache::HashKey(const std::string& columns_sig,
+                              const std::vector<int64_t>& sorted_seqs) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : columns_sig) {
+    h = MixHash(h, static_cast<uint64_t>(static_cast<unsigned char>(c)));
+  }
+  h = MixHash(h, 0x5EAFULL);  // separator: signature | seq window
+  for (int64_t seq : sorted_seqs) {
+    h = MixHash(h, static_cast<uint64_t>(seq));
+  }
+  return h;
+}
+
+uint64_t ColumnCache::EntryBytes(const storage::TablePtr& table,
+                                 const std::string& columns_sig,
+                                 const std::vector<int64_t>& seqs) {
+  return table->MemoryBytes() + columns_sig.size() +
+         seqs.size() * sizeof(int64_t) + sizeof(Entry);
+}
+
+storage::TablePtr ColumnCache::Lookup(int64_t file_id, NanoTime file_mtime,
+                                      const std::string& columns_sig,
+                                      const std::vector<int64_t>& seqs,
+                                      bool* stale) {
+  if (stale != nullptr) *stale = false;
+  std::vector<int64_t> sorted = seqs;
+  std::sort(sorted.begin(), sorted.end());
+  Key key{file_id, HashKey(columns_sig, sorted)};
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  Entry& entry = it->second;
+  // Exact key-material check: a hash collision is a miss, never a wrong
+  // table.
+  if (entry.columns_sig != columns_sig || entry.seqs != sorted) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  if (entry.file_mtime != file_mtime) {
+    stale_.fetch_add(1, std::memory_order_relaxed);
+    if (stale != nullptr) *stale = true;
+    EraseLocked(key);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  lru_.erase(entry.lru_it);
+  lru_.push_back(key);
+  entry.lru_it = std::prev(lru_.end());
+  return entry.table;
+}
+
+void ColumnCache::Admit(int64_t file_id, NanoTime file_mtime,
+                        const std::string& columns_sig,
+                        std::vector<int64_t> seqs, storage::TablePtr table) {
+  if (table == nullptr) return;
+  std::sort(seqs.begin(), seqs.end());
+  uint64_t bytes = EntryBytes(table, columns_sig, seqs);
+  if (bytes > budget_bytes_) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;  // larger than the whole tier; not admissible
+  }
+  // Charge the pool with mu_ NOT held: ChargeWithYield may run the other
+  // tiers' yielders (each takes its own lock), excluding our own.
+  if (pool_ != nullptr && !pool_->ChargeWithYield(bytes, yielder_id_)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  Key key{file_id, HashKey(columns_sig, seqs)};
+  std::lock_guard<std::mutex> lock(mu_);
+  EraseLocked(key);  // replace-in-place releases the old charge
+  while (current_bytes_.load(std::memory_order_relaxed) + bytes >
+             budget_bytes_ &&
+         !lru_.empty()) {
+    EvictOneLocked();
+  }
+
+  lru_.push_back(key);
+  Entry entry;
+  entry.table = std::move(table);
+  entry.file_mtime = file_mtime;
+  entry.columns_sig = columns_sig;
+  entry.seqs = std::move(seqs);
+  entry.bytes = bytes;
+  entry.lru_it = std::prev(lru_.end());
+  current_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  map_[key] = std::move(entry);
+  admissions_.fetch_add(1, std::memory_order_relaxed);
+  entries_.store(map_.size(), std::memory_order_relaxed);
+}
+
+uint64_t ColumnCache::EvictOneLocked() {
+  const Key victim = lru_.front();
+  auto it = map_.find(victim);
+  uint64_t bytes = it->second.bytes;
+  current_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (pool_ != nullptr) pool_->Release(bytes);
+  map_.erase(it);
+  lru_.pop_front();
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  entries_.store(map_.size(), std::memory_order_relaxed);
+  return bytes;
+}
+
+void ColumnCache::EraseLocked(const Key& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  uint64_t bytes = it->second.bytes;
+  current_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (pool_ != nullptr) pool_->Release(bytes);
+  lru_.erase(it->second.lru_it);
+  map_.erase(it);
+  entries_.store(map_.size(), std::memory_order_relaxed);
+}
+
+void ColumnCache::InvalidateFile(int64_t file_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->first.file_id == file_id) {
+      uint64_t bytes = it->second.bytes;
+      current_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+      if (pool_ != nullptr) pool_->Release(bytes);
+      lru_.erase(it->second.lru_it);
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  entries_.store(map_.size(), std::memory_order_relaxed);
+}
+
+void ColumnCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  lru_.clear();
+  if (pool_ != nullptr) {
+    pool_->Release(current_bytes_.load(std::memory_order_relaxed));
+  }
+  current_bytes_.store(0, std::memory_order_relaxed);
+  entries_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t ColumnCache::ResidentBytesForFile(int64_t file_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t bytes = 0;
+  for (const auto& [key, entry] : map_) {
+    if (key.file_id == file_id) bytes += entry.bytes;
+  }
+  return bytes;
+}
+
+ColumnCacheStats ColumnCache::stats() const {
+  ColumnCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.stale = stale_.load(std::memory_order_relaxed);
+  s.admissions = admissions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.current_bytes = current_bytes_.load(std::memory_order_relaxed);
+  s.budget_bytes = budget_bytes_;
+  s.entries = entries_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ColumnCache::ResetCounters() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  stale_.store(0, std::memory_order_relaxed);
+  admissions_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  rejected_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace lazyetl::engine

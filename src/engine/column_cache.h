@@ -1,0 +1,159 @@
+// ColumnCache: the decoded-column tier of the multi-tier cache.
+//
+// The record Recycler caches raw decoded (time, value) vectors per mSEED
+// record; assembling them into publish-encoded output columns (projection,
+// dictionary encoding, zone maps) is still repeated per query. This tier
+// caches that assembled product: one immutable `storage::Table` per
+// (file, column set, extraction window), shared zero-copy across every
+// concurrent query that scans the same station/time range with the same
+// projection. A hit skips both decoding *and* assembly.
+//
+// Keying: (file_id, hash(columns signature, seq window)). Hashes only
+// route — each entry stores its exact key materials (mtime, columns
+// signature, sorted seq list) and a lookup verifies them, so a hash
+// collision degrades to a miss, never a wrong result. mtime invalidation
+// mirrors the Recycler: an entry admitted under a different mtime is
+// erased as stale on lookup, and Warehouse invalidates eagerly on
+// refresh/republish.
+//
+// Memory: every entry charges (table bytes + key-material bytes) to the
+// shared cache MemoryPool via ChargeWithYield — the charge happens with
+// mu_ NOT held (pool locking protocol), so other tiers' yielders may run;
+// this tier's own yielder evicts from the LRU front under mu_ only.
+//
+// Concurrency: internally locked, handles are shared_ptr<Table> — a hit
+// stays valid after eviction, exactly like the Recycler's handles.
+
+#ifndef LAZYETL_ENGINE_COLUMN_CACHE_H_
+#define LAZYETL_ENGINE_COLUMN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/memory_pool.h"
+#include "common/time.h"
+#include "storage/table.h"
+
+namespace lazyetl::engine {
+
+// Value snapshot of the tier counters (the live counters are atomics).
+struct ColumnCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t stale = 0;
+  uint64_t admissions = 0;
+  uint64_t evictions = 0;
+  uint64_t rejected = 0;  // admissions refused under pool pressure
+  uint64_t current_bytes = 0;
+  uint64_t budget_bytes = 0;
+  uint64_t entries = 0;
+};
+
+class ColumnCache {
+ public:
+  // `budget_bytes` caps this tier's resident bytes (its own LRU bound);
+  // `pool` (may be null) is the shared cache pool every entry is charged
+  // to. The pool must outlive the cache; destroy the cache only while no
+  // other tier is admitting (its registered yielder runs lock-step with
+  // their admissions).
+  explicit ColumnCache(uint64_t budget_bytes,
+                       common::MemoryPool* pool = nullptr);
+  ~ColumnCache();
+
+  ColumnCache(const ColumnCache&) = delete;
+  ColumnCache& operator=(const ColumnCache&) = delete;
+
+  // `columns_sig` is the canonical projection signature (the Warehouse
+  // builds it from the scan's ScanColumn list); `seqs` identifies the
+  // extraction window (record seq_nos, any order — hashed order-insensitively
+  // but verified exactly against the stored sorted copy).
+  // Returns the shared table (bumped to MRU) or null. A present entry
+  // admitted under a different mtime is erased and counted stale.
+  storage::TablePtr Lookup(int64_t file_id, NanoTime file_mtime,
+                           const std::string& columns_sig,
+                           const std::vector<int64_t>& seqs,
+                           bool* stale = nullptr);
+
+  // Inserts or replaces the entry for this key. The table is stored as-is
+  // (callers pass the immutable assembled output). No-op (counted in
+  // `rejected`) when the bytes cannot be charged even after cross-tier
+  // yield.
+  void Admit(int64_t file_id, NanoTime file_mtime,
+             const std::string& columns_sig, std::vector<int64_t> seqs,
+             storage::TablePtr table);
+
+  // Drops every entry of a file (refresh, republish, deletion).
+  void InvalidateFile(int64_t file_id);
+
+  void Clear();
+
+  // Resident bytes whose source file set intersects `file_id` — used by
+  // footprint estimation to discount already-hydrated bytes.
+  uint64_t ResidentBytesForFile(int64_t file_id) const;
+
+  ColumnCacheStats stats() const;
+  void ResetCounters();
+
+ private:
+  struct Key {
+    int64_t file_id = 0;
+    uint64_t hash = 0;
+    bool operator==(const Key& o) const {
+      return file_id == o.file_id && hash == o.hash;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = static_cast<uint64_t>(k.file_id) * 0x9E3779B97F4A7C15ULL;
+      h ^= k.hash + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  struct Entry {
+    storage::TablePtr table;
+    NanoTime file_mtime = 0;
+    std::string columns_sig;      // exact key material
+    std::vector<int64_t> seqs;    // exact key material, sorted
+    uint64_t bytes = 0;           // pool charge (table + key material)
+    std::list<Key>::iterator lru_it;
+  };
+
+  static uint64_t HashKey(const std::string& columns_sig,
+                          const std::vector<int64_t>& sorted_seqs);
+  static uint64_t EntryBytes(const storage::TablePtr& table,
+                             const std::string& columns_sig,
+                             const std::vector<int64_t>& seqs);
+
+  // Both require mu_ held; both release the pool charge.
+  uint64_t EvictOneLocked();
+  void EraseLocked(const Key& key);
+
+  const uint64_t budget_bytes_;
+  common::MemoryPool* const pool_;
+  common::MemoryPool::YielderId yielder_id_ = -1;
+
+  mutable std::mutex mu_;  // guards map_, lru_
+  std::unordered_map<Key, Entry, KeyHash> map_;
+  std::list<Key> lru_;  // front = least recently used
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> stale_{0};
+  std::atomic<uint64_t> admissions_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> current_bytes_{0};
+  std::atomic<uint64_t> entries_{0};
+};
+
+}  // namespace lazyetl::engine
+
+#endif  // LAZYETL_ENGINE_COLUMN_CACHE_H_

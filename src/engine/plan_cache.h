@@ -1,0 +1,200 @@
+// PlanCache: the semantic sub-plan tier of the multi-tier cache.
+//
+// "Materialization ... is simply caching the result of a view definition"
+// — a pipeline-breaker subtree (Aggregate/Distinct/Sort/TopK over its
+// inputs) *is* a view definition, so its materialized output can be
+// cached and substituted. The Warehouse fingerprints the topmost breaker
+// subtree of a plan (canonical serialization of node types, tables,
+// projections and expression text — not SQL text, so differently-written
+// but identically-planned queries share entries), and:
+//
+//   * on a hit, replaces the subtree with a kCachedScan over the cached
+//     table before execution — the repeated dashboard aggregate never
+//     touches the repository;
+//   * on a miss, executes the subtree first, admits its output together
+//     with the (file, mtime) dependency set the execution recorded, then
+//     runs the remainder of the plan over the cached table.
+//
+// Validation is conservative and identical to the ResultRecycler's: an
+// entry is served only while every dependency's mtime is unchanged; the
+// Warehouse additionally clears the tier wherever the catalog is
+// republished (attach/hydrate/refresh), because republishing can add
+// files an old dependency list knows nothing about.
+//
+// Admission epoch: an entry is planned, executed and admitted without
+// holding the cache lock, so a Clear() can race the admission (the entry
+// was computed against a catalog that no longer exists). Admit() takes
+// the epoch observed at planning time and drops the entry when Clear()
+// has bumped it since.
+//
+// Memory: entries charge the shared cache MemoryPool via ChargeWithYield
+// with mu_ NOT held (pool locking protocol); the tier's own yielder
+// evicts from the LRU front under mu_ only.
+
+#ifndef LAZYETL_ENGINE_PLAN_CACHE_H_
+#define LAZYETL_ENGINE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/memory_pool.h"
+#include "common/time.h"
+#include "engine/plan.h"
+#include "engine/recycler.h"  // ResultDependency
+#include "storage/table.h"
+
+namespace lazyetl::engine {
+
+// Canonical fingerprint of a plan subtree: node types, table names,
+// projections, and expression text, recursively with explicit
+// delimiters. Returns an empty string when the subtree contains a node
+// that cannot be canonically serialized (e.g. an already-substituted
+// kCachedScan).
+std::string PlanFingerprint(const PlanNode& node);
+
+// Walks the plan spine (root, then through Filter/Project/Limit single
+// children) to the topmost pipeline breaker (Aggregate/Distinct/Sort/
+// TopK) and returns the slot holding it, or nullptr when no breaker is
+// reachable (plain scans, joins above the breaker). The slot lets the
+// caller detach and substitute the subtree in place.
+PlanNodePtr* FindCacheableSubPlan(PlanNodePtr* root);
+
+// One cached breaker output.
+struct CachedSubPlan {
+  storage::TablePtr table;
+  std::vector<ResultDependency> deps;
+  NanoTime admitted_at = 0;
+  uint64_t bytes = 0;  // pool charge; computed by Admit when zero
+};
+
+using CachedSubPlanPtr = std::shared_ptr<const CachedSubPlan>;
+
+// Value snapshot of the tier counters (the live counters are atomics).
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t invalidations = 0;  // entries dropped by dependency staleness
+  uint64_t admissions = 0;
+  uint64_t evictions = 0;
+  uint64_t rejected = 0;  // refused under pool pressure or epoch races
+  uint64_t current_bytes = 0;
+  uint64_t budget_bytes = 0;
+  uint64_t entries = 0;
+};
+
+class PlanCache {
+ public:
+  // Same lifetime rules as the other tiers: `pool` must outlive the
+  // cache; destroy only while no other tier is admitting.
+  explicit PlanCache(uint64_t budget_bytes,
+                     common::MemoryPool* pool = nullptr);
+  ~PlanCache();
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  // The current admission epoch; observe it before planning and pass it
+  // to Admit.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  // Returns the entry (bumped to MRU) iff every dependency still has its
+  // admitted mtime; `mtime_fn(dep)` returns the current mtime (negative =
+  // file gone). The dependency stats run outside the cache lock so slow
+  // filesystems never serialise concurrent queries here. A failed
+  // validation erases the entry (if still the same one) and counts an
+  // invalidation.
+  template <typename MtimeFn>
+  CachedSubPlanPtr ValidateAndGet(const std::string& fingerprint,
+                                  MtimeFn mtime_fn) {
+    CachedSubPlanPtr entry;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = map_.find(fingerprint);
+      if (it != map_.end()) {
+        entry = it->second.entry;
+        lru_.erase(it->second.lru_it);
+        lru_.push_back(fingerprint);
+        it->second.lru_it = std::prev(lru_.end());
+      }
+    }
+    if (entry == nullptr) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    for (const auto& dep : entry->deps) {
+      NanoTime current = mtime_fn(dep);
+      if (current != dep.mtime) {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = map_.find(fingerprint);
+        // Only drop the entry we validated; a concurrent re-admission
+        // under the same fingerprint may already be fresher.
+        if (it != map_.end() && it->second.entry == entry) {
+          EraseLocked(it);
+        }
+        invalidations_.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+      }
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return entry;
+  }
+
+  // Inserts or replaces; drops the entry (counted in `rejected`) when the
+  // bytes cannot be charged even after cross-tier yield, or when Clear()
+  // bumped the epoch after `epoch_at_plan` was observed (the entry was
+  // computed against a republished catalog).
+  void Admit(const std::string& fingerprint, CachedSubPlan entry,
+             uint64_t epoch_at_plan);
+
+  // Drops every entry depending on `file_id`.
+  void InvalidateFile(int64_t file_id);
+
+  // Drops everything and bumps the admission epoch.
+  void Clear();
+
+  uint64_t ResidentBytes() const {
+    return current_bytes_.load(std::memory_order_relaxed);
+  }
+
+  PlanCacheStats stats() const;
+  void ResetCounters();
+
+ private:
+  struct Node {
+    CachedSubPlanPtr entry;
+    std::list<std::string>::iterator lru_it;
+  };
+  using Map = std::unordered_map<std::string, Node>;
+
+  // Both require mu_ held; both release the pool charge.
+  uint64_t EvictOneLocked();
+  void EraseLocked(Map::iterator it);
+
+  const uint64_t budget_bytes_;
+  common::MemoryPool* const pool_;
+  common::MemoryPool::YielderId yielder_id_ = -1;
+
+  mutable std::mutex mu_;  // guards map_, lru_
+  Map map_;
+  std::list<std::string> lru_;  // front = least recently used
+
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> invalidations_{0};
+  std::atomic<uint64_t> admissions_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> current_bytes_{0};
+  std::atomic<uint64_t> entries_{0};
+};
+
+}  // namespace lazyetl::engine
+
+#endif  // LAZYETL_ENGINE_PLAN_CACHE_H_

@@ -108,9 +108,12 @@ TEST_F(WarehouseTest, PaperQ1ExtractsOnlyMatchingRecords) {
 }
 
 TEST_F(WarehouseTest, RepeatQueryServedFromCache) {
+  // Pin the column/plan tiers off: this test asserts record-tier
+  // internals (per-record hit counts), which the upper tiers bypass.
   auto wh = MustOpen(LoadStrategy::kLazy, dir_.path(),
                      /*cache_budget=*/64ULL << 20,
-                     /*result_cache=*/false);
+                     /*result_cache=*/false,
+                     /*column_cache=*/0, /*plan_cache=*/0);
   auto first = wh->Query(lazyetl::testing::kPaperQ1);
   ASSERT_OK(first);
   EXPECT_GT(first->report.records_extracted, 0u);
@@ -152,9 +155,11 @@ TEST_F(WarehouseTest, FilenameOnlyHydratesCandidatesOnly) {
 }
 
 TEST_F(WarehouseTest, CacheBudgetForcesEviction) {
-  // Budget fits roughly one record's samples.
+  // Budget fits roughly one record's samples. Pin the column/plan tiers
+  // off: the re-run must reach the record tier to observe the eviction.
   auto wh = MustOpen(LoadStrategy::kLazy, dir_.path(),
-                     /*cache_budget=*/8 << 10, /*result_cache=*/false);
+                     /*cache_budget=*/8 << 10, /*result_cache=*/false,
+                     /*column_cache=*/0, /*plan_cache=*/0);
   auto r1 = wh->Query(lazyetl::testing::kPaperQ2);
   ASSERT_OK(r1);
   auto stats = wh->Stats();
