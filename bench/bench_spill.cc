@@ -112,12 +112,18 @@ void RunSpillBench(benchmark::State& state, const std::string& sql,
 
   uint64_t checksum = 0;
   uint64_t spilled = 0;
+  uint64_t compressed = 0;
+  double write_wait_s = 0.0;
+  double elapsed_s = 0.0;
   uint64_t state_bytes = 0;
   for (auto _ : state) {
     ExecutionReport report;
     Table result = run(budget, &report);
     checksum = Checksum(result);
     spilled = report.spilled_bytes;
+    compressed = report.spill_compressed_bytes;
+    write_wait_s = report.spill_write_wait_seconds;
+    elapsed_s = report.execute_seconds;
     for (const auto& os : report.operator_stats) {
       if (os.op == op) state_bytes = std::max(state_bytes, os.state_bytes);
     }
@@ -126,6 +132,17 @@ void RunSpillBench(benchmark::State& state, const std::string& sql,
   state.counters["budget_mb"] = static_cast<double>(budget) / (1 << 20);
   state.counters["state_mb"] = static_cast<double>(state_bytes) / (1 << 20);
   state.counters["spilled_mb"] = static_cast<double>(spilled) / (1 << 20);
+  // Physical bytes after per-column compression, the logical:physical
+  // ratio, and how long the producer actually blocked on spill writes
+  // (as a % of wall time: low = the async writer overlapped the I/O).
+  state.counters["compressed_mb"] = static_cast<double>(compressed) / (1 << 20);
+  state.counters["compress_ratio"] =
+      compressed == 0 ? 0.0
+                      : static_cast<double>(spilled) /
+                            static_cast<double>(compressed);
+  state.counters["write_wait_ms"] = write_wait_s * 1e3;
+  state.counters["write_wait_pct"] =
+      elapsed_s == 0.0 ? 0.0 : 100.0 * write_wait_s / elapsed_s;
   state.counters["peak_rss_mb"] = PeakRssMb();
   state.counters["checksum"] = static_cast<double>(checksum % 1000000);
 }

@@ -2,9 +2,14 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <utility>
+
+#include "common/thread_pool.h"
 
 #ifndef _WIN32
 #include <unistd.h>
@@ -111,6 +116,127 @@ Result<std::string> SpillManager::NewFilePath() {
 void SpillManager::RemoveFile(const std::string& path) {
   std::error_code ec;
   fs::remove(path, ec);  // best effort; the directory removal is the backstop
+}
+
+// --- AsyncRunWriter ---------------------------------------------------------
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+bool AsyncRunWriter::Enabled() {
+  const char* env = std::getenv("LAZYETL_SPILL_ASYNC");
+  if (env == nullptr) return true;
+  return std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0;
+}
+
+AsyncRunWriter::AsyncRunWriter() : core_(std::make_shared<Core>()) {}
+
+AsyncRunWriter::~AsyncRunWriter() {
+  Status st = Finish();  // drains pending tasks; Core outlives via shared_ptr
+  (void)st;
+}
+
+Status AsyncRunWriter::Open(const std::string& path) {
+  core_->path = path;
+  core_->out.open(path, std::ios::binary | std::ios::trunc);
+  if (!core_->out.is_open()) {
+    return Status::IOError("cannot open spill file " + path + " for writing");
+  }
+  return Status::OK();
+}
+
+void AsyncRunWriter::Drain(const std::shared_ptr<Core>& core, size_t leave) {
+  std::lock_guard<std::mutex> io(core->io_mu);
+  while (true) {
+    std::string chunk;
+    {
+      std::lock_guard<std::mutex> lock(core->mu);
+      if (core->closed || core->queue.size() <= leave) break;
+      chunk = std::move(core->queue.front());
+      core->queue.pop_front();
+      if (core->failed) continue;  // discard; error already latched
+    }
+    core->out.write(chunk.data(),
+                    static_cast<std::streamsize>(chunk.size()));
+    if (!core->out.good()) {
+      std::lock_guard<std::mutex> lock(core->mu);
+      core->failed = true;
+      core->error = "failed writing to " + core->path;
+    }
+  }
+}
+
+void AsyncRunWriter::ScheduleDrain(const std::shared_ptr<Core>& core) {
+  ThreadPool::Shared().Submit([core] {
+    Drain(core, 0);
+    std::lock_guard<std::mutex> lock(core->mu);
+    core->task_scheduled = false;
+    // A producer may have enqueued between our last pop and here without
+    // scheduling (it saw task_scheduled). Re-arm so nothing waits for the
+    // next Write/Finish to make progress.
+    if (!core->queue.empty() && !core->closed) {
+      core->task_scheduled = true;
+      ScheduleDrain(core);
+    }
+  });
+}
+
+Status AsyncRunWriter::Write(std::string&& chunk) {
+  size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(core_->mu);
+    if (core_->failed) return Status::IOError(core_->error);
+    core_->queue.push_back(std::move(chunk));
+    depth = core_->queue.size();
+    if (!core_->task_scheduled) {
+      core_->task_scheduled = true;
+      ScheduleDrain(core_);
+    }
+  }
+  if (depth > kMaxQueuedChunks) {
+    // Backpressure: the disk is behind — help write instead of queueing
+    // unboundedly (or sleeping, which could deadlock a saturated pool).
+    auto start = std::chrono::steady_clock::now();
+    Drain(core_, kMaxQueuedChunks);
+    wait_seconds_ += SecondsSince(start);
+  }
+  std::lock_guard<std::mutex> lock(core_->mu);
+  if (core_->failed) return Status::IOError(core_->error);
+  return Status::OK();
+}
+
+Status AsyncRunWriter::Finish() {
+  if (finished_) {
+    std::lock_guard<std::mutex> lock(core_->mu);
+    if (core_->failed) return Status::IOError(core_->error);
+    return Status::OK();
+  }
+  finished_ = true;
+  auto start = std::chrono::steady_clock::now();
+  Drain(core_, 0);  // waits for any in-flight task chunk, then writes the rest
+  {
+    std::lock_guard<std::mutex> io(core_->io_mu);
+    std::lock_guard<std::mutex> lock(core_->mu);
+    if (core_->out.is_open()) {
+      core_->out.flush();
+      if (!core_->out.good() && !core_->failed) {
+        core_->failed = true;
+        core_->error = "failed flushing spill file " + core_->path;
+      }
+      core_->out.close();
+    }
+    core_->closed = true;
+    wait_seconds_ += SecondsSince(start);
+    if (core_->failed) return Status::IOError(core_->error);
+  }
+  return Status::OK();
 }
 
 }  // namespace lazyetl::common

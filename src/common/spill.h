@@ -15,6 +15,9 @@
 #define LAZYETL_COMMON_SPILL_H_
 
 #include <cstdint>
+#include <deque>
+#include <fstream>
+#include <memory>
 #include <mutex>
 #include <string>
 
@@ -62,6 +65,70 @@ class SpillManager {
   std::mutex mu_;
   uint64_t next_file_ = 0;
   uint64_t files_created_ = 0;
+};
+
+// AsyncRunWriter: double-buffered background file writer for spill runs.
+//
+// Producers hand over encoded chunks with Write(); a drain task on the
+// shared ThreadPool streams them to disk, so run writes overlap the
+// consume phase instead of blocking it (breakers call Write while holding
+// their state mutex). Up to kMaxQueuedChunks chunks may be in flight; a
+// producer that outruns the disk *helps drain* instead of sleeping on a
+// condition variable, so a saturated pool degrades to synchronous writes
+// and can never deadlock (pool tasks themselves spill). Chunk order is
+// preserved: only the io-lock holder pops the queue.
+//
+// Single producer; Write/Finish are not thread-safe against each other.
+// write_wait_seconds() reports how long the producer was blocked helping
+// or finishing — the non-overlapped remainder of the I/O time.
+class AsyncRunWriter {
+ public:
+  // Whether background spill writes are enabled (LAZYETL_SPILL_ASYNC;
+  // unset/"1"/"on" = yes, "0"/"off" = synchronous writes).
+  static bool Enabled();
+
+  AsyncRunWriter();
+  ~AsyncRunWriter();
+
+  AsyncRunWriter(const AsyncRunWriter&) = delete;
+  AsyncRunWriter& operator=(const AsyncRunWriter&) = delete;
+
+  // Opens (truncates) `path` for writing.
+  Status Open(const std::string& path);
+
+  // Queues one chunk; schedules a drain task when none is running. Blocks
+  // (helping write) only while more than kMaxQueuedChunks are pending.
+  Status Write(std::string&& chunk);
+
+  // Drains the queue, flushes and closes the file. Safe to call twice.
+  Status Finish();
+
+  double write_wait_seconds() const { return wait_seconds_; }
+
+ private:
+  // Two chunks in flight: one being written while the next is queued.
+  static constexpr size_t kMaxQueuedChunks = 2;
+
+  // Shared with drain tasks, which may outlive the writer object.
+  struct Core {
+    std::mutex mu;       // guards queue and flags
+    std::mutex io_mu;    // serializes file access; holder pops + writes
+    std::deque<std::string> queue;
+    std::ofstream out;
+    std::string path;
+    bool task_scheduled = false;
+    bool closed = false;
+    bool failed = false;
+    std::string error;
+  };
+
+  // Writes queued chunks until at most `leave` remain (0 = drain fully).
+  static void Drain(const std::shared_ptr<Core>& core, size_t leave);
+  static void ScheduleDrain(const std::shared_ptr<Core>& core);
+
+  std::shared_ptr<Core> core_;
+  double wait_seconds_ = 0.0;
+  bool finished_ = false;
 };
 
 }  // namespace lazyetl::common

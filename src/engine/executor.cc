@@ -1,6 +1,7 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <thread>
 #include <utility>
@@ -38,6 +39,21 @@ class SingleChunkStream : public RecordStream {
   Table table_;
   bool done_ = false;
 };
+
+// Cache-aware morsel sizing: LAZYETL_MORSEL_ROWS overrides the default
+// rows-per-batch (and thus per-morsel) when the caller did not configure
+// one explicitly. Values outside [64, 1M] — or non-numeric ones — are
+// ignored; results are identical at any setting, only locality changes.
+size_t ResolveMorselRows(size_t configured) {
+  if (configured != kDefaultBatchRows) return configured;
+  const char* env = std::getenv("LAZYETL_MORSEL_ROWS");
+  if (env == nullptr || *env == '\0') return configured;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return configured;
+  if (v < 64 || v > (1ull << 20)) return configured;
+  return static_cast<size_t>(v);
+}
 
 }  // namespace
 
@@ -105,7 +121,9 @@ Result<Table> Executor::Execute(const PlanNode& plan, ExecutionReport* report,
   }
   uint64_t budget_bytes = qctx->admitted_budget_bytes();
 
-  ExecContext ctx{catalog_,  provider_,      report, options_.batch_rows,
+  size_t batch_rows = ResolveMorselRows(options_.batch_rows);
+
+  ExecContext ctx{catalog_,  provider_,      report, batch_rows,
                   threads,   qctx->budget(), qctx->spill()};
   LAZYETL_ASSIGN_OR_RETURN(BatchOperatorPtr root,
                            BuildOperatorTree(plan, &ctx));
@@ -117,6 +135,7 @@ Result<Table> Executor::Execute(const PlanNode& plan, ExecutionReport* report,
   root->Close();
   if (report != nullptr) {
     report->query_threads = threads;
+    report->morsel_rows = batch_rows == SIZE_MAX ? 0 : batch_rows;
     report->memory_budget_bytes = budget_bytes;
     report->ticket_id = qctx->ticket_id();
     report->queue_wait_seconds = qctx->queue_wait_seconds();
@@ -137,6 +156,9 @@ Result<Table> Executor::Execute(const PlanNode& plan, ExecutionReport* report,
       peak += os.state_bytes + os.peak_batch_bytes;
       report->spilled_bytes += os.spilled_bytes;
       report->spill_files += os.spill_files;
+      report->spill_compressed_bytes += os.spill_compressed_bytes;
+      report->spill_write_wait_seconds += os.spill_write_wait_seconds;
+      report->groups_vectorized += os.groups_vectorized;
       report->morsels_pruned += os.morsels_pruned;
       report->rows_pruned += os.rows_pruned;
     }

@@ -17,7 +17,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "storage/column.h"
@@ -176,6 +178,230 @@ inline void SumDoubleRange(const double* data, size_t offset, size_t n,
   double ds = *dsum;
   for (size_t i = 0; i < n; ++i) ds += data[offset + i];
   *dsum = ds;
+}
+
+// --- Batch hashing & group-id building (vectorized grouped aggregation) --
+
+// Group identity in the aggregate/distinct breakers is defined by byte
+// equality of PackRowKey-packed keys: doubles compare by bit pattern
+// (NaN == NaN, -0.0 != 0.0), bools by truth value, strings by contents.
+// GroupIdBuilder reproduces exactly that equivalence relation column-at-a-
+// time: it hashes the grouping columns batch-wide (dictionary-encoded
+// strings hash their u32 codes — within one column, code equality is
+// string equality), then assigns dense group ids in ascending row order
+// through an open-addressing map whose probe check is per-column bit
+// equality against the group's first row. Because rows are visited in
+// order, the resulting ids, first-occurrence rows and group count are
+// identical to the per-row packed-key path — packing is only needed once
+// per *group*, not once per row.
+
+inline constexpr uint64_t kGroupHashSeed = 0x2545F4914F6CDD1Dull;
+
+// 64-bit mix (splitmix-style finalizer folded into a rotate-combine).
+inline uint64_t MixHash(uint64_t h, uint64_t v) {
+  v *= 0xFF51AFD7ED558CCDull;
+  v ^= v >> 33;
+  v *= 0xC4CEB9FE1A85EC53ull;
+  h ^= v;
+  h = (h << 27) | (h >> 37);
+  return h * 5 + 0x52DCE729;
+}
+
+inline uint64_t HashBytes(const char* data, size_t n) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Folds rows [offset, offset+n) of `c` into the per-row hash accumulators.
+inline void HashColumn(const storage::Column& c, size_t offset, size_t n,
+                       uint64_t* hashes) {
+  switch (c.type()) {
+    case storage::DataType::kString:
+      if (c.dict_encoded()) {
+        const uint32_t* codes = c.dict_codes().data() + offset;
+        for (size_t i = 0; i < n; ++i) {
+          hashes[i] = MixHash(hashes[i], codes[i]);
+        }
+      } else {
+        const std::string* s = c.string_data().data() + offset;
+        for (size_t i = 0; i < n; ++i) {
+          hashes[i] = MixHash(hashes[i], HashBytes(s[i].data(), s[i].size()));
+        }
+      }
+      break;
+    case storage::DataType::kDouble: {
+      const double* d = c.double_data().data() + offset;
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t bits;
+        std::memcpy(&bits, &d[i], sizeof(bits));
+        hashes[i] = MixHash(hashes[i], bits);
+      }
+      break;
+    }
+    case storage::DataType::kBool: {
+      const uint8_t* b = c.bool_data().data() + offset;
+      for (size_t i = 0; i < n; ++i) {
+        hashes[i] = MixHash(hashes[i], b[i] != 0 ? 1u : 0u);
+      }
+      break;
+    }
+    case storage::DataType::kInt32: {
+      const int32_t* v = c.int32_data().data() + offset;
+      for (size_t i = 0; i < n; ++i) {
+        hashes[i] = MixHash(
+            hashes[i], static_cast<uint64_t>(static_cast<int64_t>(v[i])));
+      }
+      break;
+    }
+    default: {  // kInt64 / kTimestamp
+      const int64_t* v = c.int64_data().data() + offset;
+      for (size_t i = 0; i < n; ++i) {
+        hashes[i] = MixHash(hashes[i], static_cast<uint64_t>(v[i]));
+      }
+      break;
+    }
+  }
+}
+
+// Bit-exact row equality over the grouping columns — the PackRowKey
+// equivalence relation (see the block comment above).
+inline bool GroupRowsEqual(const storage::Column* const* cols, size_t ncols,
+                           size_t offset, size_t a, size_t b) {
+  for (size_t c = 0; c < ncols; ++c) {
+    const storage::Column& col = *cols[c];
+    switch (col.type()) {
+      case storage::DataType::kString:
+        if (col.dict_encoded()) {
+          if (col.dict_codes()[offset + a] != col.dict_codes()[offset + b]) {
+            return false;
+          }
+        } else if (col.string_data()[offset + a] !=
+                   col.string_data()[offset + b]) {
+          return false;
+        }
+        break;
+      case storage::DataType::kDouble: {
+        uint64_t ba;
+        uint64_t bb;
+        std::memcpy(&ba, &col.double_data()[offset + a], sizeof(ba));
+        std::memcpy(&bb, &col.double_data()[offset + b], sizeof(bb));
+        if (ba != bb) return false;
+        break;
+      }
+      case storage::DataType::kBool:
+        if ((col.bool_data()[offset + a] != 0) !=
+            (col.bool_data()[offset + b] != 0)) {
+          return false;
+        }
+        break;
+      case storage::DataType::kInt32:
+        if (col.int32_data()[offset + a] != col.int32_data()[offset + b]) {
+          return false;
+        }
+        break;
+      default:  // kInt64 / kTimestamp
+        if (col.int64_data()[offset + a] != col.int64_data()[offset + b]) {
+          return false;
+        }
+        break;
+    }
+  }
+  return true;
+}
+
+// Open-addressing batch group-id map. Build() fills `gids` (one dense id
+// per row) and `first_row` (representative row per group, strictly
+// ascending = first-occurrence order) and returns the group count. The
+// scratch vectors persist across batches, so steady-state builds allocate
+// nothing.
+struct GroupIdBuilder {
+  std::vector<uint64_t> hashes;
+  std::vector<uint32_t> gids;       // per row: dense group id
+  std::vector<uint32_t> first_row;  // per group: first row (batch-relative)
+  std::vector<uint32_t> slots;      // probe table: group id + 1; 0 = empty
+  size_t mask = 0;
+
+  size_t Build(const storage::Column* const* cols, size_t ncols,
+               size_t offset, size_t rows) {
+    hashes.assign(rows, kGroupHashSeed);
+    for (size_t c = 0; c < ncols; ++c) {
+      HashColumn(*cols[c], offset, rows, hashes.data());
+    }
+    size_t cap = 16;
+    while (cap < rows * 2) cap <<= 1;
+    mask = cap - 1;
+    slots.assign(cap, 0);
+    gids.resize(rows);
+    first_row.clear();
+    for (size_t r = 0; r < rows; ++r) {
+      size_t slot = hashes[r] & mask;
+      for (;;) {
+        uint32_t s = slots[slot];
+        if (s == 0) {
+          slots[slot] = static_cast<uint32_t>(first_row.size()) + 1;
+          gids[r] = static_cast<uint32_t>(first_row.size());
+          first_row.push_back(static_cast<uint32_t>(r));
+          break;
+        }
+        uint32_t g = s - 1;
+        if (hashes[first_row[g]] == hashes[r] &&
+            GroupRowsEqual(cols, ncols, offset, first_row[g], r)) {
+          gids[r] = g;
+          break;
+        }
+        slot = (slot + 1) & mask;
+      }
+    }
+    return first_row.size();
+  }
+};
+
+// --- Grouped accumulator kernels -----------------------------------------
+//
+// Columnar counterparts of Accumulator::Update: one pass over the batch
+// with a group-id scatter. All kernels visit rows in ascending order and
+// perform exactly the scalar path's arithmetic, so per-group state is
+// byte-identical (including the in-order double accumulation for SUM/AVG
+// and the NaN-seeding behaviour of MIN/MAX on doubles).
+
+inline void CountGrouped(const uint32_t* gids, size_t n, int64_t* counts) {
+  for (size_t i = 0; i < n; ++i) ++counts[gids[i]];
+}
+
+// Integer-typed SUM/AVG state: per-row updates of both the exact integer
+// sum and its double mirror, in row order, with the scalar path's two-step
+// cast (T -> int64 -> double).
+template <typename T>
+inline void SumGrouped(const T* data, const uint32_t* gids, size_t n,
+                       int64_t* isum, double* dsum) {
+  for (size_t i = 0; i < n; ++i) {
+    int64_t v = static_cast<int64_t>(data[i]);
+    isum[gids[i]] += v;
+    dsum[gids[i]] += static_cast<double>(v);
+  }
+}
+
+inline void SumDoubleGrouped(const double* data, const uint32_t* gids,
+                             size_t n, double* dsum) {
+  for (size_t i = 0; i < n; ++i) dsum[gids[i]] += data[i];
+}
+
+// MIN/MAX with first-row seeding derived from the running counts (a group
+// whose count is still zero takes the value unconditionally — NaNs seed
+// and then stick, exactly like the per-row path). Also advances counts.
+template <typename T, typename V>
+inline void MinMaxGrouped(const T* data, const uint32_t* gids, size_t n,
+                          bool want_min, int64_t* counts, V* ext) {
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t g = gids[i];
+    bool first = counts[g]++ == 0;
+    V v = static_cast<V>(data[i]);
+    if (first || (want_min ? v < ext[g] : v > ext[g])) ext[g] = v;
+  }
 }
 
 }  // namespace lazyetl::engine::kernels

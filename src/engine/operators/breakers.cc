@@ -16,6 +16,8 @@
 // row-by-row sum — equal up to rounding).
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <memory>
 #include <numeric>
@@ -396,9 +398,10 @@ class SortOperator : public BatchOperator {
     Table run = SortRunRows(AssembleRun(w), order_cols_, ascending_);
     std::string path;
     LAZYETL_ASSIGN_OR_RETURN(
-        uint64_t bytes,
+        SpillWriteStats stats,
         WriteRunFile(run, ctx_->batch_rows, ctx_->spill, &path));
-    RecordSpill(bytes, 1);
+    RecordSpill(stats.logical_bytes, 1);
+    RecordSpillIO(stats.compressed_bytes, stats.write_wait_seconds);
     w->run_paths.push_back(std::move(path));
     w->res.ReleaseAll();
     return Status::OK();
@@ -660,6 +663,55 @@ class Accumulator {
     }
   }
 
+  // Columnar Update over rows [0, rows) of `arg`, one group id per row —
+  // the vectorized grouped path. Visits rows in ascending order and
+  // performs exactly the scalar per-row arithmetic, so per-group state is
+  // byte-identical to calling Update(gids[row], arg, row) for every row.
+  void UpdateGrouped(const uint32_t* gids, const Column* arg, size_t rows) {
+    if (function_ == "COUNT") {
+      kernels::CountGrouped(gids, rows, count_.data());
+      return;
+    }
+    if (function_ == "AVG" || function_ == "SUM") {
+      kernels::CountGrouped(gids, rows, count_.data());
+      if (arg->type() == DataType::kDouble) {
+        kernels::SumDoubleGrouped(arg->double_data().data(), gids, rows,
+                                  dsum_.data());
+      } else if (arg->type() == DataType::kInt32) {
+        kernels::SumGrouped(arg->int32_data().data(), gids, rows,
+                            isum_.data(), dsum_.data());
+      } else if (arg->type() == DataType::kBool) {
+        kernels::SumGrouped(arg->bool_data().data(), gids, rows,
+                            isum_.data(), dsum_.data());
+      } else {
+        kernels::SumGrouped(arg->int64_data().data(), gids, rows,
+                            isum_.data(), dsum_.data());
+      }
+      return;
+    }
+    bool want_min = function_ == "MIN";
+    if (arg_type_ == DataType::kString) {
+      for (size_t row = 0; row < rows; ++row) {
+        uint32_t g = gids[row];
+        bool first = count_[g]++ == 0;
+        const std::string& v = arg->StringAt(row);
+        if (first || (want_min ? v < sext_[g] : v > sext_[g])) sext_[g] = v;
+      }
+    } else if (arg_type_ == DataType::kDouble) {
+      kernels::MinMaxGrouped(arg->double_data().data(), gids, rows, want_min,
+                             count_.data(), dext_.data());
+    } else if (arg->type() == DataType::kInt32) {
+      kernels::MinMaxGrouped(arg->int32_data().data(), gids, rows, want_min,
+                             count_.data(), iext_.data());
+    } else if (arg->type() == DataType::kBool) {
+      kernels::MinMaxGrouped(arg->bool_data().data(), gids, rows, want_min,
+                             count_.data(), iext_.data());
+    } else {
+      kernels::MinMaxGrouped(arg->int64_data().data(), gids, rows, want_min,
+                             count_.data(), iext_.data());
+    }
+  }
+
   // Folds group `src_group` of a partial accumulator into this one's
   // `dst_group`. COUNT/SUM/MIN/MAX merge exactly; double sums combine the
   // partials' per-batch sums (callers merge in seq order so the result is
@@ -691,6 +743,44 @@ class Accumulator {
       int64_t v = src.iext_[src_group];
       if (first || (want_min ? v < iext_[dst_group] : v > iext_[dst_group])) {
         iext_[dst_group] = v;
+      }
+    }
+  }
+
+  // Bulk MergeGroup: folds src groups [0, n) into this accumulator at
+  // dst[g], with the per-aggregate dispatch hoisted out of the loop. Each
+  // loop body matches MergeGroup exactly (same early-outs, same per-dst
+  // ascending-g merge order), so results are bit-identical.
+  void MergeGroupsBulk(const Accumulator& src, const uint32_t* dst,
+                       size_t n) {
+    if (function_ == "COUNT") {
+      for (size_t g = 0; g < n; ++g) count_[dst[g]] += src.count_[g];
+      return;
+    }
+    if (function_ == "AVG" || function_ == "SUM") {
+      for (size_t g = 0; g < n; ++g) {
+        if (src.count_[g] == 0) continue;
+        count_[dst[g]] += src.count_[g];
+        dsum_[dst[g]] += src.dsum_[g];
+        isum_[dst[g]] += src.isum_[g];
+      }
+      return;
+    }
+    const bool want_min = function_ == "MIN";
+    for (size_t g = 0; g < n; ++g) {
+      if (src.count_[g] == 0) continue;
+      const size_t d = dst[g];
+      const bool first = count_[d] == 0;
+      count_[d] += src.count_[g];
+      if (arg_type_ == DataType::kString) {
+        const std::string& v = src.sext_[g];
+        if (first || (want_min ? v < sext_[d] : v > sext_[d])) sext_[d] = v;
+      } else if (arg_type_ == DataType::kDouble) {
+        const double v = src.dext_[g];
+        if (first || (want_min ? v < dext_[d] : v > dext_[d])) dext_[d] = v;
+      } else {
+        const int64_t v = src.iext_[g];
+        if (first || (want_min ? v < iext_[d] : v > iext_[d])) iext_[d] = v;
       }
     }
   }
@@ -772,6 +862,64 @@ class Accumulator {
       int64_t v = ext.int64_data()[row];
       if (first || (want_min ? v < iext_[dst_group] : v > iext_[dst_group])) {
         iext_[dst_group] = v;
+      }
+    }
+  }
+
+  // Columnar MergeStateRow over all rows of a partition frame; `dst[row]`
+  // gives the destination group of each state row. Rows are merged in
+  // ascending order, so the result is byte-identical to the per-row path.
+  void MergeStateBulk(const Table& t, size_t first_col, const uint32_t* dst,
+                      size_t rows) {
+    const int64_t* counts = t.column(first_col).int64_data().data();
+    if (function_ == "COUNT") {
+      for (size_t r = 0; r < rows; ++r) count_[dst[r]] += counts[r];
+      return;
+    }
+    if (function_ == "AVG" || function_ == "SUM") {
+      const int64_t* is = t.column(first_col + 1).int64_data().data();
+      const double* ds = t.column(first_col + 2).double_data().data();
+      for (size_t r = 0; r < rows; ++r) {
+        if (counts[r] == 0) continue;  // matches MergeStateRow's early-out
+        size_t g = dst[r];
+        count_[g] += counts[r];
+        isum_[g] += is[r];
+        dsum_[g] += ds[r];
+      }
+      return;
+    }
+    bool want_min = function_ == "MIN";
+    const Column& ext = t.column(first_col + 1);
+    if (arg_type_ == DataType::kString) {
+      for (size_t r = 0; r < rows; ++r) {
+        if (counts[r] == 0) continue;
+        size_t g = dst[r];
+        bool first = count_[g] == 0;
+        count_[g] += counts[r];
+        const std::string& v = ext.StringAt(r);
+        if (first || (want_min ? v < sext_[g] : v > sext_[g])) sext_[g] = v;
+      }
+    } else if (arg_type_ == DataType::kDouble) {
+      const double* x = ext.double_data().data();
+      for (size_t r = 0; r < rows; ++r) {
+        if (counts[r] == 0) continue;
+        size_t g = dst[r];
+        bool first = count_[g] == 0;
+        count_[g] += counts[r];
+        if (first || (want_min ? x[r] < dext_[g] : x[r] > dext_[g])) {
+          dext_[g] = x[r];
+        }
+      }
+    } else {
+      const int64_t* x = ext.int64_data().data();
+      for (size_t r = 0; r < rows; ++r) {
+        if (counts[r] == 0) continue;
+        size_t g = dst[r];
+        bool first = count_[g] == 0;
+        count_[g] += counts[r];
+        if (first || (want_min ? x[r] < iext_[g] : x[r] > iext_[g])) {
+          iext_[g] = x[r];
+        }
       }
     }
   }
@@ -865,10 +1013,82 @@ struct GroupedPartial {
 // (ROADMAP open item); hoisting them into one arena per worker makes the
 // consume loop allocation-light.
 struct GroupScratch {
-  std::unordered_map<std::string, uint32_t> index;
+  std::unordered_map<std::string, uint32_t> index;  // legacy row path only
   std::string key;
   std::vector<Column> group_cols;
   std::vector<Column> arg_cols;
+  // Vectorized path: batch group-id builder plus its column-pointer view.
+  kernels::GroupIdBuilder builder;
+  std::vector<const Column*> colptrs;
+};
+
+// Kill switch for the columnar grouping path: LAZYETL_DISABLE_VECTOR_AGG
+// set to anything but "0" falls back to the per-row packed-key loops.
+// Both paths are byte-identical (the differential suite in
+// vector_agg_test.cc holds them to that); the switch exists for exactly
+// that comparison and as an escape hatch.
+bool VectorAggEnabled() {
+  const char* env = std::getenv("LAZYETL_DISABLE_VECTOR_AGG");
+  return env == nullptr || *env == '\0' || std::strcmp(env, "0") == 0;
+}
+
+// Open-addressing packed-key → dense-group-id index for the vectorized
+// path's cross-batch state. Group identity stays packed-key byte
+// equality — the unordered_map semantics of the row path — but a probe
+// is one cached-hash compare plus (on candidate match) one byte compare,
+// with no per-group node allocation. The key bytes themselves live in
+// the caller's gid-ordered store (`keys[gid]`), which the caller appends
+// to right after an insert, so the index holds only slots and hashes.
+struct PackedKeyIndex {
+  std::vector<uint32_t> slots;   // gid + 1; 0 = empty
+  std::vector<uint64_t> hashes;  // per gid, HashBytes of its key
+  size_t mask = 0;
+
+  void Clear() {
+    slots.clear();
+    hashes.clear();
+    mask = 0;
+  }
+
+  // Returns the group id for `key`, inserting a fresh one (== keys.size())
+  // when absent. `keys` must be the gid-aligned key store; on
+  // *inserted == true the caller must push `key` onto it before the next
+  // call.
+  uint32_t FindOrInsert(const std::string& key,
+                        const std::vector<std::string>& keys,
+                        bool* inserted) {
+    if ((hashes.size() + 1) * 4 > slots.size() * 3) Grow();
+    const uint64_t h = kernels::HashBytes(key.data(), key.size());
+    size_t i = h & mask;
+    while (true) {
+      const uint32_t s = slots[i];
+      if (s == 0) {
+        const uint32_t gid = static_cast<uint32_t>(hashes.size());
+        slots[i] = gid + 1;
+        hashes.push_back(h);
+        *inserted = true;
+        return gid;
+      }
+      const uint32_t gid = s - 1;
+      if (hashes[gid] == h && keys[gid] == key) {
+        *inserted = false;
+        return gid;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+ private:
+  void Grow() {
+    const size_t cap = slots.empty() ? 1024 : slots.size() * 2;
+    slots.assign(cap, 0);
+    mask = cap - 1;
+    for (size_t gid = 0; gid < hashes.size(); ++gid) {
+      size_t i = hashes[gid] & mask;
+      while (slots[i] != 0) i = (i + 1) & mask;
+      slots[i] = static_cast<uint32_t>(gid) + 1;
+    }
+  }
 };
 
 // Budget-governed grouped state shared by Aggregate and Distinct
@@ -896,29 +1116,65 @@ class GroupSpillHelper {
     std::lock_guard<std::mutex> lock(mu_);
     if (!init_) InitFromPartial(partial);
     uint64_t added = 0;
-    for (size_t g = 0; g < partial.keys.size(); ++g) {
-      auto [it, inserted] = state_.index.emplace(
-          partial.keys[g], static_cast<uint32_t>(state_.keys.size()));
-      size_t dst = it->second;
-      if (inserted) {
-        added += 2 * partial.keys[g].size() + kPerGroupOverhead +
-                 24 * state_.accs.size();
-        state_.keys.push_back(partial.keys[g]);
-        for (size_t i = 0; i < state_.values.size(); ++i) {
-          LAZYETL_RETURN_NOT_OK(
-              state_.values[i].AppendRange(partial.values[i], g, 1));
+    if (VectorAggEnabled()) {
+      // Resolve all local groups to state slots first, then merge the
+      // accumulator partials in one bulk pass per aggregate (per slot the
+      // merge order is still ascending g — identical results).
+      const size_t n = partial.keys.size();
+      merge_dst_.resize(n);
+      for (size_t g = 0; g < n; ++g) {
+        bool inserted;
+        const uint32_t dst = state_.vindex.FindOrInsert(partial.keys[g],
+                                                        state_.keys,
+                                                        &inserted);
+        if (inserted) {
+          added += 2 * partial.keys[g].size() + kPerGroupOverhead +
+                   24 * state_.accs.size();
+          state_.keys.push_back(partial.keys[g]);
+          for (size_t i = 0; i < state_.values.size(); ++i) {
+            LAZYETL_RETURN_NOT_OK(
+                state_.values[i].AppendRange(partial.values[i], g, 1));
+          }
+          state_.tseq.push_back(partial.tag_seq[g]);
+          state_.trow.push_back(partial.tag_row[g]);
+          ++total_groups_;
+        } else if (std::pair(partial.tag_seq[g], partial.tag_row[g]) <
+                   std::pair(state_.tseq[dst], state_.trow[dst])) {
+          state_.tseq[dst] = partial.tag_seq[g];
+          state_.trow[dst] = partial.tag_row[g];
         }
-        state_.tseq.push_back(partial.tag_seq[g]);
-        state_.trow.push_back(partial.tag_row[g]);
-        for (auto& acc : state_.accs) acc.Resize(state_.keys.size());
-        ++total_groups_;
-      } else if (std::pair(partial.tag_seq[g], partial.tag_row[g]) <
-                 std::pair(state_.tseq[dst], state_.trow[dst])) {
-        state_.tseq[dst] = partial.tag_seq[g];
-        state_.trow[dst] = partial.tag_row[g];
+        merge_dst_[g] = dst;
       }
+      for (auto& acc : state_.accs) acc.Resize(state_.keys.size());
       for (size_t a = 0; a < state_.accs.size(); ++a) {
-        state_.accs[a].MergeGroup(partial.accs[a], g, dst);
+        state_.accs[a].MergeGroupsBulk(partial.accs[a], merge_dst_.data(),
+                                       n);
+      }
+    } else {
+      for (size_t g = 0; g < partial.keys.size(); ++g) {
+        auto [it, inserted] = state_.index.emplace(
+            partial.keys[g], static_cast<uint32_t>(state_.keys.size()));
+        size_t dst = it->second;
+        if (inserted) {
+          added += 2 * partial.keys[g].size() + kPerGroupOverhead +
+                   24 * state_.accs.size();
+          state_.keys.push_back(partial.keys[g]);
+          for (size_t i = 0; i < state_.values.size(); ++i) {
+            LAZYETL_RETURN_NOT_OK(
+                state_.values[i].AppendRange(partial.values[i], g, 1));
+          }
+          state_.tseq.push_back(partial.tag_seq[g]);
+          state_.trow.push_back(partial.tag_row[g]);
+          for (auto& acc : state_.accs) acc.Resize(state_.keys.size());
+          ++total_groups_;
+        } else if (std::pair(partial.tag_seq[g], partial.tag_row[g]) <
+                   std::pair(state_.tseq[dst], state_.trow[dst])) {
+          state_.tseq[dst] = partial.tag_seq[g];
+          state_.trow[dst] = partial.tag_row[g];
+        }
+        for (size_t a = 0; a < state_.accs.size(); ++a) {
+          state_.accs[a].MergeGroup(partial.accs[a], g, dst);
+        }
       }
     }
     if (!res_consume_.Grow(added)) {
@@ -998,7 +1254,8 @@ class GroupSpillHelper {
 
  private:
   struct State {
-    std::unordered_map<std::string, uint32_t> index;
+    std::unordered_map<std::string, uint32_t> index;  // legacy row path
+    PackedKeyIndex vindex;                            // vectorized path
     std::vector<std::string> keys;  // aligned with group ids
     std::vector<Column> values;
     std::vector<Accumulator> accs;
@@ -1022,6 +1279,7 @@ class GroupSpillHelper {
 
   void ResetState(State* st) const {
     st->index.clear();
+    st->vindex.Clear();
     st->keys.clear();
     st->values.clear();
     for (DataType t : value_types_) st->values.emplace_back(t);
@@ -1140,35 +1398,97 @@ class GroupSpillHelper {
         continue;
       }
       uint64_t added = 0;
-      for (size_t row = 0; row < frame.num_rows(); ++row) {
-        key.clear();
-        for (size_t i = 0; i < ngroup; ++i) {
-          PackRowKey(frame.column(i), row, &key);
-        }
-        auto [it, inserted] =
-            st.index.emplace(key, static_cast<uint32_t>(st.keys.size()));
-        size_t dst = it->second;
-        int64_t tseq = frame.column(ngroup).int64_data()[row];
-        int64_t trow = frame.column(ngroup + 1).int64_data()[row];
-        if (inserted) {
-          added += 2 * key.size() + kPerGroupOverhead + 24 * st.accs.size();
-          st.keys.push_back(key);
-          for (size_t i = 0; i < ngroup; ++i) {
-            LAZYETL_RETURN_NOT_OK(
-                st.values[i].AppendRange(frame.column(i), row, 1));
+      const size_t frame_rows = frame.num_rows();
+      if (VectorAggEnabled() && frame_rows > 0) {
+        // Columnar partition merge: batch group ids over the frame's group
+        // columns, fold the per-row arrival tags down to a per-local-group
+        // minimum (min is associative — same result as the per-row
+        // compare-and-update), resolve each local group to its state slot
+        // once, then merge the serialized accumulator state with one
+        // columnar pass per aggregate.
+        colptrs_.clear();
+        for (size_t i = 0; i < ngroup; ++i) colptrs_.push_back(&frame.column(i));
+        const size_t ngroups =
+            builder_.Build(colptrs_.data(), ngroup, 0, frame_rows);
+        const uint32_t* gids = builder_.gids.data();
+        const int64_t* tseq = frame.column(ngroup).int64_data().data();
+        const int64_t* trow = frame.column(ngroup + 1).int64_data().data();
+        min_seq_.assign(ngroups, std::numeric_limits<int64_t>::max());
+        min_row_.assign(ngroups, std::numeric_limits<int64_t>::max());
+        for (size_t row = 0; row < frame_rows; ++row) {
+          uint32_t g = gids[row];
+          if (std::pair(tseq[row], trow[row]) <
+              std::pair(min_seq_[g], min_row_[g])) {
+            min_seq_[g] = tseq[row];
+            min_row_[g] = trow[row];
           }
-          st.tseq.push_back(tseq);
-          st.trow.push_back(trow);
-          for (auto& acc : st.accs) acc.Resize(st.keys.size());
-        } else if (std::pair(tseq, trow) <
-                   std::pair(st.tseq[dst], st.trow[dst])) {
-          st.tseq[dst] = tseq;
-          st.trow[dst] = trow;
+        }
+        group_dst_.resize(ngroups);
+        for (size_t g = 0; g < ngroups; ++g) {
+          const size_t row = builder_.first_row[g];
+          key.clear();
+          for (size_t i = 0; i < ngroup; ++i) {
+            PackRowKey(frame.column(i), row, &key);
+          }
+          bool inserted;
+          size_t dst = st.vindex.FindOrInsert(key, st.keys, &inserted);
+          if (inserted) {
+            added += 2 * key.size() + kPerGroupOverhead + 24 * st.accs.size();
+            st.keys.push_back(key);
+            for (size_t i = 0; i < ngroup; ++i) {
+              LAZYETL_RETURN_NOT_OK(
+                  st.values[i].AppendRange(frame.column(i), row, 1));
+            }
+            st.tseq.push_back(min_seq_[g]);
+            st.trow.push_back(min_row_[g]);
+            for (auto& acc : st.accs) acc.Resize(st.keys.size());
+          } else if (std::pair(min_seq_[g], min_row_[g]) <
+                     std::pair(st.tseq[dst], st.trow[dst])) {
+            st.tseq[dst] = min_seq_[g];
+            st.trow[dst] = min_row_[g];
+          }
+          group_dst_[g] = static_cast<uint32_t>(dst);
+        }
+        row_dst_.resize(frame_rows);
+        for (size_t row = 0; row < frame_rows; ++row) {
+          row_dst_[row] = group_dst_[gids[row]];
         }
         size_t col = state_col0;
         for (auto& acc : st.accs) {
-          acc.MergeStateRow(frame, col, row, dst);
+          acc.MergeStateBulk(frame, col, row_dst_.data(), frame_rows);
           col += acc.NumStateCols();
+        }
+      } else {
+        for (size_t row = 0; row < frame_rows; ++row) {
+          key.clear();
+          for (size_t i = 0; i < ngroup; ++i) {
+            PackRowKey(frame.column(i), row, &key);
+          }
+          auto [it, inserted] =
+              st.index.emplace(key, static_cast<uint32_t>(st.keys.size()));
+          size_t dst = it->second;
+          int64_t tseq = frame.column(ngroup).int64_data()[row];
+          int64_t trow = frame.column(ngroup + 1).int64_data()[row];
+          if (inserted) {
+            added += 2 * key.size() + kPerGroupOverhead + 24 * st.accs.size();
+            st.keys.push_back(key);
+            for (size_t i = 0; i < ngroup; ++i) {
+              LAZYETL_RETURN_NOT_OK(
+                  st.values[i].AppendRange(frame.column(i), row, 1));
+            }
+            st.tseq.push_back(tseq);
+            st.trow.push_back(trow);
+            for (auto& acc : st.accs) acc.Resize(st.keys.size());
+          } else if (std::pair(tseq, trow) <
+                     std::pair(st.tseq[dst], st.trow[dst])) {
+            st.tseq[dst] = tseq;
+            st.trow[dst] = trow;
+          }
+          size_t col = state_col0;
+          for (auto& acc : st.accs) {
+            acc.MergeStateRow(frame, col, row, dst);
+            col += acc.NumStateCols();
+          }
         }
       }
       if (!res.Grow(added) && level < kMaxSpillLevel &&
@@ -1206,9 +1526,10 @@ class GroupSpillHelper {
     LAZYETL_ASSIGN_OR_RETURN(Table run, FinishState(&st));
     std::string run_path;
     LAZYETL_ASSIGN_OR_RETURN(
-        uint64_t bytes,
+        SpillWriteStats stats,
         WriteRunFile(run, ctx_->batch_rows, ctx_->spill, &run_path));
-    op_->RecordSpill(bytes, 1);
+    op_->RecordSpill(stats.logical_bytes, 1);
+    op_->RecordSpillIO(stats.compressed_bytes, stats.write_wait_seconds);
     return merger->AddSpilledRun(run_path);
   }
 
@@ -1245,6 +1566,15 @@ class GroupSpillHelper {
   SpillWriterVec writers_;
   uint64_t total_groups_ = 0;
   common::MemoryReservation res_consume_;  // live grouped state
+  std::vector<uint32_t> merge_dst_;        // MergePartial dst scratch (mu_)
+  // ProcessPartition scratch (post-drain, single-threaded; recursion
+  // reuses it sequentially — never concurrently).
+  kernels::GroupIdBuilder builder_;
+  std::vector<const Column*> colptrs_;
+  std::vector<int64_t> min_seq_;
+  std::vector<int64_t> min_row_;
+  std::vector<uint32_t> group_dst_;
+  std::vector<uint32_t> row_dst_;
 };
 
 // Streaming hash aggregation: per input batch, evaluate the grouping and
@@ -1414,20 +1744,48 @@ class AggregateOperator : public BatchOperator {
         }
         first = false;
       }
-      for (size_t g = 0; g < partial.keys.size(); ++g) {
-        auto [it, inserted] = group_index_.emplace(
-            partial.keys[g], static_cast<uint32_t>(group_count_));
-        if (inserted) {
-          ++group_count_;
-          group_key_bytes_ += partial.keys[g].size();
-          for (size_t i = 0; i < group_values_.size(); ++i) {
-            LAZYETL_RETURN_NOT_OK(
-                group_values_[i].AppendRange(partial.values[i], g, 1));
+      if (VectorAggEnabled()) {
+        // Resolve every local group to its global id first, then merge
+        // the accumulator partials in one bulk pass per aggregate. Per
+        // destination the merge order is still ascending g — identical to
+        // the interleaved per-group merge.
+        const size_t n = partial.keys.size();
+        merge_dst_.resize(n);
+        for (size_t g = 0; g < n; ++g) {
+          bool inserted;
+          const uint32_t dst = group_vindex_.FindOrInsert(
+              partial.keys[g], group_keys_, &inserted);
+          if (inserted) {
+            group_keys_.push_back(partial.keys[g]);
+            ++group_count_;
+            group_key_bytes_ += partial.keys[g].size();
+            for (size_t i = 0; i < group_values_.size(); ++i) {
+              LAZYETL_RETURN_NOT_OK(
+                  group_values_[i].AppendRange(partial.values[i], g, 1));
+            }
           }
-          for (auto& acc : accs_) acc.Resize(group_count_);
+          merge_dst_[g] = dst;
         }
+        for (auto& acc : accs_) acc.Resize(group_count_);
         for (size_t i = 0; i < accs_.size(); ++i) {
-          accs_[i].MergeGroup(partial.accs[i], g, it->second);
+          accs_[i].MergeGroupsBulk(partial.accs[i], merge_dst_.data(), n);
+        }
+      } else {
+        for (size_t g = 0; g < partial.keys.size(); ++g) {
+          auto [it, inserted] = group_index_.emplace(
+              partial.keys[g], static_cast<uint32_t>(group_count_));
+          if (inserted) {
+            ++group_count_;
+            group_key_bytes_ += partial.keys[g].size();
+            for (size_t i = 0; i < group_values_.size(); ++i) {
+              LAZYETL_RETURN_NOT_OK(
+                  group_values_[i].AppendRange(partial.values[i], g, 1));
+            }
+            for (auto& acc : accs_) acc.Resize(group_count_);
+          }
+          for (size_t i = 0; i < accs_.size(); ++i) {
+            accs_[i].MergeGroup(partial.accs[i], g, it->second);
+          }
         }
       }
     }
@@ -1477,6 +1835,39 @@ class AggregateOperator : public BatchOperator {
       return Status::OK();
     }
     std::string& key = scratch->key;
+    if (VectorAggEnabled()) {
+      // Columnar pre-aggregation: batch group ids first (hash + bit-equal
+      // probe, in row order — ids and first-occurrence order match the
+      // packed-key loop exactly), then pack a key only once per NEW group
+      // and fold the whole batch through the grouped accumulator kernels.
+      kernels::GroupIdBuilder& b = scratch->builder;
+      scratch->colptrs.clear();
+      for (const Column& c : scratch->group_cols) {
+        scratch->colptrs.push_back(&c);
+      }
+      const size_t ngroups =
+          b.Build(scratch->colptrs.data(), scratch->colptrs.size(), 0, rows);
+      for (size_t g = 0; g < ngroups; ++g) {
+        const size_t row = b.first_row[g];
+        key.clear();
+        for (const Column& c : scratch->group_cols) PackRowKey(c, row, &key);
+        partial->keys.push_back(key);
+        for (size_t i = 0; i < scratch->group_cols.size(); ++i) {
+          LAZYETL_RETURN_NOT_OK(partial->values[i].AppendRange(
+              scratch->group_cols[i], row, 1));
+        }
+        partial->tag_seq.push_back(static_cast<int64_t>(seq));
+        partial->tag_row.push_back(static_cast<int64_t>(row));
+      }
+      for (auto& acc : partial->accs) acc.Resize(ngroups);
+      for (size_t i = 0; i < partial->accs.size(); ++i) {
+        partial->accs[i].UpdateGrouped(b.gids.data(), &scratch->arg_cols[i],
+                                       rows);
+      }
+      RecordGroupsVectorized(rows);
+      return Status::OK();
+    }
+    // Legacy per-row path (LAZYETL_DISABLE_VECTOR_AGG).
     for (size_t row = 0; row < rows; ++row) {
       key.clear();
       for (const Column& c : scratch->group_cols) PackRowKey(c, row, &key);
@@ -1538,6 +1929,44 @@ class AggregateOperator : public BatchOperator {
       return Status::OK();
     }
     std::string key;
+    if (VectorAggEnabled()) {
+      // Columnar serial consume: batch-local group ids, then one global
+      // hash lookup per LOCAL group (not per row) to translate local ids
+      // to global ones, then grouped accumulator kernels over the batch.
+      scratch_colptrs_.clear();
+      for (const Column& c : group_cols) scratch_colptrs_.push_back(&c);
+      const size_t ngroups = builder_.Build(
+          scratch_colptrs_.data(), scratch_colptrs_.size(), 0, rows);
+      global_gids_.resize(ngroups);
+      for (size_t g = 0; g < ngroups; ++g) {
+        const size_t row = builder_.first_row[g];
+        key.clear();
+        for (const Column& c : group_cols) PackRowKey(c, row, &key);
+        bool inserted;
+        const uint32_t dst =
+            group_vindex_.FindOrInsert(key, group_keys_, &inserted);
+        if (inserted) {
+          group_keys_.push_back(key);
+          ++group_count_;
+          group_key_bytes_ += key.size();
+          for (size_t i = 0; i < group_cols.size(); ++i) {
+            LAZYETL_RETURN_NOT_OK(
+                group_values_[i].AppendRange(group_cols[i], row, 1));
+          }
+        }
+        global_gids_[g] = dst;
+      }
+      for (auto& acc : accs_) acc.Resize(group_count_);
+      for (size_t row = 0; row < rows; ++row) {
+        builder_.gids[row] = global_gids_[builder_.gids[row]];
+      }
+      for (size_t i = 0; i < accs_.size(); ++i) {
+        accs_[i].UpdateGrouped(builder_.gids.data(), &arg_cols[i], rows);
+      }
+      RecordGroupsVectorized(rows);
+      return Status::OK();
+    }
+    // Legacy per-row path (LAZYETL_DISABLE_VECTOR_AGG).
     for (size_t row = 0; row < rows; ++row) {
       key.clear();
       for (const Column& c : group_cols) PackRowKey(c, row, &key);
@@ -1563,10 +1992,19 @@ class AggregateOperator : public BatchOperator {
   const PlanNode* node_;
   ExecContext* ctx_;
   std::vector<Accumulator> accs_;
-  std::unordered_map<std::string, uint32_t> group_index_;
+  std::unordered_map<std::string, uint32_t> group_index_;  // legacy row path
+  // Vectorized path: open-addressing index + gid-ordered key store.
+  PackedKeyIndex group_vindex_;
+  std::vector<std::string> group_keys_;
+  std::vector<uint32_t> merge_dst_;  // per-partial dst scratch
   std::vector<Column> group_values_;  // representative values per group
   size_t group_count_ = 0;
   uint64_t group_key_bytes_ = 0;
+  // Serial-consume scratch for the vectorized path (ConsumeBatch only —
+  // the parallel paths use the per-worker GroupScratch instead).
+  kernels::GroupIdBuilder builder_;
+  std::vector<const Column*> scratch_colptrs_;
+  std::vector<uint32_t> global_gids_;
   TableEmitter emitter_;
   // Budget-mode state.
   bool external_ = false;
@@ -1610,22 +2048,51 @@ class DistinctOperator : public BatchOperator {
     };
     std::mutex mu;
     std::vector<BatchPartial> partials;
+    std::vector<GroupScratch> scratches(std::max<size_t>(threads, 1));
     LAZYETL_RETURN_NOT_OK(ParallelDrain(
-        child(), threads, [&](size_t, Batch&& batch) -> Status {
+        child(), threads, [&](size_t worker, Batch&& batch) -> Status {
           BatchPartial partial;
           partial.seq = batch.seq;
-          std::unordered_set<std::string> local;
           SelectionVector keep;
-          std::string key;
-          for (size_t row = 0; row < batch.num_rows(); ++row) {
-            key.clear();
-            for (size_t c = 0; c < batch.view.num_columns(); ++c) {
-              PackRowKey(batch.view.column(c), batch.view.offset() + row,
-                         &key);
+          const size_t rows = batch.num_rows();
+          const size_t ncols = batch.view.num_columns();
+          if (VectorAggEnabled() && rows > 0) {
+            // Columnar local dedup: batch group ids, keep one row per
+            // group. first_row is ascending, so the kept rows and their
+            // key order match the per-row scan exactly.
+            GroupScratch& scratch = scratches[worker];
+            scratch.colptrs.clear();
+            for (size_t c = 0; c < ncols; ++c) {
+              scratch.colptrs.push_back(&batch.view.column(c));
             }
-            if (local.insert(key).second) {
+            const size_t ngroups =
+                scratch.builder.Build(scratch.colptrs.data(), ncols,
+                                      batch.view.offset(), rows);
+            std::string& key = scratch.key;
+            for (size_t g = 0; g < ngroups; ++g) {
+              const size_t row = scratch.builder.first_row[g];
+              key.clear();
+              for (size_t c = 0; c < ncols; ++c) {
+                PackRowKey(batch.view.column(c), batch.view.offset() + row,
+                           &key);
+              }
               keep.push_back(static_cast<uint32_t>(row));
               partial.keys.push_back(key);
+            }
+            RecordGroupsVectorized(rows);
+          } else {
+            std::unordered_set<std::string> local;
+            std::string key;
+            for (size_t row = 0; row < rows; ++row) {
+              key.clear();
+              for (size_t c = 0; c < ncols; ++c) {
+                PackRowKey(batch.view.column(c), batch.view.offset() + row,
+                           &key);
+              }
+              if (local.insert(key).second) {
+                keep.push_back(static_cast<uint32_t>(row));
+                partial.keys.push_back(key);
+              }
             }
           }
           partial.rows = batch.view.Gather(keep);
@@ -1646,8 +2113,16 @@ class DistinctOperator : public BatchOperator {
         first = false;
       }
       SelectionVector keep;
+      const bool vectorized = VectorAggEnabled();
       for (size_t r = 0; r < partial.keys.size(); ++r) {
-        if (seen_.insert(partial.keys[r]).second) {
+        bool inserted;
+        if (vectorized) {
+          seen_index_.FindOrInsert(partial.keys[r], seen_keys_, &inserted);
+          if (inserted) seen_keys_.push_back(partial.keys[r]);
+        } else {
+          inserted = seen_.insert(partial.keys[r]).second;
+        }
+        if (inserted) {
           seen_bytes_ += partial.keys[r].size();
           keep.push_back(static_cast<uint32_t>(r));
         }
@@ -1696,14 +2171,45 @@ class DistinctOperator : public BatchOperator {
       }
       SelectionVector keep;
       std::string key;
-      for (size_t row = 0; row < in.num_rows(); ++row) {
-        key.clear();
-        for (size_t c = 0; c < in.view.num_columns(); ++c) {
-          PackRowKey(in.view.column(c), in.view.offset() + row, &key);
+      const size_t in_rows = in.num_rows();
+      const size_t ncols = in.view.num_columns();
+      if (VectorAggEnabled() && in_rows > 0) {
+        // Columnar streaming dedup: batch-local group ids first, then one
+        // seen-set probe per local group. A row that duplicates an earlier
+        // row of the same batch can never survive the per-row scan (the
+        // earlier row either entered the set or was already in it), so
+        // probing only first-occurrence rows yields the identical keep set.
+        colptrs_.clear();
+        for (size_t c = 0; c < ncols; ++c) {
+          colptrs_.push_back(&in.view.column(c));
         }
-        if (seen_.insert(key).second) {
-          seen_bytes_ += key.size();
-          keep.push_back(static_cast<uint32_t>(row));
+        const size_t ngroups = builder_.Build(colptrs_.data(), ncols,
+                                              in.view.offset(), in_rows);
+        for (size_t g = 0; g < ngroups; ++g) {
+          const size_t row = builder_.first_row[g];
+          key.clear();
+          for (size_t c = 0; c < ncols; ++c) {
+            PackRowKey(in.view.column(c), in.view.offset() + row, &key);
+          }
+          bool inserted;
+          seen_index_.FindOrInsert(key, seen_keys_, &inserted);
+          if (inserted) {
+            seen_keys_.push_back(key);
+            seen_bytes_ += key.size();
+            keep.push_back(static_cast<uint32_t>(row));
+          }
+        }
+        RecordGroupsVectorized(in_rows);
+      } else {
+        for (size_t row = 0; row < in_rows; ++row) {
+          key.clear();
+          for (size_t c = 0; c < ncols; ++c) {
+            PackRowKey(in.view.column(c), in.view.offset() + row, &key);
+          }
+          if (seen_.insert(key).second) {
+            seen_bytes_ += key.size();
+            keep.push_back(static_cast<uint32_t>(row));
+          }
         }
       }
       RecordStateBytes(seen_bytes_);
@@ -1745,22 +2251,49 @@ class DistinctOperator : public BatchOperator {
           for (size_t c = 0; c < batch.view.num_columns(); ++c) {
             partial.names.push_back(batch.view.column_name(c));
           }
-          scratch.index.clear();
           SelectionVector keep;
           std::string& key = scratch.key;
-          for (size_t row = 0; row < batch.num_rows(); ++row) {
-            key.clear();
-            for (size_t c = 0; c < batch.view.num_columns(); ++c) {
-              PackRowKey(batch.view.column(c), batch.view.offset() + row,
-                         &key);
+          const size_t batch_rows = batch.num_rows();
+          const size_t ncols = batch.view.num_columns();
+          if (VectorAggEnabled() && batch_rows > 0) {
+            // Columnar local dedup (see the unbudgeted parallel path).
+            scratch.colptrs.clear();
+            for (size_t c = 0; c < ncols; ++c) {
+              scratch.colptrs.push_back(&batch.view.column(c));
             }
-            if (scratch.index
-                    .emplace(key, static_cast<uint32_t>(partial.keys.size()))
-                    .second) {
+            const size_t ngroups =
+                scratch.builder.Build(scratch.colptrs.data(), ncols,
+                                      batch.view.offset(), batch_rows);
+            for (size_t g = 0; g < ngroups; ++g) {
+              const size_t row = scratch.builder.first_row[g];
+              key.clear();
+              for (size_t c = 0; c < ncols; ++c) {
+                PackRowKey(batch.view.column(c), batch.view.offset() + row,
+                           &key);
+              }
               keep.push_back(static_cast<uint32_t>(row));
               partial.keys.push_back(key);
               partial.tag_seq.push_back(static_cast<int64_t>(batch.seq));
               partial.tag_row.push_back(static_cast<int64_t>(row));
+            }
+            RecordGroupsVectorized(batch_rows);
+          } else {
+            scratch.index.clear();
+            for (size_t row = 0; row < batch_rows; ++row) {
+              key.clear();
+              for (size_t c = 0; c < ncols; ++c) {
+                PackRowKey(batch.view.column(c), batch.view.offset() + row,
+                           &key);
+              }
+              if (scratch.index
+                      .emplace(key,
+                               static_cast<uint32_t>(partial.keys.size()))
+                      .second) {
+                keep.push_back(static_cast<uint32_t>(row));
+                partial.keys.push_back(key);
+                partial.tag_seq.push_back(static_cast<int64_t>(batch.seq));
+                partial.tag_row.push_back(static_cast<int64_t>(row));
+              }
             }
           }
           Table rows = batch.view.Gather(keep);
@@ -1792,7 +2325,13 @@ class DistinctOperator : public BatchOperator {
   ExecContext* ctx_;
   bool parallel_mode_ = false;
   TableEmitter emitter_;
-  std::unordered_set<std::string> seen_;
+  std::unordered_set<std::string> seen_;  // legacy row path
+  // Vectorized path: open-addressing seen-index + its key store.
+  PackedKeyIndex seen_index_;
+  std::vector<std::string> seen_keys_;
+  // Streaming-mode scratch for the vectorized batch-local dedup.
+  kernels::GroupIdBuilder builder_;
+  std::vector<const Column*> colptrs_;
   uint64_t seen_bytes_ = 0;
   Table empty_;
   bool emitted_ = false;
@@ -2065,9 +2604,29 @@ class HashJoinOperator : public BatchOperator {
         if (!probe_paths[p].empty()) ctx_->spill->RemoveFile(probe_paths[p]);
         continue;
       }
+      if (PartitionPairDisjoint(build_paths[p], probe_paths[p], build_key_cols,
+                                probe_key_cols)) {
+        ctx_->spill->RemoveFile(build_paths[p]);
+        ctx_->spill->RemoveFile(probe_paths[p]);
+        continue;
+      }
       LAZYETL_RETURN_NOT_OK(JoinPartition(build_paths[p], probe_paths[p], 1));
     }
     return Status::OK();
+  }
+
+  // Zone-map pair skip: the run headers carry per-column min/max, so a
+  // build/probe pair whose key ranges provably cannot intersect joins to
+  // nothing and need not be read at all. Conservative on any error.
+  static bool PartitionPairDisjoint(const std::string& build_path,
+                                    const std::string& probe_path,
+                                    const std::vector<size_t>& build_keys,
+                                    const std::vector<size_t>& probe_keys) {
+    storage::SpillRunHeader bh;
+    storage::SpillRunHeader ph;
+    if (!storage::ReadSpillHeader(build_path, &bh).ok()) return false;
+    if (!storage::ReadSpillHeader(probe_path, &ph).ok()) return false;
+    return SpillRunsDisjoint(bh, ph, build_keys, probe_keys);
   }
 
   // Joins one build/probe partition pair, recursing when the build side
@@ -2155,6 +2714,12 @@ class HashJoinOperator : public BatchOperator {
           }
           continue;
         }
+        if (PartitionPairDisjoint(sub_build_paths[p], sub_probe_paths[p],
+                                  bkeys, pkeys)) {
+          ctx_->spill->RemoveFile(sub_build_paths[p]);
+          ctx_->spill->RemoveFile(sub_probe_paths[p]);
+          continue;
+        }
         LAZYETL_RETURN_NOT_OK(
             JoinPartition(sub_build_paths[p], sub_probe_paths[p], level + 1));
       }
@@ -2218,9 +2783,10 @@ class HashJoinOperator : public BatchOperator {
         Table run = SortRunRows(out_buf, 3, {true, true, true});
         std::string run_path;
         LAZYETL_ASSIGN_OR_RETURN(
-            uint64_t bytes,
+            SpillWriteStats stats,
             WriteRunFile(run, ctx_->batch_rows, ctx_->spill, &run_path));
-        RecordSpill(bytes, 1);
+        RecordSpill(stats.logical_bytes, 1);
+        RecordSpillIO(stats.compressed_bytes, stats.write_wait_seconds);
         LAZYETL_RETURN_NOT_OK(merger_.AddSpilledRun(run_path));
         out_buf = out_buf.Gather({});
         out_res.ReleaseAll();
@@ -2236,9 +2802,10 @@ class HashJoinOperator : public BatchOperator {
       Table run = SortRunRows(out_buf, 3, {true, true, true});
       std::string run_path;
       LAZYETL_ASSIGN_OR_RETURN(
-          uint64_t bytes,
+          SpillWriteStats stats,
           WriteRunFile(run, ctx_->batch_rows, ctx_->spill, &run_path));
-      RecordSpill(bytes, 1);
+      RecordSpill(stats.logical_bytes, 1);
+      RecordSpillIO(stats.compressed_bytes, stats.write_wait_seconds);
       LAZYETL_RETURN_NOT_OK(merger_.AddSpilledRun(run_path));
     }
     return Status::OK();

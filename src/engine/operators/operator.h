@@ -180,6 +180,17 @@ class BatchOperator {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.partitions += count;
   }
+  // Physical spill bytes (post-compression) and producer time blocked on
+  // spill I/O; RecordSpill keeps counting the logical volume.
+  void RecordSpillIO(uint64_t compressed_bytes, double wait_seconds) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.spill_compressed_bytes += compressed_bytes;
+    stats_.spill_write_wait_seconds += wait_seconds;
+  }
+  void RecordGroupsVectorized(uint64_t rows) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.groups_vectorized += rows;
+  }
 
  protected:
 

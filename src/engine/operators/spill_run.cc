@@ -72,9 +72,9 @@ Table SortRunRows(const Table& table, size_t order_cols,
   return table.Gather(idx);
 }
 
-Result<uint64_t> WriteRunFile(const Table& table, size_t frame_rows,
-                              common::SpillManager* spill,
-                              std::string* path_out) {
+Result<SpillWriteStats> WriteRunFile(const Table& table, size_t frame_rows,
+                                     common::SpillManager* spill,
+                                     std::string* path_out) {
   LAZYETL_ASSIGN_OR_RETURN(std::string path, spill->NewFilePath());
   storage::SpillWriter writer;
   LAZYETL_RETURN_NOT_OK(writer.Open(path, table.schema()));
@@ -86,7 +86,33 @@ Result<uint64_t> WriteRunFile(const Table& table, size_t frame_rows,
   }
   LAZYETL_RETURN_NOT_OK(writer.Finish());
   *path_out = path;
-  return writer.bytes_written();
+  SpillWriteStats stats;
+  stats.logical_bytes = writer.logical_bytes();
+  stats.compressed_bytes = writer.bytes_written();
+  stats.write_wait_seconds = writer.write_wait_seconds();
+  return stats;
+}
+
+bool SpillRunsDisjoint(const storage::SpillRunHeader& a,
+                       const storage::SpillRunHeader& b,
+                       const std::vector<size_t>& a_cols,
+                       const std::vector<size_t>& b_cols) {
+  if (a.version != 2 || b.version != 2) return false;
+  for (size_t k = 0; k < a_cols.size() && k < b_cols.size(); ++k) {
+    size_t ca = a_cols[k];
+    size_t cb = b_cols[k];
+    if (ca >= a.bounds.size() || cb >= b.bounds.size()) continue;
+    DataType ta = a.types[ca];
+    if (ta != b.types[cb] || ta == DataType::kString ||
+        ta == DataType::kDouble) {
+      continue;  // only int-like bounds are join-key comparable here
+    }
+    const auto& ba = a.bounds[ca];
+    const auto& bb = b.bounds[cb];
+    if (!ba.has_bounds || !bb.has_bounds) continue;
+    if (ba.imax < bb.imin || bb.imax < ba.imin) return true;
+  }
+  return false;
 }
 
 Result<SpillWriterVec> OpenPartitionWriters(
@@ -113,7 +139,8 @@ Result<std::vector<std::string>> SealPartitionWriters(
       paths.push_back("");
       continue;
     }
-    op->RecordSpill(w->bytes_written(), 1);
+    op->RecordSpill(w->logical_bytes(), 1);
+    op->RecordSpillIO(w->bytes_written(), w->write_wait_seconds());
     paths.push_back(w->path());
   }
   writers->clear();
@@ -145,13 +172,48 @@ Status PartitionTableToWriters(const Table& rows,
   return Status::OK();
 }
 
-// Readers open lazily (in Advance), not here: a query can accumulate far
-// more runs than the fan-in cap, and eagerly holding a file handle plus a
-// decoded frame per run would defeat both the fd budget and the memory
-// budget before PrepareFanIn gets a chance to bound them.
+// The run header is parsed exactly once here and cached on the Run;
+// every (re)open in Advance reuses it. Readers themselves still open
+// lazily: a query can accumulate far more runs than the fan-in cap, and
+// eagerly holding a file handle plus a decoded frame per run would
+// defeat both the fd budget and the memory budget before PrepareFanIn
+// gets a chance to bound them.
 Status RunMerger::AddSpilledRun(const std::string& path) {
   Run run;
   run.path = path;
+  LAZYETL_RETURN_NOT_OK(storage::ReadSpillHeader(path, &run.header));
+  const size_t cols = merge_cols();
+  if (cols == 0 || asc_.size() < cols) {
+    runs_.push_back(std::move(run));
+    return Status::OK();
+  }
+  if (!schema_known_ && run.header.schema.size() >= cols) {
+    payload_cols_ = run.header.schema.size() - order_cols_;
+    payload_schema_.assign(run.header.schema.begin(),
+                           run.header.schema.begin() + payload_cols_);
+    schema_known_ = true;
+  }
+  // Merge-order lower bound from the run-level zone map. The bound is the
+  // elementwise per-column extremum oriented by the merge direction; since
+  // every run row dominates it elementwise, it is also a lexicographic
+  // lower bound, which is what deferral compares against. Only usable when
+  // every merge column is int-like with valid bounds.
+  if (run.header.version == 2 && run.header.schema.size() >= cols &&
+      run.header.bounds.size() == run.header.schema.size()) {
+    const size_t first = run.header.schema.size() - cols;
+    run.min_key.resize(cols);
+    run.has_min_key = true;
+    for (size_t k = 0; k < cols; ++k) {
+      DataType t = run.header.types[first + k];
+      const auto& b = run.header.bounds[first + k];
+      if (t == DataType::kString || t == DataType::kDouble || !b.has_bounds) {
+        run.has_min_key = false;
+        run.min_key.clear();
+        break;
+      }
+      run.min_key[k] = asc_[k] ? b.imin : b.imax;
+    }
+  }
   runs_.push_back(std::move(run));
   return Status::OK();
 }
@@ -159,6 +221,7 @@ Status RunMerger::AddSpilledRun(const std::string& path) {
 void RunMerger::AddMemoryRun(Table table) {
   Run run;
   run.current = std::move(table);
+  run.opened = true;
   run.done = run.current.num_rows() == 0;
   if (!schema_known_ && run.current.num_columns() >= merge_cols()) {
     payload_cols_ = run.current.num_columns() - order_cols_;
@@ -208,10 +271,11 @@ Status RunMerger::Advance(Run* run) {
     run->done = true;
     return Status::OK();
   }
-  if (run->reader == nullptr) {  // lazy first open
+  if (run->reader == nullptr) {  // lazy first open; header already parsed
     run->reader = std::make_unique<storage::SpillReader>();
-    LAZYETL_RETURN_NOT_OK(run->reader->Open(run->path));
+    LAZYETL_RETURN_NOT_OK(run->reader->Open(run->path, &run->header));
   }
+  run->opened = true;
   run->cursor = 0;
   while (true) {
     auto more = run->reader->Next(&run->current);
@@ -233,15 +297,48 @@ Status RunMerger::Advance(Run* run) {
   }
 }
 
-bool RunMerger::RowLess(const Run& a, const Run& b) const {
+int RunMerger::CompareRuns(const Run& a, size_t ar, const Run& b,
+                           size_t br) const {
   const size_t cols = merge_cols();
-  const size_t first = a.current.num_columns() - cols;
+  const size_t fa = a.current.num_columns() - cols;
+  const size_t fb = b.current.num_columns() - cols;
   for (size_t k = 0; k < cols; ++k) {
-    int cmp = CompareColumnRows(a.current.column(first + k), a.cursor,
-                                b.current.column(first + k), b.cursor);
-    if (cmp != 0) return asc_[k] ? cmp < 0 : cmp > 0;
+    int cmp = CompareColumnRows(a.current.column(fa + k), ar,
+                                b.current.column(fb + k), br);
+    if (cmp != 0) return asc_[k] ? cmp : -cmp;
   }
-  return false;
+  return 0;
+}
+
+bool RunMerger::RowLess(const Run& a, const Run& b) const {
+  return CompareRuns(a, a.cursor, b, b.cursor) < 0;
+}
+
+bool RunMerger::BoundAfter(const Run& deferred, const Run& r,
+                           size_t row) const {
+  if (!deferred.has_min_key) return false;
+  const size_t cols = merge_cols();
+  const size_t first = r.current.num_columns() - cols;
+  for (size_t k = 0; k < cols; ++k) {
+    const Column& c = r.current.column(first + k);
+    int64_t rv;
+    switch (c.type()) {
+      case DataType::kBool:
+        rv = c.bool_data()[row] ? 1 : 0;
+        break;
+      case DataType::kInt32:
+        rv = c.int32_data()[row];
+        break;
+      default:  // kInt64 / kTimestamp; min_key excludes string/double runs
+        rv = c.int64_data()[row];
+        break;
+    }
+    int64_t bv = deferred.min_key[k];
+    if (bv == rv) continue;
+    bool bound_first = asc_[k] ? bv < rv : bv > rv;
+    return !bound_first;
+  }
+  return false;  // bound ties the row: the run may hold equal rows — open
 }
 
 Result<bool> RunMerger::Next(size_t max_rows, Table* out) {
@@ -249,33 +346,78 @@ Result<bool> RunMerger::Next(size_t max_rows, Table* out) {
     prepared_ = true;
     LAZYETL_RETURN_NOT_OK(PrepareFanIn());
   }
-  // Lazy opens: load the head frame of every run that does not have one
-  // yet (first call) or just exhausted its frame.
+  // Refill open runs whose frame is exhausted. The first call also opens
+  // every run without a usable zone-map bound; runs WITH a bound stay
+  // deferred — unopened and undecoded — until the merge head reaches
+  // their range below.
   for (Run& run : runs_) {
-    if (!run.done && run.cursor >= run.current.num_rows()) {
+    if (run.done) continue;
+    if (!run.opened) {
+      if (run.has_min_key) continue;  // deferred
+      LAZYETL_RETURN_NOT_OK(Advance(&run));
+    } else if (run.cursor >= run.current.num_rows()) {
       LAZYETL_RETURN_NOT_OK(Advance(&run));
     }
   }
-  if (!schema_known_) return false;  // no run ever produced a frame
-  // Linear min-scan per row: run counts are small (bounded by kMaxFanIn),
-  // so a heap buys little.
+  if (!schema_known_) {
+    // Every eagerly-opened run was empty; deferred runs are non-empty by
+    // construction, so open them to learn the schema and start merging.
+    for (Run& run : runs_) {
+      if (!run.done && !run.opened) LAZYETL_RETURN_NOT_OK(Advance(&run));
+    }
+    if (!schema_known_) return false;  // no run ever produced a frame
+  }
   Table result(payload_schema_);
   size_t emitted = 0;
   while (emitted < max_rows) {
+    // Linear min-scan: run counts are small (bounded by kMaxFanIn), so a
+    // heap buys little.
     Run* best = nullptr;
     for (Run& run : runs_) {
-      if (run.cursor >= run.current.num_rows()) continue;
+      if (!run.opened || run.cursor >= run.current.num_rows()) continue;
       if (best == nullptr || RowLess(run, *best)) best = &run;
     }
-    if (best == nullptr) break;
-    for (size_t c = 0; c < payload_cols_; ++c) {
-      LAZYETL_RETURN_NOT_OK(
-          result.column(c).AppendRange(best->current.column(c), best->cursor,
-                                       1));
+    // Wake any deferred run whose range the merge head has reached.
+    bool woke = false;
+    for (Run& run : runs_) {
+      if (run.done || run.opened) continue;
+      if (best == nullptr || !BoundAfter(run, *best, best->cursor)) {
+        LAZYETL_RETURN_NOT_OK(Advance(&run));
+        woke = true;
+      }
     }
-    ++emitted;
-    ++best->cursor;
-    if (best->cursor >= best->current.num_rows() && !best->done) {
+    if (woke) continue;  // re-scan with the newly opened runs in play
+    if (best == nullptr) break;
+    // Bulk fast path: frames are sorted, so when the last row of best's
+    // frame still precedes every other head (and every deferred bound),
+    // the whole remainder is appended column-at-a-time.
+    const size_t frame_rows = best->current.num_rows();
+    size_t take = 1;
+    if (frame_rows - best->cursor > 1) {
+      const size_t last = frame_rows - 1;
+      bool bulk = true;
+      for (Run& run : runs_) {
+        if (&run == best || run.done) continue;
+        if (!run.opened) {
+          if (!BoundAfter(run, *best, last)) {
+            bulk = false;
+            break;
+          }
+        } else if (run.cursor < run.current.num_rows() &&
+                   CompareRuns(*best, last, run, run.cursor) >= 0) {
+          bulk = false;
+          break;
+        }
+      }
+      if (bulk) take = std::min(frame_rows - best->cursor, max_rows - emitted);
+    }
+    for (size_t c = 0; c < payload_cols_; ++c) {
+      LAZYETL_RETURN_NOT_OK(result.column(c).AppendRange(
+          best->current.column(c), best->cursor, take));
+    }
+    emitted += take;
+    best->cursor += take;
+    if (best->cursor >= frame_rows && !best->done) {
       LAZYETL_RETURN_NOT_OK(Advance(best));
     }
   }

@@ -38,11 +38,30 @@ size_t SpillPartitionOf(const std::string& key, size_t level, size_t fanout);
 storage::Table SortRunRows(const storage::Table& table, size_t order_cols,
                            const std::vector<bool>& ascending);
 
+// What one run write cost: logical (uncompressed-equivalent) spill volume,
+// physical bytes after per-column compression, and how long the producer
+// was blocked on disk I/O (0 when the async writer fully overlapped it).
+struct SpillWriteStats {
+  uint64_t logical_bytes = 0;
+  uint64_t compressed_bytes = 0;
+  double write_wait_seconds = 0.0;
+};
+
 // Writes `table` to a fresh spill file in frames of `frame_rows` rows so
-// read-back memory stays bounded; returns the bytes written.
-Result<uint64_t> WriteRunFile(const storage::Table& table, size_t frame_rows,
-                              common::SpillManager* spill,
-                              std::string* path_out);
+// read-back memory stays bounded; returns the write stats.
+Result<SpillWriteStats> WriteRunFile(const storage::Table& table,
+                                     size_t frame_rows,
+                                     common::SpillManager* spill,
+                                     std::string* path_out);
+
+// True when the run-level zone maps of `a` and `b` prove the paired key
+// columns cannot share any value (some int-like key column has disjoint
+// [min,max] ranges). Conservative: false whenever bounds are missing.
+// Lets Grace hash join skip build/probe partition pairs outright.
+bool SpillRunsDisjoint(const storage::SpillRunHeader& a,
+                       const storage::SpillRunHeader& b,
+                       const std::vector<size_t>& a_cols,
+                       const std::vector<size_t>& b_cols);
 
 class BatchOperator;
 
@@ -75,6 +94,16 @@ Status PartitionTableToWriters(const storage::Table& rows,
 // When deep recursion produced more runs than kMaxFanIn, groups of runs
 // are pre-merged into larger spilled runs first (multi-pass external
 // merge), bounding open file handles and resident frames.
+//
+// Run headers are read exactly once (at AddSpilledRun) and carried with
+// the run through every merge pass. Two zone-map optimizations ride on
+// them when the merge columns are int-like:
+//   - deferred opens: a run whose run-level minimum orders after the
+//     current merge head stays unopened and undecoded until a row
+//     actually reaches its range;
+//   - bulk appends: when the remainder of the leading run's frame orders
+//     before every other head (frames are sorted), it is appended
+//     column-at-a-time instead of row-at-a-time.
 class RunMerger {
  public:
   static constexpr size_t kMaxFanIn = 64;
@@ -98,13 +127,24 @@ class RunMerger {
   struct Run {
     std::unique_ptr<storage::SpillReader> reader;  // null for memory runs
     std::string path;
+    storage::SpillRunHeader header;  // parsed once, reused on every open
+    // Merge-order lower bound of all rows (per merge column, already
+    // oriented by the ascending flags), from the run-level zone map.
+    std::vector<int64_t> min_key;
+    bool has_min_key = false;
     storage::Table current;
     size_t cursor = 0;
     bool done = false;
+    bool opened = false;  // frames are being streamed (or memory run)
   };
 
   Status Advance(Run* run);
+  // Merge-order three-way comparison of row `ar` of `a` vs `br` of `b`.
+  int CompareRuns(const Run& a, size_t ar, const Run& b, size_t br) const;
   bool RowLess(const Run& a, const Run& b) const;
+  // True when `deferred`'s zone-map lower bound orders strictly after row
+  // `row` of `r` — every row of the unopened run then comes later.
+  bool BoundAfter(const Run& deferred, const Run& r, size_t row) const;
   // Reduces runs_ to at most kMaxFanIn by merging groups of runs into
   // fresh spilled runs (order columns preserved).
   Status PrepareFanIn();

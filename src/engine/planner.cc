@@ -1,6 +1,7 @@
 #include "engine/planner.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 
 #include "common/macros.h"
@@ -522,6 +523,65 @@ uint64_t EstimateFilterOverScan(const PlanNode& filter, const PlanNode& scan,
   return std::min(sharp, fallback);
 }
 
+// Cardinality hint for one grouping column resolved to its base-table
+// storage: exact for dictionary-encoded strings (the dictionary size), a
+// [min, max] value-span bound for integer-like columns with zone maps,
+// the domain size for bools. 0 = unknown (expressions, plain strings,
+// doubles, missing statistics).
+uint64_t ColumnCardinalityHint(const storage::Catalog& catalog,
+                               const BoundExpr& expr) {
+  if (expr.kind != ExprKind::kColumnRef || expr.base_table.empty()) return 0;
+  auto table = catalog.GetTable(expr.base_table);
+  if (!table.ok()) return 0;
+  auto idx = (*table)->ColumnIndex(expr.base_column);
+  if (!idx.ok()) return 0;
+  const storage::Column& col = (*table)->column(*idx);
+  switch (col.type()) {
+    case storage::DataType::kString:
+      if (col.dict_encoded() && col.dictionary() != nullptr) {
+        return static_cast<uint64_t>(col.dictionary()->size());
+      }
+      return 0;
+    case storage::DataType::kBool:
+      return 2;
+    case storage::DataType::kDouble:
+      return 0;
+    default: {  // int32 / int64 / timestamp
+      const storage::ColumnZoneMap* zm = (*table)->zone_map(*idx);
+      if (zm == nullptr || zm->chunks.empty()) return 0;
+      int64_t lo = std::numeric_limits<int64_t>::max();
+      int64_t hi = std::numeric_limits<int64_t>::min();
+      bool any = false;
+      for (const auto& ch : zm->chunks) {
+        if (!ch.has_bounds) continue;
+        lo = std::min(lo, ch.imin);
+        hi = std::max(hi, ch.imax);
+        any = true;
+      }
+      if (!any || hi < lo) return 0;
+      uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+      // A span wider than this can't sharpen anything downstream.
+      if (span >= (1ull << 32)) return 0;
+      return span + 1;
+    }
+  }
+}
+
+// Distinct-group bound for a grouping column set: the product of the
+// per-column cardinality hints. 0 when any column's cardinality is
+// unknown (one unbounded column makes the product meaningless).
+uint64_t GroupCardinalityHint(const storage::Catalog& catalog,
+                              const std::vector<BoundExprPtr>& exprs) {
+  uint64_t groups = exprs.empty() ? 0 : 1;
+  for (const auto& e : exprs) {
+    uint64_t card = ColumnCardinalityHint(catalog, *e);
+    if (card == 0) return 0;
+    if (groups > (1ull << 40) / card) return 0;  // overflow / uninformative
+    groups *= card;
+  }
+  return groups;
+}
+
 // Walks the plan bottom-up carrying an output-size estimate per node and
 // accumulating breaker state into *state_bytes. Returns the node's
 // estimated output bytes.
@@ -574,11 +634,38 @@ uint64_t EstimateNodeOutput(const PlanNode& node,
       *state_bytes += child_sum;
       return child_sum;
     case PlanNodeType::kAggregate:
-    case PlanNodeType::kDistinct:
-      // Grouped state is usually far smaller than the input; charge the
-      // input as the bound and emit a reduced stream.
-      *state_bytes += child_sum;
-      return child_sum / 4;
+    case PlanNodeType::kDistinct: {
+      // Grouped output and state are O(groups), not O(input). When every
+      // grouping column resolves to base storage with a known cardinality
+      // (dictionary size, zone-map value span, bool domain), size both by
+      // the group-count bound; the old byte heuristic (state = input,
+      // output = input / 4) stays as the cap, so estimates only sharpen.
+      const std::vector<BoundExprPtr>* exprs = nullptr;
+      uint64_t groups = 0;
+      size_t width = 1;
+      if (node.type == PlanNodeType::kAggregate) {
+        exprs = &node.group_exprs;
+        width = node.group_exprs.size() + node.aggregates.size() + 1;
+        // A grand aggregate has exactly one output row.
+        if (node.group_exprs.empty()) groups = 1;
+      } else if (node.children.size() == 1 &&
+                 node.children[0]->type == PlanNodeType::kProject) {
+        // Distinct dedups its child's full output row; sharpen when that
+        // row is a plain projection of base columns.
+        exprs = &node.children[0]->project_exprs;
+        width = exprs->size() + 1;
+      }
+      if (groups == 0 && exprs != nullptr) {
+        groups = GroupCardinalityHint(catalog, *exprs);
+      }
+      if (groups == 0) {
+        *state_bytes += child_sum;
+        return child_sum / 4;
+      }
+      uint64_t per_group = 48 * static_cast<uint64_t>(width);
+      *state_bytes += std::min<uint64_t>(child_sum, groups * per_group);
+      return std::min<uint64_t>(child_sum / 4, groups * per_group);
+    }
     case PlanNodeType::kTopK: {
       // O(k) candidates per worker; a coarse per-row constant suffices.
       uint64_t k = node.limit > 0 ? static_cast<uint64_t>(node.limit) : 1;

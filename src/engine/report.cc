@@ -55,7 +55,22 @@ std::string ExecutionReport::ToString() const {
   }
   if (memory_budget_bytes > 0) {
     os << "memory budget: " << memory_budget_bytes << " B | spilled "
-       << spilled_bytes << " B in " << spill_files << " files\n";
+       << spilled_bytes << " B in " << spill_files << " files";
+    if (spill_compressed_bytes > 0 && spill_compressed_bytes != spilled_bytes) {
+      os << " (" << spill_compressed_bytes << " B on disk)";
+    }
+    if (spill_write_wait_seconds > 0) {
+      std::snprintf(buf, sizeof(buf), " | write wait %.3fms",
+                    spill_write_wait_seconds * 1e3);
+      os << buf;
+    }
+    os << "\n";
+  }
+  if (groups_vectorized > 0) {
+    os << "vectorized grouping: " << groups_vectorized << " rows\n";
+  }
+  if (morsel_rows > 0) {
+    os << "morsel rows: " << morsel_rows << "\n";
   }
   if (!operator_stats.empty()) {
     os << "--- operator pipeline ---\n";
@@ -76,6 +91,18 @@ std::string ExecutionReport::ToString() const {
                       static_cast<unsigned long long>(op.spilled_bytes),
                       static_cast<unsigned long long>(op.spill_files),
                       static_cast<unsigned long long>(op.partitions));
+        os << buf;
+        if (op.spill_compressed_bytes > 0 &&
+            op.spill_compressed_bytes != op.spilled_bytes) {
+          std::snprintf(buf, sizeof(buf), " (%llu B on disk)",
+                        static_cast<unsigned long long>(
+                            op.spill_compressed_bytes));
+          os << buf;
+        }
+      }
+      if (op.groups_vectorized > 0) {
+        std::snprintf(buf, sizeof(buf), " | vectorized %llu rows",
+                      static_cast<unsigned long long>(op.groups_vectorized));
         os << buf;
       }
       if (op.morsels_pruned > 0) {

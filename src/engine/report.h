@@ -32,6 +32,15 @@ struct OperatorStats {
   uint64_t spilled_bytes = 0;
   uint64_t spill_files = 0;
   uint64_t partitions = 0;
+  // Spill I/O detail: physical bytes after per-column compression
+  // (spilled_bytes stays the logical, uncompressed-equivalent volume) and
+  // the time the operator was blocked on spill writes (0 when the async
+  // writer fully overlapped them with the consume phase).
+  uint64_t spill_compressed_bytes = 0;
+  double spill_write_wait_seconds = 0;
+  // Grouped-aggregation vectorization: rows whose group ids were resolved
+  // by the columnar (batch-at-a-time) kernel path.
+  uint64_t groups_vectorized = 0;
   // Zone-map pruning (scan stage of a fused FilterScan): morsels skipped
   // because chunk statistics proved no row could satisfy the predicate,
   // and the rows those morsels covered (never touched).
@@ -89,6 +98,15 @@ struct ExecutionReport {
   uint64_t memory_budget_bytes = 0;
   uint64_t spilled_bytes = 0;
   uint64_t spill_files = 0;
+  // Spill I/O totals: physical bytes on disk after compression and
+  // producer time blocked on spill writes (see OperatorStats).
+  uint64_t spill_compressed_bytes = 0;
+  double spill_write_wait_seconds = 0;
+  // Rows resolved through the vectorized grouped-aggregation path.
+  uint64_t groups_vectorized = 0;
+  // Resolved rows-per-morsel of the drive loop (batch_rows after the
+  // LAZYETL_MORSEL_ROWS override).
+  uint64_t morsel_rows = 0;
   // Zone-map pruning totals summed over the pipeline's scans.
   uint64_t morsels_pruned = 0;
   uint64_t rows_pruned = 0;

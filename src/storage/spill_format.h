@@ -1,13 +1,32 @@
 // Compact on-disk run format for spilled intermediates.
 //
 // Pipeline breakers that exceed their memory budget spool TableSlice runs
-// to temp files and stream them back batch-at-a-time. The format is a
-// sequence of self-delimiting frames after a one-off schema header:
+// to temp files and stream them back batch-at-a-time. Two container
+// versions share one reader:
 //
-//   header:  u32 magic | u32 #columns | per column: u32 name-len, name
-//            bytes, u8 type
-//   frame:   u32 #rows | per column: raw fixed-width array (bool/i32/i64/
-//            timestamp/double) or, for strings, u32 length + bytes per row
+//   v1 (LAZYETL_SPILL_COMPRESSION=off):
+//     header:  u32 magic "LSPL" | u32 #columns | per column: u32 name-len,
+//              name bytes, u8 type
+//     frame:   u32 #rows | per column: raw fixed-width array (bool/i32/
+//              i64/timestamp/double) or, for strings, u32 length + bytes
+//
+//   v2 (the default):
+//     header:  u32 magic "LSP2" | u32 #columns | per column: u32 name-len,
+//              name bytes, u8 type | per column: zone-map slot
+//              (u8 has-bounds, 8B min, 8B max) — zero at Open, backpatched
+//              with run-level bounds at Finish
+//     frame:   u32 #rows | u32 body-bytes | per column: u8 codec |
+//              [numeric: 8B frame-min, 8B frame-max] | u32 payload-size |
+//              payload
+//
+// v2 columns are lightweight-compressed per frame (codec chosen by size:
+// RLE / frame-of-reference bit-packing / zigzag delta packing for int-like
+// columns, Steim-style XOR delta framing for doubles, shared-prefix varint
+// packing and per-frame dictionaries for strings, plus a duplicate-column
+// reference). Every codec is lossless down to the bit pattern, so spill
+// round-trips stay byte-exact and the determinism parity suites hold. The
+// run-level min/max bounds let Grace re-partitioning and the k-way merge
+// skip or defer whole runs (see engine/operators/spill_run.h).
 //
 // Values are written in host byte order — spill files are process-local
 // scratch, never interchange (persist.cc owns durable storage). A reader
@@ -19,19 +38,68 @@
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
+#include "common/spill.h"
 #include "common/status.h"
 #include "storage/slice.h"
 #include "storage/table.h"
 
 namespace lazyetl::storage {
 
-// Appends one frame encoding the viewed rows of `slice` to `out`.
+// Per-column codec tag inside a v2 frame.
+enum class SpillCodec : uint8_t {
+  kRaw = 0,        // v1 bytes (strings: u32 length + bytes)
+  kRle = 1,        // int-like: (u32 run-length, i64 value)*
+  kBitPack = 2,    // int-like: i64 base, u8 width, LSB-first packed offsets
+  kDeltaPack = 3,  // int-like: i64 first, u8 width, packed zigzag deltas
+  kDoubleXor = 4,  // doubles: Steim-style XOR-prev, nibble byte counts
+  kStrPack = 5,    // strings: shared prefix + varint suffix-length + bytes
+  kStrDict = 6,    // strings: per-frame dictionary + bit-packed codes
+  kDupCol = 7,     // u32 index of an identically-encoded earlier column
+};
+
+// How aggressively the writer compresses (LAZYETL_SPILL_COMPRESSION).
+//   off   — v1 container, byte-identical to the legacy format
+//   auto  — v2, per column the smallest encoding (raw when nothing wins)
+//   force — v2, always a non-raw codec when one applies (test coverage)
+enum class SpillCompression { kOff, kAuto, kForce };
+SpillCompression ResolveSpillCompression();
+
+// Min/max of one column over a frame or a whole run. Int-like columns
+// (bool/int32/int64/timestamp) use imin/imax; doubles use dmin/dmax
+// (invalid when any value is NaN); strings never carry bounds.
+struct SpillColumnBounds {
+  bool has_bounds = false;
+  int64_t imin = 0;
+  int64_t imax = 0;
+  double dmin = 0.0;
+  double dmax = 0.0;
+};
+
+// Parsed run header: schema plus (v2) run-level zone map and the offset of
+// the first frame. Callers that open the same run more than once (e.g. the
+// multi-pass RunMerger) read the header once and pass it back to
+// SpillReader::Open to skip re-parsing.
+struct SpillRunHeader {
+  uint32_t version = 1;  // 1 = legacy raw, 2 = compressed + zone maps
+  TableSchema schema;
+  std::vector<DataType> types;
+  std::vector<std::string> names;
+  std::vector<SpillColumnBounds> bounds;  // empty for v1 runs
+  uint64_t data_offset = 0;
+};
+
+// Reads and parses the header of `path` without holding the file open.
+Status ReadSpillHeader(const std::string& path, SpillRunHeader* out);
+
+// Appends one v1 frame encoding the viewed rows of `slice` to `out`.
 void SerializeSlice(const TableSlice& slice, std::string* out);
 
-// Parses the frame starting at `data + *offset` (schema known from the
+// Parses the v1 frame starting at `data + *offset` (schema known from the
 // header) into `*out` and advances *offset past it. `types` gives the
 // column type per frame column.
 Status DeserializeBatch(const char* data, size_t size, size_t* offset,
@@ -39,7 +107,8 @@ Status DeserializeBatch(const char* data, size_t size, size_t* offset,
                         const std::vector<std::string>& names, Table* out);
 
 // Streaming writer for one run file. Append order is preserved exactly on
-// read-back.
+// read-back. Unless LAZYETL_SPILL_ASYNC=0, encoded chunks are handed to a
+// common::AsyncRunWriter so disk writes overlap the producer.
 class SpillWriter {
  public:
   // Opens (truncates) `path` and writes the schema header.
@@ -49,11 +118,18 @@ class SpillWriter {
   // the opened schema (arity and types).
   Status Append(const TableSlice& slice);
 
-  // Flushes and closes; no further Append. Safe to call twice.
+  // Flushes and closes; no further Append. Backpatches the run-level
+  // zone map into the v2 header. Safe to call twice.
   Status Finish();
 
+  // Physical (encoded) bytes on disk, excluding the header.
   uint64_t bytes_written() const { return bytes_written_; }
+  // Uncompressed v1-equivalent bytes of the same frames — the engine's
+  // logical spill volume; bytes_written()/logical_bytes() is the ratio.
+  uint64_t logical_bytes() const { return logical_bytes_; }
   uint64_t rows_written() const { return rows_written_; }
+  // Producer time blocked on disk I/O (0 when fully overlapped).
+  double write_wait_seconds() const;
   const std::string& path() const { return path_; }
 
  private:
@@ -64,31 +140,55 @@ class SpillWriter {
   static constexpr size_t kWriteChunkBytes = 64 * 1024;
 
   Status FlushPending();
+  Status BackpatchBounds();
 
-  std::ofstream out_;
+  std::ofstream out_;                              // sync path
+  std::unique_ptr<common::AsyncRunWriter> async_;  // overlapped path
   std::string path_;
   std::string pending_;  // encoded-but-unwritten frames
+  SpillCompression mode_ = SpillCompression::kAuto;
+  std::vector<DataType> types_;
+  std::vector<SpillColumnBounds> run_bounds_;
+  std::vector<uint8_t> bounds_valid_;  // per column: all frames had bounds
+  uint64_t bounds_offset_ = 0;         // header slot to backpatch (v2)
   uint64_t bytes_written_ = 0;
+  uint64_t logical_bytes_ = 0;
   uint64_t rows_written_ = 0;
+  bool any_frames_ = false;
 };
 
 // Streaming reader over a run file written by SpillWriter: one Table per
-// Next call, frames in append order.
+// Next call, frames in append order. Handles both container versions;
+// string columns always decode to plain (unencoded) columns, exactly as
+// the legacy reader produced them.
 class SpillReader {
  public:
-  Status Open(const std::string& path);
+  // Parses the header. When `cached` is given (from ReadSpillHeader or a
+  // previous open), parsing is skipped and the reader seeks straight to
+  // the first frame.
+  Status Open(const std::string& path,
+              const SpillRunHeader* cached = nullptr);
 
-  const TableSchema& schema() const { return schema_; }
+  const TableSchema& schema() const { return header_.schema; }
+  const SpillRunHeader& header() const { return header_; }
 
   // Fills *out with the next frame; returns false at clean end-of-file.
   Result<bool> Next(Table* out);
 
+  // Per-column bounds of the frame most recently returned by Next (empty
+  // for v1 runs).
+  const std::vector<SpillColumnBounds>& frame_bounds() const {
+    return frame_bounds_;
+  }
+
  private:
+  Result<bool> NextV1(Table* out);
+  Result<bool> NextV2(Table* out);
+
   std::ifstream in_;
   std::string path_;
-  TableSchema schema_;
-  std::vector<DataType> types_;
-  std::vector<std::string> names_;
+  SpillRunHeader header_;
+  std::vector<SpillColumnBounds> frame_bounds_;
   std::string buffer_;           // reused frame decoding scratch
   std::vector<char> read_buf_;   // large stream buffer (fewer syscalls)
 };

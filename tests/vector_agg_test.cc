@@ -1,0 +1,267 @@
+// Differential suite for the vectorized grouped-aggregation path: the
+// columnar group-id / accumulator kernels (the default) must be
+// BIT-identical to the legacy per-row packed-key loops (re-enabled with
+// LAZYETL_DISABLE_VECTOR_AGG=1) at every thread count and budget —
+// including double aggregates, whose accumulation order the vectorized
+// path preserves exactly. Covers dictionary-encoded and plain string
+// keys, NaN / signed-zero double keys, multi-column keys, empty inputs,
+// and recursive spill-partition overflow.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/executor.h"
+#include "engine/planner.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "storage/catalog.h"
+#include "test_util.h"
+
+namespace lazyetl::engine {
+namespace {
+
+using storage::Catalog;
+using storage::Column;
+using storage::DataType;
+using storage::Table;
+
+// Budgets are driven explicitly; the kill switch must start cleared.
+class ClearEnv : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    unsetenv("LAZYETL_MEMORY_BUDGET");
+    unsetenv("LAZYETL_DISABLE_VECTOR_AGG");
+  }
+};
+const auto* const kClearEnv =
+    ::testing::AddGlobalTestEnvironment(new ClearEnv);
+
+const size_t kThreadCounts[] = {1, 8};
+const uint64_t kBudgets[] = {0, 1u << 20};
+
+// Bit-exact equality: doubles compare by bit pattern (the two paths run
+// the same arithmetic in the same order, so even rounding must agree).
+void ExpectTablesBitEqual(const Table& a, const Table& b,
+                          const std::string& context) {
+  ASSERT_EQ(a.num_columns(), b.num_columns()) << context;
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << context;
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    EXPECT_EQ(a.column_name(c), b.column_name(c)) << context;
+    ASSERT_EQ(a.schema()[c].type, b.schema()[c].type) << context;
+    for (size_t r = 0; r < a.num_rows(); ++r) {
+      const auto va = a.GetValue(r, c);
+      const auto vb = b.GetValue(r, c);
+      if (va.type() == DataType::kDouble) {
+        uint64_t ba;
+        uint64_t bb;
+        double da = va.double_value();
+        double db = vb.double_value();
+        std::memcpy(&ba, &da, sizeof(ba));
+        std::memcpy(&bb, &db, sizeof(bb));
+        EXPECT_EQ(ba, bb) << context << " row " << r << " col " << c << ": "
+                          << da << " vs " << db;
+      } else {
+        EXPECT_TRUE(va.Equals(vb))
+            << context << " row " << r << " col " << c << ": "
+            << va.ToString() << " vs " << vb.ToString();
+      }
+    }
+  }
+}
+
+class VectorAggTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    constexpr int kRows = 6000;
+    std::vector<std::string> grp;   // low-cardinality: dictionary-encoded
+    std::vector<std::string> hi;    // high-cardinality: stays plain
+    std::vector<double> d;          // NaN and signed-zero keys
+    std::vector<int64_t> i64;
+    std::vector<int64_t> k;
+    std::vector<uint8_t> flag;
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    for (int i = 0; i < kRows; ++i) {
+      grp.push_back("g" + std::to_string(i % 37));
+      hi.push_back("h" + std::to_string(i % 1511));
+      if (i % 13 == 0) {
+        d.push_back(nan);
+      } else if (i % 7 == 0) {
+        d.push_back(i % 14 == 7 ? 0.0 : -0.0);
+      } else {
+        d.push_back(i * 0.125 - 300.0);
+      }
+      i64.push_back((1LL << 35) * (i % 5 - 2) + i * 131 % 7919);
+      k.push_back(i % 211);
+      flag.push_back(static_cast<uint8_t>(i % 3 == 0));
+    }
+    auto facts = std::make_shared<Table>();
+    Column grp_col = Column::FromString(grp);
+    grp_col.TryDictEncode(64);  // force the dict-code hash path
+    ASSERT_STATUS_OK(facts->AddColumn("grp", std::move(grp_col)));
+    ASSERT_STATUS_OK(facts->AddColumn("hi", Column::FromString(hi)));
+    ASSERT_STATUS_OK(facts->AddColumn("d", Column::FromDouble(d)));
+    ASSERT_STATUS_OK(facts->AddColumn("i64", Column::FromInt64(i64)));
+    ASSERT_STATUS_OK(facts->AddColumn("k", Column::FromInt64(k)));
+    ASSERT_STATUS_OK(facts->AddColumn("flag", Column::FromBool(flag)));
+    ASSERT_STATUS_OK(catalog_.RegisterTable("facts", facts));
+
+    // Same data with every string column force-encoded, so the dict path
+    // also covers high-cardinality keys.
+    auto forced = std::make_shared<Table>(*facts);
+    forced->DictEncodeStrings(1u << 20);
+    ASSERT_STATUS_OK(catalog_.RegisterTable("factsd", forced));
+  }
+
+  Result<Table> Run(const std::string& sql, size_t threads, uint64_t budget,
+                    ExecutionReport* report) {
+    auto stmt = sql::Parse(sql);
+    if (!stmt.ok()) return stmt.status();
+    sql::Binder binder(&catalog_);
+    auto bound = binder.Bind(*stmt);
+    if (!bound.ok()) return bound.status();
+    Planner planner(&catalog_, {});
+    auto planned = planner.Plan(*bound);
+    if (!planned.ok()) return planned.status();
+    Executor executor(&catalog_, nullptr, {4096, threads, budget, ""});
+    return executor.Execute(*planned->plan, report);
+  }
+
+  // Runs `sql` with the vectorized path on and off at every thread count
+  // and budget; each (threads, budget) pair must match bit-for-bit.
+  // `expect_vectorized` additionally pins the groups_vectorized counter
+  // (non-empty grouped inputs must take the columnar path when enabled).
+  void ExpectDifferentialParity(const std::string& sql,
+                                bool expect_vectorized = true) {
+    for (size_t threads : kThreadCounts) {
+      for (uint64_t budget : kBudgets) {
+        std::string context = sql + " @threads=" + std::to_string(threads) +
+                              " budget=" + std::to_string(budget);
+        ExecutionReport vec_report;
+        auto vec = Run(sql, threads, budget, &vec_report);
+        ASSERT_OK(vec);
+        if (expect_vectorized) {
+          EXPECT_GT(vec_report.groups_vectorized, 0u) << context;
+        }
+        setenv("LAZYETL_DISABLE_VECTOR_AGG", "1", 1);
+        ExecutionReport legacy_report;
+        auto legacy = Run(sql, threads, budget, &legacy_report);
+        unsetenv("LAZYETL_DISABLE_VECTOR_AGG");
+        ASSERT_OK(legacy);
+        EXPECT_EQ(legacy_report.groups_vectorized, 0u) << context;
+        ExpectTablesBitEqual(*vec, *legacy, context);
+      }
+    }
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(VectorAggTest, DictStringKeys) {
+  ExpectDifferentialParity(
+      "SELECT grp, COUNT(*), SUM(i64), MIN(i64), MAX(k), AVG(d) FROM facts "
+      "GROUP BY grp");
+}
+
+TEST_F(VectorAggTest, PlainAndForcedDictHighCardinalityKeys) {
+  const std::string q =
+      "SELECT hi, COUNT(*), SUM(k), MIN(hi), MAX(i64) FROM ";
+  ExpectDifferentialParity(q + "facts GROUP BY hi");
+  ExpectDifferentialParity(q + "factsd GROUP BY hi");
+}
+
+TEST_F(VectorAggTest, NaNAndSignedZeroDoubleKeys) {
+  // NaN keys collapse into one group (bit-pattern equality); -0.0 and 0.0
+  // stay distinct. First-occurrence output order is deterministic, so no
+  // ORDER BY is needed (NaN would not sort anyway).
+  ExpectDifferentialParity(
+      "SELECT d, COUNT(*), SUM(i64) FROM facts GROUP BY d");
+}
+
+TEST_F(VectorAggTest, MultiColumnKeysIncludingBool) {
+  ExpectDifferentialParity(
+      "SELECT grp, k, flag, COUNT(*), SUM(d), MIN(i64) FROM facts "
+      "GROUP BY grp, k, flag");
+}
+
+TEST_F(VectorAggTest, EmptyInputAndEmptyGroups) {
+  // Zero input rows: grouped output is empty, grand aggregates still
+  // produce their COUNT=0 row. Neither path sees a row to vectorize.
+  ExpectDifferentialParity(
+      "SELECT grp, COUNT(*) FROM facts WHERE k < 0 GROUP BY grp",
+      /*expect_vectorized=*/false);
+  ExpectDifferentialParity(
+      "SELECT COUNT(*), SUM(i64), MIN(k) FROM facts WHERE k < 0",
+      /*expect_vectorized=*/false);
+}
+
+TEST_F(VectorAggTest, DistinctDifferential) {
+  ExpectDifferentialParity("SELECT DISTINCT grp, k FROM facts");
+  ExpectDifferentialParity("SELECT DISTINCT d FROM facts");
+  ExpectDifferentialParity("SELECT DISTINCT hi FROM factsd");
+}
+
+TEST_F(VectorAggTest, RecursiveOverflowPartitions) {
+  // A budget far below the grouped state forces Grace partitioning with
+  // recursive splits (1511 groups >> kMinSplitGroups); the partition
+  // re-merge path must stay bit-identical too.
+  for (size_t threads : kThreadCounts) {
+    std::string context = "recursive @threads=" + std::to_string(threads);
+    ExecutionReport vec_report;
+    auto vec = Run(
+        "SELECT hi, COUNT(*), SUM(i64), MIN(hi) FROM facts GROUP BY hi",
+        threads, 4000, &vec_report);
+    ASSERT_OK(vec);
+    EXPECT_GT(vec_report.spilled_bytes, 0u) << context;
+    setenv("LAZYETL_DISABLE_VECTOR_AGG", "1", 1);
+    ExecutionReport legacy_report;
+    auto legacy = Run(
+        "SELECT hi, COUNT(*), SUM(i64), MIN(hi) FROM facts GROUP BY hi",
+        threads, 4000, &legacy_report);
+    unsetenv("LAZYETL_DISABLE_VECTOR_AGG");
+    ASSERT_OK(legacy);
+    ExpectTablesBitEqual(*vec, *legacy, context);
+  }
+}
+
+TEST_F(VectorAggTest, MorselRowsKnobSurfacesInReport) {
+  setenv("LAZYETL_MORSEL_ROWS", "512", 1);
+  ExecutionReport report;
+  auto got = Run("SELECT grp, COUNT(*) FROM facts GROUP BY grp", 1, 0,
+                 &report);
+  unsetenv("LAZYETL_MORSEL_ROWS");
+  ASSERT_OK(got);
+  EXPECT_EQ(report.morsel_rows, 512u);
+
+  // Out-of-range and non-numeric values fall back to the default.
+  setenv("LAZYETL_MORSEL_ROWS", "7", 1);
+  ExecutionReport fallback;
+  auto got2 = Run("SELECT COUNT(*) FROM facts", 1, 0, &fallback);
+  unsetenv("LAZYETL_MORSEL_ROWS");
+  ASSERT_OK(got2);
+  EXPECT_EQ(fallback.morsel_rows, kDefaultBatchRows);
+
+  // The knob changes locality only — results are identical.
+  setenv("LAZYETL_MORSEL_ROWS", "128", 1);
+  ExecutionReport small_report;
+  auto small = Run("SELECT grp, COUNT(*), SUM(i64) FROM facts GROUP BY grp",
+                   8, 0, &small_report);
+  unsetenv("LAZYETL_MORSEL_ROWS");
+  ASSERT_OK(small);
+  ExecutionReport base_report;
+  auto base = Run("SELECT grp, COUNT(*), SUM(i64) FROM facts GROUP BY grp",
+                  1, 0, &base_report);
+  ASSERT_OK(base);
+  EXPECT_EQ(small_report.morsel_rows, 128u);
+  ExpectTablesBitEqual(*small, *base, "morsel 128 vs default");
+}
+
+}  // namespace
+}  // namespace lazyetl::engine
