@@ -161,6 +161,10 @@ Result<Table> Executor::Execute(const PlanNode& plan, ExecutionReport* report,
       report->groups_vectorized += os.groups_vectorized;
       report->morsels_pruned += os.morsels_pruned;
       report->rows_pruned += os.rows_pruned;
+      report->joins_vectorized += os.joins_vectorized;
+      report->probe_rows_bloom_filtered += os.rows_bloom_filtered;
+      report->join_build_seconds += os.join_build_seconds;
+      report->join_probe_seconds += os.join_probe_seconds;
     }
     report->peak_intermediate_bytes += peak;
   }

@@ -404,6 +404,262 @@ inline void MinMaxGrouped(const T* data, const uint32_t* gids, size_t n,
   }
 }
 
+// --- Join-key hashing & cross-table row equality (vectorized hash join) --
+//
+// Join identity is the PackRowKey byte equality of join_build.cc: doubles
+// compare by bit pattern (NaN == NaN, -0.0 != 0.0), int32 widens to int64
+// (so it matches an int64 of the same value — and a double whose bit
+// pattern aliases, exactly like the packed bytes), bools by truth value,
+// strings by contents. Unlike the grouping kernels above, a join hashes
+// keys from TWO tables, so dictionary codes are useless as hash input:
+// the same string carries different codes in different dictionaries.
+// Dict-encoded columns instead hash per-CODE content hashes precomputed
+// once per dictionary (HashDictionary) — per row the hash is still one
+// table lookup, and it equals the plain column's HashBytes of the same
+// string, so hashes agree across encodings and tables.
+
+// Content hash of every dictionary entry, one per code.
+inline void HashDictionary(const std::vector<std::string>& dict,
+                           std::vector<uint64_t>* out) {
+  out->resize(dict.size());
+  for (size_t i = 0; i < dict.size(); ++i) {
+    (*out)[i] = HashBytes(dict[i].data(), dict[i].size());
+  }
+}
+
+// Folds rows [offset, offset+n) of `c` into the per-row hash accumulators
+// using encoding-independent value hashes. `dict_hashes` must be the
+// HashDictionary output for c's dictionary when c is dict-encoded (null
+// otherwise).
+inline void JoinHashColumn(const storage::Column& c, size_t offset, size_t n,
+                           const uint64_t* dict_hashes, uint64_t* hashes) {
+  switch (c.type()) {
+    case storage::DataType::kString:
+      if (c.dict_encoded()) {
+        const uint32_t* codes = c.dict_codes().data() + offset;
+        for (size_t i = 0; i < n; ++i) {
+          hashes[i] = MixHash(hashes[i], dict_hashes[codes[i]]);
+        }
+      } else {
+        const std::string* s = c.string_data().data() + offset;
+        for (size_t i = 0; i < n; ++i) {
+          hashes[i] = MixHash(hashes[i], HashBytes(s[i].data(), s[i].size()));
+        }
+      }
+      break;
+    case storage::DataType::kDouble: {
+      const double* d = c.double_data().data() + offset;
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t bits;
+        std::memcpy(&bits, &d[i], sizeof(bits));
+        hashes[i] = MixHash(hashes[i], bits);
+      }
+      break;
+    }
+    case storage::DataType::kBool: {
+      const uint8_t* b = c.bool_data().data() + offset;
+      for (size_t i = 0; i < n; ++i) {
+        hashes[i] = MixHash(hashes[i], b[i] != 0 ? 1u : 0u);
+      }
+      break;
+    }
+    case storage::DataType::kInt32: {
+      const int32_t* v = c.int32_data().data() + offset;
+      for (size_t i = 0; i < n; ++i) {
+        hashes[i] = MixHash(
+            hashes[i], static_cast<uint64_t>(static_cast<int64_t>(v[i])));
+      }
+      break;
+    }
+    default: {  // kInt64 / kTimestamp
+      const int64_t* v = c.int64_data().data() + offset;
+      for (size_t i = 0; i < n; ++i) {
+        hashes[i] = MixHash(hashes[i], static_cast<uint64_t>(v[i]));
+      }
+      break;
+    }
+  }
+}
+
+// Gather variant: folds rows base_offset + rows[i] of `c` into hashes[i].
+// Used by the Bloom-pushdown scan, whose candidate rows are a selection.
+inline void JoinHashRows(const storage::Column& c, size_t base_offset,
+                         const uint32_t* rows, size_t n,
+                         const uint64_t* dict_hashes, uint64_t* hashes) {
+  switch (c.type()) {
+    case storage::DataType::kString:
+      if (c.dict_encoded()) {
+        const uint32_t* codes = c.dict_codes().data() + base_offset;
+        for (size_t i = 0; i < n; ++i) {
+          hashes[i] = MixHash(hashes[i], dict_hashes[codes[rows[i]]]);
+        }
+      } else {
+        const std::string* s = c.string_data().data() + base_offset;
+        for (size_t i = 0; i < n; ++i) {
+          const std::string& v = s[rows[i]];
+          hashes[i] = MixHash(hashes[i], HashBytes(v.data(), v.size()));
+        }
+      }
+      break;
+    case storage::DataType::kDouble: {
+      const double* d = c.double_data().data() + base_offset;
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t bits;
+        std::memcpy(&bits, &d[rows[i]], sizeof(bits));
+        hashes[i] = MixHash(hashes[i], bits);
+      }
+      break;
+    }
+    case storage::DataType::kBool: {
+      const uint8_t* b = c.bool_data().data() + base_offset;
+      for (size_t i = 0; i < n; ++i) {
+        hashes[i] = MixHash(hashes[i], b[rows[i]] != 0 ? 1u : 0u);
+      }
+      break;
+    }
+    case storage::DataType::kInt32: {
+      const int32_t* v = c.int32_data().data() + base_offset;
+      for (size_t i = 0; i < n; ++i) {
+        hashes[i] = MixHash(
+            hashes[i],
+            static_cast<uint64_t>(static_cast<int64_t>(v[rows[i]])));
+      }
+      break;
+    }
+    default: {  // kInt64 / kTimestamp
+      const int64_t* v = c.int64_data().data() + base_offset;
+      for (size_t i = 0; i < n; ++i) {
+        hashes[i] = MixHash(hashes[i], static_cast<uint64_t>(v[rows[i]]));
+      }
+      break;
+    }
+  }
+}
+
+// Equality classes of the packed-key encoding: bool packs one byte,
+// int32/int64/timestamp/double all pack the same 8-byte word (int32
+// sign-extended, double by bit pattern), strings pack length + contents.
+enum class JoinKeyClass { kBool, kWord, kString };
+
+inline JoinKeyClass JoinClassOf(storage::DataType t) {
+  switch (t) {
+    case storage::DataType::kBool: return JoinKeyClass::kBool;
+    case storage::DataType::kString: return JoinKeyClass::kString;
+    default: return JoinKeyClass::kWord;
+  }
+}
+
+// The 8-byte word a kWord-class column packs for `row`.
+inline uint64_t JoinWordAt(const storage::Column& c, size_t row) {
+  switch (c.type()) {
+    case storage::DataType::kInt32:
+      return static_cast<uint64_t>(
+          static_cast<int64_t>(c.int32_data()[row]));
+    case storage::DataType::kDouble: {
+      uint64_t bits;
+      std::memcpy(&bits, &c.double_data()[row], sizeof(bits));
+      return bits;
+    }
+    default:  // kInt64 / kTimestamp
+      return static_cast<uint64_t>(c.int64_data()[row]);
+  }
+}
+
+// Row equality across two column sets (build vs probe), reproducing the
+// packed-key equivalence for every same-class pair and for word-class
+// pairs of different types (int32 vs int64 vs double compare by the
+// 8-byte word, exactly like the packed bytes). Pairs of different classes
+// compare unequal — the packed encoding can alias such pairs only through
+// a pathological multi-field byte coincidence, which this path resolves
+// as a non-match (see the JoinBuild header).
+inline bool JoinRowsEqual(const storage::Column* const* build_cols,
+                          const storage::Column* const* probe_cols,
+                          size_t ncols, size_t build_row, size_t probe_row) {
+  for (size_t c = 0; c < ncols; ++c) {
+    const storage::Column& bc = *build_cols[c];
+    const storage::Column& pc = *probe_cols[c];
+    const JoinKeyClass cls = JoinClassOf(bc.type());
+    if (cls != JoinClassOf(pc.type())) return false;
+    switch (cls) {
+      case JoinKeyClass::kBool:
+        if ((bc.bool_data()[build_row] != 0) !=
+            (pc.bool_data()[probe_row] != 0)) {
+          return false;
+        }
+        break;
+      case JoinKeyClass::kWord:
+        if (JoinWordAt(bc, build_row) != JoinWordAt(pc, probe_row)) {
+          return false;
+        }
+        break;
+      case JoinKeyClass::kString:
+        if (bc.StringAt(build_row) != pc.StringAt(probe_row)) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+// Blocked Bloom filter over the 64-bit join-key hashes: one 64-byte block
+// (8 words, a cache line) per key, selected by the hash's high bits; six
+// probe bits derived from the low 32 bits (Kirsch-Mitzenmacher double
+// hashing). False positives only reduce the pushdown's skip rate — a
+// passed row still goes through the exact join probe — so sizing is a
+// performance knob, never a correctness one. Insert is not thread-safe;
+// the join fills the filter before publishing it read-only.
+class BlockedBloomFilter {
+ public:
+  static constexpr size_t kWordsPerBlock = 8;  // 512 bits
+
+  // Sizes for ~12 bits per expected key, clamped to [16, 4096] blocks
+  // (1 KiB .. 256 KiB). Also used with a fixed block count when the key
+  // count is unknown upfront (the Grace build phase).
+  void Init(size_t expected_keys) {
+    size_t blocks = 16;
+    while (blocks * kWordsPerBlock * 64 < expected_keys * 12 &&
+           blocks < 4096) {
+      blocks <<= 1;
+    }
+    InitBlocks(blocks);
+  }
+
+  void InitBlocks(size_t blocks) {  // `blocks` must be a power of two
+    words_.assign(blocks * kWordsPerBlock, 0);
+    block_mask_ = blocks - 1;
+  }
+
+  bool initialized() const { return !words_.empty(); }
+
+  void Insert(uint64_t h) {
+    uint64_t* block =
+        words_.data() + ((h >> 32) & block_mask_) * kWordsPerBlock;
+    const uint32_t lo = static_cast<uint32_t>(h);
+    for (size_t k = 0; k < 6; ++k) {
+      const uint32_t p = (lo * kOdd[k]) >> 23;  // top 9 bits: 0..511
+      block[p >> 6] |= 1ull << (p & 63);
+    }
+  }
+
+  bool MayContain(uint64_t h) const {
+    const uint64_t* block =
+        words_.data() + ((h >> 32) & block_mask_) * kWordsPerBlock;
+    const uint32_t lo = static_cast<uint32_t>(h);
+    for (size_t k = 0; k < 6; ++k) {
+      const uint32_t p = (lo * kOdd[k]) >> 23;
+      if ((block[p >> 6] & (1ull << (p & 63))) == 0) return false;
+    }
+    return true;
+  }
+
+  uint64_t MemoryBytes() const { return words_.capacity() * sizeof(uint64_t); }
+
+ private:
+  static constexpr uint32_t kOdd[6] = {0x9E3779B1u, 0x85EBCA77u, 0xC2B2AE3Du,
+                                       0x27D4EB2Fu, 0x165667B1u, 0xD3A2646Du};
+  std::vector<uint64_t> words_;
+  size_t block_mask_ = 0;
+};
+
 }  // namespace lazyetl::engine::kernels
 
 #endif  // LAZYETL_ENGINE_KERNELS_H_

@@ -2362,11 +2362,21 @@ class DistinctOperator : public BatchOperator {
 // plus a match counter in build-row order, and the joined fragments are
 // re-merged by that tag — the emitted row sequence equals the in-memory
 // join's seq-ordered output exactly.
+// Build sides below this many rows keep the Bloom pushdown unpublished
+// under kAuto (which already limits the pushdown to Grace joins): the
+// per-partition probe is cheap against a tiny index, so double-hashing
+// every probe row at the scan would not pay for itself.
+constexpr size_t kBloomMinBuildRows = 1024;
+
 class HashJoinOperator : public BatchOperator {
  public:
   HashJoinOperator(const PlanNode* node, ExecContext* ctx,
-                   BatchOperatorPtr left, BatchOperatorPtr right)
-      : BatchOperator("HashJoin"), node_(node), ctx_(ctx) {
+                   BatchOperatorPtr left, BatchOperatorPtr right,
+                   std::shared_ptr<JoinBloomSlot> bloom_slot)
+      : BatchOperator("HashJoin"),
+        node_(node),
+        ctx_(ctx),
+        bloom_slot_(std::move(bloom_slot)) {
     AddChild(std::move(left));
     AddChild(std::move(right));
   }
@@ -2382,9 +2392,31 @@ class HashJoinOperator : public BatchOperator {
       return Status::InvalidArgument("join key arity mismatch");
     }
     if (ctx_->budgeted()) return OpenBudgeted(ctx_->query_threads);
+    Stopwatch build_timer;
     LAZYETL_ASSIGN_OR_RETURN(
         build_table_, DrainToTableOrdered(child(0), ctx_->query_threads));
-    LAZYETL_RETURN_NOT_OK(build_.Init(&build_table_, node_->left_keys));
+    kernels::BlockedBloomFilter* bloom = nullptr;
+    // An in-memory probe discards non-matching rows in the hash lookup
+    // almost as cheaply as the filter would, while the pushdown's
+    // scan-side gather copies every surviving morsel — so kAuto reserves
+    // the filter for the budgeted path, where dropped probe rows save
+    // partition and spill I/O. kForce overrides for tests and benches.
+    if (bloom_slot_ != nullptr && VectorJoinEnabled() &&
+        ResolveJoinBloomMode() == JoinBloomMode::kForce) {
+      bloom_slot_->filter.Init(build_table_.num_rows());
+      bloom = &bloom_slot_->filter;
+    }
+    LAZYETL_RETURN_NOT_OK(build_.Init(&build_table_, node_->left_keys,
+                                      ctx_->query_threads, bloom));
+    if (build_.vectorized()) {
+      RecordJoinVectorized(1);
+      // Publish before the first probe batch is pulled; the scan observes
+      // `ready` with acquire ordering, so the filled filter is visible.
+      if (bloom != nullptr) {
+        bloom_slot_->ready.store(true, std::memory_order_release);
+      }
+    }
+    RecordJoinBuildSeconds(build_timer.ElapsedSeconds());
     RecordStateBytes(build_table_.MemoryBytes() + build_.IndexBytes());
     return Status::OK();
   }
@@ -2423,8 +2455,10 @@ class HashJoinOperator : public BatchOperator {
       }
       SelectionVector build_sel;
       SelectionVector probe_sel;
+      Stopwatch probe_timer;
       LAZYETL_RETURN_NOT_OK(
           build_.Probe(in.view, node_->right_keys, &build_sel, &probe_sel));
+      RecordJoinProbeSeconds(probe_timer.ElapsedSeconds());
       if (probe_sel.empty()) {
         if (!emitted_.load()) {
           std::lock_guard<std::mutex> lock(empty_mu_);
@@ -2504,6 +2538,17 @@ class HashJoinOperator : public BatchOperator {
     WriterVec build_writers;
     std::vector<size_t> build_key_cols;
     res_state_.Reset(ctx_->budget);
+    Stopwatch build_timer;
+
+    // Budgeted Bloom fill: every build row passes through the phase-1
+    // sink exactly once (fit and Grace alike), so the filter is complete
+    // before any probe row is pulled. The key count is unknown upfront;
+    // a fixed 64 KiB filter keeps the false-positive rate useful without
+    // charging the budget (it is deliberately outside governance — a
+    // fixed small cost that *reduces* spill volume).
+    bool fill_bloom = bloom_slot_ != nullptr && VectorJoinEnabled();
+    uint64_t bloom_rows = 0;
+    if (fill_bloom) bloom_slot_->filter.InitBlocks(1024);
 
     LAZYETL_RETURN_NOT_OK(ParallelDrain(
         child(0), threads, [&](size_t, Batch&& batch) -> Status {
@@ -2517,6 +2562,10 @@ class HashJoinOperator : public BatchOperator {
             LAZYETL_ASSIGN_OR_RETURN(
                 build_key_cols, ResolveKeys(build_rows, node_->left_keys));
             build_init = true;
+          }
+          if (fill_bloom) {
+            bloom_rows += tagged.num_rows();
+            BloomInsertRows(tagged, build_key_cols);
           }
           if (!build_writers.empty()) {
             return PartitionRows(tagged, build_key_cols, 0, &build_writers);
@@ -2537,6 +2586,14 @@ class HashJoinOperator : public BatchOperator {
           return Status::OK();
         }));
 
+    // kForce publishes for fit and Grace alike; kAuto waits until the
+    // join actually goes Grace (below) — that is where dropped probe
+    // rows save partition and spill I/O, while an in-memory probe
+    // discards them just as cheaply without the scan-side gather.
+    if (fill_bloom && ResolveJoinBloomMode() == JoinBloomMode::kForce) {
+      bloom_slot_->ready.store(true, std::memory_order_release);
+    }
+
     if (build_writers.empty()) {
       // Everything fit: reorder into arrival order and try the in-memory
       // index (reserving roughly its footprint on top of the payload). An
@@ -2548,7 +2605,10 @@ class HashJoinOperator : public BatchOperator {
           LAZYETL_RETURN_NOT_OK(build_table_.AddColumn(
               sorted.column_name(c), std::move(sorted.column(c))));
         }
-        LAZYETL_RETURN_NOT_OK(build_.Init(&build_table_, node_->left_keys));
+        LAZYETL_RETURN_NOT_OK(build_.Init(&build_table_, node_->left_keys,
+                                          ctx_->query_threads));
+        if (build_.vectorized()) RecordJoinVectorized(1);
+        RecordJoinBuildSeconds(build_timer.ElapsedSeconds());
         RecordStateBytes(build_table_.MemoryBytes() + build_.IndexBytes());
         return Status::OK();
       }
@@ -2560,6 +2620,10 @@ class HashJoinOperator : public BatchOperator {
       res_state_.ReleaseAll();
     }
     grace_ = true;
+    if (fill_bloom && bloom_rows >= kBloomMinBuildRows) {
+      bloom_slot_->ready.store(true, std::memory_order_release);
+    }
+    RecordJoinBuildSeconds(build_timer.ElapsedSeconds());
     LAZYETL_ASSIGN_OR_RETURN(
         std::vector<std::string> build_paths,
         SealPartitionWriters(&build_writers, this, ctx_->spill));
@@ -2729,6 +2793,7 @@ class HashJoinOperator : public BatchOperator {
 
     // Build the partition index over arrival-ordered payload rows, so
     // per-probe-row matches enumerate in global build-row order.
+    Stopwatch part_build_timer;
     Table bt;
     if (build_part.num_rows() > 0) {
       Table sorted = SortRunRows(build_part, 2, {true, true});
@@ -2738,13 +2803,17 @@ class HashJoinOperator : public BatchOperator {
       }
     }
     JoinBuild jb;
-    LAZYETL_RETURN_NOT_OK(jb.Init(&bt, node_->left_keys));
+    LAZYETL_RETURN_NOT_OK(
+        jb.Init(&bt, node_->left_keys, ctx_->query_threads));
+    if (jb.vectorized()) RecordJoinVectorized(1);
+    RecordJoinBuildSeconds(part_build_timer.ElapsedSeconds());
 
     // Stream the probe partition, spooling tagged joined fragments.
     storage::SpillReader preader;
     LAZYETL_RETURN_NOT_OK(preader.Open(probe_path));
     Table out_buf;
     common::MemoryReservation out_res(ctx_->budget);
+    double probe_seconds = 0;
     while (true) {
       LAZYETL_ASSIGN_OR_RETURN(bool more, preader.Next(&frame));
       if (!more) break;
@@ -2752,8 +2821,10 @@ class HashJoinOperator : public BatchOperator {
       TableSlice probe = frame.Slice(0, frame.num_rows());
       SelectionVector build_sel;
       SelectionVector probe_sel;
+      Stopwatch probe_timer;
       LAZYETL_RETURN_NOT_OK(
           jb.Probe(probe, node_->right_keys, &build_sel, &probe_sel));
+      probe_seconds += probe_timer.ElapsedSeconds();
       if (probe_sel.empty()) continue;
 
       // Joined fragment: build payload + probe payload + (#tseq, #trow,
@@ -2793,6 +2864,7 @@ class HashJoinOperator : public BatchOperator {
       }
     }
     ctx_->spill->RemoveFile(probe_path);
+    RecordJoinProbeSeconds(probe_seconds);
     RecordStateBytes(res.held() + out_res.held());
     res.ReleaseAll();
 
@@ -2809,6 +2881,39 @@ class HashJoinOperator : public BatchOperator {
       LAZYETL_RETURN_NOT_OK(merger_.AddSpilledRun(run_path));
     }
     return Status::OK();
+  }
+
+  // Budgeted Bloom fill: folds the key columns of one tagged build batch
+  // into per-row hashes (same seed/fold as JoinBuild and BloomProbe) and
+  // inserts them. Called under the phase-1 mutex; per-batch dictionaries
+  // hash once via a pointer-keyed cache (the shared_ptr pins the address).
+  void BloomInsertRows(const Table& tagged,
+                       const std::vector<size_t>& key_cols) {
+    const size_t n = tagged.num_rows();
+    if (n == 0) return;
+    std::vector<uint64_t> hashes(n, kernels::kGroupHashSeed);
+    for (size_t i : key_cols) {
+      const Column& c = tagged.column(i);
+      const uint64_t* dh = nullptr;
+      if (c.type() == DataType::kString && c.dict_encoded()) {
+        std::vector<uint64_t>* cached = nullptr;
+        for (auto& e : bloom_dict_hashes_) {
+          if (e.first.get() == c.dictionary().get()) {
+            cached = &e.second;
+            break;
+          }
+        }
+        if (cached == nullptr) {
+          bloom_dict_hashes_.emplace_back(c.dictionary(),
+                                          std::vector<uint64_t>());
+          cached = &bloom_dict_hashes_.back().second;
+          kernels::HashDictionary(*c.dictionary(), cached);
+        }
+        dh = cached->data();
+      }
+      kernels::JoinHashColumn(c, 0, n, dh, hashes.data());
+    }
+    for (uint64_t h : hashes) bloom_slot_->filter.Insert(h);
   }
 
   // Zero-row joined table: build payload schema + probe payload schema.
@@ -2829,6 +2934,10 @@ class HashJoinOperator : public BatchOperator {
 
   const PlanNode* node_;
   ExecContext* ctx_;
+  std::shared_ptr<JoinBloomSlot> bloom_slot_;
+  std::vector<std::pair<std::shared_ptr<const std::vector<std::string>>,
+                        std::vector<uint64_t>>>
+      bloom_dict_hashes_;
   Table build_table_;
   JoinBuild build_;
   std::mutex empty_mu_;
@@ -2876,12 +2985,11 @@ Result<BatchOperatorPtr> MakeDistinctOperator(const PlanNode& node,
       std::make_unique<DistinctOperator>(ctx, std::move(child)));
 }
 
-Result<BatchOperatorPtr> MakeHashJoinOperator(const PlanNode& node,
-                                              ExecContext* ctx,
-                                              BatchOperatorPtr left,
-                                              BatchOperatorPtr right) {
+Result<BatchOperatorPtr> MakeHashJoinOperator(
+    const PlanNode& node, ExecContext* ctx, BatchOperatorPtr left,
+    BatchOperatorPtr right, std::shared_ptr<JoinBloomSlot> bloom) {
   return BatchOperatorPtr(std::make_unique<HashJoinOperator>(
-      &node, ctx, std::move(left), std::move(right)));
+      &node, ctx, std::move(left), std::move(right), std::move(bloom)));
 }
 
 }  // namespace lazyetl::engine

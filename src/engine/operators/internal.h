@@ -8,10 +8,29 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "engine/kernels.h"
 #include "engine/operators/operator.h"
 
 namespace lazyetl::engine {
+
+// Semi-join pushdown channel between a hash join and its probe-side scan.
+// The operator-tree builder allocates one slot per eligible join, hands it
+// to both operators, and the join publishes a Bloom filter over its
+// build-side key hashes before the first probe batch is pulled (the join's
+// OpenImpl runs after its children open, before any Next). The scan
+// checks `ready` with acquire ordering on every batch; until the join
+// stores it with release ordering the scan passes rows through untouched,
+// so the filter is strictly an early-out — never a correctness input.
+// `key_names` are the scan-output names of the probe-side join keys, in
+// build-key order so both sides fold hashes identically.
+struct JoinBloomSlot {
+  std::vector<std::string> key_names;
+  kernels::BlockedBloomFilter filter;
+  std::atomic<bool> ready{false};
+};
 
 // Re-emits an operator-owned table as a sequence of zero-copy batches of
 // at most `batch_rows` rows (at least one batch, possibly empty, so the
@@ -69,10 +88,10 @@ Result<BatchOperatorPtr> MakeAggregateOperator(const PlanNode& node,
 Result<BatchOperatorPtr> MakeDistinctOperator(const PlanNode& node,
                                               ExecContext* ctx,
                                               BatchOperatorPtr child);
-Result<BatchOperatorPtr> MakeHashJoinOperator(const PlanNode& node,
-                                              ExecContext* ctx,
-                                              BatchOperatorPtr left,
-                                              BatchOperatorPtr right);
+Result<BatchOperatorPtr> MakeHashJoinOperator(
+    const PlanNode& node, ExecContext* ctx, BatchOperatorPtr left,
+    BatchOperatorPtr right,
+    std::shared_ptr<JoinBloomSlot> bloom = nullptr);
 
 // The §3.1 run-time rewrite operator (lazy_scan.cc); builds its own
 // metadata subtree from node.children.

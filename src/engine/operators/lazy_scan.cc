@@ -142,7 +142,11 @@ class LazyDataScanOperator : public BatchOperator {
         node_->left_keys.empty()) {
       return Status::InvalidArgument("join key arity mismatch");
     }
-    LAZYETL_RETURN_NOT_OK(build_.Init(&meta_, node_->left_keys));
+    Stopwatch join_build_timer;
+    LAZYETL_RETURN_NOT_OK(
+        build_.Init(&meta_, node_->left_keys, ctx_->query_threads));
+    if (build_.vectorized()) RecordJoinVectorized(1);
+    RecordJoinBuildSeconds(join_build_timer.ElapsedSeconds());
     RecordStateBytes(meta_.MemoryBytes() + build_.IndexBytes());
     join_ = true;
     ctx_->report->extract_seconds += extract_timer.ElapsedSeconds();
@@ -198,8 +202,10 @@ class LazyDataScanOperator : public BatchOperator {
       TableSlice probe = chunk.Slice(0, chunk.num_rows());
       SelectionVector build_sel;
       SelectionVector probe_sel;
+      Stopwatch probe_timer;
       LAZYETL_RETURN_NOT_OK(
           build_.Probe(probe, node_->right_keys, &build_sel, &probe_sel));
+      RecordJoinProbeSeconds(probe_timer.ElapsedSeconds());
       if (probe_sel.empty()) {
         if (!emitted_.load()) {
           std::lock_guard<std::mutex> lock(empty_mu_);

@@ -191,6 +191,26 @@ class BatchOperator {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.groups_vectorized += rows;
   }
+  // Vectorized hash-join accounting: one call per vectorized build-side
+  // index, plus the time spent in build/probe phases. Safe from inside
+  // NextImpl — Next() takes the stats lock only after NextImpl returns.
+  void RecordJoinVectorized(uint64_t builds) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.joins_vectorized += builds;
+  }
+  void RecordJoinBuildSeconds(double seconds) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.join_build_seconds += seconds;
+  }
+  void RecordJoinProbeSeconds(double seconds) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.join_probe_seconds += seconds;
+  }
+  // Probe rows dropped by the Bloom semi-join pushdown (scan side).
+  void RecordRowsBloomFiltered(uint64_t rows) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.rows_bloom_filtered += rows;
+  }
 
  protected:
 

@@ -12,6 +12,7 @@
 #include "common/thread_pool.h"
 #include "engine/expr_eval.h"
 #include "engine/operators/internal.h"
+#include "engine/operators/join_build.h"
 #include "engine/operators/operator.h"
 #include "engine/pruning.h"
 
@@ -25,6 +26,70 @@ using storage::TableSlice;
 
 namespace {
 
+// Probe-side half of the Bloom semi-join pushdown (see JoinBloomSlot in
+// internal.h). Open resolves the join-key columns against the scan's
+// output slice and pre-hashes their dictionaries; Refine drops selected
+// rows whose key hash cannot be in the build side. The hash fold is
+// identical to JoinBuild's (seed, per-column value hashes, key order), so
+// Refine never drops a row the exact probe would match — the filter is an
+// early-out, not a correctness input.
+class BloomProbe {
+ public:
+  void Open(std::shared_ptr<JoinBloomSlot> slot, const TableSlice& base) {
+    slot_ = std::move(slot);
+    cols_.clear();
+    dict_hashes_.clear();
+    if (slot_ == nullptr) return;
+    for (const auto& name : slot_->key_names) {
+      auto idx = base.ColumnIndex(name);
+      if (!idx.ok()) {  // advisory filter: a miss disables, never errors
+        slot_.reset();
+        cols_.clear();
+        return;
+      }
+      cols_.push_back(&base.column(*idx));
+    }
+    dict_hashes_.resize(cols_.size());
+    for (size_t c = 0; c < cols_.size(); ++c) {
+      if (cols_[c]->type() == storage::DataType::kString &&
+          cols_[c]->dict_encoded()) {
+        kernels::HashDictionary(*cols_[c]->dictionary(), &dict_hashes_[c]);
+      }
+    }
+  }
+
+  // The join publishes with release ordering after filling the filter;
+  // until then every row passes.
+  bool active() const {
+    return slot_ != nullptr && slot_->ready.load(std::memory_order_acquire);
+  }
+
+  // Keeps only the rows of `sel` (absolute row = base_offset + entry)
+  // whose key hash may be in the filter; returns the number dropped.
+  size_t Refine(size_t base_offset, SelectionVector* sel) const {
+    const size_t n = sel->size();
+    if (n == 0) return 0;
+    std::vector<uint64_t> hashes(n, kernels::kGroupHashSeed);
+    for (size_t c = 0; c < cols_.size(); ++c) {
+      kernels::JoinHashRows(
+          *cols_[c], base_offset, sel->data(), n,
+          dict_hashes_[c].empty() ? nullptr : dict_hashes_[c].data(),
+          hashes.data());
+    }
+    size_t kept = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (slot_->filter.MayContain(hashes[i])) (*sel)[kept++] = (*sel)[i];
+    }
+    sel->resize(kept);
+    return n - kept;
+  }
+
+ private:
+  std::shared_ptr<JoinBloomSlot> slot_;
+  std::vector<const Column*> cols_;
+  std::vector<std::vector<uint64_t>> dict_hashes_;
+};
+
 // Scan: emits zero-copy slices over a catalog table, optionally projected
 // and renamed to qualified display names. O(#columns) per batch — the
 // non-qualifying rows of a selective query are never copied. Parallel
@@ -33,11 +98,13 @@ namespace {
 class ScanOperator : public BatchOperator {
  public:
   ScanOperator(TablePtr table, std::vector<ScanColumn> columns,
-               const std::string& label, size_t batch_rows)
+               const std::string& label, size_t batch_rows,
+               std::shared_ptr<JoinBloomSlot> bloom_slot = nullptr)
       : BatchOperator("Scan(" + label + ")"),
         table_(std::move(table)),
         columns_(std::move(columns)),
-        batch_rows_(batch_rows) {}
+        batch_rows_(batch_rows),
+        bloom_slot_(std::move(bloom_slot)) {}
 
   bool ParallelSafe() const override { return true; }
 
@@ -60,35 +127,61 @@ class ScanOperator : public BatchOperator {
     step_ = std::min(batch_rows_, std::max<size_t>(rows_, 1));
     offset_.store(0, std::memory_order_relaxed);
     emitted_.store(false, std::memory_order_relaxed);
+    bloom_.Open(bloom_slot_, base_);
     return Status::OK();
   }
 
   Result<bool> NextImpl(Batch* out) override {
-    size_t start = offset_.fetch_add(step_, std::memory_order_relaxed);
-    if (start >= rows_) {
-      // Empty table: exactly one schema-carrying empty batch (restored by
-      // the drive loop when running in parallel).
-      if (rows_ == 0 && !parallel_drive() && !emitted_.exchange(true)) {
-        out->view = base_;
-        out->view.SetRange(0, 0);
-        out->owner = table_;
-        out->seq = 0;
-        return true;
+    while (true) {
+      size_t start = offset_.fetch_add(step_, std::memory_order_relaxed);
+      if (start >= rows_) {
+        // Exactly one schema-carrying empty batch (restored by the drive
+        // loop when running in parallel): the whole output for an empty
+        // table, the end-of-stream schema batch when the Bloom pushdown
+        // may have dropped every morsel. Without a Bloom slot a non-empty
+        // table always emitted a real batch first, so this never fires
+        // and the output is unchanged.
+        if (!parallel_drive() && !emitted_.exchange(true)) {
+          out->view = base_;
+          out->view.SetRange(0, 0);
+          out->owner = table_;
+          out->seq = rows_ == 0 ? 0 : rows_ / step_ + 1;
+          return true;
+        }
+        return false;
       }
-      return false;
+      size_t n = std::min(step_, rows_ - start);
+      uint64_t seq = start / step_;
+      if (bloom_.active()) {
+        SelectionVector sel(n);
+        for (size_t i = 0; i < n; ++i) sel[i] = static_cast<uint32_t>(i);
+        size_t dropped = bloom_.Refine(start, &sel);
+        if (dropped > 0) {
+          RecordRowsBloomFiltered(dropped);
+          if (sel.empty()) continue;
+          TableSlice morsel = base_;
+          morsel.SetRange(start, n);
+          *out = Batch::Materialized(morsel.Gather(sel));
+          out->seq = seq;
+          emitted_.store(true, std::memory_order_relaxed);
+          return true;
+        }
+      }
+      out->view = base_;
+      out->view.SetRange(start, n);
+      out->owner = table_;
+      out->seq = seq;
+      emitted_.store(true, std::memory_order_relaxed);
+      return true;
     }
-    out->view = base_;
-    out->view.SetRange(start, std::min(step_, rows_ - start));
-    out->owner = table_;
-    out->seq = start / step_;
-    emitted_.store(true, std::memory_order_relaxed);
-    return true;
   }
 
  private:
   TablePtr table_;
   std::vector<ScanColumn> columns_;
   size_t batch_rows_;
+  std::shared_ptr<JoinBloomSlot> bloom_slot_;
+  BloomProbe bloom_;
   TableSlice base_;
   size_t rows_ = 0;
   size_t step_ = 1;
@@ -167,12 +260,14 @@ class FilterScanOperator : public BatchOperator {
  public:
   FilterScanOperator(TablePtr table, std::vector<ScanColumn> columns,
                      const std::string& label, const sql::BoundExpr* predicate,
-                     size_t batch_rows)
+                     size_t batch_rows,
+                     std::shared_ptr<JoinBloomSlot> bloom_slot = nullptr)
       : BatchOperator("Filter"),
         table_(std::move(table)),
         columns_(std::move(columns)),
         predicate_(predicate),
-        batch_rows_(batch_rows) {
+        batch_rows_(batch_rows),
+        bloom_slot_(std::move(bloom_slot)) {
     scan_stats_.op = "Scan(" + label + ")";
   }
 
@@ -191,6 +286,8 @@ class FilterScanOperator : public BatchOperator {
     scan.peak_batch_bytes = scanned_peak_bytes_.load(std::memory_order_relaxed);
     scan.morsels_pruned = morsels_pruned_.load(std::memory_order_relaxed);
     scan.rows_pruned = rows_pruned_.load(std::memory_order_relaxed);
+    scan.rows_bloom_filtered =
+        rows_bloom_filtered_.load(std::memory_order_relaxed);
     out->push_back(scan);
   }
 
@@ -219,6 +316,7 @@ class FilterScanOperator : public BatchOperator {
     if (PruningEnabled()) {
       constraints_ = ExtractScanConstraints(*predicate_, base_, *table_);
     }
+    bloom_.Open(bloom_slot_, base_);
     return Status::OK();
   }
 
@@ -258,6 +356,11 @@ class FilterScanOperator : public BatchOperator {
       }
       LAZYETL_ASSIGN_OR_RETURN(SelectionVector sel,
                                EvaluatePredicate(*predicate_, morsel));
+      if (bloom_.active()) {
+        // sel entries are morsel-relative; absolute row = start + entry.
+        rows_bloom_filtered_.fetch_add(bloom_.Refine(start, &sel),
+                                       std::memory_order_relaxed);
+      }
       uint64_t seq = start / step_;
       if (sel.size() == n && pending_.empty()) {
         out->view = std::move(morsel);
@@ -300,6 +403,8 @@ class FilterScanOperator : public BatchOperator {
   std::vector<ScanColumn> columns_;
   const sql::BoundExpr* predicate_;
   size_t batch_rows_;
+  std::shared_ptr<JoinBloomSlot> bloom_slot_;
+  BloomProbe bloom_;
   TableSlice base_;
   size_t rows_ = 0;
   size_t step_ = 1;
@@ -310,6 +415,7 @@ class FilterScanOperator : public BatchOperator {
   std::atomic<uint64_t> scanned_peak_bytes_{0};
   std::atomic<uint64_t> morsels_pruned_{0};
   std::atomic<uint64_t> rows_pruned_{0};
+  std::atomic<uint64_t> rows_bloom_filtered_{0};
   std::vector<ScanConstraint> constraints_;
   SelectionVector pending_;  // absolute row ids, serial path only
   uint64_t pending_first_seq_ = 0;
@@ -384,6 +490,58 @@ class LimitOperator : public BatchOperator {
   size_t remaining_;
   bool emitted_ = false;
 };
+
+// A join is eligible for the Bloom semi-join pushdown when its probe side
+// is a Scan (possibly under a Filter, which fuses into FilterScan) whose
+// output carries every probe-side join key. The slot is allocated fresh
+// per operator-tree build, so re-executing a cached plan can never see a
+// stale filter. Under kAuto the join still decides at run time whether
+// the build side is big enough to publish.
+std::shared_ptr<JoinBloomSlot> MaybeMakeJoinBloomSlot(const PlanNode& plan) {
+  if (!VectorJoinEnabled()) return nullptr;  // oracle path stays legacy
+  if (ResolveJoinBloomMode() == JoinBloomMode::kOff) return nullptr;
+  const PlanNode* scan = plan.children[1].get();
+  if (scan->type == PlanNodeType::kFilter) scan = scan->children[0].get();
+  if (scan->type != PlanNodeType::kScan) return nullptr;
+  if (!scan->scan_columns.empty()) {
+    for (const auto& key : plan.right_keys) {
+      bool found = false;
+      for (const auto& sc : scan->scan_columns) {
+        if (sc.output_name == key) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return nullptr;
+    }
+  }
+  auto slot = std::make_shared<JoinBloomSlot>();
+  slot->key_names = plan.right_keys;
+  return slot;
+}
+
+// Builds a join's probe subtree with the Bloom slot threaded into its
+// scan. With no slot this is plain BuildOperatorTree; with one, the node
+// shape was already vetted by MaybeMakeJoinBloomSlot (Scan, or Filter
+// over Scan — replicating the fusion of the kFilter case below).
+Result<BatchOperatorPtr> BuildProbeSide(
+    const PlanNode& node, ExecContext* ctx,
+    const std::shared_ptr<JoinBloomSlot>& slot) {
+  if (slot == nullptr) return BuildOperatorTree(node, ctx);
+  if (node.type == PlanNodeType::kScan) {
+    LAZYETL_ASSIGN_OR_RETURN(TablePtr table,
+                             ctx->catalog->GetTable(node.table));
+    return BatchOperatorPtr(std::make_unique<ScanOperator>(
+        std::move(table), node.scan_columns, node.table, ctx->batch_rows,
+        slot));
+  }
+  const PlanNode& below = *node.children[0];
+  LAZYETL_ASSIGN_OR_RETURN(TablePtr table,
+                           ctx->catalog->GetTable(below.table));
+  return BatchOperatorPtr(std::make_unique<FilterScanOperator>(
+      std::move(table), below.scan_columns, below.table,
+      node.predicate.get(), ctx->batch_rows, slot));
+}
 
 }  // namespace
 
@@ -565,10 +723,12 @@ Result<BatchOperatorPtr> BuildOperatorTree(const PlanNode& plan,
     case PlanNodeType::kHashJoin: {
       LAZYETL_ASSIGN_OR_RETURN(BatchOperatorPtr left,
                                BuildOperatorTree(*plan.children[0], ctx));
-      LAZYETL_ASSIGN_OR_RETURN(BatchOperatorPtr right,
-                               BuildOperatorTree(*plan.children[1], ctx));
+      std::shared_ptr<JoinBloomSlot> bloom = MaybeMakeJoinBloomSlot(plan);
+      LAZYETL_ASSIGN_OR_RETURN(
+          BatchOperatorPtr right,
+          BuildProbeSide(*plan.children[1], ctx, bloom));
       return MakeHashJoinOperator(plan, ctx, std::move(left),
-                                  std::move(right));
+                                  std::move(right), std::move(bloom));
     }
     case PlanNodeType::kAggregate: {
       LAZYETL_ASSIGN_OR_RETURN(BatchOperatorPtr child,

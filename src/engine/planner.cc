@@ -528,12 +528,12 @@ uint64_t EstimateFilterOverScan(const PlanNode& filter, const PlanNode& scan,
 // [min, max] value-span bound for integer-like columns with zone maps,
 // the domain size for bools. 0 = unknown (expressions, plain strings,
 // doubles, missing statistics).
-uint64_t ColumnCardinalityHint(const storage::Catalog& catalog,
-                               const BoundExpr& expr) {
-  if (expr.kind != ExprKind::kColumnRef || expr.base_table.empty()) return 0;
-  auto table = catalog.GetTable(expr.base_table);
+uint64_t ColumnCardinalityHintFor(const storage::Catalog& catalog,
+                                  const std::string& base_table,
+                                  const std::string& base_column) {
+  auto table = catalog.GetTable(base_table);
   if (!table.ok()) return 0;
-  auto idx = (*table)->ColumnIndex(expr.base_column);
+  auto idx = (*table)->ColumnIndex(base_column);
   if (!idx.ok()) return 0;
   const storage::Column& col = (*table)->column(*idx);
   switch (col.type()) {
@@ -565,6 +565,53 @@ uint64_t ColumnCardinalityHint(const storage::Catalog& catalog,
       return span + 1;
     }
   }
+}
+
+uint64_t ColumnCardinalityHint(const storage::Catalog& catalog,
+                               const BoundExpr& expr) {
+  if (expr.kind != ExprKind::kColumnRef || expr.base_table.empty()) return 0;
+  return ColumnCardinalityHintFor(catalog, expr.base_table, expr.base_column);
+}
+
+// Resolves a join-key display name (e.g. "B.k") through the build
+// subtree's scans to its base-table storage and returns that column's
+// cardinality hint. 0 = key not found or cardinality unknown.
+uint64_t FindScanColumnCardinality(const PlanNode& node,
+                                   const storage::Catalog& catalog,
+                                   const std::string& key) {
+  if (node.type == PlanNodeType::kScan) {
+    if (node.scan_columns.empty()) {
+      return ColumnCardinalityHintFor(catalog, node.table, key);
+    }
+    for (const auto& sc : node.scan_columns) {
+      if (sc.output_name == key) {
+        return ColumnCardinalityHintFor(catalog, node.table, sc.base_column);
+      }
+    }
+    return 0;
+  }
+  for (const auto& child : node.children) {
+    uint64_t card = FindScanColumnCardinality(*child, catalog, key);
+    if (card != 0) return card;
+  }
+  return 0;
+}
+
+// Distinct-key bound for a join's build side: the product of the build
+// keys' cardinality hints (0 when any key is unknown — one unbounded key
+// makes the product meaningless).
+uint64_t JoinBuildKeyCardinality(const PlanNode& join,
+                                 const storage::Catalog& catalog) {
+  if (join.children.empty()) return 0;
+  uint64_t cards = join.left_keys.empty() ? 0 : 1;
+  for (const auto& key : join.left_keys) {
+    uint64_t card =
+        FindScanColumnCardinality(*join.children[0], catalog, key);
+    if (card == 0) return 0;
+    if (cards > (1ull << 40) / card) return 0;  // overflow / uninformative
+    cards *= card;
+  }
+  return cards;
 }
 
 // Distinct-group bound for a grouping column set: the product of the
@@ -626,10 +673,20 @@ uint64_t EstimateNodeOutput(const PlanNode& node,
       // Streaming operators: no state; selectivity unknown, so the upper
       // bound passes the input through.
       return child_sum;
-    case PlanNodeType::kHashJoin:
-      // The build side (children[0]) is materialised as the hash table.
-      *state_bytes += child_out.empty() ? 0 : child_out[0];
+    case PlanNodeType::kHashJoin: {
+      // The build side (children[0]) is materialised as the hash table,
+      // plus its key index. The index defaults to ~build/4 (slots, cached
+      // hashes and match lists over uint32 rows); when every build key
+      // resolves to base storage with a known cardinality, distinct keys
+      // bound it instead (~64 B per distinct key), so footprint-aware
+      // admission stops over-reserving for low-cardinality key joins.
+      uint64_t build = child_out.empty() ? 0 : child_out[0];
+      uint64_t index = build / 4;
+      uint64_t cards = JoinBuildKeyCardinality(node, catalog);
+      if (cards > 0) index = std::min(index, cards * 64);
+      *state_bytes += build + index;
       return child_sum;
+    }
     case PlanNodeType::kSort:
       *state_bytes += child_sum;
       return child_sum;

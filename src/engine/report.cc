@@ -69,6 +69,17 @@ std::string ExecutionReport::ToString() const {
   if (groups_vectorized > 0) {
     os << "vectorized grouping: " << groups_vectorized << " rows\n";
   }
+  if (joins_vectorized > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "vectorized join: %llu builds | build %.3fms probe %.3fms",
+                  static_cast<unsigned long long>(joins_vectorized),
+                  join_build_seconds * 1e3, join_probe_seconds * 1e3);
+    os << buf;
+    if (probe_rows_bloom_filtered > 0) {
+      os << " | bloom skipped " << probe_rows_bloom_filtered << " probe rows";
+    }
+    os << "\n";
+  }
   if (morsel_rows > 0) {
     os << "morsel rows: " << morsel_rows << "\n";
   }
@@ -109,6 +120,19 @@ std::string ExecutionReport::ToString() const {
         std::snprintf(buf, sizeof(buf), " | pruned %llu morsels (%llu rows)",
                       static_cast<unsigned long long>(op.morsels_pruned),
                       static_cast<unsigned long long>(op.rows_pruned));
+        os << buf;
+      }
+      if (op.joins_vectorized > 0) {
+        std::snprintf(
+            buf, sizeof(buf),
+            " | vectorized %llu builds (build %.3fms probe %.3fms)",
+            static_cast<unsigned long long>(op.joins_vectorized),
+            op.join_build_seconds * 1e3, op.join_probe_seconds * 1e3);
+        os << buf;
+      }
+      if (op.rows_bloom_filtered > 0) {
+        std::snprintf(buf, sizeof(buf), " | bloom skipped %llu rows",
+                      static_cast<unsigned long long>(op.rows_bloom_filtered));
         os << buf;
       }
       os << "\n";

@@ -46,6 +46,18 @@ struct OperatorStats {
   // and the rows those morsels covered (never touched).
   uint64_t morsels_pruned = 0;
   uint64_t rows_pruned = 0;
+  // Hash-join vectorization: vectorized build-side indexes constructed by
+  // this operator (the in-memory path builds one; the Grace path builds
+  // one per joined partition), and the time spent building them vs.
+  // probing them (approximate: probe time is the batched lookup itself,
+  // excluding the gather of matched rows).
+  uint64_t joins_vectorized = 0;
+  double join_build_seconds = 0;
+  double join_probe_seconds = 0;
+  // Bloom semi-join pushdown (probe-side scan): rows dropped before they
+  // ever reached the join because their key hash was provably absent from
+  // the build side.
+  uint64_t rows_bloom_filtered = 0;
   double seconds = 0;        // aggregate worker time inside Next()
 };
 
@@ -110,6 +122,13 @@ struct ExecutionReport {
   // Zone-map pruning totals summed over the pipeline's scans.
   uint64_t morsels_pruned = 0;
   uint64_t rows_pruned = 0;
+  // Vectorized hash join: build indexes constructed through the batched
+  // path, probe rows skipped by the Bloom semi-join pushdown, and the
+  // summed build/probe phase timings of every join in the pipeline.
+  uint64_t joins_vectorized = 0;
+  uint64_t probe_rows_bloom_filtered = 0;
+  double join_build_seconds = 0;
+  double join_probe_seconds = 0;
 
   // Concurrent serving: the scheduler admission ticket (0 when no
   // scheduler was involved), how long the query waited in the admission

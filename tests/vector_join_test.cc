@@ -1,0 +1,521 @@
+// Differential suite for the vectorized hash-join path: the batched
+// build/probe kernels (the default) must be BIT-identical to the legacy
+// per-row PackRowKey loops (re-enabled with LAZYETL_DISABLE_VECTOR_JOIN=1)
+// at every thread count and budget — including the Grace-partitioned
+// spill path. Covers NaN / signed-zero double keys, dictionary-encoded
+// vs plain string keys, multi-column keys, empty build and probe sides,
+// duplicate-heavy build keys, and the Bloom-filter semi-join pushdown
+// (forced on vs off must also be byte-identical, since the filter only
+// drops provably-non-matching probe rows).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/executor.h"
+#include "engine/planner.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "storage/catalog.h"
+#include "test_util.h"
+
+namespace lazyetl::engine {
+namespace {
+
+using storage::Catalog;
+using storage::Column;
+using storage::DataType;
+using storage::Table;
+
+// Budgets and the Bloom policy are driven explicitly; both join knobs
+// must start cleared.
+class ClearEnv : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    unsetenv("LAZYETL_MEMORY_BUDGET");
+    unsetenv("LAZYETL_DISABLE_VECTOR_JOIN");
+    unsetenv("LAZYETL_JOIN_BLOOM");
+  }
+};
+const auto* const kClearEnv =
+    ::testing::AddGlobalTestEnvironment(new ClearEnv);
+
+const size_t kThreadCounts[] = {1, 8};
+const uint64_t kBudgets[] = {0, 1u << 20};
+
+// Budget low enough that the 6000-row build side must go Grace.
+constexpr uint64_t kGraceBudget = 64000;
+
+// Bit-exact equality: doubles compare by bit pattern (both paths match
+// keys by raw bit pattern and gather the same rows, so even NaN payloads
+// and zero signs must agree).
+void ExpectTablesBitEqual(const Table& a, const Table& b,
+                          const std::string& context) {
+  ASSERT_EQ(a.num_columns(), b.num_columns()) << context;
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << context;
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    EXPECT_EQ(a.column_name(c), b.column_name(c)) << context;
+    ASSERT_EQ(a.schema()[c].type, b.schema()[c].type) << context;
+    for (size_t r = 0; r < a.num_rows(); ++r) {
+      const auto va = a.GetValue(r, c);
+      const auto vb = b.GetValue(r, c);
+      if (va.type() == DataType::kDouble) {
+        uint64_t ba;
+        uint64_t bb;
+        double da = va.double_value();
+        double db = vb.double_value();
+        std::memcpy(&ba, &da, sizeof(ba));
+        std::memcpy(&bb, &db, sizeof(bb));
+        EXPECT_EQ(ba, bb) << context << " row " << r << " col " << c << ": "
+                          << da << " vs " << db;
+      } else {
+        EXPECT_TRUE(va.Equals(vb))
+            << context << " row " << r << " col " << c << ": "
+            << va.ToString() << " vs " << vb.ToString();
+      }
+    }
+  }
+}
+
+uint64_t SpilledBytesFor(const ExecutionReport& report,
+                         const std::string& op) {
+  uint64_t bytes = 0;
+  for (const auto& os : report.operator_stats) {
+    if (os.op == op) bytes += os.spilled_bytes;
+  }
+  return bytes;
+}
+
+class VectorJoinTest : public ::testing::Test {
+ protected:
+  static constexpr int kFactRows = 6000;
+  static constexpr int kDimRows = 4000;  // keys 0..3999; facts cover 0..210
+
+  void SetUp() override {
+    // Fact table (the build side of every view below): duplicate-heavy
+    // int key, dict-encoded and plain string keys, doubles with NaN and
+    // both zero signs, wide-ranging int64.
+    std::vector<std::string> grp;
+    std::vector<std::string> hi;
+    std::vector<double> d;
+    std::vector<int64_t> i64;
+    std::vector<int64_t> k;
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    for (int i = 0; i < kFactRows; ++i) {
+      grp.push_back("g" + std::to_string(i % 37));
+      hi.push_back("h" + std::to_string(i % 1511));
+      if (i % 13 == 0) {
+        d.push_back(nan);
+      } else if (i % 7 == 0) {
+        d.push_back(i % 14 == 7 ? 0.0 : -0.0);
+      } else {
+        d.push_back(i * 0.125 - 300.0);
+      }
+      i64.push_back((1LL << 35) * (i % 5 - 2) + i * 131 % 7919);
+      k.push_back(i % 211);
+    }
+    auto facts = std::make_shared<Table>();
+    Column grp_col = Column::FromString(grp);
+    grp_col.TryDictEncode(64);  // force the dict-code hash path
+    ASSERT_STATUS_OK(facts->AddColumn("grp", std::move(grp_col)));
+    ASSERT_STATUS_OK(facts->AddColumn("hi", Column::FromString(hi)));
+    ASSERT_STATUS_OK(facts->AddColumn("d", Column::FromDouble(d)));
+    ASSERT_STATUS_OK(facts->AddColumn("i64", Column::FromInt64(i64)));
+    ASSERT_STATUS_OK(facts->AddColumn("k", Column::FromInt64(k)));
+    ASSERT_STATUS_OK(catalog_.RegisterTable("facts", facts));
+
+    // Same data with every string column force-encoded, so dict-vs-dict
+    // key joins are covered too.
+    auto forced = std::make_shared<Table>(*facts);
+    forced->DictEncodeStrings(1u << 20);
+    ASSERT_STATUS_OK(catalog_.RegisterTable("factsd", forced));
+
+    // Probe-side dimensions. dim's keys 211..3999 never match facts, so
+    // the Bloom pushdown has ~95% of probe rows to drop; dimi mirrors it
+    // with an int64 key whose value span defeats the zone-map
+    // cardinality hint (footprint test below).
+    std::vector<int64_t> dk;
+    std::vector<int64_t> dv;
+    std::vector<std::string> dname;
+    for (int j = 0; j < kDimRows; ++j) {
+      dk.push_back(j);
+      dv.push_back((1LL << 35) * (j % 5 - 2) + j * 131 % 7919);
+      dname.push_back("dim" + std::to_string(j));
+    }
+    auto dim = std::make_shared<Table>();
+    ASSERT_STATUS_OK(dim->AddColumn("k", Column::FromInt64(dk)));
+    ASSERT_STATUS_OK(dim->AddColumn("name", Column::FromString(dname)));
+    ASSERT_STATUS_OK(catalog_.RegisterTable("dim", dim));
+    auto dimi = std::make_shared<Table>();
+    ASSERT_STATUS_OK(dimi->AddColumn("v", Column::FromInt64(dv)));
+    ASSERT_STATUS_OK(dimi->AddColumn("name", Column::FromString(dname)));
+    ASSERT_STATUS_OK(catalog_.RegisterTable("dimi", dimi));
+
+    // Double keys: NaN, both zero signs, facts-matching values and
+    // never-matching values.
+    std::vector<double> dd;
+    std::vector<std::string> dtag;
+    for (int j = 0; j < 60; ++j) {
+      if (j == 0) {
+        dd.push_back(nan);
+      } else if (j == 1) {
+        dd.push_back(0.0);
+      } else if (j == 2) {
+        dd.push_back(-0.0);
+      } else if (j < 40) {
+        dd.push_back(j * 0.125 - 300.0);  // matches facts rows i == j
+      } else {
+        dd.push_back(j * 1000.5);  // matches nothing
+      }
+      dtag.push_back("t" + std::to_string(j));
+    }
+    auto dimd = std::make_shared<Table>();
+    ASSERT_STATUS_OK(dimd->AddColumn("d", Column::FromDouble(dd)));
+    ASSERT_STATUS_OK(dimd->AddColumn("tag", Column::FromString(dtag)));
+    ASSERT_STATUS_OK(catalog_.RegisterTable("dimd", dimd));
+
+    // Low-cardinality string keys g0..g49 (g37..g49 never match): the
+    // catalog's publish-time policy dictionary-encodes these, so jg/jgd
+    // join dict keys against an independently-built dictionary.
+    std::vector<std::string> dgrp;
+    std::vector<std::string> gtag;
+    for (int j = 0; j < 50; ++j) {
+      dgrp.push_back("g" + std::to_string(j));
+      gtag.push_back("s" + std::to_string(j));
+    }
+    auto dimg = std::make_shared<Table>();
+    ASSERT_STATUS_OK(dimg->AddColumn("grp", Column::FromString(dgrp)));
+    ASSERT_STATUS_OK(dimg->AddColumn("tag", Column::FromString(gtag)));
+    ASSERT_STATUS_OK(catalog_.RegisterTable("dimg", dimg));
+    auto dimgd = std::make_shared<Table>(*dimg);
+    dimgd->DictEncodeStrings(1u << 20);
+    ASSERT_STATUS_OK(catalog_.RegisterTable("dimgd", dimgd));
+
+    // High-cardinality string keys (400 distinct, above the publish-time
+    // dict cap): dimh stays plain — joining facts.hi gives plain⋈plain —
+    // while dimhd is force-encoded for the plain-build⋈dict-probe combo.
+    std::vector<std::string> dhi;
+    std::vector<std::string> htag;
+    for (int j = 0; j < 400; ++j) {
+      dhi.push_back("h" + std::to_string(j * 3));
+      htag.push_back("u" + std::to_string(j));
+    }
+    auto dimh = std::make_shared<Table>();
+    ASSERT_STATUS_OK(dimh->AddColumn("hi", Column::FromString(dhi)));
+    ASSERT_STATUS_OK(dimh->AddColumn("tag", Column::FromString(htag)));
+    ASSERT_STATUS_OK(catalog_.RegisterTable("dimh", dimh));
+    auto dimhd = std::make_shared<Table>(*dimh);
+    dimhd->DictEncodeStrings(1u << 20);
+    ASSERT_STATUS_OK(catalog_.RegisterTable("dimhd", dimhd));
+
+    // Composite (int64, string) keys.
+    std::vector<int64_t> mk;
+    std::vector<std::string> mgrp;
+    std::vector<std::string> mtag;
+    for (int j = 0; j < 422; ++j) {
+      mk.push_back(j % 211);
+      mgrp.push_back("g" + std::to_string(j % 41));  // g37..g40 never match
+      mtag.push_back("m" + std::to_string(j));
+    }
+    auto dim2 = std::make_shared<Table>();
+    ASSERT_STATUS_OK(dim2->AddColumn("k", Column::FromInt64(mk)));
+    Column mgrp_col = Column::FromString(mgrp);
+    mgrp_col.TryDictEncode(64);
+    ASSERT_STATUS_OK(dim2->AddColumn("grp", std::move(mgrp_col)));
+    ASSERT_STATUS_OK(dim2->AddColumn("tag", Column::FromString(mtag)));
+    ASSERT_STATUS_OK(catalog_.RegisterTable("dim2", dim2));
+
+    // Zero-row table, used as build side and as probe side.
+    auto emptyt = std::make_shared<Table>();
+    ASSERT_STATUS_OK(
+        emptyt->AddColumn("k", Column::FromInt64(std::vector<int64_t>{})));
+    ASSERT_STATUS_OK(emptyt->AddColumn(
+        "name", Column::FromString(std::vector<std::string>{})));
+    ASSERT_STATUS_OK(catalog_.RegisterTable("emptyt", emptyt));
+
+    RegisterJoinView("jv", "facts", "dim", "facts.k", "k",
+                     {{"F", "grp", "facts", "grp"},
+                      {"F", "i64", "facts", "i64"},
+                      {"F", "k", "facts", "k"},
+                      {"D", "name", "dim", "name"},
+                      {"D", "k", "dim", "k"}});
+    RegisterJoinView("jvi", "facts", "dimi", "facts.i64", "v",
+                     {{"F", "k", "facts", "k"},
+                      {"F", "i64", "facts", "i64"},
+                      {"D", "v", "dimi", "v"},
+                      {"D", "name", "dimi", "name"}});
+    RegisterJoinView("jd", "facts", "dimd", "facts.d", "d",
+                     {{"F", "d", "facts", "d"},
+                      {"F", "i64", "facts", "i64"},
+                      {"D", "d", "dimd", "d"},
+                      {"D", "tag", "dimd", "tag"}});
+    RegisterJoinView("jg", "facts", "dimg", "facts.grp", "grp",
+                     {{"F", "grp", "facts", "grp"},
+                      {"F", "i64", "facts", "i64"},
+                      {"D", "grp", "dimg", "grp"},
+                      {"D", "tag", "dimg", "tag"}});
+    RegisterJoinView("jgd", "factsd", "dimgd", "factsd.grp", "grp",
+                     {{"F", "grp", "factsd", "grp"},
+                      {"F", "hi", "factsd", "hi"},
+                      {"F", "i64", "factsd", "i64"},
+                      {"D", "grp", "dimgd", "grp"},
+                      {"D", "tag", "dimgd", "tag"}});
+    RegisterJoinView("jh", "facts", "dimh", "facts.hi", "hi",
+                     {{"F", "hi", "facts", "hi"},
+                      {"F", "i64", "facts", "i64"},
+                      {"D", "hi", "dimh", "hi"},
+                      {"D", "tag", "dimh", "tag"}});
+    RegisterJoinView("jhd", "facts", "dimhd", "facts.hi", "hi",
+                     {{"F", "hi", "facts", "hi"},
+                      {"F", "i64", "facts", "i64"},
+                      {"D", "hi", "dimhd", "hi"},
+                      {"D", "tag", "dimhd", "tag"}});
+    RegisterJoinView("jeb", "emptyt", "dim", "emptyt.k", "k",
+                     {{"F", "k", "emptyt", "k"},
+                      {"F", "name", "emptyt", "name"},
+                      {"D", "k", "dim", "k"},
+                      {"D", "name", "dim", "name"}});
+    RegisterJoinView("jep", "facts", "emptyt", "facts.k", "k",
+                     {{"F", "k", "facts", "k"},
+                      {"F", "i64", "facts", "i64"},
+                      {"D", "k", "emptyt", "k"},
+                      {"D", "name", "emptyt", "name"}});
+
+    storage::ViewDefinition jm;
+    jm.name = "jm";
+    jm.root_table = "facts";
+    jm.joins.push_back({"dim2", {{"facts.k", "k"}, {"facts.grp", "grp"}}});
+    jm.columns = {{"F", "k", "facts", "k"},
+                  {"F", "grp", "facts", "grp"},
+                  {"F", "i64", "facts", "i64"},
+                  {"D", "k", "dim2", "k"},
+                  {"D", "grp", "dim2", "grp"},
+                  {"D", "tag", "dim2", "tag"}};
+    ASSERT_STATUS_OK(catalog_.RegisterView(std::move(jm)));
+  }
+
+  void RegisterJoinView(
+      const std::string& name, const std::string& root,
+      const std::string& target, const std::string& left_key,
+      const std::string& right_key,
+      std::vector<storage::ViewColumn> columns) {
+    storage::ViewDefinition view;
+    view.name = name;
+    view.root_table = root;
+    view.joins.push_back({target, {{left_key, right_key}}});
+    view.columns = std::move(columns);
+    ASSERT_STATUS_OK(catalog_.RegisterView(std::move(view)));
+  }
+
+  Result<Table> Run(const std::string& sql, size_t threads, uint64_t budget,
+                    ExecutionReport* report) {
+    auto stmt = sql::Parse(sql);
+    if (!stmt.ok()) return stmt.status();
+    sql::Binder binder(&catalog_);
+    auto bound = binder.Bind(*stmt);
+    if (!bound.ok()) return bound.status();
+    Planner planner(&catalog_, {});
+    auto planned = planner.Plan(*bound);
+    if (!planned.ok()) return planned.status();
+    Executor executor(&catalog_, nullptr, {4096, threads, budget, ""});
+    return executor.Execute(*planned->plan, report);
+  }
+
+  // Runs `sql` with the vectorized path on and off at every thread count
+  // and budget; each (threads, budget) pair must match bit-for-bit.
+  // `expect_vectorized` pins the joins_vectorized counter (a join query
+  // must take the vectorized build when enabled — even over empty
+  // inputs, where the vectorized index is simply empty).
+  void ExpectDifferentialParity(const std::string& sql,
+                                bool expect_vectorized = true) {
+    for (size_t threads : kThreadCounts) {
+      for (uint64_t budget : kBudgets) {
+        std::string context = sql + " @threads=" + std::to_string(threads) +
+                              " budget=" + std::to_string(budget);
+        ExecutionReport vec_report;
+        auto vec = Run(sql, threads, budget, &vec_report);
+        ASSERT_OK(vec);
+        if (expect_vectorized) {
+          EXPECT_GT(vec_report.joins_vectorized, 0u) << context;
+        }
+        setenv("LAZYETL_DISABLE_VECTOR_JOIN", "1", 1);
+        ExecutionReport legacy_report;
+        auto legacy = Run(sql, threads, budget, &legacy_report);
+        unsetenv("LAZYETL_DISABLE_VECTOR_JOIN");
+        ASSERT_OK(legacy);
+        EXPECT_EQ(legacy_report.joins_vectorized, 0u) << context;
+        EXPECT_EQ(legacy_report.probe_rows_bloom_filtered, 0u) << context;
+        ExpectTablesBitEqual(*vec, *legacy, context);
+      }
+    }
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(VectorJoinTest, IntKeysWithDuplicateHeavyBuild) {
+  // Every dim key below 211 matches ~28 facts rows; 211..3999 match none.
+  ExpectDifferentialParity("SELECT F.k, F.i64, D.name FROM jv");
+}
+
+TEST_F(VectorJoinTest, NaNAndSignedZeroDoubleKeys) {
+  // NaN joins NaN (bit-pattern equality, matching the packed-key oracle);
+  // 0.0 and -0.0 stay distinct keys.
+  ExpectDifferentialParity("SELECT F.d, F.i64, D.tag FROM jd");
+}
+
+TEST_F(VectorJoinTest, DictAndPlainStringKeys) {
+  // Dict keys joined across two independently-built dictionaries (the
+  // per-dictionary content hashes must agree across tables).
+  ExpectDifferentialParity("SELECT F.grp, F.i64, D.tag FROM jg");
+  ExpectDifferentialParity("SELECT F.grp, F.hi, F.i64, D.tag FROM jgd");
+  // Plain build keys against a plain probe and a dict-encoded probe.
+  ExpectDifferentialParity("SELECT F.hi, F.i64, D.tag FROM jh");
+  ExpectDifferentialParity("SELECT F.hi, F.i64, D.tag FROM jhd");
+}
+
+TEST_F(VectorJoinTest, MultiColumnKeys) {
+  ExpectDifferentialParity("SELECT F.k, F.grp, F.i64, D.tag FROM jm");
+}
+
+TEST_F(VectorJoinTest, EmptyBuildAndEmptyProbeSides) {
+  ExpectDifferentialParity("SELECT F.k, D.name FROM jeb");
+  ExpectDifferentialParity("SELECT F.k, F.i64, D.name FROM jep");
+}
+
+TEST_F(VectorJoinTest, GraceJoinStaysBitIdentical) {
+  // A budget far below the build side forces the Grace spill path; the
+  // per-partition vectorized build/probe must reproduce the legacy
+  // partitions bit-for-bit.
+  const std::string sql = "SELECT F.k, F.i64, D.name FROM jv";
+  for (size_t threads : kThreadCounts) {
+    std::string context = "grace @threads=" + std::to_string(threads);
+    ExecutionReport vec_report;
+    auto vec = Run(sql, threads, kGraceBudget, &vec_report);
+    ASSERT_OK(vec);
+    EXPECT_GT(SpilledBytesFor(vec_report, "HashJoin"), 0u) << context;
+    EXPECT_GT(vec_report.joins_vectorized, 0u) << context;
+    setenv("LAZYETL_DISABLE_VECTOR_JOIN", "1", 1);
+    ExecutionReport legacy_report;
+    auto legacy = Run(sql, threads, kGraceBudget, &legacy_report);
+    unsetenv("LAZYETL_DISABLE_VECTOR_JOIN");
+    ASSERT_OK(legacy);
+    EXPECT_GT(SpilledBytesFor(legacy_report, "HashJoin"), 0u) << context;
+    ExpectTablesBitEqual(*vec, *legacy, context);
+  }
+}
+
+TEST_F(VectorJoinTest, BloomPushdownParityForcedVsOff) {
+  // The Bloom filter only drops probe rows that provably cannot match,
+  // so forcing it on and switching it off must give identical bytes —
+  // in memory and through the Grace path alike.
+  const std::string sql = "SELECT F.k, F.i64, D.name FROM jv";
+  const uint64_t budgets[] = {0, kGraceBudget};
+  for (size_t threads : kThreadCounts) {
+    for (uint64_t budget : budgets) {
+      std::string context = sql + " @threads=" + std::to_string(threads) +
+                            " budget=" + std::to_string(budget);
+      setenv("LAZYETL_JOIN_BLOOM", "force", 1);
+      ExecutionReport bloom_report;
+      auto with_bloom = Run(sql, threads, budget, &bloom_report);
+      setenv("LAZYETL_JOIN_BLOOM", "0", 1);
+      ExecutionReport off_report;
+      auto without = Run(sql, threads, budget, &off_report);
+      unsetenv("LAZYETL_JOIN_BLOOM");
+      ASSERT_OK(with_bloom);
+      ASSERT_OK(without);
+      EXPECT_GT(bloom_report.probe_rows_bloom_filtered, 0u) << context;
+      EXPECT_EQ(off_report.probe_rows_bloom_filtered, 0u) << context;
+      ExpectTablesBitEqual(*with_bloom, *without, context);
+    }
+  }
+}
+
+TEST_F(VectorJoinTest, BloomSkipsMostNonMatchingProbeRows) {
+  // 3789 of dim's 4000 keys cannot match facts (~5% join selectivity):
+  // the pushdown must skip at least half the probe rows (the acceptance
+  // bar), and never more than the non-matching count.
+  setenv("LAZYETL_JOIN_BLOOM", "force", 1);
+  ExecutionReport report;
+  auto got = Run("SELECT F.k, F.i64, D.name FROM jv", 8, 0, &report);
+  unsetenv("LAZYETL_JOIN_BLOOM");
+  ASSERT_OK(got);
+  EXPECT_GE(report.probe_rows_bloom_filtered,
+            static_cast<uint64_t>(kDimRows) / 2);
+  EXPECT_LE(report.probe_rows_bloom_filtered,
+            static_cast<uint64_t>(kDimRows - 211));
+
+  // The default (auto) policy keeps in-memory joins filter-free (the
+  // probe discards non-matching rows nearly as cheaply itself) ...
+  ExecutionReport auto_mem_report;
+  auto auto_mem = Run("SELECT F.k, F.i64, D.name FROM jv", 8, 0,
+                      &auto_mem_report);
+  ASSERT_OK(auto_mem);
+  EXPECT_EQ(auto_mem_report.probe_rows_bloom_filtered, 0u);
+  ExpectTablesBitEqual(*got, *auto_mem, "forced vs auto (in-memory)");
+
+  // ... but publishes for a Grace join, where every skipped probe row is
+  // a row never partitioned or spilled.
+  ExecutionReport auto_grace_report;
+  auto auto_grace = Run("SELECT F.k, F.i64, D.name FROM jv", 8, kGraceBudget,
+                        &auto_grace_report);
+  ASSERT_OK(auto_grace);
+  EXPECT_GT(SpilledBytesFor(auto_grace_report, "HashJoin"), 0u);
+  EXPECT_GT(auto_grace_report.probe_rows_bloom_filtered, 0u);
+  ExpectTablesBitEqual(*got, *auto_grace, "forced vs auto (grace)");
+}
+
+TEST_F(VectorJoinTest, KillSwitchYieldsFullyLegacyPath) {
+  // LAZYETL_DISABLE_VECTOR_JOIN gates the Bloom pushdown too — the
+  // oracle path must be exactly the pre-vectorization engine even when
+  // the Bloom policy is forced.
+  setenv("LAZYETL_DISABLE_VECTOR_JOIN", "1", 1);
+  setenv("LAZYETL_JOIN_BLOOM", "force", 1);
+  ExecutionReport legacy_report;
+  auto legacy = Run("SELECT F.k, F.i64, D.name FROM jv", 8, 0,
+                    &legacy_report);
+  unsetenv("LAZYETL_JOIN_BLOOM");
+  unsetenv("LAZYETL_DISABLE_VECTOR_JOIN");
+  ASSERT_OK(legacy);
+  EXPECT_EQ(legacy_report.joins_vectorized, 0u);
+  EXPECT_EQ(legacy_report.probe_rows_bloom_filtered, 0u);
+
+  ExecutionReport vec_report;
+  auto vec = Run("SELECT F.k, F.i64, D.name FROM jv", 8, 0, &vec_report);
+  ASSERT_OK(vec);
+  EXPECT_GT(vec_report.joins_vectorized, 0u);
+  ExpectTablesBitEqual(*vec, *legacy, "kill switch");
+}
+
+TEST_F(VectorJoinTest, FootprintSharpensWithBuildKeyCardinality) {
+  // jv joins on facts.k (zone-map span 0..210 => 211 distinct keys);
+  // jvi joins on facts.i64, whose span defeats the hint. The build
+  // tables and probe-side bytes match, so the low-cardinality join must
+  // get the smaller admission estimate (its index is bounded by distinct
+  // keys, not by build bytes / 4).
+  auto plan_bytes = [&](const std::string& sql) -> uint64_t {
+    auto stmt = sql::Parse(sql);
+    EXPECT_TRUE(stmt.ok());
+    sql::Binder binder(&catalog_);
+    auto bound = binder.Bind(*stmt);
+    EXPECT_TRUE(bound.ok());
+    Planner planner(&catalog_, {});
+    auto planned = planner.Plan(*bound);
+    EXPECT_TRUE(planned.ok());
+    return EstimatePlanFootprint(*planned->plan, catalog_, 0);
+  };
+  uint64_t low_card = plan_bytes("SELECT F.i64, D.name FROM jv");
+  uint64_t high_card = plan_bytes("SELECT F.k, D.name FROM jvi");
+  EXPECT_LT(low_card, high_card)
+      << "build-key cardinality should bound the join index estimate";
+}
+
+}  // namespace
+}  // namespace lazyetl::engine
