@@ -1,0 +1,240 @@
+// Serving front-end benchmarks: end-to-end load generation against the
+// wire protocol (real sockets, chunked HTTP, frame decoding) — not the
+// in-process API.
+//
+//   throughput — N socket clients stream the serving workload; reports
+//                qps and client-observed p50/p99 (connection setup, SQL
+//                POST, streamed frames, teardown — the full path).
+//   streaming-memory — a wide scan whose materialized result dwarfs one
+//                batch, streamed over the socket. Reports the server-side
+//                peak resident result bytes (from the end frame) against
+//                the materialized table: the ISSUE acceptance bar is a
+//                >= 10x gap with byte-identical output, which this bench
+//                verifies row-for-row against Query() before reporting.
+//   priority-aging — sustained HIGH-priority load over a 1-slot scheduler
+//                with LOW-priority clients in the mix. Arg(0) disables
+//                aging (LOW waits for a gap), Arg(1) enables 25 ms/class
+//                aging. Reported per class: low_p50/p99_ms and
+//                high_p50/p99_ms — with aging on, LOW p99 stays finite
+//                and bounded instead of growing with the HIGH backlog.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/time.h"
+#include "server/client.h"
+#include "server/json.h"
+#include "server/server.h"
+
+namespace lazyetl::bench {
+namespace {
+
+const char* kServeWorkload[] = {kQ1, kQ2, kQBrowse};
+constexpr size_t kServeWorkloadSize = 3;
+
+const char* kWideScan =
+    "SELECT D.sample_value, D.sample_time FROM mseed.dataview "
+    "WHERE F.channel = 'BHZ';";
+
+server::StreamedQueryResult MustStream(int port, const std::string& sql,
+                                       const server::ClientOptions& opts) {
+  auto streamed = server::RunStreamedQuery("127.0.0.1", port, sql, opts);
+  if (!streamed.ok() || streamed->http_status != 200 || !streamed->saw_end) {
+    std::fprintf(stderr, "stream failed (%d): %s %s\n",
+                 streamed.ok() ? streamed->http_status : -1,
+                 streamed.ok() ? streamed->error_body.c_str()
+                               : streamed.status().ToString().c_str(),
+                 sql.c_str());
+    std::abort();
+  }
+  return std::move(*streamed);
+}
+
+std::unique_ptr<core::Warehouse> OpenServeWarehouse(
+    const std::string& root, size_t max_concurrent = 0,
+    int64_t aging_ms = 0) {
+  core::WarehouseOptions options;
+  options.strategy = core::LoadStrategy::kLazy;
+  options.enable_result_cache = false;
+  options.query_threads = 2;
+  options.extraction_threads = 2;
+  options.batch_rows = 128;  // multi-batch streams even on the small repo
+  options.max_concurrent_queries = max_concurrent;
+  options.priority_aging_ms = aging_ms;
+  auto opened = core::Warehouse::Open(options);
+  if (!opened.ok()) std::abort();
+  auto wh = std::move(*opened);
+  if (!wh->AttachRepository(root).ok()) std::abort();
+  return wh;
+}
+
+double PercentileMs(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t idx = std::min(v.size() - 1,
+                        static_cast<size_t>(p * static_cast<double>(v.size())));
+  return v[idx] * 1e3;
+}
+
+void BM_Serve_Throughput(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  const BenchRepo& repo = GetRepo(2, 30.0);
+  auto wh = OpenServeWarehouse(repo.root);
+  // Warm the record cache once so the bench measures the serving path,
+  // not first-touch extraction.
+  for (const char* sql : kServeWorkload) (void)MustQuery(wh.get(), sql);
+  server::QueryServer srv(wh.get());
+  if (!srv.Start().ok()) std::abort();
+
+  constexpr int kPerClient = 24;
+  std::vector<double> latencies;
+  double qps = 0;
+  for (auto _ : state) {
+    std::vector<double> run(static_cast<size_t>(clients) * kPerClient);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    Stopwatch wall;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        server::ClientOptions opts;
+        opts.client_id = "bench-" + std::to_string(c);
+        for (int i = 0; i < kPerClient; ++i) {
+          const std::string sql =
+              kServeWorkload[(i + c) % kServeWorkloadSize];
+          Stopwatch timer;
+          (void)MustStream(srv.port(), sql, opts);
+          run[static_cast<size_t>(c) * kPerClient + i] =
+              timer.ElapsedSeconds();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    qps = static_cast<double>(run.size()) / wall.ElapsedSeconds();
+    latencies.insert(latencies.end(), run.begin(), run.end());
+  }
+  srv.Stop();
+  state.counters["clients"] = clients;
+  state.counters["qps"] = qps;
+  state.counters["p50_ms"] = PercentileMs(latencies, 0.50);
+  state.counters["p99_ms"] = PercentileMs(latencies, 0.99);
+}
+
+void BM_Serve_StreamingMemory(benchmark::State& state) {
+  const BenchRepo& repo = GetRepo(2, 30.0);
+  auto wh = OpenServeWarehouse(repo.root);
+  server::QueryServer srv(wh.get());
+  if (!srv.Start().ok()) std::abort();
+
+  // Materialized baseline, and the byte-exact expectation for the stream.
+  core::QueryResult expected = MustQuery(wh.get(), kWideScan);
+  const double materialized =
+      static_cast<double>(expected.table.MemoryBytes());
+  const std::vector<std::string> expected_rows =
+      server::JsonRows(expected.table);
+
+  uint64_t peak = 0;
+  for (auto _ : state) {
+    auto streamed = MustStream(srv.port(), kWideScan, {});
+    if (streamed.rows != expected_rows) {
+      std::fprintf(stderr, "streamed result diverged from Query()\n");
+      std::abort();
+    }
+    peak = streamed.peak_buffered_bytes;
+  }
+  srv.Stop();
+  state.counters["materialized_bytes"] = materialized;
+  state.counters["peak_buffered_bytes"] = static_cast<double>(peak);
+  state.counters["ratio"] =
+      peak > 0 ? materialized / static_cast<double>(peak) : 0;
+  state.counters["rows"] =
+      static_cast<double>(expected.table.num_rows());
+}
+
+void BM_Serve_PriorityAging(benchmark::State& state) {
+  const bool aging = state.range(0) != 0;
+  const BenchRepo& repo = GetRepo(2, 30.0);
+  constexpr int kHighClients = 3;
+  constexpr int kLowClients = 2;
+  constexpr int kPerLow = 8;
+
+  std::vector<double> low_lat, high_lat;
+  for (auto _ : state) {
+    // 1-slot scheduler: without aging, a continuous HIGH backlog starves
+    // LOW until the backlog happens to drain. -1 forces aging off (0
+    // would fall through to the environment default).
+    auto wh = OpenServeWarehouse(repo.root, /*max_concurrent=*/1,
+                                 /*aging_ms=*/aging ? 25 : -1);
+    for (const char* sql : kServeWorkload) (void)MustQuery(wh.get(), sql);
+    server::QueryServer srv(wh.get());
+    if (!srv.Start().ok()) std::abort();
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> threads;
+    std::vector<std::vector<double>> high_runs(kHighClients);
+    std::vector<std::vector<double>> low_runs(kLowClients);
+    for (int c = 0; c < kHighClients; ++c) {
+      threads.emplace_back([&, c] {
+        server::ClientOptions opts;
+        opts.priority = "high";
+        opts.client_id = "interactive-" + std::to_string(c);
+        while (!stop.load(std::memory_order_relaxed)) {
+          Stopwatch timer;
+          (void)MustStream(srv.port(), kQBrowse, opts);
+          high_runs[c].push_back(timer.ElapsedSeconds());
+        }
+      });
+    }
+    for (int c = 0; c < kLowClients; ++c) {
+      threads.emplace_back([&, c] {
+        server::ClientOptions opts;
+        opts.priority = "low";
+        opts.client_id = "analytical-" + std::to_string(c);
+        for (int i = 0; i < kPerLow; ++i) {
+          Stopwatch timer;
+          (void)MustStream(srv.port(), kQ2, opts);
+          low_runs[c].push_back(timer.ElapsedSeconds());
+        }
+      });
+    }
+    // LOW clients run a fixed count; HIGH load sustains until they are
+    // done. join order: LOW threads are the last kLowClients entries.
+    for (size_t t = threads.size() - kLowClients; t < threads.size(); ++t) {
+      threads[t].join();
+    }
+    stop.store(true);
+    for (int t = 0; t < kHighClients; ++t) threads[t].join();
+    srv.Stop();
+    for (auto& run : low_runs) {
+      low_lat.insert(low_lat.end(), run.begin(), run.end());
+    }
+    for (auto& run : high_runs) {
+      high_lat.insert(high_lat.end(), run.begin(), run.end());
+    }
+  }
+  state.counters["aging"] = aging ? 1 : 0;
+  state.counters["low_p50_ms"] = PercentileMs(low_lat, 0.50);
+  state.counters["low_p99_ms"] = PercentileMs(low_lat, 0.99);
+  state.counters["high_p50_ms"] = PercentileMs(high_lat, 0.50);
+  state.counters["high_p99_ms"] = PercentileMs(high_lat, 0.99);
+}
+
+BENCHMARK(BM_Serve_Throughput)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Serve_StreamingMemory)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Serve_PriorityAging)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lazyetl::bench
+
+BENCHMARK_MAIN();

@@ -41,6 +41,7 @@ uint64_t AdmissionQueue::Enqueue(const AdmissionRequest& req,
   Waiter w;
   w.req = req;
   w.req.client_weight = std::max<uint32_t>(1, req.client_weight);
+  w.effective = req.priority;
   w.enqueue_nanos = now_nanos;
   if (req.queue_timeout_ms > 0) {
     w.deadline_nanos = now_nanos + req.queue_timeout_ms * 1000000LL;
@@ -99,14 +100,48 @@ uint64_t AdmissionQueue::PickAdmissible(std::vector<uint64_t>* skipped) {
   return 0;
 }
 
-std::vector<uint64_t> AdmissionQueue::Dispatch() {
+// Aging promotion: a waiter that has sat through N full aging intervals
+// is queued N classes above its requested priority (capped at HIGH).
+// Scanning waiters_ in ascending id = arrival order makes the upper
+// class's queue order deterministic. Promotion is monotone — effective
+// priority never goes back down — so under sustained HIGH arrivals a LOW
+// waiter eventually competes inside the HIGH rotation and its wait is
+// bounded by aging interval + (in-flight queries ahead of it).
+void AdmissionQueue::PromoteAged(int64_t now_nanos) {
+  if (config_.aging_nanos <= 0) return;
+  for (auto& [id, w] : waiters_) {
+    if (w.state != WaiterState::kWaiting) continue;
+    const int64_t waited = now_nanos - w.enqueue_nanos;
+    if (waited < config_.aging_nanos) continue;
+    const int64_t levels = waited / config_.aging_nanos;
+    const int target_raw = static_cast<int>(w.req.priority) +
+                           static_cast<int>(
+                               std::min<int64_t>(levels, kNumClasses - 1));
+    const QueryPriority target = static_cast<QueryPriority>(
+        std::min(target_raw, kNumClasses - 1));
+    if (static_cast<int>(target) <= static_cast<int>(w.effective)) continue;
+    total_aged_promotions_ += static_cast<uint64_t>(
+        static_cast<int>(target) - static_cast<int>(w.effective));
+    RemoveFromQueue(id);
+    w.effective = target;
+    ClassQueue& cq = class_queue(target);
+    auto [it, inserted] = cq.clients.try_emplace(w.req.client_id);
+    if (inserted) cq.rotation.push_back(w.req.client_id);
+    it->second.push_back(id);
+    cq.weights[w.req.client_id] =
+        std::max<uint32_t>(1, w.req.client_weight);
+  }
+}
+
+std::vector<uint64_t> AdmissionQueue::Dispatch(int64_t now_nanos) {
+  if (now_nanos > 0) PromoteAged(now_nanos);
   std::vector<uint64_t> admitted;
   std::vector<uint64_t> skipped;
   while (true) {
     const uint64_t id = PickAdmissible(&skipped);
     if (id == 0) break;
     Waiter& w = waiters_.at(id);
-    ClassQueue& cq = class_queue(w.req.priority);
+    ClassQueue& cq = class_queue(w.effective);
     const std::string& client = w.req.client_id;
     const bool rotation_turn = !cq.rotation.empty() &&
                                cq.rotation[cq.cursor] == client &&
@@ -196,19 +231,24 @@ void AdmissionQueue::Forget(uint64_t id) {
   waiters_.erase(it);
 }
 
-AdmissionQueue::WaiterState AdmissionQueue::state(uint64_t id) const {
-  auto it = waiters_.find(id);
-  return it == waiters_.end() ? WaiterState::kUnknown : it->second.state;
-}
-
 int64_t AdmissionQueue::enqueue_nanos(uint64_t id) const {
   auto it = waiters_.find(id);
   return it == waiters_.end() ? 0 : it->second.enqueue_nanos;
 }
 
+AdmissionQueue::WaiterState AdmissionQueue::state(uint64_t id) const {
+  auto it = waiters_.find(id);
+  return it == waiters_.end() ? WaiterState::kUnknown : it->second.state;
+}
+
+QueryPriority AdmissionQueue::effective_priority(uint64_t id) const {
+  auto it = waiters_.find(id);
+  return it == waiters_.end() ? QueryPriority::kNormal : it->second.effective;
+}
+
 void AdmissionQueue::RemoveFromQueue(uint64_t id) {
   Waiter& w = waiters_.at(id);
-  ClassQueue& cq = class_queue(w.req.priority);
+  ClassQueue& cq = class_queue(w.effective);
   auto it = cq.clients.find(w.req.client_id);
   if (it == cq.clients.end()) return;
   auto pos = std::find(it->second.begin(), it->second.end(), id);
@@ -239,14 +279,16 @@ void AdmissionQueue::DropClient(ClassQueue* cq, const std::string& client) {
 
 QueryScheduler::QueryScheduler(size_t max_concurrent,
                                uint64_t per_query_budget_bytes,
-                               MemoryBudget* global_budget)
+                               MemoryBudget* global_budget,
+                               int64_t priority_aging_ms)
     : max_concurrent_(max_concurrent),
       per_query_budget_bytes_(per_query_budget_bytes),
       global_budget_(global_budget),
       queue_(AdmissionQueue::Config{
           max_concurrent,
           global_budget != nullptr ? global_budget->limit() : 0,
-          kMaxAdmissionBypasses}) {}
+          kMaxAdmissionBypasses,
+          priority_aging_ms > 0 ? priority_aging_ms * 1000000LL : 0}) {}
 
 int64_t QueryScheduler::NowNanos() const {
   return clock_ ? clock_() : SteadyNowNanos();
@@ -262,7 +304,7 @@ void QueryScheduler::DispatchLocked() {
   // footprint gate always reflects the current cap.
   queue_.set_footprint_limit(global_budget_ != nullptr ? global_budget_->limit()
                                                        : 0);
-  if (!queue_.Dispatch().empty()) admitted_cv_.notify_all();
+  if (!queue_.Dispatch(NowNanos()).empty()) admitted_cv_.notify_all();
 }
 
 Result<QueryTicket> QueryScheduler::Admit(const AdmissionRequest& req) {
@@ -353,6 +395,11 @@ uint64_t QueryScheduler::total_timed_out() const {
 uint64_t QueryScheduler::total_bypass_admissions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.total_bypass_admissions();
+}
+
+uint64_t QueryScheduler::total_aged_promotions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.total_aged_promotions();
 }
 
 size_t QueryScheduler::active() const {

@@ -115,6 +115,12 @@ class AdmissionQueue {
     size_t max_concurrent = 0;        // 0 = unbounded slots
     uint64_t footprint_limit_bytes = 0;  // 0 = no footprint gating
     uint32_t max_bypasses = kMaxAdmissionBypasses;
+    // Priority aging: a waiter is promoted one priority class per this
+    // many nanoseconds of queue wait (so sustained HIGH arrivals cannot
+    // starve LOW indefinitely — the carried-over starvation gap). 0 (the
+    // default) disables aging and preserves the strict class order
+    // byte-identically.
+    int64_t aging_nanos = 0;
   };
 
   explicit AdmissionQueue(Config config) : config_(config) {}
@@ -130,8 +136,10 @@ class AdmissionQueue {
 
   // Admits every currently-admissible waiter in policy order and returns
   // their ids in admission order. Call after anything that could free
-  // capacity or add waiters.
-  std::vector<uint64_t> Dispatch();
+  // capacity or add waiters. With aging configured, pass the current time
+  // so over-aged waiters are promoted first (now_nanos = 0 skips the
+  // aging pass — the legacy call shape).
+  std::vector<uint64_t> Dispatch(int64_t now_nanos = 0);
 
   // Expires every waiting id whose deadline is <= now; returns the newly
   // timed-out ids. An admitted id never expires.
@@ -163,7 +171,13 @@ class AdmissionQueue {
   uint64_t total_timed_out() const { return total_timed_out_; }
   // Admissions that overtook a footprint-blocked earlier waiter.
   uint64_t total_bypass_admissions() const { return total_bypass_admissions_; }
+  // Aging promotions performed (a waiter climbing two classes counts 2).
+  uint64_t total_aged_promotions() const { return total_aged_promotions_; }
   uint64_t footprint_in_use() const { return footprint_in_use_; }
+  // The class a waiting id is currently queued in (aging may have raised
+  // it above the requested priority); the request priority when unknown
+  // or no longer waiting.
+  QueryPriority effective_priority(uint64_t id) const;
 
  private:
   struct Waiter {
@@ -172,6 +186,9 @@ class AdmissionQueue {
     int64_t deadline_nanos = -1;  // -1 = no deadline
     WaiterState state = WaiterState::kWaiting;
     uint32_t bypassed = 0;  // times a later waiter was admitted past this
+    // The class this waiter is queued under: starts at req.priority,
+    // raised by aging promotions.
+    QueryPriority effective = QueryPriority::kNormal;
   };
 
   // One priority class: per-client FIFO queues plus the weighted
@@ -200,6 +217,12 @@ class AdmissionQueue {
   // `*skipped`; a skipped waiter at its bypass bound stops the scan.
   uint64_t PickAdmissible(std::vector<uint64_t>* skipped);
 
+  // Promotes every waiting waiter whose age crossed one or more aging
+  // intervals to the corresponding higher class (capped at kHigh),
+  // scanning in arrival order so promoted waiters enter the upper class
+  // deterministically. No-op unless aging is configured.
+  void PromoteAged(int64_t now_nanos);
+
   // Removes `id` from its class/client queue (it must be queued).
   void RemoveFromQueue(uint64_t id);
 
@@ -216,6 +239,7 @@ class AdmissionQueue {
   uint64_t total_admitted_ = 0;
   uint64_t total_timed_out_ = 0;
   uint64_t total_bypass_admissions_ = 0;
+  uint64_t total_aged_promotions_ = 0;
 };
 
 // One admitted query's scheduling state: its ticket id (process-unique,
@@ -280,8 +304,11 @@ class QueryScheduler {
   // so the global cap is never oversubscribed by design. Either way the
   // per-query budget chains to `global_budget`, so global pressure is
   // enforced even for mis-estimated shares.
+  // `priority_aging_ms` > 0 promotes queue waiters one priority class per
+  // that many milliseconds of wait (starvation protection); 0 (default)
+  // keeps strict class order.
   QueryScheduler(size_t max_concurrent, uint64_t per_query_budget_bytes,
-                 MemoryBudget* global_budget);
+                 MemoryBudget* global_budget, int64_t priority_aging_ms = 0);
 
   QueryScheduler(const QueryScheduler&) = delete;
   QueryScheduler& operator=(const QueryScheduler&) = delete;
@@ -299,6 +326,7 @@ class QueryScheduler {
   uint64_t total_admitted() const;
   uint64_t total_timed_out() const;
   uint64_t total_bypass_admissions() const;
+  uint64_t total_aged_promotions() const;
   size_t active() const;
   size_t waiting() const;
 

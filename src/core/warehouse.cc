@@ -20,6 +20,7 @@
 #include "core/etl.h"
 #include "core/schema.h"
 #include "engine/expr_eval.h"
+#include "engine/operators/operator.h"
 #include "engine/planner.h"
 #include "engine/query_context.h"
 #include "mseed/dataless.h"
@@ -988,10 +989,30 @@ Result<std::unique_ptr<Warehouse>> Warehouse::Open(WarehouseOptions options) {
           value == "1" || value == "true" || value == "on" || value == "yes";
     }
   }
+  // Streaming-cursor backpressure window: batches buffered ahead of a
+  // slow consumer before morsel dispatch suspends. Small by design — the
+  // point of the cursor path is O(window × batch) resident result bytes.
+  if (wh->options_.cursor_window_batches == 0) {
+    if (const char* env = std::getenv("LAZYETL_CURSOR_WINDOW_BATCHES")) {
+      wh->options_.cursor_window_batches =
+          static_cast<size_t>(std::strtoull(env, nullptr, 10));
+    }
+    if (wh->options_.cursor_window_batches == 0) {
+      wh->options_.cursor_window_batches = 4;
+    }
+  }
+  // Priority aging (starvation protection): 0 resolves the environment
+  // default, negative forces it off. Off preserves strict class order.
+  if (wh->options_.priority_aging_ms == 0) {
+    if (const char* env = std::getenv("LAZYETL_PRIORITY_AGING_MS")) {
+      wh->options_.priority_aging_ms = std::strtoll(env, nullptr, 10);
+    }
+  }
+  if (wh->options_.priority_aging_ms < 0) wh->options_.priority_aging_ms = 0;
   wh->scheduler_ = std::make_unique<common::QueryScheduler>(
       max_concurrent,
       common::ResolvePerQueryBudgetBytes(wh->options_.memory_budget_bytes),
-      &common::MemoryBudget::Process());
+      &common::MemoryBudget::Process(), wh->options_.priority_aging_ms);
 
   OperationLog::Global().set_echo_to_stderr(wh->options_.echo_log);
   LogOp(LogCategory::kGeneral,
@@ -1823,6 +1844,299 @@ Result<QueryResult> Warehouse::Query(const std::string& sql,
         "query done: " + std::to_string(report.result_rows) + " rows in " +
             std::to_string(report.total_seconds) + "s");
   return QueryResult{std::move(result), std::move(report)};
+}
+
+// ---------------------------------------------------------------------------
+// QueryCursor: the streaming form of Query(). The front half (admission,
+// parse/bind, lazy refresh/hydration, planning, cache probes) mirrors
+// Query() step for step so report fields and admission behavior are
+// identical; the back half suspends instead of draining.
+// ---------------------------------------------------------------------------
+
+struct QueryCursor::Impl {
+  Stopwatch total;
+  Stopwatch exec_phase;
+  engine::ExecutionReport report;
+
+  // Execution state, declared in reverse teardown order: the execution
+  // cursor joins its drive loop before executor/provider/context go away,
+  // and operators hold pointers into `planned.plan`, which must outlive
+  // them. `qctx` owns the admission ticket, the carved budget, and the
+  // spill directory — resetting it is the exactly-once release point.
+  std::unique_ptr<engine::QueryContext> qctx;
+  std::unique_ptr<WarehouseDataProvider> provider;
+  std::unique_ptr<engine::Executor> executor;
+  engine::PlannedQuery planned;
+  engine::PlanNodePtr subplan_detached;  // kept alive on a sub-plan hit
+  std::unique_ptr<engine::ExecutionCursor> exec;
+
+  // Result-cache hit: stream the cached table in batch-sized chunks (the
+  // shared_ptr keeps it alive; the ticket is released at open — a cache
+  // hit needs no execution resources).
+  engine::CachedResultPtr cached;
+  size_t cached_offset = 0;
+
+  size_t batch_rows = engine::kDefaultBatchRows;
+  uint64_t rows_streamed = 0;
+  uint64_t peak_buffered_bytes = 0;
+  bool emitted_first = false;
+  bool finished = false;
+  bool closed = false;
+  bool released = false;
+
+  // Exactly-once teardown: cancel + join the drive loop, close the
+  // operator tree (finalizing the report), then release the query
+  // context — ticket slot, chained budget reservation, spill temp dir.
+  void Release() {
+    if (released) return;
+    released = true;
+    const bool ran = exec != nullptr || cached != nullptr;
+    if (exec != nullptr) {
+      exec->Close();
+      peak_buffered_bytes = exec->peak_buffered_bytes();
+      report.execute_seconds = exec_phase.ElapsedSeconds();
+    }
+    report.result_rows = rows_streamed;
+    report.total_seconds = total.ElapsedSeconds();
+    exec.reset();
+    executor.reset();
+    provider.reset();
+    qctx.reset();
+    cached.reset();
+    if (ran) {
+      LogOp(LogCategory::kQuery,
+            "cursor done: " + std::to_string(rows_streamed) +
+                " rows streamed in " + std::to_string(report.total_seconds) +
+                "s");
+    }
+  }
+};
+
+QueryCursor::QueryCursor() : impl_(std::make_unique<Impl>()) {}
+
+QueryCursor::~QueryCursor() { Close(); }
+
+void QueryCursor::Close() {
+  if (impl_ == nullptr || impl_->closed) return;
+  impl_->closed = true;
+  impl_->Release();
+}
+
+const engine::ExecutionReport& QueryCursor::report() const {
+  return impl_->report;
+}
+
+uint64_t QueryCursor::rows_streamed() const { return impl_->rows_streamed; }
+
+uint64_t QueryCursor::peak_buffered_bytes() const {
+  if (impl_->exec != nullptr) return impl_->exec->peak_buffered_bytes();
+  return impl_->peak_buffered_bytes;
+}
+
+Result<bool> QueryCursor::Next(storage::Table* out) {
+  Impl& im = *impl_;
+  if (im.closed || im.finished) return false;
+
+  if (im.cached != nullptr) {
+    size_t total_rows = im.cached->table.num_rows();
+    if (im.emitted_first && im.cached_offset >= total_rows) {
+      im.finished = true;
+      im.Release();
+      return false;
+    }
+    size_t n = std::min(im.batch_rows, total_rows - im.cached_offset);
+    *out = im.cached->table.Slice(im.cached_offset, n).Materialize();
+    im.cached_offset += n;
+    im.emitted_first = true;
+    im.rows_streamed += n;
+    return true;
+  }
+
+  engine::Batch batch;
+  auto more = im.exec->Next(&batch);
+  if (!more.ok()) {
+    // Mid-stream failure (extraction I/O, spill breaker): release
+    // everything now; the error is sticky.
+    im.finished = true;
+    im.Release();
+    return more.status();
+  }
+  if (!*more) {
+    im.finished = true;
+    im.Release();
+    return false;
+  }
+  *out = batch.view.Materialize();
+  im.emitted_first = true;
+  im.rows_streamed += batch.num_rows();
+  return true;
+}
+
+Result<std::unique_ptr<QueryCursor>> Warehouse::OpenCursor(
+    const std::string& sql) {
+  return OpenCursor(sql, QueryOptions());
+}
+
+Result<std::unique_ptr<QueryCursor>> Warehouse::OpenCursor(
+    const std::string& sql, const QueryOptions& query_options) {
+  auto cursor = std::unique_ptr<QueryCursor>(new QueryCursor());
+  QueryCursor::Impl& im = *cursor->impl_;
+  im.report.sql = sql;
+  im.batch_rows = options_.batch_rows == SIZE_MAX ? engine::kDefaultBatchRows
+                                                  : options_.batch_rows;
+
+  common::AdmissionRequest request;
+  request.priority = query_options.priority;
+  request.client_id = query_options.client_id;
+  request.client_weight = query_options.client_weight;
+  request.queue_timeout_ms =
+      ResolveQueueTimeoutMs(query_options.queue_timeout_ms);
+
+  // Admission: identical to Query() — ticket first unless footprint-aware
+  // (the scheduler records queue waits and timeouts the same way, so
+  // queue_wait_seconds and queries_timed_out cover the cursor path too).
+  common::QueryTicket ticket;
+  if (!options_.footprint_aware_admission) {
+    LAZYETL_ASSIGN_OR_RETURN(ticket, scheduler_->Admit(request));
+    LogOp(LogCategory::kQuery,
+          "cursor (ticket " + std::to_string(ticket.id()) + ", priority " +
+              common::QueryPriorityToString(request.priority) + "): " + sql);
+  }
+
+  Stopwatch phase;
+  LAZYETL_ASSIGN_OR_RETURN(sql::SelectStatement stmt, sql::Parse(sql));
+  im.report.parse_seconds = phase.ElapsedSeconds();
+
+  phase.Restart();
+  sql::Binder binder(catalog_.get());
+  LAZYETL_ASSIGN_OR_RETURN(sql::BoundQuery bound, binder.Bind(stmt));
+  im.report.bind_seconds = phase.ElapsedSeconds();
+
+  if (IsLazyStrategy()) {
+    LAZYETL_RETURN_NOT_OK(RefreshStaleCandidates(bound, &im.report));
+  }
+  if (options_.strategy == LoadStrategy::kLazyFilenameOnly) {
+    LAZYETL_RETURN_NOT_OK(HydrateForQuery(bound, &im.report));
+  }
+
+  phase.Restart();
+  std::set<std::string> lazy_tables;
+  if (IsLazyStrategy()) lazy_tables.insert(kDataTable);
+  engine::Planner planner(catalog_.get(), lazy_tables,
+                          options_.enable_metadata_pruning);
+  LAZYETL_ASSIGN_OR_RETURN(im.planned, planner.Plan(bound));
+  im.report.plan_before = im.planned.naive_plan;
+  im.report.plan_after = im.planned.plan->ToString();
+  im.report.plan_seconds = phase.ElapsedSeconds();
+
+  // Sub-plan cache: hits are honored exactly as in Query(); on a miss the
+  // original plan executes unchanged (the streaming path materializes no
+  // breaker output to admit).
+  auto dep_mtime_fn = [this](const engine::ResultDependency& dep) {
+    return CurrentMtime(dep.path);
+  };
+  engine::PlanNodePtr* sub_slot = nullptr;
+  std::vector<engine::ResultDependency> subplan_deps;
+  bool subplan_hit = false;
+  if (plan_cache_ != nullptr) {
+    sub_slot = engine::FindCacheableSubPlan(&im.planned.plan);
+    std::string subplan_fp;
+    if (sub_slot != nullptr) {
+      subplan_fp = engine::PlanFingerprint(**sub_slot);
+      if (subplan_fp.empty()) sub_slot = nullptr;
+    }
+    if (sub_slot != nullptr) {
+      engine::CachedSubPlanPtr cached_sub =
+          plan_cache_->ValidateAndGet(subplan_fp, dep_mtime_fn);
+      if (cached_sub != nullptr) {
+        im.subplan_detached = std::move(*sub_slot);
+        *sub_slot = engine::MakeCachedScan(cached_sub->table, "subplan");
+        subplan_deps = cached_sub->deps;
+        subplan_hit = true;
+        im.report.plan_cache_hit = true;
+        im.report.plan_runtime +=
+            "sub-plan cache hit: breaker subtree replaced by CachedScan\n" +
+            im.planned.plan->ToString();
+        LogOp(LogCategory::kCache, "sub-plan served from plan cache");
+      }
+    }
+  }
+
+  if (options_.footprint_aware_admission) {
+    uint64_t lazy_bytes = 0;
+    if (IsLazyStrategy()) {
+      auto cold = EstimateColdExtractionBytes(bound);
+      if (cold.ok()) lazy_bytes = *cold;
+    }
+    request.estimated_bytes =
+        engine::EstimatePlanFootprint(*im.planned.plan, *catalog_, lazy_bytes);
+    if (options_.enable_result_cache &&
+        result_recycler_->ValidateAndGet(sql, dep_mtime_fn) != nullptr) {
+      request.estimated_bytes = 0;
+    }
+    LAZYETL_ASSIGN_OR_RETURN(ticket, scheduler_->Admit(request));
+    LogOp(LogCategory::kQuery,
+          "cursor (ticket " + std::to_string(ticket.id()) + ", priority " +
+              common::QueryPriorityToString(request.priority) +
+              ", estimated footprint " +
+              std::to_string(request.estimated_bytes) + " B): " + sql);
+    // Re-validate the cached sub-plan after the queue wait, reverting to
+    // the detached subtree on staleness (see Query()).
+    if (subplan_hit) {
+      bool fresh = true;
+      for (const auto& dep : subplan_deps) {
+        if (CurrentMtime(dep.path) != dep.mtime) {
+          fresh = false;
+          break;
+        }
+      }
+      if (!fresh) {
+        *sub_slot = std::move(im.subplan_detached);
+        subplan_hit = false;
+        im.report.plan_cache_hit = false;
+        im.report.plan_runtime.clear();
+      }
+    }
+  }
+
+  // Whole-result recycling: a still-valid cached result streams out in
+  // batch-sized chunks. The ticket is released here — serving from cache
+  // needs no execution slot, matching the materializing early return.
+  if (options_.enable_result_cache) {
+    engine::CachedResultPtr cached =
+        result_recycler_->ValidateAndGet(sql, dep_mtime_fn);
+    if (cached != nullptr) {
+      result_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      im.report.ticket_id = ticket.id();
+      im.report.queue_wait_seconds = ticket.queue_wait_seconds();
+      im.report.admitted_budget_bytes = ticket.admitted_budget_bytes();
+      im.report.priority = common::QueryPriorityToString(request.priority);
+      im.report.client_id = request.client_id;
+      im.report.estimated_footprint_bytes = request.estimated_bytes;
+      im.report.result_cache_hit = true;
+      im.report.result_rows = cached->table.num_rows();
+      im.report.total_seconds = im.total.ElapsedSeconds();
+      im.cached = std::move(cached);
+      LogOp(LogCategory::kCache, "cursor answered from result cache");
+      return cursor;
+    }
+  }
+
+  im.exec_phase.Restart();
+  im.qctx = std::make_unique<engine::QueryContext>(std::move(ticket),
+                                                   options_.spill_dir);
+  im.provider = std::make_unique<WarehouseDataProvider>(this, im.qctx.get());
+  engine::ExecutorOptions exec_options;
+  exec_options.batch_rows = options_.batch_rows;
+  exec_options.query_threads = options_.query_threads;
+  im.executor = std::make_unique<engine::Executor>(catalog_.get(),
+                                                   im.provider.get(),
+                                                   exec_options);
+  LAZYETL_ASSIGN_OR_RETURN(
+      im.exec,
+      im.executor->OpenCursor(*im.planned.plan, &im.report, im.qctx.get(),
+                              options_.cursor_window_batches));
+  return cursor;
 }
 
 Result<engine::ExecutionReport> Warehouse::Explain(const std::string& sql) {

@@ -159,6 +159,17 @@ struct WarehouseOptions {
   // Rows per engine pipeline batch. Intermediates of pipelined plans are
   // bounded by O(batch_rows × pipeline depth).
   size_t batch_rows = engine::kDefaultBatchRows;
+  // Streaming cursors (OpenCursor): result batches buffered ahead of the
+  // consumer before morsel dispatch suspends (the backpressure window —
+  // a slow client stalls the drive loop instead of buffering the result).
+  // 0 = resolve from LAZYETL_CURSOR_WINDOW_BATCHES, default 4.
+  size_t cursor_window_batches = 0;
+  // Priority aging for the admission queue: a waiter stuck behind
+  // higher-priority arrivals is promoted one priority class per this many
+  // milliseconds of queue wait, so sustained HIGH load cannot starve LOW
+  // indefinitely. 0 = resolve from LAZYETL_PRIORITY_AGING_MS; < 0 = off.
+  // Off (the default) preserves the strict class order byte-identically.
+  int64_t priority_aging_ms = 0;
   // Mirror the operation log to stderr.
   bool echo_log = false;
 };
@@ -201,6 +212,62 @@ struct QueryOptions {
   // (WarehouseOptions::queue_timeout_ms / LAZYETL_QUEUE_TIMEOUT_MS);
   // < 0 = never time out, overriding the default.
   int64_t queue_timeout_ms = 0;
+};
+
+// A streaming query handle: the admitted execution pipeline stays
+// suspended between Next() calls, yielding the result in batch-sized
+// tables instead of materializing it whole. Produced by
+// Warehouse::OpenCursor; the warehouse must outlive the cursor.
+//
+// Lifecycle: the cursor holds its admission ticket (scheduler slot), the
+// budget carved for it, and its spill directory from OpenCursor until
+// Close() — which is idempotent, implied by the destructor, and safe at
+// any point mid-stream (client disconnect, LIMIT satisfied): the drive
+// loop is cancelled and joined, and ticket/budget/spill state is
+// released exactly once. Single consumer: Next/Close from one thread at
+// a time; different cursors are independent and may run concurrently.
+//
+// Semantics match Query() batch-for-batch: batches arrive in serial seq
+// order, so their concatenation is byte-identical to Query(sql).table;
+// the first batch always carries the result schema (possibly with zero
+// rows). A still-valid cached whole result is streamed in batch-sized
+// chunks. Streamed results are not admitted to the whole-result cache
+// (they are never materialized server-side); sub-plan cache hits are
+// honored, misses execute the original plan without populating the tier.
+class QueryCursor {
+ public:
+  ~QueryCursor();
+  QueryCursor(const QueryCursor&) = delete;
+  QueryCursor& operator=(const QueryCursor&) = delete;
+
+  // Fills *out with the next result batch (an owned table, valid after
+  // the cursor advances or closes); returns false at end of stream, after
+  // finalizing report(). Errors (extraction I/O, mid-spill failures) are
+  // sticky and release resources like Close.
+  Result<bool> Next(storage::Table* out);
+
+  // Tears down the pipeline and releases ticket/budget/spill exactly
+  // once. After Close, Next returns end-of-stream.
+  void Close();
+
+  // The execution report; admission fields (ticket_id,
+  // queue_wait_seconds, priority, client_id, admitted_budget_bytes) are
+  // valid from OpenCursor on — identical to the materializing path —
+  // and the remaining counters are final once the stream ends.
+  const engine::ExecutionReport& report() const;
+
+  // Rows delivered through Next so far.
+  uint64_t rows_streamed() const;
+
+  // Peak result bytes resident between the drive loop and the consumer —
+  // O(window × batch) by construction, vs O(result) for Query().
+  uint64_t peak_buffered_bytes() const;
+
+ private:
+  friend class Warehouse;
+  QueryCursor();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 struct WarehouseStats {
@@ -254,6 +321,16 @@ class Warehouse {
   Result<QueryResult> Query(const std::string& sql);
   Result<QueryResult> Query(const std::string& sql,
                             const QueryOptions& query_options);
+
+  // Streaming form of Query(): admits through the same scheduler (same
+  // priorities, fair share, queue timeouts — a timeout fails here with
+  // Status::DeadlineExceeded before any state is touched), then returns a
+  // cursor that yields the result batch-by-batch. See QueryCursor for
+  // lifecycle and backpressure; WarehouseOptions::cursor_window_batches
+  // bounds what a slow consumer can keep buffered.
+  Result<std::unique_ptr<QueryCursor>> OpenCursor(const std::string& sql);
+  Result<std::unique_ptr<QueryCursor>> OpenCursor(
+      const std::string& sql, const QueryOptions& query_options);
 
   // Parses, binds, and plans `sql` without executing it: the report holds
   // the naive plan and the reorganised (metadata-first) plan. No data is

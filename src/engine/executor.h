@@ -104,6 +104,61 @@ struct ExecutorOptions {
 };
 
 class QueryContext;
+class BatchCursor;
+class BatchOperator;
+struct Batch;
+struct ExecContext;
+
+// A suspended query execution: the operator tree stays open while the
+// consumer pulls in-order batches through Next(). Produced by
+// Executor::OpenCursor; Execute() is now a drain loop over one of these.
+//
+// Close() (implied by the destructor, idempotent) cancels the drive loop,
+// closes the operator tree, finalizes the per-operator stats in the
+// report exactly once, and — on the standalone path — releases the local
+// QueryContext (budget + spill dir). Admitted queries release their
+// QueryContext in the owner (core::QueryCursor). Single consumer: Next
+// and Close are called from one thread at a time. The plan passed to
+// OpenCursor must outlive the cursor (operators hold pointers into it).
+class ExecutionCursor {
+ public:
+  ~ExecutionCursor();
+  ExecutionCursor(const ExecutionCursor&) = delete;
+  ExecutionCursor& operator=(const ExecutionCursor&) = delete;
+
+  // Fills *out with the next in-order batch; returns false at end of
+  // stream (after finalizing the report). The first batch always carries
+  // the schema. Errors finalize the report (without per-operator stats,
+  // matching Execute) and are sticky.
+  Result<bool> Next(Batch* out);
+
+  // Tears down the pipeline: cancel + join the drive loop, close the
+  // operator tree, finalize the report, release standalone context state.
+  // Exactly-once and safe mid-stream (client disconnect).
+  void Close();
+
+  // Peak result batches/bytes buffered between producers and the
+  // consumer; see BatchCursor. Stable after Close()/exhaustion.
+  uint64_t peak_buffered_batches() const;
+  uint64_t peak_buffered_bytes() const;
+
+ private:
+  friend class Executor;
+  ExecutionCursor();
+  void Finalize(bool with_stats);
+
+  std::unique_ptr<QueryContext> local_ctx_;  // standalone path only
+  QueryContext* qctx_ = nullptr;
+  ExecutionReport* report_ = nullptr;
+  std::unique_ptr<ExecContext> exec_ctx_;
+  std::unique_ptr<BatchOperator> root_;
+  std::unique_ptr<BatchCursor> cursor_;
+  uint64_t peak_buffered_batches_ = 0;
+  uint64_t peak_buffered_bytes_ = 0;
+  bool finalized_ = false;
+  bool closed_ = false;
+  bool finished_ = false;
+};
 
 class Executor {
  public:
@@ -123,6 +178,15 @@ class Executor {
   Result<storage::Table> Execute(const PlanNode& plan,
                                  ExecutionReport* report,
                                  QueryContext* qctx = nullptr);
+
+  // Streaming form of Execute: builds and opens the operator tree, then
+  // returns a cursor yielding in-order batches. `window_batches` bounds
+  // the batches buffered ahead of the consumer (backpressure; 0 =
+  // unbounded). `plan` (and `report`/`qctx`, when given) must outlive the
+  // cursor.
+  Result<std::unique_ptr<ExecutionCursor>> OpenCursor(
+      const PlanNode& plan, ExecutionReport* report,
+      QueryContext* qctx = nullptr, size_t window_batches = 0);
 
  private:
   const storage::Catalog* catalog_;

@@ -260,8 +260,11 @@ Result<storage::Table> DrainToTable(BatchOperator* op);
 // sound.
 using BatchSink = std::function<Status(size_t worker, Batch&& batch)>;
 
-// Invoked once when a worker's drive loop finishes cleanly (its seq
-// watermark becomes +infinity).
+// Invoked once when a worker's drive loop exits — cleanly (its seq
+// watermark becomes +infinity) or on failure (it will deliver no further
+// batches). Either way the worker stops participating in watermark
+// ordering, so a sink applying backpressure can release peers that were
+// waiting on it.
 using WorkerDone = std::function<void(size_t worker)>;
 
 // Morsel-driven drive loop: pulls `op` from `threads` concurrent workers

@@ -11,6 +11,7 @@
 #include "common/macros.h"
 #include "common/thread_pool.h"
 #include "engine/expr_eval.h"
+#include "engine/operators/batch_cursor.h"
 #include "engine/operators/internal.h"
 #include "engine/operators/join_build.h"
 #include "engine/operators/operator.h"
@@ -593,10 +594,7 @@ Status ParallelDrain(BatchOperator* op, size_t threads, const BatchSink& sink,
         while (!failed.load(std::memory_order_relaxed)) {
           auto more = op->Next(&batch);
           Status st = more.ok() ? Status::OK() : more.status();
-          if (st.ok() && !*more) {
-            if (done) done(worker);
-            return;
-          }
+          if (st.ok() && !*more) break;
           if (st.ok()) {
             produced.fetch_add(1, std::memory_order_relaxed);
             st = sink(worker, std::move(batch));
@@ -606,9 +604,12 @@ Status ParallelDrain(BatchOperator* op, size_t threads, const BatchSink& sink,
             std::lock_guard<std::mutex> lock(error_mu);
             if (first_error.ok()) first_error = st;
             failed.store(true, std::memory_order_relaxed);
-            return;
+            break;
           }
         }
+        // Fires on every exit path, clean or failed: a sink blocking on
+        // this worker's watermark must be released either way.
+        if (done) done(worker);
       });
   op->SetParallelDrive(false);
   if (failed.load()) return first_error;
@@ -623,67 +624,30 @@ Status ParallelDrain(BatchOperator* op, size_t threads, const BatchSink& sink,
   return Status::OK();
 }
 
-// Streaming in-order reassembly via per-worker seq watermarks. Seqs can
-// have gaps (a dropped morsel is indistinguishable from one still in
-// flight), but each worker delivers strictly increasing seqs, so any
-// batch with seq <= min over unfinished workers of (last seq delivered)
-// can never be preceded by a still-missing one: the contiguous prefix
-// appends to the result while the drain runs, and only out-of-order
-// batches are buffered (the old implementation held the entire input,
-// a transient ~2× of the drained bytes).
+// Streaming in-order reassembly: the materializing drain is now a thin
+// consumer over BatchCursor (the resumable, suspended form of this same
+// watermark drive loop — see batch_cursor.h). An unbounded window keeps
+// the historical behavior: the consumer appends every contiguous seq
+// prefix while the drain runs, so only out-of-order batches buffer.
 Result<Table> DrainToTableOrdered(BatchOperator* op, size_t threads) {
   if (threads <= 1 || !op->ParallelSafe()) return DrainToTable(op);
 
-  constexpr int64_t kNoneDelivered = -1;
-  std::mutex mu;
-  std::map<uint64_t, Batch> pending;      // out-of-order batches, by seq
-  std::vector<int64_t> watermark(threads, kNoneDelivered);
-  std::vector<bool> finished(threads, false);
+  BatchCursor cursor(op, BatchCursor::Options{threads, /*window_batches=*/0});
   Table result;
   bool first = true;
-  Status append_error;
-
-  // Appends every pending batch at or below the current safe seq. Called
-  // under `mu`.
-  auto flush = [&]() {
-    int64_t safe = INT64_MAX;
-    for (size_t w = 0; w < threads; ++w) {
-      if (!finished[w]) safe = std::min(safe, watermark[w]);
+  Batch batch;
+  while (true) {
+    LAZYETL_ASSIGN_OR_RETURN(bool more, cursor.Next(&batch));
+    if (!more) break;
+    if (first) {
+      result = batch.view.Materialize();
+      first = false;
+    } else {
+      // On failure the cursor destructor cancels the drive loop.
+      LAZYETL_RETURN_NOT_OK(result.AppendSlice(batch.view));
     }
-    while (!pending.empty() &&
-           static_cast<int64_t>(pending.begin()->first) <= safe) {
-      const Batch& batch = pending.begin()->second;
-      if (first) {
-        result = batch.view.Materialize();
-        first = false;
-      } else {
-        Status st = result.AppendSlice(batch.view);
-        if (!st.ok() && append_error.ok()) append_error = st;
-      }
-      pending.erase(pending.begin());
-    }
-  };
-
-  LAZYETL_RETURN_NOT_OK(ParallelDrain(
-      op, threads,
-      [&](size_t worker, Batch&& batch) {
-        std::lock_guard<std::mutex> lock(mu);
-        watermark[worker] = static_cast<int64_t>(batch.seq);
-        pending.emplace(batch.seq, std::move(batch));
-        flush();
-        return append_error;
-      },
-      [&](size_t worker) {
-        std::lock_guard<std::mutex> lock(mu);
-        finished[worker] = true;
-        flush();
-      }));
-
-  // Whatever is still buffered (workers that errored out never finish;
-  // the schema-restoring batch arrives after the workers joined).
-  std::fill(finished.begin(), finished.end(), true);
-  flush();
-  LAZYETL_RETURN_NOT_OK(append_error);
+    batch = Batch();
+  }
   return result;
 }
 

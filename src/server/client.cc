@@ -1,0 +1,277 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/macros.h"
+#include "server/http.h"
+
+namespace lazyetl::server {
+
+namespace {
+
+Result<int> Connect(const std::string& host, int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::IOError(std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  return fd;
+}
+
+// Reads the full response: status line, headers, body (chunked or
+// Content-Length decoded).
+Result<std::pair<int, std::string>> ReadResponse(int fd) {
+  std::string buf;
+  size_t head_end;
+  while ((head_end = buf.find("\r\n\r\n")) == std::string::npos) {
+    char chunk[4096];
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) return Status::IOError("connection closed in response head");
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+  std::string head = buf.substr(0, head_end);
+  std::string rest = buf.substr(head_end + 4);
+
+  size_t sp = head.find(' ');
+  if (sp == std::string::npos) return Status::IOError("bad status line");
+  int status = std::atoi(head.c_str() + sp + 1);
+
+  bool chunked = head.find("Transfer-Encoding: chunked") != std::string::npos;
+  size_t content_length = 0;
+  size_t cl = head.find("Content-Length:");
+  if (cl != std::string::npos) {
+    content_length = std::strtoull(head.c_str() + cl + 15, nullptr, 10);
+  }
+
+  auto fill = [&](size_t want) -> Status {
+    while (rest.size() < want) {
+      char chunk[4096];
+      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(std::string("recv: ") + std::strerror(errno));
+      }
+      if (n == 0) return Status::IOError("connection closed in body");
+      rest.append(chunk, static_cast<size_t>(n));
+    }
+    return Status::OK();
+  };
+
+  if (!chunked) {
+    LAZYETL_RETURN_NOT_OK(fill(content_length));
+    return std::make_pair(status, rest.substr(0, content_length));
+  }
+
+  // De-chunk: hex size line, payload, trailing CRLF; 0-size terminates.
+  std::string body;
+  size_t pos = 0;
+  while (true) {
+    size_t eol;
+    while ((eol = rest.find("\r\n", pos)) == std::string::npos) {
+      LAZYETL_RETURN_NOT_OK(fill(rest.size() + 1));
+    }
+    size_t chunk_len = std::strtoull(rest.c_str() + pos, nullptr, 16);
+    size_t data_at = eol + 2;
+    if (chunk_len == 0) break;
+    LAZYETL_RETURN_NOT_OK(fill(data_at + chunk_len + 2));
+    body.append(rest, data_at, chunk_len);
+    pos = data_at + chunk_len + 2;
+  }
+  return std::make_pair(status, std::move(body));
+}
+
+// Splits the stream body into frame payloads.
+std::vector<std::string> SplitFrames(const std::string& body, bool binary) {
+  std::vector<std::string> frames;
+  if (!binary) {
+    size_t pos = 0;
+    while (pos < body.size()) {
+      size_t nl = body.find('\n', pos);
+      if (nl == std::string::npos) nl = body.size();
+      if (nl > pos) frames.push_back(body.substr(pos, nl - pos));
+      pos = nl + 1;
+    }
+    return frames;
+  }
+  size_t pos = 0;
+  while (pos + 4 <= body.size()) {
+    uint32_t len = static_cast<uint8_t>(body[pos]) |
+                   (static_cast<uint8_t>(body[pos + 1]) << 8) |
+                   (static_cast<uint8_t>(body[pos + 2]) << 16) |
+                   (static_cast<uint8_t>(body[pos + 3]) << 24);
+    pos += 4;
+    if (pos + len > body.size()) break;  // truncated stream
+    frames.push_back(body.substr(pos, len));
+    pos += len;
+  }
+  return frames;
+}
+
+// "key":"value" extractor (value must not contain escaped quotes — true
+// for the code strings this is used on).
+std::string ExtractString(const std::string& json, const std::string& key) {
+  std::string needle = "\"" + key + "\":\"";
+  size_t at = json.find(needle);
+  if (at == std::string::npos) return "";
+  size_t begin = at + needle.size();
+  std::string out;
+  for (size_t i = begin; i < json.size(); ++i) {
+    if (json[i] == '\\' && i + 1 < json.size()) {
+      out.push_back(json[++i]);
+      continue;
+    }
+    if (json[i] == '"') break;
+    out.push_back(json[i]);
+  }
+  return out;
+}
+
+uint64_t ExtractUint(const std::string& json, const std::string& key) {
+  std::string needle = "\"" + key + "\":";
+  size_t at = json.find(needle);
+  if (at == std::string::npos) return 0;
+  return std::strtoull(json.c_str() + at + needle.size(), nullptr, 10);
+}
+
+// Appends the row texts of a batch frame ({"type":"batch","rows":[[..],
+// [..]]}) to `rows`: walks the top-level elements of the rows array with
+// bracket-depth and in-string tracking, so strings containing brackets
+// or commas cannot split a row.
+void ExtractRows(const std::string& payload, std::vector<std::string>* rows) {
+  size_t at = payload.find("\"rows\":[");
+  if (at == std::string::npos) return;
+  size_t i = at + 8;  // first char after the array '['
+  int depth = 0;
+  bool in_string = false;
+  size_t row_begin = std::string::npos;
+  for (; i < payload.size(); ++i) {
+    char c = payload[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '[') {
+      if (depth == 0) row_begin = i;
+      ++depth;
+    } else if (c == ']') {
+      if (depth == 0) break;  // end of the rows array
+      --depth;
+      if (depth == 0) {
+        rows->push_back(payload.substr(row_begin, i - row_begin + 1));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<StreamedQueryResult> RunStreamedQuery(const std::string& host,
+                                             int port, const std::string& sql,
+                                             const ClientOptions& options) {
+  LAZYETL_ASSIGN_OR_RETURN(int fd, Connect(host, port));
+
+  std::string req = "POST /query HTTP/1.1\r\nHost: " + host + "\r\n";
+  if (!options.priority.empty()) {
+    req += "X-Lazyetl-Priority: " + options.priority + "\r\n";
+  }
+  if (!options.client_id.empty()) {
+    req += "X-Lazyetl-Client-Id: " + options.client_id + "\r\n";
+  }
+  if (options.queue_timeout_ms != 0) {
+    req += "X-Lazyetl-Queue-Timeout-Ms: " +
+           std::to_string(options.queue_timeout_ms) + "\r\n";
+  }
+  if (options.binary_frames) req += "X-Lazyetl-Format: frames\r\n";
+  req += "Content-Length: " + std::to_string(sql.size()) + "\r\n\r\n" + sql;
+
+  Status sent = SendAll(fd, req);
+  if (!sent.ok()) {
+    ::close(fd);
+    return sent;
+  }
+  auto response = ReadResponse(fd);
+  ::close(fd);
+  LAZYETL_RETURN_NOT_OK(response.status());
+
+  StreamedQueryResult out;
+  out.http_status = response->first;
+  if (out.http_status != 200) {
+    out.error_body = response->second;
+    return out;
+  }
+  for (const std::string& frame :
+       SplitFrames(response->second, options.binary_frames)) {
+    std::string type = ExtractString(frame, "type");
+    if (type == "schema") {
+      size_t at = frame.find("\"columns\":");
+      if (at != std::string::npos) {
+        out.schema_json = frame.substr(at + 10);
+        if (!out.schema_json.empty() && out.schema_json.back() == '}') {
+          out.schema_json.pop_back();  // the frame's closing brace
+        }
+      }
+    } else if (type == "batch") {
+      ++out.batch_frames;
+      ExtractRows(frame, &out.rows);
+    } else if (type == "end") {
+      out.saw_end = true;
+      out.end_rows = ExtractUint(frame, "rows");
+      out.ticket = ExtractUint(frame, "ticket");
+      out.peak_buffered_bytes = ExtractUint(frame, "peak_buffered_bytes");
+    } else if (type == "error") {
+      out.error_code = ExtractString(frame, "code");
+      out.error_message = ExtractString(frame, "error");
+    }
+  }
+  return out;
+}
+
+Result<std::string> HttpGet(const std::string& host, int port,
+                            const std::string& target) {
+  LAZYETL_ASSIGN_OR_RETURN(int fd, Connect(host, port));
+  std::string req =
+      "GET " + target + " HTTP/1.1\r\nHost: " + host + "\r\n\r\n";
+  Status sent = SendAll(fd, req);
+  if (!sent.ok()) {
+    ::close(fd);
+    return sent;
+  }
+  auto response = ReadResponse(fd);
+  ::close(fd);
+  LAZYETL_RETURN_NOT_OK(response.status());
+  if (response->first != 200) {
+    return Status::IOError("GET " + target + " -> HTTP " +
+                           std::to_string(response->first));
+  }
+  return response->second;
+}
+
+}  // namespace lazyetl::server

@@ -1,0 +1,55 @@
+// Minimal blocking client for the QueryServer wire protocol — the test
+// and load-generator counterpart of server.h. Connects, POSTs one query,
+// decodes the chunked frame stream, and returns it structurally so tests
+// can compare streamed rows byte-for-byte against a materialized run.
+
+#ifndef LAZYETL_SERVER_CLIENT_H_
+#define LAZYETL_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace lazyetl::server {
+
+struct ClientOptions {
+  std::string priority;        // "" = omit the header
+  std::string client_id;       // "" = omit
+  int64_t queue_timeout_ms = 0;  // 0 = omit; < 0 = never time out
+  bool binary_frames = false;    // X-Lazyetl-Format: frames
+};
+
+struct StreamedQueryResult {
+  int http_status = 0;
+  // Non-200: the JSON error body; 200: empty.
+  std::string error_body;
+  // Decoded 200-stream, in arrival order.
+  std::string schema_json;            // the schema frame's columns array
+  std::vector<std::string> rows;      // one "[v,v,...]" JSON text per row
+  size_t batch_frames = 0;
+  bool saw_end = false;
+  uint64_t end_rows = 0;
+  uint64_t ticket = 0;
+  uint64_t peak_buffered_bytes = 0;
+  // Mid-stream error frame ("" = none).
+  std::string error_code;
+  std::string error_message;
+};
+
+// Runs one query over a fresh connection. Transport-level failures
+// (connect/recv) fail the Result; HTTP and in-stream errors come back in
+// the StreamedQueryResult fields.
+Result<StreamedQueryResult> RunStreamedQuery(const std::string& host,
+                                             int port, const std::string& sql,
+                                             const ClientOptions& options = {});
+
+// GETs `target` (e.g. "/stats") and returns the response body; fails on
+// transport errors or a non-200 status.
+Result<std::string> HttpGet(const std::string& host, int port,
+                            const std::string& target);
+
+}  // namespace lazyetl::server
+
+#endif  // LAZYETL_SERVER_CLIENT_H_

@@ -1,0 +1,191 @@
+#include "server/http.h"
+
+#include <sys/socket.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace lazyetl::server {
+
+namespace {
+
+std::string Lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::string Trim(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+}  // namespace
+
+Status SendAll(int fd, std::string_view data) {
+  const char* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+    ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send failed: ") +
+                             std::strerror(errno));
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<HttpRequest> ReadHttpRequest(int fd, size_t max_bytes) {
+  std::string buf;
+  size_t head_end = std::string::npos;
+  bool first_read = true;
+  while (true) {
+    head_end = buf.find("\r\n\r\n");
+    if (head_end != std::string::npos) break;
+    if (buf.size() > max_bytes) {
+      return Status::InvalidArgument("request head too large");
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO fired. On an idle keep-alive connection that is a
+        // poll tick (the caller re-checks its stop flag and retries); a
+        // half-received request is a dead client.
+        if (buf.empty()) return Status::DeadlineExceeded("idle connection");
+        return Status::IOError("request read timed out");
+      }
+      return Status::IOError(std::string("recv failed: ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      // Clean close before any bytes = the peer is done with the
+      // connection, not an error worth logging.
+      if (first_read && buf.empty()) {
+        return Status::NotFound("connection closed");
+      }
+      return Status::IOError("connection closed mid-request");
+    }
+    first_read = false;
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+
+  HttpRequest req;
+  std::string_view head(buf.data(), head_end);
+  size_t line_end = head.find("\r\n");
+  std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  size_t sp1 = request_line.find(' ');
+  size_t sp2 = sp1 == std::string_view::npos
+                   ? std::string_view::npos
+                   : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    return Status::InvalidArgument("malformed request line");
+  }
+  req.method = std::string(request_line.substr(0, sp1));
+  req.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+
+  size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    std::string_view line = head.substr(
+        pos, eol == std::string_view::npos ? head.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? head.size() : eol + 2;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    req.headers[Lower(Trim(line.substr(0, colon)))] =
+        Trim(line.substr(colon + 1));
+  }
+
+  size_t body_len = 0;
+  auto it = req.headers.find("content-length");
+  if (it != req.headers.end()) {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0' || v > max_bytes) {
+      return Status::InvalidArgument("bad content-length");
+    }
+    body_len = static_cast<size_t>(v);
+  }
+
+  req.body = buf.substr(head_end + 4);
+  while (req.body.size() < body_len) {
+    char chunk[4096];
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv failed: ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) return Status::IOError("connection closed mid-body");
+    req.body.append(chunk, static_cast<size_t>(n));
+  }
+  req.body.resize(body_len);
+  return req;
+}
+
+const char* HttpStatusText(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+Status HttpResponseWriter::WriteFull(int status_code,
+                                     const std::string& content_type,
+                                     std::string_view body) {
+  char head[256];
+  int n = std::snprintf(head, sizeof(head),
+                        "HTTP/1.1 %d %s\r\n"
+                        "Content-Type: %s\r\n"
+                        "Content-Length: %zu\r\n"
+                        "\r\n",
+                        status_code, HttpStatusText(status_code),
+                        content_type.c_str(), body.size());
+  std::string out(head, static_cast<size_t>(n));
+  out.append(body);
+  return SendAll(fd_, out);
+}
+
+Status HttpResponseWriter::StartChunked(int status_code,
+                                        const std::string& content_type) {
+  char head[256];
+  int n = std::snprintf(head, sizeof(head),
+                        "HTTP/1.1 %d %s\r\n"
+                        "Content-Type: %s\r\n"
+                        "Transfer-Encoding: chunked\r\n"
+                        "\r\n",
+                        status_code, HttpStatusText(status_code),
+                        content_type.c_str());
+  return SendAll(fd_, std::string_view(head, static_cast<size_t>(n)));
+}
+
+Status HttpResponseWriter::WriteChunk(std::string_view data) {
+  if (data.empty()) return Status::OK();  // 0-size means terminator
+  char size_line[32];
+  int n = std::snprintf(size_line, sizeof(size_line), "%zx\r\n", data.size());
+  std::string out(size_line, static_cast<size_t>(n));
+  out.append(data);
+  out.append("\r\n");
+  return SendAll(fd_, out);
+}
+
+Status HttpResponseWriter::FinishChunked() {
+  return SendAll(fd_, "0\r\n\r\n");
+}
+
+}  // namespace lazyetl::server

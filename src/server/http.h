@@ -1,0 +1,65 @@
+// Minimal blocking HTTP/1.1 plumbing for the serving front-end: just
+// enough protocol to read one request off a connected socket and answer
+// it — either whole (Content-Length) or as a chunked stream, which is how
+// query results leave the server batch by batch without ever being
+// materialized. No TLS, no pipelining, no multipart; request heads are
+// size-capped so a misbehaving client cannot balloon server memory.
+
+#ifndef LAZYETL_SERVER_HTTP_H_
+#define LAZYETL_SERVER_HTTP_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace lazyetl::server {
+
+// One parsed request. Header names are lowercased (HTTP headers are
+// case-insensitive); values are trimmed of surrounding whitespace.
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ...
+  std::string target;  // origin-form, e.g. "/query"
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+// Reads exactly one request from `fd` (blocking). Fails with NotFound on
+// a clean EOF before any bytes (client closed an idle keep-alive
+// connection), IOError on socket errors or EOF mid-request, and
+// InvalidArgument on malformed framing or a head/body larger than
+// `max_bytes`.
+Result<HttpRequest> ReadHttpRequest(int fd, size_t max_bytes = 1 << 20);
+
+// Sends the whole buffer (MSG_NOSIGNAL: a dead peer surfaces as IOError,
+// never as SIGPIPE).
+Status SendAll(int fd, std::string_view data);
+
+const char* HttpStatusText(int code);
+
+// Response writer over a connected socket. Exactly one of WriteFull or
+// StartChunked ... WriteChunk* ... FinishChunked per request.
+class HttpResponseWriter {
+ public:
+  explicit HttpResponseWriter(int fd) : fd_(fd) {}
+
+  // Complete response with a Content-Length body.
+  Status WriteFull(int status_code, const std::string& content_type,
+                   std::string_view body);
+
+  // Response head with Transfer-Encoding: chunked; stream the body with
+  // WriteChunk and terminate with FinishChunked.
+  Status StartChunked(int status_code, const std::string& content_type);
+  Status WriteChunk(std::string_view data);
+  Status FinishChunked();
+
+ private:
+  int fd_;
+};
+
+}  // namespace lazyetl::server
+
+#endif  // LAZYETL_SERVER_HTTP_H_

@@ -1,0 +1,148 @@
+// lazyetl_serverd: stand-alone serving daemon. Opens a warehouse, attaches
+// (or generates) an mSEED repository, and serves the wire protocol of
+// server.h until SIGINT/SIGTERM, then shuts down cleanly — in-flight
+// streams are cut, every cursor releases its ticket/budget/spill state,
+// and the process exits 0.
+//
+// Usage:
+//   lazyetl_serverd --attach /data/orfeus-pond [--port 8123] [--host H]
+//                   [--strategy lazy|eager|filename] [--max-concurrent N]
+//                   [--aging-ms N] [--generate DIR]
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/warehouse.h"
+#include "mseed/repository.h"
+#include "server/server.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--attach ROOT]... [--generate DIR] [--port P] [--host H]\n"
+      "          [--strategy lazy|eager|filename] [--max-concurrent N]\n"
+      "          [--aging-ms N]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using lazyetl::core::LoadStrategy;
+  using lazyetl::core::Warehouse;
+  using lazyetl::core::WarehouseOptions;
+  using lazyetl::server::QueryServer;
+  using lazyetl::server::ServerOptions;
+
+  WarehouseOptions wh_options;
+  ServerOptions srv_options;
+  std::vector<std::string> roots;
+  std::string generate_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--attach") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      roots.push_back(v);
+    } else if (arg == "--generate") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      generate_dir = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      srv_options.port = std::atoi(v);
+    } else if (arg == "--host") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      srv_options.host = v;
+    } else if (arg == "--strategy") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      if (std::strcmp(v, "lazy") == 0) {
+        wh_options.strategy = LoadStrategy::kLazy;
+      } else if (std::strcmp(v, "eager") == 0) {
+        wh_options.strategy = LoadStrategy::kEager;
+      } else if (std::strcmp(v, "filename") == 0) {
+        wh_options.strategy = LoadStrategy::kLazyFilenameOnly;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--max-concurrent") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      wh_options.max_concurrent_queries =
+          static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--aging-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      wh_options.priority_aging_ms = std::atoll(v);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (roots.empty() && generate_dir.empty()) return Usage(argv[0]);
+
+  // Block the shutdown signals before any thread exists, so the accept
+  // and connection threads inherit the mask and only main sees them.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  if (!generate_dir.empty()) {
+    auto repo = lazyetl::mseed::GenerateRepository(
+        generate_dir, lazyetl::mseed::DefaultDemoConfig());
+    if (!repo.ok()) {
+      std::fprintf(stderr, "generate failed: %s\n",
+                   repo.status().ToString().c_str());
+      return 1;
+    }
+    roots.push_back(generate_dir);
+  }
+
+  wh_options.echo_log = true;
+  auto wh = Warehouse::Open(wh_options);
+  if (!wh.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", wh.status().ToString().c_str());
+    return 1;
+  }
+  for (const std::string& root : roots) {
+    auto stats = (*wh)->AttachRepository(root);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "attach %s failed: %s\n", root.c_str(),
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "attached %s: %zu files in %.3fs\n", root.c_str(),
+                 stats->files, stats->seconds);
+  }
+
+  QueryServer server(wh->get(), srv_options);
+  auto started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "serving on %s:%d (SIGINT/SIGTERM to stop)\n",
+               srv_options.host.c_str(), server.port());
+
+  int sig = 0;
+  sigwait(&sigs, &sig);
+  std::fprintf(stderr, "signal %d: shutting down\n", sig);
+  server.Stop();
+  return 0;
+}

@@ -305,12 +305,15 @@ TEST(ConcurrentQueryTest, SchedulerReportsTicketsAndQueueing) {
 
 // Stress / fault injection: 8 clients x mixed priorities x random queue
 // timeouts hammer a 2-slot scheduler under a tiny (2 MiB) global budget
-// with footprint-aware admission on. Every query either succeeds with a
-// result byte-identical to the serial run or fails with the typed
+// with footprint-aware admission on. A third of the requests go through
+// the streaming cursor and are abandoned mid-stream (explicit Close or a
+// dropped handle after 0-2 batches) — the serving front-end's client
+// disconnects. Every materializing query either succeeds with a result
+// byte-identical to the serial run or fails with the typed
 // DeadlineExceeded admission timeout — nothing else. After the storm, no
-// ticket, budget reservation or spill directory may be leaked. Seeded
-// per-client RNGs make each client's request sequence reproducible;
-// workers never call gtest assertions (TSan-meaningful).
+// ticket, budget reservation or spill directory may be leaked, cursors
+// included. Seeded per-client RNGs make each client's request sequence
+// reproducible; workers never call gtest assertions (TSan-meaningful).
 TEST(ConcurrentQueryTest, SchedulerStressFaultInjectionLeavesNoLeaks) {
   testing::ScopedTempDir dir;
   testing::MustGenerate(dir.path(), testing::SmallRepoConfig());
@@ -326,6 +329,7 @@ TEST(ConcurrentQueryTest, SchedulerStressFaultInjectionLeavesNoLeaks) {
     std::string sql;
     bool ok = false;
     bool deadline = false;
+    bool abandoned = false;  // streamed and walked away mid-stream
     std::string error;
     Table table;
   };
@@ -371,6 +375,31 @@ TEST(ConcurrentQueryTest, SchedulerStressFaultInjectionLeavesNoLeaks) {
                 (static_cast<size_t>(t) * kIters + iter) * kWorkloadSize + q;
             StressOutcome& out = outcomes[slot];
             out.sql = sql;
+            if (rng() % 3 == 0) {
+              // Streaming client that gives up mid-stream: read a few
+              // batches, then either Close explicitly or just drop the
+              // handle (disconnect). Both must release the ticket, the
+              // budget carve and any spill state.
+              auto cursor = wh->OpenCursor(sql, qo);
+              if (!cursor.ok()) {
+                out.deadline = cursor.status().IsDeadlineExceeded();
+                out.error = cursor.status().ToString();
+                continue;
+              }
+              out.abandoned = true;
+              const size_t reads = rng() % 3;
+              Table batch;
+              for (size_t i = 0; i < reads; ++i) {
+                auto more = (*cursor)->Next(&batch);
+                if (!more.ok()) {
+                  out.error = more.status().ToString();
+                  break;
+                }
+                if (!*more) break;
+              }
+              if (rng() % 2 == 0) (*cursor)->Close();
+              continue;
+            }
             auto result = wh->Query(sql, qo);
             if (result.ok()) {
               out.ok = true;
@@ -393,9 +422,13 @@ TEST(ConcurrentQueryTest, SchedulerStressFaultInjectionLeavesNoLeaks) {
     EXPECT_EQ(stats.queries_waiting, 0u);
   }
 
-  size_t ok_count = 0, deadline_count = 0;
+  size_t ok_count = 0, deadline_count = 0, abandoned_count = 0;
   for (const StressOutcome& out : outcomes) {
-    if (out.ok) {
+    if (out.abandoned) {
+      ++abandoned_count;
+      // An abandoned stream may stop early, but it must never error.
+      EXPECT_TRUE(out.error.empty()) << out.error << "\n  " << out.sql;
+    } else if (out.ok) {
       ++ok_count;
       ExpectTablesEqual(expected.at(out.sql), out.table, "stress: " + out.sql);
     } else {
@@ -404,15 +437,19 @@ TEST(ConcurrentQueryTest, SchedulerStressFaultInjectionLeavesNoLeaks) {
       EXPECT_TRUE(out.deadline) << out.error << "\n  " << out.sql;
     }
   }
-  EXPECT_EQ(ok_count + deadline_count, outcomes.size());
-  EXPECT_EQ(total_admitted, ok_count);
+  EXPECT_EQ(ok_count + deadline_count + abandoned_count, outcomes.size());
+  // Abandoned cursors were admitted (they held a ticket mid-stream), so
+  // they count toward admissions exactly like completed queries.
+  EXPECT_EQ(total_admitted, ok_count + abandoned_count);
   EXPECT_EQ(total_timed_out, deadline_count);
-  // The workload must genuinely have executed under contention.
+  // The workload must genuinely have executed under contention, on both
+  // the materializing and the streaming path.
   EXPECT_GT(ok_count, 0u);
+  EXPECT_GT(abandoned_count, 0u);
   // Storm composition, for eyeballing that fault injection fired (the
   // timeout count is load-dependent; only the accounting is asserted).
-  std::fprintf(stderr, "stress storm: %zu ok, %zu timed out\n", ok_count,
-               deadline_count);
+  std::fprintf(stderr, "stress storm: %zu ok, %zu abandoned, %zu timed out\n",
+               ok_count, abandoned_count, deadline_count);
 
   // No budget reservation outlives the warehouse (tickets, breaker state,
   // recycler residents and extraction windows all released)...
